@@ -1,0 +1,50 @@
+"""Experiment F5 (paper Fig. 5): per-fact-class presentations.
+
+Regenerates the Fig. 5 artefact — one presentation per fact class from
+one XML document — and compares footnote 8's two implementations: the
+parameterised stylesheet vs one stylesheet per presentation.  Shape
+claims checked: identical output, and compiling once + parameterising is
+not slower than recompiling a specialised stylesheet per presentation.
+"""
+
+from repro.mdm import two_facts_model
+from repro.web import (
+    presentations_by_parameter,
+    presentations_by_stylesheet,
+)
+
+
+def test_parameterised_presentations(benchmark):
+    model = two_facts_model()
+    site = benchmark(presentations_by_parameter, model)
+    assert site.page_count == len(model.facts)
+
+
+def test_per_stylesheet_presentations(benchmark):
+    model = two_facts_model()
+    site = benchmark(presentations_by_stylesheet, model)
+    assert site.page_count == len(model.facts)
+
+
+def test_variants_agree():
+    """The Fig. 5 shape claim: both variants emit identical pages."""
+    model = two_facts_model()
+    a = presentations_by_parameter(model)
+    b = presentations_by_stylesheet(model)
+    assert a.pages == b.pages
+
+
+def test_presentation_filtering_shape():
+    """Dimensions not shared with the fact class are omitted."""
+    model = two_facts_model()
+    site = presentations_by_parameter(model)
+    sales = model.fact_class("Sales")
+    page = site.page(f"presentation-{sales.id}.html")
+    assert "Warehouse" not in page and "Store" in page
+
+
+def test_single_presentation(benchmark, paper_model):
+    from repro.web import presentation_for
+
+    page = benchmark(presentation_for, paper_model, "Sales")
+    assert "Presentation of fact class" in page

@@ -1,0 +1,54 @@
+"""Experiments F6 + V3 (paper Fig. 6 / §4): site generation pipelines.
+
+Regenerates the navigable HTML site two ways and checks §4's shape
+claims: the XSLT 1.1 pipeline yields ``1 + facts + dims + levels + cubes
++ additivity-popups`` pages, the XSLT 1.0 pipeline exactly one, and every
+link in both resolves.
+"""
+
+from repro.web import check_site, publish_multi_page, publish_single_page
+
+
+def expected_pages(model):
+    return (1 + len(model.facts) + len(model.dimensions)
+            + sum(len(d.levels) + len(d.categorization_levels)
+                  for d in model.dimensions)
+            + len(model.cubes)
+            + sum(1 for f in model.facts
+                  for a in f.attributes if a.additivity))
+
+
+def test_multi_page_site(benchmark, paper_model):
+    """XSLT 1.1 xsl:document pipeline (Instant Saxon approach)."""
+    site = benchmark(publish_multi_page, paper_model)
+    assert site.page_count == expected_pages(paper_model)
+
+
+def test_single_page_site(benchmark, paper_model):
+    """XSLT 1.0 pipeline (MSXML approach) — exactly one page."""
+    site = benchmark(publish_single_page, paper_model)
+    assert site.page_count == 1
+
+
+def test_link_check(benchmark, paper_model):
+    """Fig. 6's navigation property: every link resolves."""
+    site = publish_multi_page(paper_model)
+    report = benchmark(check_site, site)
+    assert report.ok and report.orphans == []
+
+
+def test_multi_vs_single_information_parity(paper_model):
+    """Both presentations carry the same classes (shape claim)."""
+    multi = publish_multi_page(paper_model)
+    single_page = publish_single_page(paper_model).page("index.html")
+    joined_multi = "".join(multi.pages.values())
+    for fact in paper_model.facts:
+        assert fact.name in joined_multi and fact.name in single_page
+    for dim in paper_model.dimensions:
+        assert dim.name in joined_multi and dim.name in single_page
+
+
+def test_multi_page_site_medium(benchmark, medium_model):
+    """The same pipeline on an industrial-size model."""
+    site = benchmark(publish_multi_page, medium_model)
+    assert site.page_count == expected_pages(medium_model)

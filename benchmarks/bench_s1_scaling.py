@@ -1,0 +1,57 @@
+"""Experiment S1 (ours): pipeline scaling with model size.
+
+Sweeps every pipeline stage over small/medium/large synthetic models
+(via the parametrised ``sized_model`` fixture), so the benchmark table
+shows each stage's growth with the number of facts × dimensions ×
+levels.  Shape expectation: every stage scales roughly linearly in the
+document size; none is quadratic.
+"""
+
+from repro.mdm import model_to_xml, validate_model
+from repro.mdm.schema_gen import gold_schema
+from repro.mdm.xml_io import xml_to_model
+from repro.web import publish_multi_page, publish_single_page
+from repro.xml import parse
+from repro.xsd import SchemaValidator
+
+
+def test_semantic_validation(benchmark, sized_model):
+    report = benchmark(validate_model, sized_model)
+    assert report.valid
+
+
+def test_xml_generation(benchmark, sized_model):
+    text = benchmark(model_to_xml, sized_model)
+    assert text.startswith("<?xml")
+
+
+def test_xml_parsing(benchmark, sized_model):
+    text = model_to_xml(sized_model)
+    document = benchmark(parse, text)
+    assert document.root_element is not None
+
+
+def test_model_reading(benchmark, sized_model):
+    text = model_to_xml(sized_model)
+    model = benchmark(xml_to_model, text)
+    assert model.summary() == sized_model.summary()
+
+
+def test_schema_validation(benchmark, sized_model):
+    validator = SchemaValidator(gold_schema())
+    text = model_to_xml(sized_model)
+
+    def run():
+        return validator.validate(parse(text))
+
+    assert benchmark(run).valid
+
+
+def test_multi_page_publishing(benchmark, sized_model):
+    site = benchmark(publish_multi_page, sized_model)
+    assert site.page_count > 1
+
+
+def test_single_page_publishing(benchmark, sized_model):
+    site = benchmark(publish_single_page, sized_model)
+    assert site.page_count == 1

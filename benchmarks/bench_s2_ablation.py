@@ -1,0 +1,124 @@
+"""Experiment S2 (ours): ablations of the design choices in DESIGN.md §5.
+
+* ``xsl:key`` index vs linear ``//dimclass[@id = ...]`` scan — the
+  stylesheets use keys; this quantifies why.
+* key/keyref identity constraints on vs off — the §3.1 feature's cost.
+* XPath expression caching (memoized parse) vs forced re-parse.
+* OLAP cube execution scaling with fact-table size.
+"""
+
+import pytest
+
+from repro.mdm import gold_schema, model_to_xml, synthetic_model
+from repro.olap import execute_cube, populate_star
+from repro.xml import parse
+from repro.xpath.parser import parse_xpath
+from repro.xsd import Schema, SchemaValidator
+from repro.xslt import compile_stylesheet, transform
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+_MODEL = synthetic_model(facts=6, dimensions=12, levels_per_dimension=3)
+_DOCUMENT_TEXT = model_to_xml(_MODEL)
+
+_KEYED_SHEET = f"""<xsl:stylesheet version="1.0" {XSL}>
+  <xsl:output method="text"/>
+  <xsl:key name="dim" match="dimclass" use="@id"/>
+  <xsl:template match="/">
+    <xsl:for-each select="//sharedagg">
+      <xsl:value-of select="key('dim', @dimclass)/@name"/>,</xsl:for-each>
+  </xsl:template>
+</xsl:stylesheet>"""
+
+_SCANNING_SHEET = f"""<xsl:stylesheet version="1.0" {XSL}>
+  <xsl:output method="text"/>
+  <xsl:template match="/">
+    <xsl:for-each select="//sharedagg">
+      <xsl:value-of
+          select="//dimclass[@id = current()/@dimclass]/@name"/>,</xsl:for-each>
+  </xsl:template>
+</xsl:stylesheet>"""
+
+
+class TestKeyVsScan:
+    def test_with_key_index(self, benchmark):
+        sheet = compile_stylesheet(_KEYED_SHEET)
+        document = parse(_DOCUMENT_TEXT)
+        result = benchmark(transform, sheet, document)
+        assert "Dimension" in result.serialize()
+
+    def test_with_linear_scan(self, benchmark):
+        sheet = compile_stylesheet(_SCANNING_SHEET)
+        document = parse(_DOCUMENT_TEXT)
+        result = benchmark(transform, sheet, document)
+        assert "Dimension" in result.serialize()
+
+    def test_outputs_identical(self):
+        document_a = parse(_DOCUMENT_TEXT)
+        document_b = parse(_DOCUMENT_TEXT)
+        keyed = transform(compile_stylesheet(_KEYED_SHEET), document_a)
+        scanned = transform(compile_stylesheet(_SCANNING_SHEET),
+                            document_b)
+        assert keyed.serialize() == scanned.serialize()
+
+
+class TestKeyrefCost:
+    @staticmethod
+    def _schema_without_constraints() -> Schema:
+        full = gold_schema()
+        stripped_elements = {}
+        for name, decl in full.elements.items():
+            from dataclasses import replace as dc_replace
+
+            clone = type(decl)(name=decl.name, type=decl.type,
+                               nillable=decl.nillable, constraints=[])
+            stripped_elements[name] = clone
+        return Schema(elements=stripped_elements, types=dict(full.types))
+
+    def test_with_keyrefs(self, benchmark):
+        validator = SchemaValidator(gold_schema())
+
+        def run():
+            return validator.validate(parse(_DOCUMENT_TEXT))
+
+        assert benchmark(run).valid
+
+    def test_without_keyrefs(self, benchmark):
+        validator = SchemaValidator(self._schema_without_constraints())
+
+        def run():
+            return validator.validate(parse(_DOCUMENT_TEXT))
+
+        assert benchmark(run).valid
+
+
+class TestXPathParseCache:
+    EXPRESSION = "//factclass[@id]/sharedaggs/sharedagg[position() > 1]"
+
+    def test_memoized(self, benchmark):
+        parse_xpath(self.EXPRESSION)  # warm
+
+        def run():
+            return parse_xpath(self.EXPRESSION)
+
+        benchmark(run)
+
+    def test_cold_parse(self, benchmark):
+        def run():
+            parse_xpath.cache_clear()
+            return parse_xpath(self.EXPRESSION)
+
+        benchmark(run)
+
+
+class TestOlapScaling:
+    @pytest.mark.parametrize("rows", [1_000, 10_000],
+                             ids=["1k-rows", "10k-rows"])
+    def test_cube_execution(self, benchmark, rows):
+        model = synthetic_model(facts=1, dimensions=3,
+                                levels_per_dimension=2, cubes=1)
+        star = populate_star(model, members_per_level=10,
+                             rows_per_fact=rows)
+        cube = model.cubes[0]
+        result = benchmark(execute_cube, cube, star)
+        assert result.rows

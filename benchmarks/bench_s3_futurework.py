@@ -1,0 +1,75 @@
+"""Experiment S3 (ours): the §6 future-work pipelines.
+
+Measures the three §6 features and checks their shape claims:
+
+* client-side vs server-side transformation — identical HTML; the
+  client pays the stylesheet compilation the server would amortise;
+* CWM/XMI interchange — extended round-trip is lossless, plain is not;
+* XSL-FO generation + pagination.
+"""
+
+from repro.cwm import cwm_to_model, cwm_to_xmi, model_to_cwm, xmi_to_cwm
+from repro.mdm import model_to_xml
+from repro.web import (
+    BrowserSimulator,
+    client_bundle,
+    model_to_fo,
+    render_fo_pages,
+    server_side,
+)
+
+
+class TestClientServer:
+    def test_server_side(self, benchmark, paper_model):
+        html = benchmark(server_side, paper_model)
+        assert "Multidimensional model" in html
+
+    def test_client_side(self, benchmark, paper_model):
+        bundle = client_bundle(paper_model)
+        browser = BrowserSimulator()
+        html = benchmark(browser.render, bundle)
+        assert html == server_side(paper_model)
+
+    def test_bundle_preparation(self, benchmark, paper_model):
+        bundle = benchmark(client_bundle, paper_model)
+        assert "<?xml-stylesheet" in bundle.document_xml
+
+
+class TestCwmInterchange:
+    def test_export_extended(self, benchmark, paper_model):
+        xmi = benchmark(
+            lambda: cwm_to_xmi(model_to_cwm(paper_model, extended=True)))
+        assert "gold.additivity" in xmi
+
+    def test_export_plain(self, benchmark, paper_model):
+        xmi = benchmark(
+            lambda: cwm_to_xmi(model_to_cwm(paper_model, extended=False)))
+        assert "gold.additivity" not in xmi
+
+    def test_full_roundtrip(self, benchmark, paper_model):
+        def roundtrip():
+            xmi = cwm_to_xmi(model_to_cwm(paper_model, extended=True))
+            return cwm_to_model(xmi_to_cwm(xmi))
+
+        restored = benchmark(roundtrip)
+        expected = paper_model.summary()
+        expected["cubes"] = 0
+        assert restored.summary() == expected
+
+    def test_lossless_shape_claim(self, paper_model):
+        restored = cwm_to_model(xmi_to_cwm(cwm_to_xmi(
+            model_to_cwm(paper_model, extended=True))))
+        trimmed = type(paper_model)(**{**paper_model.__dict__})
+        trimmed.cubes = []
+        assert model_to_xml(restored) == model_to_xml(trimmed)
+
+
+class TestXslFo:
+    def test_fo_generation(self, benchmark, paper_model):
+        document = benchmark(model_to_fo, paper_model)
+        assert document.root_element.local_name == "root"
+
+    def test_fo_pagination(self, benchmark, paper_model):
+        pages = benchmark(render_fo_pages, paper_model)
+        assert len(pages) == 1 + len(paper_model.facts) + \
+            len(paper_model.dimensions)

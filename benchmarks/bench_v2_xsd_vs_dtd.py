@@ -1,0 +1,96 @@
+"""Experiment V2 (paper §3.1): XML Schema vs DTD expressiveness.
+
+The paper's central argument for moving from the DTD of [16] to an XML
+Schema: typed attribute values and *selective* references (key/keyref).
+This bench regenerates the differential: documents that pass the DTD but
+fail the schema, and measures what the extra checking costs.
+
+Shape claims (must hold):
+* wrong-kind reference  → DTD accepts, XSD rejects;
+* malformed date        → DTD accepts, XSD rejects;
+* truly dangling IDREF  → both reject;
+* valid document        → both accept.
+"""
+
+import pytest
+
+from repro.dtd import DTDValidator, parse_dtd
+from repro.mdm import gold_dtd_text, gold_schema
+from repro.xml import parse
+from repro.xsd import SchemaValidator
+
+WRONG_KIND = ('<goldmodel id="m1" name="Demo"><factclasses>'
+              '<factclass id="f1" name="Sales"><sharedaggs>'
+              '<sharedagg dimclass="f1"/></sharedaggs></factclass>'
+              '</factclasses><dimclasses>'
+              '<dimclass id="d1" name="Time"/></dimclasses></goldmodel>')
+
+BAD_DATE = ('<goldmodel id="m1" name="Demo" creationdate="mañana">'
+            "<factclasses/><dimclasses/></goldmodel>")
+
+DANGLING = WRONG_KIND.replace('dimclass="f1"', 'dimclass="ghost"')
+
+
+@pytest.fixture(scope="module")
+def validators():
+    return (SchemaValidator(gold_schema()),
+            DTDValidator(parse_dtd(gold_dtd_text())))
+
+
+class TestShapeClaims:
+    def test_wrong_kind_reference(self, validators):
+        xsd, dtd = validators
+        assert dtd.validate(parse(WRONG_KIND)).valid
+        assert not xsd.validate(parse(WRONG_KIND)).valid
+
+    def test_bad_date(self, validators):
+        xsd, dtd = validators
+        assert dtd.validate(parse(BAD_DATE)).valid
+        assert not xsd.validate(parse(BAD_DATE)).valid
+
+    def test_dangling_reference_rejected_by_both(self, validators):
+        xsd, dtd = validators
+        assert not dtd.validate(parse(DANGLING)).valid
+        assert not xsd.validate(parse(DANGLING)).valid
+
+    def test_valid_document_accepted_by_both(self, validators,
+                                             paper_xml):
+        xsd, dtd = validators
+        assert dtd.validate(parse(paper_xml)).valid
+        assert xsd.validate(parse(paper_xml)).valid
+
+
+class TestCosts:
+    def test_xsd_detects_wrong_kind(self, benchmark, validators):
+        xsd, _ = validators
+
+        def run():
+            return xsd.validate(parse(WRONG_KIND))
+
+        assert not benchmark(run).valid
+
+    def test_dtd_misses_wrong_kind(self, benchmark, validators):
+        _, dtd = validators
+
+        def run():
+            return dtd.validate(parse(WRONG_KIND))
+
+        assert benchmark(run).valid
+
+    def test_xsd_on_valid_document(self, benchmark, validators,
+                                   paper_xml):
+        xsd, _ = validators
+
+        def run():
+            return xsd.validate(parse(paper_xml))
+
+        assert benchmark(run).valid
+
+    def test_dtd_on_valid_document(self, benchmark, validators,
+                                   paper_xml):
+        _, dtd = validators
+
+        def run():
+            return dtd.validate(parse(paper_xml))
+
+        assert benchmark(run).valid

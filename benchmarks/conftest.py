@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Model sizes for the scaling sweeps: SMALL is the paper-scale running
+example, MEDIUM/LARGE are synthetic models an industrial warehouse would
+resemble (dozens of facts/dimensions, hundreds of levels).
+"""
+
+import pytest
+
+from repro.mdm import sales_model, synthetic_model
+
+
+SIZES = {
+    "small": dict(facts=1, dimensions=3, levels_per_dimension=2,
+                  measures_per_fact=4),
+    "medium": dict(facts=5, dimensions=10, levels_per_dimension=4,
+                   measures_per_fact=6),
+    "large": dict(facts=20, dimensions=25, levels_per_dimension=5,
+                  measures_per_fact=8),
+}
+
+
+@pytest.fixture(scope="session")
+def paper_model():
+    """The paper's running example (Sales DW)."""
+    return sales_model()
+
+
+@pytest.fixture(scope="session", params=list(SIZES), ids=list(SIZES))
+def sized_model(request):
+    """Synthetic models of increasing size (bench S1)."""
+    return synthetic_model(**SIZES[request.param])
+
+
+@pytest.fixture(scope="session")
+def medium_model():
+    return synthetic_model(**SIZES["medium"])
+
+
+@pytest.fixture(scope="session")
+def paper_xml(paper_model):
+    from repro.mdm import model_to_xml
+
+    return model_to_xml(paper_model)

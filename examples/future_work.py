@@ -1,0 +1,77 @@
+"""The paper's §6 future-work lines, implemented.
+
+Section 6 of the paper sketches three research directions; this example
+runs all three against the running example:
+
+1. **XSL-FO** — "XSL FO can be used to specify in deeper detail the
+   pagination, layout, and styling"; we transform the model into an
+   XSL-FO document and render it with our paginating FO processor
+   (the tool support the paper noted was missing in 2002).
+2. **Client-side transformation** — "when the browsers completely
+   support XML and XSLT, the transformation will be able to be
+   performed in the browser"; we ship an XML + stylesheet bundle and
+   show the simulated browser produces byte-identical HTML.
+3. **CWM interchange** — "studying the Common Warehouse Metamodel as a
+   common framework to easily interchange warehouse metadata", including
+   the observation that plain CWM "lacks the complete set of
+   information"; we export to CWM/XMI twice — plain (lossy) and with
+   GOLD tagged-value extensions (lossless) — and diff the results.
+
+Run:  python examples/future_work.py
+"""
+
+from repro.cwm import cwm_to_model, cwm_to_xmi, model_to_cwm, xmi_to_cwm
+from repro.mdm import model_to_xml, sales_model, validate_model
+from repro.web import (
+    BrowserSimulator,
+    client_bundle,
+    render_fo_pages,
+    server_side,
+)
+
+
+def main() -> None:
+    model = sales_model()
+
+    # -- 1. XSL-FO with pagination ------------------------------------------
+    pages = render_fo_pages(model)
+    print(f"== XSL-FO: rendered {len(pages)} paginated pages ==")
+    print(pages[0].text())
+    print(f"   ... (pages 2..{len(pages)} hold the fact and dimension "
+          "classes)")
+
+    # -- 2. client-side transformation -----------------------------------------
+    bundle = client_bundle(model)
+    client_html = BrowserSimulator().render(bundle)
+    server_html = server_side(model)
+    print("\n== client-side transformation ==")
+    print(f"bundle: model.xml ({len(bundle.document_xml)} bytes) + "
+          f"{len(bundle.stylesheets)} stylesheets")
+    print(f"browser output == server output: "
+          f"{client_html == server_html}")
+
+    # -- 3. CWM / XMI interchange ------------------------------------------------
+    print("\n== CWM interchange ==")
+    extended_xmi = cwm_to_xmi(model_to_cwm(model, extended=True))
+    plain_xmi = cwm_to_xmi(model_to_cwm(model, extended=False))
+    print(f"extended XMI: {len(extended_xmi.splitlines())} lines; "
+          f"plain XMI: {len(plain_xmi.splitlines())} lines")
+
+    restored = cwm_to_model(xmi_to_cwm(extended_xmi))
+    original = sales_model()
+    original.cubes = []  # cube classes are outside CWM OLAP's scope
+    lossless = model_to_xml(restored) == model_to_xml(original)
+    print(f"extended round-trip lossless: {lossless}")
+
+    lossy = cwm_to_model(xmi_to_cwm(plain_xmi))
+    report = validate_model(lossy)
+    print("plain CWM loses GOLD semantics "
+          "(the paper: 'lacks the complete set of information'):")
+    inventory = lossy.fact_class("Sales").attribute("inventory")
+    print(f"  additivity rules lost: {inventory.additivity == []}")
+    print(f"  {{OID}} attributes lost → model no longer passes CASE "
+          f"checks: {not report.valid}")
+
+
+if __name__ == "__main__":
+    main()

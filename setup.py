@@ -1,0 +1,4 @@
+"""Setup shim for environments whose pip cannot build PEP 517 wheels offline."""
+from setuptools import setup
+
+setup()

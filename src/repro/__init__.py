@@ -1,0 +1,39 @@
+"""repro — reproduction of "A Web-Oriented Approach to Manage
+Multidimensional Models through XML Schemas and XSLT" (Luján-Mora,
+Medina, Trujillo; EDBT 2002 Workshops).
+
+Subpackages
+-----------
+``repro.mdm``
+    The GOLD conceptual multidimensional metamodel (the paper's core):
+    fact/dimension/cube classes, semantic validation, XML round-trip,
+    generated XML Schema and DTD.
+``repro.xml`` / ``repro.xpath`` / ``repro.xsd`` / ``repro.dtd`` /
+``repro.xslt``
+    The web substrate, built from scratch: XML 1.0 parser and DOM,
+    XPath 1.0 engine, XML Schema validator (with key/keyref), DTD
+    validator (the baseline), and an XSLT 1.0/1.1 engine.
+``repro.web``
+    Presentation layer (§4): built-in stylesheets, multi-/single-page
+    site publishing, per-fact-class presentations (Fig. 5), schema tree
+    view (Fig. 2), link checking (Fig. 6).
+``repro.olap``
+    The "commercial OLAP tool" stand-in: star-schema storage, cube-class
+    execution with additivity enforcement, SQL DDL export.
+``repro.casetool``
+    The ``goldcase`` CLI tying the workflow together.
+
+Quickstart
+----------
+>>> from repro.mdm import sales_model, model_to_xml, gold_schema
+>>> from repro.xsd import validate
+>>> from repro.xml import parse
+>>> model = sales_model()
+>>> report = validate(parse(model_to_xml(model)), gold_schema())
+>>> report.valid
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""The ``goldcase`` command-line CASE tool."""
+
+from .cli import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,274 @@
+"""``goldcase`` — the command-line CASE tool.
+
+The paper's CASE tool (i) stores models as XML, (ii) validates them
+against the XML Schema, and (iii) publishes HTML presentations.  This CLI
+exposes the same workflow:
+
+.. code-block:: console
+
+   goldcase demo sales model.xml          # write an example model
+   goldcase validate model.xml            # XSD + semantic validation
+   goldcase validate --dtd model.xml      # baseline DTD validation
+   goldcase schema goldmodel.xsd          # emit the XML Schema
+   goldcase dtd goldmodel.dtd             # emit the DTD
+   goldcase tree                          # Fig. 2 schema tree
+   goldcase publish model.xml site/       # Fig. 6 multi-page site
+   goldcase publish --single model.xml s/ # one page, internal anchors
+   goldcase present model.xml f1 out.html # Fig. 5 per-fact presentation
+   goldcase export --sql star model.xml   # OLAP-tool (SQL) export
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="goldcase",
+        description="CASE tool for GOLD multidimensional models "
+                    "(EDBT 2002 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="write an example model as XML")
+    demo.add_argument("which", choices=["sales", "retail", "synthetic"])
+    demo.add_argument("output", help="output .xml path (or '-')")
+
+    validate = sub.add_parser("validate",
+                              help="validate a model document")
+    validate.add_argument("model", help="model .xml path")
+    validate.add_argument("--dtd", action="store_true",
+                          help="use the baseline DTD instead of the schema")
+    validate.add_argument("--semantic", action="store_true",
+                          help="also run CASE-level semantic checks")
+
+    schema = sub.add_parser("schema", help="emit the goldmodel XML Schema")
+    schema.add_argument("output", nargs="?", default="-")
+
+    dtd = sub.add_parser("dtd", help="emit the goldmodel DTD")
+    dtd.add_argument("output", nargs="?", default="-")
+
+    tree = sub.add_parser("tree",
+                          help="render the schema as a tree (Fig. 2)")
+    tree.add_argument("--html", action="store_true")
+
+    publish = sub.add_parser("publish",
+                             help="generate the HTML site (Fig. 6)")
+    publish.add_argument("model", help="model .xml path")
+    publish.add_argument("directory", help="output directory")
+    publish.add_argument("--single", action="store_true",
+                         help="single page with internal links (XSLT 1.0)")
+
+    present = sub.add_parser(
+        "present", help="one per-fact-class presentation (Fig. 5)")
+    present.add_argument("model", help="model .xml path")
+    present.add_argument("fact", help="fact class id or name")
+    present.add_argument("output", nargs="?", default="-")
+
+    export = sub.add_parser("export",
+                            help="export to an OLAP tool (SQL DDL)")
+    export.add_argument("model", help="model .xml path")
+    export.add_argument("--sql", choices=["star", "snowflake"],
+                        default="star")
+    export.add_argument("--data", action="store_true",
+                        help="also emit INSERTs from a synthetic star "
+                             "schema (star layout only)")
+    export.add_argument("output", nargs="?", default="-")
+
+    cwm = sub.add_parser(
+        "cwm", help="CWM/XMI metadata interchange (paper §6 future work)")
+    cwm.add_argument("model", help="model .xml path")
+    cwm.add_argument("--plain", action="store_true",
+                     help="plain CWM without the GOLD tagged-value "
+                          "extension (lossy)")
+    cwm.add_argument("output", nargs="?", default="-")
+
+    sourceview = sub.add_parser(
+        "sourceview", help="IE-style XML source view (paper Fig. 4)")
+    sourceview.add_argument("model", help="model .xml path")
+    sourceview.add_argument("output", nargs="?", default="-")
+
+    bundle = sub.add_parser(
+        "bundle", help="client-side transformation bundle (paper §6)")
+    bundle.add_argument("model", help="model .xml path")
+    bundle.add_argument("directory", help="output directory")
+
+    fo = sub.add_parser(
+        "fo", help="XSL-FO export with paginated rendering (paper §6)")
+    fo.add_argument("model", help="model .xml path")
+    fo.add_argument("--render", action="store_true",
+                    help="render the FO document into text pages")
+    fo.add_argument("output", nargs="?", default="-")
+
+    return parser
+
+
+def _write(path: str, content: str) -> None:
+    if path == "-":
+        sys.stdout.write(content)
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    print(f"wrote {path}")
+
+
+def _load_model(path: str):
+    from ..mdm import xml_to_model
+
+    with open(path, "rb") as handle:
+        return xml_to_model(handle.read())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "demo":
+        from ..mdm import (model_to_xml, sales_model, synthetic_model,
+                           two_facts_model)
+
+        factory = {"sales": sales_model, "retail": two_facts_model,
+                   "synthetic": synthetic_model}[args.which]
+        _write(args.output, model_to_xml(factory()))
+        return 0
+
+    if args.command == "validate":
+        from ..xml import parse_file
+
+        document = parse_file(args.model)
+        if args.dtd:
+            from ..dtd import parse_dtd, validate_dtd
+            from ..mdm import gold_dtd_text
+
+            report = validate_dtd(document, parse_dtd(gold_dtd_text()))
+        else:
+            from ..mdm import gold_schema
+            from ..xsd import validate
+
+            report = validate(document, gold_schema())
+        print(report)
+        exit_code = 0 if report.valid else 1
+        if args.semantic and report.valid:
+            from ..mdm import document_to_model, validate_model
+
+            semantic = validate_model(document_to_model(document))
+            print(semantic)
+            exit_code = 0 if semantic.valid else 1
+        return exit_code
+
+    if args.command == "schema":
+        from ..mdm import gold_schema_xml
+
+        _write(args.output, gold_schema_xml())
+        return 0
+
+    if args.command == "dtd":
+        from ..mdm import gold_dtd_text
+
+        _write(args.output, gold_dtd_text())
+        return 0
+
+    if args.command == "tree":
+        from ..mdm import gold_schema
+        from ..web import render_schema_tree, render_schema_tree_html
+
+        renderer = render_schema_tree_html if args.html \
+            else render_schema_tree
+        sys.stdout.write(renderer(gold_schema()))
+        return 0
+
+    if args.command == "publish":
+        from ..web import check_site, publish_multi_page, publish_single_page
+
+        model = _load_model(args.model)
+        site = publish_single_page(model) if args.single \
+            else publish_multi_page(model)
+        written = site.write_to(args.directory)
+        report = check_site(site)
+        print(f"{len(written)} files written to {args.directory}; "
+              f"{report.total_links} links checked, "
+              f"{'all OK' if report.ok else 'BROKEN LINKS FOUND'}")
+        return 0 if report.ok else 1
+
+    if args.command == "present":
+        from ..web import presentation_for
+
+        model = _load_model(args.model)
+        _write(args.output, presentation_for(model, args.fact))
+        return 0
+
+    if args.command == "export":
+        from ..olap import snowflake_schema_sql, star_schema_sql
+
+        model = _load_model(args.model)
+        generator = star_schema_sql if args.sql == "star" \
+            else snowflake_schema_sql
+        sql = generator(model)
+        if args.data:
+            from ..olap import populate_star, star_data_sql
+
+            star = populate_star(model, members_per_level=5,
+                                 rows_per_fact=100)
+            sql += "\n" + star_data_sql(star)
+        _write(args.output, sql)
+        return 0
+
+    if args.command == "cwm":
+        from ..cwm import cwm_to_xmi, model_to_cwm
+
+        model = _load_model(args.model)
+        schema = model_to_cwm(model, extended=not args.plain)
+        _write(args.output, cwm_to_xmi(schema))
+        return 0
+
+    if args.command == "sourceview":
+        from ..mdm import model_to_document
+        from ..web import render_source_view
+
+        model = _load_model(args.model)
+        _write(args.output, render_source_view(
+            model_to_document(model), title=f"{model.name} (source)"))
+        return 0
+
+    if args.command == "bundle":
+        import os
+
+        from ..web import client_bundle
+
+        model = _load_model(args.model)
+        bundle = client_bundle(model)
+        os.makedirs(args.directory, exist_ok=True)
+        files = {"model.xml": bundle.document_xml, **bundle.stylesheets}
+        for name, content in files.items():
+            with open(os.path.join(args.directory, name), "w",
+                      encoding="utf-8") as handle:
+                handle.write(content)
+        print(f"{len(files)} files written to {args.directory} "
+              "(open model.xml in an XSLT-capable browser)")
+        return 0
+
+    if args.command == "fo":
+        from ..web import model_to_fo, render_fo_pages
+        from ..xml import pretty_print
+
+        model = _load_model(args.model)
+        if args.render:
+            pages = render_fo_pages(model)
+            rendered = []
+            for page in pages:
+                rendered.append(page.text())
+                rendered.append(f"\n--- page {page.number} ---\n")
+            _write(args.output, "\n".join(rendered))
+        else:
+            _write(args.output, pretty_print(model_to_fo(model)))
+        return 0
+
+    raise AssertionError(args.command)  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""CWM interchange — the paper's §6 future-work line, implemented.
+
+Maps GOLD models onto the OMG Common Warehouse Metamodel OLAP package
+and serializes them as XMI.  Demonstrates (and fixes, via tagged-value
+extensions) the paper's observation that plain CWM "lacks the complete
+set of information an existing tool would need to fully operate".
+
+Typical use::
+
+    from repro.cwm import model_to_cwm, cwm_to_xmi, xmi_to_cwm, cwm_to_model
+    xmi = cwm_to_xmi(model_to_cwm(model))           # lossless (extended)
+    restored = cwm_to_model(xmi_to_cwm(xmi))
+"""
+
+from .export import GOLD_TAGS, cwm_to_model, model_to_cwm
+from .metamodel import (
+    CwmCube,
+    CwmCubeDimensionAssociation,
+    CwmDimension,
+    CwmHierarchy,
+    CwmLevel,
+    CwmMeasure,
+    CwmSchema,
+    TaggedValue,
+)
+from .xmi import cwm_to_xmi, xmi_to_cwm
+
+__all__ = [
+    "GOLD_TAGS",
+    "cwm_to_model",
+    "model_to_cwm",
+    "CwmCube",
+    "CwmCubeDimensionAssociation",
+    "CwmDimension",
+    "CwmHierarchy",
+    "CwmLevel",
+    "CwmMeasure",
+    "CwmSchema",
+    "TaggedValue",
+    "cwm_to_xmi",
+    "xmi_to_cwm",
+]

@@ -1,0 +1,438 @@
+"""GOLD ↔ CWM mapping.
+
+:func:`model_to_cwm` converts a GOLD model to the CWM OLAP subset.  Two
+modes implement the §6 observation experimentally:
+
+* ``extended=False`` — plain CWM: the structures survive (cubes,
+  dimensions, hierarchies, levels, measures) but GOLD-specific
+  semantics are **lost** — additivity rules, degenerate dimensions,
+  derivation rules, many-to-many roles, strictness, completeness,
+  {OID}/{D} markings, methods, and descriptive metadata;
+* ``extended=True`` — the paper's proposed extension: the same
+  information travels in CWM tagged values, making
+  :func:`cwm_to_model` a faithful inverse (cube classes — the dynamic
+  part — are outside CWM OLAP's structural scope and are not carried).
+
+Hierarchies: CWM level-based hierarchies are *paths*; a GOLD DAG with
+alternative paths maps to one CWM hierarchy per root-to-leaf path
+(which is how real OLAP tools encode alternative hierarchies too).
+
+Encoded tag payloads quote each field with percent-encoding so names
+and descriptions may contain the separator characters.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from urllib.parse import quote, unquote
+
+from ..mdm.dimensions import (
+    AssociationRelation,
+    DimensionAttribute,
+    DimensionClass,
+    Level,
+)
+from ..mdm.enums import Multiplicity
+from ..mdm.facts import Additivity, FactAttribute, FactClass, \
+    SharedAggregation
+from ..mdm.methods import Method, Parameter
+from ..mdm.model import GoldModel
+from .metamodel import (
+    CwmCube,
+    CwmCubeDimensionAssociation,
+    CwmDimension,
+    CwmHierarchy,
+    CwmLevel,
+    CwmMeasure,
+    CwmSchema,
+    TaggedValue,
+    tagged,
+)
+
+__all__ = ["model_to_cwm", "cwm_to_model", "GOLD_TAGS"]
+
+#: Tags used by the extended (lossless) interchange.
+GOLD_TAGS = (
+    "gold.id", "gold.isOid", "gold.isDerived", "gold.derivationRule",
+    "gold.additivity", "gold.roleA", "gold.roleB", "gold.relation",
+    "gold.attributes", "gold.categorization", "gold.description",
+    "gold.type", "gold.atomic", "gold.method", "gold.caption",
+    "gold.creationDate", "gold.lastModified", "gold.responsible",
+    "gold.showAtts", "gold.showMethods", "gold.aggName", "gold.aggDesc",
+)
+
+
+def _q(text: str) -> str:
+    return quote(text, safe="")
+
+
+def _uq(text: str) -> str:
+    return unquote(text)
+
+
+def model_to_cwm(model: GoldModel, *, extended: bool = True) -> CwmSchema:
+    """Map *model* onto CWM OLAP; see the module docstring for modes."""
+    schema = CwmSchema(xmi_id=f"S.{model.id}", name=model.name)
+    if extended:
+        tags = schema.tagged_values
+        tags.append(TaggedValue("gold.id", model.id))
+        if model.creation_date:
+            tags.append(TaggedValue("gold.creationDate",
+                                    model.creation_date.isoformat()))
+        if model.last_modified:
+            tags.append(TaggedValue("gold.lastModified",
+                                    model.last_modified.isoformat()))
+        if model.description:
+            tags.append(TaggedValue("gold.description", model.description))
+        if model.responsible:
+            tags.append(TaggedValue("gold.responsible", model.responsible))
+        tags.append(TaggedValue(
+            "gold.showAtts", "true" if model.show_attributes else "false"))
+        tags.append(TaggedValue(
+            "gold.showMethods", "true" if model.show_methods else "false"))
+
+    for dimension in model.dimensions:
+        schema.dimensions.append(_export_dimension(dimension, extended))
+    for fact in model.facts:
+        schema.cubes.append(_export_cube(fact, extended))
+    return schema
+
+
+def _export_cube(fact: FactClass, extended: bool) -> CwmCube:
+    cube = CwmCube(xmi_id=f"C.{fact.id}", name=fact.name)
+    if extended:
+        cube.tagged_values.append(TaggedValue("gold.id", fact.id))
+        if fact.caption:
+            cube.tagged_values.append(
+                TaggedValue("gold.caption", fact.caption))
+        if fact.description:
+            cube.tagged_values.append(
+                TaggedValue("gold.description", fact.description))
+        for method in fact.methods:
+            cube.tagged_values.append(
+                TaggedValue("gold.method", _encode_method(method)))
+    for attribute in fact.attributes:
+        measure = CwmMeasure(xmi_id=f"M.{attribute.id}",
+                             name=attribute.name)
+        if extended:
+            tags = measure.tagged_values
+            tags.append(TaggedValue("gold.id", attribute.id))
+            tags.append(TaggedValue("gold.type", attribute.type))
+            if attribute.description:
+                tags.append(TaggedValue("gold.description",
+                                        attribute.description))
+            if not attribute.atomic:
+                tags.append(TaggedValue("gold.atomic", "false"))
+            if attribute.is_oid:
+                tags.append(TaggedValue("gold.isOid", "true"))
+            if attribute.is_derived:
+                tags.append(TaggedValue("gold.isDerived", "true"))
+                tags.append(TaggedValue(
+                    "gold.derivationRule", attribute.derivation_rule))
+            for rule in attribute.additivity:
+                tags.append(TaggedValue(
+                    "gold.additivity", _encode_additivity(rule)))
+        cube.measures.append(measure)
+    for aggregation in fact.aggregations:
+        association = CwmCubeDimensionAssociation(
+            xmi_id=f"A.{fact.id}.{aggregation.dimension}",
+            dimension=f"D.{aggregation.dimension}")
+        if extended:
+            tags = association.tagged_values
+            tags.append(TaggedValue("gold.roleA", aggregation.role_a.value))
+            tags.append(TaggedValue("gold.roleB", aggregation.role_b.value))
+            if aggregation.name:
+                tags.append(TaggedValue("gold.aggName", aggregation.name))
+            if aggregation.description:
+                tags.append(TaggedValue("gold.aggDesc",
+                                        aggregation.description))
+        cube.dimension_associations.append(association)
+    return cube
+
+
+def _export_dimension(dimension: DimensionClass,
+                      extended: bool) -> CwmDimension:
+    cwm = CwmDimension(xmi_id=f"D.{dimension.id}", name=dimension.name,
+                       is_time=dimension.is_time)
+    if extended:
+        tags = cwm.tagged_values
+        tags.append(TaggedValue("gold.id", dimension.id))
+        tags.append(TaggedValue(
+            "gold.attributes", _encode_attributes(dimension.attributes)))
+        if dimension.caption:
+            tags.append(TaggedValue("gold.caption", dimension.caption))
+        if dimension.description:
+            tags.append(TaggedValue("gold.description",
+                                    dimension.description))
+        for method in dimension.methods:
+            tags.append(TaggedValue("gold.method", _encode_method(method)))
+
+    for level in dimension.iter_levels():
+        cwm_level = CwmLevel(xmi_id=f"L.{level.id}", name=level.name)
+        if extended:
+            tags = cwm_level.tagged_values
+            tags.append(TaggedValue("gold.id", level.id))
+            tags.append(TaggedValue(
+                "gold.attributes", _encode_attributes(level.attributes)))
+            if level.description:
+                tags.append(TaggedValue("gold.description",
+                                        level.description))
+            for method in level.methods:
+                tags.append(TaggedValue("gold.method",
+                                        _encode_method(method)))
+            if level in dimension.categorization_levels:
+                tags.append(TaggedValue("gold.categorization", "true"))
+        cwm.levels.append(cwm_level)
+
+    for index, path in enumerate(dimension.paths_from_root()):
+        hierarchy = CwmHierarchy(
+            xmi_id=f"H.{dimension.id}.{index}",
+            name=f"{dimension.name} hierarchy {index + 1}",
+            level_refs=[f"L.{level_id}" for level_id in path[1:]])
+        if extended:
+            for source, target, relation in dimension.hierarchy_edges():
+                if _edge_on_path(source, target, path):
+                    hierarchy.tagged_values.append(TaggedValue(
+                        "gold.relation", _encode_relation(
+                            source, relation)))
+        cwm.hierarchies.append(hierarchy)
+    return cwm
+
+
+def _edge_on_path(source: str, target: str, path: list[str]) -> bool:
+    for a, b in zip(path, path[1:]):
+        if (a, b) == (source, target):
+            return True
+    return False
+
+
+# -- encodings ---------------------------------------------------------------
+
+def _encode_additivity(rule: Additivity) -> str:
+    flags = []
+    for flag in ("is_not", "is_sum", "is_max", "is_min", "is_avg",
+                 "is_count"):
+        if getattr(rule, flag):
+            flags.append(flag[3:])
+    return f"{rule.dimension}:{','.join(flags)}"
+
+
+def _decode_additivity(text: str) -> Additivity:
+    dimension, _, flags = text.partition(":")
+    names = set(flags.split(",")) if flags else set()
+    return Additivity(
+        dimension=dimension,
+        is_not="not" in names, is_sum="sum" in names,
+        is_max="max" in names, is_min="min" in names,
+        is_avg="avg" in names, is_count="count" in names)
+
+
+def _encode_attributes(attributes: list[DimensionAttribute]) -> str:
+    parts = []
+    for attribute in attributes:
+        markers = ("O" if attribute.is_oid else "") + \
+            ("D" if attribute.is_descriptor else "")
+        parts.append("|".join((
+            _q(attribute.id), _q(attribute.name), _q(attribute.type),
+            markers, _q(attribute.description))))
+    return ";".join(parts)
+
+
+def _decode_attributes(text: str) -> list[DimensionAttribute]:
+    attributes = []
+    if not text:
+        return attributes
+    for part in text.split(";"):
+        ident, name, type_, markers, description = part.split("|")
+        attributes.append(DimensionAttribute(
+            id=_uq(ident), name=_uq(name), type=_uq(type_),
+            is_oid="O" in markers, is_descriptor="D" in markers,
+            description=_uq(description)))
+    return attributes
+
+
+def _encode_method(method: Method) -> str:
+    params = ",".join(
+        f"{_q(p.name)}:{_q(p.type)}" for p in method.parameters)
+    return "|".join((
+        _q(method.id), _q(method.name), _q(method.return_type),
+        _q(method.visibility), _q(method.description), params))
+
+
+def _decode_method(text: str) -> Method:
+    ident, name, return_type, visibility, description, params = \
+        text.split("|")
+    parameters = []
+    if params:
+        for entry in params.split(","):
+            pname, _, ptype = entry.partition(":")
+            parameters.append(Parameter(_uq(pname), _uq(ptype)))
+    return Method(id=_uq(ident), name=_uq(name),
+                  return_type=_uq(return_type),
+                  visibility=_uq(visibility),
+                  description=_uq(description), parameters=parameters)
+
+
+def _encode_relation(source: str, relation: AssociationRelation) -> str:
+    completeness = "" if relation.completeness is None else \
+        ("C" if relation.completeness else "c")
+    return "|".join((
+        f"{source}>{relation.child}", relation.role_a.value,
+        relation.role_b.value, completeness, _q(relation.name),
+        _q(relation.description)))
+
+
+# -- import --------------------------------------------------------------------
+
+
+def cwm_to_model(schema: CwmSchema) -> GoldModel:
+    """Reconstruct a GOLD model from CWM.
+
+    With extended tagged values the reconstruction is faithful; without
+    them only structure survives (the §6 'lacks the complete set of
+    information' observation) — ids are regenerated, levels lose their
+    {OID}/{D} attributes, measures their additivity, and so on.
+    """
+    tags = schema.tagged_values
+    model = GoldModel(
+        id=tagged(tags, "gold.id") or f"cwm-{schema.xmi_id}",
+        name=schema.name,
+        show_attributes=tagged(tags, "gold.showAtts", "true") == "true",
+        show_methods=tagged(tags, "gold.showMethods", "true") == "true",
+        description=tagged(tags, "gold.description") or "",
+        responsible=tagged(tags, "gold.responsible") or "")
+    creation = tagged(tags, "gold.creationDate")
+    if creation:
+        model.creation_date = date.fromisoformat(creation)
+    modified = tagged(tags, "gold.lastModified")
+    if modified:
+        model.last_modified = date.fromisoformat(modified)
+
+    dimension_ids: dict[str, str] = {}
+    for cwm_dimension in schema.dimensions:
+        dimension = _import_dimension(cwm_dimension)
+        dimension_ids[cwm_dimension.xmi_id] = dimension.id
+        model.dimensions.append(dimension)
+
+    for cube in schema.cubes:
+        model.facts.append(_import_cube(cube, dimension_ids))
+    return model
+
+
+def _methods_from(tags: list[TaggedValue]) -> list[Method]:
+    return [_decode_method(v.value) for v in tags if v.tag == "gold.method"]
+
+
+def _import_dimension(cwm: CwmDimension) -> DimensionClass:
+    dimension = DimensionClass(
+        id=tagged(cwm.tagged_values, "gold.id") or f"cwm-{cwm.xmi_id}",
+        name=cwm.name,
+        is_time=cwm.is_time,
+        caption=tagged(cwm.tagged_values, "gold.caption") or "",
+        description=tagged(cwm.tagged_values, "gold.description") or "",
+        attributes=_decode_attributes(
+            tagged(cwm.tagged_values, "gold.attributes") or ""),
+        methods=_methods_from(cwm.tagged_values))
+
+    level_ids: dict[str, str] = {}
+    for cwm_level in cwm.levels:
+        level = Level(
+            id=tagged(cwm_level.tagged_values, "gold.id") or
+            f"cwm-{cwm_level.xmi_id}",
+            name=cwm_level.name,
+            description=tagged(cwm_level.tagged_values,
+                               "gold.description") or "",
+            attributes=_decode_attributes(
+                tagged(cwm_level.tagged_values, "gold.attributes") or ""),
+            methods=_methods_from(cwm_level.tagged_values))
+        level_ids[cwm_level.xmi_id] = level.id
+        if tagged(cwm_level.tagged_values, "gold.categorization") == \
+                "true":
+            dimension.categorization_levels.append(level)
+        else:
+            dimension.levels.append(level)
+
+    seen_edges: set[tuple[str, str]] = set()
+    for hierarchy in cwm.hierarchies:
+        encoded = [v.value for v in hierarchy.tagged_values
+                   if v.tag == "gold.relation"]
+        if encoded:
+            for entry in encoded:
+                _apply_relation(dimension, entry, seen_edges)
+        else:
+            # Plain CWM: rebuild default (strict, non-complete) edges
+            # from the hierarchy's level order.
+            chain = [dimension.id] + [
+                level_ids.get(ref, ref) for ref in hierarchy.level_refs]
+            for source, target in zip(chain, chain[1:]):
+                if (source, target) in seen_edges:
+                    continue
+                seen_edges.add((source, target))
+                relation = AssociationRelation(child=target)
+                if source == dimension.id:
+                    dimension.relations.append(relation)
+                else:
+                    dimension.level(source).relations.append(relation)
+    return dimension
+
+
+def _apply_relation(dimension: DimensionClass, entry: str,
+                    seen: set[tuple[str, str]]) -> None:
+    edge, role_a, role_b, completeness, name, description = \
+        entry.split("|")
+    source, _, target = edge.partition(">")
+    if (source, target) in seen:
+        return
+    seen.add((source, target))
+    relation = AssociationRelation(
+        child=target,
+        name=_uq(name), description=_uq(description),
+        role_a=Multiplicity(role_a), role_b=Multiplicity(role_b),
+        completeness=None if completeness == "" else completeness == "C")
+    if source == dimension.id:
+        dimension.relations.append(relation)
+    else:
+        dimension.level(source).relations.append(relation)
+
+
+def _import_cube(cube: CwmCube,
+                 dimension_ids: dict[str, str]) -> FactClass:
+    fact = FactClass(
+        id=tagged(cube.tagged_values, "gold.id") or f"cwm-{cube.xmi_id}",
+        name=cube.name,
+        caption=tagged(cube.tagged_values, "gold.caption") or "",
+        description=tagged(cube.tagged_values, "gold.description") or "",
+        methods=_methods_from(cube.tagged_values))
+    for measure in cube.measures:
+        derivation = tagged(measure.tagged_values,
+                            "gold.derivationRule") or ""
+        fact.attributes.append(FactAttribute(
+            id=tagged(measure.tagged_values, "gold.id") or
+            f"cwm-{measure.xmi_id}",
+            name=measure.name,
+            type=tagged(measure.tagged_values, "gold.type") or "Number",
+            description=tagged(measure.tagged_values,
+                               "gold.description") or "",
+            atomic=tagged(measure.tagged_values, "gold.atomic",
+                          "true") == "true",
+            is_oid=tagged(measure.tagged_values, "gold.isOid") == "true",
+            is_derived=tagged(measure.tagged_values,
+                              "gold.isDerived") == "true",
+            derivation_rule=derivation,
+            additivity=[
+                _decode_additivity(v.value)
+                for v in measure.tagged_values
+                if v.tag == "gold.additivity"
+            ]))
+    for association in cube.dimension_associations:
+        fact.aggregations.append(SharedAggregation(
+            dimension=dimension_ids.get(association.dimension,
+                                        association.dimension),
+            name=tagged(association.tagged_values, "gold.aggName") or "",
+            description=tagged(association.tagged_values,
+                               "gold.aggDesc") or "",
+            role_a=Multiplicity(tagged(
+                association.tagged_values, "gold.roleA") or "M"),
+            role_b=Multiplicity(tagged(
+                association.tagged_values, "gold.roleB") or "1")))
+    return fact

@@ -1,0 +1,130 @@
+"""A working subset of the OMG Common Warehouse Metamodel (CWM) OLAP
+package — the interchange framework the paper's §6 names as future work.
+
+The classes mirror CWM OLAP's core: a :class:`CwmSchema` owns
+:class:`CwmCube` and :class:`CwmDimension` objects; cubes reference the
+dimensions they aggregate over through
+:class:`CwmCubeDimensionAssociation`; dimensions own level-based
+hierarchies whose :class:`CwmLevel` members order the classification.
+
+The paper observes that CWM "provides designers and tools with common
+definitions but lacks the complete set of information an existing tool
+would need to fully operate", and proposes extending the definitions.
+CWM's own extension mechanism is the tagged value; GOLD-specific
+semantics (additivity rules, degenerate dimensions, strictness,
+completeness, {OID}/{D} markings) travel as :class:`TaggedValue`
+entries so the interchange can be made lossless — exactly the §6
+research line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TaggedValue",
+    "CwmMeasure",
+    "CwmCubeDimensionAssociation",
+    "CwmCube",
+    "CwmLevel",
+    "CwmHierarchy",
+    "CwmDimension",
+    "CwmSchema",
+]
+
+
+@dataclass
+class TaggedValue:
+    """CWM's extension mechanism: a (tag, value) pair on any element."""
+
+    tag: str
+    value: str
+
+
+@dataclass
+class CwmMeasure:
+    """CWM OLAP Measure (an analysable attribute of a cube)."""
+
+    xmi_id: str
+    name: str
+    tagged_values: list[TaggedValue] = field(default_factory=list)
+
+
+@dataclass
+class CwmCubeDimensionAssociation:
+    """Connects a cube to one of its dimensions."""
+
+    xmi_id: str
+    dimension: str  # xmi.id of the CwmDimension
+    tagged_values: list[TaggedValue] = field(default_factory=list)
+
+
+@dataclass
+class CwmCube:
+    """CWM OLAP Cube — maps from a GOLD fact class."""
+
+    xmi_id: str
+    name: str
+    measures: list[CwmMeasure] = field(default_factory=list)
+    dimension_associations: list[CwmCubeDimensionAssociation] = \
+        field(default_factory=list)
+    tagged_values: list[TaggedValue] = field(default_factory=list)
+
+
+@dataclass
+class CwmLevel:
+    """CWM OLAP Level — maps from a GOLD classification level."""
+
+    xmi_id: str
+    name: str
+    tagged_values: list[TaggedValue] = field(default_factory=list)
+
+
+@dataclass
+class CwmHierarchy:
+    """CWM OLAP LevelBasedHierarchy: an ordered list of levels."""
+
+    xmi_id: str
+    name: str
+    #: xmi.ids of levels, finest grain first.
+    level_refs: list[str] = field(default_factory=list)
+    tagged_values: list[TaggedValue] = field(default_factory=list)
+
+
+@dataclass
+class CwmDimension:
+    """CWM OLAP Dimension — maps from a GOLD dimension class."""
+
+    xmi_id: str
+    name: str
+    is_time: bool = False
+    levels: list[CwmLevel] = field(default_factory=list)
+    hierarchies: list[CwmHierarchy] = field(default_factory=list)
+    tagged_values: list[TaggedValue] = field(default_factory=list)
+
+
+@dataclass
+class CwmSchema:
+    """CWM OLAP Schema — the interchange root."""
+
+    xmi_id: str
+    name: str
+    cubes: list[CwmCube] = field(default_factory=list)
+    dimensions: list[CwmDimension] = field(default_factory=list)
+    tagged_values: list[TaggedValue] = field(default_factory=list)
+
+    def dimension_by_id(self, xmi_id: str) -> CwmDimension:
+        """Look up a dimension by xmi.id (raises KeyError)."""
+        for dimension in self.dimensions:
+            if dimension.xmi_id == xmi_id:
+                return dimension
+        raise KeyError(f"no CWM dimension with xmi.id {xmi_id!r}")
+
+
+def tagged(values: list[TaggedValue], tag: str,
+           default: str | None = None) -> str | None:
+    """The value of *tag* among *values*, or *default*."""
+    for entry in values:
+        if entry.tag == tag:
+            return entry.value
+    return default

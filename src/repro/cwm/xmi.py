@@ -1,0 +1,219 @@
+"""XMI serialization for the CWM OLAP subset.
+
+CWM interchange happens as XMI documents; this module writes and reads
+an XMI 1.1-style encoding of :mod:`repro.cwm.metamodel` objects:
+
+.. code-block:: xml
+
+   <XMI xmi.version="1.1" xmlns:CWMOLAP="org.omg.cwm.analysis.olap">
+     <XMI.header><XMI.documentation>...</XMI.documentation></XMI.header>
+     <XMI.content>
+       <CWMOLAP:Schema xmi.id="S.m1" name="Sales DW">
+         <CWMOLAP:Dimension xmi.id="D.d1" name="Time" isTime="true">
+           <CWMOLAP:Level xmi.id="L.l1" name="Month"/>
+           <CWMOLAP:LevelBasedHierarchy xmi.id="H.d1.0" ...>
+             <CWMOLAP:HierarchyLevelAssociation level="L.l1"/>
+           </CWMOLAP:LevelBasedHierarchy>
+         </CWMOLAP:Dimension>
+         ...
+       </CWMOLAP:Schema>
+     </XMI.content>
+   </XMI>
+
+Tagged values use CWM's ``CWM:TaggedValue`` children.
+"""
+
+from __future__ import annotations
+
+from ..xml.dom import Document, Element
+from ..xml.parser import parse as parse_xml
+from ..xml.serializer import pretty_print
+from .metamodel import (
+    CwmCube,
+    CwmCubeDimensionAssociation,
+    CwmDimension,
+    CwmHierarchy,
+    CwmLevel,
+    CwmMeasure,
+    CwmSchema,
+    TaggedValue,
+)
+
+__all__ = ["cwm_to_xmi", "xmi_to_cwm", "CWM_OLAP_NS", "CWM_NS"]
+
+CWM_OLAP_NS = "org.omg.cwm.analysis.olap"
+CWM_NS = "org.omg.cwm.objectmodel.core"
+
+
+def cwm_to_xmi(schema: CwmSchema) -> str:
+    """Serialize *schema* as XMI text."""
+    document = Document()
+    xmi = Element("XMI")
+    xmi.set_attribute("xmi.version", "1.1")
+    xmi.set_attribute("xmlns:CWMOLAP", CWM_OLAP_NS)
+    xmi.set_attribute("xmlns:CWM", CWM_NS)
+    xmi.declare_namespace("CWMOLAP", CWM_OLAP_NS)
+    xmi.declare_namespace("CWM", CWM_NS)
+    document.append_child(xmi)
+
+    header = xmi.append_child(Element("XMI.header"))
+    documentation = header.append_child(Element("XMI.documentation"))
+    exporter = documentation.append_child(Element("XMI.exporter"))
+    from ..xml.dom import Text
+
+    exporter.append_child(Text("repro.cwm (EDBT 2002 reproduction)"))
+
+    content = xmi.append_child(Element("XMI.content"))
+    content.append_child(_write_schema(schema))
+    return pretty_print(document)
+
+
+def _write_tagged(parent: Element, values: list[TaggedValue]) -> None:
+    for value in values:
+        element = Element("CWM:TaggedValue")
+        element.set_attribute("tag", value.tag)
+        element.set_attribute("value", value.value)
+        parent.append_child(element)
+
+
+def _write_schema(schema: CwmSchema) -> Element:
+    element = Element("CWMOLAP:Schema")
+    element.set_attribute("xmi.id", schema.xmi_id)
+    element.set_attribute("name", schema.name)
+    _write_tagged(element, schema.tagged_values)
+    for dimension in schema.dimensions:
+        element.append_child(_write_dimension(dimension))
+    for cube in schema.cubes:
+        element.append_child(_write_cube(cube))
+    return element
+
+
+def _write_dimension(dimension: CwmDimension) -> Element:
+    element = Element("CWMOLAP:Dimension")
+    element.set_attribute("xmi.id", dimension.xmi_id)
+    element.set_attribute("name", dimension.name)
+    element.set_attribute("isTime",
+                          "true" if dimension.is_time else "false")
+    _write_tagged(element, dimension.tagged_values)
+    for level in dimension.levels:
+        child = Element("CWMOLAP:Level")
+        child.set_attribute("xmi.id", level.xmi_id)
+        child.set_attribute("name", level.name)
+        _write_tagged(child, level.tagged_values)
+        element.append_child(child)
+    for hierarchy in dimension.hierarchies:
+        child = Element("CWMOLAP:LevelBasedHierarchy")
+        child.set_attribute("xmi.id", hierarchy.xmi_id)
+        child.set_attribute("name", hierarchy.name)
+        _write_tagged(child, hierarchy.tagged_values)
+        for ref in hierarchy.level_refs:
+            association = Element("CWMOLAP:HierarchyLevelAssociation")
+            association.set_attribute("level", ref)
+            child.append_child(association)
+        element.append_child(child)
+    return element
+
+
+def _write_cube(cube: CwmCube) -> Element:
+    element = Element("CWMOLAP:Cube")
+    element.set_attribute("xmi.id", cube.xmi_id)
+    element.set_attribute("name", cube.name)
+    _write_tagged(element, cube.tagged_values)
+    for measure in cube.measures:
+        child = Element("CWMOLAP:Measure")
+        child.set_attribute("xmi.id", measure.xmi_id)
+        child.set_attribute("name", measure.name)
+        _write_tagged(child, measure.tagged_values)
+        element.append_child(child)
+    for association in cube.dimension_associations:
+        child = Element("CWMOLAP:CubeDimensionAssociation")
+        child.set_attribute("xmi.id", association.xmi_id)
+        child.set_attribute("dimension", association.dimension)
+        _write_tagged(child, association.tagged_values)
+        element.append_child(child)
+    return element
+
+
+# -- reading -------------------------------------------------------------------
+
+
+def xmi_to_cwm(text: str | bytes) -> CwmSchema:
+    """Parse XMI text back into a :class:`CwmSchema`."""
+    document = parse_xml(text)
+    root = document.root_element
+    if root is None or root.name != "XMI":
+        raise ValueError("not an XMI document")
+    content = root.find("XMI.content")
+    if content is None:
+        raise ValueError("XMI document has no XMI.content")
+    schema_element = content.find("CWMOLAP:Schema")
+    if schema_element is None:
+        raise ValueError("XMI content has no CWMOLAP:Schema")
+    return _read_schema(schema_element)
+
+
+def _read_tagged(element: Element) -> list[TaggedValue]:
+    return [
+        TaggedValue(child.get_attribute("tag") or "",
+                    child.get_attribute("value") or "")
+        for child in element.find_all("CWM:TaggedValue")
+    ]
+
+
+def _required(element: Element, name: str) -> str:
+    value = element.get_attribute(name)
+    if value is None:
+        raise ValueError(
+            f"<{element.name}> is missing attribute {name!r}")
+    return value
+
+
+def _read_schema(element: Element) -> CwmSchema:
+    schema = CwmSchema(xmi_id=_required(element, "xmi.id"),
+                       name=_required(element, "name"),
+                       tagged_values=_read_tagged(element))
+    for child in element.find_all("CWMOLAP:Dimension"):
+        schema.dimensions.append(_read_dimension(child))
+    for child in element.find_all("CWMOLAP:Cube"):
+        schema.cubes.append(_read_cube(child))
+    return schema
+
+
+def _read_dimension(element: Element) -> CwmDimension:
+    dimension = CwmDimension(
+        xmi_id=_required(element, "xmi.id"),
+        name=_required(element, "name"),
+        is_time=element.get_attribute("isTime") == "true",
+        tagged_values=_read_tagged(element))
+    for child in element.find_all("CWMOLAP:Level"):
+        dimension.levels.append(CwmLevel(
+            xmi_id=_required(child, "xmi.id"),
+            name=_required(child, "name"),
+            tagged_values=_read_tagged(child)))
+    for child in element.find_all("CWMOLAP:LevelBasedHierarchy"):
+        dimension.hierarchies.append(CwmHierarchy(
+            xmi_id=_required(child, "xmi.id"),
+            name=_required(child, "name"),
+            level_refs=[
+                _required(assoc, "level") for assoc in
+                child.find_all("CWMOLAP:HierarchyLevelAssociation")],
+            tagged_values=_read_tagged(child)))
+    return dimension
+
+
+def _read_cube(element: Element) -> CwmCube:
+    cube = CwmCube(
+        xmi_id=_required(element, "xmi.id"),
+        name=_required(element, "name"),
+        tagged_values=_read_tagged(element))
+    for child in element.find_all("CWMOLAP:Measure"):
+        cube.measures.append(CwmMeasure(
+            xmi_id=_required(child, "xmi.id"),
+            name=_required(child, "name"),
+            tagged_values=_read_tagged(child)))
+    for child in element.find_all("CWMOLAP:CubeDimensionAssociation"):
+        cube.dimension_associations.append(CwmCubeDimensionAssociation(
+            xmi_id=_required(child, "xmi.id"),
+            dimension=_required(child, "dimension"),
+            tagged_values=_read_tagged(child)))
+    return cube

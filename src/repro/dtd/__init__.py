@@ -1,0 +1,27 @@
+"""DTD substrate: the paper's baseline validation technology [16].
+
+Parses Document Type Definitions and validates instance documents with
+exact XML 1.0 validity semantics — including the weaknesses relative to
+XML Schema the paper calls out (untyped attributes, unselective IDREFs).
+
+Typical use::
+
+    from repro.dtd import parse_dtd, validate_dtd
+    dtd = parse_dtd(open('goldmodel.dtd').read())
+    report = validate_dtd(document, dtd)
+"""
+
+from .ast import DTD, AttributeDef, ElementType, GroupParticle, NameParticle
+from .parser import parse_dtd
+from .validator import DTDValidator, validate_dtd
+
+__all__ = [
+    "DTD",
+    "AttributeDef",
+    "ElementType",
+    "GroupParticle",
+    "NameParticle",
+    "parse_dtd",
+    "DTDValidator",
+    "validate_dtd",
+]

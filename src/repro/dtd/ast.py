@@ -1,0 +1,130 @@
+"""Component model for Document Type Definitions.
+
+DTDs (the paper's earlier proposal [16]) declare element content models and
+attribute lists.  These classes mirror the XML 1.0 declarations:
+
+* ``<!ELEMENT name (model)>`` → :class:`ElementType`
+* ``<!ATTLIST name attr type default>`` → :class:`AttributeDef`
+
+Content-model expressions are a tiny regex language over element names
+(``,`` sequence, ``|`` choice, ``?``/``*``/``+`` occurrence), represented
+by :class:`ContentParticle` trees and compiled in
+:mod:`repro.dtd.contentmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = [
+    "ContentParticle",
+    "NameParticle",
+    "GroupParticle",
+    "ElementType",
+    "AttributeDef",
+    "DTD",
+    "ATTRIBUTE_TYPES",
+]
+
+#: Legal ATTLIST attribute types (enumerations are handled separately).
+ATTRIBUTE_TYPES = frozenset({
+    "CDATA", "ID", "IDREF", "IDREFS", "ENTITY", "ENTITIES",
+    "NMTOKEN", "NMTOKENS",
+})
+
+
+class ContentParticle:
+    """Base class of content-model expression nodes."""
+
+    __slots__ = ("occurrence",)
+
+    def __init__(self, occurrence: str = "") -> None:
+        #: '' (exactly one), '?', '*', or '+'.
+        self.occurrence = occurrence
+
+
+class NameParticle(ContentParticle):
+    """A child element name with an optional occurrence suffix."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, occurrence: str = "") -> None:
+        super().__init__(occurrence)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{self.name}{self.occurrence}"
+
+
+class GroupParticle(ContentParticle):
+    """A ``(a, b)`` sequence or ``(a | b)`` choice group."""
+
+    __slots__ = ("kind", "particles")
+
+    def __init__(self, kind: str, particles: Sequence[ContentParticle],
+                 occurrence: str = "") -> None:
+        if kind not in ("seq", "choice"):
+            raise ValueError(f"invalid group kind {kind!r}")
+        super().__init__(occurrence)
+        self.kind = kind
+        self.particles = list(particles)
+
+    def __repr__(self) -> str:
+        sep = ", " if self.kind == "seq" else " | "
+        inner = sep.join(repr(p) for p in self.particles)
+        return f"({inner}){self.occurrence}"
+
+
+@dataclass
+class ElementType:
+    """An ``<!ELEMENT>`` declaration.
+
+    ``content_kind`` is ``"EMPTY"``, ``"ANY"``, ``"mixed"`` or
+    ``"children"``; ``model`` is set for children content; ``mixed_names``
+    for mixed content.
+    """
+
+    name: str
+    content_kind: str
+    model: Optional[ContentParticle] = None
+    mixed_names: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.content_kind == "children":
+            return repr(self.model)
+        if self.content_kind == "mixed":
+            if self.mixed_names:
+                names = " | ".join(self.mixed_names)
+                return f"(#PCDATA | {names})*"
+            return "(#PCDATA)"
+        return self.content_kind
+
+
+@dataclass
+class AttributeDef:
+    """One attribute in an ``<!ATTLIST>`` declaration."""
+
+    element: str
+    name: str
+    type: str  # one of ATTRIBUTE_TYPES or 'enumeration'/'NOTATION'
+    enumeration: tuple[str, ...] = ()
+    #: '#REQUIRED', '#IMPLIED', '#FIXED', or '' (plain default).
+    default_kind: str = "#IMPLIED"
+    default_value: str | None = None
+
+
+@dataclass
+class DTD:
+    """A parsed DTD: element types, attribute lists, entity declarations."""
+
+    elements: dict[str, ElementType] = field(default_factory=dict)
+    #: element name → attribute name → definition.
+    attributes: dict[str, dict[str, AttributeDef]] = field(
+        default_factory=dict)
+    general_entities: dict[str, str] = field(default_factory=dict)
+    parameter_entities: dict[str, str] = field(default_factory=dict)
+
+    def attribute_defs(self, element: str) -> dict[str, AttributeDef]:
+        """Attribute definitions for *element* (empty dict when none)."""
+        return self.attributes.get(element, {})

@@ -1,0 +1,40 @@
+"""Compile DTD content models by reuse of the XSD automaton machinery.
+
+A DTD children model ``(a, (b | c)*, d?)`` is structurally a particle tree,
+so we translate it into :class:`~repro.xsd.components.Particle` objects and
+compile with :class:`~repro.xsd.content.ContentAutomaton`.  The translation
+keys occurrence suffixes to occurrence bounds: ``?`` → 0..1, ``*`` → 0..∞,
+``+`` → 1..∞.
+"""
+
+from __future__ import annotations
+
+from ..xsd.components import ElementDecl, ModelGroup, Particle
+from ..xsd.content import ContentAutomaton
+from .ast import ContentParticle, ElementType, GroupParticle, NameParticle
+
+__all__ = ["compile_element_model"]
+
+_OCCURRENCE_BOUNDS = {
+    "": (1, 1),
+    "?": (0, 1),
+    "*": (0, None),
+    "+": (1, None),
+}
+
+
+def compile_element_model(etype: ElementType) -> ContentAutomaton | None:
+    """Compile the children model of *etype*; None for non-children kinds."""
+    if etype.content_kind != "children" or etype.model is None:
+        return None
+    return ContentAutomaton(_translate(etype.model))
+
+
+def _translate(particle: ContentParticle) -> Particle:
+    low, high = _OCCURRENCE_BOUNDS[particle.occurrence]
+    if isinstance(particle, NameParticle):
+        return Particle(ElementDecl(particle.name), low, high)
+    assert isinstance(particle, GroupParticle)
+    kind = "sequence" if particle.kind == "seq" else "choice"
+    group = ModelGroup(kind, [_translate(p) for p in particle.particles])
+    return Particle(group, low, high)

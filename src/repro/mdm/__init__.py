@@ -1,0 +1,72 @@
+"""The GOLD conceptual multidimensional metamodel — the paper's core.
+
+Structural part (§2): fact classes with measures, additivity rules,
+derived measures and degenerate dimensions; dimension classes whose
+classification hierarchies form DAGs of levels with {OID}/{D} attributes,
+strict/non-strict and complete/non-complete relationships, and
+categorization; shared aggregations (including many-to-many).
+
+Dynamic part: cube classes (measures / slice / dice) with the OLAP
+operation algebra (roll-up, drill-down, slice, dice, pivot).
+
+Interchange (§3): XML document round-trip (:mod:`repro.mdm.xml_io`) and
+the generated XML Schema and DTD (:mod:`repro.mdm.schema_gen`).
+"""
+
+from .builder import ModelBuilder
+from .cubes import CubeClass, DiceGrouping, SliceCondition
+from .dimensions import (
+    AssociationRelation,
+    DimensionAttribute,
+    DimensionClass,
+    Level,
+)
+from .enums import AggregationKind, Multiplicity, Operator
+from .errors import ModelError, ModelReferenceError, ModelStructureError
+from .examples import sales_model, synthetic_model, two_facts_model
+from .facts import Additivity, FactAttribute, FactClass, SharedAggregation
+from .methods import Method, Parameter
+from .model import GoldModel
+from .schema_gen import gold_dtd_text, gold_schema, gold_schema_xml
+from .validate import validate_model
+from .xml_io import (
+    document_to_model,
+    model_to_document,
+    model_to_xml,
+    xml_to_model,
+)
+
+__all__ = [
+    "ModelBuilder",
+    "CubeClass",
+    "DiceGrouping",
+    "SliceCondition",
+    "AssociationRelation",
+    "DimensionAttribute",
+    "DimensionClass",
+    "Level",
+    "AggregationKind",
+    "Multiplicity",
+    "Operator",
+    "ModelError",
+    "ModelReferenceError",
+    "ModelStructureError",
+    "sales_model",
+    "synthetic_model",
+    "two_facts_model",
+    "Additivity",
+    "FactAttribute",
+    "FactClass",
+    "SharedAggregation",
+    "Method",
+    "Parameter",
+    "GoldModel",
+    "gold_dtd_text",
+    "gold_schema",
+    "gold_schema_xml",
+    "validate_model",
+    "document_to_model",
+    "model_to_document",
+    "model_to_xml",
+    "xml_to_model",
+]

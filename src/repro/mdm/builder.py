@@ -1,0 +1,281 @@
+"""A fluent builder for GOLD models.
+
+The CASE-tool front end of the library: assembles models with readable
+calls and auto-generated identifiers, so examples and tests do not need
+to hand-assign every ``xsd:ID``.
+
+>>> builder = ModelBuilder("Sales DW")
+>>> time = (builder.dimension("Time", is_time=True)
+...     .attribute("day_id", oid=True)
+...     .attribute("day_name", descriptor=True)
+...     .level("Month")
+...         .attribute("month_id", oid=True)
+...         .attribute("month_name", descriptor=True)
+...         .done()
+...     .relate_root("Month"))
+>>> fact = (builder.fact("Sales")
+...     .measure("qty")
+...     .degenerate("num_ticket")
+...     .uses(time, role_b="1"))
+>>> model = builder.build()
+>>> model.summary()["facts"]
+1
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Iterable
+
+from .cubes import CubeClass, DiceGrouping, SliceCondition
+from .dimensions import (
+    AssociationRelation,
+    DimensionAttribute,
+    DimensionClass,
+    Level,
+)
+from .enums import AggregationKind, Multiplicity, Operator
+from .facts import Additivity, FactAttribute, FactClass, SharedAggregation
+from .methods import Method, Parameter
+from .model import GoldModel
+
+__all__ = ["ModelBuilder", "FactBuilder", "DimensionBuilder", "LevelBuilder"]
+
+
+def _slug(name: str) -> str:
+    return "".join(ch.lower() if ch.isalnum() else "-" for ch in name).strip("-")
+
+
+class ModelBuilder:
+    """Builds a :class:`GoldModel` incrementally."""
+
+    def __init__(self, name: str, *, model_id: str | None = None,
+                 description: str = "", responsible: str = "",
+                 creation_date: date | None = None) -> None:
+        self._model = GoldModel(
+            id=model_id or f"model-{_slug(name)}",
+            name=name,
+            description=description,
+            responsible=responsible,
+            creation_date=creation_date,
+        )
+        self._counter = 0
+
+    def next_id(self, prefix: str) -> str:
+        """Generate a fresh identifier with *prefix*."""
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def fact(self, name: str, *, description: str = "") -> "FactBuilder":
+        """Start a fact class."""
+        fact = FactClass(id=self.next_id("f"), name=name,
+                         description=description)
+        self._model.facts.append(fact)
+        return FactBuilder(self, fact)
+
+    def dimension(self, name: str, *, is_time: bool = False,
+                  description: str = "") -> "DimensionBuilder":
+        """Start a dimension class."""
+        dimension = DimensionClass(id=self.next_id("d"), name=name,
+                                   is_time=is_time, description=description)
+        self._model.dimensions.append(dimension)
+        return DimensionBuilder(self, dimension)
+
+    def cube(self, name: str, fact: "str | FactBuilder",
+             measures: Iterable[str] = (),
+             aggregations: Iterable[AggregationKind] = (),
+             description: str = "") -> CubeClass:
+        """Add a cube class over *fact*."""
+        fact_class = fact.fact if isinstance(fact, FactBuilder) else \
+            self._model.fact_class(fact)
+        cube = CubeClass(
+            id=self.next_id("c"), name=name, fact=fact_class.id,
+            # Measures are stored by attribute id so the XML document's
+            # measure/@ref IDREFs resolve (names are accepted as input).
+            measures=tuple(
+                fact_class.attribute(m).id for m in measures),
+            aggregations=tuple(aggregations),
+            description=description)
+        self._model.cubes.append(cube)
+        return cube
+
+    def replace_cube(self, old: CubeClass, new: CubeClass) -> CubeClass:
+        """Swap a derived cube into the model (OLAP operation results)."""
+        self._model.cubes = [
+            new if cube.id == old.id else cube for cube in self._model.cubes]
+        return new
+
+    def build(self) -> GoldModel:
+        """Return the assembled model."""
+        return self._model
+
+
+class FactBuilder:
+    """Builds one fact class; chainable."""
+
+    def __init__(self, parent: ModelBuilder, fact: FactClass) -> None:
+        self.parent = parent
+        self.fact = fact
+
+    def measure(self, name: str, *, type_: str = "Number",
+                derived: bool = False, derivation_rule: str = "",
+                additivity: Iterable[Additivity] = (),
+                description: str = "") -> "FactBuilder":
+        """Add a measure."""
+        self.fact.attributes.append(FactAttribute(
+            id=self.parent.next_id("fa"), name=name, type=type_,
+            is_derived=derived, derivation_rule=derivation_rule,
+            additivity=list(additivity), description=description))
+        return self
+
+    def degenerate(self, name: str, *, type_: str = "Number",
+                   description: str = "") -> "FactBuilder":
+        """Add a degenerate-dimension attribute ({OID})."""
+        self.fact.attributes.append(FactAttribute(
+            id=self.parent.next_id("fa"), name=name, type=type_,
+            is_oid=True, description=description))
+        return self
+
+    def additivity(self, measure: str, dimension: "str | DimensionBuilder",
+                   *, is_not: bool = False,
+                   allow: Iterable[AggregationKind] = ()) -> "FactBuilder":
+        """Attach an additivity rule to an existing measure."""
+        dimension_id = dimension.dimension.id \
+            if isinstance(dimension, DimensionBuilder) else dimension
+        allowed = set(allow)
+        rule = Additivity(
+            dimension=dimension_id,
+            is_not=is_not,
+            is_sum=AggregationKind.SUM in allowed,
+            is_max=AggregationKind.MAX in allowed,
+            is_min=AggregationKind.MIN in allowed,
+            is_avg=AggregationKind.AVG in allowed,
+            is_count=AggregationKind.COUNT in allowed,
+        )
+        self.fact.attribute(measure).additivity.append(rule)
+        return self
+
+    def method(self, name: str, *, return_type: str = "void",
+               parameters: Iterable[tuple[str, str]] = ()) -> "FactBuilder":
+        """Add a UML operation."""
+        self.fact.methods.append(Method(
+            id=self.parent.next_id("m"), name=name, return_type=return_type,
+            parameters=[Parameter(n, t) for n, t in parameters]))
+        return self
+
+    def uses(self, dimension: "str | DimensionBuilder", *,
+             role_a: "str | Multiplicity" = Multiplicity.MANY,
+             role_b: "str | Multiplicity" = Multiplicity.ONE,
+             name: str = "", description: str = "") -> "FactBuilder":
+        """Add a shared aggregation to *dimension*."""
+        dimension_id = dimension.dimension.id \
+            if isinstance(dimension, DimensionBuilder) else dimension
+        self.fact.aggregations.append(SharedAggregation(
+            dimension=dimension_id, name=name, description=description,
+            role_a=Multiplicity(role_a), role_b=Multiplicity(role_b)))
+        return self
+
+    def many_to_many(self, dimension: "str | DimensionBuilder",
+                     **kwargs) -> "FactBuilder":
+        """Shorthand for an M–M shared aggregation (§2)."""
+        return self.uses(dimension, role_a=Multiplicity.MANY,
+                         role_b=Multiplicity.MANY, **kwargs)
+
+
+class _AttributeCarrier:
+    """Shared attribute/method helpers for dimensions and levels."""
+
+    parent: ModelBuilder
+
+    def _attributes(self) -> list[DimensionAttribute]:
+        raise NotImplementedError
+
+    def _methods(self) -> list[Method]:
+        raise NotImplementedError
+
+    def attribute(self, name: str, *, type_: str = "String",
+                  oid: bool = False, descriptor: bool = False,
+                  description: str = ""):
+        """Add a dimension attribute; mark with ``oid=``/``descriptor=``."""
+        self._attributes().append(DimensionAttribute(
+            id=self.parent.next_id("da"), name=name, type=type_,
+            is_oid=oid, is_descriptor=descriptor, description=description))
+        return self
+
+    def method(self, name: str, *, return_type: str = "void",
+               parameters: Iterable[tuple[str, str]] = ()):
+        """Add a UML operation."""
+        self._methods().append(Method(
+            id=self.parent.next_id("m"), name=name, return_type=return_type,
+            parameters=[Parameter(n, t) for n, t in parameters]))
+        return self
+
+
+class DimensionBuilder(_AttributeCarrier):
+    """Builds one dimension class with its hierarchy levels."""
+
+    def __init__(self, parent: ModelBuilder,
+                 dimension: DimensionClass) -> None:
+        self.parent = parent
+        self.dimension = dimension
+
+    def _attributes(self) -> list[DimensionAttribute]:
+        return self.dimension.attributes
+
+    def _methods(self) -> list[Method]:
+        return self.dimension.methods
+
+    def level(self, name: str, *, description: str = "",
+              categorization: bool = False) -> "LevelBuilder":
+        """Start a classification (or categorization) level."""
+        level = Level(id=self.parent.next_id("l"), name=name,
+                      description=description)
+        if categorization:
+            self.dimension.categorization_levels.append(level)
+        else:
+            self.dimension.levels.append(level)
+        return LevelBuilder(self, level)
+
+    def relate_root(self, target: str, *,
+                    role_a: "str | Multiplicity" = Multiplicity.ONE,
+                    role_b: "str | Multiplicity" = Multiplicity.MANY,
+                    completeness: bool | None = None,
+                    name: str = "") -> "DimensionBuilder":
+        """Relate the dimension class itself to level *target*."""
+        self.dimension.relations.append(AssociationRelation(
+            child=self.dimension.level(target).id, name=name,
+            role_a=Multiplicity(role_a), role_b=Multiplicity(role_b),
+            completeness=completeness))
+        return self
+
+    def relate(self, source: str, target: str, *,
+               role_a: "str | Multiplicity" = Multiplicity.ONE,
+               role_b: "str | Multiplicity" = Multiplicity.MANY,
+               completeness: bool | None = None,
+               name: str = "") -> "DimensionBuilder":
+        """Relate level *source* to coarser level *target*."""
+        relation = AssociationRelation(
+            child=self.dimension.level(target).id, name=name,
+            role_a=Multiplicity(role_a), role_b=Multiplicity(role_b),
+            completeness=completeness)
+        self.dimension.level(source).relations.append(relation)
+        return self
+
+
+class LevelBuilder(_AttributeCarrier):
+    """Builds one hierarchy level; ``done()`` returns to the dimension."""
+
+    def __init__(self, owner: DimensionBuilder, level: Level) -> None:
+        self.parent = owner.parent
+        self.owner = owner
+        self.level_obj = level
+
+    def _attributes(self) -> list[DimensionAttribute]:
+        return self.level_obj.attributes
+
+    def _methods(self) -> list[Method]:
+        return self.level_obj.methods
+
+    def done(self) -> DimensionBuilder:
+        """Finish the level and return the dimension builder."""
+        return self.owner

@@ -1,0 +1,220 @@
+"""Cube classes: the dynamic part of the GOLD model (§2).
+
+A cube class states an initial user requirement in three sections:
+
+* **measures** — which fact attributes are analysed;
+* **slice** — filter constraints, each ``attribute OP value``;
+* **dice** — grouping conditions: dimensions and the level to group at.
+
+A set of OLAP operations then derives new cube classes for the analysis
+phase: ``roll_up`` and ``drill_down`` move the grouping level along a
+classification hierarchy, ``slice`` adds a constraint, ``dice`` changes
+the grouping dimensions, ``pivot`` reorders them, and
+``add_measure``/``drop_measure`` adjust the measures section.  Each
+operation returns a *new* cube class, leaving the original requirement
+intact — cube classes form a derivation history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable
+
+from .enums import AggregationKind, Operator
+from .errors import ModelReferenceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .dimensions import DimensionClass
+    from .model import GoldModel
+
+__all__ = ["SliceCondition", "DiceGrouping", "CubeClass"]
+
+
+@dataclass(frozen=True)
+class SliceCondition:
+    """One slice constraint: ``attribute OP value``.
+
+    ``attribute`` is dotted: ``Dimension.level.attribute`` or
+    ``Fact.attribute``; ``value`` is a literal (or list for IN/NOTIN).
+    """
+
+    attribute: str
+    operator: Operator
+    value: object
+
+    def describe(self) -> str:
+        return f"{self.attribute} {self.operator.value} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class DiceGrouping:
+    """One dice entry: group by *dimension* at *level*.
+
+    ``level`` may be the dimension id itself (finest grain) or any level
+    of its classification hierarchy.
+    """
+
+    dimension: str
+    level: str
+
+    def describe(self) -> str:
+        return f"{self.dimension} @ {self.level}"
+
+
+@dataclass(frozen=True)
+class CubeClass:
+    """A cube class over one fact class."""
+
+    id: str
+    name: str
+    fact: str  # id of the fact class
+    measures: tuple[str, ...] = ()
+    #: Aggregation applied to each measure (parallel default: SUM).
+    aggregations: tuple[AggregationKind, ...] = ()
+    slices: tuple[SliceCondition, ...] = ()
+    dices: tuple[DiceGrouping, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.aggregations and \
+                len(self.aggregations) != len(self.measures):
+            raise ValueError(
+                "aggregations must be empty or match measures in length")
+
+    def aggregation_for(self, measure: str) -> AggregationKind:
+        """The aggregation applied to *measure* (SUM by default)."""
+        try:
+            index = self.measures.index(measure)
+        except ValueError:
+            raise ModelReferenceError(
+                f"cube {self.name!r} has no measure {measure!r}") from None
+        if not self.aggregations:
+            return AggregationKind.SUM
+        return self.aggregations[index]
+
+    def grouping_for(self, dimension: str) -> DiceGrouping | None:
+        """The dice entry for *dimension*, if present."""
+        for dice in self.dices:
+            if dice.dimension == dimension:
+                return dice
+        return None
+
+    # -- OLAP operations -----------------------------------------------------------
+
+    def roll_up(self, dimension: str, to_level: str,
+                *, suffix: str = "rollup") -> "CubeClass":
+        """Coarsen the grouping on *dimension* to *to_level*."""
+        return self._replace_grouping(dimension, to_level, suffix)
+
+    def drill_down(self, dimension: str, to_level: str,
+                   *, suffix: str = "drilldown") -> "CubeClass":
+        """Refine the grouping on *dimension* to *to_level*."""
+        return self._replace_grouping(dimension, to_level, suffix)
+
+    def _replace_grouping(self, dimension: str, to_level: str,
+                          suffix: str) -> "CubeClass":
+        if self.grouping_for(dimension) is None:
+            raise ModelReferenceError(
+                f"cube {self.name!r} does not dice on dimension "
+                f"{dimension!r}")
+        dices = tuple(
+            DiceGrouping(dimension, to_level)
+            if dice.dimension == dimension else dice
+            for dice in self.dices)
+        return replace(self, id=f"{self.id}-{suffix}",
+                       name=f"{self.name} ({suffix} {dimension}→{to_level})",
+                       dices=dices)
+
+    def slice(self, attribute: str, operator: Operator,
+              value: object) -> "CubeClass":
+        """Add a slice constraint."""
+        condition = SliceCondition(attribute, operator, value)
+        return replace(
+            self, id=f"{self.id}-slice",
+            name=f"{self.name} (slice {condition.describe()})",
+            slices=self.slices + (condition,))
+
+    def dice(self, groupings: Iterable[DiceGrouping]) -> "CubeClass":
+        """Replace the dice section entirely."""
+        return replace(self, id=f"{self.id}-dice",
+                       name=f"{self.name} (dice)",
+                       dices=tuple(groupings))
+
+    def pivot(self) -> "CubeClass":
+        """Reverse the dice ordering (swap the presentation axes)."""
+        return replace(self, id=f"{self.id}-pivot",
+                       name=f"{self.name} (pivot)",
+                       dices=tuple(reversed(self.dices)))
+
+    def add_measure(self, measure: str,
+                    aggregation: AggregationKind = AggregationKind.SUM
+                    ) -> "CubeClass":
+        """Add a measure to the analysis."""
+        aggregations = self.aggregations or \
+            tuple(AggregationKind.SUM for _ in self.measures)
+        return replace(self, id=f"{self.id}-m",
+                       measures=self.measures + (measure,),
+                       aggregations=aggregations + (aggregation,))
+
+    def drop_measure(self, measure: str) -> "CubeClass":
+        """Remove a measure from the analysis."""
+        if measure not in self.measures:
+            raise ModelReferenceError(
+                f"cube {self.name!r} has no measure {measure!r}")
+        index = self.measures.index(measure)
+        aggregations = self.aggregations
+        if aggregations:
+            aggregations = aggregations[:index] + aggregations[index + 1:]
+        return replace(self, id=f"{self.id}-d",
+                       measures=self.measures[:index] +
+                       self.measures[index + 1:],
+                       aggregations=aggregations)
+
+    # -- model-aware checks -----------------------------------------------------------
+
+    def check_against(self, model: "GoldModel") -> list[str]:
+        """Validate this cube against *model*; returns problem strings."""
+        problems: list[str] = []
+        try:
+            fact = model.fact_class(self.fact)
+        except ModelReferenceError:
+            return [f"cube {self.name!r}: unknown fact class {self.fact!r}"]
+
+        for measure in self.measures:
+            try:
+                fact.attribute(measure)
+            except KeyError:
+                problems.append(
+                    f"cube {self.name!r}: fact {fact.name!r} has no "
+                    f"measure {measure!r}")
+
+        fact_dimensions = set(fact.dimension_ids)
+        for dice in self.dices:
+            if dice.dimension not in fact_dimensions:
+                problems.append(
+                    f"cube {self.name!r}: dimension {dice.dimension!r} is "
+                    f"not shared with fact {fact.name!r}")
+                continue
+            dimension = model.dimension_class(dice.dimension)
+            if dice.level not in (dimension.id, dimension.name) and \
+                    not dimension.has_level(dice.level):
+                problems.append(
+                    f"cube {self.name!r}: dimension {dimension.name!r} has "
+                    f"no level {dice.level!r}")
+            else:
+                self._check_additivity(fact, dimension, problems)
+        return problems
+
+    def _check_additivity(self, fact, dimension: "DimensionClass",
+                          problems: list[str]) -> None:
+        for measure in self.measures:
+            try:
+                attribute = fact.attribute(measure)
+            except KeyError:
+                continue
+            kind = self.aggregation_for(measure)
+            if kind not in attribute.allowed_aggregations(dimension.id):
+                problems.append(
+                    f"cube {self.name!r}: measure {attribute.name!r} may "
+                    f"not be aggregated with {kind.value} along dimension "
+                    f"{dimension.name!r}")

@@ -1,0 +1,231 @@
+"""Dimension classes and classification hierarchies.
+
+The paper's §2 for dimensions:
+
+* every classification hierarchy level is a *base class*
+  (:class:`Level`); association relationships between levels form a
+  **Directed Acyclic Graph rooted in the dimension class** ({dag}),
+  which accommodates both multiple and alternative-path hierarchies;
+* every level needs an identifying attribute ({OID}) and a descriptor
+  attribute ({D}) — commercial OLAP tools require them in their metadata;
+* the multiplicity on the target role encodes strictness: ``1`` is a
+  strict relationship, ``M`` on both roles is non-strict (a week that
+  spans two months);
+* ``{completeness}`` on the target role marks complete hierarchies; all
+  hierarchies are non-complete by default;
+* categorization of dimensions (an entity's subtypes with extra
+  attributes) uses generalization-specialization: :class:`Level` objects
+  attached as *categorization levels*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .enums import Multiplicity
+from .errors import ModelReferenceError
+
+__all__ = ["DimensionAttribute", "AssociationRelation", "Level",
+           "DimensionClass"]
+
+
+@dataclass
+class DimensionAttribute:
+    """An attribute of a dimension or level class.
+
+    ``is_oid`` marks the identifying attribute ({OID}); ``is_descriptor``
+    the default descriptor ({D}) shown to users by OLAP tools.
+    """
+
+    id: str
+    name: str
+    type: str = "String"
+    is_oid: bool = False
+    is_descriptor: bool = False
+    description: str = ""
+
+    def uml_label(self) -> str:
+        """UML rendering, e.g. ``month_name {D}``."""
+        label = self.name
+        if self.is_oid:
+            label += " {OID}"
+        if self.is_descriptor:
+            label += " {D}"
+        return label
+
+
+@dataclass
+class AssociationRelation:
+    """An association between two classification levels.
+
+    ``child`` names the *coarser* level this one rolls up to (e.g. a Day
+    level has relations to Month and to Week).  ``role_a`` is the
+    multiplicity on the source side, ``role_b`` on the target side.
+    Non-strictness is encoded as ``M``/``M``; ``completeness=True``
+    renders the ``{completeness}`` constraint.
+    """
+
+    child: str  # id of the target level
+    name: str = ""
+    description: str = ""
+    role_a: Multiplicity = Multiplicity.ONE
+    role_b: Multiplicity = Multiplicity.MANY
+    completeness: bool | None = None
+
+    @property
+    def strict(self) -> bool:
+        """A relationship is strict when the source side multiplicity is 1."""
+        return not (self.role_a.is_many and self.role_b.is_many)
+
+    @property
+    def complete(self) -> bool:
+        """Hierarchies are non-complete unless annotated (§2)."""
+        return bool(self.completeness)
+
+
+@dataclass
+class Level:
+    """One classification-hierarchy level (a *base class* in the paper)."""
+
+    id: str
+    name: str
+    description: str = ""
+    attributes: list[DimensionAttribute] = field(default_factory=list)
+    relations: list[AssociationRelation] = field(default_factory=list)
+    methods: list = field(default_factory=list)
+
+    def oid_attribute(self) -> DimensionAttribute | None:
+        """The identifying ({OID}) attribute, when present."""
+        for attribute in self.attributes:
+            if attribute.is_oid:
+                return attribute
+        return None
+
+    def descriptor_attribute(self) -> DimensionAttribute | None:
+        """The descriptor ({D}) attribute, when present."""
+        for attribute in self.attributes:
+            if attribute.is_descriptor:
+                return attribute
+        return None
+
+    def attribute(self, ref: str) -> DimensionAttribute:
+        """Look up an attribute by id or name."""
+        for attribute in self.attributes:
+            if attribute.id == ref or attribute.name == ref:
+                return attribute
+        raise KeyError(f"level {self.name!r} has no attribute {ref!r}")
+
+
+@dataclass
+class DimensionClass:
+    """A dimension class: the root of a classification-hierarchy DAG.
+
+    The dimension class itself holds the finest-grain attributes
+    (``attributes``) and relations to its first classification levels
+    (``relations``); further levels live in ``levels``.  Categorization
+    levels (generalization-specialization subtypes) live in
+    ``categorization_levels``; only the dimension class may take part in
+    both hierarchies at once (§2).
+    """
+
+    id: str
+    name: str
+    caption: str = ""
+    description: str = ""
+    is_time: bool = False
+    attributes: list[DimensionAttribute] = field(default_factory=list)
+    relations: list[AssociationRelation] = field(default_factory=list)
+    levels: list[Level] = field(default_factory=list)
+    categorization_levels: list[Level] = field(default_factory=list)
+    methods: list = field(default_factory=list)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def level(self, ref: str) -> Level:
+        """Look up an association or categorization level by id or name."""
+        for level in self.levels + self.categorization_levels:
+            if level.id == ref or level.name == ref:
+                return level
+        raise ModelReferenceError(
+            f"dimension {self.name!r} has no level {ref!r}")
+
+    def has_level(self, ref: str) -> bool:
+        """True when *ref* names a level of this dimension."""
+        try:
+            self.level(ref)
+            return True
+        except ModelReferenceError:
+            return False
+
+    def oid_attribute(self) -> DimensionAttribute | None:
+        """The dimension root's identifying attribute."""
+        for attribute in self.attributes:
+            if attribute.is_oid:
+                return attribute
+        return None
+
+    def descriptor_attribute(self) -> DimensionAttribute | None:
+        """The dimension root's descriptor attribute."""
+        for attribute in self.attributes:
+            if attribute.is_descriptor:
+                return attribute
+        return None
+
+    # -- hierarchy structure ---------------------------------------------------------
+
+    def hierarchy_edges(self) -> list[tuple[str, str, AssociationRelation]]:
+        """All ``(source_id, target_id, relation)`` edges of the DAG.
+
+        The dimension root's id is used as the source of its direct
+        relations.
+        """
+        edges: list[tuple[str, str, AssociationRelation]] = []
+        for relation in self.relations:
+            edges.append((self.id, relation.child, relation))
+        for level in self.levels:
+            for relation in level.relations:
+                edges.append((level.id, relation.child, relation))
+        return edges
+
+    def children_of(self, ref: str) -> list[Level]:
+        """Levels directly reachable (one roll-up step) from *ref*."""
+        source = self if ref in (self.id, self.name) else self.level(ref)
+        relations = source.relations
+        return [self.level(relation.child) for relation in relations]
+
+    def paths_from_root(self) -> list[list[str]]:
+        """Every root-to-leaf path of level ids (alternative paths shown).
+
+        Multiple entries with a shared prefix are *multiple hierarchies*;
+        entries diverging after the root are *alternative paths*.
+        """
+        adjacency: dict[str, list[str]] = {}
+        for source, target, _relation in self.hierarchy_edges():
+            adjacency.setdefault(source, []).append(target)
+
+        paths: list[list[str]] = []
+
+        def walk(node: str, trail: list[str]) -> None:
+            targets = adjacency.get(node, [])
+            if not targets:
+                paths.append(trail)
+                return
+            for target in targets:
+                walk(target, trail + [target])
+
+        walk(self.id, [self.id])
+        return paths
+
+    def iter_levels(self) -> Iterator[Level]:
+        """All levels (association first, then categorization)."""
+        yield from self.levels
+        yield from self.categorization_levels
+
+    @property
+    def non_strict_relations(self) -> list[AssociationRelation]:
+        """Relations encoding non-strict roll-ups (M–M roles)."""
+        return [
+            relation for _s, _t, relation in self.hierarchy_edges()
+            if not relation.strict
+        ]

@@ -1,0 +1,104 @@
+"""Enumerated vocabularies of the GOLD metamodel.
+
+These mirror the user-defined simple types of the paper's XML Schema
+(§3.1): ``Multiplicity`` for association role cardinalities and
+``Operator`` for cube-class slice conditions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Multiplicity", "Operator", "AggregationKind"]
+
+
+class Multiplicity(str, enum.Enum):
+    """Role multiplicity on shared aggregations and associations.
+
+    The paper encodes many-to-many fact/dimension relationships and
+    non-strict hierarchies by assigning ``M`` to *both* roles.
+    """
+
+    ZERO = "0"
+    ONE = "1"
+    MANY = "M"
+    ONE_MANY = "1..M"
+
+    @property
+    def is_many(self) -> bool:
+        """True for the multiplicities that allow more than one object."""
+        return self in (Multiplicity.MANY, Multiplicity.ONE_MANY)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Operator(str, enum.Enum):
+    """Comparison operators usable in cube-class slice conditions."""
+
+    EQ = "EQ"
+    LT = "LT"
+    GT = "GT"
+    LET = "LET"
+    GET = "GET"
+    NOTEQ = "NOTEQ"
+    LIKE = "LIKE"
+    NOTLIKE = "NOTLIKE"
+    IN = "IN"
+    NOTIN = "NOTIN"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    def apply(self, left: object, right: object) -> bool:
+        """Evaluate ``left <op> right`` with OLAP comparison semantics."""
+        if self is Operator.EQ:
+            return left == right
+        if self is Operator.NOTEQ:
+            return left != right
+        if self is Operator.LT:
+            return left < right  # type: ignore[operator]
+        if self is Operator.GT:
+            return left > right  # type: ignore[operator]
+        if self is Operator.LET:
+            return left <= right  # type: ignore[operator]
+        if self is Operator.GET:
+            return left >= right  # type: ignore[operator]
+        if self is Operator.LIKE:
+            return _like(str(left), str(right))
+        if self is Operator.NOTLIKE:
+            return not _like(str(left), str(right))
+        if self is Operator.IN:
+            return left in _as_collection(right)
+        if self is Operator.NOTIN:
+            return left not in _as_collection(right)
+        raise AssertionError(self)  # pragma: no cover
+
+
+def _like(text: str, pattern: str) -> bool:
+    """SQL LIKE with ``%`` (any run) and ``_`` (any char) wildcards."""
+    import re
+
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+        for ch in pattern)
+    return re.fullmatch(regex, text) is not None
+
+
+def _as_collection(value: object):
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return value
+    return (value,)
+
+
+class AggregationKind(str, enum.Enum):
+    """Aggregation functions the additivity rules speak about."""
+
+    SUM = "SUM"
+    MAX = "MAX"
+    MIN = "MIN"
+    AVG = "AVG"
+    COUNT = "COUNT"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value

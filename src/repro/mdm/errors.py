@@ -1,0 +1,17 @@
+"""Errors for the multidimensional metamodel."""
+
+from __future__ import annotations
+
+__all__ = ["ModelError", "ModelStructureError", "ModelReferenceError"]
+
+
+class ModelError(Exception):
+    """Base class for metamodel failures."""
+
+
+class ModelStructureError(ModelError):
+    """Structural invariant violated (duplicate id, cyclic hierarchy...)."""
+
+
+class ModelReferenceError(ModelError):
+    """A reference (dimension, measure, level) does not resolve."""

@@ -1,0 +1,243 @@
+"""Canonical example models.
+
+:func:`sales_model` reconstructs the paper's running example (a sales
+data warehouse): the ``Sales`` fact class with the ``inventory``,
+``num_ticket`` and ``qty`` attributes shown in Fig. 6.2 (the ticket and
+line numbers stored as degenerate dimensions, §2), and the ``Time``
+dimension whose page in Fig. 6.4 lists the ``Month`` and ``Week``
+association levels (alternative paths, converging non-strictly on
+``Year``).
+
+:func:`two_facts_model` is the Fig. 5 scenario: two fact classes sharing
+common dimensions, used to generate per-fact-class presentations.
+
+:func:`synthetic_model` generates models of arbitrary size for the
+scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from .builder import ModelBuilder
+from .enums import AggregationKind, Multiplicity, Operator
+from .model import GoldModel
+
+__all__ = ["sales_model", "two_facts_model", "synthetic_model"]
+
+
+def sales_model() -> GoldModel:
+    """The paper's sales data warehouse example."""
+    b = ModelBuilder(
+        "Sales DW", model_id="goldSales",
+        description="Sales data warehouse from the EDBT 2002 paper",
+        responsible="DW team",
+        creation_date=date(2002, 3, 1))
+
+    time = (b.dimension("Time", is_time=True,
+                        description="When the ticket was issued")
+            .attribute("day_id", type_="Number", oid=True)
+            .attribute("day_date", type_="Date", descriptor=True)
+            .attribute("is_holiday", type_="Boolean"))
+    (time.level("Month")
+         .attribute("month_id", type_="Number", oid=True)
+         .attribute("month_name", descriptor=True)
+         .done()
+     .level("Week")
+         .attribute("week_id", type_="Number", oid=True)
+         .attribute("week_number", type_="Number", descriptor=True)
+         .done()
+     .level("Year")
+         .attribute("year_id", type_="Number", oid=True)
+         .attribute("year_number", type_="Number", descriptor=True)
+         .done())
+    # Alternative paths: Time → Month → Year and Time → Week → Year.
+    time.relate_root("Month", completeness=True)
+    time.relate_root("Week")
+    time.relate("Month", "Year", completeness=True)
+    # Weeks span year boundaries: a non-strict relationship (M both sides).
+    time.relate("Week", "Year", role_a=Multiplicity.MANY,
+                role_b=Multiplicity.MANY)
+
+    product = (b.dimension("Product", description="The product sold")
+               .attribute("product_id", type_="Number", oid=True)
+               .attribute("product_name", descriptor=True)
+               .attribute("price", type_="Number"))
+    (product.level("Family")
+            .attribute("family_id", type_="Number", oid=True)
+            .attribute("family_name", descriptor=True)
+            .done()
+     .level("Group")
+            .attribute("group_id", type_="Number", oid=True)
+            .attribute("group_name", descriptor=True)
+            .done())
+    product.relate_root("Family")
+    product.relate("Family", "Group", completeness=True)
+    # Categorization: perishable products carry extra features (§2).
+    (product.level("PerishableProduct", categorization=True)
+            .attribute("expiration_days", type_="Number")
+            .done())
+
+    store = (b.dimension("Store", description="Where the sale happened")
+             .attribute("store_id", type_="Number", oid=True)
+             .attribute("store_name", descriptor=True)
+             .method("address", return_type="String"))
+    (store.level("City")
+          .attribute("city_id", type_="Number", oid=True)
+          .attribute("city_name", descriptor=True)
+          .done()
+     .level("Province")
+          .attribute("province_id", type_="Number", oid=True)
+          .attribute("province_name", descriptor=True)
+          .done()
+     .level("Country")
+          .attribute("country_id", type_="Number", oid=True)
+          .attribute("country_name", descriptor=True)
+          .done())
+    store.relate_root("City", completeness=True)
+    store.relate("City", "Province", completeness=True)
+    store.relate("Province", "Country", completeness=True)
+
+    sales = (b.fact("Sales", description="Ticket lines of the stores")
+             .measure("inventory",
+                      description="Stock level; a snapshot, not a flow")
+             .degenerate("num_ticket",
+                         description="Ticket number (degenerate dimension)")
+             .degenerate("num_line",
+                         description="Line number (degenerate dimension)")
+             .measure("qty", description="Units sold")
+             .measure("total", derived=True, derivation_rule="qty * price")
+             .method("register_sale"))
+    # Inventory levels must not be summed over time (§2 additivity rules).
+    sales.additivity("inventory", time, allow=(
+        AggregationKind.MAX, AggregationKind.MIN, AggregationKind.AVG))
+    sales.uses(time)
+    # A ticket line may bundle several products: many-to-many (§2).
+    sales.many_to_many(product)
+    sales.uses(store)
+
+    cube = b.cube(
+        "Quarterly sales by city", sales,
+        measures=("qty", "total"),
+        aggregations=(AggregationKind.SUM, AggregationKind.SUM),
+        description="Initial user requirement from the analysis phase")
+    cube = b.replace_cube(cube, cube.dice([
+        _dice(b, "Time", "Month"), _dice(b, "Store", "City")]))
+    b.replace_cube(cube, cube.slice(
+        "Product.product_name", Operator.NOTEQ, "unknown"))
+
+    return b.build()
+
+
+def _dice(builder: ModelBuilder, dimension_name: str, level_name: str):
+    from .cubes import DiceGrouping
+
+    model = builder.build()
+    dimension = model.dimension_class(dimension_name)
+    level = dimension.level(level_name)
+    return DiceGrouping(dimension.id, level.id)
+
+
+def two_facts_model() -> GoldModel:
+    """Fig. 5: two fact classes sharing common dimensions."""
+    b = ModelBuilder("Retail DW", model_id="goldRetail",
+                     description="Two fact classes sharing dimensions "
+                                 "(paper Fig. 5)",
+                     creation_date=date(2002, 3, 15))
+
+    time = (b.dimension("Time", is_time=True)
+            .attribute("day_id", oid=True)
+            .attribute("day_date", descriptor=True))
+    time.level("Month").attribute("month_id", oid=True) \
+        .attribute("month_name", descriptor=True).done()
+    time.relate_root("Month")
+
+    product = (b.dimension("Product")
+               .attribute("product_id", oid=True)
+               .attribute("product_name", descriptor=True))
+
+    warehouse = (b.dimension("Warehouse")
+                 .attribute("warehouse_id", oid=True)
+                 .attribute("warehouse_name", descriptor=True))
+
+    store = (b.dimension("Store")
+             .attribute("store_id", oid=True)
+             .attribute("store_name", descriptor=True))
+
+    (b.fact("Sales")
+     .measure("qty")
+     .measure("amount")
+     .uses(time).uses(product).uses(store))
+
+    (b.fact("Inventory")
+     .measure("stock_level")
+     .measure("reorder_point")
+     .uses(time).uses(product).uses(warehouse))
+
+    return b.build()
+
+
+def synthetic_model(*, facts: int = 4, dimensions: int = 6,
+                    levels_per_dimension: int = 3,
+                    measures_per_fact: int = 5,
+                    dimensions_per_fact: int | None = None,
+                    cubes: int = 2) -> GoldModel:
+    """A parametric model for scaling experiments (bench S1).
+
+    Every fact shares ``dimensions_per_fact`` dimensions (all of them by
+    default) in round-robin; each dimension gets a linear classification
+    hierarchy of the requested depth.
+    """
+    b = ModelBuilder(
+        f"Synthetic {facts}x{dimensions}x{levels_per_dimension}",
+        model_id="goldSynthetic")
+
+    dimension_builders = []
+    for d in range(dimensions):
+        dimension = (b.dimension(f"Dimension{d}", is_time=(d == 0))
+                     .attribute(f"dim{d}_id", oid=True)
+                     .attribute(f"dim{d}_name", descriptor=True))
+        previous: str | None = None
+        for lv in range(levels_per_dimension):
+            name = f"D{d}L{lv}"
+            (dimension.level(name)
+             .attribute(f"{name}_id", oid=True)
+             .attribute(f"{name}_name", descriptor=True)
+             .done())
+            if previous is None:
+                dimension.relate_root(name)
+            else:
+                dimension.relate(previous, name)
+            previous = name
+        dimension_builders.append(dimension)
+
+    share = dimensions_per_fact or dimensions
+    fact_builders = []
+    for f in range(facts):
+        fact = b.fact(f"Fact{f}")
+        fact.degenerate(f"fact{f}_ticket")
+        for m in range(measures_per_fact):
+            fact.measure(f"fact{f}_m{m}")
+        for k in range(share):
+            dimension = dimension_builders[(f + k) % dimensions]
+            fact.uses(dimension)
+            measure_index = (f + k) % measures_per_fact
+            if measure_index:
+                fact.additivity(
+                    f"fact{f}_m{measure_index}", dimension,
+                    allow=(AggregationKind.MAX, AggregationKind.MIN))
+        fact_builders.append(fact)
+
+    model = b.build()
+    for c in range(cubes):
+        fact = fact_builders[c % facts]
+        dimension_id = fact.fact.dimension_ids[0]
+        dimension = model.dimension_class(dimension_id)
+        level = dimension.levels[0]
+        cube = b.cube(f"Cube{c}", fact,
+                      measures=(fact.fact.measures[0].name,))
+        from .cubes import DiceGrouping
+
+        b.replace_cube(cube, cube.dice(
+            [DiceGrouping(dimension.id, level.id)]))
+    return model

@@ -1,0 +1,192 @@
+"""Fact classes: measures, additivity, degenerate dimensions, aggregations.
+
+The structural half of the paper's §2 for facts:
+
+* a :class:`FactClass` is a UML composite class holding measures
+  (:class:`FactAttribute`) and participating in shared aggregation
+  relationships (:class:`SharedAggregation`) with dimension classes;
+* measures are **additive by default**; non-additive measures carry
+  :class:`Additivity` rules naming which aggregations are legal along
+  which dimension;
+* derived measures record their derivation rule (shown between braces in
+  the UML diagrams);
+* a measure flagged ``is_oid`` is a *degenerate dimension* — a fact
+  feature such as a ticket number that identifies the fact without being
+  a measure for analysis ({OID} in the diagrams);
+* assigning ``M`` to both roles of a shared aggregation expresses a
+  many-to-many relationship between the fact and that dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .enums import AggregationKind, Multiplicity
+
+__all__ = ["Additivity", "FactAttribute", "SharedAggregation", "FactClass"]
+
+
+@dataclass
+class Additivity:
+    """How one measure may be aggregated along one dimension.
+
+    Mirrors the schema's ``additivity`` element: boolean flags per
+    aggregation function, plus ``is_not`` meaning "not additive at all
+    along this dimension".
+    """
+
+    dimension: str  # id of the dimension class
+    is_not: bool = False
+    is_sum: bool = False
+    is_max: bool = False
+    is_min: bool = False
+    is_avg: bool = False
+    is_count: bool = False
+
+    def allowed(self) -> set[AggregationKind]:
+        """The aggregation kinds this rule permits."""
+        if self.is_not:
+            return set()
+        kinds = set()
+        if self.is_sum:
+            kinds.add(AggregationKind.SUM)
+        if self.is_max:
+            kinds.add(AggregationKind.MAX)
+        if self.is_min:
+            kinds.add(AggregationKind.MIN)
+        if self.is_avg:
+            kinds.add(AggregationKind.AVG)
+        if self.is_count:
+            kinds.add(AggregationKind.COUNT)
+        return kinds
+
+    def permits(self, kind: AggregationKind) -> bool:
+        """True when *kind* may be applied along this dimension."""
+        return kind in self.allowed()
+
+    def describe(self) -> str:
+        """Human-readable rule, e.g. ``Time: MAX, MIN``."""
+        if self.is_not:
+            return f"{self.dimension}: not additive"
+        kinds = sorted(k.value for k in self.allowed())
+        return f"{self.dimension}: {', '.join(kinds) or 'additive (SUM)'}"
+
+
+@dataclass
+class FactAttribute:
+    """A measure (or degenerate-dimension feature) of a fact class."""
+
+    id: str
+    name: str
+    type: str = "Number"
+    #: {OID} — identifying attribute; models degenerate dimensions.
+    is_oid: bool = False
+    #: '/' prefix in UML — derived measure.
+    is_derived: bool = False
+    derivation_rule: str = ""
+    #: Whether the measure is atomic (directly recorded) or not.
+    atomic: bool = True
+    description: str = ""
+    additivity: list[Additivity] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.is_derived and not self.derivation_rule:
+            raise ValueError(
+                f"derived measure {self.name!r} needs a derivation rule")
+
+    def additivity_for(self, dimension: str) -> Additivity | None:
+        """The explicit additivity rule along *dimension*, if any."""
+        for rule in self.additivity:
+            if rule.dimension == dimension:
+                return rule
+        return None
+
+    def allowed_aggregations(self, dimension: str) -> set[AggregationKind]:
+        """Aggregations legal along *dimension*.
+
+        Measures are additive by default (§2): without an explicit rule
+        every aggregation function is permitted.  Degenerate-dimension
+        attributes ({OID}) are never aggregated; only COUNT applies.
+        """
+        if self.is_oid:
+            return {AggregationKind.COUNT}
+        rule = self.additivity_for(dimension)
+        if rule is None:
+            return set(AggregationKind)
+        return rule.allowed()
+
+    def uml_label(self) -> str:
+        """The UML rendering, e.g. ``/profit`` or ``num_ticket {OID}``."""
+        label = f"/{self.name}" if self.is_derived else self.name
+        if self.is_oid:
+            label += " {OID}"
+        return label
+
+
+@dataclass
+class SharedAggregation:
+    """A shared-aggregation relationship from a fact to a dimension.
+
+    ``role_a`` is the multiplicity on the fact side (default ``M``) and
+    ``role_b`` on the dimension side (default ``1``); ``M``/``M`` encodes
+    a many-to-many relationship such as a sale involving several products.
+    """
+
+    dimension: str  # id of the dimension class
+    name: str = ""
+    description: str = ""
+    role_a: Multiplicity = Multiplicity.MANY
+    role_b: Multiplicity = Multiplicity.ONE
+
+    @property
+    def many_to_many(self) -> bool:
+        """True when both roles are many (§2's M–M encoding)."""
+        return self.role_a.is_many and self.role_b.is_many
+
+
+@dataclass
+class FactClass:
+    """A fact class: measures + methods + shared aggregations."""
+
+    id: str
+    name: str
+    caption: str = ""
+    description: str = ""
+    attributes: list[FactAttribute] = field(default_factory=list)
+    methods: list = field(default_factory=list)
+    aggregations: list[SharedAggregation] = field(default_factory=list)
+
+    @property
+    def is_factless(self) -> bool:
+        """Fact-less fact table: no measures at all (allowed by §3.1)."""
+        return not self.attributes
+
+    @property
+    def measures(self) -> list[FactAttribute]:
+        """Attributes that are analysed measures (not {OID} features)."""
+        return [a for a in self.attributes if not a.is_oid]
+
+    @property
+    def degenerate_dimensions(self) -> list[FactAttribute]:
+        """{OID} fact features — the degenerate dimensions."""
+        return [a for a in self.attributes if a.is_oid]
+
+    def attribute(self, ref: str) -> FactAttribute:
+        """Look up a fact attribute by id or name."""
+        for attribute in self.attributes:
+            if attribute.id == ref or attribute.name == ref:
+                return attribute
+        raise KeyError(
+            f"fact class {self.name!r} has no attribute {ref!r}")
+
+    def aggregation_for(self, dimension: str) -> SharedAggregation | None:
+        """The shared aggregation towards *dimension*, if present."""
+        for aggregation in self.aggregations:
+            if aggregation.dimension == dimension:
+                return aggregation
+        return None
+
+    @property
+    def dimension_ids(self) -> list[str]:
+        """Ids of all dimensions this fact participates with."""
+        return [aggregation.dimension for aggregation in self.aggregations]

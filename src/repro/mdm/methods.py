@@ -1,0 +1,41 @@
+"""UML operations (methods) on fact, dimension, and level classes.
+
+The GOLD model is UML-based, so classes may carry operations; the XML
+Schema groups them under ``<methods>`` and the HTML presentation lists
+them when the model's ``showmethods`` flag is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Parameter", "Method"]
+
+
+@dataclass
+class Parameter:
+    """One formal parameter of a method."""
+
+    name: str
+    type: str = "String"
+
+    def signature(self) -> str:
+        """Render as ``name : Type``."""
+        return f"{self.name} : {self.type}"
+
+
+@dataclass
+class Method:
+    """A UML operation: name, parameters, return type, visibility."""
+
+    id: str
+    name: str
+    return_type: str = "void"
+    parameters: list[Parameter] = field(default_factory=list)
+    visibility: str = "public"
+    description: str = ""
+
+    def signature(self) -> str:
+        """Render as ``name(p : T, ...) : Return``."""
+        params = ", ".join(p.signature() for p in self.parameters)
+        return f"{self.name}({params}) : {self.return_type}"

@@ -1,0 +1,118 @@
+"""The GOLD model root: a named collection of fact, dimension, and cube
+classes plus presentation metadata.
+
+Mirrors the ``goldmodel`` root element of the XML Schema (§3.1): ``id``,
+``name``, ``showatts``/``showmethods`` presentation flags, creation and
+modification dates, description, and responsible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Iterator
+
+from .cubes import CubeClass
+from .dimensions import DimensionClass, Level
+from .errors import ModelReferenceError
+from .facts import FactClass
+
+__all__ = ["GoldModel"]
+
+
+@dataclass
+class GoldModel:
+    """A conceptual multidimensional model."""
+
+    id: str
+    name: str
+    show_attributes: bool = True
+    show_methods: bool = True
+    creation_date: date | None = None
+    last_modified: date | None = None
+    description: str = ""
+    responsible: str = ""
+    facts: list[FactClass] = field(default_factory=list)
+    dimensions: list[DimensionClass] = field(default_factory=list)
+    cubes: list[CubeClass] = field(default_factory=list)
+
+    # -- lookups ------------------------------------------------------------
+
+    def fact_class(self, ref: str) -> FactClass:
+        """Find a fact class by id or name."""
+        for fact in self.facts:
+            if fact.id == ref or fact.name == ref:
+                return fact
+        raise ModelReferenceError(f"no fact class {ref!r} in model "
+                                  f"{self.name!r}")
+
+    def dimension_class(self, ref: str) -> DimensionClass:
+        """Find a dimension class by id or name."""
+        for dimension in self.dimensions:
+            if dimension.id == ref or dimension.name == ref:
+                return dimension
+        raise ModelReferenceError(f"no dimension class {ref!r} in model "
+                                  f"{self.name!r}")
+
+    def cube_class(self, ref: str) -> CubeClass:
+        """Find a cube class by id or name."""
+        for cube in self.cubes:
+            if cube.id == ref or cube.name == ref:
+                return cube
+        raise ModelReferenceError(f"no cube class {ref!r} in model "
+                                  f"{self.name!r}")
+
+    def dimensions_of(self, fact_ref: str) -> list[DimensionClass]:
+        """The dimension classes a fact shares aggregations with."""
+        fact = self.fact_class(fact_ref)
+        return [self.dimension_class(d) for d in fact.dimension_ids]
+
+    def facts_sharing(self, dimension_ref: str) -> list[FactClass]:
+        """The fact classes that aggregate over *dimension_ref*."""
+        dimension = self.dimension_class(dimension_ref)
+        return [
+            fact for fact in self.facts
+            if dimension.id in fact.dimension_ids
+        ]
+
+    # -- iteration -------------------------------------------------------------
+
+    def iter_levels(self) -> Iterator[tuple[DimensionClass, Level]]:
+        """Yield every ``(dimension, level)`` pair in the model."""
+        for dimension in self.dimensions:
+            for level in dimension.iter_levels():
+                yield dimension, level
+
+    def all_ids(self) -> list[str]:
+        """All identifiers, in document order (used by uniqueness checks)."""
+        ids: list[str] = [self.id]
+        for fact in self.facts:
+            ids.append(fact.id)
+            ids.extend(a.id for a in fact.attributes)
+            ids.extend(m.id for m in fact.methods)
+        for dimension in self.dimensions:
+            ids.append(dimension.id)
+            ids.extend(a.id for a in dimension.attributes)
+            ids.extend(m.id for m in dimension.methods)
+            for level in dimension.iter_levels():
+                ids.append(level.id)
+                ids.extend(a.id for a in level.attributes)
+                ids.extend(m.id for m in level.methods)
+        for cube in self.cubes:
+            ids.append(cube.id)
+        return ids
+
+    # -- statistics -------------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """Size statistics used by the CLI and the benchmarks."""
+        return {
+            "facts": len(self.facts),
+            "dimensions": len(self.dimensions),
+            "levels": sum(
+                len(d.levels) + len(d.categorization_levels)
+                for d in self.dimensions),
+            "measures": sum(len(f.attributes) for f in self.facts),
+            "aggregations": sum(len(f.aggregations) for f in self.facts),
+            "cubes": len(self.cubes),
+        }

@@ -1,0 +1,421 @@
+"""Generation of the paper's ``goldmodel`` XML Schema and DTD.
+
+:func:`gold_schema` builds the XML Schema of §3.1 programmatically
+(Russian-doll design): the ``goldmodel`` root with ``factclasses`` /
+``dimclasses`` / ``cubeclasses``, the user-defined ``Operator`` and
+``Multiplicity`` simple types, boolean-flag additivity elements, and —
+the feature the paper highlights over DTDs — ``xsd:key`` / ``xsd:keyref``
+constraints making references *selective* (``additivity/@dimclass`` must
+point at a ``dimclass/@id``, not just any ID).
+
+:func:`gold_dtd` produces the equivalent DTD, reproducing the authors'
+earlier proposal [16] as the comparison baseline: same structure, but
+attribute values are untyped and references are plain IDREFs.
+
+:func:`gold_schema_xml` / :func:`gold_dtd_text` render file-ready text.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..xsd.facets import Enumeration
+from ..xsd.schema import Schema, SchemaBuilder
+from ..xsd.writer import schema_to_xml
+
+__all__ = ["gold_schema", "gold_schema_xml", "gold_dtd_text",
+           "OPERATOR_VALUES", "MULTIPLICITY_VALUES", "AGGREGATION_VALUES"]
+
+#: Enumeration values of the paper's ``Operator`` simple type (§3.1).
+OPERATOR_VALUES = ("EQ", "LT", "GT", "LET", "GET", "NOTEQ", "LIKE",
+                   "NOTLIKE", "IN", "NOTIN")
+
+#: Enumeration values of the paper's ``Multiplicity`` simple type (§3.1).
+MULTIPLICITY_VALUES = ("0", "1", "M", "1..M")
+
+#: Aggregation functions usable on cube measures.
+AGGREGATION_VALUES = ("SUM", "MAX", "MIN", "AVG", "COUNT")
+
+
+@lru_cache(maxsize=1)
+def gold_schema() -> Schema:
+    """The compiled goldmodel XML Schema (memoized)."""
+    b = SchemaBuilder()
+
+    operator = b.enumeration("string", list(OPERATOR_VALUES),
+                             name="Operator")
+    multiplicity = b.enumeration("string", list(MULTIPLICITY_VALUES),
+                                 name="Multiplicity")
+    aggregation = b.enumeration("string", list(AGGREGATION_VALUES),
+                                name="Aggregation")
+
+    # -- shared named types (flat part of the mostly-Russian-doll design) --
+    method = b.element("method", b.complex_type(
+        content=b.sequence(
+            b.particle(b.element("param", b.complex_type(attributes=[
+                b.attribute("name", "string", use="required"),
+                b.attribute("type", "string"),
+            ])), 0, None)),
+        attributes=[
+            b.attribute("id", "ID", use="required"),
+            b.attribute("name", "string", use="required"),
+            b.attribute("returntype", "string"),
+            b.attribute("visibility", "string"),
+            b.attribute("description", "string"),
+        ]))
+    methods_type = b.complex_type(
+        name="methodstype",
+        content=b.sequence(b.particle(method, 1, None)))
+
+    dimatt = b.element("dimatt", b.complex_type(attributes=[
+        b.attribute("id", "ID", use="required"),
+        b.attribute("name", "string", use="required"),
+        b.attribute("type", "string"),
+        b.attribute("oid", "boolean", default="false"),
+        b.attribute("d", "boolean", default="false"),
+        b.attribute("description", "string"),
+    ]))
+    dimatts_type = b.complex_type(
+        name="dimattstype",
+        content=b.sequence(b.particle(dimatt, 1, None)))
+
+    relationasoc = b.element("relationasoc", b.complex_type(attributes=[
+        b.attribute("child", "IDREF", use="required"),
+        b.attribute("name", "string"),
+        b.attribute("description", "string"),
+        b.attribute("rolea", multiplicity, default="1"),
+        b.attribute("roleb", multiplicity, default="M"),
+        b.attribute("completeness", "boolean"),
+    ]))
+    relationasocs_type = b.complex_type(
+        name="relationasocstype",
+        content=b.sequence(b.particle(relationasoc, 1, None)))
+
+    # -- fact classes -----------------------------------------------------------
+    additivity = b.element("additivity", b.complex_type(attributes=[
+        b.attribute("dimclass", "IDREF", use="required"),
+        b.attribute("isnot", "boolean", default="false"),
+        b.attribute("issum", "boolean", default="false"),
+        b.attribute("ismax", "boolean", default="false"),
+        b.attribute("ismin", "boolean", default="false"),
+        b.attribute("isavg", "boolean", default="false"),
+        b.attribute("iscount", "boolean"),
+    ]))
+
+    factatt = b.element("factatt", b.complex_type(
+        content=b.sequence(b.particle(additivity, 0, None)),
+        attributes=[
+            b.attribute("id", "ID", use="required"),
+            b.attribute("name", "string", use="required"),
+            b.attribute("type", "string"),
+            b.attribute("isoid", "boolean", default="false"),
+            b.attribute("isderived", "boolean", default="false"),
+            b.attribute("atomic", "boolean", default="true"),
+            b.attribute("derivationrule", "string"),
+            b.attribute("description", "string"),
+        ]))
+
+    sharedagg = b.element("sharedagg", b.complex_type(attributes=[
+        b.attribute("dimclass", "IDREF", use="required"),
+        b.attribute("name", "string"),
+        b.attribute("description", "string"),
+        b.attribute("rolea", multiplicity, default="M"),
+        b.attribute("roleb", multiplicity, default="1"),
+    ]))
+
+    factclass = b.element("factclass", b.complex_type(
+        content=b.sequence(
+            b.particle(b.element("factatts", b.complex_type(
+                content=b.sequence(b.particle(factatt, 1, None)))), 0, 1),
+            b.particle(b.element("methods", methods_type), 0, 1),
+            b.particle(b.element("sharedaggs", b.complex_type(
+                content=b.sequence(b.particle(sharedagg, 1, None)))), 0, 1),
+        ),
+        attributes=[
+            b.attribute("id", "ID", use="required"),
+            b.attribute("name", "string", use="required"),
+            b.attribute("caption", "string"),
+            b.attribute("description", "string"),
+        ]))
+
+    # -- dimension classes ---------------------------------------------------------
+    def level_element(tag: str):
+        return b.element(tag, b.complex_type(
+            content=b.sequence(
+                b.particle(b.element("dimatts", dimatts_type), 0, 1),
+                b.particle(b.element("relationasocs", relationasocs_type),
+                           0, 1),
+                b.particle(b.element("methods", methods_type), 0, 1),
+            ),
+            attributes=[
+                b.attribute("id", "ID", use="required"),
+                b.attribute("name", "string", use="required"),
+                b.attribute("description", "string"),
+            ]))
+
+    dimclass = b.element("dimclass", b.complex_type(
+        content=b.sequence(
+            b.particle(b.element("dimatts", dimatts_type), 0, 1),
+            b.particle(b.element("relationasocs", relationasocs_type), 0, 1),
+            b.particle(b.element("asoclevels", b.complex_type(
+                content=b.sequence(
+                    b.particle(level_element("asoclevel"), 1, None)))),
+                0, 1),
+            b.particle(b.element("catlevels", b.complex_type(
+                content=b.sequence(
+                    b.particle(level_element("catlevel"), 1, None)))),
+                0, 1),
+            b.particle(b.element("methods", methods_type), 0, 1),
+        ),
+        attributes=[
+            b.attribute("id", "ID", use="required"),
+            b.attribute("name", "string", use="required"),
+            b.attribute("caption", "string"),
+            b.attribute("description", "string"),
+            b.attribute("istime", "boolean", default="false"),
+        ]))
+
+    # -- cube classes ------------------------------------------------------------------
+    measure = b.element("measure", b.complex_type(attributes=[
+        b.attribute("ref", "IDREF", use="required"),
+        b.attribute("aggregation", aggregation),
+    ]))
+    slice_el = b.element("slice", b.complex_type(attributes=[
+        b.attribute("attribute", "string", use="required"),
+        b.attribute("operator", operator, use="required"),
+        b.attribute("value", "string", use="required"),
+    ]))
+    dice = b.element("dice", b.complex_type(attributes=[
+        b.attribute("dimclass", "IDREF", use="required"),
+        b.attribute("level", "IDREF", use="required"),
+    ]))
+    cubeclass = b.element("cubeclass", b.complex_type(
+        content=b.sequence(
+            b.particle(b.element("measures", b.complex_type(
+                content=b.sequence(b.particle(measure, 1, None)))), 0, 1),
+            b.particle(b.element("slices", b.complex_type(
+                content=b.sequence(b.particle(slice_el, 1, None)))), 0, 1),
+            b.particle(b.element("dices", b.complex_type(
+                content=b.sequence(b.particle(dice, 1, None)))), 0, 1),
+        ),
+        attributes=[
+            b.attribute("id", "ID", use="required"),
+            b.attribute("name", "string", use="required"),
+            b.attribute("fact", "IDREF", use="required"),
+            b.attribute("description", "string"),
+        ]))
+
+    # -- root --------------------------------------------------------------------------
+    goldmodel = b.element(
+        "goldmodel",
+        b.complex_type(
+            content=b.sequence(
+                b.particle(b.element("factclasses", b.complex_type(
+                    content=b.sequence(b.particle(factclass, 0, None)))),
+                    1, 1),
+                b.particle(b.element("dimclasses", b.complex_type(
+                    content=b.sequence(b.particle(dimclass, 0, None)))),
+                    1, 1),
+                b.particle(b.element("cubeclasses", b.complex_type(
+                    content=b.sequence(b.particle(cubeclass, 0, None)))),
+                    0, 1),
+            ),
+            attributes=[
+                b.attribute("id", "ID", use="required"),
+                b.attribute("name", "string", use="required"),
+                b.attribute("showatts", "boolean", default="true"),
+                b.attribute("showmethods", "boolean", default="true"),
+                b.attribute("creationdate", "date"),
+                b.attribute("lastmodified", "date"),
+                b.attribute("description", "string"),
+                b.attribute("responsible", "string"),
+            ]),
+        constraints=[
+            # The selective references §3.1 presents as the advance over
+            # DTDs: dimension references must hit dimclass ids.
+            b.key("dimclassKey", "dimclasses/dimclass", ["@id"]),
+            b.keyref(
+                "additivityDimclassKey",
+                "factclasses/factclass/factatts/factatt/additivity",
+                ["@dimclass"], refer="dimclassKey"),
+            b.keyref(
+                "sharedaggDimclassKey",
+                "factclasses/factclass/sharedaggs/sharedagg",
+                ["@dimclass"], refer="dimclassKey"),
+            b.keyref(
+                "diceDimclassKey", "cubeclasses/cubeclass/dices/dice",
+                ["@dimclass"], refer="dimclassKey"),
+            b.key("factclassKey", "factclasses/factclass", ["@id"]),
+            b.keyref("cubeFactKey", "cubeclasses/cubeclass", ["@fact"],
+                     refer="factclassKey"),
+            b.key(
+                "levelKey",
+                "dimclasses/dimclass/asoclevels/asoclevel | "
+                "dimclasses/dimclass/catlevels/catlevel | "
+                "dimclasses/dimclass",
+                ["@id"]),
+            b.keyref(
+                "relationChildKey",
+                "dimclasses/dimclass/relationasocs/relationasoc | "
+                "dimclasses/dimclass/asoclevels/asoclevel/relationasocs"
+                "/relationasoc",
+                ["@child"], refer="levelKey"),
+        ])
+
+    return b.build(goldmodel, documentation=(
+        "XML Schema for GOLD conceptual multidimensional models "
+        "(Lujan-Mora, Medina, Trujillo - EDBT 2002 workshops). "
+        "Generated by repro.mdm.schema_gen."))
+
+
+def gold_schema_xml() -> str:
+    """The goldmodel schema as ``.xsd`` document text."""
+    return schema_to_xml(gold_schema())
+
+
+def gold_dtd_text() -> str:
+    """The equivalent DTD — the baseline proposal [16].
+
+    Structure matches the XML Schema, but with DTD expressiveness only:
+    enumerations survive, yet dates are CDATA and every reference is an
+    unselective IDREF.
+    """
+    multiplicity = "|".join(v.replace("..", "..") for v in
+                            MULTIPLICITY_VALUES)
+    operator = "|".join(OPERATOR_VALUES)
+    aggregation = "|".join(AGGREGATION_VALUES)
+    return f"""<!-- DTD for GOLD multidimensional models (baseline [16]) -->
+<!ELEMENT goldmodel (factclasses, dimclasses, cubeclasses?)>
+<!ATTLIST goldmodel
+  id ID #REQUIRED
+  name CDATA #REQUIRED
+  showatts (true|false) "true"
+  showmethods (true|false) "true"
+  creationdate CDATA #IMPLIED
+  lastmodified CDATA #IMPLIED
+  description CDATA #IMPLIED
+  responsible CDATA #IMPLIED>
+
+<!ELEMENT factclasses (factclass*)>
+<!ELEMENT factclass (factatts?, methods?, sharedaggs?)>
+<!ATTLIST factclass
+  id ID #REQUIRED
+  name CDATA #REQUIRED
+  caption CDATA #IMPLIED
+  description CDATA #IMPLIED>
+
+<!ELEMENT factatts (factatt+)>
+<!ELEMENT factatt (additivity*)>
+<!ATTLIST factatt
+  id ID #REQUIRED
+  name CDATA #REQUIRED
+  type CDATA #IMPLIED
+  isoid (true|false) "false"
+  isderived (true|false) "false"
+  atomic (true|false) "true"
+  derivationrule CDATA #IMPLIED
+  description CDATA #IMPLIED>
+
+<!ELEMENT additivity EMPTY>
+<!ATTLIST additivity
+  dimclass IDREF #REQUIRED
+  isnot (true|false) "false"
+  issum (true|false) "false"
+  ismax (true|false) "false"
+  ismin (true|false) "false"
+  isavg (true|false) "false"
+  iscount (true|false) #IMPLIED>
+
+<!ELEMENT sharedaggs (sharedagg+)>
+<!ELEMENT sharedagg EMPTY>
+<!ATTLIST sharedagg
+  dimclass IDREF #REQUIRED
+  name CDATA #IMPLIED
+  description CDATA #IMPLIED
+  rolea ({multiplicity}) "M"
+  roleb ({multiplicity}) "1">
+
+<!ELEMENT methods (method+)>
+<!ELEMENT method (param*)>
+<!ATTLIST method
+  id ID #REQUIRED
+  name CDATA #REQUIRED
+  returntype CDATA #IMPLIED
+  visibility CDATA #IMPLIED
+  description CDATA #IMPLIED>
+<!ELEMENT param EMPTY>
+<!ATTLIST param
+  name CDATA #REQUIRED
+  type CDATA #IMPLIED>
+
+<!ELEMENT dimclasses (dimclass*)>
+<!ELEMENT dimclass (dimatts?, relationasocs?, asoclevels?, catlevels?,
+                    methods?)>
+<!ATTLIST dimclass
+  id ID #REQUIRED
+  name CDATA #REQUIRED
+  caption CDATA #IMPLIED
+  description CDATA #IMPLIED
+  istime (true|false) "false">
+
+<!ELEMENT dimatts (dimatt+)>
+<!ELEMENT dimatt EMPTY>
+<!ATTLIST dimatt
+  id ID #REQUIRED
+  name CDATA #REQUIRED
+  type CDATA #IMPLIED
+  oid (true|false) "false"
+  d (true|false) "false"
+  description CDATA #IMPLIED>
+
+<!ELEMENT relationasocs (relationasoc+)>
+<!ELEMENT relationasoc EMPTY>
+<!ATTLIST relationasoc
+  child IDREF #REQUIRED
+  name CDATA #IMPLIED
+  description CDATA #IMPLIED
+  rolea ({multiplicity}) "1"
+  roleb ({multiplicity}) "M"
+  completeness (true|false) #IMPLIED>
+
+<!ELEMENT asoclevels (asoclevel+)>
+<!ELEMENT asoclevel (dimatts?, relationasocs?, methods?)>
+<!ATTLIST asoclevel
+  id ID #REQUIRED
+  name CDATA #REQUIRED
+  description CDATA #IMPLIED>
+
+<!ELEMENT catlevels (catlevel+)>
+<!ELEMENT catlevel (dimatts?, relationasocs?, methods?)>
+<!ATTLIST catlevel
+  id ID #REQUIRED
+  name CDATA #REQUIRED
+  description CDATA #IMPLIED>
+
+<!ELEMENT cubeclasses (cubeclass*)>
+<!ELEMENT cubeclass (measures?, slices?, dices?)>
+<!ATTLIST cubeclass
+  id ID #REQUIRED
+  name CDATA #REQUIRED
+  fact IDREF #REQUIRED
+  description CDATA #IMPLIED>
+
+<!ELEMENT measures (measure+)>
+<!ELEMENT measure EMPTY>
+<!ATTLIST measure
+  ref IDREF #REQUIRED
+  aggregation ({aggregation}) #IMPLIED>
+
+<!ELEMENT slices (slice+)>
+<!ELEMENT slice EMPTY>
+<!ATTLIST slice
+  attribute CDATA #REQUIRED
+  operator ({operator}) #REQUIRED
+  value CDATA #REQUIRED>
+
+<!ELEMENT dices (dice+)>
+<!ELEMENT dice EMPTY>
+<!ATTLIST dice
+  dimclass IDREF #REQUIRED
+  level IDREF #REQUIRED>
+"""

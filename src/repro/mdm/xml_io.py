@@ -1,0 +1,512 @@
+"""Model ↔ XML document conversion (the CASE tool's storage format, §3.2).
+
+``model_to_document`` produces exactly the structure the paper's XML
+Schema prescribes — ``goldmodel`` root with ``factclasses`` /
+``dimclasses`` / ``cubeclasses`` sections, plural grouping tags, boolean
+and date attributes — and ``document_to_model`` parses it back, so
+models round-trip losslessly through their XML representation.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from ..xml.dom import Document, Element
+from ..xml.parser import parse as parse_xml
+from .cubes import CubeClass, DiceGrouping, SliceCondition
+from .dimensions import (
+    AssociationRelation,
+    DimensionAttribute,
+    DimensionClass,
+    Level,
+)
+from .enums import AggregationKind, Multiplicity, Operator
+from .errors import ModelStructureError
+from .facts import Additivity, FactAttribute, FactClass, SharedAggregation
+from .methods import Method, Parameter
+from .model import GoldModel
+
+__all__ = ["model_to_document", "model_to_xml", "document_to_model",
+           "xml_to_model"]
+
+
+def _bool(value: bool) -> str:
+    return "true" if value else "false"
+
+
+def _parse_bool(text: str | None, default: bool = False) -> bool:
+    if text is None:
+        return default
+    return text == "true" or text == "1"
+
+
+def _parse_date(text: str | None) -> date | None:
+    return date.fromisoformat(text) if text else None
+
+
+# -- writing -----------------------------------------------------------------
+
+
+def model_to_document(model: GoldModel) -> Document:
+    """Serialize *model* into a DOM document per the goldmodel schema."""
+    document = Document()
+    root = Element("goldmodel")
+    root.set_attribute("id", model.id)
+    root.set_attribute("name", model.name)
+    root.set_attribute("showatts", _bool(model.show_attributes))
+    root.set_attribute("showmethods", _bool(model.show_methods))
+    if model.creation_date:
+        root.set_attribute("creationdate", model.creation_date.isoformat())
+    if model.last_modified:
+        root.set_attribute("lastmodified", model.last_modified.isoformat())
+    if model.description:
+        root.set_attribute("description", model.description)
+    if model.responsible:
+        root.set_attribute("responsible", model.responsible)
+    document.append_child(root)
+
+    fact_classes = root.append_child(Element("factclasses"))
+    for fact in model.facts:
+        fact_classes.append_child(_write_fact(fact))
+    dim_classes = root.append_child(Element("dimclasses"))
+    for dimension in model.dimensions:
+        dim_classes.append_child(_write_dimension(dimension))
+    if model.cubes:
+        cube_classes = root.append_child(Element("cubeclasses"))
+        for cube in model.cubes:
+            cube_classes.append_child(_write_cube(cube))
+    return document
+
+
+def model_to_xml(model: GoldModel) -> str:
+    """Serialize *model* to XML text."""
+    from ..xml.serializer import pretty_print
+
+    return pretty_print(model_to_document(model))
+
+
+def _write_fact(fact: FactClass) -> Element:
+    element = Element("factclass")
+    element.set_attribute("id", fact.id)
+    element.set_attribute("name", fact.name)
+    if fact.caption:
+        element.set_attribute("caption", fact.caption)
+    if fact.description:
+        element.set_attribute("description", fact.description)
+    if fact.attributes:
+        atts = element.append_child(Element("factatts"))
+        for attribute in fact.attributes:
+            atts.append_child(_write_fact_attribute(attribute))
+    if fact.methods:
+        element.append_child(_write_methods(fact.methods))
+    if fact.aggregations:
+        aggs = element.append_child(Element("sharedaggs"))
+        for aggregation in fact.aggregations:
+            aggs.append_child(_write_aggregation(aggregation))
+    return element
+
+
+def _write_fact_attribute(attribute: FactAttribute) -> Element:
+    element = Element("factatt")
+    element.set_attribute("id", attribute.id)
+    element.set_attribute("name", attribute.name)
+    element.set_attribute("type", attribute.type)
+    element.set_attribute("isoid", _bool(attribute.is_oid))
+    element.set_attribute("isderived", _bool(attribute.is_derived))
+    element.set_attribute("atomic", _bool(attribute.atomic))
+    if attribute.derivation_rule:
+        element.set_attribute("derivationrule", attribute.derivation_rule)
+    if attribute.description:
+        element.set_attribute("description", attribute.description)
+    for rule in attribute.additivity:
+        child = Element("additivity")
+        child.set_attribute("dimclass", rule.dimension)
+        child.set_attribute("isnot", _bool(rule.is_not))
+        child.set_attribute("issum", _bool(rule.is_sum))
+        child.set_attribute("ismax", _bool(rule.is_max))
+        child.set_attribute("ismin", _bool(rule.is_min))
+        child.set_attribute("isavg", _bool(rule.is_avg))
+        child.set_attribute("iscount", _bool(rule.is_count))
+        element.append_child(child)
+    return element
+
+
+def _write_aggregation(aggregation: SharedAggregation) -> Element:
+    element = Element("sharedagg")
+    element.set_attribute("dimclass", aggregation.dimension)
+    if aggregation.name:
+        element.set_attribute("name", aggregation.name)
+    if aggregation.description:
+        element.set_attribute("description", aggregation.description)
+    element.set_attribute("rolea", aggregation.role_a.value)
+    element.set_attribute("roleb", aggregation.role_b.value)
+    return element
+
+
+def _write_methods(methods: list[Method]) -> Element:
+    element = Element("methods")
+    for method in methods:
+        child = Element("method")
+        child.set_attribute("id", method.id)
+        child.set_attribute("name", method.name)
+        child.set_attribute("returntype", method.return_type)
+        child.set_attribute("visibility", method.visibility)
+        if method.description:
+            child.set_attribute("description", method.description)
+        for parameter in method.parameters:
+            param = Element("param")
+            param.set_attribute("name", parameter.name)
+            param.set_attribute("type", parameter.type)
+            child.append_child(param)
+        element.append_child(child)
+    return element
+
+
+def _write_dim_attributes(attributes: list[DimensionAttribute]) -> Element:
+    element = Element("dimatts")
+    for attribute in attributes:
+        child = Element("dimatt")
+        child.set_attribute("id", attribute.id)
+        child.set_attribute("name", attribute.name)
+        child.set_attribute("type", attribute.type)
+        child.set_attribute("oid", _bool(attribute.is_oid))
+        child.set_attribute("d", _bool(attribute.is_descriptor))
+        if attribute.description:
+            child.set_attribute("description", attribute.description)
+        element.append_child(child)
+    return element
+
+
+def _write_relations(relations: list[AssociationRelation]) -> Element:
+    element = Element("relationasocs")
+    for relation in relations:
+        child = Element("relationasoc")
+        child.set_attribute("child", relation.child)
+        if relation.name:
+            child.set_attribute("name", relation.name)
+        if relation.description:
+            child.set_attribute("description", relation.description)
+        child.set_attribute("rolea", relation.role_a.value)
+        child.set_attribute("roleb", relation.role_b.value)
+        if relation.completeness is not None:
+            child.set_attribute("completeness",
+                                _bool(relation.completeness))
+        element.append_child(child)
+    return element
+
+
+def _write_level(level: Level, tag: str) -> Element:
+    element = Element(tag)
+    element.set_attribute("id", level.id)
+    element.set_attribute("name", level.name)
+    if level.description:
+        element.set_attribute("description", level.description)
+    if level.attributes:
+        element.append_child(_write_dim_attributes(level.attributes))
+    if level.relations:
+        element.append_child(_write_relations(level.relations))
+    if level.methods:
+        element.append_child(_write_methods(level.methods))
+    return element
+
+
+def _write_dimension(dimension: DimensionClass) -> Element:
+    element = Element("dimclass")
+    element.set_attribute("id", dimension.id)
+    element.set_attribute("name", dimension.name)
+    if dimension.caption:
+        element.set_attribute("caption", dimension.caption)
+    if dimension.description:
+        element.set_attribute("description", dimension.description)
+    element.set_attribute("istime", _bool(dimension.is_time))
+    if dimension.attributes:
+        element.append_child(_write_dim_attributes(dimension.attributes))
+    if dimension.relations:
+        element.append_child(_write_relations(dimension.relations))
+    if dimension.levels:
+        levels = element.append_child(Element("asoclevels"))
+        for level in dimension.levels:
+            levels.append_child(_write_level(level, "asoclevel"))
+    if dimension.categorization_levels:
+        levels = element.append_child(Element("catlevels"))
+        for level in dimension.categorization_levels:
+            levels.append_child(_write_level(level, "catlevel"))
+    if dimension.methods:
+        element.append_child(_write_methods(dimension.methods))
+    return element
+
+
+def _write_cube(cube: CubeClass) -> Element:
+    element = Element("cubeclass")
+    element.set_attribute("id", cube.id)
+    element.set_attribute("name", cube.name)
+    element.set_attribute("fact", cube.fact)
+    if cube.description:
+        element.set_attribute("description", cube.description)
+    if cube.measures:
+        measures = element.append_child(Element("measures"))
+        for index, measure in enumerate(cube.measures):
+            child = Element("measure")
+            child.set_attribute("ref", measure)
+            if cube.aggregations:
+                child.set_attribute("aggregation",
+                                    cube.aggregations[index].value)
+            measures.append_child(child)
+    if cube.slices:
+        slices = element.append_child(Element("slices"))
+        for condition in cube.slices:
+            child = Element("slice")
+            child.set_attribute("attribute", condition.attribute)
+            child.set_attribute("operator", condition.operator.value)
+            child.set_attribute("value", _slice_value_text(condition.value))
+            slices.append_child(child)
+    if cube.dices:
+        dices = element.append_child(Element("dices"))
+        for grouping in cube.dices:
+            child = Element("dice")
+            child.set_attribute("dimclass", grouping.dimension)
+            child.set_attribute("level", grouping.level)
+            dices.append_child(child)
+    return element
+
+
+def _slice_value_text(value: object) -> str:
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return ",".join(str(v) for v in value)
+    return str(value)
+
+
+# -- reading -------------------------------------------------------------------
+
+
+def document_to_model(document: Document) -> GoldModel:
+    """Parse a goldmodel DOM document back into a :class:`GoldModel`."""
+    root = document.root_element
+    if root is None or root.name != "goldmodel":
+        raise ModelStructureError("document root must be <goldmodel>")
+    model = GoldModel(
+        id=_required(root, "id"),
+        name=_required(root, "name"),
+        show_attributes=_parse_bool(root.get_attribute("showatts"), True),
+        show_methods=_parse_bool(root.get_attribute("showmethods"), True),
+        creation_date=_parse_date(root.get_attribute("creationdate")),
+        last_modified=_parse_date(root.get_attribute("lastmodified")),
+        description=root.get_attribute("description", "") or "",
+        responsible=root.get_attribute("responsible", "") or "",
+    )
+    fact_classes = root.find("factclasses")
+    if fact_classes is not None:
+        for child in fact_classes.find_all("factclass"):
+            model.facts.append(_read_fact(child))
+    dim_classes = root.find("dimclasses")
+    if dim_classes is not None:
+        for child in dim_classes.find_all("dimclass"):
+            model.dimensions.append(_read_dimension(child))
+    cube_classes = root.find("cubeclasses")
+    if cube_classes is not None:
+        for child in cube_classes.find_all("cubeclass"):
+            model.cubes.append(_read_cube(child))
+    return model
+
+
+def xml_to_model(text: str | bytes) -> GoldModel:
+    """Parse goldmodel XML text into a :class:`GoldModel`."""
+    return document_to_model(parse_xml(text))
+
+
+def _required(element: Element, name: str) -> str:
+    value = element.get_attribute(name)
+    if value is None:
+        raise ModelStructureError(
+            f"<{element.name}> is missing the required attribute {name!r}")
+    return value
+
+
+def _read_fact(element: Element) -> FactClass:
+    fact = FactClass(
+        id=_required(element, "id"),
+        name=_required(element, "name"),
+        caption=element.get_attribute("caption", "") or "",
+        description=element.get_attribute("description", "") or "",
+    )
+    atts = element.find("factatts")
+    if atts is not None:
+        for child in atts.find_all("factatt"):
+            fact.attributes.append(_read_fact_attribute(child))
+    methods = element.find("methods")
+    if methods is not None:
+        fact.methods.extend(_read_methods(methods))
+    aggs = element.find("sharedaggs")
+    if aggs is not None:
+        for child in aggs.find_all("sharedagg"):
+            fact.aggregations.append(SharedAggregation(
+                dimension=_required(child, "dimclass"),
+                name=child.get_attribute("name", "") or "",
+                description=child.get_attribute("description", "") or "",
+                role_a=Multiplicity(child.get_attribute("rolea", "M")),
+                role_b=Multiplicity(child.get_attribute("roleb", "1")),
+            ))
+    return fact
+
+
+def _read_fact_attribute(element: Element) -> FactAttribute:
+    attribute = FactAttribute(
+        id=_required(element, "id"),
+        name=_required(element, "name"),
+        type=element.get_attribute("type", "Number") or "Number",
+        is_oid=_parse_bool(element.get_attribute("isoid")),
+        is_derived=_parse_bool(element.get_attribute("isderived")),
+        derivation_rule=element.get_attribute("derivationrule", "") or "",
+        atomic=_parse_bool(element.get_attribute("atomic"), True),
+        description=element.get_attribute("description", "") or "",
+    )
+    for child in element.find_all("additivity"):
+        attribute.additivity.append(Additivity(
+            dimension=_required(child, "dimclass"),
+            is_not=_parse_bool(child.get_attribute("isnot")),
+            is_sum=_parse_bool(child.get_attribute("issum")),
+            is_max=_parse_bool(child.get_attribute("ismax")),
+            is_min=_parse_bool(child.get_attribute("ismin")),
+            is_avg=_parse_bool(child.get_attribute("isavg")),
+            is_count=_parse_bool(child.get_attribute("iscount")),
+        ))
+    return attribute
+
+
+def _read_methods(element: Element) -> list[Method]:
+    methods = []
+    for child in element.find_all("method"):
+        methods.append(Method(
+            id=_required(child, "id"),
+            name=_required(child, "name"),
+            return_type=child.get_attribute("returntype", "void") or "void",
+            visibility=child.get_attribute("visibility", "public")
+            or "public",
+            description=child.get_attribute("description", "") or "",
+            parameters=[
+                Parameter(_required(param, "name"),
+                          param.get_attribute("type", "String") or "String")
+                for param in child.find_all("param")
+            ],
+        ))
+    return methods
+
+
+def _read_dim_attributes(element: Element) -> list[DimensionAttribute]:
+    return [
+        DimensionAttribute(
+            id=_required(child, "id"),
+            name=_required(child, "name"),
+            type=child.get_attribute("type", "String") or "String",
+            is_oid=_parse_bool(child.get_attribute("oid")),
+            is_descriptor=_parse_bool(child.get_attribute("d")),
+            description=child.get_attribute("description", "") or "",
+        )
+        for child in element.find_all("dimatt")
+    ]
+
+
+def _read_relations(element: Element) -> list[AssociationRelation]:
+    relations = []
+    for child in element.find_all("relationasoc"):
+        completeness_text = child.get_attribute("completeness")
+        relations.append(AssociationRelation(
+            child=_required(child, "child"),
+            name=child.get_attribute("name", "") or "",
+            description=child.get_attribute("description", "") or "",
+            role_a=Multiplicity(child.get_attribute("rolea", "1")),
+            role_b=Multiplicity(child.get_attribute("roleb", "M")),
+            completeness=_parse_bool(completeness_text)
+            if completeness_text is not None else None,
+        ))
+    return relations
+
+
+def _read_level(element: Element) -> Level:
+    level = Level(
+        id=_required(element, "id"),
+        name=_required(element, "name"),
+        description=element.get_attribute("description", "") or "",
+    )
+    atts = element.find("dimatts")
+    if atts is not None:
+        level.attributes.extend(_read_dim_attributes(atts))
+    relations = element.find("relationasocs")
+    if relations is not None:
+        level.relations.extend(_read_relations(relations))
+    methods = element.find("methods")
+    if methods is not None:
+        level.methods.extend(_read_methods(methods))
+    return level
+
+
+def _read_dimension(element: Element) -> DimensionClass:
+    dimension = DimensionClass(
+        id=_required(element, "id"),
+        name=_required(element, "name"),
+        caption=element.get_attribute("caption", "") or "",
+        description=element.get_attribute("description", "") or "",
+        is_time=_parse_bool(element.get_attribute("istime")),
+    )
+    atts = element.find("dimatts")
+    if atts is not None:
+        dimension.attributes.extend(_read_dim_attributes(atts))
+    relations = element.find("relationasocs")
+    if relations is not None:
+        dimension.relations.extend(_read_relations(relations))
+    levels = element.find("asoclevels")
+    if levels is not None:
+        for child in levels.find_all("asoclevel"):
+            dimension.levels.append(_read_level(child))
+    categorizations = element.find("catlevels")
+    if categorizations is not None:
+        for child in categorizations.find_all("catlevel"):
+            dimension.categorization_levels.append(_read_level(child))
+    methods = element.find("methods")
+    if methods is not None:
+        dimension.methods.extend(_read_methods(methods))
+    return dimension
+
+
+def _read_cube(element: Element) -> CubeClass:
+    measures: list[str] = []
+    aggregations: list[AggregationKind] = []
+    measures_el = element.find("measures")
+    if measures_el is not None:
+        for child in measures_el.find_all("measure"):
+            measures.append(_required(child, "ref"))
+            aggregation = child.get_attribute("aggregation")
+            if aggregation:
+                aggregations.append(AggregationKind(aggregation))
+    slices: list[SliceCondition] = []
+    slices_el = element.find("slices")
+    if slices_el is not None:
+        for child in slices_el.find_all("slice"):
+            operator = Operator(_required(child, "operator"))
+            raw = _required(child, "value")
+            value: object = raw
+            if operator in (Operator.IN, Operator.NOTIN):
+                value = tuple(raw.split(","))
+            slices.append(SliceCondition(
+                attribute=_required(child, "attribute"),
+                operator=operator, value=value))
+    dices: list[DiceGrouping] = []
+    dices_el = element.find("dices")
+    if dices_el is not None:
+        for child in dices_el.find_all("dice"):
+            dices.append(DiceGrouping(
+                dimension=_required(child, "dimclass"),
+                level=_required(child, "level")))
+    if aggregations and len(aggregations) != len(measures):
+        raise ModelStructureError(
+            "cube measures must either all or none carry an aggregation")
+    return CubeClass(
+        id=_required(element, "id"),
+        name=_required(element, "name"),
+        fact=_required(element, "fact"),
+        measures=tuple(measures),
+        aggregations=tuple(aggregations),
+        slices=tuple(slices),
+        dices=tuple(dices),
+        description=element.get_attribute("description", "") or "",
+    )

@@ -1,0 +1,30 @@
+"""OLAP execution substrate: the "commercial OLAP tool" stand-in.
+
+Star-schema storage, synthetic data generation, a cube-class execution
+engine enforcing additivity rules, and SQL DDL export (star and
+snowflake layouts).
+"""
+
+from .dataexport import star_data_sql
+from .engine import AdditivityError, CubeEngine, CubeResult, execute_cube
+from .loader import generate_facts, populate_dimension, populate_star
+from .sqlgen import snowflake_schema_sql, star_schema_sql
+from .star import DimensionData, FactRow, FactTable, Member, StarSchema
+
+__all__ = [
+    "star_data_sql",
+    "AdditivityError",
+    "CubeEngine",
+    "CubeResult",
+    "execute_cube",
+    "generate_facts",
+    "populate_dimension",
+    "populate_star",
+    "snowflake_schema_sql",
+    "star_schema_sql",
+    "DimensionData",
+    "FactRow",
+    "FactTable",
+    "Member",
+    "StarSchema",
+]

@@ -1,0 +1,125 @@
+"""Exporting populated star schemas as SQL data (INSERT statements).
+
+Completes the "commercial OLAP tool" export path: :mod:`repro.olap.sqlgen`
+emits the DDL, this module emits the data — denormalised dimension rows
+(hierarchy attributes flattened in via :meth:`DimensionData.ancestors_at`),
+fact rows with surrogate keys, and bridge rows for many-to-many
+dimensions and non-strict fan-outs.
+
+The output is deterministic: members and rows are emitted in insertion
+order, surrogate keys are dense integers starting at 1.
+"""
+
+from __future__ import annotations
+
+from ..mdm.dimensions import DimensionClass
+from ..mdm.model import GoldModel
+from .sqlgen import _identifier
+from .star import DimensionData, StarSchema
+
+__all__ = ["star_data_sql"]
+
+
+def _literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return str(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def star_data_sql(star: StarSchema) -> str:
+    """INSERT statements loading *star* into the star-layout DDL."""
+    statements: list[str] = [
+        f"-- Data export for model: {star.model.name}"]
+    surrogate_keys: dict[str, dict[object, int]] = {}
+
+    for dimension in star.model.dimensions:
+        data = star.dimensions[dimension.id]
+        keys = _dimension_inserts(dimension, data, statements)
+        surrogate_keys[dimension.id] = keys
+
+    for fact in star.model.facts:
+        _fact_inserts(star.model, fact, star, surrogate_keys, statements)
+    return "\n".join(statements) + "\n"
+
+
+def _dimension_inserts(dimension: DimensionClass, data: DimensionData,
+                       statements: list[str]) -> dict[object, int]:
+    table = f"dim_{_identifier(dimension.name)}"
+    columns = [f"{table}_key"]
+    columns += [_identifier(a.name) for a in dimension.attributes]
+    level_attribute_columns: list[tuple[str, str, str]] = []
+    for level in dimension.levels:
+        prefix = _identifier(level.name)
+        for attribute in level.attributes:
+            column = f"{prefix}_{_identifier(attribute.name)}"
+            columns.append(column)
+            level_attribute_columns.append(
+                (level.id, attribute.name, column))
+
+    statements.append(f"-- members of dimension {dimension.name}")
+    surrogate: dict[object, int] = {}
+    for index, (key, member) in enumerate(
+            data.members(dimension.id).items(), start=1):
+        surrogate[key] = index
+        values: list[object] = [index]
+        values += [member.attributes.get(a.name)
+                   for a in dimension.attributes]
+        # Flatten hierarchy values; ambiguous (non-strict) ancestors take
+        # the first, the bridge table carries the rest.
+        ancestor_cache: dict[str, list] = {}
+        for level_id, attribute_name, _column in level_attribute_columns:
+            ancestors = ancestor_cache.get(level_id)
+            if ancestors is None:
+                ancestors = data.ancestors_at(key, level_id)
+                ancestor_cache[level_id] = ancestors
+            values.append(
+                ancestors[0].attributes.get(attribute_name)
+                if ancestors else None)
+        rendered = ", ".join(_literal(v) for v in values)
+        statements.append(
+            f"INSERT INTO {table} ({', '.join(columns)}) "
+            f"VALUES ({rendered});")
+    return surrogate
+
+
+def _fact_inserts(model: GoldModel, fact, star: StarSchema,
+                  surrogate_keys: dict[str, dict[object, int]],
+                  statements: list[str]) -> None:
+    table = f"fact_{_identifier(fact.name)}"
+    fk_aggregations = [a for a in fact.aggregations if not a.many_to_many]
+    mn_aggregations = [a for a in fact.aggregations if a.many_to_many]
+
+    columns: list[str] = []
+    for aggregation in fk_aggregations:
+        dimension = model.dimension_class(aggregation.dimension)
+        columns.append(f"dim_{_identifier(dimension.name)}_key")
+    columns += [_identifier(a.name) for a in fact.attributes]
+
+    statements.append(f"-- rows of fact {fact.name}")
+    for row_number, row in enumerate(star.facts[fact.id].rows, start=1):
+        values: list[object] = []
+        for aggregation in fk_aggregations:
+            member_keys = row.member_keys(aggregation.dimension)
+            values.append(
+                surrogate_keys[aggregation.dimension].get(member_keys[0])
+                if member_keys else None)
+        values += [row.values.get(a.name) for a in fact.attributes]
+        rendered = ", ".join(_literal(v) for v in values)
+        statements.append(
+            f"INSERT INTO {table} ({', '.join(columns)}) "
+            f"VALUES ({rendered});")
+        for aggregation in mn_aggregations:
+            dimension = model.dimension_class(aggregation.dimension)
+            bridge = f"{table}_{_identifier(dimension.name)}_bridge"
+            for member_key in row.member_keys(aggregation.dimension):
+                surrogate = surrogate_keys[aggregation.dimension].get(
+                    member_key)
+                statements.append(
+                    f"INSERT INTO {bridge} ({table}_row, "
+                    f"dim_{_identifier(dimension.name)}_key) "
+                    f"VALUES ({row_number}, {_literal(surrogate)});")

@@ -1,0 +1,315 @@
+"""Executing cube classes against a star schema.
+
+Implements the OLAP semantics the GOLD model prescribes:
+
+* **dice** groups fact rows by their ancestors at the requested levels —
+  following the classification DAG, so alternative paths, non-strict
+  relationships (a row then contributes to *every* parent group) and
+  non-complete hierarchies (rows without an ancestor fall into the
+  ``None`` group) behave per §2;
+* **slice** filters on fact attributes (``Fact.attr`` or just ``attr``)
+  and on dimension attributes at any level
+  (``Dimension.attribute`` / ``Dimension.Level.attribute``);
+* **additivity rules are enforced**: aggregating a measure along a
+  dimension with a function its rules forbid raises
+  :class:`AdditivityError` — the machine-checkable version of the
+  paper's "additive rules are defined as constraints".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..mdm.cubes import CubeClass, SliceCondition
+from ..mdm.enums import AggregationKind
+from ..mdm.errors import ModelError, ModelReferenceError
+from ..mdm.model import GoldModel
+from .star import FactRow, StarSchema
+
+__all__ = ["AdditivityError", "CubeResult", "execute_cube", "CubeEngine"]
+
+
+class AdditivityError(ModelError):
+    """An aggregation violates a measure's additivity rules."""
+
+
+@dataclass
+class CubeResult:
+    """The table a cube class evaluates to.
+
+    ``group_levels`` names the dice levels (column headers);
+    ``rows`` maps group-key tuples to ``{measure_name: value}``.
+    """
+
+    cube: CubeClass
+    group_levels: tuple[str, ...]
+    measure_names: tuple[str, ...]
+    rows: dict[tuple, dict[str, object]] = field(default_factory=dict)
+    #: Fact rows that were excluded by slice conditions.
+    sliced_out: int = 0
+
+    def to_rows(self) -> list[tuple]:
+        """Sorted ``(group..., measure values...)`` tuples."""
+        out = []
+        for key in sorted(self.rows, key=_sort_key):
+            values = self.rows[key]
+            out.append(key + tuple(values[m] for m in self.measure_names))
+        return out
+
+    def pretty(self) -> str:
+        """A fixed-width table for terminal display."""
+        headers = self.group_levels + self.measure_names
+        body = [tuple(str(v) for v in row) for row in self.to_rows()]
+        widths = [
+            max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _sort_key(key: tuple):
+    return tuple((v is None, str(v)) for v in key)
+
+
+def execute_cube(cube: CubeClass, star: StarSchema) -> CubeResult:
+    """Evaluate *cube* against *star*; enforces additivity rules."""
+    return CubeEngine(star).execute(cube)
+
+
+class CubeEngine:
+    """A reusable executor bound to one star schema."""
+
+    def __init__(self, star: StarSchema) -> None:
+        self.star = star
+        self.model: GoldModel = star.model
+
+    # -- entry ----------------------------------------------------------------
+
+    def execute(self, cube: CubeClass) -> CubeResult:
+        # Additivity problems get their dedicated error type; everything
+        # else (dangling refs) surfaces as ModelReferenceError.
+        self._check_additivity(cube)
+        problems = cube.check_against(self.model)
+        if problems:
+            raise ModelReferenceError("; ".join(problems))
+
+        fact = self.model.fact_class(cube.fact)
+        table = self.star.fact_table(fact.id)
+        measure_names = tuple(
+            fact.attribute(ref).name for ref in cube.measures)
+
+        group_levels = tuple(
+            self._level_label(d.dimension, d.level) for d in cube.dices)
+
+        fact_conditions, dim_conditions = self._split_slices(cube, fact)
+
+        # Pre-filter dimension members named by slice conditions.
+        allowed_members = self._allowed_members(dim_conditions)
+
+        accumulators: dict[tuple, list[_Accumulator]] = {}
+        sliced_out = 0
+        for row in table.rows:
+            if not self._passes_fact_slices(row, fact, fact_conditions):
+                sliced_out += 1
+                continue
+            if allowed_members is not None and \
+                    not self._passes_member_slices(row, allowed_members):
+                sliced_out += 1
+                continue
+            for key in self._group_keys(row, cube):
+                slot = accumulators.get(key)
+                if slot is None:
+                    slot = [
+                        _Accumulator(cube.aggregation_for(ref))
+                        for ref in cube.measures
+                    ]
+                    accumulators[key] = slot
+                for accumulator, ref in zip(slot, cube.measures):
+                    name = fact.attribute(ref).name
+                    value = row.values.get(name)
+                    accumulator.feed(value)
+
+        result = CubeResult(cube=cube, group_levels=group_levels,
+                            measure_names=measure_names,
+                            sliced_out=sliced_out)
+        for key, slot in accumulators.items():
+            result.rows[key] = {
+                name: accumulator.value()
+                for name, accumulator in zip(measure_names, slot)
+            }
+        return result
+
+    # -- additivity ------------------------------------------------------------------
+
+    def _check_additivity(self, cube: CubeClass) -> None:
+        fact = self.model.fact_class(cube.fact)
+        for dice in cube.dices:
+            dimension = self.model.dimension_class(dice.dimension)
+            for ref in cube.measures:
+                attribute = fact.attribute(ref)
+                kind = cube.aggregation_for(ref)
+                if kind not in attribute.allowed_aggregations(dimension.id):
+                    raise AdditivityError(
+                        f"measure {attribute.name!r} may not be aggregated "
+                        f"with {kind.value} along dimension "
+                        f"{dimension.name!r} (additivity rule)")
+
+    # -- grouping ---------------------------------------------------------------------
+
+    def _level_label(self, dimension_ref: str, level_ref: str) -> str:
+        dimension = self.model.dimension_class(dimension_ref)
+        if level_ref in (dimension.id, dimension.name):
+            return dimension.name
+        return f"{dimension.name}.{dimension.level(level_ref).name}"
+
+    def _group_keys(self, row: FactRow, cube: CubeClass
+                    ) -> Iterable[tuple]:
+        # Each dice axis yields one or more coordinates (non-strict or
+        # many-to-many fan-out); the row contributes to every combination.
+        per_axis: list[list[object]] = []
+        for dice in cube.dices:
+            dimension = self.model.dimension_class(dice.dimension)
+            data = self.star.dimensions[dimension.id]
+            coordinates: list[object] = []
+            for base_key in row.member_keys(dimension.id):
+                if dice.level in (dimension.id, dimension.name):
+                    coordinates.append(base_key)
+                    continue
+                ancestors = data.ancestors_at(base_key, dice.level)
+                if ancestors:
+                    coordinates.extend(a.key for a in ancestors)
+                else:
+                    # Non-complete hierarchy: group under None.
+                    coordinates.append(None)
+            per_axis.append(sorted(set(coordinates), key=lambda v:
+                            (v is None, str(v))) or [None])
+
+        if not per_axis:
+            yield ()
+            return
+        yield from _product(per_axis)
+
+    # -- slicing -----------------------------------------------------------------------
+
+    def _split_slices(self, cube: CubeClass, fact):
+        fact_conditions: list[SliceCondition] = []
+        dim_conditions: list[tuple[str, str | None, str, SliceCondition]] = []
+        for condition in cube.slices:
+            parts = condition.attribute.split(".")
+            if len(parts) == 1 or parts[0] in (fact.id, fact.name):
+                fact_conditions.append(condition)
+                continue
+            dimension = self.model.dimension_class(parts[0])
+            if len(parts) == 2:
+                dim_conditions.append(
+                    (dimension.id, None, parts[1], condition))
+            elif len(parts) == 3:
+                level = dimension.level(parts[1])
+                dim_conditions.append(
+                    (dimension.id, level.id, parts[2], condition))
+            else:
+                raise ModelReferenceError(
+                    f"cannot resolve slice attribute "
+                    f"{condition.attribute!r}")
+        return fact_conditions, dim_conditions
+
+    def _passes_fact_slices(self, row: FactRow, fact,
+                            conditions: list[SliceCondition]) -> bool:
+        for condition in conditions:
+            name = condition.attribute.split(".")[-1]
+            attribute = fact.attribute(name)
+            value = row.values.get(attribute.name)
+            if not condition.operator.apply(value, condition.value):
+                return False
+        return True
+
+    def _allowed_members(self, dim_conditions) -> dict[str, set] | None:
+        """Base-level member keys allowed per dimension, or None (no slices)."""
+        if not dim_conditions:
+            return None
+        allowed: dict[str, set] = {}
+        for dimension_id, level_id, attr_name, condition in dim_conditions:
+            data = self.star.dimensions[dimension_id]
+            base_members = data.members(dimension_id)
+            keys: set = set()
+            if level_id is None:
+                for key, member in base_members.items():
+                    value = member.attributes.get(attr_name)
+                    if condition.operator.apply(value, condition.value):
+                        keys.add(key)
+            else:
+                # Keep base members whose ancestor at the level matches.
+                for key in base_members:
+                    for ancestor in data.ancestors_at(key, level_id):
+                        value = ancestor.attributes.get(attr_name)
+                        if condition.operator.apply(value, condition.value):
+                            keys.add(key)
+                            break
+            if dimension_id in allowed:
+                allowed[dimension_id] &= keys
+            else:
+                allowed[dimension_id] = keys
+        return allowed
+
+    def _passes_member_slices(self, row: FactRow,
+                              allowed: dict[str, set]) -> bool:
+        for dimension_id, keys in allowed.items():
+            member_keys = row.member_keys(dimension_id)
+            if member_keys and not any(k in keys for k in member_keys):
+                return False
+        return True
+
+
+def _product(axes: list[list[object]]) -> Iterable[tuple]:
+    if not axes:
+        yield ()
+        return
+    head, *rest = axes
+    for value in head:
+        for tail in _product(rest):
+            yield (value,) + tail
+
+
+class _Accumulator:
+    """Streaming aggregation for one measure in one group."""
+
+    __slots__ = ("kind", "_sum", "_count", "_min", "_max")
+
+    def __init__(self, kind: AggregationKind) -> None:
+        self.kind = kind
+        self._sum = 0.0
+        self._count = 0
+        self._min: object = None
+        self._max: object = None
+
+    def feed(self, value: object) -> None:
+        if value is None:
+            return
+        self._count += 1
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self._sum += value
+        if self._min is None or value < self._min:  # type: ignore[operator]
+            self._min = value
+        if self._max is None or value > self._max:  # type: ignore[operator]
+            self._max = value
+
+    def value(self) -> object:
+        if self.kind is AggregationKind.COUNT:
+            return self._count
+        if self.kind is AggregationKind.SUM:
+            return self._sum
+        if self.kind is AggregationKind.MIN:
+            return self._min
+        if self.kind is AggregationKind.MAX:
+            return self._max
+        if self.kind is AggregationKind.AVG:
+            return self._sum / self._count if self._count else math.nan
+        raise AssertionError(self.kind)  # pragma: no cover

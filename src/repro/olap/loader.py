@@ -1,0 +1,147 @@
+"""Synthetic data generation for star schemas.
+
+Populates a :class:`~repro.olap.star.StarSchema` with deterministic,
+seeded data: dimension members are created bottom-up along each
+classification hierarchy (respecting strict/non-strict edges — a member
+under a non-strict relationship gets *two* parents with some
+probability), and fact rows draw random coordinates and measure values.
+
+Deterministic seeding keeps tests and benchmarks reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from ..mdm.dimensions import DimensionClass
+from ..mdm.model import GoldModel
+from .star import DimensionData, StarSchema
+
+__all__ = ["populate_star", "populate_dimension", "generate_facts"]
+
+
+def populate_star(model: GoldModel, *, members_per_level: int = 10,
+                  rows_per_fact: int = 1000, seed: int = 2002,
+                  non_strict_fanout: float = 0.3) -> StarSchema:
+    """Build and fully populate a star schema for *model*."""
+    rng = random.Random(seed)
+    star = StarSchema(model)
+    for dimension in model.dimensions:
+        populate_dimension(star.dimensions[dimension.id],
+                           members_per_level=members_per_level, rng=rng,
+                           non_strict_fanout=non_strict_fanout)
+    for fact in model.facts:
+        generate_facts(star, fact.id, rows=rows_per_fact, rng=rng)
+    return star
+
+
+def populate_dimension(data: DimensionData, *, members_per_level: int = 10,
+                       rng: random.Random | None = None,
+                       non_strict_fanout: float = 0.3) -> None:
+    """Create members for every level of *data*'s dimension."""
+    rng = rng or random.Random(0)
+    dimension = data.dimension
+
+    # Topological order: create coarser levels before finer ones so
+    # parent keys exist when the finer members reference them.
+    order = _coarse_to_fine(dimension)
+    counts: dict[str, int] = {}
+
+    for level_id in order:
+        if level_id == dimension.id:
+            count = members_per_level * 2  # base grain is finer
+            attributes = dimension.attributes
+            relations = dimension.relations
+            name = dimension.name
+        else:
+            level = dimension.level(level_id)
+            count = max(2, members_per_level)
+            attributes = level.attributes
+            relations = level.relations
+            name = level.name
+        counts[level_id] = count
+
+        for index in range(count):
+            key = f"{level_id}-{index}"
+            values: dict[str, object] = {}
+            for attribute in attributes:
+                if attribute.is_oid:
+                    values[attribute.name] = key
+                elif attribute.type in ("Number", "Integer"):
+                    values[attribute.name] = rng.randint(0, 1000)
+                else:
+                    values[attribute.name] = f"{name} {index}"
+            parents: dict[str, list[object]] = {}
+            for relation in relations:
+                parent_count = counts.get(relation.child)
+                if not parent_count:
+                    continue
+                first = rng.randrange(parent_count)
+                keys = [f"{relation.child}-{first}"]
+                if not relation.strict and rng.random() < non_strict_fanout:
+                    second = (first + 1) % parent_count
+                    keys.append(f"{relation.child}-{second}")
+                parents[relation.child] = keys
+            data.add_member(level_id, key, values, parents)
+
+
+def _coarse_to_fine(dimension: DimensionClass) -> list[str]:
+    """Level ids ordered so every relation target precedes its source."""
+    edges = dimension.hierarchy_edges()
+    nodes = [dimension.id] + [lv.id for lv in dimension.iter_levels()]
+    dependents: dict[str, list[str]] = {node: [] for node in nodes}
+    indegree = {node: 0 for node in nodes}
+    for source, target, _relation in edges:
+        if target in dependents:
+            dependents[target].append(source)
+            indegree[source] += 1
+    ready = [node for node in nodes if indegree[node] == 0]
+    order: list[str] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for dependent in dependents.get(node, []):
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                ready.append(dependent)
+    # Cycles would have been rejected by validate_model; fall back to the
+    # declaration order for robustness.
+    for node in nodes:
+        if node not in order:
+            order.append(node)
+    return order
+
+
+def generate_facts(star: StarSchema, fact_ref: str, *, rows: int = 1000,
+                   rng: random.Random | None = None,
+                   measure_ranges: Mapping[str, tuple[float, float]]
+                   | None = None) -> None:
+    """Append *rows* random fact rows for *fact_ref*."""
+    rng = rng or random.Random(0)
+    fact = star.model.fact_class(fact_ref)
+    table = star.facts[fact.id]
+    base_keys = {
+        aggregation.dimension: list(
+            star.dimensions[aggregation.dimension].members(
+                star.dimensions[aggregation.dimension].dimension.id))
+        for aggregation in fact.aggregations
+    }
+    for index in range(rows):
+        coordinates: dict[str, object] = {}
+        for aggregation in fact.aggregations:
+            keys = base_keys[aggregation.dimension]
+            if aggregation.many_to_many and rng.random() < 0.3:
+                picked = rng.sample(keys, k=min(2, len(keys)))
+                coordinates[aggregation.dimension] = picked
+            else:
+                coordinates[aggregation.dimension] = rng.choice(keys)
+        values: dict[str, object] = {}
+        for attribute in fact.attributes:
+            if attribute.is_oid:
+                values[attribute.name] = index
+            else:
+                low, high = (measure_ranges or {}).get(
+                    attribute.name, (0.0, 100.0))
+                values[attribute.name] = round(rng.uniform(low, high), 2)
+        table.append(coordinates, values)

@@ -1,0 +1,191 @@
+"""Star / snowflake DDL export — the "commercial OLAP tool" target.
+
+The paper's CASE tool "semi-automatically generates the implementation of
+a MD model into a target commercial OLAP tool" (§1, footnote).  This
+module is that export path with SQL as the target: it derives relational
+schemas from a GOLD model in two classic layouts,
+
+* **star** — one denormalised table per dimension (all hierarchy level
+  attributes flattened in), one table per fact with foreign keys into the
+  dimension tables; many-to-many dimensions get a bridge table;
+* **snowflake** — one table per hierarchy level with foreign keys along
+  the classification relationships.
+
+Names are lower-cased identifiers derived from class names.
+"""
+
+from __future__ import annotations
+
+from ..mdm.dimensions import DimensionClass, Level
+from ..mdm.facts import FactClass
+from ..mdm.model import GoldModel
+
+__all__ = ["star_schema_sql", "snowflake_schema_sql"]
+
+_TYPE_MAP = {
+    "number": "NUMERIC",
+    "integer": "INTEGER",
+    "string": "VARCHAR(255)",
+    "date": "DATE",
+    "boolean": "BOOLEAN",
+}
+
+
+def _sql_type(model_type: str) -> str:
+    return _TYPE_MAP.get(model_type.lower(), "VARCHAR(255)")
+
+
+def _identifier(name: str) -> str:
+    out = "".join(ch.lower() if ch.isalnum() else "_" for ch in name)
+    return out.strip("_") or "t"
+
+
+def star_schema_sql(model: GoldModel) -> str:
+    """DDL for the denormalised star layout."""
+    statements: list[str] = [f"-- Star schema for model: {model.name}"]
+    for dimension in model.dimensions:
+        statements.append(_star_dimension_table(dimension))
+    for fact in model.facts:
+        statements.append(_fact_table(model, fact, snowflake=False))
+        statements.extend(_bridge_tables(model, fact))
+    return "\n\n".join(statements) + "\n"
+
+
+def snowflake_schema_sql(model: GoldModel) -> str:
+    """DDL for the normalised snowflake layout."""
+    statements: list[str] = [f"-- Snowflake schema for model: {model.name}"]
+    for dimension in model.dimensions:
+        for level in dimension.levels:
+            statements.append(_level_table(dimension, level))
+        statements.append(_snowflake_dimension_table(dimension))
+    for fact in model.facts:
+        statements.append(_fact_table(model, fact, snowflake=True))
+        statements.extend(_bridge_tables(model, fact))
+    return "\n\n".join(statements) + "\n"
+
+
+def _star_dimension_table(dimension: DimensionClass) -> str:
+    table = f"dim_{_identifier(dimension.name)}"
+    columns = [f"  {table}_key INTEGER PRIMARY KEY"]
+    for attribute in dimension.attributes:
+        columns.append(
+            f"  {_identifier(attribute.name)} {_sql_type(attribute.type)}"
+            f"{' NOT NULL' if attribute.is_oid else ''}")
+    for level in dimension.levels:
+        prefix = _identifier(level.name)
+        for attribute in level.attributes:
+            columns.append(
+                f"  {prefix}_{_identifier(attribute.name)} "
+                f"{_sql_type(attribute.type)}")
+    # Categorization subtypes add nullable columns plus a discriminator.
+    if dimension.categorization_levels:
+        columns.append(f"  {table}_subtype VARCHAR(64)")
+        for level in dimension.categorization_levels:
+            prefix = _identifier(level.name)
+            for attribute in level.attributes:
+                columns.append(
+                    f"  {prefix}_{_identifier(attribute.name)} "
+                    f"{_sql_type(attribute.type)}")
+    body = ",\n".join(columns)
+    return f"CREATE TABLE {table} (\n{body}\n);"
+
+
+def _level_table(dimension: DimensionClass, level: Level) -> str:
+    table = f"dim_{_identifier(dimension.name)}_{_identifier(level.name)}"
+    columns = [f"  {table}_key INTEGER PRIMARY KEY"]
+    for attribute in level.attributes:
+        columns.append(
+            f"  {_identifier(attribute.name)} {_sql_type(attribute.type)}"
+            f"{' NOT NULL' if attribute.is_oid else ''}")
+    for relation in level.relations:
+        target = dimension.level(relation.child)
+        target_table = (f"dim_{_identifier(dimension.name)}_"
+                        f"{_identifier(target.name)}")
+        if relation.strict:
+            columns.append(
+                f"  {_identifier(target.name)}_key INTEGER "
+                f"REFERENCES {target_table}")
+        # Non-strict relationships need a bridge; emitted below.
+    body = ",\n".join(columns)
+    statement = f"CREATE TABLE {table} (\n{body}\n);"
+    for relation in level.relations:
+        if not relation.strict:
+            target = dimension.level(relation.child)
+            statement += "\n\n" + _hierarchy_bridge(dimension, level, target)
+    return statement
+
+
+def _hierarchy_bridge(dimension: DimensionClass, source: Level,
+                      target: Level) -> str:
+    s = f"dim_{_identifier(dimension.name)}_{_identifier(source.name)}"
+    t = f"dim_{_identifier(dimension.name)}_{_identifier(target.name)}"
+    bridge = f"{s}_{_identifier(target.name)}_bridge"
+    return (f"-- non-strict relationship {source.name} -> {target.name}\n"
+            f"CREATE TABLE {bridge} (\n"
+            f"  {s}_key INTEGER REFERENCES {s},\n"
+            f"  {t}_key INTEGER REFERENCES {t},\n"
+            f"  PRIMARY KEY ({s}_key, {t}_key)\n);")
+
+
+def _snowflake_dimension_table(dimension: DimensionClass) -> str:
+    table = f"dim_{_identifier(dimension.name)}"
+    columns = [f"  {table}_key INTEGER PRIMARY KEY"]
+    for attribute in dimension.attributes:
+        columns.append(
+            f"  {_identifier(attribute.name)} {_sql_type(attribute.type)}"
+            f"{' NOT NULL' if attribute.is_oid else ''}")
+    for relation in dimension.relations:
+        target = dimension.level(relation.child)
+        target_table = (f"dim_{_identifier(dimension.name)}_"
+                        f"{_identifier(target.name)}")
+        if relation.strict:
+            columns.append(
+                f"  {_identifier(target.name)}_key INTEGER "
+                f"REFERENCES {target_table}")
+    body = ",\n".join(columns)
+    return f"CREATE TABLE {table} (\n{body}\n);"
+
+
+def _fact_table(model: GoldModel, fact: FactClass,
+                *, snowflake: bool) -> str:
+    table = f"fact_{_identifier(fact.name)}"
+    columns = []
+    keys = []
+    for aggregation in fact.aggregations:
+        if aggregation.many_to_many:
+            continue  # handled by a bridge table
+        dimension = model.dimension_class(aggregation.dimension)
+        dim_table = f"dim_{_identifier(dimension.name)}"
+        column = f"{dim_table}_key"
+        columns.append(f"  {column} INTEGER NOT NULL REFERENCES {dim_table}")
+        keys.append(column)
+    for attribute in fact.attributes:
+        column = (f"  {_identifier(attribute.name)} "
+                  f"{_sql_type(attribute.type)}")
+        if attribute.is_oid:
+            # Degenerate dimensions join the primary key (ticket/line).
+            column += " NOT NULL"
+            keys.append(_identifier(attribute.name))
+        columns.append(column)
+    if keys:
+        columns.append(f"  PRIMARY KEY ({', '.join(keys)})")
+    body = ",\n".join(columns)
+    return f"CREATE TABLE {table} (\n{body}\n);"
+
+
+def _bridge_tables(model: GoldModel, fact: FactClass) -> list[str]:
+    statements = []
+    table = f"fact_{_identifier(fact.name)}"
+    for aggregation in fact.aggregations:
+        if not aggregation.many_to_many:
+            continue
+        dimension = model.dimension_class(aggregation.dimension)
+        dim_table = f"dim_{_identifier(dimension.name)}"
+        bridge = f"{table}_{_identifier(dimension.name)}_bridge"
+        statements.append(
+            f"-- many-to-many fact/dimension relationship\n"
+            f"CREATE TABLE {bridge} (\n"
+            f"  {table}_row INTEGER NOT NULL,\n"
+            f"  {dim_table}_key INTEGER NOT NULL REFERENCES {dim_table},\n"
+            f"  PRIMARY KEY ({table}_row, {dim_table}_key)\n);")
+    return statements

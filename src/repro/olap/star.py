@@ -1,0 +1,253 @@
+"""In-memory star-schema storage for GOLD models.
+
+The paper's CASE tool exports models "into a target commercial OLAP
+tool"; this module is the stand-in target: a star schema instantiated
+from a :class:`~repro.mdm.model.GoldModel`, with dimension members
+arranged along the model's classification hierarchies (including
+non-strict edges, where one member rolls up to several parents) and fact
+rows that may reference several members of a many-to-many dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..mdm.dimensions import DimensionClass
+from ..mdm.errors import ModelReferenceError, ModelStructureError
+from ..mdm.model import GoldModel
+
+__all__ = ["Member", "DimensionData", "FactRow", "FactTable", "StarSchema"]
+
+
+@dataclass
+class Member:
+    """One member of one hierarchy level.
+
+    ``attributes`` holds the level's attribute values (keyed by attribute
+    name); ``parents`` maps a target level id to the keys of the parent
+    member(s) there — more than one only along non-strict relationships.
+    """
+
+    key: object
+    attributes: dict[str, object] = field(default_factory=dict)
+    parents: dict[str, list[object]] = field(default_factory=dict)
+
+    def parent_keys(self, level_id: str) -> list[object]:
+        """Keys of this member's parents at *level_id* (may be empty)."""
+        return self.parents.get(level_id, [])
+
+
+class DimensionData:
+    """All members of one dimension, organised per level.
+
+    Level id ``dimension.id`` holds the finest-grain members the fact
+    rows reference.
+    """
+
+    def __init__(self, dimension: DimensionClass) -> None:
+        self.dimension = dimension
+        self._levels: dict[str, dict[object, Member]] = {dimension.id: {}}
+        for level in dimension.iter_levels():
+            self._levels[level.id] = {}
+        self._edges = {
+            (source, relation.child): relation
+            for source, _t, relation in dimension.hierarchy_edges()
+            for _t in [relation.child]
+        }
+
+    # -- population -----------------------------------------------------------
+
+    def add_member(self, level_ref: str, key: object,
+                   attributes: Mapping[str, object] | None = None,
+                   parents: Mapping[str, object | list[object]] | None = None
+                   ) -> Member:
+        """Add a member to *level_ref* (level id/name or the dimension).
+
+        *parents* maps target level refs to a parent key or list of keys.
+        """
+        level_id = self._resolve_level(level_ref)
+        store = self._levels[level_id]
+        if key in store:
+            raise ModelStructureError(
+                f"duplicate member {key!r} at level {level_ref!r} of "
+                f"dimension {self.dimension.name!r}")
+        member = Member(key=key, attributes=dict(attributes or {}))
+        for target_ref, parent_keys in (parents or {}).items():
+            target_id = self._resolve_level(target_ref)
+            if not isinstance(parent_keys, (list, tuple)):
+                parent_keys = [parent_keys]
+            member.parents[target_id] = list(parent_keys)
+        store[key] = member
+        return member
+
+    def _resolve_level(self, ref: str) -> str:
+        if ref in (self.dimension.id, self.dimension.name):
+            return self.dimension.id
+        return self.dimension.level(ref).id
+
+    # -- access ------------------------------------------------------------------
+
+    def members(self, level_ref: str) -> dict[object, Member]:
+        """All members at *level_ref*, keyed by member key."""
+        return self._levels[self._resolve_level(level_ref)]
+
+    def member(self, level_ref: str, key: object) -> Member:
+        """The member *key* at *level_ref* (raises when absent)."""
+        store = self.members(level_ref)
+        try:
+            return store[key]
+        except KeyError:
+            raise ModelReferenceError(
+                f"no member {key!r} at level {level_ref!r} of dimension "
+                f"{self.dimension.name!r}") from None
+
+    def size(self) -> int:
+        """Total member count across all levels."""
+        return sum(len(store) for store in self._levels.values())
+
+    # -- hierarchy navigation ----------------------------------------------------------
+
+    def ancestors_at(self, base_key: object, target_ref: str
+                     ) -> list[Member]:
+        """The ancestors of base member *base_key* at level *target_ref*.
+
+        Follows parent links along any path of the DAG; returns several
+        members when a non-strict relationship fans out, and an empty
+        list for members whose hierarchy ends early (non-complete).
+        """
+        target_id = self._resolve_level(target_ref)
+        if target_id == self.dimension.id:
+            return [self.member(self.dimension.id, base_key)]
+
+        found: dict[object, Member] = {}
+        visited: set[tuple[str, object]] = set()
+        stack: list[tuple[str, object]] = [(self.dimension.id, base_key)]
+        while stack:
+            level_id, key = stack.pop()
+            if (level_id, key) in visited:
+                continue
+            visited.add((level_id, key))
+            store = self._levels.get(level_id, {})
+            member = store.get(key)
+            if member is None:
+                continue
+            if level_id == target_id:
+                found[key] = member
+                continue
+            for parent_level, parent_keys in member.parents.items():
+                for parent_key in parent_keys:
+                    stack.append((parent_level, parent_key))
+        return list(found.values())
+
+
+@dataclass
+class FactRow:
+    """One row of a fact table.
+
+    ``coordinates`` maps dimension id to the member key(s) at the
+    dimension's base level — a list of keys for many-to-many dimensions.
+    ``values`` maps fact attribute names (measures and degenerate
+    dimensions) to values.
+    """
+
+    coordinates: dict[str, object | list[object]]
+    values: dict[str, object]
+
+    def member_keys(self, dimension_id: str) -> list[object]:
+        """Keys of the member(s) of *dimension_id* this row references."""
+        keys = self.coordinates.get(dimension_id)
+        if keys is None:
+            return []
+        if isinstance(keys, (list, tuple)):
+            return list(keys)
+        return [keys]
+
+
+class FactTable:
+    """All rows of one fact class."""
+
+    def __init__(self, fact_id: str) -> None:
+        self.fact_id = fact_id
+        self.rows: list[FactRow] = []
+
+    def append(self, coordinates: Mapping[str, object],
+               values: Mapping[str, object]) -> FactRow:
+        """Add one row; returns it."""
+        row = FactRow(dict(coordinates), dict(values))
+        self.rows.append(row)
+        return row
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class StarSchema:
+    """A populated star schema for one model."""
+
+    def __init__(self, model: GoldModel) -> None:
+        self.model = model
+        self.dimensions: dict[str, DimensionData] = {
+            dimension.id: DimensionData(dimension)
+            for dimension in model.dimensions
+        }
+        self.facts: dict[str, FactTable] = {
+            fact.id: FactTable(fact.id) for fact in model.facts
+        }
+
+    def dimension_data(self, ref: str) -> DimensionData:
+        """Dimension data by dimension id or name."""
+        dimension = self.model.dimension_class(ref)
+        return self.dimensions[dimension.id]
+
+    def fact_table(self, ref: str) -> FactTable:
+        """Fact table by fact class id or name."""
+        fact = self.model.fact_class(ref)
+        return self.facts[fact.id]
+
+    def insert_fact(self, fact_ref: str,
+                    coordinates: Mapping[str, object],
+                    values: Mapping[str, object],
+                    *, check: bool = True) -> FactRow:
+        """Insert a fact row, optionally checking referential integrity.
+
+        Coordinate keys may use dimension ids or names; they are
+        normalised to ids.
+        """
+        fact = self.model.fact_class(fact_ref)
+        normalised: dict[str, object] = {}
+        for ref, keys in coordinates.items():
+            dimension = self.model.dimension_class(ref)
+            normalised[dimension.id] = keys
+        if check:
+            self._check_row(fact.id, normalised, values)
+        return self.facts[fact.id].append(normalised, values)
+
+    def _check_row(self, fact_id: str, coordinates: dict[str, object],
+                   values: Mapping[str, object]) -> None:
+        fact = self.model.fact_class(fact_id)
+        for aggregation in fact.aggregations:
+            dimension_id = aggregation.dimension
+            keys = coordinates.get(dimension_id)
+            if keys is None:
+                raise ModelStructureError(
+                    f"fact {fact.name!r}: row is missing a coordinate for "
+                    f"dimension {dimension_id!r}")
+            key_list = keys if isinstance(keys, (list, tuple)) else [keys]
+            if len(key_list) > 1 and not aggregation.many_to_many:
+                raise ModelStructureError(
+                    f"fact {fact.name!r}: several members for dimension "
+                    f"{dimension_id!r}, but the shared aggregation is not "
+                    "many-to-many")
+            data = self.dimensions[dimension_id]
+            for key in key_list:
+                data.member(data.dimension.id, key)  # raises when absent
+        for name in values:
+            fact.attribute(name)  # raises when unknown
+
+    def summary(self) -> dict[str, int]:
+        """Row/member counts for reporting."""
+        return {
+            "fact_rows": sum(len(t) for t in self.facts.values()),
+            "members": sum(d.size() for d in self.dimensions.values()),
+        }

@@ -1,0 +1,73 @@
+"""The presentation layer (§4): XSLT stylesheets, site publishing,
+per-fact-class presentations, schema tree view, and link checking.
+"""
+
+from .client import (
+    BrowserSimulator,
+    ClientBundle,
+    client_bundle,
+    server_side,
+)
+from .linkcheck import LinkReport, check_site
+from .presentations import (
+    presentation_for,
+    presentations_by_parameter,
+    presentations_by_stylesheet,
+)
+from .publisher import (
+    DEFAULT_CSS,
+    Site,
+    publish_multi_page,
+    publish_single_page,
+)
+from .stylesheets import (
+    COMMON_XSL,
+    MULTI_PAGE_XSL,
+    PRESENTATION_XSL,
+    SINGLE_PAGE_XSL,
+    stylesheet_resolver,
+)
+from .sourceview import SOURCE_VIEW_CSS, render_source_view
+from .xslfo import (
+    FoPage,
+    FoRenderer,
+    MODEL_FO_XSL,
+    model_to_fo,
+    render_fo_pages,
+)
+from .treeview import (
+    render_schema_tree,
+    render_schema_tree_html,
+    schema_tree,
+)
+
+__all__ = [
+    "FoPage",
+    "FoRenderer",
+    "MODEL_FO_XSL",
+    "model_to_fo",
+    "render_fo_pages",
+    "BrowserSimulator",
+    "ClientBundle",
+    "client_bundle",
+    "server_side",
+    "SOURCE_VIEW_CSS",
+    "render_source_view",
+    "LinkReport",
+    "check_site",
+    "presentation_for",
+    "presentations_by_parameter",
+    "presentations_by_stylesheet",
+    "DEFAULT_CSS",
+    "Site",
+    "publish_multi_page",
+    "publish_single_page",
+    "COMMON_XSL",
+    "MULTI_PAGE_XSL",
+    "PRESENTATION_XSL",
+    "SINGLE_PAGE_XSL",
+    "stylesheet_resolver",
+    "render_schema_tree",
+    "render_schema_tree_html",
+    "schema_tree",
+]

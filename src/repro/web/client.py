@@ -1,0 +1,108 @@
+"""Client-side vs server-side transformation (paper §6).
+
+§6: "we run the transformation process using a client-server technology,
+i.e. the XSLT stylesheet is applied to the XML document in the server
+and the HTML is returned to the client browser.  In the future, when the
+browsers completely support XML and XSLT, the transformation will be
+able to be performed in the browser."
+
+This module implements both deployment modes over the same engine:
+
+* :func:`server_side` — what the paper did: transform on the "server",
+  return finished HTML;
+* :func:`client_bundle` — what the paper anticipated: ship the raw XML
+  (with an ``xml-stylesheet`` processing instruction) plus the
+  stylesheet, and let the "browser" transform;
+* :class:`BrowserSimulator` — the client: reads the bundle, follows the
+  PI, runs the transformation locally.
+
+A test asserts the two modes produce identical HTML — the property that
+makes the §6 migration safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mdm.model import GoldModel
+from ..mdm.xml_io import model_to_document
+from ..xml.dom import ProcessingInstruction
+from ..xml.parser import parse as parse_xml
+from ..xml.serializer import serialize
+from ..xslt import Transformer, compile_stylesheet
+from .stylesheets import SINGLE_PAGE_XSL, stylesheet_resolver
+
+__all__ = ["ClientBundle", "server_side", "client_bundle",
+           "BrowserSimulator"]
+
+
+@dataclass
+class ClientBundle:
+    """What the server ships for client-side transformation."""
+
+    #: The XML document text, carrying an xml-stylesheet PI.
+    document_xml: str
+    #: Stylesheet files keyed by href (the PI's target plus includes).
+    stylesheets: dict[str, str]
+
+    @property
+    def stylesheet_href(self) -> str:
+        """The href named in the document's xml-stylesheet PI."""
+        document = parse_xml(self.document_xml)
+        for child in document.children:
+            if isinstance(child, ProcessingInstruction) and \
+                    child.target == "xml-stylesheet":
+                return _pseudo_attribute(child.data, "href")
+        raise ValueError("bundle document has no xml-stylesheet PI")
+
+
+def server_side(model: GoldModel,
+                stylesheet: str = SINGLE_PAGE_XSL) -> str:
+    """The paper's deployment: transform on the server, ship HTML."""
+    sheet = compile_stylesheet(stylesheet, resolver=stylesheet_resolver)
+    result = Transformer(sheet).transform(model_to_document(model))
+    return result.serialize()
+
+
+def client_bundle(model: GoldModel,
+                  stylesheet: str = SINGLE_PAGE_XSL,
+                  href: str = "goldmodel.xsl") -> ClientBundle:
+    """The §6 deployment: ship XML + stylesheet, transform client-side."""
+    document = model_to_document(model)
+    pi = ProcessingInstruction(
+        "xml-stylesheet", f'type="text/xsl" href="{href}"')
+    document.insert_before(pi, document.root_element)
+    return ClientBundle(
+        document_xml=serialize(document),
+        stylesheets={href: stylesheet, "common.xsl":
+                     stylesheet_resolver("common.xsl")},
+    )
+
+
+class BrowserSimulator:
+    """A browser that 'completely supports XML and XSLT' (paper §6)."""
+
+    def render(self, bundle: ClientBundle) -> str:
+        """Follow the xml-stylesheet PI and transform locally."""
+        href = bundle.stylesheet_href
+        try:
+            stylesheet_text = bundle.stylesheets[href]
+        except KeyError:
+            raise ValueError(
+                f"bundle is missing the stylesheet {href!r}") from None
+        sheet = compile_stylesheet(
+            stylesheet_text,
+            resolver=lambda include: bundle.stylesheets[include])
+        document = parse_xml(bundle.document_xml)
+        return Transformer(sheet).transform(document).serialize()
+
+
+def _pseudo_attribute(data: str, name: str) -> str:
+    """Extract a pseudo-attribute from xml-stylesheet PI data."""
+    import re
+
+    match = re.search(rf'{name}\s*=\s*["\']([^"\']*)["\']', data)
+    if not match:
+        raise ValueError(
+            f"xml-stylesheet PI has no {name!r} pseudo-attribute")
+    return match.group(1)

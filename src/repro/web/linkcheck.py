@@ -1,0 +1,94 @@
+"""Link checking for generated sites (verifies Fig. 6 navigation).
+
+The paper's claim "whenever it is possible, there is a link connecting
+different pieces of information" is testable: every ``href`` and every
+``#anchor`` in a generated site must resolve.  :func:`check_site` scans
+each HTML page (with the stdlib HTML parser, since the ``html`` output
+method legitimately leaves void elements unclosed) and reports dangling
+references and orphan pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+
+from .publisher import Site
+
+__all__ = ["LinkReport", "check_site"]
+
+
+@dataclass
+class LinkReport:
+    """Outcome of checking a site's link graph."""
+
+    #: (page, target) pairs whose target page does not exist.
+    broken_pages: list[tuple[str, str]] = field(default_factory=list)
+    #: (page, anchor) pairs whose #anchor does not exist on the target.
+    broken_anchors: list[tuple[str, str]] = field(default_factory=list)
+    #: Pages with no inbound link (excluding index.html).
+    orphans: list[str] = field(default_factory=list)
+    total_links: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no broken links or anchors were found."""
+        return not self.broken_pages and not self.broken_anchors
+
+
+class _PageScanner(HTMLParser):
+    """Collects hrefs and anchors from one page."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.links: list[str] = []
+        self.anchors: set[str] = set()
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        attributes = dict(attrs)
+        identifier = attributes.get("id")
+        if identifier:
+            self.anchors.add(identifier)
+        if tag == "a":
+            anchor = attributes.get("name")
+            if anchor:
+                self.anchors.add(anchor)
+            href = attributes.get("href")
+            if href and not href.startswith(
+                    ("http:", "https:", "mailto:")) and \
+                    not href.endswith(".css"):
+                self.links.append(href)
+
+
+def check_site(site: Site) -> LinkReport:
+    """Check every internal link and anchor of *site*."""
+    report = LinkReport()
+    anchors: dict[str, set[str]] = {}
+    links: dict[str, list[str]] = {}
+
+    for name, content in site.pages.items():
+        if not name.endswith(".html"):
+            continue
+        scanner = _PageScanner()
+        scanner.feed(content)
+        anchors[name] = scanner.anchors
+        links[name] = scanner.links
+
+    inbound: set[str] = set()
+    for page, page_links in links.items():
+        for href in page_links:
+            report.total_links += 1
+            target, _, fragment = href.partition("#")
+            target_page = target or page
+            if target_page not in site.pages:
+                report.broken_pages.append((page, href))
+                continue
+            inbound.add(target_page)
+            if fragment and fragment not in anchors.get(target_page, set()):
+                report.broken_anchors.append((page, href))
+
+    for name in site.pages:
+        if name.endswith(".html") and name != "index.html" and \
+                name not in inbound:
+            report.orphans.append(name)
+    return report

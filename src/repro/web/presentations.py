@@ -1,0 +1,71 @@
+"""Different presentations of one model (Fig. 5, §4).
+
+The paper's Fig. 5 shows a single XML document (a model with two fact
+classes sharing dimensions) transformed into *different presentations* —
+one HTML page per fact class showing only the information relevant to
+that fact class.  Footnote 8 notes both implementation options:
+
+* :func:`presentations_by_parameter` — one stylesheet receiving a
+  ``factclass`` parameter, applied once per fact class;
+* :func:`presentations_by_stylesheet` — one (generated) stylesheet per
+  presentation, each with the fact class id baked in.
+
+Both produce the same pages; a test asserts it.
+"""
+
+from __future__ import annotations
+
+from ..mdm.model import GoldModel
+from ..mdm.xml_io import model_to_document
+from ..xslt import Transformer, compile_stylesheet
+from .publisher import DEFAULT_CSS, Site
+from .stylesheets import PRESENTATION_XSL, stylesheet_resolver
+
+__all__ = ["presentations_by_parameter", "presentations_by_stylesheet",
+           "presentation_for"]
+
+
+def presentation_for(model: GoldModel, fact_ref: str) -> str:
+    """The HTML presentation of one fact class of *model*."""
+    fact = model.fact_class(fact_ref)
+    document = model_to_document(model)
+    sheet = compile_stylesheet(PRESENTATION_XSL,
+                               resolver=stylesheet_resolver)
+    result = Transformer(sheet).transform(document,
+                                          params={"factclass": fact.id})
+    return result.serialize()
+
+
+def presentations_by_parameter(model: GoldModel) -> Site:
+    """One presentation page per fact class via the parameterised sheet."""
+    document = model_to_document(model)
+    sheet = compile_stylesheet(PRESENTATION_XSL,
+                               resolver=stylesheet_resolver)
+    transformer = Transformer(sheet)
+    site = Site()
+    for fact in model.facts:
+        result = transformer.transform(document,
+                                       params={"factclass": fact.id})
+        site.pages[f"presentation-{fact.id}.html"] = result.serialize()
+    site.pages["gold.css"] = DEFAULT_CSS
+    return site
+
+
+def presentations_by_stylesheet(model: GoldModel) -> Site:
+    """One presentation page per fact class via per-fact stylesheets.
+
+    Each generated stylesheet fixes the parameter's default value, which
+    is exactly how one would maintain one stylesheet per presentation.
+    """
+    document = model_to_document(model)
+    site = Site()
+    for fact in model.facts:
+        specialised = PRESENTATION_XSL.replace(
+            "<xsl:param name=\"factclass\" select=\"''\"/>",
+            f"<xsl:param name=\"factclass\" select=\"'{fact.id}'\"/>")
+        sheet = compile_stylesheet(specialised,
+                                   resolver=stylesheet_resolver)
+        result = Transformer(sheet).transform(document)
+        site.pages[f"presentation-{fact.id}.html"] = result.serialize()
+    site.pages["gold.css"] = DEFAULT_CSS
+    return site

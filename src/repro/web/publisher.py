@@ -1,0 +1,110 @@
+"""Publishing models to the web (§4): run XSLT, write the HTML site.
+
+Two pipelines, matching the paper's §4:
+
+* :func:`publish_multi_page` — XSLT 1.1 ``xsl:document``: the principal
+  output becomes ``index.html`` and each fact class, dimension class,
+  classification level, cube class, and additivity popup gets its own
+  page (1 + facts + measures-with-additivity + dims + levels + cubes
+  pages in total);
+* :func:`publish_single_page` — XSLT 1.0: everything in one
+  ``index.html`` with internal anchors.
+
+Both write a small CSS file (the paper uses CSS for display control) and
+return a :class:`Site` mapping filenames to HTML text, which can also be
+written to disk with :meth:`Site.write_to`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..mdm.model import GoldModel
+from ..mdm.xml_io import model_to_document
+from ..xslt import Stylesheet, Transformer, compile_stylesheet
+from .stylesheets import (
+    MULTI_PAGE_XSL,
+    SINGLE_PAGE_XSL,
+    stylesheet_resolver,
+)
+
+__all__ = ["Site", "publish_multi_page", "publish_single_page",
+           "DEFAULT_CSS"]
+
+#: Stylesheet for the generated pages (the paper notes CSS "gives us more
+#: control over how pages are displayed").
+DEFAULT_CSS = """\
+body { font-family: Verdana, Arial, sans-serif; margin: 2em; }
+h1 { border-bottom: 2px solid #008080; color: #004040; }
+h2 { color: #006060; }
+table { border-collapse: collapse; }
+td, th { padding: 2px 8px; border: 1px solid #808080; }
+a { color: #0000A0; }
+"""
+
+
+@dataclass
+class Site:
+    """A generated HTML site: filename → content."""
+
+    pages: dict[str, str] = field(default_factory=dict)
+    messages: list[str] = field(default_factory=list)
+
+    @property
+    def page_count(self) -> int:
+        """Number of HTML pages (excludes the CSS file)."""
+        return sum(1 for name in self.pages if name.endswith(".html"))
+
+    def page(self, name: str) -> str:
+        """Content of page *name* (raises KeyError when absent)."""
+        return self.pages[name]
+
+    def write_to(self, directory: str | os.PathLike) -> list[str]:
+        """Write every file under *directory*; returns the paths written."""
+        os.makedirs(directory, exist_ok=True)
+        written = []
+        for name, content in sorted(self.pages.items()):
+            path = os.path.join(directory, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(content)
+            written.append(path)
+        return written
+
+
+_compiled_cache: dict[str, Stylesheet] = {}
+
+
+def _compiled(text: str) -> Stylesheet:
+    sheet = _compiled_cache.get(text)
+    if sheet is None:
+        sheet = compile_stylesheet(text, resolver=stylesheet_resolver)
+        _compiled_cache[text] = sheet
+    return sheet
+
+
+def publish_multi_page(model: GoldModel, *,
+                       stylesheet: str = MULTI_PAGE_XSL) -> Site:
+    """Generate the linked multi-page site (Fig. 6) for *model*."""
+    document = model_to_document(model)
+    transformer = Transformer(_compiled(stylesheet))
+    result = transformer.transform(document)
+    site = Site(messages=list(result.messages))
+    rendered = result.serialize_all()
+    site.pages["index.html"] = rendered.pop("")
+    for href, content in rendered.items():
+        site.pages[href] = content
+    site.pages["gold.css"] = DEFAULT_CSS
+    return site
+
+
+def publish_single_page(model: GoldModel, *,
+                        stylesheet: str = SINGLE_PAGE_XSL) -> Site:
+    """Generate the one-page site with internal anchors for *model*."""
+    document = model_to_document(model)
+    transformer = Transformer(_compiled(stylesheet))
+    result = transformer.transform(document)
+    site = Site(messages=list(result.messages))
+    site.pages["index.html"] = result.serialize()
+    site.pages["gold.css"] = DEFAULT_CSS
+    return site

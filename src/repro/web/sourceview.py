@@ -1,0 +1,102 @@
+"""The browser source view of an XML document (paper Fig. 4).
+
+Fig. 4 shows the CASE-tool document in Microsoft Internet Explorer
+*without* a stylesheet: IE renders XML as a colourised, indented source
+tree (tags brown, attribute names red, values blue, with ``-``
+collapse markers on elements that have children).  The paper notes the
+browser "brings the possibility to validate an XML document against a
+DTD, but not against an XML Schema; in addition, the XML document is not
+presented in a pretty way" — motivating the XSLT pipeline of §4.
+
+:func:`render_source_view` reproduces that rendering as a standalone
+HTML page, so the reproduction has the same "before" artefact the paper
+contrasts its stylesheets against.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..xml.dom import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from ..xml.escaping import escape_text
+
+__all__ = ["render_source_view", "SOURCE_VIEW_CSS"]
+
+#: The IE5-ish colour scheme of Fig. 4.
+SOURCE_VIEW_CSS = """\
+body { font-family: monospace; background: white; color: black; }
+.xml-decl { color: blue; }
+.tag { color: #990000; }
+.attr-name { color: #CC0000; }
+.attr-value { color: #0000CC; }
+.text { color: black; font-weight: bold; }
+.comment { color: #808080; font-style: italic; }
+.pi { color: #CC6600; }
+.marker { color: #CC0000; font-weight: bold; text-decoration: none; }
+div.children { margin-left: 1.6em; }
+"""
+
+
+def render_source_view(document: Document, *,
+                       title: str = "XML source view") -> str:
+    """Render *document* as an IE-style colourised source page."""
+    out = StringIO()
+    out.write("<html><head>")
+    out.write(f"<title>{escape_text(title)}</title>")
+    out.write(f"<style>{SOURCE_VIEW_CSS}</style>")
+    out.write("</head><body>")
+    out.write('<div class="xml-decl">&lt;?xml version="')
+    out.write(escape_text(document.version))
+    out.write('" ?&gt;</div>')
+    for child in document.children:
+        _render_node(child, out)
+    out.write("</body></html>")
+    return out.getvalue()
+
+
+def _render_node(node: Node, out: StringIO) -> None:
+    if isinstance(node, Element):
+        _render_element(node, out)
+    elif isinstance(node, Text):
+        if node.data.strip():
+            out.write(f'<span class="text">'
+                      f"{escape_text(node.data.strip())}</span>")
+    elif isinstance(node, Comment):
+        out.write(f'<div class="comment">&lt;!--'
+                  f"{escape_text(node.data)}--&gt;</div>")
+    elif isinstance(node, ProcessingInstruction):
+        data = f" {escape_text(node.data)}" if node.data else ""
+        out.write(f'<div class="pi">&lt;?{escape_text(node.target)}'
+                  f"{data}?&gt;</div>")
+
+
+def _render_element(element: Element, out: StringIO) -> None:
+    has_children = any(
+        not (isinstance(c, Text) and not c.data.strip())
+        for c in element.children)
+    marker = ('<span class="marker">-</span> ' if has_children else
+              "&nbsp;&nbsp;")
+    out.write(f"<div>{marker}")
+    out.write(f'<span class="tag">&lt;{escape_text(element.name)}</span>')
+    for attr in element.attributes:
+        out.write(f' <span class="attr-name">'
+                  f"{escape_text(attr.name)}</span>=")
+        out.write(f'<span class="attr-value">'
+                  f'"{escape_text(attr.value)}"</span>')
+    if not has_children:
+        out.write('<span class="tag"> /&gt;</span></div>')
+        return
+    out.write('<span class="tag">&gt;</span>')
+    out.write('<div class="children">')
+    for child in element.children:
+        _render_node(child, out)
+    out.write("</div>")
+    out.write(f'<span class="tag">&lt;/{escape_text(element.name)}'
+              "&gt;</span></div>")

@@ -1,0 +1,663 @@
+"""The XSLT stylesheets of §4.
+
+Three stylesheets reproduce the paper's two processing approaches plus
+the parameterised-presentation variant of footnote 8:
+
+* :data:`MULTI_PAGE_XSL` — XSLT 1.1 with ``xsl:document`` (the Instant
+  Saxon approach): a collection of linked HTML pages — the model
+  overview (Fig. 6.1), one page per fact class (Fig. 6.2), floating
+  additivity pages (Fig. 6.3), one page per dimension class (Fig. 6.4)
+  and per classification level;
+* :data:`SINGLE_PAGE_XSL` — XSLT 1.0 (the MSXML approach): one HTML page
+  with internal ``#anchor`` links carrying the same information;
+* :data:`PRESENTATION_XSL` — a single stylesheet taking a ``factclass``
+  parameter and emitting the presentation for that fact class only,
+  omitting dimensions it does not share (Fig. 5).
+
+All three include :data:`COMMON_XSL` (via ``xsl:include``), which holds
+the shared row templates — look of the tables follows the paper's
+fragments (``bgcolor="#00FFFF"`` rows, ``mintcream`` pages).
+"""
+
+from __future__ import annotations
+
+__all__ = ["COMMON_XSL", "MULTI_PAGE_XSL", "SINGLE_PAGE_XSL",
+           "PRESENTATION_XSL", "stylesheet_resolver"]
+
+#: Shared templates included by every presentation stylesheet.
+COMMON_XSL = """<?xml version="1.0"?>
+<xsl:stylesheet version="1.1"
+    xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+
+  <xsl:key name="dimclass" match="dimclass" use="@id"/>
+  <xsl:key name="factclass" match="factclass" use="@id"/>
+  <xsl:key name="level" match="asoclevel | catlevel" use="@id"/>
+  <xsl:key name="anylevel" match="asoclevel | catlevel | dimclass"
+           use="@id"/>
+
+  <!-- One measure row; mirrors the paper's factatt template. -->
+  <xsl:template match="factatt" mode="row">
+    <tr bgcolor="#00FFFF">
+      <td><font size="2"><xsl:value-of select="@name"/></font></td>
+      <td><font size="2"><xsl:value-of select="@type"/></font></td>
+      <td><font size="2"><xsl:value-of select="@isoid"/></font></td>
+      <td><font size="2"><xsl:value-of select="@isderived"/></font></td>
+      <td><font size="2"><xsl:value-of select="@atomic"/></font></td>
+      <td><font size="2"><xsl:value-of select="@derivationrule"/></font></td>
+      <td><font size="2"><xsl:value-of select="@description"/></font></td>
+    </tr>
+  </xsl:template>
+
+  <xsl:template match="dimatt" mode="row">
+    <tr bgcolor="#00FFFF">
+      <td><font size="2"><xsl:value-of select="@name"/></font></td>
+      <td><font size="2"><xsl:value-of select="@type"/></font></td>
+      <td><font size="2">
+        <xsl:if test="@oid = 'true'">{OID}</xsl:if>
+        <xsl:if test="@d = 'true'">{D}</xsl:if>
+      </font></td>
+      <td><font size="2"><xsl:value-of select="@description"/></font></td>
+    </tr>
+  </xsl:template>
+
+  <xsl:template match="method" mode="row">
+    <tr bgcolor="#E0FFFF">
+      <td><font size="2">
+        <xsl:value-of select="@name"/>
+        <xsl:text>(</xsl:text>
+        <xsl:for-each select="param">
+          <xsl:if test="position() &gt; 1">, </xsl:if>
+          <xsl:value-of select="@name"/> : <xsl:value-of select="@type"/>
+        </xsl:for-each>
+        <xsl:text>) : </xsl:text>
+        <xsl:value-of select="@returntype"/>
+      </font></td>
+      <td><font size="2"><xsl:value-of select="@visibility"/></font></td>
+    </tr>
+  </xsl:template>
+
+  <!-- The textual form of one additivity rule (Fig. 6.3 content). -->
+  <xsl:template match="additivity" mode="describe">
+    <li>
+      <b><xsl:value-of select="key('dimclass', @dimclass)/@name"/></b>
+      <xsl:text>: </xsl:text>
+      <xsl:choose>
+        <xsl:when test="@isnot = 'true'">not additive</xsl:when>
+        <xsl:otherwise>
+          <xsl:if test="@issum = 'true'"> SUM</xsl:if>
+          <xsl:if test="@ismax = 'true'"> MAX</xsl:if>
+          <xsl:if test="@ismin = 'true'"> MIN</xsl:if>
+          <xsl:if test="@isavg = 'true'"> AVG</xsl:if>
+          <xsl:if test="@iscount = 'true'"> COUNT</xsl:if>
+        </xsl:otherwise>
+      </xsl:choose>
+    </li>
+  </xsl:template>
+
+  <!-- Relation row: the multiplicity/strictness/completeness summary. -->
+  <xsl:template match="relationasoc" mode="row">
+    <xsl:param name="linker" select="'page'"/>
+    <tr bgcolor="#00FFFF">
+      <td><font size="2">
+        <xsl:choose>
+          <xsl:when test="$linker = 'anchor'">
+            <a href="#{@child}">
+              <xsl:value-of select="key('anylevel', @child)/@name"/>
+            </a>
+          </xsl:when>
+          <xsl:otherwise>
+            <a href="{@child}.html">
+              <xsl:value-of select="key('anylevel', @child)/@name"/>
+            </a>
+          </xsl:otherwise>
+        </xsl:choose>
+      </font></td>
+      <td><font size="2">
+        <xsl:value-of select="@rolea"/> : <xsl:value-of select="@roleb"/>
+      </font></td>
+      <td><font size="2">
+        <xsl:choose>
+          <xsl:when test="@rolea = 'M' and @roleb = 'M'">non-strict</xsl:when>
+          <xsl:otherwise>strict</xsl:otherwise>
+        </xsl:choose>
+        <xsl:if test="@completeness = 'true'"> {completeness}</xsl:if>
+      </font></td>
+    </tr>
+  </xsl:template>
+
+  <!-- General model information table (Fig. 6.1). -->
+  <xsl:template name="model-info">
+    <table border="1" cellspacing="0">
+      <tr><td><b>Name</b></td>
+          <td><xsl:value-of select="/goldmodel/@name"/></td></tr>
+      <tr><td><b>Creation date</b></td>
+          <td><xsl:value-of select="/goldmodel/@creationdate"/></td></tr>
+      <tr><td><b>Last modified</b></td>
+          <td><xsl:value-of select="/goldmodel/@lastmodified"/></td></tr>
+      <tr><td><b>Description</b></td>
+          <td><xsl:value-of select="/goldmodel/@description"/></td></tr>
+      <tr><td><b>Responsible</b></td>
+          <td><xsl:value-of select="/goldmodel/@responsible"/></td></tr>
+    </table>
+  </xsl:template>
+
+  <!-- Measures table of one fact class. -->
+  <xsl:template name="fact-measures">
+    <xsl:param name="linker" select="'page'"/>
+    <xsl:if test="factatts/factatt and /goldmodel/@showatts = 'true'">
+      <h3>Measures</h3>
+      <table border="1" cellspacing="0">
+        <tr bgcolor="#C0C0C0">
+          <th>name</th><th>type</th><th>OID</th><th>derived</th>
+          <th>atomic</th><th>derivation rule</th><th>description</th>
+        </tr>
+        <xsl:for-each select="factatts/factatt">
+          <xsl:choose>
+            <xsl:when test="additivity">
+              <tr bgcolor="#00FFFF">
+                <td><font size="2">
+                  <xsl:choose>
+                    <xsl:when test="$linker = 'anchor'">
+                      <a href="#{@id}-additivity">
+                        <xsl:value-of select="@name"/></a>
+                    </xsl:when>
+                    <xsl:otherwise>
+                      <a href="{@id}-additivity.html">
+                        <xsl:value-of select="@name"/></a>
+                    </xsl:otherwise>
+                  </xsl:choose>
+                </font></td>
+                <td><font size="2"><xsl:value-of select="@type"/></font></td>
+                <td><font size="2"><xsl:value-of select="@isoid"/></font></td>
+                <td><font size="2">
+                  <xsl:value-of select="@isderived"/></font></td>
+                <td><font size="2"><xsl:value-of select="@atomic"/></font></td>
+                <td><font size="2">
+                  <xsl:value-of select="@derivationrule"/></font></td>
+                <td><font size="2">
+                  <xsl:value-of select="@description"/></font></td>
+              </tr>
+            </xsl:when>
+            <xsl:otherwise>
+              <xsl:apply-templates select="." mode="row"/>
+            </xsl:otherwise>
+          </xsl:choose>
+        </xsl:for-each>
+      </table>
+    </xsl:if>
+  </xsl:template>
+
+  <!-- Methods table of any class. -->
+  <xsl:template name="class-methods">
+    <xsl:if test="methods/method and /goldmodel/@showmethods = 'true'">
+      <h3>Methods</h3>
+      <table border="1" cellspacing="0">
+        <tr bgcolor="#C0C0C0"><th>signature</th><th>visibility</th></tr>
+        <xsl:apply-templates select="methods/method" mode="row"/>
+      </table>
+    </xsl:if>
+  </xsl:template>
+
+  <!-- Shared aggregations table of one fact class (Fig. 6.2). -->
+  <xsl:template name="fact-aggregations">
+    <xsl:param name="linker" select="'page'"/>
+    <xsl:if test="sharedaggs/sharedagg">
+      <h3>Shared aggregations</h3>
+      <table border="1" cellspacing="0">
+        <tr bgcolor="#C0C0C0">
+          <th>dimension</th><th>roles</th><th>kind</th>
+        </tr>
+        <xsl:for-each select="sharedaggs/sharedagg">
+          <tr bgcolor="#00FFFF">
+            <td><font size="2">
+              <xsl:choose>
+                <xsl:when test="$linker = 'anchor'">
+                  <a href="#{@dimclass}">
+                    <xsl:value-of
+                        select="key('dimclass', @dimclass)/@name"/></a>
+                </xsl:when>
+                <xsl:otherwise>
+                  <a href="{@dimclass}.html">
+                    <xsl:value-of
+                        select="key('dimclass', @dimclass)/@name"/></a>
+                </xsl:otherwise>
+              </xsl:choose>
+            </font></td>
+            <td><font size="2">
+              <xsl:value-of select="@rolea"/> :
+              <xsl:value-of select="@roleb"/>
+            </font></td>
+            <td><font size="2">
+              <xsl:choose>
+                <xsl:when test="@rolea = 'M' and @roleb = 'M'">
+                  many-to-many</xsl:when>
+                <xsl:otherwise>many-to-one</xsl:otherwise>
+              </xsl:choose>
+            </font></td>
+          </tr>
+        </xsl:for-each>
+      </table>
+    </xsl:if>
+  </xsl:template>
+
+  <!-- Attribute + relation body shared by dimensions and levels. -->
+  <xsl:template name="dim-attributes">
+    <xsl:if test="dimatts/dimatt and /goldmodel/@showatts = 'true'">
+      <h3>Attributes</h3>
+      <table border="1" cellspacing="0">
+        <tr bgcolor="#C0C0C0">
+          <th>name</th><th>type</th><th>constraints</th><th>description</th>
+        </tr>
+        <xsl:apply-templates select="dimatts/dimatt" mode="row"/>
+      </table>
+    </xsl:if>
+  </xsl:template>
+
+  <xsl:template name="dim-relations">
+    <xsl:param name="linker" select="'page'"/>
+    <xsl:if test="relationasocs/relationasoc">
+      <h3>Association relationships</h3>
+      <table border="1" cellspacing="0">
+        <tr bgcolor="#C0C0C0">
+          <th>rolls up to</th><th>multiplicity</th><th>constraints</th>
+        </tr>
+        <xsl:apply-templates select="relationasocs/relationasoc" mode="row">
+          <xsl:with-param name="linker" select="$linker"/>
+        </xsl:apply-templates>
+      </table>
+    </xsl:if>
+  </xsl:template>
+
+</xsl:stylesheet>
+"""
+
+#: XSLT 1.1 multi-page site (Instant Saxon approach; Figs. 6.1–6.4).
+MULTI_PAGE_XSL = """<?xml version="1.0"?>
+<xsl:stylesheet version="1.1"
+    xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:include href="common.xsl"/>
+  <xsl:output method="html" indent="no"/>
+
+  <xsl:template match="/">
+    <html>
+      <head>
+        <title><xsl:value-of select="goldmodel/@name"/></title>
+        <link rel="stylesheet" type="text/css" href="gold.css"/>
+      </head>
+      <body bgcolor="mintcream">
+        <h1>Multidimensional model:
+          <xsl:value-of select="goldmodel/@name"/></h1>
+        <xsl:call-template name="model-info"/>
+
+        <h2>Fact classes</h2>
+        <table border="1" cellspacing="0">
+          <tr bgcolor="#C0C0C0"><th>name</th><th>description</th></tr>
+          <xsl:for-each select="goldmodel/factclasses/factclass">
+            <tr>
+              <td><font size="2"><a href="{@id}.html">
+                <xsl:value-of select="@name"/></a></font></td>
+              <td><font size="2">
+                <xsl:value-of select="@description"/></font></td>
+            </tr>
+          </xsl:for-each>
+        </table>
+
+        <h2>Dimension classes</h2>
+        <table border="1" cellspacing="0">
+          <tr bgcolor="#C0C0C0">
+            <th>name</th><th>time?</th><th>description</th></tr>
+          <xsl:for-each select="goldmodel/dimclasses/dimclass">
+            <tr>
+              <td><font size="2"><a href="{@id}.html">
+                <xsl:value-of select="@name"/></a></font></td>
+              <td><font size="2"><xsl:value-of select="@istime"/></font></td>
+              <td><font size="2">
+                <xsl:value-of select="@description"/></font></td>
+            </tr>
+          </xsl:for-each>
+        </table>
+
+        <xsl:if test="goldmodel/cubeclasses/cubeclass">
+          <h2>Cube classes</h2>
+          <table border="1" cellspacing="0">
+            <tr bgcolor="#C0C0C0">
+              <th>name</th><th>fact</th><th>description</th></tr>
+            <xsl:for-each select="goldmodel/cubeclasses/cubeclass">
+              <tr>
+                <td><font size="2"><a href="{@id}.html">
+                  <xsl:value-of select="@name"/></a></font></td>
+                <td><font size="2"><a href="{@fact}.html">
+                  <xsl:value-of
+                      select="key('factclass', @fact)/@name"/></a></font></td>
+                <td><font size="2">
+                  <xsl:value-of select="@description"/></font></td>
+              </tr>
+            </xsl:for-each>
+          </table>
+        </xsl:if>
+
+        <xsl:apply-templates
+            select="goldmodel/factclasses/factclass" mode="page"/>
+        <xsl:apply-templates
+            select="goldmodel/dimclasses/dimclass" mode="page"/>
+        <xsl:apply-templates
+            select="goldmodel/cubeclasses/cubeclass" mode="page"/>
+      </body>
+    </html>
+  </xsl:template>
+
+  <!-- Fact class page (Fig. 6.2), one document per fact class. -->
+  <xsl:template match="factclass" mode="page">
+    <xsl:variable name="url" select="@id"/>
+    <xsl:document href="{$url}.html">
+      <html>
+        <head><title>Fact class: <xsl:value-of select="@name"/></title>
+          <link rel="stylesheet" type="text/css" href="gold.css"/></head>
+        <body bgcolor="mintcream">
+          <p><a href="index.html">&#8592; model</a></p>
+          <h1>Fact class: <xsl:value-of select="@name"/></h1>
+          <p><xsl:value-of select="@description"/></p>
+          <xsl:call-template name="fact-measures"/>
+          <xsl:call-template name="class-methods"/>
+          <xsl:call-template name="fact-aggregations"/>
+        </body>
+      </html>
+    </xsl:document>
+    <!-- Floating additivity pages (Fig. 6.3). -->
+    <xsl:for-each select="factatts/factatt[additivity]">
+      <xsl:document href="{@id}-additivity.html">
+        <html>
+          <head><title>Additivity of <xsl:value-of select="@name"/></title>
+            <link rel="stylesheet" type="text/css" href="gold.css"/></head>
+          <body bgcolor="lightyellow">
+            <h2>Additivity rules of measure
+              <xsl:value-of select="@name"/></h2>
+            <ul>
+              <xsl:apply-templates select="additivity" mode="describe"/>
+            </ul>
+            <p><a href="{../../@id}.html">back to
+              <xsl:value-of select="../../@name"/></a></p>
+          </body>
+        </html>
+      </xsl:document>
+    </xsl:for-each>
+  </xsl:template>
+
+  <!-- Dimension class page (Fig. 6.4). -->
+  <xsl:template match="dimclass" mode="page">
+    <xsl:document href="{@id}.html">
+      <html>
+        <head><title>Dimension class: <xsl:value-of select="@name"/></title>
+          <link rel="stylesheet" type="text/css" href="gold.css"/></head>
+        <body bgcolor="mintcream">
+          <p><a href="index.html">&#8592; model</a></p>
+          <h1>Dimension class: <xsl:value-of select="@name"/>
+            <xsl:if test="@istime = 'true'"> (time dimension)</xsl:if></h1>
+          <p><xsl:value-of select="@description"/></p>
+          <xsl:call-template name="dim-attributes"/>
+          <xsl:call-template name="class-methods"/>
+          <xsl:call-template name="dim-relations"/>
+          <xsl:if test="asoclevels/asoclevel">
+            <h3>Association levels</h3>
+            <ul>
+              <xsl:for-each select="asoclevels/asoclevel">
+                <li><a href="{@id}.html">
+                  <xsl:value-of select="@name"/></a></li>
+              </xsl:for-each>
+            </ul>
+          </xsl:if>
+          <xsl:if test="catlevels/catlevel">
+            <h3>Categorization levels</h3>
+            <ul>
+              <xsl:for-each select="catlevels/catlevel">
+                <li><a href="{@id}.html">
+                  <xsl:value-of select="@name"/></a></li>
+              </xsl:for-each>
+            </ul>
+          </xsl:if>
+        </body>
+      </html>
+    </xsl:document>
+    <xsl:apply-templates
+        select="asoclevels/asoclevel | catlevels/catlevel" mode="page"/>
+  </xsl:template>
+
+  <!-- Level pages, reachable from the dimension page. -->
+  <xsl:template match="asoclevel | catlevel" mode="page">
+    <xsl:document href="{@id}.html">
+      <html>
+        <head><title>Level: <xsl:value-of select="@name"/></title>
+          <link rel="stylesheet" type="text/css" href="gold.css"/></head>
+        <body bgcolor="mintcream">
+          <p><a href="{../../@id}.html">&#8592;
+            <xsl:value-of select="../../@name"/></a></p>
+          <h1>Classification level: <xsl:value-of select="@name"/></h1>
+          <p><xsl:value-of select="@description"/></p>
+          <xsl:call-template name="dim-attributes"/>
+          <xsl:call-template name="class-methods"/>
+          <xsl:call-template name="dim-relations"/>
+        </body>
+      </html>
+    </xsl:document>
+  </xsl:template>
+
+  <!-- Cube class pages (the dynamic part of the model). -->
+  <xsl:template match="cubeclass" mode="page">
+    <xsl:document href="{@id}.html">
+      <html>
+        <head><title>Cube class: <xsl:value-of select="@name"/></title>
+          <link rel="stylesheet" type="text/css" href="gold.css"/></head>
+        <body bgcolor="mintcream">
+          <p><a href="index.html">&#8592; model</a></p>
+          <h1>Cube class: <xsl:value-of select="@name"/></h1>
+          <p>Over fact class <a href="{@fact}.html">
+            <xsl:value-of select="key('factclass', @fact)/@name"/></a></p>
+          <xsl:if test="measures/measure">
+            <h3>Measures</h3>
+            <ul>
+              <xsl:for-each select="measures/measure">
+                <li><xsl:value-of select="@aggregation"/>
+                  (<xsl:value-of select="@ref"/>)</li>
+              </xsl:for-each>
+            </ul>
+          </xsl:if>
+          <xsl:if test="slices/slice">
+            <h3>Slice</h3>
+            <ul>
+              <xsl:for-each select="slices/slice">
+                <li><xsl:value-of select="@attribute"/>
+                  <xsl:text> </xsl:text>
+                  <xsl:value-of select="@operator"/>
+                  <xsl:text> </xsl:text>
+                  <xsl:value-of select="@value"/></li>
+              </xsl:for-each>
+            </ul>
+          </xsl:if>
+          <xsl:if test="dices/dice">
+            <h3>Dice</h3>
+            <ul>
+              <xsl:for-each select="dices/dice">
+                <li><a href="{@dimclass}.html">
+                  <xsl:value-of
+                      select="key('dimclass', @dimclass)/@name"/></a>
+                  at level
+                  <xsl:value-of select="key('anylevel', @level)/@name"/></li>
+              </xsl:for-each>
+            </ul>
+          </xsl:if>
+        </body>
+      </html>
+    </xsl:document>
+  </xsl:template>
+
+</xsl:stylesheet>
+"""
+
+#: XSLT 1.0 single page with internal anchors (MSXML approach).
+SINGLE_PAGE_XSL = """<?xml version="1.0"?>
+<xsl:stylesheet version="1.0"
+    xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:include href="common.xsl"/>
+  <xsl:output method="html" indent="no"/>
+
+  <xsl:template match="/">
+    <html>
+      <head>
+        <title><xsl:value-of select="goldmodel/@name"/></title>
+        <link rel="stylesheet" type="text/css" href="gold.css"/>
+      </head>
+      <body bgcolor="mintcream">
+        <h1>Multidimensional model:
+          <xsl:value-of select="goldmodel/@name"/></h1>
+        <xsl:call-template name="model-info"/>
+
+        <h2>Contents</h2>
+        <ul>
+          <xsl:for-each select="goldmodel/factclasses/factclass">
+            <li><a href="#{@id}">Fact class
+              <xsl:value-of select="@name"/></a></li>
+          </xsl:for-each>
+          <xsl:for-each select="goldmodel/dimclasses/dimclass">
+            <li><a href="#{@id}">Dimension class
+              <xsl:value-of select="@name"/></a></li>
+          </xsl:for-each>
+        </ul>
+
+        <xsl:apply-templates
+            select="goldmodel/factclasses/factclass" mode="section"/>
+        <xsl:apply-templates
+            select="goldmodel/dimclasses/dimclass" mode="section"/>
+      </body>
+    </html>
+  </xsl:template>
+
+  <xsl:template match="factclass" mode="section">
+    <hr/>
+    <h2><a name="{@id}"/>Fact class: <xsl:value-of select="@name"/></h2>
+    <p><xsl:value-of select="@description"/></p>
+    <xsl:call-template name="fact-measures">
+      <xsl:with-param name="linker" select="'anchor'"/>
+    </xsl:call-template>
+    <xsl:call-template name="class-methods"/>
+    <xsl:call-template name="fact-aggregations">
+      <xsl:with-param name="linker" select="'anchor'"/>
+    </xsl:call-template>
+    <xsl:for-each select="factatts/factatt[additivity]">
+      <h4><a name="{@id}-additivity"/>Additivity rules of
+        <xsl:value-of select="@name"/></h4>
+      <ul>
+        <xsl:apply-templates select="additivity" mode="describe"/>
+      </ul>
+    </xsl:for-each>
+  </xsl:template>
+
+  <xsl:template match="dimclass" mode="section">
+    <hr/>
+    <h2><a name="{@id}"/>Dimension class: <xsl:value-of select="@name"/>
+      <xsl:if test="@istime = 'true'"> (time dimension)</xsl:if></h2>
+    <p><xsl:value-of select="@description"/></p>
+    <xsl:call-template name="dim-attributes"/>
+    <xsl:call-template name="class-methods"/>
+    <xsl:call-template name="dim-relations">
+      <xsl:with-param name="linker" select="'anchor'"/>
+    </xsl:call-template>
+    <xsl:apply-templates
+        select="asoclevels/asoclevel | catlevels/catlevel" mode="section"/>
+  </xsl:template>
+
+  <xsl:template match="asoclevel | catlevel" mode="section">
+    <h3><a name="{@id}"/>Level: <xsl:value-of select="@name"/></h3>
+    <xsl:call-template name="dim-attributes"/>
+    <xsl:call-template name="class-methods"/>
+    <xsl:call-template name="dim-relations">
+      <xsl:with-param name="linker" select="'anchor'"/>
+    </xsl:call-template>
+  </xsl:template>
+
+</xsl:stylesheet>
+"""
+
+#: One parameterised stylesheet producing a per-fact-class presentation
+#: (Fig. 5 / footnote 8): pass param ``factclass`` (a fact class id).
+PRESENTATION_XSL = """<?xml version="1.0"?>
+<xsl:stylesheet version="1.0"
+    xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:include href="common.xsl"/>
+  <xsl:output method="html" indent="no"/>
+
+  <xsl:param name="factclass" select="''"/>
+
+  <xsl:template match="/">
+    <xsl:variable name="fact"
+        select="goldmodel/factclasses/factclass[@id = $factclass]"/>
+    <html>
+      <head>
+        <title>Presentation: <xsl:value-of select="$fact/@name"/></title>
+        <link rel="stylesheet" type="text/css" href="gold.css"/>
+      </head>
+      <body bgcolor="mintcream">
+        <xsl:choose>
+          <xsl:when test="$fact">
+            <h1>Presentation of fact class
+              <xsl:value-of select="$fact/@name"/></h1>
+            <p>Model: <xsl:value-of select="goldmodel/@name"/></p>
+            <xsl:for-each select="$fact">
+              <xsl:call-template name="fact-measures">
+                <xsl:with-param name="linker" select="'anchor'"/>
+              </xsl:call-template>
+              <xsl:call-template name="class-methods"/>
+              <xsl:call-template name="fact-aggregations">
+                <xsl:with-param name="linker" select="'anchor'"/>
+              </xsl:call-template>
+              <xsl:for-each select="factatts/factatt[additivity]">
+                <h4><a name="{@id}-additivity"/>Additivity rules of
+                  <xsl:value-of select="@name"/></h4>
+                <ul>
+                  <xsl:apply-templates select="additivity" mode="describe"/>
+                </ul>
+              </xsl:for-each>
+            </xsl:for-each>
+            <h2>Dimensions of this fact class</h2>
+            <!-- Only the dimensions this fact class shares (Fig. 5):
+                 the other dimensions of the model are not shown. -->
+            <xsl:for-each select="goldmodel/dimclasses/dimclass">
+              <xsl:if test="$fact/sharedaggs/sharedagg/@dimclass = @id">
+                <hr/>
+                <h3><a name="{@id}"/>Dimension:
+                  <xsl:value-of select="@name"/></h3>
+                <xsl:call-template name="dim-attributes"/>
+                <xsl:call-template name="dim-relations">
+                  <xsl:with-param name="linker" select="'anchor'"/>
+                </xsl:call-template>
+                <xsl:for-each
+                    select="asoclevels/asoclevel | catlevels/catlevel">
+                  <h4><a name="{@id}"/>Level:
+                    <xsl:value-of select="@name"/></h4>
+                  <xsl:call-template name="dim-attributes"/>
+                  <xsl:call-template name="dim-relations">
+                    <xsl:with-param name="linker" select="'anchor'"/>
+                  </xsl:call-template>
+                </xsl:for-each>
+              </xsl:if>
+            </xsl:for-each>
+          </xsl:when>
+          <xsl:otherwise>
+            <h1>Unknown fact class</h1>
+            <p>No fact class with id
+              '<xsl:value-of select="$factclass"/>' in model
+              <xsl:value-of select="goldmodel/@name"/>.</p>
+          </xsl:otherwise>
+        </xsl:choose>
+      </body>
+    </html>
+  </xsl:template>
+
+</xsl:stylesheet>
+"""
+
+
+def stylesheet_resolver(href: str) -> str:
+    """Resolve ``xsl:include`` hrefs used by the built-in stylesheets."""
+    if href == "common.xsl":
+        return COMMON_XSL
+    raise KeyError(f"unknown stylesheet include {href!r}")

@@ -1,0 +1,169 @@
+"""Rendering an XML Schema as a tree (paper Fig. 2).
+
+The paper presents its XML Schema as a labelled tree: every node is an
+element, dashed lines mark optional subelements, and multiplicity
+modifiers (``minOccurs``/``maxOccurs``) annotate the edges.  This module
+renders the same view as text::
+
+    goldmodel
+    ├── factclasses
+    │   └── factclass 1..*
+    │       ├╌╌ factatts 0..1
+    ...
+
+and as an HTML page (nested lists), with user-defined simple types
+shaded/starred like the figure's shadowed boxes.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..xsd.components import (
+    AnyWildcard,
+    ComplexType,
+    ElementDecl,
+    ModelGroup,
+    Particle,
+)
+from ..xsd.schema import Schema
+from ..xsd.simpletypes import ListType, SimpleType, UnionType
+
+__all__ = ["render_schema_tree", "render_schema_tree_html", "TreeNode",
+           "schema_tree"]
+
+
+class TreeNode:
+    """One node of the rendered tree."""
+
+    __slots__ = ("label", "occurs", "optional", "children", "type_note")
+
+    def __init__(self, label: str, occurs: str, optional: bool,
+                 type_note: str = "") -> None:
+        self.label = label
+        self.occurs = occurs
+        self.optional = optional
+        self.type_note = type_note
+        self.children: list[TreeNode] = []
+
+    def line(self) -> str:
+        """The node's text: name, occurrence, and type annotation."""
+        parts = [self.label]
+        if self.occurs and self.occurs != "1..1":
+            parts.append(self.occurs.replace("..", "..").replace(
+                "..None", "..*"))
+        if self.type_note:
+            parts.append(f"[{self.type_note}]")
+        return " ".join(parts)
+
+
+def schema_tree(schema: Schema) -> list[TreeNode]:
+    """Build the tree structure for every global element of *schema*."""
+    names = {id(t): name for name, t in schema.types.items()}
+    roots = []
+    for decl in schema.elements.values():
+        roots.append(_element_node(decl, "1..1", False, names, set()))
+    return roots
+
+
+def _occurs_label(particle: Particle) -> str:
+    high = "*" if particle.max_occurs is None else str(particle.max_occurs)
+    return f"{particle.min_occurs}..{high}"
+
+
+def _element_node(decl: ElementDecl, occurs: str, optional: bool,
+                  names: dict[int, str], seen: set[int]) -> TreeNode:
+    etype = decl.type
+    type_note = ""
+    if etype is not None and id(etype) in names and \
+            not isinstance(etype, ComplexType):
+        # User-defined simple type: the figure's shadowed boxes.
+        type_note = f"*{names[id(etype)]}*"
+    elif isinstance(etype, (SimpleType, ListType, UnionType)):
+        type_note = etype.describe()
+    node = TreeNode(decl.label if hasattr(decl, "label") else decl.name,
+                    occurs, optional, type_note)
+    if isinstance(etype, ComplexType) and etype.content is not None:
+        if id(etype) in seen:
+            node.type_note = "(recursive)"
+            return node
+        seen = seen | {id(etype)}
+        _particle_children(etype.content, node, names, seen)
+    return node
+
+
+def _particle_children(particle: Particle, parent: TreeNode,
+                       names: dict[int, str], seen: set[int]) -> None:
+    term = particle.term
+    if isinstance(term, ElementDecl):
+        optional = particle.min_occurs == 0
+        parent.children.append(_element_node(
+            term, _occurs_label(particle), optional, names, seen))
+    elif isinstance(term, AnyWildcard):
+        parent.children.append(TreeNode(
+            "(any)", _occurs_label(particle), particle.min_occurs == 0))
+    elif isinstance(term, ModelGroup):
+        if term.kind != "sequence" or particle.min_occurs != 1 or \
+                particle.max_occurs != 1:
+            group = TreeNode(f"({term.kind})", _occurs_label(particle),
+                             particle.min_occurs == 0)
+            parent.children.append(group)
+            parent = group
+        for child in term.particles:
+            _particle_children(child, parent, names, seen)
+
+
+def render_schema_tree(schema: Schema) -> str:
+    """Render the Fig. 2 tree as text with box-drawing connectors.
+
+    Optional elements use dashed connectors (``╌``), mirroring the
+    figure's dashed lines.
+    """
+    out = StringIO()
+    for root in schema_tree(schema):
+        out.write(root.line() + "\n")
+        _render_children(root, "", out)
+    if schema.types:
+        out.write("\nuser-defined simple types:\n")
+        for name, definition in schema.types.items():
+            if not isinstance(definition, ComplexType):
+                out.write(f"  *{name}* = {definition.describe()}\n")
+    return out.getvalue()
+
+
+def _render_children(node: TreeNode, prefix: str, out: StringIO) -> None:
+    count = len(node.children)
+    for index, child in enumerate(node.children):
+        last = index == count - 1
+        connector = "└" if last else "├"
+        dash = "╌╌" if child.optional else "──"
+        out.write(f"{prefix}{connector}{dash} {child.line()}\n")
+        extension = "    " if last else "│   "
+        _render_children(child, prefix + extension, out)
+
+
+def render_schema_tree_html(schema: Schema, *,
+                            title: str = "XML Schema tree") -> str:
+    """Render the tree as an HTML page with nested lists."""
+    out = StringIO()
+    out.write("<html><head><title>")
+    out.write(title)
+    out.write("</title></head><body bgcolor=\"mintcream\">")
+    out.write(f"<h1>{title}</h1>")
+    for root in schema_tree(schema):
+        out.write("<ul>")
+        _render_html_node(root, out)
+        out.write("</ul>")
+    out.write("</body></html>")
+    return out.getvalue()
+
+
+def _render_html_node(node: TreeNode, out: StringIO) -> None:
+    style = " style=\"border:1px dashed gray\"" if node.optional else ""
+    out.write(f"<li{style}><code>{node.line()}</code>")
+    if node.children:
+        out.write("<ul>")
+        for child in node.children:
+            _render_html_node(child, out)
+        out.write("</ul>")
+    out.write("</li>")

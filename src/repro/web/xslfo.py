@@ -1,0 +1,263 @@
+"""XSL Formatting Objects output (paper §6 future work).
+
+§6: "With respect to the presentation, XSL FO can be used to specify in
+deeper detail the pagination, layout, and styling information that will
+be applied to XML documents.  However, to the best of our knowledge,
+there are no current tools that completely provide support for XSL FO."
+
+This module supplies both halves:
+
+* :data:`MODEL_FO_XSL` — an XSLT stylesheet transforming a goldmodel
+  document into an XSL-FO document (``fo:root`` / ``fo:layout-master-set``
+  / ``fo:page-sequence`` with blocks and tables for the fact and
+  dimension classes);
+* :class:`FoRenderer` — the "tool that provides support for XSL FO":
+  a paginating text renderer interpreting the FO subset the stylesheet
+  emits (``fo:block`` with ``font-size``/``space-before``,
+  ``fo:table``/``fo:table-row``/``fo:table-cell``, ``break-before``),
+  producing fixed-width text pages.
+
+The pipeline ``model → FO document → paginated pages`` is the §6 vision
+end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mdm.model import GoldModel
+from ..mdm.xml_io import model_to_document
+from ..xml.dom import Document, Element, Text
+from ..xslt import Transformer, compile_stylesheet
+from .stylesheets import stylesheet_resolver
+
+__all__ = ["MODEL_FO_XSL", "FoPage", "FoRenderer", "model_to_fo",
+           "render_fo_pages", "FO_NAMESPACE"]
+
+FO_NAMESPACE = "http://www.w3.org/1999/XSL/Format"
+
+#: Transforms a goldmodel document into an XSL-FO document.
+MODEL_FO_XSL = """<?xml version="1.0"?>
+<xsl:stylesheet version="1.0"
+    xmlns:xsl="http://www.w3.org/1999/XSL/Transform"
+    xmlns:fo="http://www.w3.org/1999/XSL/Format">
+  <xsl:output method="xml" indent="no"/>
+  <xsl:key name="dimclass" match="dimclass" use="@id"/>
+
+  <xsl:template match="/">
+    <fo:root>
+      <fo:layout-master-set>
+        <fo:simple-page-master master-name="model-page"
+            page-height="29.7cm" page-width="21cm" margin="2cm">
+          <fo:region-body/>
+        </fo:simple-page-master>
+      </fo:layout-master-set>
+      <fo:page-sequence master-reference="model-page">
+        <fo:flow flow-name="xsl-region-body">
+          <fo:block font-size="18pt" font-weight="bold">
+            Multidimensional model: <xsl:value-of select="goldmodel/@name"/>
+          </fo:block>
+          <fo:block>
+            Created <xsl:value-of select="goldmodel/@creationdate"/>
+            — <xsl:value-of select="goldmodel/@description"/>
+          </fo:block>
+          <xsl:apply-templates
+              select="goldmodel/factclasses/factclass"/>
+          <xsl:apply-templates select="goldmodel/dimclasses/dimclass"/>
+        </fo:flow>
+      </fo:page-sequence>
+    </fo:root>
+  </xsl:template>
+
+  <xsl:template match="factclass">
+    <fo:block font-size="14pt" font-weight="bold" break-before="page">
+      Fact class: <xsl:value-of select="@name"/>
+    </fo:block>
+    <xsl:if test="factatts/factatt">
+      <fo:table>
+        <fo:table-header>
+          <fo:table-row>
+            <fo:table-cell>measure</fo:table-cell>
+            <fo:table-cell>type</fo:table-cell>
+            <fo:table-cell>constraints</fo:table-cell>
+          </fo:table-row>
+        </fo:table-header>
+        <fo:table-body>
+          <xsl:for-each select="factatts/factatt">
+            <fo:table-row>
+              <fo:table-cell><xsl:value-of select="@name"/></fo:table-cell>
+              <fo:table-cell><xsl:value-of select="@type"/></fo:table-cell>
+              <fo:table-cell>
+                <xsl:if test="@isoid = 'true'">{OID} </xsl:if>
+                <xsl:if test="@isderived = 'true'">derived</xsl:if>
+              </fo:table-cell>
+            </fo:table-row>
+          </xsl:for-each>
+        </fo:table-body>
+      </fo:table>
+    </xsl:if>
+    <xsl:if test="sharedaggs/sharedagg">
+      <fo:block space-before="6pt" font-weight="bold">Dimensions</fo:block>
+      <xsl:for-each select="sharedaggs/sharedagg">
+        <fo:block>
+          - <xsl:value-of select="key('dimclass', @dimclass)/@name"/>
+          (<xsl:value-of select="@rolea"/>:<xsl:value-of select="@roleb"/>)
+        </fo:block>
+      </xsl:for-each>
+    </xsl:if>
+  </xsl:template>
+
+  <xsl:template match="dimclass">
+    <fo:block font-size="14pt" font-weight="bold" break-before="page">
+      Dimension class: <xsl:value-of select="@name"/>
+    </fo:block>
+    <xsl:for-each select="dimatts/dimatt">
+      <fo:block>
+        * <xsl:value-of select="@name"/>
+        <xsl:if test="@oid = 'true'"> {OID}</xsl:if>
+        <xsl:if test="@d = 'true'"> {D}</xsl:if>
+      </fo:block>
+    </xsl:for-each>
+    <xsl:for-each select="asoclevels/asoclevel | catlevels/catlevel">
+      <fo:block space-before="6pt">
+        Level: <xsl:value-of select="@name"/>
+      </fo:block>
+    </xsl:for-each>
+  </xsl:template>
+
+</xsl:stylesheet>
+"""
+
+
+def model_to_fo(model: GoldModel) -> Document:
+    """Transform *model* into an XSL-FO document."""
+    sheet = compile_stylesheet(MODEL_FO_XSL)
+    result = Transformer(sheet).transform(model_to_document(model))
+    return result.document
+
+
+@dataclass
+class FoPage:
+    """One rendered page of fixed-width text."""
+
+    number: int
+    lines: list[str] = field(default_factory=list)
+
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+
+class FoRenderer:
+    """A paginating renderer for the FO subset :data:`MODEL_FO_XSL` emits.
+
+    Interprets ``fo:block`` (with ``font-size`` scaling into underlines,
+    ``space-before`` into blank lines, ``break-before="page"`` into page
+    breaks) and ``fo:table`` rows into aligned columns.  Page height
+    comes from the ``fo:simple-page-master`` (1 cm ≈ 2 lines).
+    """
+
+    def __init__(self, *, width: int = 72) -> None:
+        self.width = width
+
+    def render(self, fo_document: Document) -> list[FoPage]:
+        """Render *fo_document* into text pages."""
+        root = fo_document.root_element
+        if root is None or root.local_name != "root" or \
+                root.namespace_uri != FO_NAMESPACE:
+            raise ValueError("not an XSL-FO document (fo:root expected)")
+        page_height = self._page_height(root)
+        pages: list[FoPage] = [FoPage(number=1)]
+
+        def emit(line: str, *, allow_break: bool = True) -> None:
+            page = pages[-1]
+            if allow_break and len(page.lines) >= page_height:
+                pages.append(FoPage(number=len(pages) + 1))
+                page = pages[-1]
+            page.lines.append(line[:self.width])
+
+        def page_break() -> None:
+            if pages[-1].lines:
+                pages.append(FoPage(number=len(pages) + 1))
+
+        for flow in self._flows(root):
+            self._render_children(flow, emit, page_break)
+        return [page for page in pages if page.lines]
+
+    # -- structure -----------------------------------------------------------
+
+    def _page_height(self, root: Element) -> int:
+        for element in root.iter_elements():
+            if element.local_name == "simple-page-master":
+                height = element.get_attribute("page-height", "29.7cm")
+                try:
+                    centimetres = float(height.replace("cm", ""))
+                except ValueError:
+                    centimetres = 29.7
+                return max(4, int(centimetres * 2))
+        return 60
+
+    def _flows(self, root: Element):
+        for element in root.iter_elements():
+            if element.local_name == "flow" and \
+                    element.namespace_uri == FO_NAMESPACE:
+                yield element
+
+    def _render_children(self, parent: Element, emit, page_break) -> None:
+        for child in parent.children:
+            if not isinstance(child, Element) or \
+                    child.namespace_uri != FO_NAMESPACE:
+                continue
+            if child.local_name == "block":
+                self._render_block(child, emit, page_break)
+            elif child.local_name == "table":
+                self._render_table(child, emit)
+
+    def _render_block(self, block: Element, emit, page_break) -> None:
+        if block.get_attribute("break-before") == "page":
+            page_break()
+        space_before = block.get_attribute("space-before", "0pt") or "0pt"
+        if space_before != "0pt":
+            emit("")
+        text = " ".join(block.text_content().split())
+        font_size = block.get_attribute("font-size", "10pt") or "10pt"
+        emit(text)
+        try:
+            points = float(font_size.replace("pt", ""))
+        except ValueError:
+            points = 10.0
+        if points >= 14:
+            underline = "=" if points >= 18 else "-"
+            emit(underline * min(self.width, max(1, len(text))))
+
+    def _render_table(self, table: Element, emit) -> None:
+        rows: list[list[str]] = []
+        for row in table.iter_elements():
+            if row.local_name != "table-row":
+                continue
+            cells = [
+                " ".join(cell.text_content().split())
+                for cell in row.children
+                if isinstance(cell, Element) and
+                cell.local_name == "table-cell"
+            ]
+            rows.append(cells)
+        if not rows:
+            return
+        columns = max(len(row) for row in rows)
+        widths = [
+            max((len(row[i]) for row in rows if i < len(row)), default=0)
+            for i in range(columns)
+        ]
+        for index, row in enumerate(rows):
+            padded = [
+                (row[i] if i < len(row) else "").ljust(widths[i])
+                for i in range(columns)
+            ]
+            emit("  ".join(padded).rstrip())
+            if index == 0:
+                emit("  ".join("-" * w for w in widths))
+
+
+def render_fo_pages(model: GoldModel, *, width: int = 72) -> list[FoPage]:
+    """The full §6 pipeline: model → XSL-FO → paginated text pages."""
+    return FoRenderer(width=width).render(model_to_fo(model))

@@ -1,0 +1,50 @@
+"""XML 1.0 substrate: parser, DOM, and serializers.
+
+This subpackage is a from-scratch replacement for the XML tooling the paper
+relied on (MSXML / Xerces): a namespaces-aware well-formedness parser, a
+lightweight DOM aligned with the XPath 1.0 data model, and XML / pretty /
+HTML serializers.
+"""
+
+from .dom import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    NamespaceNode,
+    Node,
+    ProcessingInstruction,
+    Text,
+    sort_document_order,
+)
+from .errors import (
+    DOMError,
+    XMLError,
+    XMLNamespaceError,
+    XMLSyntaxError,
+    XMLValidationError,
+)
+from .parser import parse, parse_file
+from .serializer import pretty_print, serialize, serialize_html
+
+__all__ = [
+    "Attribute",
+    "Comment",
+    "Document",
+    "Element",
+    "NamespaceNode",
+    "Node",
+    "ProcessingInstruction",
+    "Text",
+    "sort_document_order",
+    "DOMError",
+    "XMLError",
+    "XMLNamespaceError",
+    "XMLSyntaxError",
+    "XMLValidationError",
+    "parse",
+    "parse_file",
+    "pretty_print",
+    "serialize",
+    "serialize_html",
+]

@@ -1,0 +1,546 @@
+"""A lightweight DOM tailored to the XPath 1.0 data model.
+
+The tree distinguishes the seven XPath node kinds: root (document), element,
+attribute, text, comment, processing instruction, and namespace.  It is
+deliberately simpler than W3C DOM — no live collections, no entity nodes —
+but it supports everything the XPath engine, the XSD/DTD validators and the
+XSLT engine require:
+
+* parent links and document order,
+* namespace scoping (``xmlns`` declarations are tracked per element),
+* string values per the XPath recommendation,
+* safe mutation (used by XSLT result-tree construction).
+
+Example
+-------
+>>> doc = Document()
+>>> root = doc.append_child(Element("goldmodel"))
+>>> root.set_attribute("name", "Sales DW")
+>>> child = root.append_child(Element("factclasses"))
+>>> root.get_attribute("name")
+'Sales DW'
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from .chars import is_name, is_qname, split_qname
+from .errors import DOMError
+
+__all__ = [
+    "XML_NAMESPACE",
+    "XMLNS_NAMESPACE",
+    "Node",
+    "Document",
+    "Element",
+    "Attribute",
+    "Text",
+    "Comment",
+    "ProcessingInstruction",
+    "NamespaceNode",
+]
+
+#: Namespace bound to the reserved ``xml`` prefix.
+XML_NAMESPACE = "http://www.w3.org/XML/1998/namespace"
+#: Namespace bound to the reserved ``xmlns`` prefix.
+XMLNS_NAMESPACE = "http://www.w3.org/2000/xmlns/"
+
+
+class Node:
+    """Base class for all tree nodes."""
+
+    __slots__ = ("parent",)
+
+    #: XPath node-kind name; overridden by subclasses.
+    kind = "node"
+
+    def __init__(self) -> None:
+        self.parent: Node | None = None
+
+    # -- tree navigation ---------------------------------------------------
+
+    @property
+    def document(self) -> "Document | None":
+        """The owning :class:`Document`, or None for detached trees."""
+        node: Node | None = self
+        while node is not None:
+            if isinstance(node, Document):
+                return node
+            node = node.parent
+        return None
+
+    @property
+    def root(self) -> "Node":
+        """The topmost ancestor (the document for attached nodes)."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Yield ancestors from parent up to (and including) the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    # -- XPath data model --------------------------------------------------
+
+    def string_value(self) -> str:
+        """The node's string-value per XPath 1.0 §5."""
+        raise NotImplementedError
+
+    def document_order_key(self) -> tuple[int, ...]:
+        """A sort key giving document order for attached nodes.
+
+        The key is the path of child indices from the root; attributes and
+        namespace nodes sort directly after their owner element and before
+        its children (namespace nodes before attributes, per XPath).
+        """
+        path: list[int] = []
+        node: Node = self
+        while node.parent is not None:
+            parent = node.parent
+            path.append(parent._child_order_index(node))
+            node = parent
+        path.reverse()
+        return tuple(path)
+
+    def _child_order_index(self, child: "Node") -> int:
+        raise DOMError(f"{type(self).__name__} has no children")
+
+
+class _ParentNode(Node):
+    """Shared implementation for nodes that hold children."""
+
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: list[Node] = []
+
+    def append_child(self, child: Node) -> Node:
+        """Attach *child* as the last child and return it."""
+        self._check_insertable(child)
+        if child.parent is not None:
+            child.parent.remove_child(child)  # type: ignore[union-attr]
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def insert_before(self, child: Node, reference: Node | None) -> Node:
+        """Insert *child* before *reference* (append when reference is None)."""
+        if reference is None:
+            return self.append_child(child)
+        self._check_insertable(child)
+        try:
+            index = self.children.index(reference)
+        except ValueError:
+            raise DOMError("reference node is not a child") from None
+        if child.parent is not None:
+            child.parent.remove_child(child)  # type: ignore[union-attr]
+        child.parent = self
+        self.children.insert(index, child)
+        return child
+
+    def remove_child(self, child: Node) -> Node:
+        """Detach *child* and return it."""
+        try:
+            self.children.remove(child)
+        except ValueError:
+            raise DOMError("node to remove is not a child") from None
+        child.parent = None
+        return child
+
+    def _check_insertable(self, child: Node) -> None:
+        if isinstance(child, (Document, Attribute, NamespaceNode)):
+            raise DOMError(f"cannot insert a {child.kind} node as a child")
+        node: Node | None = self
+        while node is not None:
+            if node is child:
+                raise DOMError("cannot insert a node into itself")
+            node = node.parent
+
+    def _child_order_index(self, child: Node) -> int:
+        # Children start at 2 so namespace (0) and attribute (1) pseudo
+        # positions of an element sort before them.  See Element.
+        base = 2 if isinstance(self, Element) else 0
+        for i, node in enumerate(self.children):
+            if node is child:
+                return base + i
+        raise DOMError("node is not a child")
+
+    # -- traversal helpers ---------------------------------------------------
+
+    def iter_descendants(self) -> Iterator[Node]:
+        """Yield all descendants in document order (excluding self)."""
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, _ParentNode):
+                stack.extend(reversed(node.children))
+
+    def iter_elements(self) -> Iterator["Element"]:
+        """Yield descendant elements in document order."""
+        for node in self.iter_descendants():
+            if isinstance(node, Element):
+                yield node
+
+    def find(self, name: str) -> "Element | None":
+        """Return the first child element with tag *name*, or None."""
+        for node in self.children:
+            if isinstance(node, Element) and node.name == name:
+                return node
+        return None
+
+    def find_all(self, name: str) -> list["Element"]:
+        """Return all child elements with tag *name*."""
+        return [
+            node for node in self.children
+            if isinstance(node, Element) and node.name == name
+        ]
+
+    def text_content(self) -> str:
+        """Concatenated text of all descendant text nodes."""
+        return "".join(
+            node.data for node in self.iter_descendants()
+            if isinstance(node, Text)
+        )
+
+
+class Document(_ParentNode):
+    """The root node of a tree (the XPath *root node*).
+
+    Holds at most one element child plus comments and processing
+    instructions.  ``standalone``/``encoding``/``version`` record the XML
+    declaration when parsed from text.
+    """
+
+    __slots__ = ("version", "encoding", "standalone", "doctype_name",
+                 "doctype_system", "doctype_public", "internal_subset")
+
+    kind = "document"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.version = "1.0"
+        self.encoding: str | None = None
+        self.standalone: bool | None = None
+        self.doctype_name: str | None = None
+        self.doctype_system: str | None = None
+        self.doctype_public: str | None = None
+        self.internal_subset: str | None = None
+
+    @property
+    def root_element(self) -> "Element | None":
+        """The document element, or None for an empty document."""
+        for node in self.children:
+            if isinstance(node, Element):
+                return node
+        return None
+
+    def _check_insertable(self, child: Node) -> None:
+        super()._check_insertable(child)
+        if isinstance(child, Element) and self.root_element is not None:
+            raise DOMError("document already has a root element")
+        if isinstance(child, Text):
+            raise DOMError("text is not allowed at document level")
+
+    def string_value(self) -> str:
+        return self.text_content()
+
+
+class Element(_ParentNode):
+    """An element node with ordered attributes and namespace declarations."""
+
+    __slots__ = ("name", "attributes", "namespace_declarations",
+                 "line", "column")
+
+    kind = "element"
+
+    def __init__(self, name: str, *, line: int | None = None,
+                 column: int | None = None) -> None:
+        if not is_qname(name):
+            raise DOMError(f"invalid element name {name!r}")
+        super().__init__()
+        self.name = name
+        self.attributes: list[Attribute] = []
+        #: Mapping of prefix (``""`` for default) to namespace URI declared
+        #: *on this element* (``xmlns`` / ``xmlns:p`` attributes).
+        self.namespace_declarations: dict[str, str] = {}
+        self.line = line
+        self.column = column
+
+    # -- names ---------------------------------------------------------------
+
+    @property
+    def prefix(self) -> str | None:
+        """Namespace prefix of the tag, or None."""
+        return split_qname(self.name)[0]
+
+    @property
+    def local_name(self) -> str:
+        """Local part of the tag name."""
+        return split_qname(self.name)[1]
+
+    @property
+    def namespace_uri(self) -> str | None:
+        """The namespace URI the tag is bound to in scope, or None."""
+        return self.lookup_namespace(self.prefix or "")
+
+    # -- namespaces ----------------------------------------------------------
+
+    def declare_namespace(self, prefix: str, uri: str) -> None:
+        """Declare ``xmlns:prefix="uri"`` (or default when prefix is '')."""
+        self.namespace_declarations[prefix] = uri
+
+    def lookup_namespace(self, prefix: str) -> str | None:
+        """Resolve *prefix* against in-scope declarations (None if unbound)."""
+        if prefix == "xml":
+            return XML_NAMESPACE
+        if prefix == "xmlns":
+            return XMLNS_NAMESPACE
+        node: Node | None = self
+        while isinstance(node, Element):
+            if prefix in node.namespace_declarations:
+                return node.namespace_declarations[prefix] or None
+            node = node.parent
+        return None
+
+    def in_scope_namespaces(self) -> dict[str, str]:
+        """All prefix→URI bindings in scope (excluding undeclared defaults)."""
+        bindings: dict[str, str] = {}
+        chain: list[Element] = []
+        node: Node | None = self
+        while isinstance(node, Element):
+            chain.append(node)
+            node = node.parent
+        for element in reversed(chain):
+            for prefix, uri in element.namespace_declarations.items():
+                if uri:
+                    bindings[prefix] = uri
+                else:
+                    bindings.pop(prefix, None)
+        bindings["xml"] = XML_NAMESPACE
+        return bindings
+
+    # -- attributes ------------------------------------------------------------
+
+    def set_attribute(self, name: str, value: str) -> "Attribute":
+        """Set attribute *name* to *value*, replacing any existing value."""
+        for attr in self.attributes:
+            if attr.name == name:
+                attr.value = value
+                return attr
+        attr = Attribute(name, value)
+        attr.parent = self
+        self.attributes.append(attr)
+        return attr
+
+    def get_attribute(self, name: str, default: str | None = None) -> str | None:
+        """Return the value of attribute *name*, or *default*."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr.value
+        return default
+
+    def get_attribute_node(self, name: str) -> "Attribute | None":
+        """Return the :class:`Attribute` node named *name*, or None."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        return None
+
+    def has_attribute(self, name: str) -> bool:
+        """Return True if attribute *name* is present."""
+        return any(attr.name == name for attr in self.attributes)
+
+    def remove_attribute(self, name: str) -> None:
+        """Remove attribute *name* if present."""
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                attr.parent = None
+                del self.attributes[i]
+                return
+
+    # -- XPath ----------------------------------------------------------------
+
+    def string_value(self) -> str:
+        return self.text_content()
+
+    def _attr_order_index(self, attr: "Attribute") -> int:
+        return 1
+
+    def document_order_key_for_attr(self, attr: "Attribute") -> tuple:
+        """Order key placing *attr* after self but before child nodes."""
+        index = next(
+            (i for i, a in enumerate(self.attributes) if a is attr), 0)
+        return self.document_order_key() + (1, index)
+
+
+class Attribute(Node):
+    """An attribute node.  Its parent is the owning element."""
+
+    __slots__ = ("name", "value", "is_id", "specified", "line", "column")
+
+    kind = "attribute"
+
+    def __init__(self, name: str, value: str, *, line: int | None = None,
+                 column: int | None = None) -> None:
+        if not is_qname(name) and not is_name(name):
+            raise DOMError(f"invalid attribute name {name!r}")
+        super().__init__()
+        self.name = name
+        self.value = value
+        #: Set by DTD/XSD validation when the attribute has ID type.
+        self.is_id = False
+        #: False when the value came from a DTD/schema default.
+        self.specified = True
+        self.line = line
+        self.column = column
+
+    @property
+    def prefix(self) -> str | None:
+        return split_qname(self.name)[0]
+
+    @property
+    def local_name(self) -> str:
+        return split_qname(self.name)[1]
+
+    @property
+    def namespace_uri(self) -> str | None:
+        """Per Namespaces in XML: unprefixed attributes have no namespace."""
+        prefix = self.prefix
+        if prefix is None:
+            return None
+        owner = self.parent
+        if isinstance(owner, Element):
+            return owner.lookup_namespace(prefix)
+        if prefix == "xml":
+            return XML_NAMESPACE
+        return None
+
+    def string_value(self) -> str:
+        return self.value
+
+    def document_order_key(self) -> tuple:
+        owner = self.parent
+        if isinstance(owner, Element):
+            return owner.document_order_key_for_attr(self)
+        return ()
+
+
+class Text(Node):
+    """A text node (includes what was CDATA in the source)."""
+
+    __slots__ = ("data", "is_cdata")
+
+    kind = "text"
+
+    def __init__(self, data: str, *, is_cdata: bool = False) -> None:
+        super().__init__()
+        self.data = data
+        self.is_cdata = is_cdata
+
+    def string_value(self) -> str:
+        return self.data
+
+
+class Comment(Node):
+    """A comment node."""
+
+    __slots__ = ("data",)
+
+    kind = "comment"
+
+    def __init__(self, data: str) -> None:
+        super().__init__()
+        self.data = data
+
+    def string_value(self) -> str:
+        return self.data
+
+
+class ProcessingInstruction(Node):
+    """A processing-instruction node."""
+
+    __slots__ = ("target", "data")
+
+    kind = "processing-instruction"
+
+    def __init__(self, target: str, data: str = "") -> None:
+        super().__init__()
+        self.target = target
+        self.data = data
+
+    def string_value(self) -> str:
+        return self.data
+
+
+class NamespaceNode(Node):
+    """An XPath namespace node (one per in-scope binding per element)."""
+
+    __slots__ = ("prefix_name", "uri", "owner")
+
+    kind = "namespace"
+
+    def __init__(self, prefix: str, uri: str, owner: Element) -> None:
+        super().__init__()
+        self.prefix_name = prefix
+        self.uri = uri
+        self.owner = owner
+        self.parent = owner
+
+    def string_value(self) -> str:
+        return self.uri
+
+    def document_order_key(self) -> tuple:
+        return self.owner.document_order_key() + (0, self.prefix_name)
+
+
+def clone_node(node: Node) -> Node:
+    """Deep-copy *node* (and its subtree) into a detached clone."""
+    if isinstance(node, Document):
+        clone = Document()
+        clone.version = node.version
+        clone.encoding = node.encoding
+        clone.standalone = node.standalone
+        clone.doctype_name = node.doctype_name
+        clone.doctype_system = node.doctype_system
+        clone.doctype_public = node.doctype_public
+        clone.internal_subset = node.internal_subset
+        for child in node.children:
+            clone.append_child(clone_node(child))
+        return clone
+    if isinstance(node, Element):
+        clone = Element(node.name, line=node.line, column=node.column)
+        clone.namespace_declarations.update(node.namespace_declarations)
+        for attr in node.attributes:
+            copied = clone.set_attribute(attr.name, attr.value)
+            copied.is_id = attr.is_id
+            copied.specified = attr.specified
+        for child in node.children:
+            clone.append_child(clone_node(child))
+        return clone
+    if isinstance(node, Text):
+        return Text(node.data, is_cdata=node.is_cdata)
+    if isinstance(node, Comment):
+        return Comment(node.data)
+    if isinstance(node, ProcessingInstruction):
+        return ProcessingInstruction(node.target, node.data)
+    if isinstance(node, Attribute):
+        return Attribute(node.name, node.value)
+    raise DOMError(f"cannot clone a {node.kind} node")
+
+
+def sort_document_order(nodes: Sequence[Node]) -> list[Node]:
+    """Return *nodes* sorted into document order with duplicates removed."""
+    seen: set[int] = set()
+    unique: list[Node] = []
+    for node in nodes:
+        if id(node) not in seen:
+            seen.add(id(node))
+            unique.append(node)
+    return sorted(unique, key=lambda n: n.document_order_key())

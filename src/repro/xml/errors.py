@@ -1,0 +1,42 @@
+"""Error hierarchy for the XML substrate.
+
+All errors carry an optional source position (line, column) so that tools
+built on top (the CASE tool CLI, validators) can report precise locations,
+mirroring what Xerces-style parsers provide.
+"""
+
+from __future__ import annotations
+
+
+class XMLError(Exception):
+    """Base class for all XML-related errors in :mod:`repro`."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line is not None and self.column is not None:
+            return f"{self.message} (line {self.line}, column {self.column})"
+        if self.line is not None:
+            return f"{self.message} (line {self.line})"
+        return self.message
+
+
+class XMLSyntaxError(XMLError):
+    """The document is not well-formed XML 1.0."""
+
+
+class XMLNamespaceError(XMLError):
+    """A namespace constraint is violated (undeclared prefix, bad binding)."""
+
+
+class XMLValidationError(XMLError):
+    """An instance document violates its schema or DTD."""
+
+
+class DOMError(XMLError):
+    """Illegal tree manipulation (e.g. inserting a node into itself)."""

@@ -1,0 +1,87 @@
+"""Entity escaping and character-reference handling.
+
+The five predefined XML entities plus numeric character references are
+implemented here so the lexer, serializer, and XSLT output methods share a
+single definition.
+"""
+
+from __future__ import annotations
+
+from .chars import is_xml_char
+from .errors import XMLSyntaxError
+
+__all__ = [
+    "PREDEFINED_ENTITIES",
+    "escape_text",
+    "escape_attribute",
+    "resolve_entity",
+    "resolve_char_ref",
+]
+
+#: Names of the entities every XML processor must recognise (production [68]).
+PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+def escape_text(text: str) -> str:
+    """Escape *text* for use as element content.
+
+    ``<`` and ``&`` must always be escaped; ``>`` is escaped as well so the
+    forbidden ``]]>`` sequence can never appear in output.
+    """
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def escape_attribute(text: str, quote: str = '"') -> str:
+    """Escape *text* for use inside an attribute value delimited by *quote*."""
+    escaped = escape_text(text).replace("\t", "&#9;").replace("\n", "&#10;")
+    if quote == '"':
+        return escaped.replace('"', "&quot;")
+    return escaped.replace("'", "&apos;")
+
+
+def resolve_entity(name: str, line: int | None = None,
+                   column: int | None = None) -> str:
+    """Resolve a general entity reference ``&name;`` to its replacement text.
+
+    Only the five predefined entities are supported; the paper's documents
+    (CASE-tool output) never declare custom general entities.
+    """
+    try:
+        return PREDEFINED_ENTITIES[name]
+    except KeyError:
+        raise XMLSyntaxError(
+            f"reference to undefined entity '&{name};'", line, column
+        ) from None
+
+
+def resolve_char_ref(body: str, line: int | None = None,
+                     column: int | None = None) -> str:
+    """Resolve a character reference body (``#65`` or ``#x41``) to text."""
+    try:
+        if body.startswith("#x") or body.startswith("#X"):
+            code = int(body[2:], 16)
+        elif body.startswith("#"):
+            code = int(body[1:], 10)
+        else:
+            raise ValueError(body)
+        ch = chr(code)
+    except (ValueError, OverflowError):
+        raise XMLSyntaxError(
+            f"malformed character reference '&{body};'", line, column
+        ) from None
+    if not is_xml_char(ch):
+        raise XMLSyntaxError(
+            f"character reference '&{body};' is not a legal XML character",
+            line, column,
+        )
+    return ch

@@ -1,0 +1,451 @@
+"""A conforming-subset XML 1.0 + Namespaces parser.
+
+Parses a document string into the :mod:`repro.xml.dom` tree.  Supported:
+
+* XML declaration, document type declaration (internal subset captured as
+  raw text for the DTD module), comments, processing instructions,
+* elements, attributes (with value normalization), namespaces
+  (well-formedness checked when ``namespaces=True``),
+* character data, CDATA sections, predefined entities and character
+  references,
+* precise error positions on every well-formedness violation.
+
+Unsupported (rejected, not silently ignored): external entities and custom
+general entities — the CASE-tool documents of the paper never use them.
+
+Example
+-------
+>>> doc = parse('<goldmodel id="m1" name="DW"><factclasses/></goldmodel>')
+>>> doc.root_element.get_attribute("name")
+'DW'
+"""
+
+from __future__ import annotations
+
+from .chars import is_qname, is_xml_char
+from .dom import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+from .errors import XMLNamespaceError, XMLSyntaxError
+from .escaping import resolve_char_ref, resolve_entity
+from .lexer import Scanner
+
+__all__ = ["parse", "parse_file", "XMLParser"]
+
+
+def parse(text: str | bytes, *, namespaces: bool = True) -> Document:
+    """Parse *text* into a :class:`Document`.
+
+    Raises :class:`~repro.xml.errors.XMLSyntaxError` for well-formedness
+    violations and :class:`~repro.xml.errors.XMLNamespaceError` for
+    namespace violations (undeclared prefixes, duplicate expanded names).
+    """
+    return XMLParser(namespaces=namespaces).parse(text)
+
+
+def parse_file(path, *, namespaces: bool = True) -> Document:
+    """Parse the file at *path* (bytes are decoded per the XML declaration)."""
+    with open(path, "rb") as handle:
+        return parse(handle.read(), namespaces=namespaces)
+
+
+def _decode(data: bytes) -> str:
+    """Decode *data* honouring BOMs and the encoding pseudo-attribute."""
+    if data.startswith(b"\xef\xbb\xbf"):
+        return data[3:].decode("utf-8")
+    if data.startswith(b"\xff\xfe"):
+        return data.decode("utf-16-le")[1:] if data[2:4] != b"\x00\x00" else data.decode("utf-32-le")[1:]
+    if data.startswith(b"\xfe\xff"):
+        return data.decode("utf-16-be")[1:]
+    head = data[:128].decode("latin-1", errors="replace")
+    if head.startswith("<?xml"):
+        decl_end = head.find("?>")
+        if decl_end != -1 and "encoding" in head[:decl_end]:
+            import re
+
+            match = re.search(
+                r"encoding\s*=\s*['\"]([A-Za-z][A-Za-z0-9._-]*)['\"]",
+                head[:decl_end])
+            if match:
+                return data.decode(match.group(1))
+    return data.decode("utf-8")
+
+
+class XMLParser:
+    """Recursive-descent XML parser.  One instance parses one document."""
+
+    def __init__(self, *, namespaces: bool = True) -> None:
+        self.namespaces = namespaces
+        self._scanner: Scanner | None = None
+
+    # -- entry point -----------------------------------------------------------
+
+    def parse(self, text: str | bytes) -> Document:
+        """Parse *text* and return the document tree."""
+        if isinstance(text, bytes):
+            text = _decode(text)
+        if text.startswith("﻿"):
+            text = text[1:]
+        scanner = self._scanner = Scanner(text)
+        document = Document()
+
+        self._parse_prolog(document)
+        if scanner.at_end or scanner.peek() != "<":
+            raise scanner.error("expected document element")
+        element = self._parse_element(parent_element=None)
+        document.append_child(element)
+        self._parse_misc(document)
+        if not scanner.at_end:
+            raise scanner.error("content after document element")
+        return document
+
+    # -- prolog -----------------------------------------------------------------
+
+    def _parse_prolog(self, document: Document) -> None:
+        scanner = self._scanner
+        assert scanner is not None
+        if scanner.startswith("<?xml") and scanner.peek(5) in " \t\r\n":
+            self._parse_xml_declaration(document)
+        while True:
+            scanner.skip_space()
+            if scanner.startswith("<!--"):
+                document.append_child(self._parse_comment())
+            elif scanner.startswith("<?"):
+                document.append_child(self._parse_pi())
+            elif scanner.startswith("<!DOCTYPE"):
+                if document.doctype_name is not None:
+                    raise scanner.error("multiple document type declarations")
+                self._parse_doctype(document)
+            else:
+                return
+
+    def _parse_xml_declaration(self, document: Document) -> None:
+        scanner = self._scanner
+        assert scanner is not None
+        scanner.expect("<?xml")
+        scanner.require_space("after '<?xml'")
+        scanner.expect("version", "version pseudo-attribute")
+        document.version = self._parse_pseudo_attr_value()
+        if document.version not in ("1.0", "1.1"):
+            raise scanner.error(
+                f"unsupported XML version {document.version!r}")
+        scanner.skip_space()
+        if scanner.startswith("encoding"):
+            scanner.expect("encoding")
+            document.encoding = self._parse_pseudo_attr_value()
+            scanner.skip_space()
+        if scanner.startswith("standalone"):
+            scanner.expect("standalone")
+            value = self._parse_pseudo_attr_value()
+            if value not in ("yes", "no"):
+                raise scanner.error("standalone must be 'yes' or 'no'")
+            document.standalone = value == "yes"
+            scanner.skip_space()
+        scanner.expect("?>", "end of XML declaration")
+
+    def _parse_pseudo_attr_value(self) -> str:
+        scanner = self._scanner
+        assert scanner is not None
+        scanner.skip_space()
+        scanner.expect("=", "'='")
+        scanner.skip_space()
+        return scanner.read_quoted("value")
+
+    def _parse_doctype(self, document: Document) -> None:
+        scanner = self._scanner
+        assert scanner is not None
+        scanner.expect("<!DOCTYPE")
+        scanner.require_space("after '<!DOCTYPE'")
+        document.doctype_name = scanner.read_name("doctype name")
+        scanner.skip_space()
+        if scanner.startswith("SYSTEM"):
+            scanner.expect("SYSTEM")
+            scanner.require_space("after SYSTEM")
+            document.doctype_system = scanner.read_quoted("system identifier")
+        elif scanner.startswith("PUBLIC"):
+            scanner.expect("PUBLIC")
+            scanner.require_space("after PUBLIC")
+            document.doctype_public = scanner.read_quoted("public identifier")
+            scanner.require_space("after public identifier")
+            document.doctype_system = scanner.read_quoted("system identifier")
+        scanner.skip_space()
+        if scanner.peek() == "[":
+            scanner.advance()
+            start = scanner.pos
+            depth = 1
+            while depth:
+                ch = scanner.peek()
+                if not ch:
+                    raise scanner.error("unterminated internal subset")
+                if ch == "[":
+                    depth += 1
+                elif ch == "]":
+                    depth -= 1
+                elif ch == '"' or ch == "'":
+                    scanner.advance()
+                    scanner.read_until(ch, "literal in internal subset")
+                    continue
+                scanner.advance()
+            document.internal_subset = scanner.text[start:scanner.pos - 1]
+            scanner.skip_space()
+        scanner.expect(">", "end of DOCTYPE")
+
+    def _parse_misc(self, document: Document) -> None:
+        scanner = self._scanner
+        assert scanner is not None
+        while True:
+            scanner.skip_space()
+            if scanner.startswith("<!--"):
+                document.append_child(self._parse_comment())
+            elif scanner.startswith("<?"):
+                document.append_child(self._parse_pi())
+            else:
+                return
+
+    # -- elements ---------------------------------------------------------------
+
+    def _parse_element(self, parent_element: Element | None) -> Element:
+        scanner = self._scanner
+        assert scanner is not None
+        start = scanner.pos
+        scanner.expect("<")
+        name = scanner.read_name("element name")
+        line, column = scanner.location(start)
+        element = Element(name, line=line, column=column)
+        if parent_element is not None:
+            # Attach early so namespace lookup sees ancestors during parsing.
+            element.parent = parent_element
+
+        seen_attrs: set[str] = set()
+        while True:
+            had_space = scanner.skip_space()
+            ch = scanner.peek()
+            if ch == ">":
+                scanner.advance()
+                self._parse_content(element)
+                self._parse_end_tag(element)
+                break
+            if scanner.startswith("/>"):
+                scanner.advance(2)
+                break
+            if not had_space:
+                raise scanner.error("white space required before attribute")
+            self._parse_attribute(element, seen_attrs)
+
+        element.parent = None  # the caller re-attaches via append_child
+        if self.namespaces:
+            self._check_namespaces(element, parent_element)
+        return element
+
+    def _parse_attribute(self, element: Element, seen: set[str]) -> None:
+        scanner = self._scanner
+        assert scanner is not None
+        attr_start = scanner.pos
+        name = scanner.read_name("attribute name")
+        if name in seen:
+            raise scanner.error(
+                f"duplicate attribute {name!r}", attr_start)
+        seen.add(name)
+        scanner.skip_space()
+        scanner.expect("=", "'=' after attribute name")
+        scanner.skip_space()
+        value = self._parse_attribute_value()
+        line, column = scanner.location(attr_start)
+        if name == "xmlns":
+            element.declare_namespace("", value)
+        elif name.startswith("xmlns:"):
+            prefix = name[6:]
+            if prefix == "xmlns":
+                raise scanner.error(
+                    "the 'xmlns' prefix cannot be declared", attr_start)
+            if prefix == "xml" and value != "http://www.w3.org/XML/1998/namespace":
+                raise scanner.error(
+                    "the 'xml' prefix cannot be rebound", attr_start)
+            if not value:
+                raise scanner.error(
+                    f"namespace prefix {prefix!r} cannot be undeclared "
+                    "in XML 1.0", attr_start)
+            element.declare_namespace(prefix, value)
+        attr = Attribute(name, value, line=line, column=column)
+        attr.parent = element
+        element.attributes.append(attr)
+
+    def _parse_attribute_value(self) -> str:
+        scanner = self._scanner
+        assert scanner is not None
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        parts: list[str] = []
+        while True:
+            ch = scanner.peek()
+            if not ch:
+                raise scanner.error("unterminated attribute value")
+            if ch == quote:
+                scanner.advance()
+                return "".join(parts)
+            if ch == "<":
+                raise scanner.error("'<' is not allowed in attribute values")
+            if ch == "&":
+                parts.append(self._parse_reference())
+                continue
+            if ch in "\t\r\n":
+                # Attribute-value normalization (XML 1.0 §3.3.3).
+                parts.append(" ")
+                if ch == "\r" and scanner.peek(1) == "\n":
+                    scanner.advance()
+            else:
+                if not is_xml_char(ch):
+                    raise scanner.error(
+                        f"illegal character U+{ord(ch):04X} in attribute")
+                parts.append(ch)
+            scanner.advance()
+
+    def _parse_content(self, element: Element) -> None:
+        scanner = self._scanner
+        assert scanner is not None
+        text_parts: list[str] = []
+
+        def flush() -> None:
+            if text_parts:
+                element.append_child(Text("".join(text_parts)))
+                text_parts.clear()
+
+        while True:
+            ch = scanner.peek()
+            if not ch:
+                raise scanner.error(
+                    f"unexpected end of input inside <{element.name}>")
+            if ch == "<":
+                if scanner.startswith("</"):
+                    flush()
+                    return
+                if scanner.startswith("<!--"):
+                    flush()
+                    element.append_child(self._parse_comment())
+                elif scanner.startswith("<![CDATA["):
+                    scanner.advance(9)
+                    data = scanner.read_until("]]>", "CDATA section")
+                    element.append_child(Text(data, is_cdata=True))
+                elif scanner.startswith("<?"):
+                    flush()
+                    element.append_child(self._parse_pi())
+                elif scanner.startswith("<!"):
+                    raise scanner.error("markup declaration not allowed here")
+                else:
+                    flush()
+                    element.append_child(self._parse_element(element))
+            elif ch == "&":
+                text_parts.append(self._parse_reference())
+            elif ch == "]" and scanner.startswith("]]>"):
+                raise scanner.error("']]>' is not allowed in content")
+            else:
+                if ch == "\r":
+                    # End-of-line normalization (XML 1.0 §2.11).
+                    text_parts.append("\n")
+                    scanner.advance()
+                    if scanner.peek() == "\n":
+                        scanner.advance()
+                    continue
+                if not is_xml_char(ch):
+                    raise scanner.error(
+                        f"illegal character U+{ord(ch):04X} in content")
+                text_parts.append(ch)
+                scanner.advance()
+
+    def _parse_end_tag(self, element: Element) -> None:
+        scanner = self._scanner
+        assert scanner is not None
+        start = scanner.pos
+        scanner.expect("</")
+        name = scanner.read_name("end-tag name")
+        if name != element.name:
+            raise scanner.error(
+                f"end tag </{name}> does not match start tag "
+                f"<{element.name}>", start)
+        scanner.skip_space()
+        scanner.expect(">", "'>' closing end tag")
+
+    # -- misc constructs -----------------------------------------------------------
+
+    def _parse_comment(self) -> Comment:
+        scanner = self._scanner
+        assert scanner is not None
+        scanner.expect("<!--")
+        data = scanner.read_until("-->", "comment")
+        if "--" in data or data.endswith("-"):
+            raise scanner.error("'--' is not allowed inside comments")
+        return Comment(data)
+
+    def _parse_pi(self) -> ProcessingInstruction:
+        scanner = self._scanner
+        assert scanner is not None
+        start = scanner.pos
+        scanner.expect("<?")
+        target = scanner.read_name("processing-instruction target")
+        if target.lower() == "xml":
+            raise scanner.error(
+                "processing-instruction target 'xml' is reserved", start)
+        data = ""
+        if scanner.skip_space():
+            data = scanner.read_until("?>", "processing instruction")
+        else:
+            scanner.expect("?>", "'?>'")
+        return ProcessingInstruction(target, data)
+
+    def _parse_reference(self) -> str:
+        scanner = self._scanner
+        assert scanner is not None
+        start = scanner.pos
+        scanner.expect("&")
+        body = scanner.read_until(";", "entity reference")
+        line, column = scanner.location(start)
+        if body.startswith("#"):
+            return resolve_char_ref(body, line, column)
+        return resolve_entity(body, line, column)
+
+    # -- namespace well-formedness ------------------------------------------------
+
+    def _check_namespaces(self, element: Element,
+                          parent: Element | None) -> None:
+        scanner = self._scanner
+        assert scanner is not None
+        element.parent = parent
+        try:
+            prefix = element.prefix
+            if prefix is not None and element.lookup_namespace(prefix) is None:
+                raise XMLNamespaceError(
+                    f"undeclared namespace prefix {prefix!r} on element "
+                    f"<{element.name}>", element.line, element.column)
+            if not is_qname(element.name):
+                raise XMLNamespaceError(
+                    f"element name {element.name!r} is not a valid QName",
+                    element.line, element.column)
+            expanded_seen: set[tuple[str | None, str]] = set()
+            for attr in element.attributes:
+                if attr.name == "xmlns" or attr.name.startswith("xmlns:"):
+                    continue
+                if not is_qname(attr.name):
+                    raise XMLNamespaceError(
+                        f"attribute name {attr.name!r} is not a valid QName",
+                        attr.line, attr.column)
+                aprefix = attr.prefix
+                if aprefix is not None and \
+                        element.lookup_namespace(aprefix) is None:
+                    raise XMLNamespaceError(
+                        f"undeclared namespace prefix {aprefix!r} on "
+                        f"attribute {attr.name!r}", attr.line, attr.column)
+                key = (attr.namespace_uri, attr.local_name)
+                if aprefix is not None and key in expanded_seen:
+                    raise XMLNamespaceError(
+                        f"duplicate attribute {{{key[0]}}}{key[1]}",
+                        attr.line, attr.column)
+                expanded_seen.add(key)
+        finally:
+            element.parent = None

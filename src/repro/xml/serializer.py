@@ -1,0 +1,235 @@
+"""Serialization of DOM trees back to markup.
+
+Three output styles are provided, matching the needs of the pipeline:
+
+* :func:`serialize` — compact, round-trippable XML;
+* :func:`pretty_print` — indented XML, the "source view" a browser shows for
+  an XML document without a stylesheet (paper Fig. 4);
+* :func:`serialize_html` — HTML 4 / XHTML-friendly output used by the XSLT
+  ``html`` output method (void elements unclosed, no escaping inside
+  ``script``/``style``, boolean attributes minimized).
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .dom import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from .escaping import escape_attribute, escape_text
+
+__all__ = ["serialize", "pretty_print", "serialize_html", "HTML_VOID_ELEMENTS"]
+
+#: Elements serialized without an end tag by the HTML output method.
+HTML_VOID_ELEMENTS = frozenset({
+    "area", "base", "basefont", "br", "col", "frame", "hr", "img",
+    "input", "isindex", "link", "meta", "param",
+})
+
+#: Elements whose character content is emitted raw by the HTML output method.
+_HTML_RAW_TEXT = frozenset({"script", "style"})
+
+#: HTML attributes that are minimized when their value equals their name.
+_HTML_BOOLEAN_ATTRS = frozenset({
+    "checked", "compact", "declare", "defer", "disabled", "ismap",
+    "multiple", "nohref", "noresize", "noshade", "nowrap", "readonly",
+    "selected",
+})
+
+
+def serialize(node: Node, *, xml_declaration: bool = True,
+              encoding: str = "UTF-8") -> str:
+    """Serialize *node* (usually a :class:`Document`) to compact XML."""
+    out = StringIO()
+    if isinstance(node, Document):
+        if xml_declaration:
+            out.write(f'<?xml version="{node.version}"')
+            out.write(f' encoding="{encoding}"')
+            if node.standalone is not None:
+                out.write(
+                    f' standalone="{"yes" if node.standalone else "no"}"')
+            out.write("?>\n")
+        _write_doctype(node, out)
+        for child in node.children:
+            _write_node(child, out)
+            if not isinstance(child, Text):
+                pass
+        out.write("" if not node.children else "")
+    else:
+        _write_node(node, out)
+    return out.getvalue()
+
+
+def pretty_print(node: Node, *, indent: str = "  ",
+                 xml_declaration: bool = True) -> str:
+    """Serialize *node* with indentation for human reading (Fig. 4 view).
+
+    Mixed content is preserved verbatim: an element is only reformatted when
+    all its children are elements/comments/PIs or whitespace-only text.
+    """
+    out = StringIO()
+    if isinstance(node, Document):
+        if xml_declaration:
+            out.write(f'<?xml version="{node.version}" encoding="UTF-8"?>\n')
+        _write_doctype(node, out)
+        for child in node.children:
+            _write_pretty(child, out, indent, 0)
+    else:
+        _write_pretty(node, out, indent, 0)
+    return out.getvalue()
+
+
+def serialize_html(node: Node, *, doctype: str | None = None) -> str:
+    """Serialize *node* per the XSLT 1.0 ``html`` output method."""
+    out = StringIO()
+    if doctype:
+        out.write(doctype.rstrip() + "\n")
+    if isinstance(node, Document):
+        for child in node.children:
+            _write_html(child, out)
+    else:
+        _write_html(node, out)
+    return out.getvalue()
+
+
+# -- XML writers ---------------------------------------------------------------
+
+
+def _write_doctype(document: Document, out: StringIO) -> None:
+    if document.doctype_name is None:
+        return
+    out.write(f"<!DOCTYPE {document.doctype_name}")
+    if document.doctype_public is not None:
+        out.write(f' PUBLIC "{document.doctype_public}"')
+        out.write(f' "{document.doctype_system or ""}"')
+    elif document.doctype_system is not None:
+        out.write(f' SYSTEM "{document.doctype_system}"')
+    if document.internal_subset:
+        out.write(f" [{document.internal_subset}]")
+    out.write(">\n")
+
+
+def _write_attributes(element: Element, out: StringIO) -> None:
+    declared = set()
+    for attr in element.attributes:
+        out.write(f' {attr.name}="{escape_attribute(attr.value)}"')
+        if attr.name == "xmlns":
+            declared.add("")
+        elif attr.name.startswith("xmlns:"):
+            declared.add(attr.name[6:])
+    # Declarations added programmatically (not via attributes) still need
+    # to be emitted so the output is namespace-well-formed.
+    for prefix, uri in element.namespace_declarations.items():
+        if prefix in declared:
+            continue
+        name = f"xmlns:{prefix}" if prefix else "xmlns"
+        out.write(f' {name}="{escape_attribute(uri)}"')
+
+
+def _write_node(node: Node, out: StringIO) -> None:
+    if isinstance(node, Element):
+        out.write(f"<{node.name}")
+        _write_attributes(node, out)
+        if not node.children:
+            out.write("/>")
+            return
+        out.write(">")
+        for child in node.children:
+            _write_node(child, out)
+        out.write(f"</{node.name}>")
+    elif isinstance(node, Text):
+        if node.is_cdata:
+            out.write(f"<![CDATA[{node.data}]]>")
+        else:
+            out.write(escape_text(node.data))
+    elif isinstance(node, Comment):
+        out.write(f"<!--{node.data}-->")
+    elif isinstance(node, ProcessingInstruction):
+        data = f" {node.data}" if node.data else ""
+        out.write(f"<?{node.target}{data}?>")
+    elif isinstance(node, Attribute):
+        out.write(f'{node.name}="{escape_attribute(node.value)}"')
+    elif isinstance(node, Document):
+        for child in node.children:
+            _write_node(child, out)
+
+
+def _is_reformattable(element: Element) -> bool:
+    has_structure = False
+    for child in element.children:
+        if isinstance(child, Text):
+            if child.data.strip():
+                return False
+        else:
+            has_structure = True
+    return has_structure
+
+
+def _write_pretty(node: Node, out: StringIO, indent: str, depth: int) -> None:
+    pad = indent * depth
+    if isinstance(node, Element):
+        out.write(f"{pad}<{node.name}")
+        _write_attributes(node, out)
+        if not node.children:
+            out.write("/>\n")
+        elif _is_reformattable(node):
+            out.write(">\n")
+            for child in node.children:
+                if isinstance(child, Text) and not child.data.strip():
+                    continue
+                _write_pretty(child, out, indent, depth + 1)
+            out.write(f"{pad}</{node.name}>\n")
+        else:
+            out.write(">")
+            for child in node.children:
+                _write_node(child, out)
+            out.write(f"</{node.name}>\n")
+    elif isinstance(node, Text):
+        if node.data.strip():
+            out.write(f"{pad}{escape_text(node.data)}\n")
+    elif isinstance(node, Comment):
+        out.write(f"{pad}<!--{node.data}-->\n")
+    elif isinstance(node, ProcessingInstruction):
+        data = f" {node.data}" if node.data else ""
+        out.write(f"{pad}<?{node.target}{data}?>\n")
+
+
+# -- HTML writer ----------------------------------------------------------------
+
+
+def _write_html(node: Node, out: StringIO, *, raw: bool = False) -> None:
+    if isinstance(node, Element):
+        tag = node.name.lower() if ":" not in node.name else node.name
+        out.write(f"<{tag}")
+        for attr in node.attributes:
+            name = attr.name.lower()
+            if name in _HTML_BOOLEAN_ATTRS and attr.value.lower() == name:
+                out.write(f" {name}")
+            else:
+                out.write(f' {attr.name}="{escape_attribute(attr.value)}"')
+        out.write(">")
+        if tag in HTML_VOID_ELEMENTS:
+            return
+        child_raw = tag in _HTML_RAW_TEXT
+        for child in node.children:
+            _write_html(child, out, raw=child_raw)
+        out.write(f"</{tag}>")
+    elif isinstance(node, Text):
+        # is_cdata doubles as XSLT's disable-output-escaping marker.
+        emit_raw = raw or node.is_cdata
+        out.write(node.data if emit_raw else escape_text(node.data))
+    elif isinstance(node, Comment):
+        out.write(f"<!--{node.data}-->")
+    elif isinstance(node, ProcessingInstruction):
+        data = f" {node.data}" if node.data else ""
+        out.write(f"<?{node.target}{data}>")
+    elif isinstance(node, Document):
+        for child in node.children:
+            _write_html(child, out)

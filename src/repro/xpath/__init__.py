@@ -1,0 +1,28 @@
+"""A complete XPath 1.0 engine over :mod:`repro.xml` trees.
+
+Public API:
+
+* :func:`evaluate` — one-shot parse + evaluate;
+* :func:`compile_xpath` — memoized parse for hot paths;
+* :class:`Context` — the dynamic context (node, position, size, variables,
+  namespaces, extension functions);
+* :class:`XPathEvaluator` — the reusable AST interpreter.
+"""
+
+from .datamodel import to_boolean, to_number, to_string
+from .errors import XPathError, XPathNameError, XPathSyntaxError, XPathTypeError
+from .evaluator import Context, XPathEvaluator, compile_xpath, evaluate
+
+__all__ = [
+    "Context",
+    "XPathEvaluator",
+    "compile_xpath",
+    "evaluate",
+    "to_boolean",
+    "to_number",
+    "to_string",
+    "XPathError",
+    "XPathNameError",
+    "XPathSyntaxError",
+    "XPathTypeError",
+]

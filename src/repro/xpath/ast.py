@@ -1,0 +1,153 @@
+"""Abstract syntax tree for XPath 1.0 expressions.
+
+Nodes are plain frozen dataclasses; evaluation lives in
+:mod:`repro.xpath.evaluator` so the AST can also be reused by the XSLT
+pattern matcher, which interprets location paths in reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "Expr",
+    "NumberLiteral",
+    "StringLiteral",
+    "VariableReference",
+    "FunctionCall",
+    "BinaryOp",
+    "UnaryMinus",
+    "UnionExpr",
+    "PathExpr",
+    "LocationPath",
+    "Step",
+    "NodeTest",
+    "NameTest",
+    "NodeTypeTest",
+    "PITest",
+    "FilterExpr",
+]
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NumberLiteral(Expr):
+    """A numeric literal such as ``3.14``."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class StringLiteral(Expr):
+    """A quoted string literal."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class VariableReference(Expr):
+    """``$qname`` — resolved against the evaluation context."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """``name(arg, ...)`` — resolved against the function library."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary operation: or/and/=/!=/<,<=,>,>=/+,-,*,div,mod."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryMinus(Expr):
+    """Unary negation."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class UnionExpr(Expr):
+    """``a | b`` — the node-set union."""
+
+    left: Expr
+    right: Expr
+
+
+class NodeTest:
+    """Base class for the node test of a step."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NameTest(NodeTest):
+    """``name``, ``prefix:name``, ``*`` or ``prefix:*``."""
+
+    name: str  # '*' means any
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name == "*" or self.name.endswith(":*")
+
+
+@dataclass(frozen=True)
+class NodeTypeTest(NodeTest):
+    """``node()``, ``text()``, ``comment()``."""
+
+    node_type: str
+
+
+@dataclass(frozen=True)
+class PITest(NodeTest):
+    """``processing-instruction()`` with an optional target literal."""
+
+    target: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Step(Expr):
+    """One location step: ``axis::node-test[predicate]...``."""
+
+    axis: str
+    test: NodeTest
+    predicates: tuple[Expr, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class LocationPath(Expr):
+    """A (possibly absolute) sequence of steps."""
+
+    absolute: bool
+    steps: tuple[Step, ...]
+
+
+@dataclass(frozen=True)
+class FilterExpr(Expr):
+    """A primary expression with predicates: ``$x[1]``, ``key(...)[2]``."""
+
+    primary: Expr
+    predicates: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class PathExpr(Expr):
+    """``filter-expr / relative-location-path``."""
+
+    start: Expr
+    path: LocationPath

@@ -1,0 +1,164 @@
+"""The thirteen XPath axes as generator functions over DOM nodes.
+
+Each axis function takes a context node and yields nodes in the axis's
+natural order (document order for forward axes, reverse document order for
+``ancestor``, ``ancestor-or-self``, ``preceding`` and
+``preceding-sibling``), as required for correct positional predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..xml.dom import (
+    Attribute,
+    Document,
+    Element,
+    NamespaceNode,
+    Node,
+)
+
+__all__ = ["AXES", "principal_node_kind"]
+
+
+def _children(node: Node) -> list[Node]:
+    return node.children if isinstance(node, (Document, Element)) else []
+
+
+def axis_child(node: Node) -> Iterator[Node]:
+    yield from _children(node)
+
+
+def axis_descendant(node: Node) -> Iterator[Node]:
+    for child in _children(node):
+        yield child
+        yield from axis_descendant(child)
+
+
+def axis_descendant_or_self(node: Node) -> Iterator[Node]:
+    yield node
+    yield from axis_descendant(node)
+
+
+def axis_parent(node: Node) -> Iterator[Node]:
+    if node.parent is not None:
+        yield node.parent
+
+
+def axis_ancestor(node: Node) -> Iterator[Node]:
+    yield from node.ancestors()
+
+
+def axis_ancestor_or_self(node: Node) -> Iterator[Node]:
+    yield node
+    yield from node.ancestors()
+
+
+def axis_self(node: Node) -> Iterator[Node]:
+    yield node
+
+
+def axis_following_sibling(node: Node) -> Iterator[Node]:
+    if isinstance(node, (Attribute, NamespaceNode)) or node.parent is None:
+        return
+    siblings = _children(node.parent)
+    try:
+        index = next(i for i, s in enumerate(siblings) if s is node)
+    except StopIteration:
+        return
+    yield from siblings[index + 1:]
+
+
+def axis_preceding_sibling(node: Node) -> Iterator[Node]:
+    if isinstance(node, (Attribute, NamespaceNode)) or node.parent is None:
+        return
+    siblings = _children(node.parent)
+    try:
+        index = next(i for i, s in enumerate(siblings) if s is node)
+    except StopIteration:
+        return
+    yield from reversed(siblings[:index])
+
+
+def axis_following(node: Node) -> Iterator[Node]:
+    # All nodes after this one in document order, excluding descendants,
+    # attributes, and namespace nodes.
+    if isinstance(node, (Attribute, NamespaceNode)):
+        owner = node.parent
+        if owner is not None:
+            yield from axis_descendant(owner)
+            yield from axis_following(owner)
+        return
+    current: Node | None = node
+    while current is not None:
+        for sibling in axis_following_sibling(current):
+            yield sibling
+            yield from axis_descendant(sibling)
+        current = current.parent
+
+
+def axis_preceding(node: Node) -> Iterator[Node]:
+    # All nodes before this one in document order, excluding ancestors.
+    if isinstance(node, (Attribute, NamespaceNode)):
+        owner = node.parent
+        if owner is not None:
+            yield from axis_preceding(owner)
+        return
+    current: Node | None = node
+    while current is not None and current.parent is not None:
+        for sibling in axis_preceding_sibling(current):
+            yield from _reverse_descendants(sibling)
+            yield sibling
+        current = current.parent
+
+
+def _reverse_descendants(node: Node) -> Iterator[Node]:
+    for child in reversed(_children(node)):
+        yield from _reverse_descendants(child)
+        yield child
+
+
+def axis_attribute(node: Node) -> Iterator[Node]:
+    if isinstance(node, Element):
+        for attr in node.attributes:
+            if attr.name == "xmlns" or attr.name.startswith("xmlns:"):
+                continue
+            yield attr
+
+
+def axis_namespace(node: Node) -> Iterator[Node]:
+    if isinstance(node, Element):
+        for prefix, uri in sorted(node.in_scope_namespaces().items()):
+            yield NamespaceNode(prefix, uri, node)
+
+
+#: Mapping of axis name to iterator factory.
+AXES: dict[str, Callable[[Node], Iterator[Node]]] = {
+    "child": axis_child,
+    "descendant": axis_descendant,
+    "descendant-or-self": axis_descendant_or_self,
+    "parent": axis_parent,
+    "ancestor": axis_ancestor,
+    "ancestor-or-self": axis_ancestor_or_self,
+    "self": axis_self,
+    "following-sibling": axis_following_sibling,
+    "preceding-sibling": axis_preceding_sibling,
+    "following": axis_following,
+    "preceding": axis_preceding,
+    "attribute": axis_attribute,
+    "namespace": axis_namespace,
+}
+
+#: Axes whose natural order is reverse document order.
+REVERSE_AXES = frozenset({
+    "ancestor", "ancestor-or-self", "preceding", "preceding-sibling",
+})
+
+
+def principal_node_kind(axis: str) -> str:
+    """The principal node kind a NameTest selects on *axis* (§2.3)."""
+    if axis == "attribute":
+        return "attribute"
+    if axis == "namespace":
+        return "namespace"
+    return "element"

@@ -1,0 +1,112 @@
+"""XPath 1.0 value types and conversions.
+
+XPath has four types: node-set (a Python list of DOM nodes), boolean,
+number (Python float, including NaN and infinities), and string.  This
+module implements the conversion functions of §4 — ``boolean()``,
+``number()``, ``string()`` — and the number-to-string rules of §4.2 that
+make ``string(2.0) == "2"``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..xml.dom import Node, sort_document_order
+from .errors import XPathTypeError
+
+__all__ = [
+    "XPathValue",
+    "is_node_set",
+    "to_boolean",
+    "to_number",
+    "to_string",
+    "number_to_string",
+    "string_value",
+    "document_order",
+]
+
+#: The union of the four XPath value types.
+XPathValue = "bool | float | str | list[Node]"
+
+
+def is_node_set(value: object) -> bool:
+    """Return True when *value* is a node-set."""
+    return isinstance(value, list)
+
+
+def string_value(node: Node) -> str:
+    """String-value of a node per XPath §5."""
+    return node.string_value()
+
+
+def to_boolean(value: object) -> bool:
+    """The ``boolean()`` function (§4.3)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        number = float(value)
+        return bool(number) and not math.isnan(number)
+    if isinstance(value, str):
+        return bool(value)
+    if isinstance(value, list):
+        return bool(value)
+    raise XPathTypeError(f"cannot convert {type(value).__name__} to boolean")
+
+
+def to_number(value: object) -> float:
+    """The ``number()`` function (§4.4)."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        text = value.strip(" \t\r\n")
+        try:
+            return float(text) if text else math.nan
+        except ValueError:
+            return math.nan
+    if isinstance(value, list):
+        return to_number(to_string(value))
+    raise XPathTypeError(f"cannot convert {type(value).__name__} to number")
+
+
+def to_string(value: object) -> str:
+    """The ``string()`` function (§4.2)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return number_to_string(float(value))
+    if isinstance(value, str):
+        return value
+    if isinstance(value, list):
+        if not value:
+            return ""
+        first = min(value, key=lambda n: n.document_order_key())
+        return string_value(first)
+    raise XPathTypeError(f"cannot convert {type(value).__name__} to string")
+
+
+def number_to_string(number: float) -> str:
+    """Format *number* per XPath §4.2 (integers without '.0', NaN, etc.)."""
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "Infinity" if number > 0 else "-Infinity"
+    if number == 0:
+        return "0"
+    if number == int(number) and abs(number) < 1e16:
+        return str(int(number))
+    text = repr(number)
+    if "e" in text or "E" in text:
+        # XPath never uses exponent notation; expand via Decimal so the
+        # shortest-repr digits (and thus the exact value) are preserved.
+        from decimal import Decimal
+
+        text = format(Decimal(text), "f")
+    return text
+
+
+def document_order(nodes: Sequence[Node]) -> list[Node]:
+    """Sort *nodes* into document order, removing duplicates."""
+    return sort_document_order(nodes)

@@ -1,0 +1,30 @@
+"""XPath error types."""
+
+from __future__ import annotations
+
+__all__ = ["XPathError", "XPathSyntaxError", "XPathTypeError", "XPathNameError"]
+
+
+class XPathError(Exception):
+    """Base class for XPath failures."""
+
+
+class XPathSyntaxError(XPathError):
+    """The expression text does not match the XPath 1.0 grammar."""
+
+    def __init__(self, message: str, expression: str = "",
+                 position: int | None = None) -> None:
+        self.expression = expression
+        self.position = position
+        if expression and position is not None:
+            marker = " " * position + "^"
+            message = f"{message}\n  {expression}\n  {marker}"
+        super().__init__(message)
+
+
+class XPathTypeError(XPathError):
+    """An operand has a type the operation does not accept."""
+
+
+class XPathNameError(XPathError):
+    """Reference to an undefined variable, function, or namespace prefix."""

@@ -1,0 +1,378 @@
+"""Evaluation of XPath 1.0 expressions against a DOM tree.
+
+The central types are :class:`Context` — the dynamic context (context node,
+position, size, variable bindings, namespace bindings, function library)
+— and :class:`XPathEvaluator`, which walks the AST produced by
+:mod:`repro.xpath.parser`.
+
+Example
+-------
+>>> from repro.xml import parse
+>>> doc = parse('<m><f id="a"/><f id="b"/></m>')
+>>> evaluate('count(/m/f)', doc)
+2.0
+>>> [n.get_attribute('id') for n in evaluate('/m/f[2]', doc)]
+['b']
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+from ..xml.dom import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    NamespaceNode,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from .ast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    NodeTest,
+    NodeTypeTest,
+    NumberLiteral,
+    PathExpr,
+    PITest,
+    Step,
+    StringLiteral,
+    UnaryMinus,
+    UnionExpr,
+    VariableReference,
+)
+from .axes import AXES, REVERSE_AXES, principal_node_kind
+from .datamodel import (
+    document_order,
+    is_node_set,
+    to_boolean,
+    to_number,
+    to_string,
+)
+from .errors import XPathNameError, XPathTypeError
+from .parser import parse_xpath
+
+__all__ = ["Context", "XPathEvaluator", "evaluate", "compile_xpath"]
+
+#: Signature of an XPath extension function.
+XPathFunction = Callable[["Context", Sequence[object]], object]
+
+
+@dataclass
+class Context:
+    """The XPath dynamic context.
+
+    ``variables`` maps variable names to XPath values; ``namespaces`` maps
+    prefixes to URIs for resolving prefixed name tests; ``functions`` holds
+    extension functions (XSLT adds ``key``, ``document``, ``current``...).
+    """
+
+    node: Node
+    position: int = 1
+    size: int = 1
+    variables: Mapping[str, object] = field(default_factory=dict)
+    namespaces: Mapping[str, str] = field(default_factory=dict)
+    functions: Mapping[str, XPathFunction] = field(default_factory=dict)
+    #: XSLT's current() node — equals ``node`` outside of predicates.
+    current_node: Node | None = None
+
+    def with_node(self, node: Node, position: int, size: int) -> "Context":
+        """A copy of this context focused on *node* at *position* of *size*."""
+        return replace(self, node=node, position=position, size=size)
+
+
+def evaluate(expression: str, context_node: Node, **kwargs: object) -> object:
+    """Parse and evaluate *expression* with *context_node* as the context.
+
+    Keyword arguments are forwarded to :class:`Context` (``variables``,
+    ``namespaces``, ``functions``).
+    """
+    context = Context(node=context_node, **kwargs)  # type: ignore[arg-type]
+    return XPathEvaluator().evaluate(parse_xpath(expression), context)
+
+
+def compile_xpath(expression: str) -> Expr:
+    """Pre-parse an expression for repeated evaluation (memoized)."""
+    return parse_xpath(expression)
+
+
+class XPathEvaluator:
+    """Interprets XPath ASTs.  Stateless: one instance can be shared."""
+
+    # -- dispatch -----------------------------------------------------------
+
+    def evaluate(self, expr: Expr, context: Context) -> object:
+        """Evaluate *expr* in *context* and return an XPath value."""
+        method = self._DISPATCH[type(expr)]
+        return method(self, expr, context)
+
+    def evaluate_node_set(self, expr: Expr, context: Context) -> list[Node]:
+        """Evaluate *expr*, requiring a node-set result."""
+        value = self.evaluate(expr, context)
+        if not is_node_set(value):
+            raise XPathTypeError(
+                f"expression must evaluate to a node-set, got "
+                f"{type(value).__name__}")
+        return value  # type: ignore[return-value]
+
+    # -- literals and references ------------------------------------------------
+
+    def _eval_number(self, expr: NumberLiteral, context: Context) -> object:
+        return expr.value
+
+    def _eval_string(self, expr: StringLiteral, context: Context) -> object:
+        return expr.value
+
+    def _eval_variable(self, expr: VariableReference,
+                       context: Context) -> object:
+        try:
+            return context.variables[expr.name]
+        except KeyError:
+            raise XPathNameError(
+                f"undefined variable ${expr.name}") from None
+
+    def _eval_function(self, expr: FunctionCall, context: Context) -> object:
+        from .functions import CORE_FUNCTIONS
+
+        function = context.functions.get(expr.name) or \
+            CORE_FUNCTIONS.get(expr.name)
+        if function is None:
+            raise XPathNameError(f"undefined function {expr.name}()")
+        args = [self.evaluate(arg, context) for arg in expr.args]
+        return function(context, args)
+
+    # -- operators ---------------------------------------------------------------
+
+    def _eval_binary(self, expr: BinaryOp, context: Context) -> object:
+        op = expr.op
+        if op == "or":
+            return to_boolean(self.evaluate(expr.left, context)) or \
+                to_boolean(self.evaluate(expr.right, context))
+        if op == "and":
+            return to_boolean(self.evaluate(expr.left, context)) and \
+                to_boolean(self.evaluate(expr.right, context))
+
+        left = self.evaluate(expr.left, context)
+        right = self.evaluate(expr.right, context)
+
+        if op in ("=", "!="):
+            return self._compare_equality(op, left, right)
+        if op in ("<", "<=", ">", ">="):
+            return self._compare_relational(op, left, right)
+
+        # Arithmetic.
+        lnum, rnum = to_number(left), to_number(right)
+        if op == "+":
+            return lnum + rnum
+        if op == "-":
+            return lnum - rnum
+        if op == "*":
+            return lnum * rnum
+        if op == "div":
+            if rnum == 0:
+                if lnum == 0 or math.isnan(lnum):
+                    return math.nan
+                return math.inf if lnum > 0 else -math.inf
+            return lnum / rnum
+        if op == "mod":
+            if rnum == 0 or math.isnan(lnum) or math.isinf(lnum):
+                return math.nan
+            return math.fmod(lnum, rnum)
+        raise XPathTypeError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _compare_equality(op: str, left: object, right: object) -> bool:
+        equal = op == "="
+
+        if is_node_set(left) and is_node_set(right):
+            right_values = {n.string_value() for n in right}  # type: ignore
+            for node in left:  # type: ignore[union-attr]
+                value = node.string_value()
+                if equal and value in right_values:
+                    return True
+                if not equal and any(value != r for r in right_values):
+                    return True
+            return False
+
+        if is_node_set(left) or is_node_set(right):
+            nodes, other = (left, right) if is_node_set(left) else (right, left)
+            if isinstance(other, bool):
+                result = to_boolean(nodes) == other
+                return result if equal else not result
+            for node in nodes:  # type: ignore[union-attr]
+                value: object = node.string_value()
+                if isinstance(other, (int, float)):
+                    matched = to_number(value) == float(other)
+                else:
+                    matched = value == other
+                if matched == equal:
+                    return True
+            return False
+
+        if isinstance(left, bool) or isinstance(right, bool):
+            result = to_boolean(left) == to_boolean(right)
+        elif isinstance(left, (int, float)) or isinstance(right, (int, float)):
+            result = to_number(left) == to_number(right)
+        else:
+            result = to_string(left) == to_string(right)
+        return result if equal else not result
+
+    @staticmethod
+    def _compare_relational(op: str, left: object, right: object) -> bool:
+        compare = {
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+        }[op]
+
+        if is_node_set(left) and is_node_set(right):
+            return any(
+                compare(to_number(a.string_value()),
+                        to_number(b.string_value()))
+                for a in left for b in right)  # type: ignore[union-attr]
+        if is_node_set(left):
+            rnum = to_number(right)
+            return any(compare(to_number(n.string_value()), rnum)
+                       for n in left)  # type: ignore[union-attr]
+        if is_node_set(right):
+            lnum = to_number(left)
+            return any(compare(lnum, to_number(n.string_value()))
+                       for n in right)  # type: ignore[union-attr]
+        return compare(to_number(left), to_number(right))
+
+    def _eval_unary(self, expr: UnaryMinus, context: Context) -> object:
+        return -to_number(self.evaluate(expr.operand, context))
+
+    def _eval_union(self, expr: UnionExpr, context: Context) -> object:
+        left = self.evaluate_node_set(expr.left, context)
+        right = self.evaluate_node_set(expr.right, context)
+        return document_order(left + right)
+
+    # -- paths ------------------------------------------------------------------------
+
+    def _eval_location_path(self, expr: LocationPath,
+                            context: Context) -> object:
+        if expr.absolute:
+            start: list[Node] = [context.node.root]
+        else:
+            start = [context.node]
+        return self._apply_steps(expr.steps, start, context)
+
+    def _eval_path_expr(self, expr: PathExpr, context: Context) -> object:
+        start = self.evaluate_node_set(expr.start, context)
+        return self._apply_steps(expr.path.steps, start, context)
+
+    def _eval_filter(self, expr: FilterExpr, context: Context) -> object:
+        nodes = self.evaluate_node_set(expr.primary, context)
+        nodes = document_order(nodes)
+        for predicate in expr.predicates:
+            nodes = self._filter(nodes, predicate, context, reverse=False)
+        return nodes
+
+    def _apply_steps(self, steps: Sequence[Step], start: list[Node],
+                     context: Context) -> list[Node]:
+        current = document_order(start)
+        for step in steps:
+            gathered: list[Node] = []
+            seen: set[int] = set()
+            for node in current:
+                for result in self._apply_step(step, node, context):
+                    if id(result) not in seen:
+                        seen.add(id(result))
+                        gathered.append(result)
+            current = document_order(gathered)
+        return current
+
+    def _apply_step(self, step: Step, node: Node,
+                    context: Context) -> list[Node]:
+        axis = AXES.get(step.axis)
+        if axis is None:
+            raise XPathNameError(f"unknown axis {step.axis!r}")
+        principal = principal_node_kind(step.axis)
+        candidates = [
+            n for n in axis(node)
+            if self._node_test(step.test, n, principal, context)
+        ]
+        reverse = step.axis in REVERSE_AXES
+        for predicate in step.predicates:
+            candidates = self._filter(candidates, predicate, context,
+                                      reverse=reverse)
+        return candidates
+
+    def _filter(self, nodes: list[Node], predicate: Expr, context: Context,
+                *, reverse: bool) -> list[Node]:
+        size = len(nodes)
+        kept: list[Node] = []
+        for index, node in enumerate(nodes):
+            sub = context.with_node(node, index + 1, size)
+            value = self.evaluate(predicate, sub)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if float(value) == index + 1:
+                    kept.append(node)
+            elif to_boolean(value):
+                kept.append(node)
+        return kept
+
+    # -- node tests ----------------------------------------------------------------------
+
+    def _node_test(self, test: NodeTest, node: Node, principal: str,
+                   context: Context) -> bool:
+        if isinstance(test, NodeTypeTest):
+            if test.node_type == "node":
+                return True
+            if test.node_type == "text":
+                return isinstance(node, Text)
+            if test.node_type == "comment":
+                return isinstance(node, Comment)
+            return False
+        if isinstance(test, PITest):
+            if not isinstance(node, ProcessingInstruction):
+                return False
+            return test.target is None or node.target == test.target
+        assert isinstance(test, NameTest)
+        if node.kind != principal:
+            return False
+        if test.name == "*":
+            return True
+
+        prefix, local = (test.name.split(":", 1) if ":" in test.name
+                         else (None, test.name))
+        if prefix is not None:
+            uri = context.namespaces.get(prefix)
+            if uri is None:
+                raise XPathNameError(
+                    f"undeclared prefix {prefix!r} in name test "
+                    f"{test.name!r}")
+        else:
+            uri = None
+
+        if isinstance(node, NamespaceNode):
+            return local == "*" or node.prefix_name == local
+
+        node_uri = node.namespace_uri  # type: ignore[union-attr]
+        node_local = node.local_name  # type: ignore[union-attr]
+        if local == "*":
+            return node_uri == uri
+        return node_local == local and node_uri == uri
+
+    _DISPATCH = {
+        NumberLiteral: _eval_number,
+        StringLiteral: _eval_string,
+        VariableReference: _eval_variable,
+        FunctionCall: _eval_function,
+        BinaryOp: _eval_binary,
+        UnaryMinus: _eval_unary,
+        UnionExpr: _eval_union,
+        LocationPath: _eval_location_path,
+        PathExpr: _eval_path_expr,
+        FilterExpr: _eval_filter,
+    }

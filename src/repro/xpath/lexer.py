@@ -1,0 +1,207 @@
+"""Tokenizer for XPath 1.0 expressions.
+
+Implements the lexical structure of XPath 1.0 §3.7, including the
+disambiguation rules:
+
+* ``*`` is the multiply operator when the preceding token could end an
+  operand; otherwise it is a name-test wildcard;
+* ``and``, ``or``, ``mod``, ``div`` are operator names in operand-ending
+  position, NCNames otherwise;
+* an NCName immediately followed by ``(`` is a function name or node type;
+* an NCName immediately followed by ``::`` is an axis name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..xml.chars import is_name_char, is_name_start_char
+from .errors import XPathSyntaxError
+
+__all__ = ["Token", "tokenize", "AXIS_NAMES", "NODE_TYPES"]
+
+AXIS_NAMES = frozenset({
+    "ancestor", "ancestor-or-self", "attribute", "child", "descendant",
+    "descendant-or-self", "following", "following-sibling", "namespace",
+    "parent", "preceding", "preceding-sibling", "self",
+})
+
+NODE_TYPES = frozenset({"comment", "text", "processing-instruction", "node"})
+
+_OPERATOR_NAMES = frozenset({"and", "or", "mod", "div"})
+
+# Token kinds.
+NUMBER = "number"
+LITERAL = "literal"
+NAME = "name"            # QName or NCName (element/attribute name test)
+WILDCARD = "wildcard"    # '*' or 'prefix:*' as a name test
+FUNC_NAME = "function"   # name directly before '('
+NODE_TYPE = "nodetype"   # node type name directly before '('
+AXIS = "axis"            # axis name directly before '::'
+VARIABLE = "variable"    # $qname
+OPERATOR = "operator"    # symbolic and named operators
+LPAREN = "("
+RPAREN = ")"
+LBRACKET = "["
+RBRACKET = "]"
+COMMA = ","
+AT = "@"
+DOT = "."
+DOTDOT = ".."
+COLONCOLON = "::"
+SLASH = "/"
+DSLASH = "//"
+PIPE = "|"
+EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: str
+    value: str
+    position: int
+
+
+_SYMBOLIC_OPERATORS = (
+    "!=", "<=", ">=", "=", "<", ">", "+", "-",
+)
+
+
+def tokenize(expression: str) -> list[Token]:
+    """Tokenize *expression*, raising :class:`XPathSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    n = len(expression)
+
+    def preceding_ends_operand() -> bool:
+        if not tokens:
+            return False
+        prev = tokens[-1]
+        if prev.kind in (NUMBER, LITERAL, VARIABLE, RPAREN, RBRACKET,
+                         DOT, DOTDOT):
+            return True
+        if prev.kind in (NAME, WILDCARD):
+            return True
+        return False
+
+    while pos < n:
+        ch = expression[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+
+        if ch == "(":
+            tokens.append(Token(LPAREN, "(", pos)); pos += 1
+        elif ch == ")":
+            tokens.append(Token(RPAREN, ")", pos)); pos += 1
+        elif ch == "[":
+            tokens.append(Token(LBRACKET, "[", pos)); pos += 1
+        elif ch == "]":
+            tokens.append(Token(RBRACKET, "]", pos)); pos += 1
+        elif ch == ",":
+            tokens.append(Token(COMMA, ",", pos)); pos += 1
+        elif ch == "@":
+            tokens.append(Token(AT, "@", pos)); pos += 1
+        elif ch == "|":
+            tokens.append(Token(PIPE, "|", pos)); pos += 1
+        elif expression.startswith("//", pos):
+            tokens.append(Token(DSLASH, "//", pos)); pos += 2
+        elif ch == "/":
+            tokens.append(Token(SLASH, "/", pos)); pos += 1
+        elif expression.startswith("..", pos):
+            tokens.append(Token(DOTDOT, "..", pos)); pos += 2
+        elif ch == "." and not (pos + 1 < n and expression[pos + 1].isdigit()):
+            tokens.append(Token(DOT, ".", pos)); pos += 1
+        elif expression.startswith("::", pos):
+            tokens.append(Token(COLONCOLON, "::", pos)); pos += 2
+        elif ch == "*":
+            if preceding_ends_operand():
+                tokens.append(Token(OPERATOR, "*", pos))
+            else:
+                tokens.append(Token(WILDCARD, "*", pos))
+            pos += 1
+        elif ch == "$":
+            pos += 1
+            name, pos = _read_qname(expression, pos)
+            if name is None:
+                raise XPathSyntaxError(
+                    "expected variable name after '$'", expression, pos)
+            tokens.append(Token(VARIABLE, name, pos - len(name) - 1))
+        elif ch in "'\"":
+            end = expression.find(ch, pos + 1)
+            if end == -1:
+                raise XPathSyntaxError(
+                    "unterminated string literal", expression, pos)
+            tokens.append(Token(LITERAL, expression[pos + 1:end], pos))
+            pos = end + 1
+        elif ch.isdigit() or ch == ".":
+            start = pos
+            while pos < n and expression[pos].isdigit():
+                pos += 1
+            if pos < n and expression[pos] == ".":
+                pos += 1
+                while pos < n and expression[pos].isdigit():
+                    pos += 1
+            tokens.append(Token(NUMBER, expression[start:pos], start))
+        elif any(expression.startswith(op, pos)
+                 for op in _SYMBOLIC_OPERATORS):
+            for op in _SYMBOLIC_OPERATORS:
+                if expression.startswith(op, pos):
+                    tokens.append(Token(OPERATOR, op, pos))
+                    pos += len(op)
+                    break
+        elif is_name_start_char(ch) and ch != ":":
+            start = pos
+            name, pos = _read_qname(expression, pos)
+            assert name is not None
+            # Disambiguation per §3.7.
+            if name in _OPERATOR_NAMES and preceding_ends_operand():
+                tokens.append(Token(OPERATOR, name, start))
+                continue
+            # Wildcard with prefix: 'prefix:*'.
+            if expression.startswith(":*", pos) and ":" not in name:
+                tokens.append(Token(WILDCARD, name + ":*", start))
+                pos += 2
+                continue
+            next_pos = _skip_space(expression, pos)
+            if expression.startswith("::", next_pos):
+                if name not in AXIS_NAMES:
+                    raise XPathSyntaxError(
+                        f"unknown axis {name!r}", expression, start)
+                tokens.append(Token(AXIS, name, start))
+            elif next_pos < n and expression[next_pos] == "(":
+                kind = NODE_TYPE if name in NODE_TYPES else FUNC_NAME
+                tokens.append(Token(kind, name, start))
+            else:
+                tokens.append(Token(NAME, name, start))
+        else:
+            raise XPathSyntaxError(
+                f"unexpected character {ch!r}", expression, pos)
+
+    tokens.append(Token(EOF, "", n))
+    return tokens
+
+
+def _skip_space(text: str, pos: int) -> int:
+    while pos < len(text) and text[pos] in " \t\r\n":
+        pos += 1
+    return pos
+
+
+def _read_qname(text: str, pos: int) -> tuple[str | None, int]:
+    """Read a QName starting at *pos*; return (name, new_pos)."""
+    n = len(text)
+    if pos >= n or not is_name_start_char(text[pos]) or text[pos] == ":":
+        return None, pos
+    start = pos
+    pos += 1
+    while pos < n and is_name_char(text[pos]) and text[pos] != ":":
+        pos += 1
+    if pos < n and text[pos] == ":" and pos + 1 < n and \
+            is_name_start_char(text[pos + 1]) and text[pos + 1] != ":":
+        pos += 2
+        while pos < n and is_name_char(text[pos]) and text[pos] != ":":
+            pos += 1
+    return text[start:pos], pos

@@ -1,0 +1,319 @@
+"""Recursive-descent parser for XPath 1.0.
+
+The grammar is the one from the recommendation §2–§3; operator precedence
+(lowest to highest): ``or``, ``and``, equality, relational, additive,
+multiplicative, unary minus, union, path.
+
+Parsed expressions are cached — XSLT stylesheets evaluate the same select
+expressions for every node, so :func:`parse_xpath` memoizes on the
+expression text.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .ast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    NodeTest,
+    NodeTypeTest,
+    NumberLiteral,
+    PathExpr,
+    PITest,
+    Step,
+    StringLiteral,
+    UnaryMinus,
+    UnionExpr,
+    VariableReference,
+)
+from .errors import XPathSyntaxError
+from .lexer import (
+    AT,
+    AXIS,
+    COLONCOLON,
+    COMMA,
+    DOT,
+    DOTDOT,
+    DSLASH,
+    EOF,
+    FUNC_NAME,
+    LBRACKET,
+    LITERAL,
+    LPAREN,
+    NAME,
+    NODE_TYPE,
+    NUMBER,
+    OPERATOR,
+    PIPE,
+    RBRACKET,
+    RPAREN,
+    SLASH,
+    Token,
+    VARIABLE,
+    WILDCARD,
+    tokenize,
+)
+
+__all__ = ["parse_xpath"]
+
+
+@lru_cache(maxsize=4096)
+def parse_xpath(expression: str) -> Expr:
+    """Parse *expression* into an AST (memoized)."""
+    return _Parser(expression).parse()
+
+
+class _Parser:
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self.tokens = tokenize(expression)
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def match(self, kind: str, value: str | None = None) -> bool:
+        token = self.current
+        if token.kind == kind and (value is None or token.value == value):
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, kind: str, what: str) -> Token:
+        token = self.current
+        if token.kind != kind:
+            raise self.error(f"expected {what}")
+        self.index += 1
+        return token
+
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(message, self.expression,
+                                self.current.position)
+
+    # -- entry -------------------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        if self.current.kind != EOF:
+            raise self.error(
+                f"unexpected token {self.current.value!r} after expression")
+        return expr
+
+    # -- precedence climbing --------------------------------------------------------
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.match(OPERATOR, "or"):
+            left = BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_equality()
+        while self.match(OPERATOR, "and"):
+            left = BinaryOp("and", left, self.parse_equality())
+        return left
+
+    def parse_equality(self) -> Expr:
+        left = self.parse_relational()
+        while True:
+            if self.match(OPERATOR, "="):
+                left = BinaryOp("=", left, self.parse_relational())
+            elif self.match(OPERATOR, "!="):
+                left = BinaryOp("!=", left, self.parse_relational())
+            else:
+                return left
+
+    def parse_relational(self) -> Expr:
+        left = self.parse_additive()
+        while True:
+            for op in ("<=", ">=", "<", ">"):
+                if self.match(OPERATOR, op):
+                    left = BinaryOp(op, left, self.parse_additive())
+                    break
+            else:
+                return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            if self.match(OPERATOR, "+"):
+                left = BinaryOp("+", left, self.parse_multiplicative())
+            elif self.match(OPERATOR, "-"):
+                left = BinaryOp("-", left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            if self.match(OPERATOR, "*"):
+                left = BinaryOp("*", left, self.parse_unary())
+            elif self.match(OPERATOR, "div"):
+                left = BinaryOp("div", left, self.parse_unary())
+            elif self.match(OPERATOR, "mod"):
+                left = BinaryOp("mod", left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        if self.match(OPERATOR, "-"):
+            return UnaryMinus(self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self) -> Expr:
+        left = self.parse_path()
+        while self.match(PIPE):
+            left = UnionExpr(left, self.parse_path())
+        return left
+
+    # -- paths ------------------------------------------------------------------------
+
+    def parse_path(self) -> Expr:
+        token = self.current
+
+        if token.kind in (SLASH, DSLASH):
+            return self.parse_location_path()
+        if token.kind in (DOT, DOTDOT, AT, AXIS, NAME, WILDCARD, NODE_TYPE):
+            return self.parse_location_path()
+
+        # FilterExpr ('/' | '//') RelativeLocationPath?
+        primary = self.parse_primary()
+        predicates: list[Expr] = []
+        while self.current.kind == LBRACKET:
+            predicates.append(self.parse_predicate())
+        expr: Expr = (
+            FilterExpr(primary, tuple(predicates)) if predicates else primary
+        )
+        if self.current.kind in (SLASH, DSLASH):
+            path = self.parse_location_path(force_relative=True)
+            return PathExpr(expr, path)
+        return expr
+
+    def parse_location_path(self, *, force_relative: bool = False) -> LocationPath:
+        steps: list[Step] = []
+        absolute = False
+
+        if self.current.kind == SLASH and not force_relative:
+            absolute = True
+            self.advance()
+            if not self._at_step_start():
+                return LocationPath(True, ())
+        elif self.current.kind == DSLASH and not force_relative:
+            absolute = True
+            self.advance()
+            steps.append(_descendant_or_self_step())
+        elif force_relative:
+            if self.match(DSLASH):
+                steps.append(_descendant_or_self_step())
+            else:
+                self.expect(SLASH, "'/'")
+
+        steps.append(self.parse_step())
+        while True:
+            if self.match(SLASH):
+                steps.append(self.parse_step())
+            elif self.match(DSLASH):
+                steps.append(_descendant_or_self_step())
+                steps.append(self.parse_step())
+            else:
+                break
+        return LocationPath(absolute, tuple(steps))
+
+    def _at_step_start(self) -> bool:
+        return self.current.kind in (
+            DOT, DOTDOT, AT, AXIS, NAME, WILDCARD, NODE_TYPE)
+
+    def parse_step(self) -> Step:
+        token = self.current
+
+        if token.kind == DOT:
+            self.advance()
+            return Step("self", NodeTypeTest("node"))
+        if token.kind == DOTDOT:
+            self.advance()
+            return Step("parent", NodeTypeTest("node"))
+
+        axis = "child"
+        if token.kind == AT:
+            self.advance()
+            axis = "attribute"
+        elif token.kind == AXIS:
+            axis = self.advance().value
+            self.expect(COLONCOLON, "'::'")
+
+        test = self.parse_node_test()
+        predicates: list[Expr] = []
+        while self.current.kind == LBRACKET:
+            predicates.append(self.parse_predicate())
+        return Step(axis, test, tuple(predicates))
+
+    def parse_node_test(self) -> NodeTest:
+        token = self.current
+        if token.kind in (NAME, WILDCARD):
+            self.advance()
+            return NameTest(token.value)
+        if token.kind == NODE_TYPE:
+            self.advance()
+            self.expect(LPAREN, "'('")
+            if token.value == "processing-instruction":
+                target: str | None = None
+                if self.current.kind == LITERAL:
+                    target = self.advance().value
+                self.expect(RPAREN, "')'")
+                return PITest(target)
+            self.expect(RPAREN, "')'")
+            return NodeTypeTest(token.value)
+        raise self.error("expected a node test")
+
+    def parse_predicate(self) -> Expr:
+        self.expect(LBRACKET, "'['")
+        expr = self.parse_or()
+        self.expect(RBRACKET, "']'")
+        return expr
+
+    # -- primaries ------------------------------------------------------------------------
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == VARIABLE:
+            self.advance()
+            return VariableReference(token.value)
+        if token.kind == LPAREN:
+            self.advance()
+            expr = self.parse_or()
+            self.expect(RPAREN, "')'")
+            return expr
+        if token.kind == LITERAL:
+            self.advance()
+            return StringLiteral(token.value)
+        if token.kind == NUMBER:
+            self.advance()
+            return NumberLiteral(float(token.value))
+        if token.kind == FUNC_NAME:
+            self.advance()
+            self.expect(LPAREN, "'('")
+            args: list[Expr] = []
+            if self.current.kind != RPAREN:
+                args.append(self.parse_or())
+                while self.match(COMMA):
+                    args.append(self.parse_or())
+            self.expect(RPAREN, "')'")
+            return FunctionCall(token.value, tuple(args))
+        raise self.error(f"unexpected token {token.value!r}")
+
+
+def _descendant_or_self_step() -> Step:
+    return Step("descendant-or-self", NodeTypeTest("node"))

@@ -1,0 +1,80 @@
+"""XML Schema (XSD) subset: datatypes, schema model, reader, validator.
+
+The subset covers everything the paper's ``goldmodel.xsd`` uses — nested
+(Russian-doll) complex types, user-defined simple types with enumerations,
+ID/IDREF, ``xsd:key``/``xsd:keyref`` — plus list/union types, bounds
+facets, patterns, and an ``xsd:all`` matcher for generality.
+
+Typical use::
+
+    from repro.xsd import read_schema_file, validate
+    schema = read_schema_file('goldmodel.xsd')
+    report = validate(document, schema)
+    if not report.valid:
+        print(report)
+"""
+
+from .components import (
+    AttributeDecl,
+    ComplexType,
+    ElementDecl,
+    IdentityConstraint,
+    ModelGroup,
+    Particle,
+    UNBOUNDED,
+)
+from .datatypes import BUILTIN_TYPES, Datatype, lookup_builtin
+from .errors import SchemaError, ValidationIssue, ValidationReport, XSDError
+from .facets import (
+    Enumeration,
+    Length,
+    MaxExclusive,
+    MaxInclusive,
+    MaxLength,
+    MinExclusive,
+    MinInclusive,
+    MinLength,
+    Pattern,
+)
+from .quality import check_schema
+from .reader import read_schema, read_schema_file
+from .schema import Schema, SchemaBuilder
+from .simpletypes import ListType, SimpleType, UnionType, builtin_simple_type
+from .validator import SchemaValidator, validate
+
+__all__ = [
+    "AttributeDecl",
+    "ComplexType",
+    "ElementDecl",
+    "IdentityConstraint",
+    "ModelGroup",
+    "Particle",
+    "UNBOUNDED",
+    "BUILTIN_TYPES",
+    "Datatype",
+    "lookup_builtin",
+    "SchemaError",
+    "ValidationIssue",
+    "ValidationReport",
+    "XSDError",
+    "Enumeration",
+    "Length",
+    "MaxExclusive",
+    "MaxInclusive",
+    "MaxLength",
+    "MinExclusive",
+    "MinInclusive",
+    "MinLength",
+    "Pattern",
+    "check_schema",
+    "read_schema",
+    "read_schema_file",
+    "Schema",
+    "SchemaBuilder",
+    "SimpleType",
+    "ListType",
+    "UnionType",
+    "builtin_simple_type",
+    "SchemaValidator",
+    "validate",
+]

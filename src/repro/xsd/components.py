@@ -1,0 +1,174 @@
+"""The schema component model (XSD Part 1 subset).
+
+Components mirror the W3C abstract data model: element and attribute
+declarations, model groups, particles, complex types, and identity
+constraints.  They can be created programmatically (how
+``repro.mdm.schema_gen`` builds ``goldmodel.xsd``) or read from a schema
+document by :mod:`repro.xsd.reader`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .simpletypes import AnySimpleType, ListType, SimpleType, UnionType
+
+__all__ = [
+    "AttributeDecl",
+    "ElementDecl",
+    "ModelGroup",
+    "Particle",
+    "AnyWildcard",
+    "ComplexType",
+    "IdentityConstraint",
+    "UNBOUNDED",
+    "SimpleTypeLike",
+]
+
+#: Sentinel for ``maxOccurs="unbounded"``.
+UNBOUNDED: None = None
+
+SimpleTypeLike = Union[SimpleType, ListType, UnionType, AnySimpleType]
+
+
+@dataclass
+class AttributeDecl:
+    """An attribute declaration.
+
+    ``use`` is ``"required"``, ``"optional"`` or ``"prohibited"``;
+    ``default`` is applied by the validator when the attribute is absent;
+    ``fixed`` both defaults and constrains the value.
+    """
+
+    name: str
+    type: SimpleTypeLike = field(default_factory=AnySimpleType)
+    use: str = "optional"
+    default: str | None = None
+    fixed: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.use not in ("required", "optional", "prohibited"):
+            raise ValueError(f"invalid attribute use {self.use!r}")
+        if self.use == "required" and self.default is not None:
+            raise ValueError(
+                f"attribute {self.name!r}: required attributes cannot "
+                "have defaults")
+
+
+@dataclass
+class IdentityConstraint:
+    """``xsd:key`` / ``xsd:unique`` / ``xsd:keyref``.
+
+    ``selector`` and ``fields`` are XPath expressions evaluated by the full
+    engine (the spec's restricted subset is a subset of what we support).
+    ``refer`` names the key a keyref targets.
+    """
+
+    kind: str  # 'key' | 'unique' | 'keyref'
+    name: str
+    selector: str
+    fields: list[str]
+    refer: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("key", "unique", "keyref"):
+            raise ValueError(f"invalid identity constraint kind {self.kind!r}")
+        if self.kind == "keyref" and not self.refer:
+            raise ValueError(f"keyref {self.name!r} must have a 'refer'")
+        if not self.fields:
+            raise ValueError(
+                f"identity constraint {self.name!r} needs at least one field")
+
+
+@dataclass
+class ElementDecl:
+    """An element declaration.
+
+    ``type`` is a complex type, a simple type, or None for ``anyType``
+    content (anything well-formed).  Identity constraints are scoped to
+    this element, matching where ``<xsd:key>`` elements appear in a schema
+    document.
+    """
+
+    name: str
+    type: "ComplexType | SimpleTypeLike | None" = None
+    nillable: bool = False
+    constraints: list[IdentityConstraint] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return f"element {self.name}"
+
+
+@dataclass
+class AnyWildcard:
+    """``xsd:any`` — matches any element (processContents=skip)."""
+
+    def describe(self) -> str:
+        return "any element"
+
+
+@dataclass
+class ModelGroup:
+    """``xsd:sequence`` / ``xsd:choice`` / ``xsd:all`` of particles."""
+
+    kind: str  # 'sequence' | 'choice' | 'all'
+    particles: list["Particle"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sequence", "choice", "all"):
+            raise ValueError(f"invalid model group kind {self.kind!r}")
+
+    def describe(self) -> str:
+        return self.kind
+
+
+@dataclass
+class Particle:
+    """A term with occurrence bounds; ``max_occurs=None`` means unbounded."""
+
+    term: "ElementDecl | ModelGroup | AnyWildcard"
+    min_occurs: int = 1
+    max_occurs: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.min_occurs < 0:
+            raise ValueError("minOccurs must be >= 0")
+        if self.max_occurs is not None and self.max_occurs < self.min_occurs:
+            raise ValueError("maxOccurs must be >= minOccurs")
+
+    @property
+    def occurs_label(self) -> str:
+        """Short label like ``0..*`` used by the tree view (Fig. 2 style)."""
+        high = "*" if self.max_occurs is None else str(self.max_occurs)
+        return f"{self.min_occurs}..{high}"
+
+
+@dataclass
+class ComplexType:
+    """A complex type: attributes plus element (or simple, or mixed) content.
+
+    Exactly one of these shapes applies:
+
+    * ``content`` is a Particle — element-only (or mixed) content;
+    * ``simple_content`` is a simple type — text content with attributes;
+    * both are None — empty content.
+    """
+
+    name: str | None = None
+    attributes: list[AttributeDecl] = field(default_factory=list)
+    content: Particle | None = None
+    simple_content: SimpleTypeLike | None = None
+    mixed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.content is not None and self.simple_content is not None:
+            raise ValueError(
+                "a complex type cannot have both element and simple content")
+
+    def attribute(self, name: str) -> AttributeDecl | None:
+        """Find the declaration for attribute *name*, if any."""
+        for decl in self.attributes:
+            if decl.name == name:
+                return decl
+        return None

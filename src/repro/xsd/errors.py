@@ -1,0 +1,75 @@
+"""XSD error and result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["XSDError", "SchemaError", "ValidationIssue", "ValidationReport"]
+
+
+class XSDError(Exception):
+    """Base class for schema-processing failures."""
+
+
+class SchemaError(XSDError):
+    """The schema itself is invalid (bad facet, unknown type, UPA, ...)."""
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One validation problem found in an instance document.
+
+    ``severity`` is ``"error"`` or ``"warning"``; ``path`` is a simple
+    slash-separated location of the offending node.
+    """
+
+    message: str
+    path: str = ""
+    line: int | None = None
+    column: int | None = None
+    severity: str = "error"
+    code: str = ""
+
+    def __str__(self) -> str:
+        location = self.path or "document"
+        position = ""
+        if self.line is not None:
+            position = f" (line {self.line})"
+        return f"[{self.severity}] {location}: {self.message}{position}"
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating one document against one schema."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[ValidationIssue]:
+        """Issues with error severity."""
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> list[ValidationIssue]:
+        """Issues with warning severity."""
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def valid(self) -> bool:
+        """True when no errors were recorded (warnings allowed)."""
+        return not self.errors
+
+    def add(self, message: str, *, path: str = "", line: int | None = None,
+            column: int | None = None, severity: str = "error",
+            code: str = "") -> None:
+        """Record a new issue."""
+        self.issues.append(ValidationIssue(
+            message, path, line, column, severity, code))
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+    def __str__(self) -> str:
+        if not self.issues:
+            return "valid (no issues)"
+        return "\n".join(str(issue) for issue in self.issues)

@@ -1,0 +1,288 @@
+"""Constraining facets for simple types (XSD Part 2 §4.3).
+
+Facets validate the *typed value* produced by the base datatype (ordering
+facets) or the *normalized lexical form* (length, pattern, enumeration).
+:func:`translate_pattern` converts XML Schema regular expressions to Python
+``re`` syntax — XSD patterns are implicitly anchored and use a few
+multi-character escapes Python lacks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from .errors import SchemaError
+
+__all__ = [
+    "Facet",
+    "Enumeration",
+    "Pattern",
+    "Length",
+    "MinLength",
+    "MaxLength",
+    "MinInclusive",
+    "MaxInclusive",
+    "MinExclusive",
+    "MaxExclusive",
+    "TotalDigits",
+    "FractionDigits",
+    "translate_pattern",
+]
+
+
+class Facet:
+    """Base class; subclasses implement :meth:`check`."""
+
+    name = "facet"
+
+    def check(self, lexical: str, value: object) -> str | None:
+        """Return an error message, or None when the facet is satisfied."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable form used by the schema tree view."""
+        return self.name
+
+
+@dataclass
+class Enumeration(Facet):
+    """``xsd:enumeration`` — the lexical form must be one of the values."""
+
+    values: Sequence[str]
+    name = "enumeration"
+
+    def check(self, lexical: str, value: object) -> str | None:
+        if lexical not in self.values:
+            allowed = ", ".join(repr(v) for v in self.values)
+            return f"value {lexical!r} not in enumeration {{{allowed}}}"
+        return None
+
+    def describe(self) -> str:
+        return "enumeration {" + ", ".join(self.values) + "}"
+
+
+#: Multi-character escapes of XML Schema regexes mapped to Python classes.
+_XSD_ESCAPES = {
+    "i": "[A-Za-z_:]",
+    "I": "[^A-Za-z_:]",
+    "c": r"[-.\w:]",
+    "C": r"[^-.\w:]",
+    "d": r"\d",
+    "D": r"\D",
+    "s": r"\s",
+    "S": r"\S",
+    "w": r"\w",
+    "W": r"\W",
+}
+
+
+def translate_pattern(pattern: str) -> str:
+    """Translate an XSD regular expression into a Python one.
+
+    Handles the XSD-specific escapes (``\\i``, ``\\c``) and leaves the rest
+    untouched — the common subset (character classes, quantifiers,
+    alternation, groups) is shared syntax.
+    """
+    out: list[str] = []
+    index = 0
+    while index < len(pattern):
+        ch = pattern[index]
+        if ch == "\\" and index + 1 < len(pattern):
+            escape = pattern[index + 1]
+            if escape in _XSD_ESCAPES:
+                out.append(_XSD_ESCAPES[escape])
+                index += 2
+                continue
+            out.append(ch + escape)
+            index += 2
+            continue
+        out.append(ch)
+        index += 1
+    return "".join(out)
+
+
+@dataclass
+class Pattern(Facet):
+    """``xsd:pattern`` — anchored regular-expression match."""
+
+    pattern: str
+    name = "pattern"
+
+    def __post_init__(self) -> None:
+        try:
+            self._compiled = re.compile(translate_pattern(self.pattern))
+        except re.error as exc:
+            raise SchemaError(
+                f"invalid pattern facet {self.pattern!r}: {exc}") from None
+
+    def check(self, lexical: str, value: object) -> str | None:
+        if not self._compiled.fullmatch(lexical):
+            return f"value {lexical!r} does not match pattern " \
+                   f"{self.pattern!r}"
+        return None
+
+    def describe(self) -> str:
+        return f"pattern {self.pattern!r}"
+
+
+def _measure(value: object, lexical: str) -> int:
+    if isinstance(value, (list, tuple)):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    return len(lexical)
+
+
+@dataclass
+class Length(Facet):
+    """``xsd:length`` — exact length of the value."""
+
+    length: int
+    name = "length"
+
+    def check(self, lexical: str, value: object) -> str | None:
+        actual = _measure(value, lexical)
+        if actual != self.length:
+            return f"length {actual} differs from required {self.length}"
+        return None
+
+    def describe(self) -> str:
+        return f"length = {self.length}"
+
+
+@dataclass
+class MinLength(Facet):
+    """``xsd:minLength``."""
+
+    length: int
+    name = "minLength"
+
+    def check(self, lexical: str, value: object) -> str | None:
+        actual = _measure(value, lexical)
+        if actual < self.length:
+            return f"length {actual} below minLength {self.length}"
+        return None
+
+    def describe(self) -> str:
+        return f"minLength = {self.length}"
+
+
+@dataclass
+class MaxLength(Facet):
+    """``xsd:maxLength``."""
+
+    length: int
+    name = "maxLength"
+
+    def check(self, lexical: str, value: object) -> str | None:
+        actual = _measure(value, lexical)
+        if actual > self.length:
+            return f"length {actual} above maxLength {self.length}"
+        return None
+
+    def describe(self) -> str:
+        return f"maxLength = {self.length}"
+
+
+class _Bound(Facet):
+    """Shared implementation of the four ordering facets."""
+
+    def __init__(self, bound: object) -> None:
+        self.bound = bound
+
+    def _compare(self, value: object) -> int | None:
+        try:
+            if value < self.bound:  # type: ignore[operator]
+                return -1
+            if value > self.bound:  # type: ignore[operator]
+                return 1
+            return 0
+        except TypeError:
+            return None
+
+    def describe(self) -> str:
+        return f"{self.name} = {self.bound}"
+
+
+class MinInclusive(_Bound):
+    """``xsd:minInclusive``."""
+
+    name = "minInclusive"
+
+    def check(self, lexical: str, value: object) -> str | None:
+        order = self._compare(value)
+        if order is None or order < 0:
+            return f"value {lexical!r} below minInclusive {self.bound}"
+        return None
+
+
+class MaxInclusive(_Bound):
+    """``xsd:maxInclusive``."""
+
+    name = "maxInclusive"
+
+    def check(self, lexical: str, value: object) -> str | None:
+        order = self._compare(value)
+        if order is None or order > 0:
+            return f"value {lexical!r} above maxInclusive {self.bound}"
+        return None
+
+
+class MinExclusive(_Bound):
+    """``xsd:minExclusive``."""
+
+    name = "minExclusive"
+
+    def check(self, lexical: str, value: object) -> str | None:
+        order = self._compare(value)
+        if order is None or order <= 0:
+            return f"value {lexical!r} not above minExclusive {self.bound}"
+        return None
+
+
+class MaxExclusive(_Bound):
+    """``xsd:maxExclusive``."""
+
+    name = "maxExclusive"
+
+    def check(self, lexical: str, value: object) -> str | None:
+        order = self._compare(value)
+        if order is None or order >= 0:
+            return f"value {lexical!r} not below maxExclusive {self.bound}"
+        return None
+
+
+@dataclass
+class TotalDigits(Facet):
+    """``xsd:totalDigits`` — significant digits of a decimal value."""
+
+    digits: int
+    name = "totalDigits"
+
+    def check(self, lexical: str, value: object) -> str | None:
+        text = lexical.lstrip("+-").replace(".", "").lstrip("0") or "0"
+        if len(text) > self.digits:
+            return f"value {lexical!r} exceeds totalDigits {self.digits}"
+        return None
+
+    def describe(self) -> str:
+        return f"totalDigits = {self.digits}"
+
+
+@dataclass
+class FractionDigits(Facet):
+    """``xsd:fractionDigits`` — digits after the decimal point."""
+
+    digits: int
+    name = "fractionDigits"
+
+    def check(self, lexical: str, value: object) -> str | None:
+        _, _, fraction = lexical.partition(".")
+        if len(fraction.rstrip("0")) > self.digits:
+            return f"value {lexical!r} exceeds fractionDigits {self.digits}"
+        return None
+
+    def describe(self) -> str:
+        return f"fractionDigits = {self.digits}"

@@ -1,0 +1,293 @@
+"""Serializing Schema objects back to ``.xsd`` documents.
+
+The inverse of :mod:`repro.xsd.reader`: programmatically built schemas
+(like the paper's ``goldmodel.xsd`` from :mod:`repro.mdm.schema_gen`) can
+be written out as Russian-doll schema documents, shipped to users, and
+read back — the reader/writer round-trip is covered by tests.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+
+from ..xml.dom import Comment, Document, Element
+from .components import (
+    AnyWildcard,
+    AttributeDecl,
+    ComplexType,
+    ElementDecl,
+    IdentityConstraint,
+    ModelGroup,
+    Particle,
+)
+from .datatypes import Datatype
+from .errors import SchemaError
+from .facets import (
+    Enumeration,
+    Facet,
+    FractionDigits,
+    Length,
+    MaxExclusive,
+    MaxInclusive,
+    MaxLength,
+    MinExclusive,
+    MinInclusive,
+    MinLength,
+    Pattern,
+    TotalDigits,
+)
+from .reader import XSD_NAMESPACE
+from .schema import Schema
+from .simpletypes import AnySimpleType, ListType, SimpleType, UnionType
+
+__all__ = ["schema_to_document", "schema_to_xml"]
+
+
+def schema_to_document(schema: Schema) -> Document:
+    """Render *schema* as an ``<xsd:schema>`` DOM document."""
+    return _Writer(schema).write()
+
+
+def schema_to_xml(schema: Schema) -> str:
+    """Render *schema* as pretty-printed ``.xsd`` text."""
+    from ..xml.serializer import pretty_print
+
+    return pretty_print(schema_to_document(schema))
+
+
+class _Writer:
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        # Reverse map: definition object → registered name.
+        self._names: dict[int, str] = {
+            id(definition): name
+            for name, definition in schema.types.items()
+        }
+
+    def write(self) -> Document:
+        document = Document()
+        root = Element("xsd:schema")
+        root.declare_namespace("xsd", XSD_NAMESPACE)
+        root.set_attribute("xmlns:xsd", XSD_NAMESPACE)
+        if self.schema.target_namespace:
+            root.set_attribute("targetNamespace",
+                               self.schema.target_namespace)
+        document.append_child(root)
+
+        if self.schema.documentation:
+            annotation = root.append_child(Element("xsd:annotation"))
+            doc_el = annotation.append_child(Element("xsd:documentation"))
+            from ..xml.dom import Text
+
+            doc_el.append_child(Text(self.schema.documentation))
+
+        for name, definition in self.schema.types.items():
+            if isinstance(definition, ComplexType):
+                root.append_child(self._complex_type(definition, name=name))
+            else:
+                root.append_child(self._simple_type(definition, name=name))
+        for decl in self.schema.elements.values():
+            root.append_child(self._element(decl, top_level=True))
+        return document
+
+    # -- elements ---------------------------------------------------------------
+
+    def _element(self, decl: ElementDecl, *, top_level: bool = False,
+                 min_occurs: int = 1,
+                 max_occurs: int | None = 1) -> Element:
+        element = Element("xsd:element")
+        element.set_attribute("name", decl.name)
+        if decl.nillable:
+            element.set_attribute("nillable", "true")
+        if not top_level:
+            if min_occurs != 1:
+                element.set_attribute("minOccurs", str(min_occurs))
+            if max_occurs != 1:
+                element.set_attribute(
+                    "maxOccurs",
+                    "unbounded" if max_occurs is None else str(max_occurs))
+        etype = decl.type
+        if etype is None:
+            pass  # anyType content
+        elif self._names.get(id(etype)):
+            element.set_attribute("type", self._names[id(etype)])
+        elif isinstance(etype, ComplexType):
+            element.append_child(self._complex_type(etype))
+        elif isinstance(etype, SimpleType) and etype.name and \
+                not etype.facets and isinstance(etype.base, Datatype):
+            element.set_attribute("type", f"xsd:{etype.base.name}")
+        else:
+            element.append_child(self._simple_type(etype))
+        for constraint in decl.constraints:
+            element.append_child(self._identity_constraint(constraint))
+        return element
+
+    def _identity_constraint(self, constraint: IdentityConstraint) -> Element:
+        element = Element(f"xsd:{constraint.kind}")
+        element.set_attribute("name", constraint.name)
+        if constraint.refer:
+            element.set_attribute("refer", constraint.refer)
+        selector = Element("xsd:selector")
+        selector.set_attribute("xpath", constraint.selector)
+        element.append_child(selector)
+        for field_xpath in constraint.fields:
+            field = Element("xsd:field")
+            field.set_attribute("xpath", field_xpath)
+            element.append_child(field)
+        return element
+
+    # -- complex types -------------------------------------------------------------
+
+    def _complex_type(self, ctype: ComplexType,
+                      name: str | None = None) -> Element:
+        element = Element("xsd:complexType")
+        if name:
+            element.set_attribute("name", name)
+        if ctype.mixed:
+            element.set_attribute("mixed", "true")
+        if ctype.simple_content is not None:
+            content = Element("xsd:simpleContent")
+            extension = Element("xsd:extension")
+            extension.set_attribute(
+                "base", self._type_reference(ctype.simple_content))
+            for attr in ctype.attributes:
+                extension.append_child(self._attribute(attr))
+            content.append_child(extension)
+            element.append_child(content)
+            return element
+        if ctype.content is not None:
+            element.append_child(self._particle(ctype.content))
+        for attr in ctype.attributes:
+            element.append_child(self._attribute(attr))
+        return element
+
+    def _particle(self, particle: Particle) -> Element:
+        term = particle.term
+        if isinstance(term, ElementDecl):
+            return self._element(term, min_occurs=particle.min_occurs,
+                                 max_occurs=particle.max_occurs)
+        if isinstance(term, AnyWildcard):
+            element = Element("xsd:any")
+            element.set_attribute("processContents", "skip")
+            _occurs(element, particle)
+            return element
+        assert isinstance(term, ModelGroup)
+        element = Element(f"xsd:{term.kind}")
+        _occurs(element, particle)
+        for child in term.particles:
+            element.append_child(self._particle(child))
+        return element
+
+    def _attribute(self, decl: AttributeDecl) -> Element:
+        element = Element("xsd:attribute")
+        element.set_attribute("name", decl.name)
+        reference = self._type_reference(decl.type, allow_none=True)
+        if reference is not None:
+            element.set_attribute("type", reference)
+        else:
+            element.append_child(self._simple_type(decl.type))
+        if decl.use != "optional":
+            element.set_attribute("use", decl.use)
+        if decl.default is not None:
+            element.set_attribute("default", decl.default)
+        if decl.fixed is not None:
+            element.set_attribute("fixed", decl.fixed)
+        return element
+
+    # -- simple types ----------------------------------------------------------------
+
+    def _type_reference(self, stype, *, allow_none: bool = False
+                        ) -> str | None:
+        """A @type reference for *stype*, or None when it must be inline."""
+        named = self._names.get(id(stype))
+        if named:
+            return named
+        if isinstance(stype, AnySimpleType):
+            return "xsd:string"
+        if isinstance(stype, SimpleType) and not stype.facets and \
+                isinstance(stype.base, Datatype):
+            return f"xsd:{stype.base.name}"
+        if allow_none:
+            return None
+        raise SchemaError(
+            "cannot reference an anonymous restricted simple type here")
+
+    def _simple_type(self, stype, name: str | None = None) -> Element:
+        element = Element("xsd:simpleType")
+        if name:
+            element.set_attribute("name", name)
+        if isinstance(stype, ListType):
+            child = Element("xsd:list")
+            child.set_attribute(
+                "itemType", self._type_reference(stype.item_type))
+            element.append_child(child)
+            return element
+        if isinstance(stype, UnionType):
+            child = Element("xsd:union")
+            child.set_attribute("memberTypes", " ".join(
+                self._type_reference(member)
+                for member in stype.member_types))
+            element.append_child(child)
+            return element
+        assert isinstance(stype, SimpleType)
+        restriction = Element("xsd:restriction")
+        base = stype.base
+        if isinstance(base, Datatype):
+            restriction.set_attribute("base", f"xsd:{base.name}")
+        else:
+            reference = self._type_reference(base, allow_none=True)
+            if reference is not None:
+                restriction.set_attribute("base", reference)
+            else:
+                restriction.append_child(self._simple_type(base))
+        for facet in stype.facets:
+            for rendered in self._facet(facet):
+                restriction.append_child(rendered)
+        element.append_child(restriction)
+        return element
+
+    @staticmethod
+    def _facet(facet: Facet) -> list[Element]:
+        def single(tag: str, value: object) -> list[Element]:
+            element = Element(f"xsd:{tag}")
+            if isinstance(value, Decimal):
+                value = format(value, "f")
+            element.set_attribute("value", str(value))
+            return [element]
+
+        if isinstance(facet, Enumeration):
+            out = []
+            for value in facet.values:
+                out.extend(single("enumeration", value))
+            return out
+        if isinstance(facet, Pattern):
+            return single("pattern", facet.pattern)
+        if isinstance(facet, Length):
+            return single("length", facet.length)
+        if isinstance(facet, MinLength):
+            return single("minLength", facet.length)
+        if isinstance(facet, MaxLength):
+            return single("maxLength", facet.length)
+        if isinstance(facet, MinInclusive):
+            return single("minInclusive", facet.bound)
+        if isinstance(facet, MaxInclusive):
+            return single("maxInclusive", facet.bound)
+        if isinstance(facet, MinExclusive):
+            return single("minExclusive", facet.bound)
+        if isinstance(facet, MaxExclusive):
+            return single("maxExclusive", facet.bound)
+        if isinstance(facet, TotalDigits):
+            return single("totalDigits", facet.digits)
+        if isinstance(facet, FractionDigits):
+            return single("fractionDigits", facet.digits)
+        raise SchemaError(f"cannot serialize facet {facet!r}")
+
+
+def _occurs(element: Element, particle: Particle) -> None:
+    if particle.min_occurs != 1:
+        element.set_attribute("minOccurs", str(particle.min_occurs))
+    if particle.max_occurs != 1:
+        element.set_attribute(
+            "maxOccurs",
+            "unbounded" if particle.max_occurs is None
+            else str(particle.max_occurs))

@@ -1,0 +1,44 @@
+"""An XSLT 1.0 engine (plus the XSLT 1.1 ``xsl:document`` instruction).
+
+The engine replaces the two processors the paper used — MSXML (XSLT 1.0,
+single HTML page with internal links) and Instant Saxon (XSLT 1.1,
+``xsl:document`` producing one page per fact/dimension class).
+
+Typical use::
+
+    from repro.xslt import compile_stylesheet, transform
+    sheet = compile_stylesheet(open('model2html.xsl').read())
+    result = transform(sheet, source_document)
+    html = result.serialize()            # principal output
+    pages = result.serialize_all()       # includes xsl:document outputs
+"""
+
+from .engine import Transformer, TransformResult, transform
+from .errors import XSLTError, XSLTRuntimeError, XSLTStaticError
+from .output import format_number, serialize_result
+from .patterns import Pattern, compile_pattern
+from .stylesheet import (
+    KeyDefinition,
+    OutputSettings,
+    Stylesheet,
+    TemplateRule,
+    compile_stylesheet,
+)
+
+__all__ = [
+    "Transformer",
+    "TransformResult",
+    "transform",
+    "XSLTError",
+    "XSLTRuntimeError",
+    "XSLTStaticError",
+    "format_number",
+    "serialize_result",
+    "Pattern",
+    "compile_pattern",
+    "KeyDefinition",
+    "OutputSettings",
+    "Stylesheet",
+    "TemplateRule",
+    "compile_stylesheet",
+]

@@ -1,0 +1,113 @@
+"""Attribute value templates (XSLT 1.0 §7.6.2).
+
+In attribute values of literal result elements and of selected XSLT
+instructions, ``{expr}`` embeds an XPath expression; ``{{`` and ``}}`` are
+escapes for literal braces.
+
+>>> avt = compile_avt('{@id}.html')
+>>> # evaluated later against a context: avt.evaluate(context) -> 'f1.html'
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..xpath.ast import Expr
+from ..xpath.datamodel import to_string
+from ..xpath.evaluator import Context, XPathEvaluator
+from ..xpath.parser import parse_xpath
+from .errors import XSLTStaticError
+
+__all__ = ["AVT", "compile_avt"]
+
+_EVALUATOR = XPathEvaluator()
+
+
+class AVT:
+    """A compiled attribute value template: literal and expression parts."""
+
+    __slots__ = ("text", "_parts")
+
+    def __init__(self, text: str, parts: list["str | Expr"]) -> None:
+        self.text = text
+        self._parts = parts
+
+    @property
+    def is_literal(self) -> bool:
+        """True when the template contains no expressions."""
+        return all(isinstance(part, str) for part in self._parts)
+
+    def evaluate(self, context: Context) -> str:
+        """Instantiate the template in *context*."""
+        out: list[str] = []
+        for part in self._parts:
+            if isinstance(part, str):
+                out.append(part)
+            else:
+                out.append(to_string(_EVALUATOR.evaluate(part, context)))
+        return "".join(out)
+
+    def __repr__(self) -> str:
+        return f"AVT({self.text!r})"
+
+
+@lru_cache(maxsize=4096)
+def compile_avt(text: str) -> AVT:
+    """Compile *text* into an :class:`AVT` (memoized)."""
+    parts: list[str | Expr] = []
+    literal: list[str] = []
+    index = 0
+    n = len(text)
+    while index < n:
+        ch = text[index]
+        if ch == "{":
+            if text.startswith("{{", index):
+                literal.append("{")
+                index += 2
+                continue
+            end = _find_expr_end(text, index + 1)
+            if end == -1:
+                raise XSLTStaticError(
+                    f"unterminated '{{' in attribute value template "
+                    f"{text!r}")
+            if literal:
+                parts.append("".join(literal))
+                literal = []
+            expression = text[index + 1:end]
+            try:
+                parts.append(parse_xpath(expression))
+            except Exception as exc:
+                raise XSLTStaticError(
+                    f"bad expression {expression!r} in attribute value "
+                    f"template: {exc}") from None
+            index = end + 1
+        elif ch == "}":
+            if text.startswith("}}", index):
+                literal.append("}")
+                index += 2
+                continue
+            raise XSLTStaticError(
+                f"unescaped '}}' in attribute value template {text!r}")
+        else:
+            literal.append(ch)
+            index += 1
+    if literal:
+        parts.append("".join(literal))
+    return AVT(text, parts)
+
+
+def _find_expr_end(text: str, start: int) -> int:
+    """Find the '}' ending an embedded expression, skipping string literals."""
+    index = start
+    while index < len(text):
+        ch = text[index]
+        if ch in "'\"":
+            closing = text.find(ch, index + 1)
+            if closing == -1:
+                return -1
+            index = closing + 1
+            continue
+        if ch == "}":
+            return index
+        index += 1
+    return -1

@@ -1,0 +1,973 @@
+"""The transformation runtime.
+
+:class:`Transformer` executes a compiled :class:`Stylesheet` against a
+source document:
+
+* template-rule matching with modes, priorities and the document-order
+  tie-break,
+* the built-in template rules of §5.8,
+* variable/parameter scoping (global tier + per-template frames),
+* lazily built ``xsl:key`` indexes,
+* the XSLT function library (``document``, ``key``, ``current``,
+  ``generate-id``, ``format-number``, ``system-property``, ...),
+* multiple output documents via XSLT 1.1 ``xsl:document`` — the mechanism
+  the paper uses (with Instant Saxon) to publish one HTML page per fact
+  and dimension class.
+
+The result is a :class:`TransformResult` holding the principal result
+tree, any secondary documents keyed by href, and collected
+``xsl:message`` texts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..xml.dom import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from ..xpath.datamodel import (
+    document_order,
+    to_boolean,
+    to_number,
+    to_string,
+)
+from ..xpath.evaluator import Context, XPathEvaluator
+from .errors import XSLTRuntimeError
+from .instructions import (
+    ApplyTemplates,
+    AttributeInstr,
+    Body,
+    CallTemplate,
+    Choose,
+    CommentInstr,
+    CopyInstr,
+    CopyOf,
+    DocumentInstr,
+    ElementInstr,
+    ForEach,
+    IfInstr,
+    LiteralElement,
+    LiteralText,
+    Message,
+    NumberInstr,
+    PIInstr,
+    SortSpec,
+    TextInstr,
+    ValueOf,
+    VariableInstr,
+    WithParam,
+)
+from .output import format_number, serialize_result
+from .patterns import compile_pattern
+from .stylesheet import OutputSettings, Stylesheet, TemplateRule
+
+__all__ = ["Transformer", "TransformResult", "transform"]
+
+
+@dataclass
+class TransformResult:
+    """Everything a transformation produced."""
+
+    document: Document
+    #: Secondary outputs from xsl:document, keyed by the evaluated href.
+    documents: dict[str, Document] = field(default_factory=dict)
+    messages: list[str] = field(default_factory=list)
+    output: OutputSettings = field(default_factory=OutputSettings)
+
+    def serialize(self) -> str:
+        """Serialize the principal result per the stylesheet's xsl:output."""
+        return serialize_result(self.document, self.output)
+
+    def serialize_all(self) -> dict[str, str]:
+        """Serialize every output; the principal one under the key ''."""
+        rendered = {"": self.serialize()}
+        for href, document in self.documents.items():
+            rendered[href] = serialize_result(document, self.output)
+        return rendered
+
+
+def transform(stylesheet: Stylesheet, source: Document,
+              params: Mapping[str, object] | None = None,
+              **kwargs) -> TransformResult:
+    """One-shot transformation of *source* with *stylesheet*."""
+    return Transformer(stylesheet, **kwargs).transform(source, params)
+
+
+class _Frame:
+    """A variable scope frame."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, parent: "._Frame | None" = None) -> None:
+        self.bindings: dict[str, object] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> object:
+        frame: _Frame | None = self
+        while frame is not None:
+            if name in frame.bindings:
+                return frame.bindings[name]
+            frame = frame.parent
+        raise KeyError(name)
+
+    def flatten(self) -> dict[str, object]:
+        chain: list[_Frame] = []
+        frame: _Frame | None = self
+        while frame is not None:
+            chain.append(frame)
+            frame = frame.parent
+        merged: dict[str, object] = {}
+        for frame in reversed(chain):
+            merged.update(frame.bindings)
+        return merged
+
+
+class Transformer:
+    """Executes one stylesheet; reusable across source documents."""
+
+    def __init__(self, stylesheet: Stylesheet, *,
+                 document_loader: Callable[[str], Document] | None = None
+                 ) -> None:
+        self.stylesheet = stylesheet
+        self.document_loader = document_loader
+        self._xpath = XPathEvaluator()
+        # mode → rules sorted for matching (highest precedence/priority
+        # first, later document order wins ties).
+        self._rules_by_mode: dict[str | None, list[TemplateRule]] = {}
+        for rule in stylesheet.templates:
+            if rule.pattern is None:
+                continue
+            self._rules_by_mode.setdefault(rule.mode, []).append(rule)
+        for rules in self._rules_by_mode.values():
+            rules.sort(key=lambda r: (r.precedence, r.priority, r.order),
+                       reverse=True)
+
+    # -- public API -----------------------------------------------------------
+
+    def transform(self, source: Document,
+                  params: Mapping[str, object] | None = None
+                  ) -> TransformResult:
+        """Transform *source*; *params* override global xsl:param values.
+
+        When the stylesheet declares ``xsl:strip-space``, whitespace-only
+        text nodes are stripped from a *clone* of the source document
+        (the caller's tree is never mutated).
+        """
+        if self.stylesheet.strip_space:
+            from ..xml.dom import clone_node
+
+            source = clone_node(source)  # type: ignore[assignment]
+            _strip_whitespace(source, self.stylesheet.strip_space,
+                              self.stylesheet.preserve_space)
+        result = TransformResult(document=ResultDocument(),
+                                 output=self.stylesheet.output)
+        run = _Run(self, source, result, params or {})
+        run.bootstrap_globals()
+        run.apply_templates([source], None, run.global_frame, {})
+        run.flush_output()
+        return result
+
+
+class _Run:
+    """Per-transformation mutable state."""
+
+    def __init__(self, transformer: Transformer, source: Document,
+                 result: TransformResult,
+                 params: Mapping[str, object]) -> None:
+        self.transformer = transformer
+        self.stylesheet = transformer.stylesheet
+        self.source = source
+        self.result = result
+        self.user_params = params
+        self.global_frame = _Frame()
+        self._xpath = transformer._xpath
+        self._keys: dict[str, dict[str, list[Node]]] = {}
+        self._generated_ids: dict[int, str] = {}
+        # Output construction: a stack of (parent-node, pending-text) so
+        # xsl:document can redirect instructions into secondary trees.
+        self._output_stack: list[Node] = [result.document]
+        self._functions = {
+            "current": self._fn_current,
+            "key": self._fn_key,
+            "document": self._fn_document,
+            "generate-id": self._fn_generate_id,
+            "format-number": self._fn_format_number,
+            "system-property": self._fn_system_property,
+            "element-available": self._fn_element_available,
+            "function-available": self._fn_function_available,
+            "unparsed-entity-uri": self._fn_unparsed_entity_uri,
+        }
+
+    # -- context helpers -----------------------------------------------------------
+
+    def _context(self, node: Node, position: int, size: int,
+                 frame: _Frame, current: Node | None = None) -> Context:
+        return Context(
+            node=node, position=position, size=size,
+            variables=_FrameMapping(frame),
+            namespaces=self.stylesheet.namespaces,
+            functions=self._functions,
+            current_node=current if current is not None else node,
+        )
+
+    def _evaluate(self, expr, context: Context) -> object:
+        return self._xpath.evaluate(expr, context)
+
+    # -- globals -----------------------------------------------------------------------
+
+    def bootstrap_globals(self) -> None:
+        root_context = self._context(self.source, 1, 1, self.global_frame)
+        for name, is_param, select, body in self.stylesheet.globals:
+            if is_param and name in self.user_params:
+                self.global_frame.bindings[name] = self.user_params[name]
+                continue
+            if select is not None:
+                self.global_frame.bindings[name] = \
+                    self._evaluate(select, root_context)
+            else:
+                self.global_frame.bindings[name] = \
+                    self._build_fragment(body, root_context,
+                                         self.global_frame)
+        # Parameters passed by the caller but not declared are still
+        # available (lenient, matches common processor behaviour).
+        for name, value in self.user_params.items():
+            self.global_frame.bindings.setdefault(name, value)
+
+    # -- template application ---------------------------------------------------------------
+
+    def apply_templates(self, nodes: Sequence[Node], mode: str | None,
+                        frame: _Frame, params: Mapping[str, object]) -> None:
+        size = len(nodes)
+        for position, node in enumerate(nodes, start=1):
+            rule = self._find_rule(node, mode, frame)
+            if rule is None:
+                self._builtin_rule(node, mode, frame)
+                continue
+            self._instantiate_rule(rule, node, position, size, params)
+
+    def _find_rule(self, node: Node, mode: str | None,
+                   frame: _Frame) -> TemplateRule | None:
+        rules = self.transformer._rules_by_mode.get(mode)
+        if not rules:
+            return None
+        context = self._context(node, 1, 1, frame)
+        for rule in rules:
+            assert rule.pattern is not None
+            if rule.pattern.matches(node, context):
+                return rule
+        return None
+
+    def _builtin_rule(self, node: Node, mode: str | None,
+                      frame: _Frame) -> None:
+        if isinstance(node, (Document, Element)):
+            children = list(node.children)
+            self.apply_templates(children, mode, frame, {})
+        elif isinstance(node, (Text, Attribute)):
+            self._write_text(node.string_value())
+        # Comments and PIs produce nothing (§5.8).
+
+    def _instantiate_rule(self, rule: TemplateRule, node: Node,
+                          position: int, size: int,
+                          params: Mapping[str, object]) -> None:
+        frame = _Frame(self.global_frame)
+        context = self._context(node, position, size, frame)
+        for param in rule.params:
+            if param.name in params:
+                frame.bindings[param.name] = params[param.name]
+            elif param.select is not None:
+                frame.bindings[param.name] = \
+                    self._evaluate(param.select, context)
+            else:
+                frame.bindings[param.name] = \
+                    self._build_fragment(param.body, context, frame)
+        self.execute_body(rule.body, context, frame)
+
+    # -- instruction execution ------------------------------------------------------------------
+
+    def execute_body(self, body: Body, context: Context,
+                     frame: _Frame) -> None:
+        scope = _Frame(frame)
+        for instruction in body:
+            self.execute(instruction, context, scope)
+
+    def execute(self, instruction, context: Context, frame: _Frame) -> None:
+        method = self._DISPATCH.get(type(instruction))
+        if method is None:  # pragma: no cover - compiler guarantees coverage
+            raise XSLTRuntimeError(
+                f"no executor for {type(instruction).__name__}")
+        method(self, instruction, context, frame)
+
+    def _exec_literal_text(self, instr: LiteralText, context: Context,
+                           frame: _Frame) -> None:
+        self._write_text(instr.text)
+
+    def _exec_text(self, instr: TextInstr, context: Context,
+                   frame: _Frame) -> None:
+        self._write_text(instr.text, raw=instr.disable_output_escaping)
+
+    def _exec_value_of(self, instr: ValueOf, context: Context,
+                       frame: _Frame) -> None:
+        value = to_string(self._evaluate_with_frame(instr.select, context,
+                                                    frame))
+        self._write_text(value, raw=instr.disable_output_escaping)
+
+    def _exec_literal_element(self, instr: LiteralElement, context: Context,
+                              frame: _Frame) -> None:
+        element = Element(instr.name)
+        for prefix, uri in instr.namespaces:
+            element.declare_namespace(prefix, uri)
+        inner_context = self._refresh(context, frame)
+        for name, avt in instr.attributes:
+            element.set_attribute(name, avt.evaluate(inner_context))
+        self._write_node(element)
+        self._push_output(element)
+        try:
+            self.execute_body(instr.body, context, frame)
+        finally:
+            self._pop_output()
+
+    def _exec_element(self, instr: ElementInstr, context: Context,
+                      frame: _Frame) -> None:
+        name = instr.name.evaluate(self._refresh(context, frame))
+        element = Element(name)
+        self._write_node(element)
+        self._push_output(element)
+        try:
+            self.execute_body(instr.body, context, frame)
+        finally:
+            self._pop_output()
+
+    def _exec_attribute(self, instr: AttributeInstr, context: Context,
+                        frame: _Frame) -> None:
+        target = self._current_output()
+        if not isinstance(target, Element):
+            raise XSLTRuntimeError(
+                "xsl:attribute must be instantiated inside an element")
+        if any(isinstance(c, (Element, Text)) for c in target.children):
+            raise XSLTRuntimeError(
+                "xsl:attribute after children have been written to "
+                f"<{target.name}>")
+        name = instr.name.evaluate(self._refresh(context, frame))
+        value = self._body_string(instr.body, context, frame)
+        target.set_attribute(name, value)
+
+    def _exec_comment(self, instr: CommentInstr, context: Context,
+                      frame: _Frame) -> None:
+        self._write_node(Comment(self._body_string(instr.body, context,
+                                                   frame)))
+
+    def _exec_pi(self, instr: PIInstr, context: Context,
+                 frame: _Frame) -> None:
+        name = instr.name.evaluate(self._refresh(context, frame))
+        self._write_node(ProcessingInstruction(
+            name, self._body_string(instr.body, context, frame)))
+
+    def _exec_apply_templates(self, instr: ApplyTemplates, context: Context,
+                              frame: _Frame) -> None:
+        inner = self._refresh(context, frame)
+        if instr.select is not None:
+            value = self._evaluate(instr.select, inner)
+            if not isinstance(value, list):
+                raise XSLTRuntimeError(
+                    "apply-templates select must be a node-set")
+            nodes = document_order(value)
+        else:
+            node = context.node
+            nodes = list(node.children) \
+                if isinstance(node, (Document, Element)) else []
+        if instr.sorts:
+            nodes = self._sorted(nodes, instr.sorts, inner)
+        params = self._evaluate_with_params(instr.params, inner, frame)
+        self.apply_templates(nodes, instr.mode, frame, params)
+
+    def _exec_call_template(self, instr: CallTemplate, context: Context,
+                            frame: _Frame) -> None:
+        rule = self.stylesheet.named_template(instr.name)
+        inner = self._refresh(context, frame)
+        params = self._evaluate_with_params(instr.params, inner, frame)
+        self._instantiate_rule(rule, context.node, context.position,
+                               context.size, params)
+
+    def _exec_for_each(self, instr: ForEach, context: Context,
+                       frame: _Frame) -> None:
+        inner = self._refresh(context, frame)
+        value = self._evaluate(instr.select, inner)
+        if not isinstance(value, list):
+            raise XSLTRuntimeError("for-each select must be a node-set")
+        nodes = document_order(value)
+        if instr.sorts:
+            nodes = self._sorted(nodes, instr.sorts, inner)
+        size = len(nodes)
+        for position, node in enumerate(nodes, start=1):
+            sub = self._context(node, position, size, frame, current=node)
+            self.execute_body(instr.body, sub, frame)
+
+    def _exec_if(self, instr: IfInstr, context: Context,
+                 frame: _Frame) -> None:
+        if to_boolean(self._evaluate_with_frame(instr.test, context, frame)):
+            self.execute_body(instr.body, context, frame)
+
+    def _exec_choose(self, instr: Choose, context: Context,
+                     frame: _Frame) -> None:
+        for test, body in instr.whens:
+            if to_boolean(self._evaluate_with_frame(test, context, frame)):
+                self.execute_body(body, context, frame)
+                return
+        if instr.otherwise:
+            self.execute_body(instr.otherwise, context, frame)
+
+    def _exec_variable(self, instr: VariableInstr, context: Context,
+                       frame: _Frame) -> None:
+        if instr.name in frame.bindings:
+            raise XSLTRuntimeError(
+                f"variable ${instr.name} is already bound in this scope")
+        if instr.select is not None:
+            value = self._evaluate_with_frame(instr.select, context, frame)
+        else:
+            value = self._build_fragment(instr.body, context, frame)
+        frame.bindings[instr.name] = value
+
+    def _exec_copy(self, instr: CopyInstr, context: Context,
+                   frame: _Frame) -> None:
+        node = context.node
+        if isinstance(node, Element):
+            shallow = Element(node.name)
+            for prefix, uri in node.namespace_declarations.items():
+                shallow.declare_namespace(prefix, uri)
+            self._write_node(shallow)
+            self._push_output(shallow)
+            try:
+                self.execute_body(instr.body, context, frame)
+            finally:
+                self._pop_output()
+        elif isinstance(node, Document):
+            self.execute_body(instr.body, context, frame)
+        elif isinstance(node, Text):
+            self._write_text(node.data)
+        elif isinstance(node, Comment):
+            self._write_node(Comment(node.data))
+        elif isinstance(node, ProcessingInstruction):
+            self._write_node(ProcessingInstruction(node.target, node.data))
+        elif isinstance(node, Attribute):
+            target = self._current_output()
+            if isinstance(target, Element):
+                target.set_attribute(node.name, node.value)
+
+    def _exec_copy_of(self, instr: CopyOf, context: Context,
+                      frame: _Frame) -> None:
+        value = self._evaluate_with_frame(instr.select, context, frame)
+        if isinstance(value, list):
+            for node in document_order(value):
+                self._deep_copy(node)
+        else:
+            self._write_text(to_string(value))
+
+    def _exec_document(self, instr: DocumentInstr, context: Context,
+                       frame: _Frame) -> None:
+        href = instr.href.evaluate(self._refresh(context, frame))
+        if href in self.result.documents:
+            raise XSLTRuntimeError(
+                f"xsl:document would overwrite output {href!r}")
+        document = Document()
+        self.result.documents[href] = document
+        self._output_stack.append(document)
+        try:
+            self.execute_body(instr.body, context, frame)
+        finally:
+            self._output_stack.pop()
+
+    def _exec_message(self, instr: Message, context: Context,
+                      frame: _Frame) -> None:
+        text = self._body_string(instr.body, context, frame)
+        self.result.messages.append(text)
+        if instr.terminate:
+            raise XSLTRuntimeError(f"transformation terminated: {text}")
+
+    def _exec_number(self, instr: NumberInstr, context: Context,
+                     frame: _Frame) -> None:
+        if instr.value is not None:
+            number = to_number(
+                self._evaluate_with_frame(instr.value, context, frame))
+        else:
+            number = float(self._count_position(instr, context))
+        fmt = instr.format.evaluate(self._refresh(context, frame))
+        self._write_text(_format_xsl_number(number, fmt))
+
+    def _count_position(self, instr: NumberInstr, context: Context) -> int:
+        node = context.node
+        if instr.count:
+            pattern = compile_pattern(instr.count)
+        else:
+            if isinstance(node, Element):
+                pattern = compile_pattern(node.name)
+            else:
+                return context.position
+        match_context = self._context(node, 1, 1, self.global_frame)
+        current: Node | None = node
+        while current is not None and \
+                not pattern.matches(current, match_context):
+            current = current.parent
+        if current is None or current.parent is None:
+            return 1
+        count = 0
+        for sibling in current.parent.children:
+            if pattern.matches(sibling, match_context):
+                count += 1
+            if sibling is current:
+                break
+        return count
+
+    _DISPATCH = {}
+
+    # -- sorting ----------------------------------------------------------------------
+
+    def _sorted(self, nodes: list[Node], sorts: tuple[SortSpec, ...],
+                context: Context) -> list[Node]:
+        def key_for(node: Node, position: int):
+            sub = Context(
+                node=node, position=position, size=len(nodes),
+                variables=context.variables,
+                namespaces=context.namespaces,
+                functions=context.functions, current_node=node)
+            keys = []
+            for sort in sorts:
+                value = self._evaluate(sort.select, sub)
+                data_type = sort.data_type.evaluate(sub) \
+                    if sort.data_type else "text"
+                descending = (sort.order.evaluate(sub) == "descending"
+                              if sort.order else False)
+                if data_type == "number":
+                    number = to_number(value)
+                    if math.isnan(number):
+                        number = -math.inf
+                    keys.append(_SortKey(number, descending))
+                else:
+                    keys.append(_SortKey(to_string(value), descending))
+            return keys
+
+        decorated = [
+            (key_for(node, index + 1), index, node)
+            for index, node in enumerate(nodes)
+        ]
+        decorated.sort(key=lambda item: (item[0], item[1]))
+        return [node for _, _, node in decorated]
+
+    # -- output construction --------------------------------------------------------------
+
+    def _current_output(self) -> Node:
+        return self._output_stack[-1]
+
+    def _push_output(self, node: Node) -> None:
+        self._output_stack.append(node)
+
+    def _pop_output(self) -> None:
+        self._output_stack.pop()
+
+    def _write_node(self, node: Node) -> None:
+        target = self._current_output()
+        if isinstance(target, Document) and isinstance(node, Text):
+            if not node.data.strip():
+                return
+        target.append_child(node)  # type: ignore[union-attr]
+
+    def _write_text(self, text: str, raw: bool = False) -> None:
+        if not text:
+            return
+        target = self._current_output()
+        if isinstance(target, Document) and not text.strip():
+            return
+        children = target.children  # type: ignore[union-attr]
+        if children and isinstance(children[-1], Text) and \
+                children[-1].is_cdata == raw:
+            children[-1].data += text
+            return
+        node = Text(text)
+        if raw:
+            # disable-output-escaping is modelled with the cdata flag; the
+            # HTML serializer emits cdata text raw.
+            node.is_cdata = True
+        self._write_node(node)
+
+    def _deep_copy(self, node: Node) -> None:
+        if isinstance(node, _RTF):
+            for child in node.nodes:
+                self._deep_copy(child)
+            return
+        if isinstance(node, Document):
+            for child in node.children:
+                self._deep_copy(child)
+            return
+        if isinstance(node, Element):
+            clone = Element(node.name)
+            for prefix, uri in node.namespace_declarations.items():
+                clone.declare_namespace(prefix, uri)
+            for attr in node.attributes:
+                clone.set_attribute(attr.name, attr.value)
+            self._write_node(clone)
+            self._push_output(clone)
+            try:
+                for child in node.children:
+                    self._deep_copy(child)
+            finally:
+                self._pop_output()
+        elif isinstance(node, Text):
+            self._write_text(node.data)
+        elif isinstance(node, Comment):
+            self._write_node(Comment(node.data))
+        elif isinstance(node, ProcessingInstruction):
+            self._write_node(ProcessingInstruction(node.target, node.data))
+        elif isinstance(node, Attribute):
+            target = self._current_output()
+            if isinstance(target, Element):
+                target.set_attribute(node.name, node.value)
+
+    def _build_fragment(self, body: Body, context: Context,
+                        frame: _Frame) -> list[Node]:
+        """Instantiate *body* into a result tree fragment (§11.1).
+
+        The fragment is represented as a single root-like node whose
+        string-value is the concatenated text, so ``string($var)`` and
+        ``xsl:copy-of select="$var"`` behave per the specification.
+        """
+        wrapper = Element("rtf-wrapper")
+        self._output_stack.append(wrapper)
+        try:
+            self.execute_body(body, context, frame)
+        finally:
+            self._output_stack.pop()
+        children = list(wrapper.children)
+        rtf = _RTF([])
+        for child in children:
+            wrapper.remove_child(child)
+            child.parent = rtf
+            rtf.nodes.append(child)
+        return [rtf]
+
+    def _body_string(self, body: Body, context: Context,
+                     frame: _Frame) -> str:
+        fragment = self._build_fragment(body, context, frame)
+        return to_string(fragment)
+
+    def flush_output(self) -> None:
+        """Post-process the principal output tree (currently a no-op)."""
+
+    # -- expression helpers ---------------------------------------------------------------
+
+    def _refresh(self, context: Context, frame: _Frame) -> Context:
+        """Rebind the context's variable view to the innermost frame."""
+        return Context(
+            node=context.node, position=context.position, size=context.size,
+            variables=_FrameMapping(frame),
+            namespaces=context.namespaces, functions=context.functions,
+            current_node=context.current_node)
+
+    def _evaluate_with_frame(self, expr, context: Context,
+                             frame: _Frame) -> object:
+        return self._evaluate(expr, self._refresh(context, frame))
+
+    def _evaluate_with_params(self, params: tuple[WithParam, ...],
+                              context: Context, frame: _Frame
+                              ) -> dict[str, object]:
+        values: dict[str, object] = {}
+        for param in params:
+            if param.select is not None:
+                values[param.name] = self._evaluate(param.select, context)
+            else:
+                values[param.name] = self._build_fragment(
+                    param.body, context, frame)
+        return values
+
+    # -- XSLT function library ----------------------------------------------------------------
+
+    def _fn_current(self, context: Context, args) -> object:
+        node = context.current_node or context.node
+        return [node]
+
+    def _fn_key(self, context: Context, args) -> object:
+        if len(args) != 2:
+            raise XSLTRuntimeError("key() expects 2 arguments")
+        name = to_string(args[0])
+        index = self._key_index(name)
+        values: list[str] = []
+        if isinstance(args[1], list):
+            values = [node.string_value() for node in args[1]]
+        else:
+            values = [to_string(args[1])]
+        found: list[Node] = []
+        for value in values:
+            found.extend(index.get(value, ()))
+        return document_order(found)
+
+    def _key_index(self, name: str) -> dict[str, list[Node]]:
+        index = self._keys.get(name)
+        if index is not None:
+            return index
+        definitions = [k for k in self.stylesheet.keys if k.name == name]
+        if not definitions:
+            raise XSLTRuntimeError(f"no xsl:key named {name!r}")
+        index = {}
+        match_context = self._context(self.source, 1, 1, self.global_frame)
+        nodes: list[Node] = [self.source]
+        stack: list[Node] = [self.source]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (Document, Element)):
+                stack.extend(node.children)
+                if isinstance(node, Element):
+                    stack.extend(node.attributes)
+            for definition in definitions:
+                if not definition.match.matches(node, match_context):
+                    continue
+                use_context = self._context(node, 1, 1, self.global_frame)
+                value = self._evaluate(definition.use, use_context)
+                if isinstance(value, list):
+                    for member in value:
+                        index.setdefault(member.string_value(),
+                                         []).append(node)
+                else:
+                    index.setdefault(to_string(value), []).append(node)
+        self._keys[name] = index
+        return index
+
+    def _fn_document(self, context: Context, args) -> object:
+        if not args:
+            raise XSLTRuntimeError("document() expects at least 1 argument")
+        href = to_string(args[0])
+        if href == "":
+            source = self.stylesheet.source
+            return [source] if source is not None else []
+        loader = self.transformer.document_loader
+        if loader is None:
+            raise XSLTRuntimeError(
+                f"document({href!r}): no document loader configured")
+        return [loader(href)]
+
+    def _fn_generate_id(self, context: Context, args) -> object:
+        if args and isinstance(args[0], list):
+            if not args[0]:
+                return ""
+            node = document_order(args[0])[0]
+        else:
+            node = context.node
+        identity = id(node)
+        existing = self._generated_ids.get(identity)
+        if existing is None:
+            existing = f"id{len(self._generated_ids) + 1}"
+            self._generated_ids[identity] = existing
+        return existing
+
+    def _fn_format_number(self, context: Context, args) -> object:
+        if len(args) not in (2, 3):
+            raise XSLTRuntimeError("format-number() expects 2 or 3 arguments")
+        return format_number(to_number(args[0]), to_string(args[1]))
+
+    def _fn_system_property(self, context: Context, args) -> object:
+        name = to_string(args[0]) if args else ""
+        properties = {
+            "xsl:version": "1.1",
+            "xsl:vendor": "repro-xslt",
+            "xsl:vendor-url": "https://example.invalid/repro",
+        }
+        return properties.get(name, "")
+
+    def _fn_element_available(self, context: Context, args) -> object:
+        name = to_string(args[0]) if args else ""
+        local = name.split(":", 1)[-1]
+        from .instructions import _XSL_HANDLERS
+
+        return local in _XSL_HANDLERS
+
+    def _fn_function_available(self, context: Context, args) -> object:
+        from ..xpath.functions import CORE_FUNCTIONS
+
+        name = to_string(args[0]) if args else ""
+        return name in CORE_FUNCTIONS or name in self._functions
+
+    def _fn_unparsed_entity_uri(self, context: Context, args) -> object:
+        return ""
+
+
+def _strip_whitespace(root: Document, strip: set, preserve: set) -> None:
+    """Remove whitespace-only text children per xsl:strip-space (§3.4).
+
+    ``preserve`` names and in-scope ``xml:space="preserve"`` win over
+    ``strip``; ``'*'`` matches every element.
+    """
+
+    def stripped(element: Element) -> bool:
+        if element.name in preserve:
+            return False
+        if element.get_attribute("xml:space") == "preserve":
+            return False
+        node = element
+        while isinstance(node, Element):
+            space = node.get_attribute("xml:space")
+            if space == "preserve":
+                return False
+            if space == "default":
+                break
+            node = node.parent  # type: ignore[assignment]
+        return element.name in strip or "*" in strip
+
+    stack: list[Node] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Element) and stripped(node):
+            node.children[:] = [
+                child for child in node.children
+                if not (isinstance(child, Text) and not child.data.strip())
+            ]
+        if isinstance(node, (Document, Element)):
+            stack.extend(node.children)
+
+
+class ResultDocument(Document):
+    """A result-tree root: permissive about top-level text and multiple
+    root elements, which XSLT allows (the serializer handles both)."""
+
+    __slots__ = ()
+
+    def _check_insertable(self, node: Node) -> None:
+        # Only the structural checks (no cycles, no attribute children);
+        # skip Document's single-root/no-text restrictions.
+        super(Document, self)._check_insertable(node)
+
+
+class _RTF(Node):
+    """A result tree fragment that is not a single-rooted document."""
+
+    __slots__ = ("nodes",)
+
+    kind = "root"
+
+    def __init__(self, nodes: list[Node]) -> None:
+        super().__init__()
+        self.nodes = nodes
+
+    def string_value(self) -> str:
+        return "".join(node.string_value() for node in self.nodes)
+
+    @property
+    def children(self) -> list[Node]:
+        return self.nodes
+
+    def document_order_key(self):
+        return ()
+
+
+class _FrameMapping(Mapping):
+    """Read-only mapping view over a frame chain for the XPath context."""
+
+    def __init__(self, frame: _Frame) -> None:
+        self._frame = frame
+
+    def __getitem__(self, name: str) -> object:
+        return self._frame.lookup(name)
+
+    def __iter__(self):
+        return iter(self._frame.flatten())
+
+    def __len__(self) -> int:
+        return len(self._frame.flatten())
+
+    def __contains__(self, name: object) -> bool:
+        try:
+            self._frame.lookup(name)  # type: ignore[arg-type]
+            return True
+        except KeyError:
+            return False
+
+
+class _SortKey:
+    """A sort key honouring per-key descending order."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value, descending: bool) -> None:
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "._SortKey") -> bool:
+        if self.descending:
+            return other.value < self.value
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+
+def _format_xsl_number(number: float, fmt: str) -> str:
+    """Format an xsl:number value for the common format tokens."""
+    value = int(number)
+    if fmt.startswith("a"):
+        return _to_alpha(value, "abcdefghijklmnopqrstuvwxyz")
+    if fmt.startswith("A"):
+        return _to_alpha(value, "ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+    if fmt.startswith("i"):
+        return _to_roman(value).lower()
+    if fmt.startswith("I"):
+        return _to_roman(value)
+    if fmt.startswith("0"):
+        width = len([c for c in fmt if c in "0123456789"])
+        return str(value).zfill(width)
+    return str(value)
+
+
+def _to_alpha(value: int, alphabet: str) -> str:
+    if value <= 0:
+        return str(value)
+    out = []
+    while value:
+        value, rem = divmod(value - 1, len(alphabet))
+        out.append(alphabet[rem])
+    return "".join(reversed(out))
+
+
+_ROMAN = (
+    (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"), (100, "C"),
+    (90, "XC"), (50, "L"), (40, "XL"), (10, "X"), (9, "IX"), (5, "V"),
+    (4, "IV"), (1, "I"),
+)
+
+
+def _to_roman(value: int) -> str:
+    if value <= 0:
+        return str(value)
+    out = []
+    for magnitude, letters in _ROMAN:
+        while value >= magnitude:
+            out.append(letters)
+            value -= magnitude
+    return "".join(out)
+
+
+_Run._DISPATCH = {
+    LiteralText: _Run._exec_literal_text,
+    TextInstr: _Run._exec_text,
+    ValueOf: _Run._exec_value_of,
+    LiteralElement: _Run._exec_literal_element,
+    ElementInstr: _Run._exec_element,
+    AttributeInstr: _Run._exec_attribute,
+    CommentInstr: _Run._exec_comment,
+    PIInstr: _Run._exec_pi,
+    ApplyTemplates: _Run._exec_apply_templates,
+    CallTemplate: _Run._exec_call_template,
+    ForEach: _Run._exec_for_each,
+    IfInstr: _Run._exec_if,
+    Choose: _Run._exec_choose,
+    VariableInstr: _Run._exec_variable,
+    CopyInstr: _Run._exec_copy,
+    CopyOf: _Run._exec_copy_of,
+    DocumentInstr: _Run._exec_document,
+    Message: _Run._exec_message,
+    NumberInstr: _Run._exec_number,
+}

@@ -1,0 +1,17 @@
+"""XSLT error types."""
+
+from __future__ import annotations
+
+__all__ = ["XSLTError", "XSLTStaticError", "XSLTRuntimeError"]
+
+
+class XSLTError(Exception):
+    """Base class for XSLT failures."""
+
+
+class XSLTStaticError(XSLTError):
+    """The stylesheet itself is malformed (bad instruction, bad pattern)."""
+
+
+class XSLTRuntimeError(XSLTError):
+    """A failure during transformation (bad select result, missing key)."""

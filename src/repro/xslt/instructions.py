@@ -1,0 +1,536 @@
+"""Compiled instruction tree for template bodies.
+
+The stylesheet compiler (:mod:`repro.xslt.stylesheet`) turns the DOM of
+each template body into these instruction objects once; the engine then
+executes them for every source node, never re-inspecting stylesheet DOM.
+
+Supported instruction set: the whole of XSLT 1.0 §7/§9/§11 that the
+paper's stylesheets rely on plus the usual companions —
+``apply-templates`` (with sort/mode/params), ``call-template``,
+``for-each``, ``if``, ``choose``, ``value-of``, ``copy``, ``copy-of``,
+``variable``/``param``/``with-param``, ``text``, ``element``,
+``attribute``, ``comment``, ``processing-instruction``, ``number``
+(level="single"), ``message`` — and the XSLT 1.1 ``xsl:document``
+multi-output instruction the paper uses for one-page-per-class sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..xml.dom import Comment, Element, Node, ProcessingInstruction, Text
+from ..xpath.ast import Expr
+from ..xpath.parser import parse_xpath
+from .avt import AVT, compile_avt
+from .errors import XSLTStaticError
+
+__all__ = [
+    "XSL_NAMESPACE",
+    "Instruction",
+    "Body",
+    "LiteralElement",
+    "LiteralText",
+    "ValueOf",
+    "ApplyTemplates",
+    "CallTemplate",
+    "ForEach",
+    "IfInstr",
+    "Choose",
+    "VariableInstr",
+    "TextInstr",
+    "ElementInstr",
+    "AttributeInstr",
+    "CommentInstr",
+    "PIInstr",
+    "CopyInstr",
+    "CopyOf",
+    "DocumentInstr",
+    "Message",
+    "NumberInstr",
+    "SortSpec",
+    "WithParam",
+    "compile_body",
+    "parse_expr",
+]
+
+XSL_NAMESPACE = "http://www.w3.org/1999/XSL/Transform"
+
+
+class Instruction:
+    """Base class of all compiled instructions."""
+
+    __slots__ = ()
+
+
+#: A template body is a sequence of instructions.
+Body = tuple  # of Instruction
+
+
+@dataclass(frozen=True)
+class SortSpec:
+    """One ``xsl:sort`` specification."""
+
+    select: Expr
+    data_type: AVT | None = None  # 'text' (default) or 'number'
+    order: AVT | None = None      # 'ascending' (default) or 'descending'
+    case_order: AVT | None = None
+
+
+@dataclass(frozen=True)
+class WithParam:
+    """``xsl:with-param`` — value is an expression or a body (RTF)."""
+
+    name: str
+    select: Expr | None
+    body: Body = ()
+
+
+@dataclass(frozen=True)
+class LiteralElement(Instruction):
+    """A literal result element; attribute values are AVTs."""
+
+    name: str
+    attributes: tuple[tuple[str, AVT], ...]
+    namespaces: tuple[tuple[str, str], ...]
+    body: Body
+
+
+@dataclass(frozen=True)
+class LiteralText(Instruction):
+    """Literal character data from the stylesheet."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class ValueOf(Instruction):
+    """``xsl:value-of``."""
+
+    select: Expr
+    disable_output_escaping: bool = False
+
+
+@dataclass(frozen=True)
+class ApplyTemplates(Instruction):
+    """``xsl:apply-templates``."""
+
+    select: Expr | None
+    mode: str | None
+    sorts: tuple[SortSpec, ...]
+    params: tuple[WithParam, ...]
+
+
+@dataclass(frozen=True)
+class CallTemplate(Instruction):
+    """``xsl:call-template``."""
+
+    name: str
+    params: tuple[WithParam, ...]
+
+
+@dataclass(frozen=True)
+class ForEach(Instruction):
+    """``xsl:for-each``."""
+
+    select: Expr
+    sorts: tuple[SortSpec, ...]
+    body: Body
+
+
+@dataclass(frozen=True)
+class IfInstr(Instruction):
+    """``xsl:if``."""
+
+    test: Expr
+    body: Body
+
+
+@dataclass(frozen=True)
+class Choose(Instruction):
+    """``xsl:choose`` with its ``when`` branches and ``otherwise``."""
+
+    whens: tuple[tuple[Expr, Body], ...]
+    otherwise: Body
+
+
+@dataclass(frozen=True)
+class VariableInstr(Instruction):
+    """``xsl:variable`` or ``xsl:param`` in a body."""
+
+    name: str
+    select: Expr | None
+    body: Body
+    is_param: bool = False
+
+
+@dataclass(frozen=True)
+class TextInstr(Instruction):
+    """``xsl:text``."""
+
+    text: str
+    disable_output_escaping: bool = False
+
+
+@dataclass(frozen=True)
+class ElementInstr(Instruction):
+    """``xsl:element`` with a computed name."""
+
+    name: AVT
+    body: Body
+
+
+@dataclass(frozen=True)
+class AttributeInstr(Instruction):
+    """``xsl:attribute`` with a computed name."""
+
+    name: AVT
+    body: Body
+
+
+@dataclass(frozen=True)
+class CommentInstr(Instruction):
+    """``xsl:comment``."""
+
+    body: Body
+
+
+@dataclass(frozen=True)
+class PIInstr(Instruction):
+    """``xsl:processing-instruction``."""
+
+    name: AVT
+    body: Body
+
+
+@dataclass(frozen=True)
+class CopyInstr(Instruction):
+    """``xsl:copy`` — shallow copy of the context node."""
+
+    body: Body
+
+
+@dataclass(frozen=True)
+class CopyOf(Instruction):
+    """``xsl:copy-of`` — deep copy of the selected value."""
+
+    select: Expr
+
+
+@dataclass(frozen=True)
+class DocumentInstr(Instruction):
+    """``xsl:document`` (XSLT 1.1) — write the body to another output."""
+
+    href: AVT
+    body: Body
+    method: str | None = None
+
+
+@dataclass(frozen=True)
+class Message(Instruction):
+    """``xsl:message``."""
+
+    body: Body
+    terminate: bool = False
+
+
+@dataclass(frozen=True)
+class NumberInstr(Instruction):
+    """``xsl:number`` (value= expression or level="single" counting)."""
+
+    value: Expr | None
+    format: AVT
+    count: str | None = None  # pattern text; compiled lazily by the engine
+    from_: str | None = None
+
+
+# -- compiler --------------------------------------------------------------------
+
+
+def parse_expr(text: str, what: str) -> Expr:
+    """Parse an XPath expression attribute, with stylesheet-level errors."""
+    try:
+        return parse_xpath(text)
+    except Exception as exc:
+        raise XSLTStaticError(f"bad {what} expression {text!r}: {exc}") \
+            from None
+
+
+def compile_body(parent: Element) -> Body:
+    """Compile the children of *parent* into an instruction tuple."""
+    instructions: list[Instruction] = []
+    preserve = parent.get_attribute("xml:space") == "preserve"
+    for child in parent.children:
+        if isinstance(child, Text):
+            if child.data.strip() or preserve:
+                instructions.append(LiteralText(child.data))
+        elif isinstance(child, Element):
+            instructions.append(_compile_element(child))
+        # Comments and PIs in the stylesheet are ignored.
+    return tuple(instructions)
+
+
+def _is_xsl(element: Element) -> bool:
+    return element.namespace_uri == XSL_NAMESPACE
+
+
+def _compile_element(element: Element) -> Instruction:
+    if _is_xsl(element):
+        handler = _XSL_HANDLERS.get(element.local_name)
+        if handler is None:
+            raise XSLTStaticError(
+                f"unsupported XSLT instruction <xsl:{element.local_name}>")
+        return handler(element)
+    return _compile_literal(element)
+
+
+def _compile_literal(element: Element) -> LiteralElement:
+    attributes: list[tuple[str, AVT]] = []
+    for attr in element.attributes:
+        if attr.name == "xmlns" or attr.name.startswith("xmlns:"):
+            continue
+        if attr.prefix and element.lookup_namespace(attr.prefix) == \
+                XSL_NAMESPACE:
+            # xsl:* attributes on literal elements (use-attribute-sets,
+            # version...) are not copied to output.
+            continue
+        attributes.append((attr.name, compile_avt(attr.value)))
+    # Literal result elements carry their *in-scope* namespaces (§7.1.1),
+    # excluding the XSLT namespace and the implicit xml binding.
+    namespaces = tuple(
+        (prefix, uri) for prefix, uri in
+        element.in_scope_namespaces().items()
+        if uri != XSL_NAMESPACE and prefix != "xml")
+    return LiteralElement(
+        name=element.name,
+        attributes=tuple(attributes),
+        namespaces=namespaces,
+        body=compile_body(element),
+    )
+
+
+def _required(element: Element, attribute: str) -> str:
+    value = element.get_attribute(attribute)
+    if value is None:
+        raise XSLTStaticError(
+            f"<xsl:{element.local_name}> requires the {attribute!r} "
+            "attribute")
+    return value
+
+
+def _compile_sorts(element: Element) -> tuple[SortSpec, ...]:
+    sorts: list[SortSpec] = []
+    for child in element.children:
+        if isinstance(child, Element) and _is_xsl(child) and \
+                child.local_name == "sort":
+            select = child.get_attribute("select", ".")
+            sorts.append(SortSpec(
+                select=parse_expr(select, "sort select"),
+                data_type=_optional_avt(child, "data-type"),
+                order=_optional_avt(child, "order"),
+                case_order=_optional_avt(child, "case-order"),
+            ))
+    return tuple(sorts)
+
+
+def _optional_avt(element: Element, name: str) -> AVT | None:
+    value = element.get_attribute(name)
+    return compile_avt(value) if value is not None else None
+
+
+def _compile_with_params(element: Element) -> tuple[WithParam, ...]:
+    params: list[WithParam] = []
+    for child in element.children:
+        if isinstance(child, Element) and _is_xsl(child) and \
+                child.local_name == "with-param":
+            name = _required(child, "name")
+            select = child.get_attribute("select")
+            params.append(WithParam(
+                name=name,
+                select=parse_expr(select, "with-param") if select else None,
+                body=compile_body(child) if select is None else (),
+            ))
+    return tuple(params)
+
+
+def _body_without(element: Element, *skip: str) -> Body:
+    """Compile the body ignoring xsl:* children named in *skip*."""
+    instructions: list[Instruction] = []
+    preserve = element.get_attribute("xml:space") == "preserve"
+    for child in element.children:
+        if isinstance(child, Text):
+            if child.data.strip() or preserve:
+                instructions.append(LiteralText(child.data))
+        elif isinstance(child, Element):
+            if _is_xsl(child) and child.local_name in skip:
+                continue
+            instructions.append(_compile_element(child))
+    return tuple(instructions)
+
+
+def _handle_apply_templates(element: Element) -> Instruction:
+    select = element.get_attribute("select")
+    return ApplyTemplates(
+        select=parse_expr(select, "apply-templates select")
+        if select else None,
+        mode=element.get_attribute("mode"),
+        sorts=_compile_sorts(element),
+        params=_compile_with_params(element),
+    )
+
+
+def _handle_call_template(element: Element) -> Instruction:
+    return CallTemplate(
+        name=_required(element, "name"),
+        params=_compile_with_params(element),
+    )
+
+
+def _handle_value_of(element: Element) -> Instruction:
+    return ValueOf(
+        select=parse_expr(_required(element, "select"), "value-of"),
+        disable_output_escaping=element.get_attribute(
+            "disable-output-escaping") == "yes",
+    )
+
+
+def _handle_for_each(element: Element) -> Instruction:
+    return ForEach(
+        select=parse_expr(_required(element, "select"), "for-each"),
+        sorts=_compile_sorts(element),
+        body=_body_without(element, "sort"),
+    )
+
+
+def _handle_if(element: Element) -> Instruction:
+    return IfInstr(
+        test=parse_expr(_required(element, "test"), "if test"),
+        body=compile_body(element),
+    )
+
+
+def _handle_choose(element: Element) -> Instruction:
+    whens: list[tuple[Expr, Body]] = []
+    otherwise: Body = ()
+    for child in element.children:
+        if not isinstance(child, Element):
+            continue
+        if not _is_xsl(child):
+            raise XSLTStaticError(
+                "only xsl:when/xsl:otherwise are allowed in xsl:choose")
+        if child.local_name == "when":
+            whens.append((
+                parse_expr(_required(child, "test"), "when test"),
+                compile_body(child),
+            ))
+        elif child.local_name == "otherwise":
+            otherwise = compile_body(child)
+        else:
+            raise XSLTStaticError(
+                f"<xsl:{child.local_name}> not allowed in xsl:choose")
+    if not whens:
+        raise XSLTStaticError("xsl:choose requires at least one xsl:when")
+    return Choose(whens=tuple(whens), otherwise=otherwise)
+
+
+def _handle_variable(element: Element, *, is_param: bool = False
+                     ) -> Instruction:
+    select = element.get_attribute("select")
+    return VariableInstr(
+        name=_required(element, "name"),
+        select=parse_expr(select, "variable select") if select else None,
+        body=compile_body(element) if select is None else (),
+        is_param=is_param,
+    )
+
+
+def _handle_param(element: Element) -> Instruction:
+    return _handle_variable(element, is_param=True)
+
+
+def _handle_text(element: Element) -> Instruction:
+    return TextInstr(
+        text=element.text_content(),
+        disable_output_escaping=element.get_attribute(
+            "disable-output-escaping") == "yes",
+    )
+
+
+def _handle_element(element: Element) -> Instruction:
+    return ElementInstr(
+        name=compile_avt(_required(element, "name")),
+        body=compile_body(element),
+    )
+
+
+def _handle_attribute(element: Element) -> Instruction:
+    return AttributeInstr(
+        name=compile_avt(_required(element, "name")),
+        body=compile_body(element),
+    )
+
+
+def _handle_comment(element: Element) -> Instruction:
+    return CommentInstr(body=compile_body(element))
+
+
+def _handle_pi(element: Element) -> Instruction:
+    return PIInstr(
+        name=compile_avt(_required(element, "name")),
+        body=compile_body(element),
+    )
+
+
+def _handle_copy(element: Element) -> Instruction:
+    return CopyInstr(body=compile_body(element))
+
+
+def _handle_copy_of(element: Element) -> Instruction:
+    return CopyOf(select=parse_expr(_required(element, "select"), "copy-of"))
+
+
+def _handle_document(element: Element) -> Instruction:
+    return DocumentInstr(
+        href=compile_avt(_required(element, "href")),
+        body=compile_body(element),
+        method=element.get_attribute("method"),
+    )
+
+
+def _handle_message(element: Element) -> Instruction:
+    return Message(
+        body=compile_body(element),
+        terminate=element.get_attribute("terminate") == "yes",
+    )
+
+
+def _handle_number(element: Element) -> Instruction:
+    value = element.get_attribute("value")
+    return NumberInstr(
+        value=parse_expr(value, "number value") if value else None,
+        format=compile_avt(element.get_attribute("format", "1") or "1"),
+        count=element.get_attribute("count"),
+        from_=element.get_attribute("from"),
+    )
+
+
+_XSL_HANDLERS = {
+    "apply-templates": _handle_apply_templates,
+    "call-template": _handle_call_template,
+    "value-of": _handle_value_of,
+    "for-each": _handle_for_each,
+    "if": _handle_if,
+    "choose": _handle_choose,
+    "variable": _handle_variable,
+    "param": _handle_param,
+    "text": _handle_text,
+    "element": _handle_element,
+    "attribute": _handle_attribute,
+    "comment": _handle_comment,
+    "processing-instruction": _handle_pi,
+    "copy": _handle_copy,
+    "copy-of": _handle_copy_of,
+    "document": _handle_document,
+    "message": _handle_message,
+    "number": _handle_number,
+}

@@ -1,0 +1,128 @@
+"""Output methods (XSLT 1.0 §16) and ``format-number``.
+
+``serialize_result`` applies the stylesheet's ``xsl:output`` settings to a
+result tree: the ``html`` method (used by the paper's stylesheets) emits
+void elements unclosed and honours DOCTYPE settings; ``text`` concatenates
+text nodes; ``xml`` round-trips through the standard serializer.
+
+``format_number`` implements the JDK-1.1 DecimalFormat subset XSLT
+requires: ``0`` and ``#`` digits, ``.`` decimal separator, ``,`` grouping,
+``%`` percent, and a negative sub-pattern after ``;``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..xml.dom import Document, Node, Text
+from ..xml.serializer import pretty_print, serialize, serialize_html
+from .stylesheet import OutputSettings
+
+__all__ = ["serialize_result", "format_number"]
+
+
+def serialize_result(document: Document, output: OutputSettings) -> str:
+    """Serialize *document* per *output*."""
+    if output.method == "text":
+        return _text_value(document)
+    if output.method == "html":
+        root = document.root_element
+        doctype = output.doctype(root.name if root is not None else "html")
+        return serialize_html(document, doctype=doctype)
+    if output.indent:
+        return pretty_print(
+            document, xml_declaration=not output.omit_xml_declaration)
+    _apply_doctype(document, output)
+    return serialize(
+        document, xml_declaration=not output.omit_xml_declaration,
+        encoding=output.encoding)
+
+
+def _apply_doctype(document: Document, output: OutputSettings) -> None:
+    root = document.root_element
+    if root is None:
+        return
+    if output.doctype_system and document.doctype_name is None:
+        document.doctype_name = root.name
+        document.doctype_system = output.doctype_system
+        document.doctype_public = output.doctype_public
+
+
+def _text_value(node: Node) -> str:
+    if isinstance(node, Text):
+        return node.data
+    parts: list[str] = []
+    for child in getattr(node, "children", []):
+        parts.append(_text_value(child))
+    return "".join(parts)
+
+
+def format_number(value: float, pattern: str) -> str:
+    """Format *value* per a DecimalFormat *pattern* (default separators)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+
+    positive, _, negative = pattern.partition(";")
+    if value < 0:
+        sub_pattern = negative or positive
+        prefix = "" if negative else "-"
+        return prefix + _format_positive(abs(value), sub_pattern)
+    return _format_positive(value, positive)
+
+
+def _format_positive(value: float, pattern: str) -> str:
+    prefix, digits_part, suffix = _split_pattern(pattern)
+    if "%" in prefix or "%" in suffix:
+        value *= 100
+
+    int_part, _, frac_part = digits_part.partition(".")
+    min_int = int_part.count("0")
+    min_frac = frac_part.count("0")
+    max_frac = len(frac_part)
+
+    rounded = round(value, max_frac) if max_frac else float(round(value))
+    int_value = int(rounded)
+    frac_value = abs(rounded - int_value)
+
+    int_text = str(int_value).zfill(max(min_int, 1))
+    if "," in int_part:
+        group = _grouping_size(int_part)
+        int_text = _group_digits(int_text, group)
+
+    frac_text = ""
+    if max_frac:
+        frac_text = f"{frac_value:.{max_frac}f}"[2:]
+        # Trim optional ('#') trailing zeros but keep the required ones.
+        while len(frac_text) > min_frac and frac_text.endswith("0"):
+            frac_text = frac_text[:-1]
+    if frac_text:
+        return f"{prefix}{int_text}.{frac_text}{suffix}"
+    return f"{prefix}{int_text}{suffix}"
+
+
+def _split_pattern(pattern: str) -> tuple[str, str, str]:
+    start = 0
+    while start < len(pattern) and pattern[start] not in "0#.,":
+        start += 1
+    end = len(pattern)
+    while end > start and pattern[end - 1] not in "0#.,":
+        end -= 1
+    return pattern[:start], pattern[start:end], pattern[end:]
+
+
+def _grouping_size(int_part: str) -> int:
+    last_comma = int_part.rfind(",")
+    return len(int_part) - last_comma - 1 if last_comma != -1 else 0
+
+
+def _group_digits(text: str, group: int) -> str:
+    if group <= 0:
+        return text
+    out: list[str] = []
+    for index, ch in enumerate(reversed(text)):
+        if index and index % group == 0:
+            out.append(",")
+        out.append(ch)
+    return "".join(reversed(out))

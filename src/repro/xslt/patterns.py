@@ -1,0 +1,281 @@
+"""XSLT match patterns (XSLT 1.0 §5.2).
+
+A pattern is a restricted XPath expression — union of location paths whose
+steps use only the ``child`` and ``attribute`` axes (plus the ``//``
+abbreviation).  We reuse the XPath parser and convert the resulting AST
+into a chain representation matched *right to left* against a node and its
+ancestors, which is how template rule matching proceeds.
+
+Default priorities follow §5.5:
+
+* ``*``, ``@*``, ``node()``, ``text()`` …      → -0.5
+* ``prefix:*``                                 → -0.25
+* ``name``, ``processing-instruction('t')``    → 0
+* anything else (multiple steps / predicates)  → 0.5
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..xml.dom import Attribute, Document, Node
+from ..xpath.ast import (
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    NodeTest,
+    NodeTypeTest,
+    PITest,
+    Step,
+    StringLiteral,
+    UnionExpr,
+)
+from ..xpath.datamodel import to_boolean
+from ..xpath.evaluator import Context, XPathEvaluator
+from ..xpath.parser import parse_xpath
+from .errors import XSLTStaticError
+
+__all__ = ["Pattern", "compile_pattern"]
+
+_EVALUATOR = XPathEvaluator()
+
+
+@dataclass(frozen=True)
+class _StepPattern:
+    """One step in a pattern chain.
+
+    ``connector`` describes the relationship to the *previous* step:
+    ``"/"`` (direct parent), ``"//"`` (any ancestor), or ``None`` for the
+    first step of a relative pattern.
+    """
+
+    axis: str  # 'child' or 'attribute'
+    test: NodeTest
+    predicates: tuple[Expr, ...]
+    connector: str | None
+
+
+@dataclass(frozen=True)
+class _PathPattern:
+    """One alternative of a pattern: an optional root anchor plus steps."""
+
+    anchored: bool  # starts with '/' or '//'
+    steps: tuple[_StepPattern, ...]
+    #: 'id' or 'key' patterns store their function call instead of steps.
+    special: FunctionCall | None = None
+
+
+class Pattern:
+    """A compiled match pattern: one or more path alternatives."""
+
+    def __init__(self, text: str, alternatives: list[_PathPattern]) -> None:
+        self.text = text
+        self._alternatives = alternatives
+
+    def __repr__(self) -> str:
+        return f"Pattern({self.text!r})"
+
+    # -- matching ------------------------------------------------------------
+
+    def matches(self, node: Node, context: Context) -> bool:
+        """True when *node* matches any alternative of this pattern."""
+        return any(
+            self._match_alternative(alt, node, context)
+            for alt in self._alternatives)
+
+    def _match_alternative(self, alt: _PathPattern, node: Node,
+                           context: Context) -> bool:
+        if alt.special is not None:
+            return self._match_special(alt.special, node, context)
+        if not alt.steps:
+            # Pattern '/' — matches only the root node.
+            return alt.anchored and isinstance(node, Document)
+        return self._match_chain(alt, len(alt.steps) - 1, node, context)
+
+    def _match_chain(self, alt: _PathPattern, index: int, node: Node,
+                     context: Context) -> bool:
+        step = alt.steps[index]
+        if not _step_matches(step, node, context):
+            return False
+        parent = node.parent
+        if index == 0:
+            if not alt.anchored:
+                return True
+            if step.connector == "//":
+                return True  # '//x' matches at any depth under the root
+            return isinstance(parent, Document)
+        connector = step.connector or "/"
+        if connector == "/":
+            if parent is None:
+                return False
+            return self._match_chain(alt, index - 1, parent, context)
+        # '//': some ancestor must match the rest of the chain.
+        ancestor = parent
+        while ancestor is not None:
+            if self._match_chain(alt, index - 1, ancestor, context):
+                return True
+            ancestor = ancestor.parent
+        return False
+
+    @staticmethod
+    def _match_special(call: FunctionCall, node: Node,
+                       context: Context) -> bool:
+        result = _EVALUATOR.evaluate(call, Context(
+            node=node, variables=context.variables,
+            namespaces=context.namespaces, functions=context.functions))
+        return isinstance(result, list) and any(n is node for n in result)
+
+    # -- priority -------------------------------------------------------------------
+
+    def default_priority(self) -> float:
+        """The default priority (§5.5); unions use their max alternative."""
+        return max(
+            _alternative_priority(alt) for alt in self._alternatives)
+
+    def split_alternatives(self) -> list["Pattern"]:
+        """One Pattern per alternative — each keeps its own priority."""
+        if len(self._alternatives) == 1:
+            return [self]
+        return [Pattern(self.text, [alt]) for alt in self._alternatives]
+
+
+def _alternative_priority(alt: _PathPattern) -> float:
+    if alt.special is not None:
+        return 0.5
+    if not alt.steps:
+        return -0.5  # '/'
+    if len(alt.steps) > 1 or alt.anchored:
+        return 0.5
+    step = alt.steps[0]
+    if step.predicates:
+        return 0.5
+    test = step.test
+    if isinstance(test, NameTest):
+        if test.name == "*":
+            return -0.5
+        if test.name.endswith(":*"):
+            return -0.25
+        return 0.0
+    if isinstance(test, PITest):
+        return 0.0 if test.target is not None else -0.5
+    return -0.5
+
+
+def _step_matches(step: _StepPattern, node: Node, context: Context) -> bool:
+    if step.axis == "attribute":
+        if not isinstance(node, Attribute):
+            return False
+    else:
+        if isinstance(node, (Attribute, Document)) or \
+                node.kind == "namespace":
+            return False
+    if not _EVALUATOR._node_test(  # noqa: SLF001 - deliberate reuse
+            step.test, node,
+            "attribute" if step.axis == "attribute" else _principal(node),
+            context):
+        return False
+    if not step.predicates:
+        return True
+    # Positional context: position among same-test siblings.
+    parent = node.parent
+    if parent is None:
+        siblings: list[Node] = [node]
+    elif step.axis == "attribute":
+        siblings = [
+            a for a in parent.attributes  # type: ignore[union-attr]
+            if _EVALUATOR._node_test(step.test, a, "attribute", context)]
+    else:
+        siblings = [
+            c for c in parent.children  # type: ignore[union-attr]
+            if _EVALUATOR._node_test(step.test, c, _principal(c), context)]
+    try:
+        position = next(
+            i + 1 for i, s in enumerate(siblings) if s is node)
+    except StopIteration:  # pragma: no cover - defensive
+        return False
+    sub = Context(
+        node=node, position=position, size=len(siblings),
+        variables=context.variables, namespaces=context.namespaces,
+        functions=context.functions, current_node=context.current_node)
+    for predicate in step.predicates:
+        value = _EVALUATOR.evaluate(predicate, sub)
+        if isinstance(value, float) and not isinstance(value, bool):
+            if value != position:
+                return False
+        elif not to_boolean(value):
+            return False
+    return True
+
+
+def _principal(node: Node) -> str:
+    # For pattern node tests on the child axis the principal kind is
+    # element; NameTests only ever match elements there.
+    return "element"
+
+
+def compile_pattern(text: str) -> Pattern:
+    """Compile pattern *text*, raising XSLTStaticError when not a pattern."""
+    try:
+        ast = parse_xpath(text)
+    except Exception as exc:
+        raise XSLTStaticError(f"invalid pattern {text!r}: {exc}") from None
+    alternatives: list[_PathPattern] = []
+    _collect_alternatives(ast, alternatives, text)
+    return Pattern(text, alternatives)
+
+
+def _collect_alternatives(ast: Expr, out: list[_PathPattern],
+                          text: str) -> None:
+    if isinstance(ast, UnionExpr):
+        _collect_alternatives(ast.left, out, text)
+        _collect_alternatives(ast.right, out, text)
+        return
+    if isinstance(ast, FunctionCall) and ast.name in ("id", "key"):
+        _check_special(ast, text)
+        out.append(_PathPattern(anchored=False, steps=(), special=ast))
+        return
+    if isinstance(ast, FilterExpr):
+        raise XSLTStaticError(
+            f"invalid pattern {text!r}: filter expressions are not patterns")
+    if not isinstance(ast, LocationPath):
+        raise XSLTStaticError(
+            f"invalid pattern {text!r}: not a location path pattern")
+    out.append(_convert_path(ast, text))
+
+
+def _check_special(call: FunctionCall, text: str) -> None:
+    for arg in call.args:
+        if not isinstance(arg, StringLiteral):
+            raise XSLTStaticError(
+                f"invalid pattern {text!r}: id()/key() patterns need "
+                "literal arguments")
+
+
+def _convert_path(path: LocationPath, text: str) -> _PathPattern:
+    steps: list[_StepPattern] = []
+    connector: str | None = "/" if path.absolute else None
+    for step in path.steps:
+        if step.axis == "descendant-or-self":
+            if not isinstance(step.test, NodeTypeTest) or \
+                    step.test.node_type != "node" or step.predicates:
+                raise XSLTStaticError(
+                    f"invalid pattern {text!r}: descendant-or-self is only "
+                    "allowed as '//'")
+            connector = "//"
+            continue
+        if step.axis not in ("child", "attribute"):
+            raise XSLTStaticError(
+                f"invalid pattern {text!r}: axis {step.axis!r} is not "
+                "allowed in patterns")
+        steps.append(_StepPattern(
+            axis=step.axis,
+            test=step.test,
+            predicates=step.predicates,
+            connector=connector,
+        ))
+        connector = "/"
+    if not steps and not path.absolute:
+        raise XSLTStaticError(f"invalid pattern {text!r}: empty pattern")
+    return _PathPattern(anchored=path.absolute, steps=tuple(steps))

@@ -1,0 +1,151 @@
+"""The goldcase CLI: all subcommands end to end."""
+
+import os
+
+import pytest
+
+from repro.casetool import main
+
+
+@pytest.fixture()
+def model_file(tmp_path):
+    path = tmp_path / "model.xml"
+    assert main(["demo", "sales", str(path)]) == 0
+    return path
+
+
+class TestDemo:
+    def test_writes_model(self, tmp_path):
+        path = tmp_path / "m.xml"
+        assert main(["demo", "retail", str(path)]) == 0
+        assert path.read_text().startswith("<?xml")
+
+    def test_stdout(self, capsys):
+        assert main(["demo", "sales", "-"]) == 0
+        assert "<goldmodel" in capsys.readouterr().out
+
+    def test_all_demo_variants(self, tmp_path):
+        for which in ("sales", "retail", "synthetic"):
+            assert main(["demo", which, str(tmp_path / f"{which}.xml")]) \
+                == 0
+
+
+class TestValidate:
+    def test_valid_model(self, model_file, capsys):
+        assert main(["validate", str(model_file)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_semantic_flag(self, model_file, capsys):
+        assert main(["validate", "--semantic", str(model_file)]) == 0
+
+    def test_dtd_flag(self, model_file):
+        assert main(["validate", "--dtd", str(model_file)]) == 0
+
+    def test_invalid_model_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text('<goldmodel id="m" name="n">'
+                       "<factclasses>"
+                       '<factclass id="f" name="F">'
+                       '<sharedaggs><sharedagg dimclass="ghost"/>'
+                       "</sharedaggs></factclass></factclasses>"
+                       "<dimclasses/></goldmodel>")
+        assert main(["validate", str(bad)]) == 1
+        assert "keyref" in capsys.readouterr().out
+
+    def test_dtd_accepts_what_xsd_rejects(self, tmp_path):
+        sneaky = tmp_path / "sneaky.xml"
+        sneaky.write_text('<goldmodel id="m" name="n">'
+                          "<factclasses>"
+                          '<factclass id="f" name="F">'
+                          '<sharedaggs><sharedagg dimclass="f"/>'
+                          "</sharedaggs></factclass></factclasses>"
+                          "<dimclasses/></goldmodel>")
+        assert main(["validate", "--dtd", str(sneaky)]) == 0
+        assert main(["validate", str(sneaky)]) == 1
+
+
+class TestSchemaAndDtd:
+    def test_schema_output(self, tmp_path):
+        path = tmp_path / "goldmodel.xsd"
+        assert main(["schema", str(path)]) == 0
+        assert "<xsd:schema" in path.read_text()
+
+    def test_dtd_output(self, capsys):
+        assert main(["dtd"]) == 0
+        assert "<!ELEMENT goldmodel" in capsys.readouterr().out
+
+    def test_tree(self, capsys):
+        assert main(["tree"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("goldmodel")
+
+    def test_tree_html(self, capsys):
+        assert main(["tree", "--html"]) == 0
+        assert "<html>" in capsys.readouterr().out
+
+
+class TestPublish:
+    def test_multi_page(self, model_file, tmp_path, capsys):
+        site = tmp_path / "site"
+        assert main(["publish", str(model_file), str(site)]) == 0
+        assert (site / "index.html").exists()
+        assert (site / "gold.css").exists()
+        assert "all OK" in capsys.readouterr().out
+
+    def test_single_page(self, model_file, tmp_path):
+        site = tmp_path / "single"
+        assert main(["publish", "--single", str(model_file),
+                     str(site)]) == 0
+        pages = [p for p in os.listdir(site) if p.endswith(".html")]
+        assert pages == ["index.html"]
+
+
+class TestPresentAndExport:
+    def test_present(self, model_file, tmp_path):
+        out = tmp_path / "p.html"
+        assert main(["present", str(model_file), "Sales", str(out)]) == 0
+        assert "Presentation of fact class" in out.read_text()
+
+    def test_export_star(self, model_file, capsys):
+        assert main(["export", str(model_file)]) == 0
+        assert "CREATE TABLE" in capsys.readouterr().out
+
+    def test_export_snowflake(self, model_file, capsys):
+        assert main(["export", "--sql", "snowflake", str(model_file)]) == 0
+        assert "Snowflake" in capsys.readouterr().out
+
+
+class TestFutureWorkCommands:
+    def test_cwm_extended(self, model_file, capsys):
+        assert main(["cwm", str(model_file)]) == 0
+        out = capsys.readouterr().out
+        assert "CWMOLAP:Schema" in out
+        assert "gold.additivity" in out  # extension tags present
+
+    def test_cwm_plain(self, model_file, capsys):
+        assert main(["cwm", "--plain", str(model_file)]) == 0
+        out = capsys.readouterr().out
+        assert "CWMOLAP:Schema" in out
+        assert "gold.additivity" not in out
+
+    def test_sourceview(self, model_file, tmp_path):
+        out = tmp_path / "view.html"
+        assert main(["sourceview", str(model_file), str(out)]) == 0
+        assert "&lt;goldmodel" in out.read_text()
+
+    def test_bundle(self, model_file, tmp_path, capsys):
+        directory = tmp_path / "bundle"
+        assert main(["bundle", str(model_file), str(directory)]) == 0
+        assert (directory / "model.xml").exists()
+        assert (directory / "goldmodel.xsl").exists()
+        assert (directory / "common.xsl").exists()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

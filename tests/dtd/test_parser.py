@@ -1,0 +1,143 @@
+"""DTD declaration parsing."""
+
+import pytest
+
+from repro.dtd import parse_dtd
+from repro.dtd.ast import GroupParticle, NameParticle
+from repro.xml.errors import XMLSyntaxError
+
+
+class TestElementDecls:
+    def test_empty_and_any(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b ANY>")
+        assert dtd.elements["a"].content_kind == "EMPTY"
+        assert dtd.elements["b"].content_kind == "ANY"
+
+    def test_children_model(self):
+        dtd = parse_dtd("<!ELEMENT a (b, c?, d*)>")
+        model = dtd.elements["a"].model
+        assert isinstance(model, GroupParticle)
+        assert model.kind == "seq"
+        assert [p.occurrence for p in model.particles] == ["", "?", "*"]
+
+    def test_choice_model(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c)+>")
+        model = dtd.elements["a"].model
+        assert model.kind == "choice"
+        assert model.occurrence == "+"
+
+    def test_nested_groups(self):
+        dtd = parse_dtd("<!ELEMENT a ((b, c) | d)*>")
+        model = dtd.elements["a"].model
+        inner = model.particles[0]
+        assert isinstance(inner, GroupParticle) and inner.kind == "seq"
+        assert isinstance(model.particles[1], NameParticle)
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA | b | c)*>")
+        etype = dtd.elements["a"]
+        assert etype.content_kind == "mixed"
+        assert etype.mixed_names == ("b", "c")
+
+    def test_pcdata_only(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        assert dtd.elements["a"].content_kind == "mixed"
+        assert dtd.elements["a"].mixed_names == ()
+
+    def test_mixed_with_names_requires_star(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_dtd("<!ELEMENT a (#PCDATA | b)>")
+
+    def test_mixing_separators_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_dtd("<!ELEMENT a (b, c | d)>")
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="duplicate"):
+            parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a ANY>")
+
+    def test_describe(self):
+        dtd = parse_dtd("<!ELEMENT a (b?, c)>")
+        assert dtd.elements["a"].describe() == "(b?, c)"
+
+
+class TestAttlistDecls:
+    def test_types_and_defaults(self):
+        dtd = parse_dtd("""
+        <!ELEMENT a EMPTY>
+        <!ATTLIST a
+          id ID #REQUIRED
+          ref IDREF #IMPLIED
+          kind (x|y|z) "x"
+          fixed CDATA #FIXED "1"
+          toks NMTOKENS #IMPLIED>
+        """)
+        defs = dtd.attribute_defs("a")
+        assert defs["id"].type == "ID"
+        assert defs["id"].default_kind == "#REQUIRED"
+        assert defs["kind"].type == "enumeration"
+        assert defs["kind"].enumeration == ("x", "y", "z")
+        assert defs["kind"].default_value == "x"
+        assert defs["fixed"].default_kind == "#FIXED"
+        assert defs["fixed"].default_value == "1"
+        assert defs["toks"].type == "NMTOKENS"
+
+    def test_enumeration_with_dots(self):
+        # The Multiplicity value "1..M" must tokenize as one NMTOKEN.
+        dtd = parse_dtd('<!ATTLIST a m (0|1|M|1..M) "M">')
+        assert dtd.attribute_defs("a")["m"].enumeration == \
+            ("0", "1", "M", "1..M")
+
+    def test_first_declaration_wins(self):
+        dtd = parse_dtd("""
+        <!ATTLIST a x CDATA "first">
+        <!ATTLIST a x CDATA "second">
+        """)
+        assert dtd.attribute_defs("a")["x"].default_value == "first"
+
+    def test_multiple_attlists_merge(self):
+        dtd = parse_dtd("""
+        <!ATTLIST a x CDATA #IMPLIED>
+        <!ATTLIST a y CDATA #IMPLIED>
+        """)
+        assert set(dtd.attribute_defs("a")) == {"x", "y"}
+
+
+class TestEntities:
+    def test_general_entity_recorded(self):
+        dtd = parse_dtd('<!ENTITY copy "(c)">')
+        assert dtd.general_entities["copy"] == "(c)"
+
+    def test_parameter_entity_expansion(self):
+        dtd = parse_dtd("""
+        <!ENTITY % common "id ID #REQUIRED">
+        <!ELEMENT a EMPTY>
+        <!ATTLIST a %common;>
+        """)
+        assert dtd.attribute_defs("a")["id"].type == "ID"
+
+    def test_nested_parameter_entities(self):
+        dtd = parse_dtd("""
+        <!ENTITY % base "b">
+        <!ENTITY % model "(%base;)">
+        <!ELEMENT a %model;>
+        """)
+        assert dtd.elements["a"].content_kind == "children"
+
+    def test_external_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="external"):
+            parse_dtd('<!ENTITY chap SYSTEM "chap.xml">')
+
+
+class TestMisc:
+    def test_comments_and_pis_skipped(self):
+        dtd = parse_dtd("""
+        <!-- a comment -->
+        <?target data?>
+        <!ELEMENT a EMPTY>
+        """)
+        assert "a" in dtd.elements
+
+    def test_garbage_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_dtd("<!WRONG a>")

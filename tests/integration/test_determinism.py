@@ -1,0 +1,60 @@
+"""Determinism of the whole pipeline — required for the paper's
+"documentation never out of date" argument: regenerating documentation
+from the same model must give identical artefacts.
+"""
+
+from repro.cwm import cwm_to_xmi, model_to_cwm
+from repro.mdm import gold_dtd_text, gold_schema_xml, model_to_xml, \
+    sales_model, synthetic_model
+from repro.olap import star_schema_sql
+from repro.web import (
+    presentations_by_parameter,
+    publish_multi_page,
+    publish_single_page,
+    render_fo_pages,
+    render_schema_tree,
+)
+from repro.mdm.schema_gen import gold_schema
+
+
+class TestArtefactDeterminism:
+    def test_xml_documents(self):
+        assert model_to_xml(sales_model()) == model_to_xml(sales_model())
+
+    def test_schema_text(self):
+        assert gold_schema_xml() == gold_schema_xml()
+        assert gold_dtd_text() == gold_dtd_text()
+
+    def test_schema_tree(self):
+        assert render_schema_tree(gold_schema()) == \
+            render_schema_tree(gold_schema())
+
+    def test_multi_page_sites(self):
+        assert publish_multi_page(sales_model()).pages == \
+            publish_multi_page(sales_model()).pages
+
+    def test_single_page_sites(self):
+        assert publish_single_page(sales_model()).pages == \
+            publish_single_page(sales_model()).pages
+
+    def test_presentations(self):
+        assert presentations_by_parameter(sales_model()).pages == \
+            presentations_by_parameter(sales_model()).pages
+
+    def test_fo_pages(self):
+        first = [p.text() for p in render_fo_pages(sales_model())]
+        second = [p.text() for p in render_fo_pages(sales_model())]
+        assert first == second
+
+    def test_sql_ddl(self):
+        assert star_schema_sql(sales_model()) == \
+            star_schema_sql(sales_model())
+
+    def test_xmi(self):
+        assert cwm_to_xmi(model_to_cwm(sales_model())) == \
+            cwm_to_xmi(model_to_cwm(sales_model()))
+
+    def test_synthetic_models(self):
+        a = synthetic_model(facts=3, dimensions=5)
+        b = synthetic_model(facts=3, dimensions=5)
+        assert model_to_xml(a) == model_to_xml(b)

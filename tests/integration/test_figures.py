@@ -1,0 +1,223 @@
+"""Integration tests: one test class per paper artefact (see DESIGN.md).
+
+These are the executable versions of the experiment index — each class
+reproduces one figure/claim end to end and asserts the properties the
+paper states.
+"""
+
+import pytest
+
+from repro.dtd import parse_dtd, validate_dtd
+from repro.mdm import (
+    gold_dtd_text,
+    gold_schema,
+    gold_schema_xml,
+    model_to_xml,
+    sales_model,
+    two_facts_model,
+    validate_model,
+)
+from repro.web import (
+    check_site,
+    presentations_by_parameter,
+    publish_multi_page,
+    publish_single_page,
+    render_schema_tree,
+)
+from repro.xml import parse, pretty_print
+from repro.xsd import check_schema, read_schema, validate
+
+
+class TestF2SchemaTree:
+    """Fig. 2 — the XML Schema rendered as a tree."""
+
+    def test_tree_names_every_figure_element(self):
+        tree = render_schema_tree(gold_schema())
+        for label in ("goldmodel", "factclasses", "factclass", "factatts",
+                      "factatt", "additivity", "sharedaggs", "sharedagg",
+                      "methods", "method", "dimclasses", "dimclass",
+                      "dimatts", "dimatt", "relationasocs", "relationasoc",
+                      "asoclevels", "asoclevel", "cubeclasses",
+                      "cubeclass"):
+            assert label in tree, f"{label} missing from the tree"
+
+    def test_shadowed_user_types(self):
+        tree = render_schema_tree(gold_schema())
+        assert "*Operator*" in tree
+        assert "*Multiplicity*" in tree
+
+    def test_schema_document_exceeds_300_lines(self):
+        assert len(gold_schema_xml().splitlines()) > 300
+
+
+class TestF3CaseToolDocument:
+    """Fig. 3 — the XML document the CASE tool generates."""
+
+    def test_document_shape(self):
+        document = parse(model_to_xml(sales_model()))
+        root = document.root_element
+        assert root.name == "goldmodel"
+        assert root.get_attribute("id")
+        assert root.get_attribute("name")
+        sections = [c.name for c in root.children
+                    if c.kind == "element"]
+        assert sections == ["factclasses", "dimclasses", "cubeclasses"]
+
+    def test_document_is_schema_valid(self):
+        report = validate(parse(model_to_xml(sales_model())),
+                          gold_schema())
+        assert report.valid
+
+    def test_document_is_byte_stable(self):
+        assert model_to_xml(sales_model()) == model_to_xml(sales_model())
+
+
+class TestF4ValidationRuns:
+    """Fig. 4 / §3.2 — pretty source view + the three validation runs."""
+
+    def test_pretty_print_view(self):
+        document = parse(model_to_xml(sales_model()))
+        view = pretty_print(document)
+        assert view.startswith("<?xml")
+        assert "  <factclasses>" in view
+
+    def test_xerces_style_instance_validation(self):
+        assert validate(parse(model_to_xml(sales_model())),
+                        gold_schema()).valid
+
+    def test_sqc_style_schema_validation(self):
+        assert check_schema(gold_schema()).valid
+
+    def test_dtd_baseline_validation(self):
+        dtd = parse_dtd(gold_dtd_text())
+        assert validate_dtd(parse(model_to_xml(sales_model())), dtd).valid
+
+
+class TestF5Presentations:
+    """Fig. 5 — one model, one presentation per fact class."""
+
+    def test_shared_dimensions_only(self):
+        model = two_facts_model()
+        site = presentations_by_parameter(model)
+        for fact in model.facts:
+            page = site.page(f"presentation-{fact.id}.html")
+            shared = {d.name for d in model.dimensions_of(fact.id)}
+            hidden = {d.name for d in model.dimensions} - shared
+            for name in shared:
+                assert name in page
+            for name in hidden:
+                assert name not in page
+
+
+class TestF6Navigation:
+    """Fig. 6 — the navigable multi-page site."""
+
+    def test_navigation_paths_of_the_figure(self):
+        model = sales_model()
+        site = publish_multi_page(model)
+
+        # 6.1 → 6.2: the overview links to the Sales fact page.
+        fact = model.fact_class("Sales")
+        assert f'href="{fact.id}.html"' in site.page("index.html")
+
+        # 6.2 → 6.3: the measure with additivity rules is a link.
+        inventory = fact.attribute("inventory")
+        fact_page = site.page(f"{fact.id}.html")
+        assert f'href="{inventory.id}-additivity.html"' in fact_page
+
+        # 6.3 → back to 6.2.
+        popup = site.page(f"{inventory.id}-additivity.html")
+        assert f'href="{fact.id}.html"' in popup
+
+        # 6.2 → 6.4: shared aggregations link to the Time dimension.
+        time = model.dimension_class("Time")
+        assert f'href="{time.id}.html"' in fact_page
+
+        # 6.4 lists Month and Week association levels as links.
+        time_page = site.page(f"{time.id}.html")
+        month = time.level("Month")
+        week = time.level("Week")
+        assert f'href="{month.id}.html"' in time_page
+        assert f'href="{week.id}.html"' in time_page
+
+    def test_every_link_resolves(self):
+        site = publish_multi_page(sales_model())
+        assert check_site(site).ok
+
+
+class TestV3PageCounts:
+    """§4 — XSLT 1.0 vs 1.1 output shapes."""
+
+    def test_multi_page_count_formula(self):
+        model = sales_model()
+        site = publish_multi_page(model)
+        expected = (
+            1
+            + len(model.facts)
+            + len(model.dimensions)
+            + sum(len(d.levels) + len(d.categorization_levels)
+                  for d in model.dimensions)
+            + len(model.cubes)
+            + sum(1 for f in model.facts
+                  for a in f.attributes if a.additivity))
+        assert site.page_count == expected
+
+    def test_single_page_count_is_one(self):
+        assert publish_single_page(sales_model()).page_count == 1
+
+
+class TestV2XsdVsDtd:
+    """§3.1 — the selective-reference differential."""
+
+    WRONG_KIND = ('<goldmodel id="m1" name="Demo"><factclasses>'
+                  '<factclass id="f1" name="Sales"><sharedaggs>'
+                  '<sharedagg dimclass="f1"/></sharedaggs></factclass>'
+                  "</factclasses><dimclasses>"
+                  '<dimclass id="d1" name="Time"/>'
+                  "</dimclasses></goldmodel>")
+
+    def test_dtd_accepts_wrong_kind_reference(self):
+        dtd = parse_dtd(gold_dtd_text())
+        assert validate_dtd(parse(self.WRONG_KIND), dtd).valid
+
+    def test_xsd_rejects_wrong_kind_reference(self):
+        report = validate(parse(self.WRONG_KIND), gold_schema())
+        assert not report.valid
+        assert any("keyref" in e.message for e in report.errors)
+
+    def test_both_reject_truly_dangling(self):
+        dangling = self.WRONG_KIND.replace('dimclass="f1"',
+                                           'dimclass="ghost"')
+        dtd = parse_dtd(gold_dtd_text())
+        assert not validate_dtd(parse(dangling), dtd).valid
+        assert not validate(parse(dangling), gold_schema()).valid
+
+    def test_xsd_types_date_attributes_dtd_does_not(self):
+        bad_date = ('<goldmodel id="m1" name="n" creationdate="soon">'
+                    "<factclasses/><dimclasses/></goldmodel>")
+        dtd = parse_dtd(gold_dtd_text())
+        assert validate_dtd(parse(bad_date), dtd).valid
+        assert not validate(parse(bad_date), gold_schema()).valid
+
+
+class TestFullPipeline:
+    """The complete CASE-tool workflow on every example model."""
+
+    @pytest.mark.parametrize("factory", [sales_model, two_facts_model])
+    def test_model_to_web(self, factory):
+        model = factory()
+        assert validate_model(model).valid
+        xml = model_to_xml(model)
+        assert validate(parse(xml), gold_schema()).valid
+        site = publish_multi_page(model)
+        assert check_site(site).ok
+
+    def test_schema_roundtrip_equivalence(self):
+        # The shipped .xsd file and the in-memory schema agree.
+        reread = read_schema(gold_schema_xml())
+        xml = model_to_xml(sales_model())
+        assert validate(parse(xml), reread).valid
+        wrong = xml.replace('dimclass="d1"', 'dimclass="zzz"', 1)
+        in_memory = validate(parse(wrong), gold_schema())
+        from_file = validate(parse(wrong), reread)
+        assert not in_memory.valid and not from_file.valid

@@ -1,0 +1,88 @@
+"""The paper's "documentation never out of date" claim (§1, §5).
+
+"the automatic generation of documentation from conceptual models avoids
+the problem of documentation out of date (incoherences, features not
+reflected in the documentation, etc.)" — i.e. every model change is
+reflected in the regenerated site, and nothing stale survives.
+"""
+
+from repro.mdm import sales_model
+from repro.web import check_site, publish_multi_page
+
+
+def pages_text(site):
+    return "".join(site.pages[name] for name in sorted(site.pages)
+                   if name.endswith(".html"))
+
+
+class TestDocumentationFreshness:
+    def test_renamed_measure_reflected(self):
+        model = sales_model()
+        before = pages_text(publish_multi_page(model))
+        assert "qty" in before
+
+        model.fact_class("Sales").attribute("qty").name = "units_sold"
+        after = pages_text(publish_multi_page(model))
+        assert "units_sold" in after
+        # No stale mention anywhere — except inside free-text derivation
+        # rules, which the CASE tool cannot rewrite ("qty * price").
+        stripped = after.replace("qty * price", "")
+        assert "qty" not in stripped
+
+    def test_new_dimension_appears_with_page_and_links(self):
+        model = sales_model()
+        from repro.mdm import DimensionAttribute, DimensionClass, \
+            SharedAggregation
+
+        model.dimensions.append(DimensionClass(
+            id="dnew", name="Customer", attributes=[
+                DimensionAttribute(id="danew", name="customer_id",
+                                   is_oid=True)]))
+        model.fact_class("Sales").aggregations.append(
+            SharedAggregation(dimension="dnew"))
+        site = publish_multi_page(model)
+        assert "dnew.html" in site.pages
+        assert 'href="dnew.html"' in site.page("index.html")
+        assert check_site(site).ok
+
+    def test_removed_fact_disappears_entirely(self):
+        model = sales_model()
+        fact = model.fact_class("Sales")
+        site_before = publish_multi_page(model)
+        assert f"{fact.id}.html" in site_before.pages
+
+        model.facts.remove(fact)
+
+        # Half-done edits are caught: the cube class still referencing
+        # the removed fact fails semantic validation, and the site's
+        # link checker flags the dangling page link.
+        from repro.mdm import validate_model
+
+        assert not validate_model(model).valid
+        dangling_site = publish_multi_page(model)
+        assert not check_site(dangling_site).ok
+
+        model.cubes = [c for c in model.cubes if c.fact != fact.id]
+        assert validate_model(model).valid
+        site_after = publish_multi_page(model)
+        assert f"{fact.id}.html" not in site_after.pages
+        after = pages_text(site_after)
+        assert "Fact class: Sales" not in after
+        for measure in fact.attributes:
+            assert measure.name not in after
+        assert check_site(site_after).ok
+
+    def test_additivity_change_updates_popup(self):
+        model = sales_model()
+        inventory = model.fact_class("Sales").attribute("inventory")
+        rule = inventory.additivity[0]
+        rule.is_sum = True  # business decision: summing is now fine
+        site = publish_multi_page(model)
+        popup = site.page(f"{inventory.id}-additivity.html")
+        assert "SUM" in popup
+
+    def test_changed_description_everywhere(self):
+        model = sales_model()
+        model.description = "A COMPLETELY NEW PURPOSE"
+        site = publish_multi_page(model)
+        assert "A COMPLETELY NEW PURPOSE" in site.page("index.html")

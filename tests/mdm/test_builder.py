@@ -1,0 +1,148 @@
+"""The fluent model builder."""
+
+import pytest
+
+from repro.mdm import (
+    AggregationKind,
+    ModelBuilder,
+    Multiplicity,
+    validate_model,
+)
+
+
+class TestBuilderBasics:
+    def test_ids_unique(self):
+        b = ModelBuilder("M")
+        b.fact("F1").measure("a").measure("b")
+        b.dimension("D1").attribute("x", oid=True)
+        model = b.build()
+        ids = model.all_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_model_id_from_name(self):
+        assert ModelBuilder("My DW").build().id == "model-my-dw"
+
+    def test_explicit_model_id(self):
+        assert ModelBuilder("M", model_id="custom").build().id == "custom"
+
+    def test_fact_builder_chains(self):
+        b = ModelBuilder("M")
+        fact = (b.fact("F")
+                .measure("qty")
+                .degenerate("ticket")
+                .method("op", return_type="int",
+                        parameters=[("x", "int")]))
+        assert [a.name for a in fact.fact.attributes] == ["qty", "ticket"]
+        assert fact.fact.methods[0].signature() == "op(x : int) : int"
+
+    def test_uses_accepts_builder_or_id(self):
+        b = ModelBuilder("M")
+        dim = b.dimension("D").attribute("k", oid=True)
+        fact = b.fact("F").uses(dim)
+        fact2 = b.fact("F2").uses(dim.dimension.id)
+        model = b.build()
+        assert model.fact_class("F").dimension_ids == \
+            model.fact_class("F2").dimension_ids
+
+    def test_many_to_many_helper(self):
+        b = ModelBuilder("M")
+        dim = b.dimension("D").attribute("k", oid=True)
+        fact = b.fact("F").many_to_many(dim)
+        agg = fact.fact.aggregations[0]
+        assert agg.many_to_many
+
+    def test_uses_accepts_string_multiplicities(self):
+        b = ModelBuilder("M")
+        dim = b.dimension("D").attribute("k", oid=True)
+        fact = b.fact("F").uses(dim, role_a="1..M", role_b="M")
+        agg = fact.fact.aggregations[0]
+        assert agg.role_a is Multiplicity.ONE_MANY
+        assert agg.role_b is Multiplicity.MANY
+
+
+class TestDimensionBuilder:
+    def test_levels_and_relations(self):
+        b = ModelBuilder("M")
+        dim = (b.dimension("Time", is_time=True)
+               .attribute("day", oid=True)
+               .attribute("label", descriptor=True))
+        dim.level("Month").attribute("m", oid=True) \
+            .attribute("ml", descriptor=True).done()
+        dim.level("Year").attribute("y", oid=True) \
+            .attribute("yl", descriptor=True).done()
+        dim.relate_root("Month", completeness=True)
+        dim.relate("Month", "Year")
+        model = b.build()
+        time = model.dimension_class("Time")
+        assert time.is_time
+        assert time.relations[0].complete
+        assert time.paths_from_root() == [
+            [time.id, time.level("Month").id, time.level("Year").id]]
+
+    def test_categorization_level(self):
+        b = ModelBuilder("M")
+        dim = b.dimension("Patient").attribute("k", oid=True)
+        dim.level("Newborn", categorization=True) \
+            .attribute("weight").done()
+        built = dim.dimension
+        assert [lv.name for lv in built.categorization_levels] == \
+            ["Newborn"]
+        assert built.levels == []
+
+    def test_relate_unknown_level_fails(self):
+        from repro.mdm.errors import ModelReferenceError
+
+        b = ModelBuilder("M")
+        dim = b.dimension("D")
+        with pytest.raises(ModelReferenceError):
+            dim.relate_root("Ghost")
+
+
+class TestAdditivityAndCubes:
+    def test_additivity_rule_attached(self):
+        b = ModelBuilder("M")
+        dim = b.dimension("Time").attribute("k", oid=True) \
+            .attribute("l", descriptor=True)
+        fact = b.fact("F").measure("snapshot").uses(dim)
+        fact.additivity("snapshot", dim,
+                        allow=(AggregationKind.AVG,))
+        rule = fact.fact.attribute("snapshot").additivity[0]
+        assert rule.dimension == dim.dimension.id
+        assert rule.allowed() == {AggregationKind.AVG}
+
+    def test_additivity_is_not(self):
+        b = ModelBuilder("M")
+        dim = b.dimension("D").attribute("k", oid=True)
+        fact = b.fact("F").measure("x").uses(dim)
+        fact.additivity("x", dim, is_not=True)
+        assert fact.fact.attribute("x").additivity[0].is_not
+
+    def test_cube_resolves_measures_to_ids(self):
+        b = ModelBuilder("M")
+        dim = b.dimension("D").attribute("k", oid=True) \
+            .attribute("l", descriptor=True)
+        fact = b.fact("F").measure("qty").uses(dim)
+        cube = b.cube("C", fact, measures=("qty",))
+        assert cube.measures == (fact.fact.attribute("qty").id,)
+
+    def test_cube_by_fact_name(self):
+        b = ModelBuilder("M")
+        b.fact("F").measure("qty")
+        cube = b.cube("C", "F", measures=("qty",))
+        assert cube.fact == b.build().fact_class("F").id
+
+    def test_replace_cube(self):
+        b = ModelBuilder("M")
+        fact = b.fact("F").measure("qty")
+        cube = b.cube("C", fact, measures=("qty",))
+        improved = cube.pivot()
+        b.replace_cube(cube, improved)
+        model = b.build()
+        assert model.cubes == [improved]
+
+    def test_built_models_are_semantically_valid(self):
+        b = ModelBuilder("M")
+        dim = b.dimension("D").attribute("k", oid=True) \
+            .attribute("l", descriptor=True)
+        b.fact("F").measure("qty").uses(dim)
+        assert validate_model(b.build()).valid

@@ -1,0 +1,154 @@
+"""Cube classes and the OLAP operation algebra."""
+
+import pytest
+
+from repro.mdm import (
+    AggregationKind,
+    CubeClass,
+    DiceGrouping,
+    Operator,
+    SliceCondition,
+    sales_model,
+)
+from repro.mdm.errors import ModelReferenceError
+
+
+def sample_cube():
+    model = sales_model()
+    return model, model.cubes[0]
+
+
+class TestConstruction:
+    def test_aggregations_must_match_measures(self):
+        with pytest.raises(ValueError):
+            CubeClass(id="c", name="bad", fact="f",
+                      measures=("a", "b"),
+                      aggregations=(AggregationKind.SUM,))
+
+    def test_aggregation_for_defaults_to_sum(self):
+        cube = CubeClass(id="c", name="c", fact="f", measures=("a",))
+        assert cube.aggregation_for("a") is AggregationKind.SUM
+
+    def test_aggregation_for_unknown_measure(self):
+        cube = CubeClass(id="c", name="c", fact="f", measures=("a",))
+        with pytest.raises(ModelReferenceError):
+            cube.aggregation_for("zz")
+
+
+class TestOlapOperations:
+    def test_roll_up_changes_level(self):
+        model, cube = sample_cube()
+        time = model.dimension_class("Time")
+        rolled = cube.roll_up(time.id, time.level("Year").id)
+        assert rolled.grouping_for(time.id).level == \
+            time.level("Year").id
+        # The original is untouched (cube classes are immutable).
+        assert cube.grouping_for(time.id).level == \
+            time.level("Month").id
+
+    def test_drill_down(self):
+        model, cube = sample_cube()
+        time = model.dimension_class("Time")
+        rolled = cube.roll_up(time.id, time.level("Year").id)
+        drilled = rolled.drill_down(time.id, time.level("Month").id)
+        assert drilled.grouping_for(time.id).level == \
+            time.level("Month").id
+
+    def test_roll_up_unknown_dimension(self):
+        model, cube = sample_cube()
+        with pytest.raises(ModelReferenceError):
+            cube.roll_up("ghost", "x")
+
+    def test_slice_appends_condition(self):
+        model, cube = sample_cube()
+        sliced = cube.slice("Sales.qty", Operator.GT, 10)
+        assert len(sliced.slices) == len(cube.slices) + 1
+        assert sliced.slices[-1].operator is Operator.GT
+
+    def test_dice_replaces_groupings(self):
+        model, cube = sample_cube()
+        store = model.dimension_class("Store")
+        diced = cube.dice([DiceGrouping(store.id, store.id)])
+        assert len(diced.dices) == 1
+
+    def test_pivot_reverses(self):
+        model, cube = sample_cube()
+        assert cube.pivot().dices == tuple(reversed(cube.dices))
+
+    def test_add_and_drop_measure(self):
+        model, cube = sample_cube()
+        fact = model.fact_class(cube.fact)
+        inventory = fact.attribute("inventory").id
+        grown = cube.add_measure(inventory, AggregationKind.AVG)
+        assert inventory in grown.measures
+        assert grown.aggregation_for(inventory) is AggregationKind.AVG
+        shrunk = grown.drop_measure(inventory)
+        assert inventory not in shrunk.measures
+        assert len(shrunk.aggregations) == len(shrunk.measures)
+
+    def test_drop_missing_measure(self):
+        model, cube = sample_cube()
+        with pytest.raises(ModelReferenceError):
+            cube.drop_measure("ghost")
+
+    def test_operation_ids_form_history(self):
+        model, cube = sample_cube()
+        time = model.dimension_class("Time")
+        derived = cube.roll_up(time.id, time.level("Year").id) \
+            .slice("Sales.qty", Operator.GT, 1)
+        assert derived.id.startswith(cube.id)
+        assert "rollup" in derived.id and "slice" in derived.id
+
+
+class TestModelChecks:
+    def test_valid_cube_has_no_problems(self):
+        model, cube = sample_cube()
+        assert cube.check_against(model) == []
+
+    def test_unknown_fact(self):
+        model, _ = sample_cube()
+        bad = CubeClass(id="c", name="bad", fact="ghost")
+        assert "unknown fact class" in bad.check_against(model)[0]
+
+    def test_unknown_measure(self):
+        model, cube = sample_cube()
+        bad = CubeClass(id="c", name="bad", fact=cube.fact,
+                        measures=("ghost",))
+        assert any("no\n" not in p and "measure" in p
+                   for p in bad.check_against(model))
+
+    def test_unshared_dimension(self):
+        model, cube = sample_cube()
+        # Build a dimension the fact does not share.
+        from repro.mdm import DimensionClass
+
+        model.dimensions.append(DimensionClass(id="dx", name="Orphan"))
+        bad = cube.dice([DiceGrouping("dx", "dx")])
+        assert any("not shared" in p for p in bad.check_against(model))
+
+    def test_unknown_level(self):
+        model, cube = sample_cube()
+        time = model.dimension_class("Time")
+        bad = cube.dice([DiceGrouping(time.id, "no-such-level")])
+        assert any("no level" in p for p in bad.check_against(model))
+
+    def test_additivity_violation_reported(self):
+        model, cube = sample_cube()
+        fact = model.fact_class(cube.fact)
+        time = model.dimension_class("Time")
+        bad = CubeClass(
+            id="c", name="bad", fact=fact.id,
+            measures=(fact.attribute("inventory").id,),
+            aggregations=(AggregationKind.SUM,),
+            dices=(DiceGrouping(time.id, time.level("Month").id),))
+        assert any("may not be aggregated" in p
+                   for p in bad.check_against(model))
+
+
+class TestDescriptions:
+    def test_slice_describe(self):
+        condition = SliceCondition("Time.year", Operator.EQ, 2002)
+        assert condition.describe() == "Time.year EQ 2002"
+
+    def test_dice_describe(self):
+        assert DiceGrouping("d1", "l1").describe() == "d1 @ l1"

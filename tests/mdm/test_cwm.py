@@ -1,0 +1,150 @@
+"""CWM interchange (§6 future work): mapping, XMI, lossiness."""
+
+import pytest
+
+from repro.cwm import (
+    cwm_to_model,
+    cwm_to_xmi,
+    model_to_cwm,
+    xmi_to_cwm,
+)
+from repro.mdm import (
+    model_to_xml,
+    sales_model,
+    two_facts_model,
+    validate_model,
+)
+
+
+class TestMapping:
+    def test_schema_structure(self):
+        schema = model_to_cwm(sales_model())
+        assert schema.name == "Sales DW"
+        assert [c.name for c in schema.cubes] == ["Sales"]
+        assert sorted(d.name for d in schema.dimensions) == \
+            ["Product", "Store", "Time"]
+
+    def test_measures_mapped(self):
+        schema = model_to_cwm(sales_model())
+        cube = schema.cubes[0]
+        names = {m.name for m in cube.measures}
+        assert {"inventory", "qty", "num_ticket"} <= names
+
+    def test_dimension_associations(self):
+        schema = model_to_cwm(sales_model())
+        cube = schema.cubes[0]
+        targets = {a.dimension for a in cube.dimension_associations}
+        dimension_ids = {d.xmi_id for d in schema.dimensions}
+        assert targets <= dimension_ids
+        assert len(targets) == 3
+
+    def test_alternative_paths_become_hierarchies(self):
+        schema = model_to_cwm(sales_model())
+        time = next(d for d in schema.dimensions if d.name == "Time")
+        # Time→Month→Year and Time→Week→Year: two level-based hierarchies.
+        assert len(time.hierarchies) == 2
+        level_names = {lv.name for lv in time.levels}
+        assert {"Month", "Week", "Year"} <= level_names
+
+    def test_is_time_carried(self):
+        schema = model_to_cwm(sales_model())
+        time = next(d for d in schema.dimensions if d.name == "Time")
+        assert time.is_time
+
+
+class TestXmi:
+    def test_xmi_document_shape(self):
+        xmi = cwm_to_xmi(model_to_cwm(sales_model()))
+        assert xmi.splitlines()[1].startswith("<XMI")
+        assert "CWMOLAP:Schema" in xmi
+        assert "CWMOLAP:LevelBasedHierarchy" in xmi
+        assert 'xmi.version="1.1"' in xmi
+
+    def test_xmi_roundtrip_structure(self):
+        schema = model_to_cwm(sales_model())
+        reread = xmi_to_cwm(cwm_to_xmi(schema))
+        assert reread.name == schema.name
+        assert len(reread.cubes) == len(schema.cubes)
+        assert len(reread.dimensions) == len(schema.dimensions)
+        time = reread.dimension_by_id(schema.dimensions[0].xmi_id)
+        assert time.name == schema.dimensions[0].name
+
+    def test_not_xmi_rejected(self):
+        with pytest.raises(ValueError, match="XMI"):
+            xmi_to_cwm("<notxmi/>")
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(ValueError, match="Schema"):
+            xmi_to_cwm("<XMI><XMI.content/></XMI>")
+
+
+class TestExtendedRoundTrip:
+    """With tagged values the interchange is lossless."""
+
+    @pytest.mark.parametrize("factory", [sales_model, two_facts_model])
+    def test_full_fidelity(self, factory):
+        model = factory()
+        restored = cwm_to_model(xmi_to_cwm(cwm_to_xmi(
+            model_to_cwm(model, extended=True))))
+        # Cube classes (the dynamic part) are outside CWM OLAP's scope;
+        # everything structural must survive exactly.
+        expected = model.summary()
+        expected["cubes"] = 0
+        assert restored.summary() == expected
+        model.cubes = []
+        assert model_to_xml(restored) == model_to_xml(model)
+
+    def test_additivity_survives(self):
+        restored = cwm_to_model(xmi_to_cwm(cwm_to_xmi(
+            model_to_cwm(sales_model(), extended=True))))
+        inventory = restored.fact_class("Sales").attribute("inventory")
+        allowed = {k.value for k in
+                   inventory.allowed_aggregations(
+                       restored.dimension_class("Time").id)}
+        assert allowed == {"MAX", "MIN", "AVG"}
+
+    def test_restored_model_semantically_valid(self):
+        restored = cwm_to_model(xmi_to_cwm(cwm_to_xmi(
+            model_to_cwm(sales_model(), extended=True))))
+        assert validate_model(restored).valid
+
+
+class TestPlainCwmIsLossy:
+    """The §6 observation: CWM alone 'lacks the complete set of
+    information an existing tool would need to fully operate'."""
+
+    @pytest.fixture(scope="class")
+    def restored(self):
+        return cwm_to_model(xmi_to_cwm(cwm_to_xmi(
+            model_to_cwm(sales_model(), extended=False))))
+
+    def test_structure_survives(self, restored):
+        assert len(restored.facts) == 1
+        assert len(restored.dimensions) == 3
+        assert {lv.name for lv in
+                restored.dimension_class("Time").levels} == \
+            {"Month", "Week", "Year"}
+
+    def test_additivity_lost(self, restored):
+        inventory = restored.fact_class("Sales").attribute("inventory")
+        assert inventory.additivity == []
+
+    def test_degenerate_dimension_lost(self, restored):
+        assert not restored.fact_class("Sales") \
+            .attribute("num_ticket").is_oid
+
+    def test_many_to_many_lost(self, restored):
+        product = restored.dimension_class("Product")
+        aggregation = restored.fact_class("Sales") \
+            .aggregation_for(product.id)
+        assert aggregation is not None and not aggregation.many_to_many
+
+    def test_non_strictness_lost(self, restored):
+        assert restored.dimension_class("Time").non_strict_relations == []
+
+    def test_oid_descriptor_attributes_lost(self, restored):
+        report = validate_model(restored)
+        # Without {OID} attributes the model no longer passes the
+        # CASE-level checks — the operational gap the paper describes.
+        assert not report.valid
+        assert any("{OID}" in e.message for e in report.errors)

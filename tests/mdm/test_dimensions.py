@@ -1,0 +1,134 @@
+"""Dimension classes: hierarchies, DAG structure, OID/D attributes."""
+
+import pytest
+
+from repro.mdm import (
+    AssociationRelation,
+    DimensionAttribute,
+    DimensionClass,
+    Level,
+    Multiplicity,
+)
+from repro.mdm.errors import ModelReferenceError
+
+
+def time_dimension():
+    """Time → {Month, Week} → Year (alternative converging paths)."""
+    month = Level(id="lm", name="Month", attributes=[
+        DimensionAttribute(id="am1", name="month_id", is_oid=True),
+        DimensionAttribute(id="am2", name="month_name",
+                           is_descriptor=True)])
+    week = Level(id="lw", name="Week")
+    year = Level(id="ly", name="Year")
+    month.relations.append(AssociationRelation(child="ly"))
+    week.relations.append(AssociationRelation(
+        child="ly", role_a=Multiplicity.MANY, role_b=Multiplicity.MANY))
+    return DimensionClass(
+        id="d1", name="Time", is_time=True,
+        attributes=[
+            DimensionAttribute(id="a1", name="day_id", is_oid=True),
+            DimensionAttribute(id="a2", name="day_date",
+                               is_descriptor=True)],
+        relations=[
+            AssociationRelation(child="lm", completeness=True),
+            AssociationRelation(child="lw")],
+        levels=[month, week, year])
+
+
+class TestRelations:
+    def test_strictness(self):
+        strict = AssociationRelation(child="x")
+        assert strict.strict
+        loose = AssociationRelation(child="x", role_a=Multiplicity.MANY,
+                                    role_b=Multiplicity.MANY)
+        assert not loose.strict
+
+    def test_completeness_default_false(self):
+        assert not AssociationRelation(child="x").complete
+        assert AssociationRelation(child="x", completeness=True).complete
+
+
+class TestLevelLookup:
+    def test_by_id_and_name(self):
+        dim = time_dimension()
+        assert dim.level("lm").name == "Month"
+        assert dim.level("Week").id == "lw"
+
+    def test_missing_level(self):
+        with pytest.raises(ModelReferenceError):
+            time_dimension().level("Quarter")
+
+    def test_has_level(self):
+        dim = time_dimension()
+        assert dim.has_level("Month")
+        assert not dim.has_level("Quarter")
+
+    def test_categorization_levels_found(self):
+        dim = time_dimension()
+        dim.categorization_levels.append(Level(id="lc", name="Fiscal"))
+        assert dim.level("Fiscal").id == "lc"
+
+
+class TestOidDescriptor:
+    def test_dimension_root(self):
+        dim = time_dimension()
+        assert dim.oid_attribute().name == "day_id"
+        assert dim.descriptor_attribute().name == "day_date"
+
+    def test_level(self):
+        month = time_dimension().level("Month")
+        assert month.oid_attribute().name == "month_id"
+        assert month.descriptor_attribute().name == "month_name"
+
+    def test_missing(self):
+        week = time_dimension().level("Week")
+        assert week.oid_attribute() is None
+        assert week.descriptor_attribute() is None
+
+    def test_uml_labels(self):
+        month = time_dimension().level("Month")
+        assert month.oid_attribute().uml_label() == "month_id {OID}"
+        assert month.descriptor_attribute().uml_label() == \
+            "month_name {D}"
+
+    def test_level_attribute_lookup(self):
+        month = time_dimension().level("Month")
+        assert month.attribute("month_id").is_oid
+        with pytest.raises(KeyError):
+            month.attribute("zz")
+
+
+class TestHierarchyStructure:
+    def test_edges(self):
+        dim = time_dimension()
+        edges = {(s, t) for s, t, _r in dim.hierarchy_edges()}
+        assert edges == {("d1", "lm"), ("d1", "lw"),
+                         ("lm", "ly"), ("lw", "ly")}
+
+    def test_children_of_root(self):
+        dim = time_dimension()
+        assert sorted(lv.name for lv in dim.children_of("d1")) == \
+            ["Month", "Week"]
+
+    def test_children_of_level(self):
+        dim = time_dimension()
+        assert [lv.name for lv in dim.children_of("Month")] == ["Year"]
+
+    def test_paths_from_root_alternative_paths(self):
+        dim = time_dimension()
+        paths = dim.paths_from_root()
+        assert ["d1", "lm", "ly"] in paths
+        assert ["d1", "lw", "ly"] in paths
+        assert len(paths) == 2
+
+    def test_non_strict_relations(self):
+        dim = time_dimension()
+        loose = dim.non_strict_relations
+        assert len(loose) == 1
+        assert loose[0].child == "ly"
+
+    def test_iter_levels_includes_categorizations(self):
+        dim = time_dimension()
+        dim.categorization_levels.append(Level(id="lc", name="Fiscal"))
+        assert [lv.name for lv in dim.iter_levels()] == \
+            ["Month", "Week", "Year", "Fiscal"]

@@ -1,0 +1,120 @@
+"""Fact classes: measures, additivity, degenerate dimensions."""
+
+import pytest
+
+from repro.mdm import (
+    Additivity,
+    AggregationKind,
+    FactAttribute,
+    FactClass,
+    Multiplicity,
+    SharedAggregation,
+)
+
+
+class TestFactAttribute:
+    def test_default_fully_additive(self):
+        measure = FactAttribute(id="a1", name="qty")
+        assert measure.allowed_aggregations("any-dim") == \
+            set(AggregationKind)
+
+    def test_additivity_rule_restricts(self):
+        measure = FactAttribute(id="a1", name="inventory", additivity=[
+            Additivity("d1", is_max=True, is_min=True)])
+        allowed = measure.allowed_aggregations("d1")
+        assert allowed == {AggregationKind.MAX, AggregationKind.MIN}
+        # Other dimensions stay fully additive.
+        assert measure.allowed_aggregations("d2") == set(AggregationKind)
+
+    def test_is_not_blocks_everything(self):
+        measure = FactAttribute(id="a1", name="x", additivity=[
+            Additivity("d1", is_not=True)])
+        assert measure.allowed_aggregations("d1") == set()
+
+    def test_degenerate_only_countable(self):
+        ticket = FactAttribute(id="a1", name="num_ticket", is_oid=True)
+        assert ticket.allowed_aggregations("d1") == \
+            {AggregationKind.COUNT}
+
+    def test_derived_requires_rule(self):
+        with pytest.raises(ValueError, match="derivation rule"):
+            FactAttribute(id="a1", name="total", is_derived=True)
+
+    def test_uml_label(self):
+        assert FactAttribute(id="a", name="qty").uml_label() == "qty"
+        assert FactAttribute(
+            id="a", name="total", is_derived=True,
+            derivation_rule="q*p").uml_label() == "/total"
+        assert FactAttribute(
+            id="a", name="num_ticket",
+            is_oid=True).uml_label() == "num_ticket {OID}"
+
+    def test_additivity_describe(self):
+        rule = Additivity("Time", is_max=True, is_avg=True)
+        assert rule.describe() == "Time: AVG, MAX"
+        assert Additivity("Time", is_not=True).describe() == \
+            "Time: not additive"
+
+    def test_permits(self):
+        rule = Additivity("d1", is_sum=True)
+        assert rule.permits(AggregationKind.SUM)
+        assert not rule.permits(AggregationKind.AVG)
+
+
+class TestSharedAggregation:
+    def test_defaults_many_to_one(self):
+        agg = SharedAggregation(dimension="d1")
+        assert agg.role_a is Multiplicity.MANY
+        assert agg.role_b is Multiplicity.ONE
+        assert not agg.many_to_many
+
+    def test_many_to_many_encoding(self):
+        agg = SharedAggregation(dimension="d1",
+                                role_a=Multiplicity.MANY,
+                                role_b=Multiplicity.MANY)
+        assert agg.many_to_many
+
+    def test_one_many_counts_as_many(self):
+        agg = SharedAggregation(dimension="d1",
+                                role_a=Multiplicity.ONE_MANY,
+                                role_b=Multiplicity.ONE_MANY)
+        assert agg.many_to_many
+
+
+class TestFactClass:
+    def make(self):
+        return FactClass(
+            id="f1", name="Sales",
+            attributes=[
+                FactAttribute(id="a1", name="qty"),
+                FactAttribute(id="a2", name="num_ticket", is_oid=True),
+            ],
+            aggregations=[
+                SharedAggregation(dimension="d1"),
+                SharedAggregation(dimension="d2"),
+            ])
+
+    def test_measures_vs_degenerates(self):
+        fact = self.make()
+        assert [m.name for m in fact.measures] == ["qty"]
+        assert [d.name for d in fact.degenerate_dimensions] == \
+            ["num_ticket"]
+
+    def test_factless(self):
+        assert FactClass(id="f", name="Events").is_factless
+        assert not self.make().is_factless
+
+    def test_attribute_lookup_by_id_and_name(self):
+        fact = self.make()
+        assert fact.attribute("a1").name == "qty"
+        assert fact.attribute("qty").id == "a1"
+        with pytest.raises(KeyError):
+            fact.attribute("missing")
+
+    def test_dimension_ids(self):
+        assert self.make().dimension_ids == ["d1", "d2"]
+
+    def test_aggregation_for(self):
+        fact = self.make()
+        assert fact.aggregation_for("d1") is not None
+        assert fact.aggregation_for("ghost") is None

@@ -1,0 +1,133 @@
+"""GoldModel lookups, enums, methods, and schema generation."""
+
+import pytest
+
+from repro.mdm import (
+    GoldModel,
+    Method,
+    Multiplicity,
+    Operator,
+    Parameter,
+    gold_dtd_text,
+    gold_schema,
+    gold_schema_xml,
+    sales_model,
+    two_facts_model,
+)
+from repro.mdm.errors import ModelReferenceError
+
+
+class TestModelLookups:
+    def test_by_id_and_name(self):
+        model = sales_model()
+        assert model.fact_class("Sales") is \
+            model.fact_class(model.facts[0].id)
+        assert model.dimension_class("Time").is_time
+        assert model.cube_class(model.cubes[0].name) is model.cubes[0]
+
+    def test_missing_raises(self):
+        model = sales_model()
+        with pytest.raises(ModelReferenceError):
+            model.fact_class("ghost")
+        with pytest.raises(ModelReferenceError):
+            model.dimension_class("ghost")
+        with pytest.raises(ModelReferenceError):
+            model.cube_class("ghost")
+
+    def test_dimensions_of(self):
+        model = sales_model()
+        names = sorted(d.name for d in model.dimensions_of("Sales"))
+        assert names == ["Product", "Store", "Time"]
+
+    def test_facts_sharing(self):
+        model = two_facts_model()
+        sharing_time = sorted(
+            f.name for f in model.facts_sharing("Time"))
+        assert sharing_time == ["Inventory", "Sales"]
+        sharing_store = [f.name for f in model.facts_sharing("Store")]
+        assert sharing_store == ["Sales"]
+
+    def test_iter_levels(self):
+        model = sales_model()
+        pairs = list(model.iter_levels())
+        assert ("Time", "Month") in [
+            (d.name, lv.name) for d, lv in pairs]
+
+    def test_summary_counts(self):
+        summary = sales_model().summary()
+        assert summary["facts"] == 1
+        assert summary["dimensions"] == 3
+        assert summary["cubes"] == 1
+
+
+class TestEnums:
+    def test_multiplicity_values_match_schema(self):
+        assert [m.value for m in Multiplicity] == ["0", "1", "M", "1..M"]
+
+    def test_is_many(self):
+        assert Multiplicity.MANY.is_many
+        assert Multiplicity.ONE_MANY.is_many
+        assert not Multiplicity.ONE.is_many
+
+    def test_operator_values_match_schema(self):
+        expected = {"EQ", "LT", "GT", "LET", "GET", "NOTEQ", "LIKE",
+                    "NOTLIKE", "IN", "NOTIN"}
+        assert {o.value for o in Operator} == expected
+
+    @pytest.mark.parametrize("op,left,right,result", [
+        (Operator.EQ, 1, 1, True),
+        (Operator.NOTEQ, 1, 2, True),
+        (Operator.LT, 1, 2, True),
+        (Operator.GT, 2, 1, True),
+        (Operator.LET, 2, 2, True),
+        (Operator.GET, 1, 2, False),
+        (Operator.LIKE, "Valencia", "Val%", True),
+        (Operator.LIKE, "Valencia", "V_lencia", True),
+        (Operator.NOTLIKE, "Madrid", "Val%", True),
+        (Operator.IN, "a", ("a", "b"), True),
+        (Operator.NOTIN, "c", ("a", "b"), True),
+        (Operator.IN, "a", "a", True),  # scalar treated as singleton
+    ])
+    def test_operator_apply(self, op, left, right, result):
+        assert op.apply(left, right) is result
+
+
+class TestMethods:
+    def test_signature(self):
+        method = Method(id="m1", name="address", return_type="String",
+                        parameters=[Parameter("sep", "String")])
+        assert method.signature() == "address(sep : String) : String"
+
+    def test_empty_signature(self):
+        assert Method(id="m", name="f").signature() == "f() : void"
+
+
+class TestSchemaGeneration:
+    def test_schema_has_expected_globals(self):
+        schema = gold_schema()
+        assert sorted(schema.elements) == ["goldmodel"]
+        assert {"Operator", "Multiplicity", "Aggregation",
+                "methodstype", "dimattstype"} <= set(schema.types)
+
+    def test_key_constraints_present(self):
+        schema = gold_schema()
+        constraints = {c.name for _d, c in
+                       schema.iter_identity_constraints()}
+        assert {"dimclassKey", "sharedaggDimclassKey",
+                "additivityDimclassKey", "factclassKey"} <= constraints
+
+    def test_schema_xml_over_300_lines(self):
+        # Matches the paper's remark about the schema's size (§3 fn. 2).
+        assert len(gold_schema_xml().splitlines()) > 300
+
+    def test_dtd_parses(self):
+        from repro.dtd import parse_dtd
+
+        dtd = parse_dtd(gold_dtd_text())
+        assert "goldmodel" in dtd.elements
+        assert dtd.attribute_defs("sharedagg")["dimclass"].type == "IDREF"
+        assert dtd.attribute_defs("sharedagg")["rolea"].enumeration == \
+            ("0", "1", "M", "1..M")
+
+    def test_schema_memoized(self):
+        assert gold_schema() is gold_schema()

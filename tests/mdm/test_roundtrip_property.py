@@ -1,0 +1,97 @@
+"""Property-based round-trip: random models ↔ XML ↔ schema validation."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mdm import (
+    AggregationKind,
+    ModelBuilder,
+    Multiplicity,
+    gold_schema,
+    model_to_xml,
+    validate_model,
+    xml_to_model,
+)
+from repro.xml import parse
+from repro.xsd import validate
+
+_names = st.from_regex(r"[A-Z][a-zA-Z0-9]{0,6}", fullmatch=True)
+_words = st.text(alphabet=string.ascii_letters + " '&<>\"",
+                 min_size=0, max_size=20)
+
+
+@st.composite
+def models(draw):
+    builder = ModelBuilder(draw(_names),
+                           description=draw(_words))
+    dim_count = draw(st.integers(min_value=1, max_value=3))
+    dims = []
+    for d in range(dim_count):
+        dim = builder.dimension(f"Dim{d}", is_time=(d == 0),
+                                description=draw(_words))
+        dim.attribute(f"dim{d}key", oid=True)
+        dim.attribute(f"dim{d}label", descriptor=True)
+        level_count = draw(st.integers(min_value=0, max_value=3))
+        previous = None
+        for lv in range(level_count):
+            name = f"D{d}L{lv}"
+            level = dim.level(name)
+            level.attribute(f"{name}key", oid=True)
+            level.attribute(f"{name}label", descriptor=True)
+            level.done()
+            strict = draw(st.booleans())
+            kwargs = {} if strict else {
+                "role_a": Multiplicity.MANY, "role_b": Multiplicity.MANY}
+            if previous is None:
+                dim.relate_root(
+                    name, completeness=draw(st.booleans()), **kwargs)
+            else:
+                dim.relate(previous, name, **kwargs)
+            previous = name
+        dims.append(dim)
+
+    fact_count = draw(st.integers(min_value=1, max_value=2))
+    for f in range(fact_count):
+        fact = builder.fact(f"Fact{f}", description=draw(_words))
+        measure_count = draw(st.integers(min_value=0, max_value=3))
+        for m in range(measure_count):
+            if draw(st.booleans()):
+                fact.measure(f"f{f}m{m}")
+            else:
+                fact.degenerate(f"f{f}m{m}")
+        for dim in dims:
+            if draw(st.booleans()):
+                if draw(st.booleans()):
+                    fact.many_to_many(dim)
+                else:
+                    fact.uses(dim)
+    return builder.build()
+
+
+@given(models())
+@settings(max_examples=40, deadline=None)
+def test_xml_roundtrip_is_fixpoint(model):
+    once = model_to_xml(model)
+    again = model_to_xml(xml_to_model(once))
+    assert once == again
+
+
+@given(models())
+@settings(max_examples=40, deadline=None)
+def test_generated_documents_validate(model):
+    report = validate(parse(model_to_xml(model)), gold_schema())
+    assert report.valid, str(report)
+
+
+@given(models())
+@settings(max_examples=40, deadline=None)
+def test_builder_models_semantically_valid(model):
+    assert validate_model(model).valid
+
+
+@given(models())
+@settings(max_examples=40, deadline=None)
+def test_summary_preserved_by_roundtrip(model):
+    reread = xml_to_model(model_to_xml(model))
+    assert reread.summary() == model.summary()

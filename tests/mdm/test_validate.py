@@ -1,0 +1,171 @@
+"""Semantic model validation: DAG, OID/D, references, cube checks."""
+
+from repro.mdm import (
+    AssociationRelation,
+    DimensionAttribute,
+    DimensionClass,
+    FactAttribute,
+    FactClass,
+    GoldModel,
+    Level,
+    Additivity,
+    SharedAggregation,
+    sales_model,
+    two_facts_model,
+    validate_model,
+)
+
+
+def minimal_dimension(dim_id="d1", name="Dim"):
+    return DimensionClass(id=dim_id, name=name, attributes=[
+        DimensionAttribute(id=f"{dim_id}-oid", name="key", is_oid=True),
+        DimensionAttribute(id=f"{dim_id}-d", name="label",
+                           is_descriptor=True)])
+
+
+def minimal_model(**kwargs):
+    defaults = dict(id="m1", name="M", facts=[], dimensions=[], cubes=[])
+    defaults.update(kwargs)
+    return GoldModel(**defaults)
+
+
+class TestIdUniqueness:
+    def test_duplicate_ids_caught(self):
+        model = minimal_model(
+            facts=[FactClass(id="x", name="F")],
+            dimensions=[minimal_dimension(dim_id="x", name="D")])
+        report = validate_model(model)
+        assert any("duplicate identifier" in e.message
+                   for e in report.errors)
+
+    def test_clean_ids_pass(self):
+        assert validate_model(sales_model()).valid
+
+
+class TestFactReferences:
+    def test_dangling_shared_aggregation(self):
+        fact = FactClass(id="f1", name="F", aggregations=[
+            SharedAggregation(dimension="ghost")])
+        report = validate_model(minimal_model(facts=[fact]))
+        assert any("unknown dimension" in e.message for e in report.errors)
+
+    def test_duplicate_aggregation(self):
+        fact = FactClass(id="f1", name="F", aggregations=[
+            SharedAggregation(dimension="d1"),
+            SharedAggregation(dimension="d1")])
+        model = minimal_model(facts=[fact],
+                              dimensions=[minimal_dimension()])
+        report = validate_model(model)
+        assert any("duplicate shared aggregation" in e.message
+                   for e in report.errors)
+
+    def test_additivity_must_reference_shared_dimension(self):
+        fact = FactClass(
+            id="f1", name="F",
+            attributes=[FactAttribute(id="a1", name="m", additivity=[
+                Additivity("d1", is_sum=True)])])
+        model = minimal_model(facts=[fact],
+                              dimensions=[minimal_dimension()])
+        report = validate_model(model)
+        assert any("does not share" in e.message for e in report.errors)
+
+    def test_factless_is_warning_only(self):
+        model = minimal_model(facts=[FactClass(id="f1", name="Events")])
+        report = validate_model(model)
+        assert report.valid
+        assert any("fact-less" in w.message for w in report.warnings)
+
+
+class TestHierarchyDag:
+    def test_cycle_detected(self):
+        a = Level(id="la", name="A", relations=[
+            AssociationRelation(child="lb")], attributes=[
+            DimensionAttribute(id="aa", name="k", is_oid=True,
+                               is_descriptor=True)])
+        b = Level(id="lb", name="B", relations=[
+            AssociationRelation(child="la")], attributes=[
+            DimensionAttribute(id="ab", name="k", is_oid=True,
+                               is_descriptor=True)])
+        dim = minimal_dimension()
+        dim.levels = [a, b]
+        dim.relations = [AssociationRelation(child="la")]
+        report = validate_model(minimal_model(dimensions=[dim]))
+        assert any("{dag}" in e.message for e in report.errors)
+
+    def test_unreachable_level(self):
+        orphan = Level(id="lo", name="Orphan", attributes=[
+            DimensionAttribute(id="ao", name="k", is_oid=True,
+                               is_descriptor=True)])
+        dim = minimal_dimension()
+        dim.levels = [orphan]  # no relation reaches it
+        report = validate_model(minimal_model(dimensions=[dim]))
+        assert any("not reachable" in e.message for e in report.errors)
+
+    def test_dangling_relation_target(self):
+        dim = minimal_dimension()
+        dim.relations = [AssociationRelation(child="ghost")]
+        report = validate_model(minimal_model(dimensions=[dim]))
+        assert any("unknown level" in e.message for e in report.errors)
+
+    def test_alternative_paths_are_legal(self):
+        # Fan-out and reconvergence is a DAG — must pass (paper §2).
+        assert validate_model(sales_model()).valid
+
+
+class TestOidDescriptorChecks:
+    def test_missing_oid_is_error(self):
+        dim = DimensionClass(id="d1", name="D", attributes=[
+            DimensionAttribute(id="a1", name="label",
+                               is_descriptor=True)])
+        report = validate_model(minimal_model(dimensions=[dim]))
+        assert any("{OID}" in e.message for e in report.errors)
+
+    def test_two_oids_is_error(self):
+        dim = DimensionClass(id="d1", name="D", attributes=[
+            DimensionAttribute(id="a1", name="k1", is_oid=True),
+            DimensionAttribute(id="a2", name="k2", is_oid=True),
+            DimensionAttribute(id="a3", name="l", is_descriptor=True)])
+        report = validate_model(minimal_model(dimensions=[dim]))
+        assert any("exactly one" in e.message for e in report.errors)
+
+    def test_missing_descriptor_is_warning(self):
+        dim = DimensionClass(id="d1", name="D", attributes=[
+            DimensionAttribute(id="a1", name="k", is_oid=True)])
+        report = validate_model(minimal_model(dimensions=[dim]))
+        assert report.valid
+        assert any("descriptor" in w.message for w in report.warnings)
+
+    def test_levels_checked_too(self):
+        dim = minimal_dimension()
+        dim.levels = [Level(id="l1", name="L")]
+        dim.relations = [AssociationRelation(child="l1")]
+        report = validate_model(minimal_model(dimensions=[dim]))
+        assert any("'L'" in e.message and "{OID}" in e.message
+                   for e in report.errors)
+
+
+class TestCubeChecks:
+    def test_cube_problems_surface(self):
+        from repro.mdm import CubeClass
+
+        model = minimal_model(cubes=[
+            CubeClass(id="c1", name="C", fact="ghost")])
+        report = validate_model(model)
+        assert any("unknown fact class" in e.message
+                   for e in report.errors)
+
+
+class TestExampleModels:
+    def test_sales_model_valid(self):
+        assert validate_model(sales_model()).valid
+
+    def test_two_facts_model_valid(self):
+        assert validate_model(two_facts_model()).valid
+
+    def test_synthetic_models_valid(self):
+        from repro.mdm import synthetic_model
+
+        for facts in (1, 3):
+            model = synthetic_model(facts=facts, dimensions=4,
+                                    levels_per_dimension=2)
+            assert validate_model(model).valid

@@ -1,0 +1,147 @@
+"""Model ↔ XML round-trip and schema conformance of the output."""
+
+import dataclasses
+
+import pytest
+
+from repro.mdm import (
+    gold_schema,
+    model_to_document,
+    model_to_xml,
+    sales_model,
+    synthetic_model,
+    two_facts_model,
+    xml_to_model,
+)
+from repro.mdm.errors import ModelStructureError
+from repro.xml import parse
+from repro.xsd import validate
+
+
+@pytest.fixture(params=["sales", "retail", "synthetic"])
+def model(request):
+    return {
+        "sales": sales_model,
+        "retail": two_facts_model,
+        "synthetic": synthetic_model,
+    }[request.param]()
+
+
+class TestWriting:
+    def test_document_structure(self):
+        document = model_to_document(sales_model())
+        root = document.root_element
+        assert root.name == "goldmodel"
+        assert root.find("factclasses") is not None
+        assert root.find("dimclasses") is not None
+        sections = [c.name for c in root.children]
+        assert sections.index("factclasses") < \
+            sections.index("dimclasses")
+
+    def test_output_validates_against_schema(self, model):
+        report = validate(parse(model_to_xml(model)), gold_schema())
+        assert report.valid, str(report)
+
+    def test_booleans_lowercase(self):
+        xml = model_to_xml(sales_model())
+        assert 'istime="true"' in xml
+        assert "True" not in xml.replace("Time", "")
+
+    def test_dates_iso(self):
+        xml = model_to_xml(sales_model())
+        assert 'creationdate="2002-03-01"' in xml
+
+    def test_cubeclasses_omitted_when_empty(self):
+        xml = model_to_xml(two_facts_model())
+        assert "<cubeclasses>" not in xml
+
+
+class TestRoundTrip:
+    def test_serialization_fixpoint(self, model):
+        once = model_to_xml(model)
+        again = model_to_xml(xml_to_model(once))
+        assert once == again
+
+    def test_semantics_preserved(self):
+        model = sales_model()
+        reread = xml_to_model(model_to_xml(model))
+        assert reread.summary() == model.summary()
+        assert reread.name == model.name
+        assert reread.creation_date == model.creation_date
+
+        fact = reread.fact_class("Sales")
+        original = model.fact_class("Sales")
+        assert [a.name for a in fact.attributes] == \
+            [a.name for a in original.attributes]
+        assert fact.attribute("inventory").additivity[0].is_max
+        assert fact.attribute("total").is_derived
+        assert fact.attribute("total").derivation_rule == "qty * price"
+        assert fact.attribute("num_ticket").is_oid
+
+        time = reread.dimension_class("Time")
+        assert time.is_time
+        assert {lv.name for lv in time.levels} == \
+            {"Month", "Week", "Year"}
+        assert len(time.non_strict_relations) == 1
+
+        product = reread.dimension_class("Product")
+        assert [lv.name for lv in product.categorization_levels] == \
+            ["PerishableProduct"]
+        agg = original.aggregation_for(model.dimension_class("Product").id)
+        reagg = fact.aggregation_for(reread.dimension_class("Product").id)
+        assert reagg.many_to_many == agg.many_to_many is True
+
+    def test_methods_roundtrip(self):
+        model = sales_model()
+        reread = xml_to_model(model_to_xml(model))
+        store = reread.dimension_class("Store")
+        assert [m.name for m in store.methods] == ["address"]
+        assert store.methods[0].return_type == "String"
+
+    def test_cubes_roundtrip(self):
+        model = sales_model()
+        reread = xml_to_model(model_to_xml(model))
+        cube = reread.cubes[0]
+        original = model.cubes[0]
+        assert cube.measures == original.measures
+        assert cube.aggregations == original.aggregations
+        assert cube.slices == original.slices
+        assert cube.dices == original.dices
+
+
+class TestReadingErrors:
+    def test_wrong_root(self):
+        with pytest.raises(ModelStructureError, match="goldmodel"):
+            xml_to_model("<notamodel/>")
+
+    def test_missing_required_attribute(self):
+        with pytest.raises(ModelStructureError, match="required"):
+            xml_to_model('<goldmodel id="m"/>')  # name missing
+
+    def test_inconsistent_cube_aggregations(self):
+        bad = """<goldmodel id="m" name="n">
+          <factclasses><factclass id="f" name="F">
+            <factatts><factatt id="a" name="x"/>
+                      <factatt id="b" name="y"/></factatts>
+          </factclass></factclasses>
+          <dimclasses/>
+          <cubeclasses><cubeclass id="c" name="C" fact="f">
+            <measures><measure ref="a" aggregation="SUM"/>
+                      <measure ref="b"/></measures>
+          </cubeclass></cubeclasses>
+        </goldmodel>"""
+        with pytest.raises(ModelStructureError, match="aggregation"):
+            xml_to_model(bad)
+
+    def test_defaults_applied_on_read(self):
+        minimal = """<goldmodel id="m" name="n">
+          <factclasses><factclass id="f" name="F">
+            <sharedaggs><sharedagg dimclass="d"/></sharedaggs>
+          </factclass></factclasses>
+          <dimclasses><dimclass id="d" name="D"/></dimclasses>
+        </goldmodel>"""
+        model = xml_to_model(minimal)
+        agg = model.fact_class("F").aggregations[0]
+        assert agg.role_a.value == "M"
+        assert agg.role_b.value == "1"
+        assert model.show_attributes and model.show_methods

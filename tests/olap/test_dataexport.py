@@ -1,0 +1,89 @@
+"""SQL data export (INSERT statements) from populated star schemas."""
+
+import pytest
+
+from repro.mdm import ModelBuilder, sales_model
+from repro.olap import StarSchema, populate_star, star_data_sql
+
+
+@pytest.fixture(scope="module")
+def exported():
+    star = populate_star(sales_model(), members_per_level=3,
+                         rows_per_fact=10, seed=1)
+    return star, star_data_sql(star)
+
+
+class TestDimensionInserts:
+    def test_one_insert_per_base_member(self, exported):
+        star, sql = exported
+        model = star.model
+        time_id = model.dimension_class("Time").id
+        expected = len(star.dimensions[time_id].members(time_id))
+        assert sql.count("INSERT INTO dim_time ") == expected
+
+    def test_surrogate_keys_dense(self, exported):
+        _, sql = exported
+        first = next(line for line in sql.splitlines()
+                     if "INSERT INTO dim_time " in line)
+        assert "VALUES (1, " in first
+
+    def test_hierarchy_attributes_flattened(self, exported):
+        _, sql = exported
+        assert "month_month_name" in sql
+        assert "year_year_number" in sql
+
+    def test_string_values_quoted_and_escaped(self):
+        b = ModelBuilder("Q")
+        dim = b.dimension("D").attribute("k", oid=True) \
+            .attribute("label", descriptor=True)
+        b.fact("F").measure("qty").uses(dim)
+        model = b.build()
+        star = StarSchema(model)
+        data = star.dimension_data("D")
+        data.add_member("D", "m1", {"k": "m1", "label": "O'Brien"})
+        sql = star_data_sql(star)
+        assert "'O''Brien'" in sql
+
+
+class TestFactInserts:
+    def test_one_insert_per_row(self, exported):
+        star, sql = exported
+        assert sql.count("INSERT INTO fact_sales ") == \
+            len(star.fact_table("Sales"))
+
+    def test_foreign_keys_are_surrogates(self, exported):
+        _, sql = exported
+        line = next(l for l in sql.splitlines()
+                    if "INSERT INTO fact_sales " in l)
+        assert "dim_time_key" in line and "dim_store_key" in line
+
+    def test_many_to_many_goes_to_bridge(self, exported):
+        star, sql = exported
+        model = star.model
+        product_id = model.dimension_class("Product").id
+        expected = sum(
+            len(row.member_keys(product_id))
+            for row in star.fact_table("Sales").rows)
+        assert sql.count(
+            "INSERT INTO fact_sales_product_bridge") == expected
+        # Product must not appear as a direct fact FK.
+        fact_line = next(l for l in sql.splitlines()
+                         if "INSERT INTO fact_sales " in l)
+        assert "dim_product_key" not in fact_line
+
+    def test_null_measures_rendered(self):
+        b = ModelBuilder("N")
+        dim = b.dimension("D").attribute("k", oid=True)
+        b.fact("F").measure("qty").uses(dim)
+        model = b.build()
+        star = StarSchema(model)
+        star.dimension_data("D").add_member("D", "m1")
+        star.insert_fact("F", {"D": "m1"}, {"qty": None})
+        assert "NULL" in star_data_sql(star)
+
+    def test_deterministic(self):
+        a = star_data_sql(populate_star(sales_model(),
+                                        rows_per_fact=20, seed=9))
+        b = star_data_sql(populate_star(sales_model(),
+                                        rows_per_fact=20, seed=9))
+        assert a == b

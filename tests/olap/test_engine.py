@@ -1,0 +1,249 @@
+"""Cube execution: grouping, roll-up, slicing, additivity, aggregation."""
+
+import pytest
+
+from repro.mdm import (
+    AggregationKind,
+    CubeClass,
+    DiceGrouping,
+    ModelBuilder,
+    Multiplicity,
+    Operator,
+)
+from repro.olap import AdditivityError, StarSchema, execute_cube
+
+
+def small_world():
+    """A tiny, fully hand-populated warehouse for exact assertions."""
+    b = ModelBuilder("Tiny")
+    time = (b.dimension("Time", is_time=True)
+            .attribute("day", oid=True).attribute("dl", descriptor=True))
+    time.level("Month").attribute("m", oid=True) \
+        .attribute("ml", descriptor=True).done()
+    time.level("Year").attribute("y", oid=True) \
+        .attribute("yl", descriptor=True).done()
+    time.relate_root("Month")
+    time.relate("Month", "Year")
+
+    city = (b.dimension("City")
+            .attribute("c", oid=True).attribute("cl", descriptor=True))
+
+    product = (b.dimension("Product")
+               .attribute("p", oid=True).attribute("pl", descriptor=True))
+
+    fact = (b.fact("Sales").measure("qty").measure("snapshot")
+            .uses(time).uses(city).many_to_many(product))
+    fact.additivity("snapshot", time, allow=(
+        AggregationKind.MAX, AggregationKind.MIN, AggregationKind.AVG))
+
+    model = b.build()
+    star = StarSchema(model)
+
+    time_data = star.dimension_data("Time")
+    time_data.add_member("Year", "y1", {"yl": "2002"})
+    time_data.add_member("Month", "jan", {"ml": "Jan"},
+                         parents={"Year": "y1"})
+    time_data.add_member("Month", "feb", {"ml": "Feb"},
+                         parents={"Year": "y1"})
+    for day, month in (("d1", "jan"), ("d2", "jan"), ("d3", "feb")):
+        time_data.add_member("Time", day, {"dl": day},
+                             parents={"Month": month})
+
+    city_data = star.dimension_data("City")
+    city_data.add_member("City", "val", {"cl": "Valencia"})
+    city_data.add_member("City", "ali", {"cl": "Alicante"})
+
+    product_data = star.dimension_data("Product")
+    product_data.add_member("Product", "pa")
+    product_data.add_member("Product", "pb")
+
+    rows = [
+        ("d1", "val", ["pa"], 10, 5),
+        ("d1", "ali", ["pa", "pb"], 20, 7),
+        ("d2", "val", ["pb"], 30, 6),
+        ("d3", "val", ["pa"], 40, 8),
+    ]
+    for day, city_key, products, qty, snapshot in rows:
+        star.insert_fact("Sales",
+                         {"Time": day, "City": city_key,
+                          "Product": products},
+                         {"qty": qty, "snapshot": snapshot})
+    return model, star
+
+
+@pytest.fixture(scope="module")
+def world():
+    return small_world()
+
+
+def cube_for(model, measures, aggregations, dices, slices=()):
+    fact = model.fact_class("Sales")
+    return CubeClass(
+        id="c", name="test cube", fact=fact.id,
+        measures=tuple(fact.attribute(m).id for m in measures),
+        aggregations=tuple(aggregations),
+        dices=tuple(dices), slices=tuple(slices))
+
+
+class TestGrouping:
+    def test_group_by_month(self, world):
+        model, star = world
+        time = model.dimension_class("Time")
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM],
+                        [DiceGrouping(time.id, time.level("Month").id)])
+        result = execute_cube(cube, star)
+        rows = dict((key[0], values["qty"])
+                    for key, values in result.rows.items())
+        assert rows == {"jan": 60.0, "feb": 40.0}
+
+    def test_roll_up_to_year(self, world):
+        model, star = world
+        time = model.dimension_class("Time")
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM],
+                        [DiceGrouping(time.id, time.level("Month").id)])
+        rolled = cube.roll_up(time.id, time.level("Year").id)
+        result = execute_cube(rolled, star)
+        assert result.rows[("y1",)]["qty"] == 100.0
+
+    def test_group_by_base_level(self, world):
+        model, star = world
+        city = model.dimension_class("City")
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM],
+                        [DiceGrouping(city.id, city.id)])
+        result = execute_cube(cube, star)
+        assert result.rows[("val",)]["qty"] == 80.0
+        assert result.rows[("ali",)]["qty"] == 20.0
+
+    def test_two_axis_dice(self, world):
+        model, star = world
+        time = model.dimension_class("Time")
+        city = model.dimension_class("City")
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM], [
+            DiceGrouping(time.id, time.level("Month").id),
+            DiceGrouping(city.id, city.id)])
+        result = execute_cube(cube, star)
+        assert result.rows[("jan", "val")]["qty"] == 40.0  # d1 + d2
+        assert result.rows[("jan", "ali")]["qty"] == 20.0
+        assert result.rows[("feb", "val")]["qty"] == 40.0
+        assert len(result.rows) == 3  # (feb, ali) has no data
+
+    def test_no_dice_gives_grand_total(self, world):
+        model, star = world
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM], [])
+        result = execute_cube(cube, star)
+        assert result.rows[()]["qty"] == 100.0
+
+    def test_many_to_many_fans_out(self, world):
+        model, star = world
+        product = model.dimension_class("Product")
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM],
+                        [DiceGrouping(product.id, product.id)])
+        result = execute_cube(cube, star)
+        # Row d1/ali (qty 20) carries both products: counted in both.
+        assert result.rows[("pa",)]["qty"] == 70.0
+        assert result.rows[("pb",)]["qty"] == 50.0
+
+
+class TestAggregations:
+    @pytest.mark.parametrize("kind,expected", [
+        (AggregationKind.MAX, 8),
+        (AggregationKind.MIN, 5),
+        (AggregationKind.AVG, 6.5),
+    ])
+    def test_kinds(self, world, kind, expected):
+        model, star = world
+        time = model.dimension_class("Time")
+        cube = cube_for(model, ["snapshot"], [kind],
+                        [DiceGrouping(time.id, time.level("Year").id)])
+        result = execute_cube(cube, star)
+        assert result.rows[("y1",)]["snapshot"] == expected
+
+    def test_count(self, world):
+        model, star = world
+        city = model.dimension_class("City")
+        cube = cube_for(model, ["qty"], [AggregationKind.COUNT],
+                        [DiceGrouping(city.id, city.id)])
+        result = execute_cube(cube, star)
+        assert result.rows[("val",)]["qty"] == 3
+
+
+class TestSlicing:
+    def test_fact_slice(self, world):
+        model, star = world
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM], [],
+                        [_slice("Sales.qty", Operator.GT, 15)])
+        result = execute_cube(cube, star)
+        assert result.rows[()]["qty"] == 90.0
+        assert result.sliced_out == 1
+
+    def test_dimension_slice(self, world):
+        model, star = world
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM], [],
+                        [_slice("City.cl", Operator.EQ, "Valencia")])
+        result = execute_cube(cube, star)
+        assert result.rows[()]["qty"] == 80.0
+
+    def test_level_slice(self, world):
+        model, star = world
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM], [],
+                        [_slice("Time.Month.ml", Operator.EQ, "Jan")])
+        result = execute_cube(cube, star)
+        assert result.rows[()]["qty"] == 60.0
+
+    def test_like_operator(self, world):
+        model, star = world
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM], [],
+                        [_slice("City.cl", Operator.LIKE, "Val%")])
+        result = execute_cube(cube, star)
+        assert result.rows[()]["qty"] == 80.0
+
+    def test_conjunction_of_slices(self, world):
+        model, star = world
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM], [], [
+            _slice("City.cl", Operator.EQ, "Valencia"),
+            _slice("Sales.qty", Operator.LT, 35)])
+        result = execute_cube(cube, star)
+        assert result.rows[()]["qty"] == 40.0
+
+
+class TestAdditivityEnforcement:
+    def test_sum_of_snapshot_over_time_fails(self, world):
+        model, star = world
+        time = model.dimension_class("Time")
+        cube = cube_for(model, ["snapshot"], [AggregationKind.SUM],
+                        [DiceGrouping(time.id, time.level("Month").id)])
+        with pytest.raises(AdditivityError):
+            execute_cube(cube, star)
+
+    def test_sum_of_snapshot_over_city_allowed(self, world):
+        model, star = world
+        city = model.dimension_class("City")
+        cube = cube_for(model, ["snapshot"], [AggregationKind.SUM],
+                        [DiceGrouping(city.id, city.id)])
+        result = execute_cube(cube, star)
+        assert result.rows[("val",)]["snapshot"] == 19.0
+
+
+class TestResultApi:
+    def test_to_rows_sorted(self, world):
+        model, star = world
+        time = model.dimension_class("Time")
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM],
+                        [DiceGrouping(time.id, time.level("Month").id)])
+        rows = execute_cube(cube, star).to_rows()
+        assert rows == [("feb", 40.0), ("jan", 60.0)]
+
+    def test_pretty_renders_headers(self, world):
+        model, star = world
+        time = model.dimension_class("Time")
+        cube = cube_for(model, ["qty"], [AggregationKind.SUM],
+                        [DiceGrouping(time.id, time.level("Month").id)])
+        pretty = execute_cube(cube, star).pretty()
+        assert "Time.Month" in pretty.splitlines()[0]
+        assert "qty" in pretty.splitlines()[0]
+
+
+def _slice(attribute, operator, value):
+    from repro.mdm import SliceCondition
+
+    return SliceCondition(attribute, operator, value)

@@ -1,0 +1,135 @@
+"""Property-based OLAP invariants.
+
+For strict, complete, one-to-many star schemas:
+
+* the sum over any grouping equals the grand total (SUM is a partition);
+* COUNT over groups partitions the row count;
+* rolling up never increases the number of groups;
+* slicing with a tautology changes nothing; with a contradiction,
+  everything is filtered.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mdm import (
+    AggregationKind,
+    CubeClass,
+    DiceGrouping,
+    ModelBuilder,
+    Operator,
+    SliceCondition,
+)
+from repro.olap import StarSchema, execute_cube
+
+
+def build_strict_world(month_of_day, qty_values):
+    """A Time(day→month→year strict) × Sales world from drawn data."""
+    b = ModelBuilder("P")
+    time = (b.dimension("Time", is_time=True)
+            .attribute("day", oid=True).attribute("dl", descriptor=True))
+    time.level("Month").attribute("m", oid=True) \
+        .attribute("ml", descriptor=True).done()
+    time.level("Year").attribute("y", oid=True) \
+        .attribute("yl", descriptor=True).done()
+    time.relate_root("Month", completeness=True)
+    time.relate("Month", "Year", completeness=True)
+    fact = b.fact("Sales").measure("qty").uses(time)
+    model = b.build()
+
+    star = StarSchema(model)
+    data = star.dimension_data("Time")
+    data.add_member("Year", "y0")
+    months = sorted(set(month_of_day))
+    for month in months:
+        data.add_member("Month", f"m{month}", parents={"Year": "y0"})
+    for index, month in enumerate(month_of_day):
+        data.add_member("Time", f"d{index}",
+                        parents={"Month": f"m{month}"})
+    for index, qty in enumerate(qty_values):
+        day = f"d{index % len(month_of_day)}"
+        star.insert_fact("Sales", {"Time": day}, {"qty": qty})
+    return model, star, fact.fact
+
+
+def cube_at(model, fact, level_name, aggregation=AggregationKind.SUM,
+            slices=()):
+    time = model.dimension_class("Time")
+    level = time.id if level_name == "Time" else \
+        time.level(level_name).id
+    return CubeClass(id="c", name="c", fact=fact.id,
+                     measures=(fact.attributes[0].id,),
+                     aggregations=(aggregation,),
+                     dices=(DiceGrouping(time.id, level),),
+                     slices=tuple(slices))
+
+
+worlds = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+             max_size=6),
+    st.lists(st.integers(min_value=-50, max_value=50), min_size=1,
+             max_size=30),
+)
+
+
+@given(worlds)
+@settings(max_examples=60, deadline=None)
+def test_group_sums_partition_grand_total(data):
+    month_of_day, qty_values = data
+    model, star, fact = build_strict_world(month_of_day, qty_values)
+    by_month = execute_cube(cube_at(model, fact, "Month"), star)
+    by_year = execute_cube(cube_at(model, fact, "Year"), star)
+    total = sum(values["qty"] for values in by_month.rows.values())
+    assert math.isclose(total, float(sum(qty_values)))
+    assert math.isclose(
+        sum(v["qty"] for v in by_year.rows.values()),
+        float(sum(qty_values)))
+
+
+@given(worlds)
+@settings(max_examples=60, deadline=None)
+def test_count_partitions_rows(data):
+    month_of_day, qty_values = data
+    model, star, fact = build_strict_world(month_of_day, qty_values)
+    result = execute_cube(
+        cube_at(model, fact, "Month", AggregationKind.COUNT), star)
+    assert sum(v["qty"] for v in result.rows.values()) == len(qty_values)
+
+
+@given(worlds)
+@settings(max_examples=60, deadline=None)
+def test_rollup_never_increases_groups(data):
+    month_of_day, qty_values = data
+    model, star, fact = build_strict_world(month_of_day, qty_values)
+    by_day = execute_cube(cube_at(model, fact, "Time"), star)
+    by_month = execute_cube(cube_at(model, fact, "Month"), star)
+    by_year = execute_cube(cube_at(model, fact, "Year"), star)
+    assert len(by_year.rows) <= len(by_month.rows) <= len(by_day.rows)
+
+
+@given(worlds)
+@settings(max_examples=40, deadline=None)
+def test_max_is_order_statistic(data):
+    month_of_day, qty_values = data
+    model, star, fact = build_strict_world(month_of_day, qty_values)
+    result = execute_cube(
+        cube_at(model, fact, "Year", AggregationKind.MAX), star)
+    assert result.rows[("y0",)]["qty"] == max(qty_values)
+
+
+@given(worlds)
+@settings(max_examples=40, deadline=None)
+def test_tautology_and_contradiction_slices(data):
+    month_of_day, qty_values = data
+    model, star, fact = build_strict_world(month_of_day, qty_values)
+    everything = execute_cube(cube_at(
+        model, fact, "Month",
+        slices=[SliceCondition("Sales.qty", Operator.GET, -10_000)]),
+        star)
+    nothing = execute_cube(cube_at(
+        model, fact, "Month",
+        slices=[SliceCondition("Sales.qty", Operator.GT, 10_000)]), star)
+    assert everything.sliced_out == 0
+    assert nothing.rows == {}
+    assert nothing.sliced_out == len(qty_values)

@@ -1,0 +1,134 @@
+"""Synthetic data loading and SQL DDL generation."""
+
+import random
+
+import pytest
+
+from repro.mdm import sales_model, two_facts_model
+from repro.olap import (
+    execute_cube,
+    populate_star,
+    snowflake_schema_sql,
+    star_schema_sql,
+)
+
+
+class TestLoader:
+    def test_deterministic_with_seed(self):
+        a = populate_star(sales_model(), members_per_level=4,
+                          rows_per_fact=50, seed=7)
+        b = populate_star(sales_model(), members_per_level=4,
+                          rows_per_fact=50, seed=7)
+        assert a.summary() == b.summary()
+        assert [r.values for r in a.fact_table("Sales").rows] == \
+            [r.values for r in b.fact_table("Sales").rows]
+
+    def test_different_seeds_differ(self):
+        a = populate_star(sales_model(), rows_per_fact=50, seed=1)
+        b = populate_star(sales_model(), rows_per_fact=50, seed=2)
+        assert [r.values for r in a.fact_table("Sales").rows] != \
+            [r.values for r in b.fact_table("Sales").rows]
+
+    def test_row_and_member_counts(self):
+        star = populate_star(sales_model(), members_per_level=5,
+                             rows_per_fact=123)
+        assert len(star.fact_table("Sales")) == 123
+        assert star.summary()["members"] > 0
+
+    def test_hierarchy_links_resolvable(self):
+        model = sales_model()
+        star = populate_star(model, members_per_level=5, rows_per_fact=10)
+        time = star.dimension_data("Time")
+        base_id = model.dimension_class("Time").id
+        for key in time.members(base_id):
+            # Every day must reach at least one Year through the DAG.
+            assert time.ancestors_at(key, "Year")
+
+    def test_non_strict_fanout_generated(self):
+        model = sales_model()
+        star = populate_star(model, members_per_level=8,
+                             rows_per_fact=1, seed=3,
+                             non_strict_fanout=1.0)
+        time = star.dimension_data("Time")
+        year_id = model.dimension_class("Time").level("Year").id
+        weeks = time.members("Week").values()
+        assert any(len(w.parent_keys(year_id)) == 2 for w in weeks)
+
+    def test_many_to_many_rows_generated(self):
+        model = sales_model()
+        star = populate_star(model, members_per_level=4,
+                             rows_per_fact=200, seed=5)
+        product_id = model.dimension_class("Product").id
+        assert any(
+            len(row.member_keys(product_id)) > 1
+            for row in star.fact_table("Sales").rows)
+
+    def test_generated_data_executes_cubes(self):
+        model = sales_model()
+        star = populate_star(model, members_per_level=4, rows_per_fact=100)
+        result = execute_cube(model.cubes[0], star)
+        assert result.rows
+
+    def test_degenerate_attributes_sequential(self):
+        model = sales_model()
+        star = populate_star(model, rows_per_fact=10)
+        tickets = [row.values["num_ticket"]
+                   for row in star.fact_table("Sales").rows]
+        assert tickets == list(range(10))
+
+
+class TestStarSql:
+    def test_tables_per_class(self):
+        sql = star_schema_sql(sales_model())
+        assert sql.count("CREATE TABLE dim_") == 3
+        assert "CREATE TABLE fact_sales" in sql
+
+    def test_star_flattens_levels(self):
+        sql = star_schema_sql(sales_model())
+        # Month attributes live inside dim_time in the star layout.
+        assert "month_month_name" in sql
+        assert "CREATE TABLE dim_time_month" not in sql
+
+    def test_degenerate_dimension_in_pk(self):
+        sql = star_schema_sql(sales_model())
+        fact = sql[sql.index("CREATE TABLE fact_sales"):]
+        fact = fact[:fact.index(";")]
+        assert "num_ticket" in fact
+        assert "PRIMARY KEY" in fact
+        assert "num_ticket" in fact[fact.index("PRIMARY KEY"):]
+
+    def test_many_to_many_bridge(self):
+        sql = star_schema_sql(sales_model())
+        assert "fact_sales_product_bridge" in sql
+        # The m-n dimension must NOT be a plain fact FK column.
+        fact = sql[sql.index("CREATE TABLE fact_sales"):]
+        fact = fact[:fact.index(";")]
+        assert "dim_product_key" not in fact
+
+    def test_categorization_columns(self):
+        sql = star_schema_sql(sales_model())
+        assert "dim_product_subtype" in sql
+        assert "perishableproduct_expiration_days" in sql
+
+
+class TestSnowflakeSql:
+    def test_one_table_per_level(self):
+        sql = snowflake_schema_sql(sales_model())
+        for table in ("dim_time_month", "dim_time_week", "dim_time_year",
+                      "dim_store_city", "dim_store_province"):
+            assert f"CREATE TABLE {table}" in sql
+
+    def test_strict_relation_is_fk(self):
+        sql = snowflake_schema_sql(sales_model())
+        month = sql[sql.index("CREATE TABLE dim_time_month"):]
+        month = month[:month.index(";")]
+        assert "REFERENCES dim_time_year" in month
+
+    def test_non_strict_relation_gets_bridge(self):
+        sql = snowflake_schema_sql(sales_model())
+        assert "dim_time_week_year_bridge" in sql
+
+    def test_two_fact_model(self):
+        sql = snowflake_schema_sql(two_facts_model())
+        assert "CREATE TABLE fact_sales" in sql
+        assert "CREATE TABLE fact_inventory" in sql

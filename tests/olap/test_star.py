@@ -1,0 +1,142 @@
+"""Star-schema storage: members, hierarchies, fact rows."""
+
+import pytest
+
+from repro.mdm import sales_model
+from repro.mdm.errors import ModelReferenceError, ModelStructureError
+from repro.olap import StarSchema
+
+
+@pytest.fixture()
+def star():
+    return StarSchema(sales_model())
+
+
+def seed_time(star):
+    time = star.dimension_data("Time")
+    time.add_member("Year", "y2002", {"year_number": 2002})
+    time.add_member("Year", "y2003", {"year_number": 2003})
+    time.add_member("Month", "m1", {"month_name": "Jan"},
+                    parents={"Year": "y2002"})
+    time.add_member("Week", "w53", {"week_number": 53},
+                    parents={"Year": ["y2002", "y2003"]})  # non-strict
+    time.add_member("Time", "day1", {"day_date": "2002-01-01"},
+                    parents={"Month": "m1", "Week": "w53"})
+    return time
+
+
+class TestMembers:
+    def test_add_and_lookup(self, star):
+        time = seed_time(star)
+        assert time.member("Month", "m1").attributes["month_name"] == "Jan"
+        assert time.member("Time", "day1") is not None
+
+    def test_level_by_name_or_id(self, star):
+        time = seed_time(star)
+        month_id = star.model.dimension_class("Time").level("Month").id
+        assert time.members("Month") is time.members(month_id)
+
+    def test_duplicate_member_rejected(self, star):
+        time = seed_time(star)
+        with pytest.raises(ModelStructureError, match="duplicate member"):
+            time.add_member("Month", "m1")
+
+    def test_missing_member(self, star):
+        time = seed_time(star)
+        with pytest.raises(ModelReferenceError):
+            time.member("Month", "ghost")
+
+    def test_size(self, star):
+        time = seed_time(star)
+        assert time.size() == 5
+
+
+class TestAncestors:
+    def test_direct_parent(self, star):
+        time = seed_time(star)
+        ancestors = time.ancestors_at("day1", "Month")
+        assert [a.key for a in ancestors] == ["m1"]
+
+    def test_transitive(self, star):
+        time = seed_time(star)
+        via_month = time.ancestors_at("day1", "Year")
+        # Both paths (Month→y2002, Week→{y2002,y2003}) merge.
+        assert sorted(a.key for a in via_month) == ["y2002", "y2003"]
+
+    def test_non_strict_fanout(self, star):
+        time = seed_time(star)
+        weeks = time.ancestors_at("day1", "Week")
+        assert [w.key for w in weeks] == ["w53"]
+        years_of_week = time.member("Week", "w53").parent_keys(
+            star.model.dimension_class("Time").level("Year").id)
+        assert years_of_week == ["y2002", "y2003"]
+
+    def test_base_level_identity(self, star):
+        time = seed_time(star)
+        assert time.ancestors_at("day1", "Time")[0].key == "day1"
+
+    def test_incomplete_hierarchy_returns_empty(self, star):
+        time = seed_time(star)
+        time.add_member("Time", "dangling")  # no parents at all
+        assert time.ancestors_at("dangling", "Year") == []
+
+
+class TestFactRows:
+    def coordinates(self, star):
+        seed_time(star)
+        product = star.dimension_data("Product")
+        product.add_member("Product", "p1")
+        store = star.dimension_data("Store")
+        store.add_member("Store", "s1")
+        return {"Time": "day1", "Product": "p1", "Store": "s1"}
+
+    def test_insert_valid(self, star):
+        coords = self.coordinates(star)
+        row = star.insert_fact("Sales", coords,
+                               {"qty": 3, "num_ticket": 77})
+        assert len(star.fact_table("Sales")) == 1
+        assert row.member_keys(
+            star.model.dimension_class("Time").id) == ["day1"]
+
+    def test_missing_coordinate_rejected(self, star):
+        coords = self.coordinates(star)
+        del coords["Store"]
+        with pytest.raises(ModelStructureError, match="missing"):
+            star.insert_fact("Sales", coords, {"qty": 1})
+
+    def test_unknown_member_rejected(self, star):
+        coords = self.coordinates(star)
+        coords["Time"] = "ghost-day"
+        with pytest.raises(ModelReferenceError):
+            star.insert_fact("Sales", coords, {"qty": 1})
+
+    def test_unknown_measure_rejected(self, star):
+        coords = self.coordinates(star)
+        with pytest.raises(KeyError):
+            star.insert_fact("Sales", coords, {"not_a_measure": 1})
+
+    def test_many_to_many_allows_lists(self, star):
+        coords = self.coordinates(star)
+        star.dimension_data("Product").add_member("Product", "p2")
+        coords["Product"] = ["p1", "p2"]
+        row = star.insert_fact("Sales", coords, {"qty": 1})
+        product_id = star.model.dimension_class("Product").id
+        assert row.member_keys(product_id) == ["p1", "p2"]
+
+    def test_list_on_strict_dimension_rejected(self, star):
+        coords = self.coordinates(star)
+        star.dimension_data("Store").add_member("Store", "s2")
+        coords["Store"] = ["s1", "s2"]
+        with pytest.raises(ModelStructureError, match="many-to-many"):
+            star.insert_fact("Sales", coords, {"qty": 1})
+
+    def test_unchecked_insert(self, star):
+        star.insert_fact("Sales", {}, {}, check=False)
+        assert len(star.fact_table("Sales")) == 1
+
+    def test_summary(self, star):
+        coords = self.coordinates(star)
+        star.insert_fact("Sales", coords, {"qty": 1})
+        summary = star.summary()
+        assert summary["fact_rows"] == 1
+        assert summary["members"] == 7

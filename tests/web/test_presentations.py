@@ -1,0 +1,93 @@
+"""Fig. 5: per-fact-class presentations of one model."""
+
+import pytest
+
+from repro.mdm import sales_model, two_facts_model
+from repro.web import (
+    presentation_for,
+    presentations_by_parameter,
+    presentations_by_stylesheet,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return two_facts_model()
+
+
+class TestFig5Filtering:
+    def test_one_page_per_fact_class(self, model):
+        site = presentations_by_parameter(model)
+        html_pages = [n for n in site.pages if n.endswith(".html")]
+        assert len(html_pages) == len(model.facts)
+
+    def test_only_shared_dimensions_shown(self, model):
+        site = presentations_by_parameter(model)
+        sales = model.fact_class("Sales")
+        inventory = model.fact_class("Inventory")
+        sales_page = site.page(f"presentation-{sales.id}.html")
+        inventory_page = site.page(f"presentation-{inventory.id}.html")
+
+        # Sales shares Time/Product/Store; Inventory Time/Product/Warehouse.
+        assert "Store" in sales_page
+        assert "Warehouse" not in sales_page
+        assert "Warehouse" in inventory_page
+        assert "Store" not in inventory_page
+        # Common dimensions appear in both.
+        for page in (sales_page, inventory_page):
+            assert "Time" in page and "Product" in page
+
+    def test_other_fact_not_presented(self, model):
+        site = presentations_by_parameter(model)
+        sales = model.fact_class("Sales")
+        page = site.page(f"presentation-{sales.id}.html")
+        assert "stock_level" not in page  # an Inventory measure
+
+    def test_measures_of_own_fact_shown(self, model):
+        site = presentations_by_parameter(model)
+        sales = model.fact_class("Sales")
+        page = site.page(f"presentation-{sales.id}.html")
+        assert "qty" in page and "amount" in page
+
+
+class TestFootnote8Equivalence:
+    def test_parameter_and_stylesheet_variants_identical(self, model):
+        by_param = presentations_by_parameter(model)
+        by_sheet = presentations_by_stylesheet(model)
+        assert by_param.pages.keys() == by_sheet.pages.keys()
+        for name in by_param.pages:
+            assert by_param.pages[name] == by_sheet.pages[name], name
+
+
+class TestSinglePresentation:
+    def test_by_name_or_id(self):
+        model = sales_model()
+        by_name = presentation_for(model, "Sales")
+        by_id = presentation_for(model, model.facts[0].id)
+        assert by_name == by_id
+
+    def test_additivity_shown_inline(self):
+        model = sales_model()
+        page = presentation_for(model, "Sales")
+        assert "Additivity rules" in page
+        assert "MAX" in page
+
+    def test_unknown_fact_raises(self):
+        from repro.mdm.errors import ModelReferenceError
+
+        with pytest.raises(ModelReferenceError):
+            presentation_for(sales_model(), "Ghost")
+
+    def test_unknown_fact_id_param_yields_error_page(self):
+        # Driving the stylesheet directly with a bad id shows the
+        # stylesheet's own fallback branch.
+        from repro.mdm import model_to_document
+        from repro.web import PRESENTATION_XSL, stylesheet_resolver
+        from repro.xslt import Transformer, compile_stylesheet
+
+        sheet = compile_stylesheet(PRESENTATION_XSL,
+                                   resolver=stylesheet_resolver)
+        result = Transformer(sheet).transform(
+            model_to_document(sales_model()),
+            params={"factclass": "ghost"})
+        assert "Unknown fact class" in result.serialize()

@@ -1,0 +1,156 @@
+"""Site publishing: multi-page (Fig. 6) and single-page variants."""
+
+import pytest
+
+from repro.mdm import sales_model, two_facts_model
+from repro.web import (
+    check_site,
+    publish_multi_page,
+    publish_single_page,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return sales_model()
+
+
+@pytest.fixture(scope="module")
+def multi(model):
+    return publish_multi_page(model)
+
+
+@pytest.fixture(scope="module")
+def single(model):
+    return publish_single_page(model)
+
+
+class TestMultiPageSite(object):
+    def test_page_inventory(self, model, multi):
+        """Page count: index + facts + dims + levels + cubes +
+        additivity popups (the paper: 'the number of pages depends on
+        the number of fact classes and dimension classes')."""
+        facts = len(model.facts)
+        dims = len(model.dimensions)
+        levels = sum(len(d.levels) + len(d.categorization_levels)
+                     for d in model.dimensions)
+        cubes = len(model.cubes)
+        popups = sum(
+            1 for f in model.facts for a in f.attributes if a.additivity)
+        expected = 1 + facts + dims + levels + cubes + popups
+        assert multi.page_count == expected
+
+    def test_index_is_fig_6_1(self, model, multi):
+        index = multi.page("index.html")
+        assert model.name in index
+        assert "Creation date" in index
+        assert "2002-03-01" in index
+        for fact in model.facts:
+            assert f'href="{fact.id}.html"' in index
+        for dim in model.dimensions:
+            assert f'href="{dim.id}.html"' in index
+
+    def test_fact_page_is_fig_6_2(self, model, multi):
+        fact = model.fact_class("Sales")
+        page = multi.page(f"{fact.id}.html")
+        assert "Fact class: Sales" in page
+        for attribute in fact.attributes:
+            assert attribute.name in page
+        assert "Shared aggregations" in page
+        assert "many-to-many" in page  # the Product aggregation
+        # Measures with additivity rules link to the floating page.
+        inventory = fact.attribute("inventory")
+        assert f'href="{inventory.id}-additivity.html"' in page
+
+    def test_additivity_popup_is_fig_6_3(self, model, multi):
+        fact = model.fact_class("Sales")
+        inventory = fact.attribute("inventory")
+        page = multi.page(f"{inventory.id}-additivity.html")
+        assert "Additivity rules" in page
+        assert "MAX" in page and "MIN" in page and "AVG" in page
+        assert "SUM" not in page  # summing inventory is forbidden
+        assert "Time" in page
+
+    def test_dimension_page_is_fig_6_4(self, model, multi):
+        time = model.dimension_class("Time")
+        page = multi.page(f"{time.id}.html")
+        assert "Dimension class: Time" in page
+        assert "(time dimension)" in page
+        assert "Association levels" in page
+        assert "Month" in page and "Week" in page
+        assert "{OID}" in page and "{D}" in page
+
+    def test_level_pages_exist(self, model, multi):
+        month = model.dimension_class("Time").level("Month")
+        page = multi.page(f"{month.id}.html")
+        assert "Classification level: Month" in page
+        assert "non-strict" not in page  # Month→Year is strict
+
+    def test_non_strict_marked(self, model, multi):
+        week = model.dimension_class("Time").level("Week")
+        page = multi.page(f"{week.id}.html")
+        assert "non-strict" in page
+
+    def test_completeness_marked(self, model, multi):
+        time = model.dimension_class("Time")
+        page = multi.page(f"{time.id}.html")
+        assert "{completeness}" in page
+
+    def test_categorization_section(self, model, multi):
+        product = model.dimension_class("Product")
+        page = multi.page(f"{product.id}.html")
+        assert "Categorization levels" in page
+        assert "PerishableProduct" in page
+
+    def test_all_links_resolve(self, multi):
+        report = check_site(multi)
+        assert report.ok, (report.broken_pages, report.broken_anchors)
+        assert report.orphans == []
+        assert report.total_links > 20
+
+    def test_css_shipped(self, multi):
+        assert "gold.css" in multi.pages
+
+    def test_write_to_disk(self, multi, tmp_path):
+        written = multi.write_to(tmp_path)
+        assert len(written) == len(multi.pages)
+        assert (tmp_path / "index.html").exists()
+
+
+class TestSinglePageSite:
+    def test_exactly_one_page(self, single):
+        assert single.page_count == 1
+
+    def test_internal_anchors_resolve(self, single):
+        report = check_site(single)
+        assert report.ok, report.broken_anchors
+
+    def test_same_information_as_multi(self, model, single):
+        page = single.page("index.html")
+        for fact in model.facts:
+            assert fact.name in page
+        for dim in model.dimensions:
+            assert dim.name in page
+        assert "Additivity rules" in page
+
+    def test_contents_table_with_anchors(self, model, single):
+        page = single.page("index.html")
+        fact = model.fact_class("Sales")
+        assert f'href="#{fact.id}"' in page
+        assert f'name="{fact.id}"' in page
+
+
+class TestShowFlags:
+    def test_showatts_false_hides_attribute_tables(self):
+        model = two_facts_model()
+        model.show_attributes = False
+        site = publish_multi_page(model)
+        fact = model.fact_class("Sales")
+        assert "Measures" not in site.page(f"{fact.id}.html")
+
+    def test_showmethods_false_hides_methods(self):
+        model = sales_model()
+        model.show_methods = False
+        site = publish_multi_page(model)
+        store = model.dimension_class("Store")
+        assert "Methods" not in site.page(f"{store.id}.html")

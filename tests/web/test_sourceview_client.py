@@ -1,0 +1,86 @@
+"""Fig. 4 source view and §6 client-side transformation."""
+
+import pytest
+
+from repro.mdm import model_to_document, sales_model, two_facts_model
+from repro.web import (
+    BrowserSimulator,
+    client_bundle,
+    render_source_view,
+    server_side,
+)
+from repro.xml import parse
+
+
+class TestSourceView:
+    @pytest.fixture(scope="class")
+    def view(self):
+        return render_source_view(model_to_document(sales_model()))
+
+    def test_is_html_page(self, view):
+        assert view.startswith("<html>")
+        assert "<style>" in view
+
+    def test_ie_colour_classes(self, view):
+        for css_class in ("tag", "attr-name", "attr-value", "xml-decl"):
+            assert f'class="{css_class}"' in view
+
+    def test_markup_escaped(self, view):
+        # The XML tags must appear as &lt;...&gt;, never as live HTML.
+        assert "&lt;goldmodel" in view
+        assert "<goldmodel" not in view
+
+    def test_attributes_rendered(self, view):
+        assert "creationdate" in view
+        assert "2002-03-01" in view
+
+    def test_collapse_markers_on_parents(self, view):
+        assert '<span class="marker">-</span>' in view
+
+    def test_empty_elements_self_closed(self):
+        view = render_source_view(parse("<a><b/></a>"))
+        assert "/&gt;" in view
+
+    def test_text_and_comments(self):
+        view = render_source_view(parse("<a><!--note-->text</a>"))
+        assert 'class="comment"' in view and "note" in view
+        assert 'class="text"' in view and ">text<" in view
+
+    def test_special_chars_in_values_escaped(self):
+        view = render_source_view(parse('<a x="&lt;b&gt;"/>'))
+        assert "&lt;b&gt;" in view
+
+
+class TestClientSideTransformation:
+    def test_bundle_carries_pi_and_stylesheets(self):
+        bundle = client_bundle(sales_model())
+        assert "<?xml-stylesheet" in bundle.document_xml
+        assert bundle.stylesheet_href == "goldmodel.xsl"
+        assert "goldmodel.xsl" in bundle.stylesheets
+        assert "common.xsl" in bundle.stylesheets
+
+    @pytest.mark.parametrize("factory", [sales_model, two_facts_model])
+    def test_client_equals_server(self, factory):
+        """The §6 migration property: the browser-side transformation
+        produces the same HTML the server would have shipped."""
+        model = factory()
+        assert BrowserSimulator().render(client_bundle(model)) == \
+            server_side(model)
+
+    def test_custom_href(self):
+        bundle = client_bundle(sales_model(), href="custom.xsl")
+        assert bundle.stylesheet_href == "custom.xsl"
+        assert BrowserSimulator().render(bundle)
+
+    def test_missing_stylesheet_detected(self):
+        bundle = client_bundle(sales_model())
+        del bundle.stylesheets["goldmodel.xsl"]
+        with pytest.raises(ValueError, match="missing the stylesheet"):
+            BrowserSimulator().render(bundle)
+
+    def test_document_without_pi_detected(self):
+        bundle = client_bundle(sales_model())
+        bundle.document_xml = bundle.document_xml.replace(
+            "<?xml-stylesheet", "<?other")
+        with pytest.raises(ValueError, match="xml-stylesheet"):
+            BrowserSimulator().render(bundle)

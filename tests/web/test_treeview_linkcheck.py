@@ -1,0 +1,132 @@
+"""Schema tree view (Fig. 2) and link-checker internals."""
+
+from repro.mdm import gold_schema
+from repro.web import (
+    Site,
+    check_site,
+    render_schema_tree,
+    render_schema_tree_html,
+    schema_tree,
+)
+from repro.xsd import SchemaBuilder
+
+
+class TestSchemaTree:
+    def test_root_and_sections(self):
+        tree = render_schema_tree(gold_schema())
+        lines = tree.splitlines()
+        assert lines[0] == "goldmodel"
+        assert any("factclasses" in line for line in lines)
+        assert any("dimclasses" in line for line in lines)
+        assert any("cubeclasses" in line for line in lines)
+
+    def test_multiplicity_annotations(self):
+        tree = render_schema_tree(gold_schema())
+        assert "factclass 0..*" in tree
+        assert "factatts 0..1" in tree
+        assert "factatt 1..*" in tree
+
+    def test_optional_elements_dashed(self):
+        tree = render_schema_tree(gold_schema())
+        # cubeclasses is optional (minOccurs=0): dashed connector.
+        line = next(l for l in tree.splitlines() if "cubeclasses" in l)
+        assert "╌╌" in line
+
+    def test_required_elements_solid(self):
+        tree = render_schema_tree(gold_schema())
+        line = next(l for l in tree.splitlines()
+                    if "dimclasses" in l and "dimclass " not in l)
+        assert "──" in line
+
+    def test_user_defined_types_listed(self):
+        tree = render_schema_tree(gold_schema())
+        assert "*Multiplicity*" in tree
+        assert "enumeration {0, 1, M, 1..M}" in tree
+        assert "*Operator*" in tree
+
+    def test_user_defined_type_marks_attributeless_reference(self):
+        nodes = schema_tree(gold_schema())
+        assert nodes[0].label == "goldmodel"
+
+    def test_html_rendering(self):
+        html = render_schema_tree_html(gold_schema(), title="Fig. 2")
+        assert html.startswith("<html>")
+        assert "goldmodel" in html
+        assert "<ul>" in html
+
+    def test_choice_groups_shown(self):
+        b = SchemaBuilder()
+        root = b.element("r", b.complex_type(content=b.choice(
+            b.element("a"), b.element("b"))))
+        tree = render_schema_tree(b.build(root))
+        assert "(choice)" in tree
+
+    def test_recursive_type_terminates(self):
+        b = SchemaBuilder()
+        ctype = b.complex_type(name="Node")
+        inner = b.element("child", ctype)
+        from repro.xsd.components import ModelGroup, Particle
+
+        ctype.content = Particle(
+            ModelGroup("sequence", [Particle(inner, 0, None)]))
+        root = b.element("tree", ctype)
+        tree = render_schema_tree(b.build(root))
+        assert "(recursive)" in tree
+
+
+class TestLinkChecker:
+    def make_site(self, pages):
+        site = Site()
+        site.pages.update(pages)
+        return site
+
+    def test_clean_site(self):
+        site = self.make_site({
+            "index.html": '<html><body><a href="a.html">a</a></body></html>',
+            "a.html": '<html><body><a href="index.html">back</a>'
+                      "</body></html>",
+        })
+        report = check_site(site)
+        assert report.ok
+        assert report.total_links == 2
+        assert report.orphans == []
+
+    def test_broken_page_detected(self):
+        site = self.make_site({
+            "index.html": '<a href="missing.html">x</a>'})
+        report = check_site(site)
+        assert report.broken_pages == [("index.html", "missing.html")]
+
+    def test_broken_anchor_detected(self):
+        site = self.make_site({
+            "index.html": '<a href="#nowhere">x</a>'})
+        report = check_site(site)
+        assert report.broken_anchors == [("index.html", "#nowhere")]
+
+    def test_anchor_on_other_page(self):
+        site = self.make_site({
+            "index.html": '<a href="a.html#sec">x</a>',
+            "a.html": '<h1 id="sec">s</h1>'})
+        assert check_site(site).ok
+
+    def test_anchor_via_a_name(self):
+        site = self.make_site({
+            "index.html": '<a href="#s">x</a><a name="s"></a>'})
+        assert check_site(site).ok
+
+    def test_orphan_detected(self):
+        site = self.make_site({
+            "index.html": "<p>no links</p>",
+            "lonely.html": "<p>nobody links here</p>"})
+        assert check_site(site).orphans == ["lonely.html"]
+
+    def test_external_links_ignored(self):
+        site = self.make_site({
+            "index.html": '<a href="http://example.com/x">x</a>'})
+        report = check_site(site)
+        assert report.ok and report.total_links == 0
+
+    def test_css_links_ignored(self):
+        site = self.make_site({
+            "index.html": '<link rel="stylesheet" href="gold.css">'})
+        assert check_site(site).ok

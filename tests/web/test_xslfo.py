@@ -1,0 +1,84 @@
+"""XSL-FO export and the paginating renderer (§6 future work)."""
+
+import pytest
+
+from repro.mdm import sales_model, two_facts_model
+from repro.web import FoRenderer, model_to_fo, render_fo_pages
+from repro.web.xslfo import FO_NAMESPACE
+from repro.xml import parse, serialize
+
+
+class TestFoDocument:
+    @pytest.fixture(scope="class")
+    def fo(self):
+        return model_to_fo(sales_model())
+
+    def test_root_in_fo_namespace(self, fo):
+        root = fo.root_element
+        assert root.local_name == "root"
+        assert root.namespace_uri == FO_NAMESPACE
+
+    def test_layout_master_set(self, fo):
+        text = serialize(fo)
+        assert "fo:layout-master-set" in text
+        assert "fo:simple-page-master" in text
+        assert 'page-height="29.7cm"' in text  # A4 pagination (§6)
+
+    def test_flow_content(self, fo):
+        text = serialize(fo)
+        assert "Fact class: Sales" in text
+        assert "Dimension class: Time" in text
+        assert "fo:table" in text
+
+    def test_oid_markers_carried(self, fo):
+        text = serialize(fo)
+        assert "{OID}" in text and "{D}" in text
+
+    def test_page_breaks_between_classes(self, fo):
+        text = serialize(fo)
+        assert text.count('break-before="page"') == \
+            len(sales_model().facts) + len(sales_model().dimensions)
+
+
+class TestFoRenderer:
+    def test_pages_produced(self):
+        pages = render_fo_pages(sales_model())
+        # Title page + one page per fact + per dimension.
+        assert len(pages) == 1 + 1 + 3
+
+    def test_page_numbers_sequential(self):
+        pages = render_fo_pages(sales_model())
+        assert [p.number for p in pages] == list(range(1, len(pages) + 1))
+
+    def test_headings_underlined(self):
+        pages = render_fo_pages(sales_model())
+        first = pages[0].lines
+        assert first[0].startswith("Multidimensional model")
+        assert set(first[1]) == {"="}
+
+    def test_table_alignment(self):
+        pages = render_fo_pages(sales_model())
+        fact_page = next(p for p in pages
+                         if "Fact class: Sales" in p.text())
+        header = next(l for l in fact_page.lines if "measure" in l)
+        row = next(l for l in fact_page.lines if "num_ticket" in l)
+        assert header.index("type") == row.index("Number")
+        assert "{OID}" in row
+
+    def test_width_clipping(self):
+        pages = render_fo_pages(sales_model(), width=30)
+        assert all(len(line) <= 30
+                   for page in pages for line in page.lines)
+
+    def test_overflow_paginates(self):
+        # Force a tiny page so the flow must break mid-content.
+        fo = model_to_fo(two_facts_model())
+        text = serialize(fo).replace('page-height="29.7cm"',
+                                     'page-height="3cm"')
+        pages = FoRenderer().render(parse(text))
+        assert len(pages) > 6
+        assert all(len(p.lines) <= 6 for p in pages)
+
+    def test_rejects_non_fo_document(self):
+        with pytest.raises(ValueError, match="fo:root"):
+            FoRenderer().render(parse("<html/>"))

@@ -1,0 +1,77 @@
+"""clone_node deep copies."""
+
+import pytest
+
+from repro.xml import parse, serialize
+from repro.xml.dom import (
+    Attribute,
+    Comment,
+    NamespaceNode,
+    ProcessingInstruction,
+    Text,
+    clone_node,
+)
+from repro.xml.errors import DOMError
+
+
+class TestCloneDocument:
+    def test_serialization_identical(self):
+        doc = parse('<!DOCTYPE a SYSTEM "a.dtd">'
+                    '<a x="1" xmlns:p="urn:p"><!--c--><p:b>t</p:b>'
+                    "<![CDATA[raw]]><?pi d?></a>")
+        clone = clone_node(doc)
+        assert serialize(clone) == serialize(doc)
+
+    def test_clone_is_independent(self):
+        doc = parse('<a><b x="1"/></a>')
+        clone = clone_node(doc)
+        clone.root_element.find("b").set_attribute("x", "changed")
+        assert doc.root_element.find("b").get_attribute("x") == "1"
+
+    def test_structure_not_shared(self):
+        doc = parse("<a><b/></a>")
+        clone = clone_node(doc)
+        assert clone.root_element is not doc.root_element
+        assert clone.root_element.find("b") is not \
+            doc.root_element.find("b")
+
+    def test_doctype_carried(self):
+        doc = parse('<!DOCTYPE a PUBLIC "-//P" "s.dtd"><a/>')
+        clone = clone_node(doc)
+        assert clone.doctype_public == "-//P"
+        assert clone.doctype_system == "s.dtd"
+
+
+class TestCloneNodes:
+    def test_clone_element_preserves_flags(self):
+        doc = parse('<a id="x"/>')
+        attr = doc.root_element.get_attribute_node("id")
+        attr.is_id = True
+        attr.specified = False
+        clone = clone_node(doc.root_element)
+        cloned_attr = clone.get_attribute_node("id")
+        assert cloned_attr.is_id and not cloned_attr.specified
+
+    def test_clone_text_cdata_flag(self):
+        text = Text("data", is_cdata=True)
+        assert clone_node(text).is_cdata
+
+    def test_clone_comment_and_pi(self):
+        assert clone_node(Comment("c")).data == "c"
+        pi = clone_node(ProcessingInstruction("t", "d"))
+        assert (pi.target, pi.data) == ("t", "d")
+
+    def test_clone_attribute(self):
+        clone = clone_node(Attribute("a", "v"))
+        assert (clone.name, clone.value) == ("a", "v")
+
+    def test_clone_detached(self):
+        doc = parse("<a><b/></a>")
+        clone = clone_node(doc.root_element.find("b"))
+        assert clone.parent is None
+
+    def test_namespace_node_not_cloneable(self):
+        doc = parse('<a xmlns:p="urn:p"/>')
+        node = NamespaceNode("p", "urn:p", doc.root_element)
+        with pytest.raises(DOMError):
+            clone_node(node)

@@ -1,0 +1,106 @@
+"""The Scanner primitive and the escaping helpers."""
+
+import pytest
+
+from repro.xml.errors import XMLSyntaxError
+from repro.xml.escaping import (
+    escape_attribute,
+    escape_text,
+    resolve_char_ref,
+    resolve_entity,
+)
+from repro.xml.lexer import Scanner
+
+
+class TestScannerPositions:
+    def test_location_tracks_lines(self):
+        scanner = Scanner("ab\ncd\nef")
+        assert scanner.location(0) == (1, 1)
+        assert scanner.location(3) == (2, 1)
+        assert scanner.location(7) == (3, 2)
+
+    def test_error_includes_position(self):
+        scanner = Scanner("x\ny")
+        scanner.advance(2)
+        error = scanner.error("boom")
+        assert error.line == 2 and error.column == 1
+
+    def test_empty_input(self):
+        scanner = Scanner("")
+        assert scanner.at_end
+        assert scanner.location() == (1, 1)
+
+
+class TestScannerPrimitives:
+    def test_match_consumes_only_on_success(self):
+        scanner = Scanner("abc")
+        assert not scanner.match("abd")
+        assert scanner.pos == 0
+        assert scanner.match("ab")
+        assert scanner.pos == 2
+
+    def test_expect_raises_with_context(self):
+        scanner = Scanner("xyz")
+        with pytest.raises(XMLSyntaxError, match="the thing"):
+            scanner.expect("abc", "the thing")
+
+    def test_skip_space_returns_whether_any(self):
+        scanner = Scanner("  a")
+        assert scanner.skip_space()
+        assert not scanner.skip_space()
+        assert scanner.peek() == "a"
+
+    def test_require_space(self):
+        scanner = Scanner("ab")
+        with pytest.raises(XMLSyntaxError, match="white space"):
+            scanner.require_space("here")
+
+    def test_read_name(self):
+        scanner = Scanner("name-x rest")
+        assert scanner.read_name() == "name-x"
+        with pytest.raises(XMLSyntaxError):
+            Scanner("1bad").read_name()
+
+    def test_read_until(self):
+        scanner = Scanner("before|after")
+        assert scanner.read_until("|", "thing") == "before"
+        assert scanner.text[scanner.pos:] == "after"
+        with pytest.raises(XMLSyntaxError, match="unterminated"):
+            Scanner("no-end").read_until("|", "thing")
+
+    def test_read_quoted_both_quotes(self):
+        assert Scanner('"v"').read_quoted("x") == "v"
+        assert Scanner("'v'").read_quoted("x") == "v"
+        with pytest.raises(XMLSyntaxError):
+            Scanner("v").read_quoted("x")
+
+
+class TestEscaping:
+    def test_text_escapes_all_three(self):
+        assert escape_text("<a> & </a>") == "&lt;a&gt; &amp; &lt;/a&gt;"
+
+    def test_attribute_escapes_quotes_and_whitespace(self):
+        assert escape_attribute('a"b') == "a&quot;b"
+        assert escape_attribute("a'b", quote="'") == "a&apos;b"
+        assert escape_attribute("a\tb\nc") == "a&#9;b&#10;c"
+
+    def test_resolve_predefined(self):
+        assert resolve_entity("amp") == "&"
+        assert resolve_entity("lt") == "<"
+        with pytest.raises(XMLSyntaxError):
+            resolve_entity("nbsp")
+
+    def test_char_refs(self):
+        assert resolve_char_ref("#65") == "A"
+        assert resolve_char_ref("#x41") == "A"
+        assert resolve_char_ref("#x1F600") == "😀"
+
+    @pytest.mark.parametrize("body", ["#", "#x", "#xgg", "#-1", "zz",
+                                      "#1114112"])
+    def test_bad_char_refs(self, body):
+        with pytest.raises(XMLSyntaxError):
+            resolve_char_ref(body)
+
+    def test_illegal_xml_char_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="not a legal"):
+            resolve_char_ref("#0")

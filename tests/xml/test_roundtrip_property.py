@@ -1,0 +1,107 @@
+"""Property-based round-trip tests for the XML substrate.
+
+Invariants:
+
+* serialize(parse(serialize(tree))) == serialize(tree)  (fixpoint)
+* parsing the serialization reproduces structure and content
+* escaping never loses information
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xml import Document, Element, Text, parse, serialize
+from repro.xml.escaping import escape_attribute, escape_text
+
+# Names/text kept to printable ASCII so failures are readable; the char
+# classes themselves are covered in test_chars.
+_names = st.from_regex(r"[a-z][a-z0-9_-]{0,8}", fullmatch=True)
+_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " <>&\"'\t\n",
+    max_size=40)
+_attr_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " <>&\"'",
+    max_size=20)
+
+
+@st.composite
+def elements(draw, depth: int = 0) -> Element:
+    element = Element(draw(_names))
+    for name in draw(st.lists(_names, max_size=3, unique=True)):
+        element.set_attribute(name, draw(_attr_values))
+    if depth < 3:
+        for child in draw(st.lists(
+                st.one_of(
+                    st.builds(Text, _text.filter(lambda t: t.strip())),
+                    elements(depth=depth + 1)),
+                max_size=3)):
+            element.append_child(child)
+    return element
+
+
+@st.composite
+def documents(draw) -> Document:
+    document = Document()
+    document.append_child(draw(elements()))
+    return document
+
+
+@given(documents())
+@settings(max_examples=150, deadline=None)
+def test_serialize_parse_fixpoint(document):
+    once = serialize(document)
+    twice = serialize(parse(once))
+    assert once == twice
+
+
+@given(documents())
+@settings(max_examples=100, deadline=None)
+def test_structure_survives_roundtrip(document):
+    reparsed = parse(serialize(document))
+
+    def shape(element):
+        # Adjacent text nodes legitimately merge when reparsed, so the
+        # canonical shape coalesces them before comparing.
+        children = []
+        for child in element.children:
+            if isinstance(child, Element):
+                children.append(shape(child))
+            elif children and isinstance(children[-1], tuple) and \
+                    children[-1][0] == "#text":
+                children[-1] = ("#text", children[-1][1] + child.data)
+            else:
+                children.append(("#text", child.data))
+        return (
+            element.name,
+            [(a.name, a.value) for a in element.attributes],
+            children,
+        )
+
+    assert shape(reparsed.root_element) == shape(document.root_element)
+
+
+@given(_text)
+@settings(max_examples=200, deadline=None)
+def test_escaped_text_roundtrips(text):
+    document = parse(f"<a>{escape_text(text)}</a>")
+    assert document.root_element.text_content() == text
+
+
+@given(_attr_values)
+@settings(max_examples=200, deadline=None)
+def test_escaped_attribute_roundtrips(value):
+    document = parse(f'<a x="{escape_attribute(value)}"/>')
+    assert document.root_element.get_attribute("x") == value
+
+
+@given(st.text(alphabet=string.printable, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_parser_never_crashes_on_garbage(garbage):
+    # Any input must either parse or raise one of the declared XML errors.
+    from repro.xml import XMLError
+
+    try:
+        parse(garbage)
+    except XMLError:
+        pass

@@ -1,0 +1,129 @@
+"""Serialization: compact, pretty, and HTML output methods."""
+
+from repro.xml import (
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+    parse,
+    pretty_print,
+    serialize,
+    serialize_html,
+)
+
+
+class TestXmlSerialization:
+    def test_roundtrip_simple(self):
+        text = '<a x="1"><b>hi</b><c/></a>'
+        doc = parse(text)
+        assert serialize(doc, xml_declaration=False) == text
+
+    def test_escaping_in_text(self):
+        doc = Document()
+        root = doc.append_child(Element("a"))
+        root.append_child(Text("a < b & c > d"))
+        out = serialize(doc, xml_declaration=False)
+        assert out == "<a>a &lt; b &amp; c &gt; d</a>"
+
+    def test_escaping_in_attribute(self):
+        doc = Document()
+        root = doc.append_child(Element("a"))
+        root.set_attribute("x", 'he said "hi" & left\n')
+        out = serialize(doc, xml_declaration=False)
+        assert "&quot;hi&quot;" in out
+        assert "&amp;" in out
+        assert "&#10;" in out
+
+    def test_xml_declaration_default(self):
+        doc = parse("<a/>")
+        assert serialize(doc).startswith('<?xml version="1.0"')
+
+    def test_standalone_preserved(self):
+        doc = parse('<?xml version="1.0" standalone="yes"?><a/>')
+        assert 'standalone="yes"' in serialize(doc)
+
+    def test_doctype_roundtrip(self):
+        doc = parse('<!DOCTYPE a SYSTEM "a.dtd"><a/>')
+        assert '<!DOCTYPE a SYSTEM "a.dtd">' in serialize(doc)
+
+    def test_cdata_preserved(self):
+        doc = parse("<a><![CDATA[x < y]]></a>")
+        assert "<![CDATA[x < y]]>" in serialize(doc)
+
+    def test_comment_and_pi(self):
+        doc = parse("<a><!--c--><?t d?></a>")
+        out = serialize(doc, xml_declaration=False)
+        assert out == "<a><!--c--><?t d?></a>"
+
+    def test_programmatic_namespace_declared(self):
+        doc = Document()
+        root = doc.append_child(Element("p:a"))
+        root.declare_namespace("p", "urn:x")
+        out = serialize(doc, xml_declaration=False)
+        assert 'xmlns:p="urn:x"' in out
+
+    def test_parse_serialize_fixpoint(self):
+        text = serialize(parse('<a><b x="1"/>text<c/></a>'))
+        assert serialize(parse(text)) == text
+
+
+class TestPrettyPrint:
+    def test_structure_indented(self):
+        doc = parse("<a><b><c/></b></a>")
+        out = pretty_print(doc, xml_declaration=False)
+        assert out == "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n"
+
+    def test_mixed_content_not_reformatted(self):
+        doc = parse("<a><b>keep <i>this</i> intact</b></a>")
+        out = pretty_print(doc, xml_declaration=False)
+        assert "keep <i>this</i> intact" in out
+
+    def test_whitespace_only_text_dropped(self):
+        doc = parse("<a>\n  <b/>\n</a>")
+        out = pretty_print(doc, xml_declaration=False)
+        assert out == "<a>\n  <b/>\n</a>\n"
+
+    def test_custom_indent(self):
+        doc = parse("<a><b/></a>")
+        out = pretty_print(doc, indent="    ", xml_declaration=False)
+        assert "    <b/>" in out
+
+    def test_text_only_element_inline(self):
+        doc = parse("<a><b>text</b></a>")
+        out = pretty_print(doc, xml_declaration=False)
+        assert "<b>text</b>" in out
+
+
+class TestHtmlSerialization:
+    def test_void_elements_unclosed(self):
+        doc = parse('<html><body><br/><hr/><img src="x"/></body></html>')
+        out = serialize_html(doc)
+        assert "<br>" in out and "<br/>" not in out and "</br>" not in out
+        assert '<img src="x">' in out
+
+    def test_doctype_prefix(self):
+        doc = parse("<html/>")
+        out = serialize_html(doc, doctype="<!DOCTYPE html>")
+        assert out.startswith("<!DOCTYPE html>\n")
+
+    def test_boolean_attribute_minimized(self):
+        doc = parse('<input checked="checked"/>')
+        assert "<input checked>" in serialize_html(doc)
+
+    def test_script_content_not_escaped(self):
+        doc = Document()
+        script = doc.append_child(Element("script"))
+        script.append_child(Text("if (a < b && c > d) {}"))
+        out = serialize_html(doc)
+        assert "a < b && c > d" in out
+
+    def test_normal_text_escaped(self):
+        doc = Document()
+        p = doc.append_child(Element("p"))
+        p.append_child(Text("a < b"))
+        assert "a &lt; b" in serialize_html(doc)
+
+    def test_empty_non_void_gets_end_tag(self):
+        doc = parse("<div/>")
+        assert serialize_html(doc) == "<div></div>"

@@ -1,0 +1,83 @@
+"""Axis semantics, including the rarely-exercised ones."""
+
+from repro.xml import parse
+from repro.xpath import evaluate
+
+DOC = parse(
+    '<root xmlns:a="urn:a">'
+    '<x id="1"><y id="2"/><y id="3"/></x>'
+    '<x id="4" attr="v"><z id="5" xmlns:b="urn:b"/></x>'
+    "</root>")
+
+
+def ids(nodes):
+    return [n.get_attribute("id") for n in nodes]
+
+
+class TestNamespaceAxis:
+    def test_in_scope_bindings(self):
+        result = evaluate("//z/namespace::*", DOC)
+        names = sorted(n.prefix_name for n in result)
+        # xml is always in scope; a inherited; b local.
+        assert names == ["a", "b", "xml"]
+
+    def test_namespace_string_value_is_uri(self):
+        result = evaluate("//z/namespace::b", DOC)
+        assert [n.string_value() for n in result] == ["urn:b"]
+
+    def test_namespace_name_test(self):
+        result = evaluate("//x[1]/namespace::*", DOC)
+        assert sorted(n.prefix_name for n in result) == ["a", "xml"]
+
+
+class TestAttributeContext:
+    def test_parent_of_attribute(self):
+        result = evaluate("//x[2]/@attr/..", DOC)
+        assert ids(result) == ["4"]
+
+    def test_ancestors_of_attribute(self):
+        result = evaluate("//x[2]/@attr/ancestor::*", DOC)
+        assert [n.name for n in result] == ["root", "x"]
+
+    def test_following_from_attribute(self):
+        # following from @attr yields x's descendants and what follows.
+        result = evaluate("//x[2]/@attr/following::z", DOC)
+        assert ids(result) == ["5"]
+
+    def test_attribute_has_no_children(self):
+        assert evaluate("//x[2]/@attr/*", DOC) == []
+
+    def test_attribute_has_no_siblings(self):
+        assert evaluate("//x[2]/@attr/following-sibling::node()",
+                        DOC) == []
+
+
+class TestOrderingAxes:
+    def test_preceding_excludes_ancestors(self):
+        result = evaluate("//y[@id='3']/preceding::*", DOC)
+        assert ids(result) == ["2"]  # not x or root
+
+    def test_following_excludes_descendants(self):
+        result = evaluate("//x[1]/following::*", DOC)
+        assert ids(result) == ["4", "5"]
+
+    def test_ancestor_or_self(self):
+        result = evaluate("//y[1]/ancestor-or-self::*", DOC)
+        assert [n.name for n in result] == ["root", "x", "y"]
+
+    def test_descendant_or_self(self):
+        result = evaluate("//x[1]/descendant-or-self::*", DOC)
+        assert ids(result) == ["1", "2", "3"]
+
+    def test_self_with_name_filter(self):
+        assert ids(evaluate("//x[1]/self::x", DOC)) == ["1"]
+        assert evaluate("//x[1]/self::y", DOC) == []
+
+
+class TestDocumentRootNavigation:
+    def test_parent_of_root_element_is_document(self):
+        result = evaluate("/root/..", DOC)
+        assert result == [DOC]
+
+    def test_document_has_no_parent(self):
+        assert evaluate("/..", DOC) == []

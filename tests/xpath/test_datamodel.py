@@ -1,0 +1,96 @@
+"""Value conversions of XPath §4: boolean/number/string rules."""
+
+import math
+
+import pytest
+
+from repro.xml import parse
+from repro.xpath.datamodel import (
+    number_to_string,
+    to_boolean,
+    to_number,
+    to_string,
+)
+from repro.xpath.errors import XPathTypeError
+
+
+class TestToBoolean:
+    def test_numbers(self):
+        assert to_boolean(1.0) is True
+        assert to_boolean(-0.5) is True
+        assert to_boolean(0.0) is False
+        assert to_boolean(math.nan) is False
+        assert to_boolean(math.inf) is True
+
+    def test_strings(self):
+        assert to_boolean("") is False
+        assert to_boolean("false") is True  # non-empty ⇒ true!
+
+    def test_node_sets(self):
+        assert to_boolean([]) is False
+        doc = parse("<a/>")
+        assert to_boolean([doc.root_element]) is True
+
+    def test_booleans_pass_through(self):
+        assert to_boolean(True) is True
+
+    def test_bad_type(self):
+        with pytest.raises(XPathTypeError):
+            to_boolean(object())
+
+
+class TestToNumber:
+    def test_strings(self):
+        assert to_number("12") == 12.0
+        assert to_number("  -3.5 ") == -3.5
+        assert math.isnan(to_number(""))
+        assert math.isnan(to_number("12x"))
+
+    def test_booleans(self):
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+
+    def test_node_set_via_string_value(self):
+        doc = parse("<a>42</a>")
+        assert to_number([doc.root_element]) == 42.0
+
+    def test_empty_node_set_is_nan(self):
+        assert math.isnan(to_number([]))
+
+
+class TestToString:
+    def test_numbers(self):
+        assert to_string(2.0) == "2"
+        assert to_string(-0.0) == "0"
+        assert to_string(2.5) == "2.5"
+        assert to_string(math.nan) == "NaN"
+        assert to_string(math.inf) == "Infinity"
+        assert to_string(-math.inf) == "-Infinity"
+
+    def test_booleans(self):
+        assert to_string(True) == "true"
+        assert to_string(False) == "false"
+
+    def test_node_set_uses_first_in_document_order(self):
+        doc = parse("<a><b>one</b><c>two</c></a>")
+        b = doc.root_element.find("b")
+        c = doc.root_element.find("c")
+        assert to_string([c, b]) == "one"
+
+    def test_empty_node_set(self):
+        assert to_string([]) == ""
+
+
+class TestNumberToString:
+    @pytest.mark.parametrize("value,text", [
+        (0.0, "0"), (1.0, "1"), (-1.0, "-1"), (1.5, "1.5"),
+        (100000.0, "100000"), (0.5, "0.5"), (-2.25, "-2.25"),
+    ])
+    def test_formats(self, value, text):
+        assert number_to_string(value) == text
+
+    def test_large_integer_not_exponential(self):
+        assert "e" not in number_to_string(1e15).lower()
+
+    def test_small_fraction_not_exponential(self):
+        assert "e" not in number_to_string(0.0001).lower()

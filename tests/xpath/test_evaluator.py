@@ -1,0 +1,220 @@
+"""XPath evaluation: paths, predicates, operators, and conversions."""
+
+import math
+
+import pytest
+
+from repro.xml import parse
+from repro.xpath import (
+    XPathNameError,
+    XPathSyntaxError,
+    evaluate,
+)
+
+DOC = parse("""
+<library xmlns:cat="urn:catalog">
+  <shelf id="s1" floor="1">
+    <book id="b1" year="1996" pages="300"><title>Kimball</title></book>
+    <book id="b2" year="2000" pages="150"><title>Giovinazzo</title></book>
+  </shelf>
+  <shelf id="s2" floor="2">
+    <book id="b3" year="2002"><title>LNCS 2490</title></book>
+    <cat:book id="b4"/>
+  </shelf>
+  <empty/>
+</library>
+""")
+
+
+def ev(expression, node=DOC, **kwargs):
+    return evaluate(expression, node, **kwargs)
+
+
+def names(nodes):
+    return [n.get_attribute("id") for n in nodes]
+
+
+class TestLocationPaths:
+    def test_absolute_child_path(self):
+        assert names(ev("/library/shelf")) == ["s1", "s2"]
+
+    def test_descendant_or_self_shortcut(self):
+        assert names(ev("//book")) == ["b1", "b2", "b3"]
+
+    def test_wildcard(self):
+        assert len(ev("/library/*")) == 3
+
+    def test_attribute_axis(self):
+        assert ev("string(//book[1]/@year)") == "1996"
+
+    def test_attribute_wildcard(self):
+        assert len(ev("//shelf[1]/@*")) == 2
+
+    def test_parent_step(self):
+        assert names(ev("//book[@id='b3']/..")) == ["s2"]
+
+    def test_self_step(self):
+        assert names(ev("//shelf[2]/.")) == ["s2"]
+
+    def test_ancestor_axis(self):
+        result = ev("//book[@id='b1']/ancestor::*")
+        assert [n.name for n in result] == ["library", "shelf"]
+
+    def test_following_sibling(self):
+        assert names(ev("//shelf[1]/following-sibling::shelf")) == ["s2"]
+
+    def test_preceding_sibling(self):
+        assert names(ev("//shelf[2]/preceding-sibling::shelf")) == ["s1"]
+
+    def test_following_axis(self):
+        result = ev("//book[@id='b2']/following::book")
+        assert names(result) == ["b3"]
+
+    def test_preceding_axis(self):
+        result = ev("//book[@id='b3']/preceding::book")
+        assert names(result) == ["b1", "b2"]
+
+    def test_descendant_axis_explicit(self):
+        assert names(ev("/library/descendant::book")) == ["b1", "b2", "b3"]
+
+    def test_root_path(self):
+        result = ev("/", node=DOC.root_element)
+        assert result == [DOC]
+
+    def test_results_in_document_order(self):
+        result = ev("//book[@id='b3'] | //book[@id='b1']")
+        assert names(result) == ["b1", "b3"]
+
+    def test_namespace_prefixed_name_test(self):
+        result = ev("//cat:book", namespaces={"cat": "urn:catalog"})
+        assert names(result) == ["b4"]
+
+    def test_unprefixed_test_ignores_namespaced(self):
+        # b4 is in urn:catalog; the unprefixed test must not match it.
+        assert names(ev("//book")) == ["b1", "b2", "b3"]
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(XPathNameError):
+            ev("//nope:book")
+
+
+class TestPredicates:
+    def test_positional(self):
+        assert names(ev("//book[1]")) == ["b1", "b3"]
+
+    def test_last(self):
+        assert names(ev("/library/shelf[last()]")) == ["s2"]
+
+    def test_position_function(self):
+        assert names(ev("//book[position() = 2]")) == ["b2"]
+
+    def test_attribute_equality(self):
+        assert names(ev("//book[@year='2000']")) == ["b2"]
+
+    def test_numeric_comparison(self):
+        assert names(ev("//book[@year > 1999]")) == ["b2", "b3"]
+
+    def test_existence(self):
+        assert names(ev("//book[@pages]")) == ["b1", "b2"]
+
+    def test_nested_predicates(self):
+        assert names(ev("//shelf[book[@year=2002]]")) == ["s2"]
+
+    def test_chained_predicates(self):
+        assert names(ev("//book[@pages][2]")) == ["b2"]
+
+    def test_positional_on_reverse_axis(self):
+        # ancestor::*[1] is the nearest ancestor.
+        result = ev("//book[@id='b1']/ancestor::*[1]")
+        assert [n.name for n in result] == ["shelf"]
+
+    def test_filter_expression_predicate(self):
+        result = ev("(//book)[2]")
+        assert names(result) == ["b2"]
+
+
+class TestOperators:
+    def test_arithmetic(self):
+        assert ev("1 + 2 * 3") == 7.0
+        assert ev("(1 + 2) * 3") == 9.0
+        assert ev("7 mod 3") == 1.0
+        assert ev("7 div 2") == 3.5
+        assert ev("-3 + 1") == -2.0
+
+    def test_division_by_zero(self):
+        assert ev("1 div 0") == math.inf
+        assert ev("-1 div 0") == -math.inf
+        assert math.isnan(ev("0 div 0"))
+
+    def test_mod_sign_follows_dividend(self):
+        assert ev("5 mod -2") == 1.0
+        assert ev("-5 mod 2") == -1.0
+
+    def test_boolean_operators(self):
+        assert ev("true() and false()") is False
+        assert ev("true() or false()") is True
+        assert ev("not(false())") is True
+
+    def test_equality_string_number(self):
+        assert ev("'1' = 1") is True
+        assert ev("1 != 2") is True
+
+    def test_boolean_comparison_priority(self):
+        assert ev("1 = true()") is True
+        assert ev("0 = false()") is True
+
+    def test_nodeset_equals_string(self):
+        assert ev("//title = 'Kimball'") is True
+        assert ev("//title = 'Inmon'") is False
+
+    def test_nodeset_not_equals_exists_semantics(self):
+        # != is true when ANY node differs — both can hold at once.
+        assert ev("//title != 'Kimball'") is True
+
+    def test_empty_nodeset_comparisons(self):
+        assert ev("//missing = 'x'") is False
+        assert ev("//missing != 'x'") is False
+
+    def test_nodeset_vs_nodeset(self):
+        assert ev("//book/@year = //shelf/@floor") is False
+
+    def test_relational_on_nodesets(self):
+        assert ev("//book/@year > 2001") is True
+        assert ev("//book/@year > 2002") is False
+
+    def test_union(self):
+        assert len(ev("//book | //shelf")) == 5
+
+    def test_union_requires_nodesets(self):
+        from repro.xpath import XPathTypeError
+
+        with pytest.raises(XPathTypeError):
+            ev("1 | 2")
+
+
+class TestVariables:
+    def test_variable_reference(self):
+        assert ev("$x + 1", variables={"x": 2.0}) == 3.0
+
+    def test_variable_nodeset(self):
+        shelves = ev("//shelf")
+        result = ev("$s[2]", variables={"s": shelves})
+        assert names(result) == ["s2"]
+
+    def test_variable_in_path(self):
+        shelves = ev("//shelf")
+        result = ev("$s/book[1]", variables={"s": shelves})
+        assert names(result) == ["b1", "b3"]
+
+    def test_undefined_variable(self):
+        with pytest.raises(XPathNameError):
+            ev("$missing")
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "a/", "//", "a[", "a]", "f(", "1 +", "@", "::a", "a b",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            ev(bad)

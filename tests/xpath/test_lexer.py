@@ -1,0 +1,102 @@
+"""XPath tokenizer, including the §3.7 disambiguation rules."""
+
+import pytest
+
+from repro.xpath.errors import XPathSyntaxError
+from repro.xpath.lexer import tokenize
+
+
+def kinds(expression):
+    return [(t.kind, t.value) for t in tokenize(expression)[:-1]]
+
+
+class TestBasicTokens:
+    def test_path(self):
+        assert kinds("a/b") == [("name", "a"), ("/", "/"), ("name", "b")]
+
+    def test_double_slash(self):
+        assert kinds("//a")[0] == ("//", "//")
+
+    def test_attribute(self):
+        assert kinds("@id") == [("@", "@"), ("name", "id")]
+
+    def test_number(self):
+        assert kinds("3.14") == [("number", "3.14")]
+
+    def test_leading_dot_number(self):
+        assert kinds(".5") == [("number", ".5")]
+
+    def test_dot_and_dotdot(self):
+        assert kinds(".") == [(".", ".")]
+        assert kinds("..") == [("..", "..")]
+
+    def test_string_literals(self):
+        assert kinds("'it'") == [("literal", "it")]
+        assert kinds('"it"') == [("literal", "it")]
+
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'oops")
+
+    def test_variable(self):
+        assert kinds("$x") == [("variable", "x")]
+        assert kinds("$ns:x") == [("variable", "ns:x")]
+
+    def test_variable_requires_name(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("$ ")
+
+    def test_qname(self):
+        assert kinds("xsd:element") == [("name", "xsd:element")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a # b")
+
+
+class TestDisambiguation:
+    def test_star_as_wildcard_at_start(self):
+        assert kinds("*")[0] == ("wildcard", "*")
+
+    def test_star_as_operator_after_operand(self):
+        tokens = kinds("2 * 3")
+        assert tokens[1] == ("operator", "*")
+
+    def test_star_as_wildcard_after_slash(self):
+        tokens = kinds("a/*")
+        assert tokens[2] == ("wildcard", "*")
+
+    def test_prefixed_wildcard(self):
+        assert kinds("xsd:*") == [("wildcard", "xsd:*")]
+
+    def test_and_as_operator(self):
+        tokens = kinds("a and b")
+        assert tokens[1] == ("operator", "and")
+
+    def test_and_as_name_at_start(self):
+        assert kinds("and")[0] == ("name", "and")
+
+    def test_div_mod(self):
+        assert kinds("4 div 2")[1] == ("operator", "div")
+        assert kinds("4 mod 2")[1] == ("operator", "mod")
+
+    def test_div_as_element_name(self):
+        assert kinds("div/p")[0] == ("name", "div")
+
+    def test_function_vs_nodetype(self):
+        assert kinds("count(x)")[0] == ("function", "count")
+        assert kinds("text()")[0] == ("nodetype", "text")
+        assert kinds("node()")[0] == ("nodetype", "node")
+
+    def test_axis_name(self):
+        tokens = kinds("ancestor::a")
+        assert tokens[0] == ("axis", "ancestor")
+        assert tokens[1] == ("::", "::")
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(XPathSyntaxError, match="unknown axis"):
+            tokenize("sideways::a")
+
+    def test_operators(self):
+        values = [v for k, v in kinds("a != b <= c >= d < e > f = g")]
+        assert "!=" in values and "<=" in values and ">=" in values

@@ -1,0 +1,110 @@
+"""Property-based tests of XPath invariants."""
+
+import math
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xml import Document, Element, parse
+from repro.xpath import evaluate
+from repro.xpath.datamodel import number_to_string, to_number
+
+
+@st.composite
+def trees(draw):
+    """A small random document with 'n' elements carrying @v numbers."""
+    document = Document()
+    root = document.append_child(Element("root"))
+    count = draw(st.integers(min_value=0, max_value=12))
+    values = draw(st.lists(
+        st.integers(min_value=-100, max_value=100),
+        min_size=count, max_size=count))
+    parent = root
+    for index, value in enumerate(values):
+        node = Element("n")
+        node.set_attribute("v", str(value))
+        parent.append_child(node)
+        if draw(st.booleans()):
+            parent = node  # grow depth sometimes
+    return document, values
+
+
+@given(trees())
+@settings(max_examples=100, deadline=None)
+def test_count_matches_construction(data):
+    document, values = data
+    assert evaluate("count(//n)", document) == float(len(values))
+
+
+@given(trees())
+@settings(max_examples=100, deadline=None)
+def test_sum_matches_construction(data):
+    document, values = data
+    assert evaluate("sum(//n/@v)", document) == float(sum(values))
+
+
+@given(trees())
+@settings(max_examples=100, deadline=None)
+def test_union_is_idempotent(data):
+    document, _ = data
+    once = evaluate("//n", document)
+    union = evaluate("//n | //n", document)
+    assert union == once
+
+
+@given(trees())
+@settings(max_examples=100, deadline=None)
+def test_predicate_partition(data):
+    """Nodes with @v >= 0 plus nodes with @v < 0 cover all nodes."""
+    document, values = data
+    non_negative = evaluate("count(//n[@v >= 0])", document)
+    negative = evaluate("count(//n[@v < 0])", document)
+    assert non_negative + negative == float(len(values))
+
+
+@given(trees())
+@settings(max_examples=60, deadline=None)
+def test_document_order_of_descendants(data):
+    document, _ = data
+    nodes = evaluate("//n", document)
+    keys = [node.document_order_key() for node in nodes]
+    assert keys == sorted(keys)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False,
+                 min_value=-1e12, max_value=1e12))
+@settings(max_examples=300, deadline=None)
+def test_number_string_roundtrip(value):
+    """number(string(n)) == n for finite numbers."""
+    assert to_number(number_to_string(value)) == value
+
+
+@given(st.text(alphabet=string.ascii_letters + " ", max_size=30),
+       st.text(alphabet=string.ascii_letters, min_size=1, max_size=5))
+@settings(max_examples=200, deadline=None)
+def test_substring_before_after_partition(haystack, needle):
+    document = parse("<a/>")
+    before = evaluate(f"substring-before('{haystack}', '{needle}')",
+                      document)
+    after = evaluate(f"substring-after('{haystack}', '{needle}')", document)
+    if needle in haystack:
+        assert before + needle + after == haystack
+    else:
+        assert before == "" and after == ""
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_positional_predicates_partition(values):
+    document = Document()
+    root = document.append_child(Element("r"))
+    for value in values:
+        child = Element("x")
+        child.set_attribute("v", str(value))
+        root.append_child(child)
+    first = evaluate("/r/x[1]", document)
+    rest = evaluate("/r/x[position() > 1]", document)
+    assert len(first) == 1
+    assert len(rest) == len(values) - 1
+    assert first[0] is root.children[0]

@@ -1,0 +1,191 @@
+"""Content-model automata: sequences, choices, occurrences, xsd:all."""
+
+import pytest
+
+from repro.xml import parse
+from repro.xsd import SchemaError
+from repro.xsd.components import (
+    AnyWildcard,
+    ElementDecl,
+    ModelGroup,
+    Particle,
+)
+from repro.xsd.content import MAX_UNROLL, compile_content
+
+
+def children_of(xml):
+    doc = parse(xml)
+    return [c for c in doc.root_element.children if c.kind == "element"]
+
+
+def seq(*parts):
+    return Particle(ModelGroup("sequence", list(parts)))
+
+
+def cho(*parts):
+    return Particle(ModelGroup("choice", list(parts)))
+
+
+def el(name, low=1, high=1):
+    return Particle(ElementDecl(name), low, high)
+
+
+class TestSequence:
+    def test_exact_match(self):
+        automaton = compile_content(seq(el("a"), el("b")))
+        assert automaton.validate(children_of("<r><a/><b/></r>")) is None
+
+    def test_wrong_order(self):
+        automaton = compile_content(seq(el("a"), el("b")))
+        problem = automaton.validate(children_of("<r><b/><a/></r>"))
+        assert problem is not None and "<b>" in problem
+
+    def test_missing_tail(self):
+        automaton = compile_content(seq(el("a"), el("b")))
+        problem = automaton.validate(children_of("<r><a/></r>"))
+        assert "incomplete" in problem
+
+    def test_extra_element(self):
+        automaton = compile_content(seq(el("a")))
+        problem = automaton.validate(children_of("<r><a/><a/></r>"))
+        assert problem is not None
+
+    def test_empty_sequence_accepts_empty(self):
+        automaton = compile_content(seq())
+        assert automaton.validate([]) is None
+
+
+class TestOccurrences:
+    def test_optional(self):
+        automaton = compile_content(seq(el("a", 0, 1), el("b")))
+        assert automaton.validate(children_of("<r><b/></r>")) is None
+        assert automaton.validate(children_of("<r><a/><b/></r>")) is None
+
+    def test_unbounded(self):
+        automaton = compile_content(seq(el("a", 0, None)))
+        assert automaton.validate([]) is None
+        assert automaton.validate(children_of("<r><a/><a/><a/></r>")) is None
+
+    def test_one_or_more(self):
+        automaton = compile_content(seq(el("a", 1, None)))
+        assert automaton.validate([]) is not None
+        assert automaton.validate(children_of("<r><a/><a/></r>")) is None
+
+    def test_min_occurs_two_unbounded(self):
+        automaton = compile_content(seq(el("a", 2, None)))
+        assert automaton.validate(children_of("<r><a/></r>")) is not None
+        assert automaton.validate(children_of("<r><a/><a/></r>")) is None
+        assert automaton.validate(
+            children_of("<r><a/><a/><a/></r>")) is None
+
+    def test_bounded_range(self):
+        automaton = compile_content(seq(el("a", 2, 3)))
+        assert automaton.validate(children_of("<r><a/></r>")) is not None
+        assert automaton.validate(children_of("<r><a/><a/></r>")) is None
+        assert automaton.validate(
+            children_of("<r><a/><a/><a/></r>")) is None
+        assert automaton.validate(
+            children_of("<r><a/><a/><a/><a/></r>")) is not None
+
+    def test_group_repetition(self):
+        # (a, b)* — pairs must stay paired.
+        automaton = compile_content(Particle(
+            ModelGroup("sequence", [el("a"), el("b")]), 0, None))
+        assert automaton.validate([]) is None
+        assert automaton.validate(children_of("<r><a/><b/><a/><b/></r>")) \
+            is None
+        assert automaton.validate(children_of("<r><a/><b/><a/></r>")) \
+            is not None
+
+    def test_unroll_limit(self):
+        with pytest.raises(SchemaError, match="unroll"):
+            compile_content(seq(el("a", 0, MAX_UNROLL + 1)))
+
+
+class TestChoice:
+    def test_either_branch(self):
+        automaton = compile_content(cho(el("a"), el("b")))
+        assert automaton.validate(children_of("<r><a/></r>")) is None
+        assert automaton.validate(children_of("<r><b/></r>")) is None
+        assert automaton.validate(children_of("<r><c/></r>")) is not None
+
+    def test_choice_then_tail(self):
+        automaton = compile_content(seq(cho(el("a"), el("b")), el("c")))
+        assert automaton.validate(children_of("<r><b/><c/></r>")) is None
+        assert automaton.validate(children_of("<r><c/></r>")) is not None
+
+    def test_optional_choice(self):
+        automaton = compile_content(
+            seq(Particle(ModelGroup("choice", [el("a"), el("b")]), 0, 1),
+                el("c")))
+        assert automaton.validate(children_of("<r><c/></r>")) is None
+
+    def test_error_lists_expected(self):
+        automaton = compile_content(cho(el("a"), el("b")))
+        problem = automaton.validate(children_of("<r><x/></r>"))
+        assert "<a>" in problem and "<b>" in problem
+
+
+class TestWildcard:
+    def test_any_matches_everything(self):
+        automaton = compile_content(
+            seq(Particle(AnyWildcard(), 0, None)))
+        assert automaton.validate(
+            children_of("<r><x/><y/><z/></r>")) is None
+
+
+class TestAllGroup:
+    def make(self, optional_b=False):
+        return compile_content(Particle(ModelGroup("all", [
+            el("a"), el("b", 0 if optional_b else 1, 1)])))
+
+    def test_any_order(self):
+        automaton = self.make()
+        assert automaton.validate(children_of("<r><b/><a/></r>")) is None
+        assert automaton.validate(children_of("<r><a/><b/></r>")) is None
+
+    def test_missing_required(self):
+        automaton = self.make()
+        problem = automaton.validate(children_of("<r><a/></r>"))
+        assert "b" in problem
+
+    def test_optional_member(self):
+        automaton = self.make(optional_b=True)
+        assert automaton.validate(children_of("<r><a/></r>")) is None
+
+    def test_duplicate_rejected(self):
+        automaton = self.make()
+        problem = automaton.validate(children_of("<r><a/><a/><b/></r>"))
+        assert problem is not None
+
+    def test_unknown_rejected(self):
+        automaton = self.make()
+        assert automaton.validate(children_of("<r><a/><b/><c/></r>")) \
+            is not None
+
+    def test_all_cannot_repeat(self):
+        with pytest.raises(SchemaError):
+            compile_content(Particle(
+                ModelGroup("all", [el("a")]), 1, None))
+
+    def test_all_cannot_nest(self):
+        with pytest.raises(SchemaError):
+            compile_content(seq(Particle(ModelGroup("all", [el("a")]))))
+
+
+class TestDeterminismAnalysis:
+    def test_clean_model(self):
+        automaton = compile_content(seq(el("a"), el("b")))
+        assert automaton.ambiguous_transitions() == []
+
+    def test_upa_violation_detected(self):
+        # (a?, a) — classic UPA violation: which particle matches 'a'?
+        automaton = compile_content(seq(el("a", 0, 1), el("a")))
+        assert automaton.ambiguous_transitions() == ["a"]
+
+    def test_matching_decl(self):
+        decl_a = ElementDecl("a")
+        automaton = compile_content(
+            Particle(ModelGroup("sequence", [Particle(decl_a)])))
+        assert automaton.matching_decl("a") is decl_a
+        assert automaton.matching_decl("zz") is None

@@ -1,0 +1,114 @@
+"""Ablation: Russian-doll vs flat schema design (DESIGN.md §5.1).
+
+§3.1 of the paper chooses the Russian-doll style ("it allows us to
+define each element and attribute within its context in an embedded
+manner") over the flat catalog style.  Both must accept and reject the
+same documents — the choice is ergonomic, not semantic.
+"""
+
+import pytest
+
+from repro.xml import parse
+from repro.xsd import read_schema, validate
+
+XSD = "http://www.w3.org/2001/XMLSchema"
+
+RUSSIAN_DOLL = f"""<xsd:schema xmlns:xsd="{XSD}">
+  <xsd:element name="m">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="item" minOccurs="0" maxOccurs="unbounded">
+          <xsd:complexType>
+            <xsd:sequence>
+              <xsd:element name="note" minOccurs="0">
+                <xsd:simpleType>
+                  <xsd:restriction base="xsd:string">
+                    <xsd:maxLength value="10"/>
+                  </xsd:restriction>
+                </xsd:simpleType>
+              </xsd:element>
+            </xsd:sequence>
+            <xsd:attribute name="id" type="xsd:ID" use="required"/>
+            <xsd:attribute name="kind">
+              <xsd:simpleType>
+                <xsd:restriction base="xsd:string">
+                  <xsd:enumeration value="x"/>
+                  <xsd:enumeration value="y"/>
+                </xsd:restriction>
+              </xsd:simpleType>
+            </xsd:attribute>
+          </xsd:complexType>
+        </xsd:element>
+      </xsd:sequence>
+      <xsd:attribute name="name" type="xsd:string" use="required"/>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>"""
+
+FLAT = f"""<xsd:schema xmlns:xsd="{XSD}">
+  <xsd:simpleType name="NoteType">
+    <xsd:restriction base="xsd:string">
+      <xsd:maxLength value="10"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:simpleType name="KindType">
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="x"/>
+      <xsd:enumeration value="y"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:element name="note" type="NoteType"/>
+  <xsd:complexType name="ItemType">
+    <xsd:sequence>
+      <xsd:element ref="note" minOccurs="0"/>
+    </xsd:sequence>
+    <xsd:attribute name="id" type="xsd:ID" use="required"/>
+    <xsd:attribute name="kind" type="KindType"/>
+  </xsd:complexType>
+  <xsd:element name="item" type="ItemType"/>
+  <xsd:complexType name="MType">
+    <xsd:sequence>
+      <xsd:element ref="item" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+    <xsd:attribute name="name" type="xsd:string" use="required"/>
+  </xsd:complexType>
+  <xsd:element name="m" type="MType"/>
+</xsd:schema>"""
+
+DOCUMENTS = {
+    "valid": '<m name="n"><item id="a" kind="x">'
+             "<note>short</note></item></m>",
+    "empty-valid": '<m name="n"/>',
+    "missing-name": '<m><item id="a"/></m>',
+    "missing-id": '<m name="n"><item/></m>',
+    "bad-kind": '<m name="n"><item id="a" kind="z"/></m>',
+    "long-note": '<m name="n"><item id="a">'
+                 "<note>far too long for ten</note></item></m>",
+    "wrong-child": '<m name="n"><item id="a"><oops/></item></m>',
+    "duplicate-id": '<m name="n"><item id="a"/><item id="a"/></m>',
+}
+
+
+@pytest.fixture(scope="module")
+def schemas():
+    return read_schema(RUSSIAN_DOLL), read_schema(FLAT)
+
+
+@pytest.mark.parametrize("name", list(DOCUMENTS))
+def test_both_styles_agree(schemas, name):
+    doll, flat = schemas
+    text = DOCUMENTS[name]
+    doll_report = validate(parse(text), doll)
+    flat_report = validate(parse(text), flat)
+    assert doll_report.valid == flat_report.valid, name
+    expected_valid = name in ("valid", "empty-valid")
+    assert doll_report.valid is expected_valid, str(doll_report)
+
+
+def test_error_counts_match(schemas):
+    doll, flat = schemas
+    everything_wrong = ('<m><item kind="z"><oops/>'
+                        "<note>far too long for ten</note></item></m>")
+    doll_errors = len(validate(parse(everything_wrong), doll).errors)
+    flat_errors = len(validate(parse(everything_wrong), flat).errors)
+    assert doll_errors == flat_errors >= 3

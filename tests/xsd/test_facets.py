@@ -1,0 +1,150 @@
+"""Constraining facets and the XSD→Python regex translation."""
+
+import pytest
+
+from repro.xsd import SchemaError
+from repro.xsd.facets import (
+    Enumeration,
+    FractionDigits,
+    Length,
+    MaxExclusive,
+    MaxInclusive,
+    MaxLength,
+    MinExclusive,
+    MinInclusive,
+    MinLength,
+    Pattern,
+    TotalDigits,
+    translate_pattern,
+)
+from repro.xsd.simpletypes import SimpleType, builtin_simple_type
+
+
+def restricted(base, facets):
+    return SimpleType(base=builtin_simple_type(base), facets=facets)
+
+
+class TestEnumeration:
+    def test_member_accepted(self):
+        stype = restricted("string", [Enumeration(("M", "1"))])
+        assert stype.validate("M") == "M"
+
+    def test_non_member_rejected(self):
+        stype = restricted("string", [Enumeration(("M", "1"))])
+        with pytest.raises(ValueError, match="not in enumeration"):
+            stype.validate("X")
+
+    def test_describe(self):
+        assert "M" in Enumeration(("M",)).describe()
+
+
+class TestPattern:
+    def test_anchored(self):
+        stype = restricted("string", [Pattern("[A-Z]{2}")])
+        assert stype.validate("AB") == "AB"
+        with pytest.raises(ValueError):
+            stype.validate("ABC")  # would match unanchored
+
+    def test_xsd_escapes(self):
+        assert translate_pattern(r"\i\c*") == r"[A-Za-z_:][-.\w:]*"
+        stype = restricted("string", [Pattern(r"\i\c*")])
+        assert stype.validate("name") == "name"
+        with pytest.raises(ValueError):
+            stype.validate("1bad")
+
+    def test_digits_escape(self):
+        stype = restricted("string", [Pattern(r"\d{4}-\d{2}")])
+        assert stype.validate("2002-03")
+
+    def test_bad_pattern_is_schema_error(self):
+        with pytest.raises(SchemaError):
+            Pattern("[unclosed")
+
+
+class TestLengthFacets:
+    def test_length(self):
+        stype = restricted("string", [Length(3)])
+        assert stype.validate("abc")
+        with pytest.raises(ValueError):
+            stype.validate("ab")
+
+    def test_min_max_length(self):
+        stype = restricted("string", [MinLength(2), MaxLength(4)])
+        assert stype.validate("abc")
+        with pytest.raises(ValueError):
+            stype.validate("a")
+        with pytest.raises(ValueError):
+            stype.validate("abcde")
+
+    def test_length_of_binary_measures_bytes(self):
+        stype = SimpleType(base=builtin_simple_type("hexBinary"),
+                           facets=[Length(2)])
+        assert stype.validate("ABCD") == b"\xab\xcd"
+        with pytest.raises(ValueError):
+            stype.validate("AB")
+
+
+class TestBounds:
+    def test_min_max_inclusive(self):
+        stype = restricted("integer", [MinInclusive(0), MaxInclusive(10)])
+        assert stype.validate("0") == 0
+        assert stype.validate("10") == 10
+        with pytest.raises(ValueError):
+            stype.validate("-1")
+        with pytest.raises(ValueError):
+            stype.validate("11")
+
+    def test_exclusive(self):
+        stype = restricted("integer", [MinExclusive(0), MaxExclusive(10)])
+        assert stype.validate("1") == 1
+        with pytest.raises(ValueError):
+            stype.validate("0")
+        with pytest.raises(ValueError):
+            stype.validate("10")
+
+    def test_date_bounds(self):
+        from datetime import date
+
+        stype = restricted("date", [MinInclusive(date(2000, 1, 1))])
+        assert stype.validate("2002-03-15")
+        with pytest.raises(ValueError):
+            stype.validate("1999-12-31")
+
+
+class TestDigits:
+    def test_total_digits(self):
+        stype = restricted("decimal", [TotalDigits(4)])
+        assert stype.validate("12.34")
+        with pytest.raises(ValueError):
+            stype.validate("123.45")
+
+    def test_total_digits_ignores_leading_zeros(self):
+        stype = restricted("decimal", [TotalDigits(2)])
+        assert stype.validate("0042") == 42
+
+    def test_fraction_digits(self):
+        stype = restricted("decimal", [FractionDigits(2)])
+        assert stype.validate("1.25")
+        with pytest.raises(ValueError):
+            stype.validate("1.255")
+
+    def test_fraction_digits_ignores_trailing_zeros(self):
+        stype = restricted("decimal", [FractionDigits(1)])
+        assert stype.validate("1.500")
+
+
+class TestDerivationChain:
+    def test_facets_accumulate(self):
+        base = SimpleType(base=builtin_simple_type("string"),
+                          facets=[MaxLength(5)], name="short")
+        derived = SimpleType(base=base, facets=[Pattern("[a-z]+")])
+        assert derived.validate("abc")
+        with pytest.raises(ValueError):
+            derived.validate("abcdef")  # inherited maxLength
+        with pytest.raises(ValueError):
+            derived.validate("ABC")  # own pattern
+
+    def test_primitive_resolution(self):
+        base = SimpleType(base=builtin_simple_type("integer"))
+        derived = SimpleType(base=base)
+        assert derived.primitive.name == "integer"

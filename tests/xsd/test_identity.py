@@ -1,0 +1,151 @@
+"""xsd:key / xsd:keyref / xsd:unique identity constraints."""
+
+import pytest
+
+from repro.xml import parse
+from repro.xsd import SchemaBuilder, validate
+
+
+def make_schema(constraints):
+    b = SchemaBuilder()
+    dim = b.element("dim", b.complex_type(attributes=[
+        b.attribute("id", "string", use="required"),
+        b.attribute("region", "string"),
+    ]))
+    use = b.element("use", b.complex_type(attributes=[
+        b.attribute("dim", "string", use="required"),
+        b.attribute("region", "string"),
+    ]))
+    root = b.element("m", b.complex_type(
+        content=b.sequence(b.particle(dim, 0, None),
+                           b.particle(use, 0, None))),
+        constraints=constraints)
+    return b.build(root)
+
+
+def builder():
+    return SchemaBuilder()
+
+
+class TestKey:
+    def test_key_uniqueness(self):
+        schema = make_schema([
+            builder().key("k", "dim", ["@id"])])
+        good = parse('<m><dim id="a"/><dim id="b"/></m>')
+        assert validate(good, schema).valid
+        dup = parse('<m><dim id="a"/><dim id="a"/></m>')
+        report = validate(dup, schema)
+        assert any("duplicate" in e.message for e in report.errors)
+
+    def test_key_requires_field(self):
+        schema = make_schema([builder().key("k", "dim", ["@id"])])
+        missing = parse("<m><dim/></m>")
+        report = validate(missing, schema)
+        # The missing required attribute also fails, but the key check
+        # must flag the absent field specifically.
+        assert any("selects nothing" in e.message for e in report.errors)
+
+    def test_composite_key(self):
+        schema = make_schema([
+            builder().key("k", "dim", ["@id", "@region"])])
+        ok = parse('<m><dim id="a" region="es"/>'
+                   '<dim id="a" region="fr"/></m>')
+        assert not any("duplicate" in e.message
+                       for e in validate(ok, schema).errors)
+        dup = parse('<m><dim id="a" region="es"/>'
+                    '<dim id="a" region="es"/></m>')
+        assert any("duplicate" in e.message
+                   for e in validate(dup, schema).errors)
+
+
+class TestKeyref:
+    def test_resolves(self):
+        schema = make_schema([
+            builder().key("k", "dim", ["@id"]),
+            builder().keyref("r", "use", ["@dim"], refer="k")])
+        good = parse('<m><dim id="a"/><use dim="a"/></m>')
+        assert validate(good, schema).valid
+
+    def test_dangling(self):
+        schema = make_schema([
+            builder().key("k", "dim", ["@id"]),
+            builder().keyref("r", "use", ["@dim"], refer="k")])
+        bad = parse('<m><dim id="a"/><use dim="zzz"/></m>')
+        report = validate(bad, schema)
+        assert any("keyref" in e.message for e in report.errors)
+
+    def test_selective_vs_idref(self):
+        # A keyref only accepts values from ITS key — not any identifier
+        # in the document.  This is the §3.1 improvement over DTDs.
+        schema = make_schema([
+            builder().key("k", "dim", ["@id"]),
+            builder().keyref("r", "use", ["@dim"], refer="k")])
+        # 'u1' exists as a use/@dim value but not as a dim/@id.
+        bad = parse('<m><dim id="a"/><use dim="u1"/></m>')
+        assert not validate(bad, schema).valid
+
+    def test_unknown_refer(self):
+        schema = make_schema([
+            builder().keyref("r", "use", ["@dim"], refer="ghost")])
+        report = validate(parse('<m><use dim="a"/></m>'), schema)
+        assert any("unknown key" in e.message for e in report.errors)
+
+    def test_keyref_with_missing_field_is_skipped(self):
+        schema = make_schema([
+            builder().key("k", "dim", ["@id"]),
+            builder().keyref("r", "use", ["@region"], refer="k")])
+        doc = parse('<m><dim id="a"/><use dim="x"/></m>')
+        # use/@region absent → the keyref row is simply not checked.
+        assert not any("keyref" in e.message
+                       for e in validate(doc, schema).errors)
+
+
+class TestUnique:
+    def test_unique_allows_absent(self):
+        schema = make_schema([
+            builder().unique("u", "dim", ["@region"])])
+        doc = parse('<m><dim id="a"/><dim id="b"/></m>')
+        assert validate(doc, schema).valid
+
+    def test_unique_detects_duplicates(self):
+        schema = make_schema([
+            builder().unique("u", "dim", ["@region"])])
+        doc = parse('<m><dim id="a" region="es"/>'
+                    '<dim id="b" region="es"/></m>')
+        report = validate(doc, schema)
+        assert any("unique" in e.message for e in report.errors)
+
+
+class TestUnionSelectors:
+    def test_union_selector_key(self):
+        b = SchemaBuilder()
+        a = b.element("a", b.complex_type(
+            attributes=[b.attribute("id", "string", use="required")]))
+        c = b.element("c", b.complex_type(
+            attributes=[b.attribute("id", "string", use="required")]))
+        root = b.element("m", b.complex_type(
+            content=b.sequence(b.particle(a, 0, None),
+                               b.particle(c, 0, None))),
+            constraints=[b.key("k", "a | c", ["@id"])])
+        schema = b.build(root)
+        dup = parse('<m><a id="x"/><c id="x"/></m>')
+        assert any("duplicate" in e.message
+                   for e in validate(dup, schema).errors)
+
+
+class TestConstraintConstruction:
+    def test_keyref_needs_refer(self):
+        with pytest.raises(ValueError):
+            SchemaBuilder().keyref("r", "x", ["@y"], refer="")
+
+    def test_fields_required(self):
+        from repro.xsd.components import IdentityConstraint
+
+        with pytest.raises(ValueError):
+            IdentityConstraint("key", "k", "x", [])
+
+    def test_bad_kind(self):
+        from repro.xsd.components import IdentityConstraint
+
+        with pytest.raises(ValueError):
+            IdentityConstraint("primary", "k", "x", ["@y"])

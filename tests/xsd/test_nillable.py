@@ -1,0 +1,63 @@
+"""xsi:nil / nillable element declarations."""
+
+import pytest
+
+from repro.xml import parse
+from repro.xsd import read_schema, validate
+from repro.xsd.writer import schema_to_xml
+
+XSD = "http://www.w3.org/2001/XMLSchema"
+
+SCHEMA = f"""<xsd:schema xmlns:xsd="{XSD}">
+  <xsd:element name="m">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="amount" type="xsd:decimal" nillable="true"
+                     maxOccurs="unbounded"/>
+        <xsd:element name="strict" type="xsd:decimal" minOccurs="0"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return read_schema(SCHEMA)
+
+
+class TestNil:
+    def test_nil_element_accepted_empty(self, schema):
+        doc = parse('<m><amount xsi:nil="true" '
+                    'xmlns:xsi="http://www.w3.org/2001/'
+                    'XMLSchema-instance"/></m>')
+        assert validate(doc, schema).valid
+
+    def test_nil_with_content_rejected(self, schema):
+        doc = parse('<m><amount xsi:nil="true" '
+                    'xmlns:xsi="http://www.w3.org/2001/'
+                    'XMLSchema-instance">5</amount></m>')
+        report = validate(doc, schema)
+        assert any("nil but has content" in e.message
+                   for e in report.errors)
+
+    def test_nil_on_non_nillable_rejected(self, schema):
+        doc = parse('<m><amount>1</amount>'
+                    '<strict xsi:nil="true" '
+                    'xmlns:xsi="http://www.w3.org/2001/'
+                    'XMLSchema-instance"/></m>')
+        report = validate(doc, schema)
+        assert any("not nillable" in e.message for e in report.errors)
+
+    def test_non_nil_still_type_checked(self, schema):
+        doc = parse("<m><amount>not-a-number</amount></m>")
+        assert not validate(doc, schema).valid
+
+    def test_nillable_survives_write_read(self, schema):
+        text = schema_to_xml(schema)
+        assert 'nillable="true"' in text
+        reread = read_schema(text)
+        doc = parse('<m><amount xsi:nil="true" '
+                    'xmlns:xsi="http://www.w3.org/2001/'
+                    'XMLSchema-instance"/></m>')
+        assert validate(doc, reread).valid

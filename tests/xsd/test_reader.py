@@ -1,0 +1,240 @@
+"""Reading .xsd documents into schema components."""
+
+import pytest
+
+from repro.xml import parse
+from repro.xsd import (
+    ComplexType,
+    SchemaError,
+    read_schema,
+    validate,
+)
+from repro.xsd.simpletypes import ListType, SimpleType, UnionType
+
+XSD = "http://www.w3.org/2001/XMLSchema"
+
+
+def wrap(body):
+    return f'<xsd:schema xmlns:xsd="{XSD}">{body}</xsd:schema>'
+
+
+class TestBasics:
+    def test_global_element(self):
+        schema = read_schema(wrap('<xsd:element name="a"/>'))
+        assert "a" in schema.elements
+
+    def test_wrong_root(self):
+        with pytest.raises(SchemaError, match="xsd:schema"):
+            read_schema("<not-a-schema/>")
+
+    def test_documentation_read(self):
+        schema = read_schema(wrap(
+            "<xsd:annotation><xsd:documentation>About"
+            "</xsd:documentation></xsd:annotation>"
+            '<xsd:element name="a"/>'))
+        assert schema.documentation == "About"
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            read_schema(wrap('<xsd:element name="a"/>'
+                             '<xsd:element name="a"/>'))
+
+    def test_unnamed_top_level_rejected(self):
+        with pytest.raises(SchemaError):
+            read_schema(wrap("<xsd:element/>"))
+
+
+class TestRussianDoll:
+    SCHEMA = wrap("""
+      <xsd:element name="m">
+        <xsd:complexType>
+          <xsd:sequence>
+            <xsd:element name="item" minOccurs="0" maxOccurs="unbounded">
+              <xsd:complexType>
+                <xsd:attribute name="id" type="xsd:ID" use="required"/>
+              </xsd:complexType>
+            </xsd:element>
+          </xsd:sequence>
+          <xsd:attribute name="name" type="xsd:string" use="required"/>
+        </xsd:complexType>
+      </xsd:element>""")
+
+    def test_structure(self):
+        schema = read_schema(self.SCHEMA)
+        m = schema.element("m")
+        assert isinstance(m.type, ComplexType)
+        assert m.type.attribute("name") is not None
+
+    def test_validates(self):
+        schema = read_schema(self.SCHEMA)
+        good = parse('<m name="x"><item id="a"/><item id="b"/></m>')
+        assert validate(good, schema).valid
+        bad = parse('<m><item/></m>')
+        assert len(validate(bad, schema).errors) == 2
+
+
+class TestFlatDesign:
+    SCHEMA = wrap("""
+      <xsd:simpleType name="Multiplicity">
+        <xsd:restriction base="xsd:string">
+          <xsd:enumeration value="1"/><xsd:enumeration value="M"/>
+        </xsd:restriction>
+      </xsd:simpleType>
+      <xsd:complexType name="ItemType">
+        <xsd:attribute name="mult" type="Multiplicity" default="1"/>
+      </xsd:complexType>
+      <xsd:element name="item" type="ItemType"/>
+      <xsd:element name="root">
+        <xsd:complexType>
+          <xsd:sequence>
+            <xsd:element ref="item" maxOccurs="unbounded"/>
+          </xsd:sequence>
+        </xsd:complexType>
+      </xsd:element>""")
+
+    def test_named_types_registered(self):
+        schema = read_schema(self.SCHEMA)
+        assert isinstance(schema.type_definition("Multiplicity"),
+                          SimpleType)
+        assert isinstance(schema.type_definition("ItemType"), ComplexType)
+
+    def test_element_ref_shares_declaration(self):
+        schema = read_schema(self.SCHEMA)
+        root_type = schema.element("root").type
+        particle = root_type.content.term.particles[0]
+        assert particle.term is schema.element("item")
+
+    def test_validates_with_named_types(self):
+        schema = read_schema(self.SCHEMA)
+        assert validate(parse('<root><item mult="M"/></root>'),
+                        schema).valid
+        report = validate(parse('<root><item mult="2"/></root>'), schema)
+        assert not report.valid
+
+    def test_type_declaration_order_irrelevant(self):
+        reordered = wrap("""
+          <xsd:element name="e" type="T"/>
+          <xsd:complexType name="T">
+            <xsd:attribute name="x"/>
+          </xsd:complexType>""")
+        schema = read_schema(reordered)
+        assert schema.element("e").type is schema.type_definition("T")
+
+
+class TestSimpleTypeVariants:
+    def test_list_type(self):
+        schema = read_schema(wrap("""
+          <xsd:element name="e">
+            <xsd:complexType>
+              <xsd:attribute name="refs">
+                <xsd:simpleType>
+                  <xsd:list itemType="xsd:integer"/>
+                </xsd:simpleType>
+              </xsd:attribute>
+            </xsd:complexType>
+          </xsd:element>"""))
+        attr = schema.element("e").type.attribute("refs")
+        assert isinstance(attr.type, ListType)
+        assert attr.type.validate("1 2 3") == [1, 2, 3]
+
+    def test_union_type(self):
+        schema = read_schema(wrap("""
+          <xsd:element name="e">
+            <xsd:complexType>
+              <xsd:attribute name="v">
+                <xsd:simpleType>
+                  <xsd:union memberTypes="xsd:integer xsd:boolean"/>
+                </xsd:simpleType>
+              </xsd:attribute>
+            </xsd:complexType>
+          </xsd:element>"""))
+        attr = schema.element("e").type.attribute("v")
+        assert isinstance(attr.type, UnionType)
+        assert attr.type.validate("42") == 42
+        assert attr.type.validate("true") is True
+        with pytest.raises(ValueError):
+            attr.type.validate("neither")
+
+    def test_facet_bounds_typed(self):
+        schema = read_schema(wrap("""
+          <xsd:simpleType name="Year">
+            <xsd:restriction base="xsd:integer">
+              <xsd:minInclusive value="1900"/>
+              <xsd:maxInclusive value="2100"/>
+            </xsd:restriction>
+          </xsd:simpleType>
+          <xsd:element name="y" type="Year"/>"""))
+        assert validate(parse("<y>2002</y>"), schema).valid
+        assert not validate(parse("<y>1492</y>"), schema).valid
+
+    def test_bad_facet_bound(self):
+        with pytest.raises(SchemaError, match="not valid for the base"):
+            read_schema(wrap("""
+              <xsd:simpleType name="T">
+                <xsd:restriction base="xsd:integer">
+                  <xsd:minInclusive value="soon"/>
+                </xsd:restriction>
+              </xsd:simpleType>
+              <xsd:element name="e" type="T"/>"""))
+
+    def test_circular_type_rejected(self):
+        with pytest.raises(SchemaError, match="circular"):
+            read_schema(wrap("""
+              <xsd:simpleType name="A">
+                <xsd:restriction base="B"/>
+              </xsd:simpleType>
+              <xsd:simpleType name="B">
+                <xsd:restriction base="A"/>
+              </xsd:simpleType>
+              <xsd:element name="e" type="A"/>"""))
+
+
+class TestIdentityConstraintReading:
+    def test_key_and_keyref(self):
+        schema = read_schema(wrap("""
+          <xsd:element name="m">
+            <xsd:complexType>
+              <xsd:sequence>
+                <xsd:element name="d" maxOccurs="unbounded">
+                  <xsd:complexType>
+                    <xsd:attribute name="id" type="xsd:ID"/>
+                  </xsd:complexType>
+                </xsd:element>
+              </xsd:sequence>
+            </xsd:complexType>
+            <xsd:key name="dKey">
+              <xsd:selector xpath="d"/><xsd:field xpath="@id"/>
+            </xsd:key>
+            <xsd:keyref name="dRef" refer="dKey">
+              <xsd:selector xpath="d"/><xsd:field xpath="@id"/>
+            </xsd:keyref>
+          </xsd:element>"""))
+        constraints = schema.element("m").constraints
+        kinds = sorted(c.kind for c in constraints)
+        assert kinds == ["key", "keyref"]
+        assert constraints[1].refer == "dKey"
+
+    def test_selector_required(self):
+        with pytest.raises(SchemaError, match="selector"):
+            read_schema(wrap("""
+              <xsd:element name="m">
+                <xsd:complexType/>
+                <xsd:key name="k"><xsd:field xpath="@id"/></xsd:key>
+              </xsd:element>"""))
+
+
+class TestSimpleContentReading:
+    def test_extension(self):
+        schema = read_schema(wrap("""
+          <xsd:element name="price">
+            <xsd:complexType>
+              <xsd:simpleContent>
+                <xsd:extension base="xsd:decimal">
+                  <xsd:attribute name="currency"/>
+                </xsd:extension>
+              </xsd:simpleContent>
+            </xsd:complexType>
+          </xsd:element>"""))
+        assert validate(parse('<price currency="EUR">1.5</price>'),
+                        schema).valid
+        assert not validate(parse("<price>free</price>"), schema).valid

@@ -1,0 +1,116 @@
+"""xsl:copy on every node kind + built-in rule coverage."""
+
+from repro.xml import parse
+from repro.xslt import compile_stylesheet, transform
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+IDENTITY = f"""<xsl:stylesheet version="1.0" {XSL}>
+  <xsl:output omit-xml-declaration="yes"/>
+  <xsl:template match="@* | node()">
+    <xsl:copy><xsl:apply-templates select="@* | node()"/></xsl:copy>
+  </xsl:template>
+</xsl:stylesheet>"""
+
+
+def identity(source):
+    sheet = compile_stylesheet(IDENTITY)
+    return transform(sheet, parse(source)).serialize()
+
+
+class TestIdentityTransform:
+    def test_elements_and_attributes(self):
+        assert identity('<a x="1" y="2"><b/></a>') == \
+            '<a x="1" y="2"><b/></a>'
+
+    def test_comments_copied(self):
+        assert identity("<a><!--note--></a>") == "<a><!--note--></a>"
+
+    def test_pis_copied(self):
+        assert identity("<a><?t data?></a>") == "<a><?t data?></a>"
+
+    def test_text_copied(self):
+        assert identity("<a>one <b>two</b> three</a>") == \
+            "<a>one <b>two</b> three</a>"
+
+    def test_namespace_declarations_copied(self):
+        out = identity('<p:a xmlns:p="urn:p"><p:b/></p:a>')
+        assert 'xmlns:p="urn:p"' in out
+        assert "<p:b/>" in out
+
+    def test_nested_depth(self):
+        source = "<a>" + "<b>" * 10 + "x" + "</b>" * 10 + "</a>"
+        assert identity(source) == source
+
+
+class TestBuiltinRules:
+    def test_comments_and_pis_produce_nothing(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+        </xsl:stylesheet>""")
+        out = transform(sheet, parse(
+            "<a><!--gone--><?pi gone?>kept</a>")).serialize()
+        assert out == "kept"
+
+    def test_builtin_mode_carries_through(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:apply-templates mode="m"/>
+          </xsl:template>
+          <xsl:template match="deep" mode="m">FOUND</xsl:template>
+        </xsl:stylesheet>""")
+        # The built-in element rule must keep applying in mode "m".
+        out = transform(sheet, parse(
+            "<a><b><deep/></b></a>")).serialize()
+        assert out == "FOUND"
+
+    def test_attributes_not_visited_by_default(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="@*">ATTR</xsl:template>
+        </xsl:stylesheet>""")
+        out = transform(sheet, parse('<a x="1">text</a>')).serialize()
+        # Built-in rules walk children, never attributes.
+        assert out == "text"
+
+
+class TestCopyNonElementContext:
+    def test_copy_of_text_node(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:for-each select="//text()"><xsl:copy/></xsl:for-each>
+          </xsl:template>
+        </xsl:stylesheet>""")
+        assert transform(sheet, parse("<a>x<b>y</b></a>")).serialize() \
+            == "xy"
+
+    def test_copy_of_comment_node(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <r><xsl:for-each select="//comment()"><xsl:copy/></xsl:for-each></r>
+          </xsl:template>
+        </xsl:stylesheet>""")
+        assert transform(sheet, parse("<a><!--keep--></a>")).serialize() \
+            == "<r><!--keep--></r>"
+
+    def test_copy_of_root_processes_body(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <xsl:copy><r/></xsl:copy>
+          </xsl:template>
+        </xsl:stylesheet>""")
+        assert transform(sheet, parse("<a/>")).serialize() == "<r/>"
+
+    def test_copy_of_attribute_sets_attribute(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <r><xsl:for-each select="//@*"><xsl:copy/></xsl:for-each></r>
+          </xsl:template>
+        </xsl:stylesheet>""")
+        assert transform(sheet, parse('<a x="1"/>')).serialize() == \
+            '<r x="1"/>'

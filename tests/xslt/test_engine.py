@@ -1,0 +1,333 @@
+"""XSLT transformation runtime: instructions, modes, params, conflicts."""
+
+import pytest
+
+from repro.xml import parse
+from repro.xslt import (
+    XSLTRuntimeError,
+    XSLTStaticError,
+    compile_stylesheet,
+    transform,
+)
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+def run(stylesheet, source, params=None, **kwargs):
+    sheet = compile_stylesheet(stylesheet, **kwargs)
+    return transform(sheet, parse(source), params)
+
+
+def out(stylesheet, source, params=None, **kwargs):
+    return run(stylesheet, source, params, **kwargs).serialize()
+
+
+class TestTemplatesAndModes:
+    def test_identity_elementwise(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output omit-xml-declaration="yes"/>
+          <xsl:template match="@* | node()">
+            <xsl:copy><xsl:apply-templates select="@* | node()"/></xsl:copy>
+          </xsl:template>
+        </xsl:stylesheet>""", '<a x="1"><b>t</b></a>')
+        assert result == '<a x="1"><b>t</b></a>'
+
+    def test_builtin_rules_recurse_to_text(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+        </xsl:stylesheet>""", "<a>one<b> two</b></a>")
+        assert result == "one two"
+
+    def test_mode_selection(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:apply-templates select="//x" mode="loud"/>
+            <xsl:apply-templates select="//x"/>
+          </xsl:template>
+          <xsl:template match="x" mode="loud">X!</xsl:template>
+          <xsl:template match="x">x.</xsl:template>
+        </xsl:stylesheet>""", "<a><x/></a>")
+        assert result == "X!x."
+
+    def test_priority_resolution(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="*">star</xsl:template>
+          <xsl:template match="x">name</xsl:template>
+        </xsl:stylesheet>""", "<x/>")
+        assert result == "name"
+
+    def test_explicit_priority_beats_default(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="*" priority="2">star</xsl:template>
+          <xsl:template match="x">name</xsl:template>
+        </xsl:stylesheet>""", "<x/>")
+        assert result == "star"
+
+    def test_later_rule_wins_ties(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="x">first</xsl:template>
+          <xsl:template match="x">second</xsl:template>
+        </xsl:stylesheet>""", "<x/>")
+        assert result == "second"
+
+    def test_template_requires_match_or_name(self):
+        with pytest.raises(XSLTStaticError):
+            compile_stylesheet(
+                f'<xsl:stylesheet version="1.0" {XSL}>'
+                "<xsl:template>body</xsl:template></xsl:stylesheet>")
+
+
+class TestFlowControl:
+    def test_for_each_with_sort(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:for-each select="//i">
+              <xsl:sort select="@k" data-type="number" order="descending"/>
+              <xsl:value-of select="@k"/>,</xsl:for-each>
+          </xsl:template>
+        </xsl:stylesheet>""", '<a><i k="2"/><i k="10"/><i k="1"/></a>')
+        assert result == "10,2,1,"
+
+    def test_sort_text_vs_number(self):
+        source = '<a><i k="2"/><i k="10"/></a>'
+        text_sorted = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:for-each select="//i"><xsl:sort select="@k"/>
+              <xsl:value-of select="@k"/>,</xsl:for-each>
+          </xsl:template>
+        </xsl:stylesheet>""", source)
+        assert text_sorted.replace(" ", "").startswith("10,2")
+
+    def test_secondary_sort_key(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:for-each select="//i">
+              <xsl:sort select="@a"/>
+              <xsl:sort select="@b" data-type="number"/>
+              <xsl:value-of select="concat(@a, @b)"/>,</xsl:for-each>
+          </xsl:template>
+        </xsl:stylesheet>""",
+            '<r><i a="y" b="1"/><i a="x" b="2"/><i a="x" b="1"/></r>')
+        assert result == "x1,x2,y1,"
+
+    def test_if_and_choose(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="i">
+            <xsl:if test="@v &gt; 5">big </xsl:if>
+            <xsl:choose>
+              <xsl:when test="@v = 1">one</xsl:when>
+              <xsl:when test="@v = 2">two</xsl:when>
+              <xsl:otherwise>many</xsl:otherwise>
+            </xsl:choose>
+          </xsl:template>
+        </xsl:stylesheet>""", '<a><i v="1"/><i v="9"/></a>')
+        assert result == "onebig many"
+
+    def test_choose_requires_when(self):
+        with pytest.raises(XSLTStaticError):
+            compile_stylesheet(
+                f'<xsl:stylesheet version="1.0" {XSL}>'
+                '<xsl:template match="/"><xsl:choose>'
+                "<xsl:otherwise>x</xsl:otherwise>"
+                "</xsl:choose></xsl:template></xsl:stylesheet>")
+
+
+class TestVariablesAndParams:
+    def test_local_variable(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:variable name="x" select="2 + 3"/>
+            <xsl:value-of select="$x * 2"/>
+          </xsl:template>
+        </xsl:stylesheet>""", "<a/>")
+        assert result == "10"
+
+    def test_variable_rtf_string_value(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:variable name="x">con<b>tent</b></xsl:variable>
+            <xsl:value-of select="$x"/>
+          </xsl:template>
+        </xsl:stylesheet>""", "<a/>")
+        assert result == "content"
+
+    def test_copy_of_rtf(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <r><xsl:variable name="x"><b>inner</b></xsl:variable>
+            <xsl:copy-of select="$x"/></r>
+          </xsl:template>
+        </xsl:stylesheet>""", "<a/>")
+        assert "<b>inner</b>" in result
+
+    def test_global_param_default_and_override(self):
+        sheet = f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:param name="who" select="'world'"/>
+          <xsl:template match="/">hi <xsl:value-of select="$who"/></xsl:template>
+        </xsl:stylesheet>"""
+        assert out(sheet, "<a/>") == "hi world"
+        assert out(sheet, "<a/>", params={"who": "paper"}) == "hi paper"
+
+    def test_template_params(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:call-template name="greet">
+              <xsl:with-param name="name" select="'EDBT'"/>
+            </xsl:call-template>
+            <xsl:call-template name="greet"/>
+          </xsl:template>
+          <xsl:template name="greet">
+            <xsl:param name="name" select="'default'"/>
+            [<xsl:value-of select="$name"/>]</xsl:template>
+        </xsl:stylesheet>""", "<a/>")
+        assert "[EDBT]" in result and "[default]" in result
+
+    def test_apply_templates_with_param(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:apply-templates select="//x">
+              <xsl:with-param name="p" select="'P'"/>
+            </xsl:apply-templates>
+          </xsl:template>
+          <xsl:template match="x">
+            <xsl:param name="p"/>
+            <xsl:value-of select="$p"/></xsl:template>
+        </xsl:stylesheet>""", "<a><x/></a>")
+        assert result.strip() == "P"
+
+    def test_variable_shadowing_in_scope_rejected(self):
+        sheet = f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:template match="/">
+            <xsl:variable name="x" select="1"/>
+            <xsl:variable name="x" select="2"/>
+          </xsl:template>
+        </xsl:stylesheet>"""
+        with pytest.raises(XSLTRuntimeError, match="already bound"):
+            run(sheet, "<a/>")
+
+
+class TestOutputConstruction:
+    def test_literal_element_with_avt(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output omit-xml-declaration="yes"/>
+          <xsl:template match="x">
+            <a href="{{@id}}.html">go</a>
+          </xsl:template>
+        </xsl:stylesheet>""", '<x id="f1"/>')
+        assert '<a href="f1.html">go</a>' in result
+
+    def test_element_and_attribute_instructions(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output omit-xml-declaration="yes"/>
+          <xsl:template match="x">
+            <xsl:element name="{{concat('t', 'd')}}">
+              <xsl:attribute name="class">c</xsl:attribute>
+              body
+            </xsl:element>
+          </xsl:template>
+        </xsl:stylesheet>""", "<x/>")
+        assert '<td class="c">' in result
+
+    def test_attribute_after_children_rejected(self):
+        sheet = f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:template match="/">
+            <a><b/><xsl:attribute name="late">x</xsl:attribute></a>
+          </xsl:template>
+        </xsl:stylesheet>"""
+        with pytest.raises(XSLTRuntimeError, match="children"):
+            run(sheet, "<x/>")
+
+    def test_comment_and_pi_instructions(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <r><xsl:comment>note</xsl:comment>
+            <xsl:processing-instruction name="t">d</xsl:processing-instruction></r>
+          </xsl:template>
+        </xsl:stylesheet>""", "<x/>")
+        assert "<!--note-->" in result
+        assert "<?t d?>" in result
+
+    def test_text_instruction_preserves_space(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:text>  keep  </xsl:text>
+          </xsl:template>
+        </xsl:stylesheet>""", "<x/>")
+        assert result == "  keep  "
+
+    def test_copy_of_nodeset(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <r><xsl:copy-of select="//keep"/></r>
+          </xsl:template>
+        </xsl:stylesheet>""", '<a><keep x="1">t</keep><drop/></a>')
+        assert result == '<r><keep x="1">t</keep></r>'
+
+    def test_disable_output_escaping(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="html"/>
+          <xsl:template match="/">
+            <p><xsl:text disable-output-escaping="yes">&lt;raw&gt;</xsl:text></p>
+          </xsl:template>
+        </xsl:stylesheet>""", "<x/>")
+        assert "<p><raw></p>" in result
+
+    def test_number_value_formats(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:number value="4" format="i"/>,
+            <xsl:number value="4" format="I"/>,
+            <xsl:number value="3" format="a"/>,
+            <xsl:number value="7" format="001"/>
+          </xsl:template>
+        </xsl:stylesheet>""", "<x/>")
+        assert "iv" in result and "IV" in result and "c" in result \
+            and "007" in result
+
+    def test_number_counting(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:for-each select="//item">
+              <xsl:number/>:</xsl:for-each>
+          </xsl:template>
+        </xsl:stylesheet>""", "<a><item/><x/><item/><item/></a>")
+        assert result == "1:2:3:"
+
+
+class TestMessages:
+    def test_message_collected(self):
+        result = run(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:template match="/">
+            <xsl:message>working on <xsl:value-of select="name(*)"/></xsl:message>
+            <r/>
+          </xsl:template>
+        </xsl:stylesheet>""", "<doc/>")
+        assert result.messages == ["working on doc"]
+
+    def test_message_terminate(self):
+        sheet = f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:template match="/">
+            <xsl:message terminate="yes">fatal</xsl:message>
+          </xsl:template>
+        </xsl:stylesheet>"""
+        with pytest.raises(XSLTRuntimeError, match="fatal"):
+            run(sheet, "<a/>")

@@ -1,0 +1,92 @@
+"""Property-based XSLT engine tests.
+
+* The identity transform reproduces any document exactly.
+* Pattern matching agrees with XPath selection: a node matches the
+  pattern ``name`` iff ``//name`` selects it.
+* Transformation is deterministic.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xml import Document, Element, Text, parse, serialize
+from repro.xpath import evaluate
+from repro.xpath.evaluator import Context
+from repro.xslt import compile_pattern, compile_stylesheet, transform
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+IDENTITY = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+  <xsl:output omit-xml-declaration="yes"/>
+  <xsl:template match="@* | node()">
+    <xsl:copy><xsl:apply-templates select="@* | node()"/></xsl:copy>
+  </xsl:template>
+</xsl:stylesheet>""")
+
+_names = st.sampled_from(["a", "b", "c", "item", "node-x"])
+_text = st.text(alphabet=string.ascii_letters + " &<>", min_size=1,
+                max_size=15).filter(lambda t: t.strip())
+
+
+@st.composite
+def documents(draw, depth: int = 0):
+    element = Element(draw(_names))
+    for name in draw(st.lists(st.sampled_from(["x", "y"]), max_size=2,
+                              unique=True)):
+        element.set_attribute(name, draw(_text))
+    if depth < 3:
+        for child in draw(st.lists(
+                st.one_of(st.builds(Text, _text),
+                          documents(depth=depth + 1)), max_size=3)):
+            element.append_child(child)
+    if depth:
+        return element
+    document = Document()
+    document.append_child(element)
+    return document
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_identity_transform_reproduces_document(document):
+    result = transform(IDENTITY, document)
+    assert result.serialize() == serialize(document,
+                                           xml_declaration=False)
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_transform_is_deterministic(document):
+    first = transform(IDENTITY, document).serialize()
+    second = transform(IDENTITY, document).serialize()
+    assert first == second
+
+
+@given(documents(), _names)
+@settings(max_examples=80, deadline=None)
+def test_pattern_agrees_with_xpath_selection(document, name):
+    pattern = compile_pattern(name)
+    selected = set(map(id, evaluate(f"//{name}", document)))
+    for element in document.iter_elements():
+        matches = pattern.matches(element, Context(node=element))
+        assert matches == (id(element) in selected)
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_wildcard_pattern_matches_every_element(document):
+    pattern = compile_pattern("*")
+    for element in document.iter_elements():
+        assert pattern.matches(element, Context(node=element))
+
+
+@given(documents())
+@settings(max_examples=40, deadline=None)
+def test_value_of_root_equals_string_value(document):
+    sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+      <xsl:output method="text"/>
+      <xsl:template match="/"><xsl:value-of select="."/></xsl:template>
+    </xsl:stylesheet>""")
+    assert transform(sheet, document).serialize() == \
+        document.string_value()

@@ -1,0 +1,130 @@
+"""XSLT 1.1 xsl:document multi-output, includes, and output methods."""
+
+import pytest
+
+from repro.xml import parse
+from repro.xslt import (
+    XSLTRuntimeError,
+    XSLTStaticError,
+    compile_stylesheet,
+    transform,
+)
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+class TestXslDocument:
+    SHEET = f"""<xsl:stylesheet version="1.1" {XSL}>
+      <xsl:output method="html"/>
+      <xsl:template match="/">
+        <html><body>
+          <xsl:for-each select="//page">
+            <a href="{{@id}}.html"><xsl:value-of select="@id"/></a>
+            <xsl:document href="{{@id}}.html">
+              <html><body><h1><xsl:value-of select="@id"/></h1></body></html>
+            </xsl:document>
+          </xsl:for-each>
+        </body></html>
+      </xsl:template>
+    </xsl:stylesheet>"""
+
+    def test_one_document_per_node(self):
+        sheet = compile_stylesheet(self.SHEET)
+        result = transform(sheet, parse(
+            '<m><page id="p1"/><page id="p2"/><page id="p3"/></m>'))
+        assert sorted(result.documents) == \
+            ["p1.html", "p2.html", "p3.html"]
+
+    def test_principal_document_separate(self):
+        sheet = compile_stylesheet(self.SHEET)
+        result = transform(sheet, parse('<m><page id="p1"/></m>'))
+        assert '<a href="p1.html">' in result.serialize()
+        assert "<h1>p1</h1>" in result.serialize_all()["p1.html"]
+
+    def test_duplicate_href_rejected(self):
+        sheet = compile_stylesheet(self.SHEET)
+        with pytest.raises(XSLTRuntimeError, match="overwrite"):
+            transform(sheet, parse(
+                '<m><page id="same"/><page id="same"/></m>'))
+
+    def test_nothing_leaks_into_main_output(self):
+        sheet = compile_stylesheet(self.SHEET)
+        result = transform(sheet, parse('<m><page id="p1"/></m>'))
+        assert "<h1>" not in result.serialize()
+
+
+class TestIncludes:
+    def test_include_merges_templates(self):
+        common = f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:template match="x">[X]</xsl:template>
+        </xsl:stylesheet>"""
+        main = f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:include href="common.xsl"/>
+          <xsl:template match="/"><xsl:apply-templates/></xsl:template>
+        </xsl:stylesheet>"""
+        sheet = compile_stylesheet(
+            main, resolver=lambda href: common)
+        assert transform(sheet, parse("<x/>")).serialize() == "[X]"
+
+    def test_include_without_resolver_fails(self):
+        main = f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:include href="common.xsl"/>
+        </xsl:stylesheet>"""
+        with pytest.raises(XSLTStaticError, match="resolver"):
+            compile_stylesheet(main)
+
+    def test_import_has_lower_precedence(self):
+        imported = f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:template match="x">imported</xsl:template>
+        </xsl:stylesheet>"""
+        main = f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:import href="base.xsl"/>
+          <xsl:template match="x">main</xsl:template>
+          <xsl:template match="/"><xsl:apply-templates/></xsl:template>
+        </xsl:stylesheet>"""
+        sheet = compile_stylesheet(main, resolver=lambda href: imported)
+        assert transform(sheet, parse("<x/>")).serialize() == "main"
+
+
+class TestOutputMethods:
+    def test_xml_declaration_control(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="xml" omit-xml-declaration="yes"/>
+          <xsl:template match="/"><r/></xsl:template>
+        </xsl:stylesheet>""")
+        assert transform(sheet, parse("<a/>")).serialize() == "<r/>"
+
+    def test_html_doctype(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="html"
+              doctype-public="-//W3C//DTD HTML 4.01//EN"
+              doctype-system="http://www.w3.org/TR/html4/strict.dtd"/>
+          <xsl:template match="/"><html/></xsl:template>
+        </xsl:stylesheet>""")
+        text = transform(sheet, parse("<a/>")).serialize()
+        assert text.startswith('<!DOCTYPE html PUBLIC "-//W3C')
+
+    def test_text_method_strips_markup(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/"><wrapper>words</wrapper></xsl:template>
+        </xsl:stylesheet>""")
+        assert transform(sheet, parse("<a/>")).serialize() == "words"
+
+    def test_xml_indent(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="xml" indent="yes"
+              omit-xml-declaration="yes"/>
+          <xsl:template match="/"><r><a/><b/></r></xsl:template>
+        </xsl:stylesheet>""")
+        text = transform(sheet, parse("<x/>")).serialize()
+        assert "\n  <a/>" in text
+
+    def test_unsupported_method_rejected(self):
+        with pytest.raises(XSLTStaticError):
+            compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+              <xsl:output method="pdf"/>
+              <xsl:template match="/"><r/></xsl:template>
+            </xsl:stylesheet>""")

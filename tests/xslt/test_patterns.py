@@ -1,0 +1,142 @@
+"""XSLT match patterns: matching semantics and default priorities."""
+
+import pytest
+
+from repro.xml import parse
+from repro.xpath.evaluator import Context
+from repro.xslt import XSLTStaticError, compile_pattern
+
+DOC = parse("""
+<m>
+  <fact id="f1"><att n="a"/><att n="b"/></fact>
+  <dim id="d1"><level id="l1"><att n="c"/></level></dim>
+  <other>text here</other>
+</m>
+""")
+
+
+def node(xpath_like):
+    from repro.xpath import evaluate
+
+    result = evaluate(xpath_like, DOC)
+    return result[0]
+
+
+def matches(pattern, target):
+    context = Context(node=target)
+    return compile_pattern(pattern).matches(target, context)
+
+
+class TestBasicPatterns:
+    def test_name(self):
+        assert matches("fact", node("//fact"))
+        assert not matches("fact", node("//dim"))
+
+    def test_wildcard(self):
+        assert matches("*", node("//fact"))
+        assert not matches("*", DOC)
+
+    def test_root_pattern(self):
+        assert matches("/", DOC)
+        assert not matches("/", node("//fact"))
+
+    def test_text_pattern(self):
+        text = node("//other")
+        assert matches("text()", text.children[0])
+
+    def test_node_pattern(self):
+        assert matches("node()", node("//fact"))
+        assert matches("node()", node("//other").children[0])
+
+    def test_attribute_pattern(self):
+        attr = node("//fact/@id")
+        assert matches("@id", attr)
+        assert matches("@*", attr)
+        assert not matches("@other", attr)
+        assert not matches("fact", attr)
+
+    def test_union_pattern(self):
+        assert matches("fact | dim", node("//fact"))
+        assert matches("fact | dim", node("//dim"))
+        assert not matches("fact | dim", node("//other"))
+
+
+class TestPathPatterns:
+    def test_parent_child(self):
+        assert matches("dim/level", node("//level"))
+        assert not matches("fact/level", node("//level"))
+
+    def test_grandparent_with_slash_slash(self):
+        assert matches("m//att", node("//level/att"))
+        assert matches("dim//att", node("//level/att"))
+        assert not matches("fact//att", node("//level/att"))
+
+    def test_absolute(self):
+        assert matches("/m/fact", node("//fact"))
+        assert not matches("/fact", node("//fact"))
+
+    def test_absolute_descendant(self):
+        assert matches("//att", node("//level/att"))
+
+    def test_attribute_in_path(self):
+        assert matches("fact/@id", node("//fact/@id"))
+        assert not matches("dim/@id", node("//fact/@id"))
+
+
+class TestPredicatesInPatterns:
+    def test_positional(self):
+        first, second = (n for n in
+                         __import__("repro.xpath", fromlist=["evaluate"])
+                         .evaluate("//fact/att", DOC))
+        assert matches("att[1]", first)
+        assert not matches("att[1]", second)
+        assert matches("att[2]", second)
+
+    def test_attribute_value(self):
+        assert matches("att[@n='a']", node("//att[@n='a']"))
+        assert not matches("att[@n='a']", node("//att[@n='b']"))
+
+    def test_last(self):
+        assert matches("att[last()]", node("//fact/att[2]"))
+        assert not matches("att[last()]", node("//fact/att[1]"))
+
+
+class TestPriorities:
+    @pytest.mark.parametrize("pattern,priority", [
+        ("*", -0.5),
+        ("node()", -0.5),
+        ("text()", -0.5),
+        ("fact", 0.0),
+        ("@id", 0.0),
+        ("processing-instruction('x')", 0.0),
+        ("fact[@id]", 0.5),
+        ("m/fact", 0.5),
+        ("/m", 0.5),
+        ("/", -0.5),
+    ])
+    def test_default_priority(self, pattern, priority):
+        assert compile_pattern(pattern).default_priority() == priority
+
+    def test_union_splits(self):
+        pattern = compile_pattern("fact | *")
+        parts = pattern.split_alternatives()
+        assert len(parts) == 2
+        priorities = sorted(p.default_priority() for p in parts)
+        assert priorities == [-0.5, 0.0]
+
+
+class TestRejectedPatterns:
+    @pytest.mark.parametrize("bad", [
+        "ancestor::a",          # wrong axis
+        "a/following-sibling::b",
+        "$var",                 # not a path
+        "count(x)",             # function call that is not id/key
+        "1 + 1",
+    ])
+    def test_static_errors(self, bad):
+        with pytest.raises(XSLTStaticError):
+            compile_pattern(bad)
+
+    def test_id_pattern_allowed(self):
+        pattern = compile_pattern("id('f1')")
+        assert pattern.matches(node("//fact"), Context(node=DOC))

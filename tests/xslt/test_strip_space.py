@@ -1,0 +1,63 @@
+"""xsl:strip-space / xsl:preserve-space handling."""
+
+from repro.xml import parse
+from repro.xslt import compile_stylesheet, transform
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+SOURCE = "<doc>\n  <a> keep </a>\n  <b>\n    <c/>\n  </b>\n</doc>"
+
+
+def run(top_level, source=SOURCE):
+    sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+      <xsl:output method="text"/>
+      {top_level}
+      <xsl:template match="/">
+        <xsl:for-each select="//text()">[<xsl:value-of select="."/>]</xsl:for-each>
+      </xsl:template>
+    </xsl:stylesheet>""")
+    return transform(sheet, parse(source)).serialize()
+
+
+class TestStripSpace:
+    def test_no_declaration_keeps_whitespace(self):
+        out = run("")
+        assert out.count("[") == 6  # all text nodes, incl. whitespace
+
+    def test_strip_all(self):
+        out = run('<xsl:strip-space elements="*"/>')
+        assert out == "[ keep ]"
+
+    def test_strip_specific_elements(self):
+        out = run('<xsl:strip-space elements="b"/>')
+        # Only b's two whitespace children go; doc's three stay.
+        assert out.count("[") == 4
+
+    def test_preserve_overrides_strip(self):
+        out = run('<xsl:strip-space elements="*"/>'
+                  '<xsl:preserve-space elements="b"/>')
+        assert out.count("[") == 3  # b kept its two whitespace nodes
+
+    def test_xml_space_preserve_wins(self):
+        source = '<doc xml:space="preserve">\n  <a> keep </a>\n</doc>'
+        out = run('<xsl:strip-space elements="*"/>', source)
+        assert out.count("[") == 3
+
+    def test_non_whitespace_text_never_stripped(self):
+        out = run('<xsl:strip-space elements="*"/>',
+                  "<doc>  real text  </doc>")
+        assert out == "[  real text  ]"
+
+    def test_source_document_not_mutated(self):
+        document = parse(SOURCE)
+        sheet = compile_stylesheet(
+            f'<xsl:stylesheet version="1.0" {XSL}>'
+            '<xsl:strip-space elements="*"/>'
+            '<xsl:output method="text"/>'
+            '<xsl:template match="/">x</xsl:template>'
+            "</xsl:stylesheet>")
+        transform(sheet, document)
+        whitespace_nodes = [
+            n for n in document.root_element.iter_descendants()
+            if n.kind == "text" and not n.string_value().strip()]
+        assert whitespace_nodes  # the caller's tree still has them

@@ -1,0 +1,105 @@
+"""Stylesheet compilation errors and structure."""
+
+import pytest
+
+from repro.xml import parse
+from repro.xslt import XSLTStaticError, compile_stylesheet, transform
+from repro.xslt.output import OutputSettings
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+class TestCompilationErrors:
+    def test_wrong_root(self):
+        with pytest.raises(XSLTStaticError, match="xsl:stylesheet"):
+            compile_stylesheet("<html/>")
+
+    def test_root_without_namespace(self):
+        with pytest.raises(XSLTStaticError):
+            compile_stylesheet('<stylesheet version="1.0"/>')
+
+    def test_transform_alias_accepted(self):
+        sheet = compile_stylesheet(
+            f'<xsl:transform version="1.0" {XSL}>'
+            '<xsl:output method="text"/>'
+            '<xsl:template match="/">ok</xsl:template></xsl:transform>')
+        assert transform(sheet, parse("<a/>")).serialize() == "ok"
+
+    def test_unknown_top_level_xsl_element(self):
+        with pytest.raises(XSLTStaticError, match="unsupported"):
+            compile_stylesheet(
+                f'<xsl:stylesheet version="1.0" {XSL}>'
+                "<xsl:frobnicate/></xsl:stylesheet>")
+
+    def test_non_xsl_top_level_ignored(self):
+        sheet = compile_stylesheet(
+            f'<xsl:stylesheet version="1.0" {XSL} xmlns:my="urn:my">'
+            "<my:metadata>ignored</my:metadata>"
+            '<xsl:output method="text"/>'
+            '<xsl:template match="/">ok</xsl:template></xsl:stylesheet>')
+        assert transform(sheet, parse("<a/>")).serialize() == "ok"
+
+    def test_unknown_instruction_in_body(self):
+        with pytest.raises(XSLTStaticError, match="unsupported XSLT"):
+            compile_stylesheet(
+                f'<xsl:stylesheet version="1.0" {XSL}>'
+                '<xsl:template match="/"><xsl:teleport/></xsl:template>'
+                "</xsl:stylesheet>")
+
+    def test_missing_required_attribute(self):
+        with pytest.raises(XSLTStaticError, match="select"):
+            compile_stylesheet(
+                f'<xsl:stylesheet version="1.0" {XSL}>'
+                '<xsl:template match="/"><xsl:value-of/></xsl:template>'
+                "</xsl:stylesheet>")
+
+    def test_key_requires_all_attributes(self):
+        with pytest.raises(XSLTStaticError):
+            compile_stylesheet(
+                f'<xsl:stylesheet version="1.0" {XSL}>'
+                '<xsl:key name="k" match="x"/></xsl:stylesheet>')
+
+    def test_call_to_missing_template(self):
+        sheet = compile_stylesheet(
+            f'<xsl:stylesheet version="1.0" {XSL}>'
+            '<xsl:template match="/">'
+            '<xsl:call-template name="ghost"/></xsl:template>'
+            "</xsl:stylesheet>")
+        with pytest.raises(XSLTStaticError, match="ghost"):
+            transform(sheet, parse("<a/>"))
+
+
+class TestStructure:
+    def test_version_recorded(self):
+        sheet = compile_stylesheet(
+            f'<xsl:stylesheet version="1.1" {XSL}/>')
+        assert sheet.version == "1.1"
+
+    def test_stylesheet_namespaces_collected(self):
+        sheet = compile_stylesheet(
+            f'<xsl:stylesheet version="1.0" {XSL} xmlns:cat="urn:cat"/>')
+        assert sheet.namespaces["cat"] == "urn:cat"
+
+    def test_union_template_splits_into_rules(self):
+        sheet = compile_stylesheet(
+            f'<xsl:stylesheet version="1.0" {XSL}>'
+            '<xsl:template match="a | *">x</xsl:template>'
+            "</xsl:stylesheet>")
+        priorities = sorted(r.priority for r in sheet.templates)
+        assert priorities == [-0.5, 0.0]
+
+    def test_explicit_priority_applies_to_all_alternatives(self):
+        sheet = compile_stylesheet(
+            f'<xsl:stylesheet version="1.0" {XSL}>'
+            '<xsl:template match="a | b" priority="7">x</xsl:template>'
+            "</xsl:stylesheet>")
+        assert [r.priority for r in sheet.templates] == [7.0, 7.0]
+
+    def test_output_doctype_helper(self):
+        settings = OutputSettings(doctype_system="s.dtd")
+        assert settings.doctype("html") == \
+            '<!DOCTYPE html SYSTEM "s.dtd">'
+        settings = OutputSettings(doctype_public="-//P",
+                                  doctype_system="s.dtd")
+        assert "PUBLIC" in settings.doctype("html")
+        assert OutputSettings().doctype("html") is None

@@ -1,0 +1,216 @@
+"""XSLT additions to the XPath function library + format-number + AVT."""
+
+import pytest
+
+from repro.xml import parse
+from repro.xslt import compile_stylesheet, format_number, transform
+from repro.xslt.avt import compile_avt
+from repro.xslt.errors import XSLTStaticError
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+def out(stylesheet, source, params=None, **kwargs):
+    sheet = compile_stylesheet(stylesheet, **kwargs)
+    return transform(sheet, parse(source), params).serialize()
+
+
+class TestKeys:
+    SOURCE = """<m>
+      <dim id="d1" name="Time"/><dim id="d2" name="Product"/>
+      <use ref="d2"/><use ref="d1"/><use ref="d2"/>
+    </m>"""
+
+    def test_key_lookup(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:key name="dim" match="dim" use="@id"/>
+          <xsl:template match="/">
+            <xsl:for-each select="//use">
+              <xsl:value-of select="key('dim', @ref)/@name"/>,</xsl:for-each>
+          </xsl:template>
+        </xsl:stylesheet>""", self.SOURCE)
+        assert result == "Product,Time,Product,"
+
+    def test_key_with_nodeset_argument(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:key name="dim" match="dim" use="@id"/>
+          <xsl:template match="/">
+            <xsl:value-of select="count(key('dim', //use/@ref))"/>
+          </xsl:template>
+        </xsl:stylesheet>""", self.SOURCE)
+        assert result == "2"  # duplicates collapse to unique nodes
+
+    def test_missing_key_value(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:key name="dim" match="dim" use="@id"/>
+          <xsl:template match="/">
+            <xsl:value-of select="count(key('dim', 'ghost'))"/>
+          </xsl:template>
+        </xsl:stylesheet>""", self.SOURCE)
+        assert result == "0"
+
+    def test_undefined_key_name(self):
+        from repro.xslt import XSLTRuntimeError
+
+        with pytest.raises(XSLTRuntimeError, match="no xsl:key"):
+            out(f"""<xsl:stylesheet version="1.0" {XSL}>
+              <xsl:template match="/">
+                <xsl:value-of select="count(key('nope', 'x'))"/>
+              </xsl:template>
+            </xsl:stylesheet>""", self.SOURCE)
+
+
+class TestCurrent:
+    def test_current_vs_context_in_predicate(self):
+        # Inside a predicate, '.' changes but current() stays the for-each
+        # node — the classic join idiom.
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:for-each select="//use">
+              <xsl:value-of select="//dim[@id = current()/@ref]/@name"/>,
+            </xsl:for-each>
+          </xsl:template>
+        </xsl:stylesheet>""", TestKeys.SOURCE)
+        assert "Product" in result and "Time" in result
+
+
+class TestGenerateId:
+    def test_stable_within_run(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:variable name="a" select="generate-id(//dim[1])"/>
+            <xsl:variable name="b" select="generate-id(//dim[1])"/>
+            <xsl:variable name="c" select="generate-id(//dim[2])"/>
+            <xsl:value-of select="$a = $b"/>:<xsl:value-of select="$a = $c"/>
+          </xsl:template>
+        </xsl:stylesheet>""", TestKeys.SOURCE)
+        assert result == "true:false"
+
+    def test_empty_nodeset_gives_empty_string(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            [<xsl:value-of select="generate-id(//ghost)"/>]
+          </xsl:template>
+        </xsl:stylesheet>""", "<a/>")
+        assert "[]" in result
+
+
+class TestDocumentFunction:
+    def test_document_empty_returns_stylesheet(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:value-of select="name(document('')/*)"/>
+          </xsl:template>
+        </xsl:stylesheet>""", "<a/>")
+        assert result == "xsl:stylesheet"
+
+    def test_document_via_loader(self):
+        loaded = parse("<extern><v>42</v></extern>")
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:value-of select="document('other.xml')//v"/>
+          </xsl:template>
+        </xsl:stylesheet>""")
+        from repro.xslt import Transformer
+
+        result = Transformer(
+            sheet, document_loader=lambda href: loaded
+        ).transform(parse("<a/>"))
+        assert result.serialize() == "42"
+
+    def test_document_without_loader_fails(self):
+        from repro.xslt import XSLTRuntimeError
+
+        with pytest.raises(XSLTRuntimeError, match="no document loader"):
+            out(f"""<xsl:stylesheet version="1.0" {XSL}>
+              <xsl:template match="/">
+                <xsl:value-of select="document('x.xml')"/>
+              </xsl:template>
+            </xsl:stylesheet>""", "<a/>")
+
+
+class TestSystemProperties:
+    def test_version_and_vendor(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:value-of select="system-property('xsl:version')"/>
+          </xsl:template>
+        </xsl:stylesheet>""", "<a/>")
+        assert result == "1.1"  # xsl:document supported
+
+    def test_element_available(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:value-of select="element-available('xsl:document')"/>:<xsl:value-of select="element-available('xsl:quantum')"/>
+          </xsl:template>
+        </xsl:stylesheet>""", "<a/>")
+        assert result == "true:false"
+
+    def test_function_available(self):
+        result = out(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:value-of select="function-available('key')"/>:<xsl:value-of select="function-available('regexp')"/>
+          </xsl:template>
+        </xsl:stylesheet>""", "<a/>")
+        assert result == "true:false"
+
+
+class TestFormatNumber:
+    @pytest.mark.parametrize("value,pattern,expected", [
+        (1234.5, "#,##0.00", "1,234.50"),
+        (0.5, "0%", "50%"),
+        (42.0, "0000", "0042"),
+        (3.14159, "0.##", "3.14"),
+        (3.0, "0.##", "3"),
+        (3.0, "0.0#", "3.0"),
+        (-7.5, "0.0", "-7.5"),
+        (-7.5, "0.0;(0.0)", "(7.5)"),
+        (1234567.0, "#,###", "1,234,567"),
+        (float("nan"), "0", "NaN"),
+        (float("inf"), "0", "Infinity"),
+    ])
+    def test_patterns(self, value, pattern, expected):
+        assert format_number(value, pattern) == expected
+
+
+class TestAvt:
+    def test_plain_text(self):
+        avt = compile_avt("plain")
+        assert avt.is_literal
+
+    def test_escaped_braces(self):
+        from repro.xpath.evaluator import Context
+        from repro.xml import parse as p
+
+        avt = compile_avt("a{{b}}c")
+        assert avt.evaluate(Context(node=p("<x/>"))) == "a{b}c"
+
+    def test_expression_with_literal_braces_in_string(self):
+        from repro.xpath.evaluator import Context
+        from repro.xml import parse as p
+
+        avt = compile_avt("{concat('{', '}')}")
+        assert avt.evaluate(Context(node=p("<x/>"))) == "{}"
+
+    def test_unterminated_brace(self):
+        with pytest.raises(XSLTStaticError, match="unterminated"):
+            compile_avt("{@id")
+
+    def test_stray_close_brace(self):
+        with pytest.raises(XSLTStaticError):
+            compile_avt("oops}")
+
+    def test_bad_expression(self):
+        with pytest.raises(XSLTStaticError, match="bad expression"):
+            compile_avt("{1 +}")
