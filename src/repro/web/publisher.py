@@ -73,6 +73,7 @@ class Site:
 
 
 _compiled_cache: dict[str, Stylesheet] = {}
+_transformer_cache: dict[str, Transformer] = {}
 
 
 def _compiled(text: str) -> Stylesheet:
@@ -83,12 +84,26 @@ def _compiled(text: str) -> Stylesheet:
     return sheet
 
 
+def _transformer(text: str) -> Transformer:
+    """A cached Transformer per stylesheet text.
+
+    Transformers are stateless across runs (per-transformation state
+    lives in an internal run object), so the serving scenario — repeated
+    publishes of changing models — reuses one instance and skips both
+    stylesheet compilation and template-dispatch index construction.
+    """
+    transformer = _transformer_cache.get(text)
+    if transformer is None:
+        transformer = Transformer(_compiled(text))
+        _transformer_cache[text] = transformer
+    return transformer
+
+
 def publish_multi_page(model: GoldModel, *,
                        stylesheet: str = MULTI_PAGE_XSL) -> Site:
     """Generate the linked multi-page site (Fig. 6) for *model*."""
     document = model_to_document(model)
-    transformer = Transformer(_compiled(stylesheet))
-    result = transformer.transform(document)
+    result = _transformer(stylesheet).transform(document)
     site = Site(messages=list(result.messages))
     rendered = result.serialize_all()
     site.pages["index.html"] = rendered.pop("")
@@ -102,8 +117,7 @@ def publish_single_page(model: GoldModel, *,
                         stylesheet: str = SINGLE_PAGE_XSL) -> Site:
     """Generate the one-page site with internal anchors for *model*."""
     document = model_to_document(model)
-    transformer = Transformer(_compiled(stylesheet))
-    result = transformer.transform(document)
+    result = _transformer(stylesheet).transform(document)
     site = Site(messages=list(result.messages))
     site.pages["index.html"] = result.serialize()
     site.pages["gold.css"] = DEFAULT_CSS

@@ -18,6 +18,7 @@ building multi-megabyte lookup sets.
 from __future__ import annotations
 
 from bisect import bisect_right
+from functools import lru_cache
 
 __all__ = [
     "is_xml_char",
@@ -112,6 +113,11 @@ def is_name_char(ch: str) -> bool:
     return _in_ranges(ord(ch), _NAME_LOWS, _NAME_HIGHS)
 
 
+# The name predicates and split_qname are memoized: document and result
+# trees repeat a small vocabulary of element/attribute names, and these
+# run on the hot path of every Element/Attribute construction.
+
+@lru_cache(maxsize=8192)
 def is_name(text: str) -> bool:
     """Return True if *text* is a valid XML ``Name`` (colons allowed)."""
     if not text or not is_name_start_char(text[0]):
@@ -119,11 +125,13 @@ def is_name(text: str) -> bool:
     return all(is_name_char(ch) for ch in text[1:])
 
 
+@lru_cache(maxsize=8192)
 def is_ncname(text: str) -> bool:
     """Return True if *text* is a valid ``NCName`` (a Name without colons)."""
     return is_name(text) and ":" not in text
 
 
+@lru_cache(maxsize=8192)
 def is_qname(text: str) -> bool:
     """Return True if *text* is a valid ``QName`` (``prefix:local`` or local)."""
     if ":" not in text:
@@ -132,6 +140,7 @@ def is_qname(text: str) -> bool:
     return is_ncname(prefix) and is_ncname(local)
 
 
+@lru_cache(maxsize=8192)
 def split_qname(text: str) -> tuple[str | None, str]:
     """Split a QName into ``(prefix, local)``; prefix is None when absent."""
     if ":" in text:

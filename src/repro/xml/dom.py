@@ -23,10 +23,13 @@ Example
 
 from __future__ import annotations
 
+from operator import methodcaller
 from typing import Iterator, Sequence
 
 from .chars import is_name, is_qname, split_qname
 from .errors import DOMError
+
+_ORDER_KEY = methodcaller("document_order_key")
 
 __all__ = [
     "XML_NAMESPACE",
@@ -48,15 +51,28 @@ XMLNS_NAMESPACE = "http://www.w3.org/2000/xmlns/"
 
 
 class Node:
-    """Base class for all tree nodes."""
+    """Base class for all tree nodes.
 
-    __slots__ = ("parent",)
+    Document-order keys are memoized per node (``_order_cache``) and
+    validated against a version counter kept on the tree's root
+    (``_doc_version``): structural mutations that shift sibling indices
+    bump the root's version, which lazily invalidates every cached key in
+    that tree.  Reattaching a subtree under a new root invalidates its
+    cached keys automatically because the cache also records which root
+    the key was computed under.
+    """
+
+    __slots__ = ("parent", "_order_cache", "_doc_version")
 
     #: XPath node-kind name; overridden by subclasses.
     kind = "node"
 
     def __init__(self) -> None:
         self.parent: Node | None = None
+        #: Cached ``(root, root_version, key)`` for document_order_key.
+        self._order_cache: tuple | None = None
+        #: Mutation counter; only meaningful on root nodes.
+        self._doc_version = 0
 
     # -- tree navigation ---------------------------------------------------
 
@@ -97,15 +113,37 @@ class Node:
         The key is the path of child indices from the root; attributes and
         namespace nodes sort directly after their owner element and before
         its children (namespace nodes before attributes, per XPath).
+
+        Keys are memoized: computing the key for one node caches partial
+        keys for every ancestor on the way down, so sorting a node-set is
+        amortized O(1) key lookups per node while the tree is stable.
         """
-        path: list[int] = []
+        if self.parent is None:
+            return ()
+        chain: list[Node] = []
         node: Node = self
         while node.parent is not None:
-            parent = node.parent
-            path.append(parent._child_order_index(node))
-            node = parent
-        path.reverse()
-        return tuple(path)
+            chain.append(node)
+            node = node.parent
+        root = node
+        version = root._doc_version
+        key: tuple[int, ...] = ()
+        for link in reversed(chain):
+            cache = link._order_cache
+            if cache is not None and cache[0] is root and \
+                    cache[1] == version:
+                key = cache[2]
+            else:
+                key = key + (link.parent._child_order_index(link),)
+                link._order_cache = (root, version, key)
+        return key
+
+    def _bump_doc_version(self) -> None:
+        """Invalidate cached order keys for the whole tree (lazily)."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        node._doc_version += 1
 
     def _child_order_index(self, child: "Node") -> int:
         raise DOMError(f"{type(self).__name__} has no children")
@@ -114,11 +152,13 @@ class Node:
 class _ParentNode(Node):
     """Shared implementation for nodes that hold children."""
 
-    __slots__ = ("children",)
+    __slots__ = ("children", "_child_index")
 
     def __init__(self) -> None:
         super().__init__()
         self.children: list[Node] = []
+        #: Lazily built ``id(child) -> order index`` map; None when stale.
+        self._child_index: dict[int, int] | None = None
 
     def append_child(self, child: Node) -> Node:
         """Attach *child* as the last child and return it."""
@@ -127,6 +167,12 @@ class _ParentNode(Node):
             child.parent.remove_child(child)  # type: ignore[union-attr]
         child.parent = self
         self.children.append(child)
+        # Appending never shifts existing sibling indices, so cached order
+        # keys stay valid; extend the index map in place when present.
+        index = self._child_index
+        if index is not None:
+            base = 2 if isinstance(self, Element) else 0
+            index[id(child)] = base + len(self.children) - 1
         return child
 
     def insert_before(self, child: Node, reference: Node | None) -> Node:
@@ -142,6 +188,7 @@ class _ParentNode(Node):
             child.parent.remove_child(child)  # type: ignore[union-attr]
         child.parent = self
         self.children.insert(index, child)
+        self._children_changed()
         return child
 
     def remove_child(self, child: Node) -> Node:
@@ -150,26 +197,48 @@ class _ParentNode(Node):
             self.children.remove(child)
         except ValueError:
             raise DOMError("node to remove is not a child") from None
+        self._children_changed()
         child.parent = None
         return child
+
+    def _children_changed(self) -> None:
+        """Invalidate order caches after a mutation that shifts indices.
+
+        Callers that splice ``children`` directly (rather than through
+        :meth:`insert_before` / :meth:`remove_child`) must invoke this, or
+        cached document-order keys in the tree go stale.
+        """
+        self._child_index = None
+        self._bump_doc_version()
 
     def _check_insertable(self, child: Node) -> None:
         if isinstance(child, (Document, Attribute, NamespaceNode)):
             raise DOMError(f"cannot insert a {child.kind} node as a child")
-        node: Node | None = self
-        while node is not None:
-            if node is child:
-                raise DOMError("cannot insert a node into itself")
-            node = node.parent
+        if child is self:
+            raise DOMError("cannot insert a node into itself")
+        # Only a node with descendants can be an ancestor of self, so the
+        # ancestor walk is skipped for leaves and freshly built elements.
+        if isinstance(child, _ParentNode) and child.children:
+            node: Node | None = self.parent
+            while node is not None:
+                if node is child:
+                    raise DOMError("cannot insert a node into itself")
+                node = node.parent
 
     def _child_order_index(self, child: Node) -> int:
         # Children start at 2 so namespace (0) and attribute (1) pseudo
         # positions of an element sort before them.  See Element.
-        base = 2 if isinstance(self, Element) else 0
-        for i, node in enumerate(self.children):
-            if node is child:
-                return base + i
-        raise DOMError("node is not a child")
+        index = self._child_index
+        if index is None:
+            base = 2 if isinstance(self, Element) else 0
+            index = {
+                id(node): base + i for i, node in enumerate(self.children)
+            }
+            self._child_index = index
+        try:
+            return index[id(child)]
+        except KeyError:
+            raise DOMError("node is not a child") from None
 
     # -- traversal helpers ---------------------------------------------------
 
@@ -256,7 +325,7 @@ class Element(_ParentNode):
     """An element node with ordered attributes and namespace declarations."""
 
     __slots__ = ("name", "attributes", "namespace_declarations",
-                 "line", "column")
+                 "line", "column", "_ns_cache")
 
     kind = "element"
 
@@ -272,6 +341,8 @@ class Element(_ParentNode):
         self.namespace_declarations: dict[str, str] = {}
         self.line = line
         self.column = column
+        #: Cached ``(root, version, {prefix: uri})`` namespace resolutions.
+        self._ns_cache: tuple | None = None
 
     # -- names ---------------------------------------------------------------
 
@@ -295,19 +366,43 @@ class Element(_ParentNode):
     def declare_namespace(self, prefix: str, uri: str) -> None:
         """Declare ``xmlns:prefix="uri"`` (or default when prefix is '')."""
         self.namespace_declarations[prefix] = uri
+        # A new declaration changes the in-scope bindings of this whole
+        # subtree; the version bump lazily drops descendant ns caches.
+        self._bump_doc_version()
 
     def lookup_namespace(self, prefix: str) -> str | None:
-        """Resolve *prefix* against in-scope declarations (None if unbound)."""
+        """Resolve *prefix* against in-scope declarations (None if unbound).
+
+        Resolutions are memoized per element with the same root/version
+        stamp as document-order keys, so repeated name tests over a
+        stable tree do not re-walk the ancestor chain.
+        """
         if prefix == "xml":
             return XML_NAMESPACE
         if prefix == "xmlns":
             return XMLNS_NAMESPACE
+        root: Node = self
+        while root.parent is not None:
+            root = root.parent
+        version = root._doc_version
+        cache = self._ns_cache
+        if cache is None or cache[0] is not root or cache[1] != version:
+            cache = (root, version, {})
+            self._ns_cache = cache
+        table: dict[str, str | None] = cache[2]
+        try:
+            return table[prefix]
+        except KeyError:
+            pass
         node: Node | None = self
+        uri: str | None = None
         while isinstance(node, Element):
             if prefix in node.namespace_declarations:
-                return node.namespace_declarations[prefix] or None
+                uri = node.namespace_declarations[prefix] or None
+                break
             node = node.parent
-        return None
+        table[prefix] = uri
+        return uri
 
     def in_scope_namespaces(self) -> dict[str, str]:
         """All prefix→URI bindings in scope (excluding undeclared defaults)."""
@@ -363,6 +458,9 @@ class Element(_ParentNode):
             if attr.name == name:
                 attr.parent = None
                 del self.attributes[i]
+                # Later attributes shift down one position, invalidating
+                # their cached order keys.
+                self._bump_doc_version()
                 return
 
     # -- XPath ----------------------------------------------------------------
@@ -374,16 +472,31 @@ class Element(_ParentNode):
         return 1
 
     def document_order_key_for_attr(self, attr: "Attribute") -> tuple:
-        """Order key placing *attr* after self but before child nodes."""
+        """Order key placing *attr* after self but before child nodes.
+
+        Raises :class:`DOMError` when *attr* is not (or no longer) one of
+        this element's attributes — a detached attribute has no document
+        order, and silently defaulting its position used to mis-sort it.
+        """
         index = next(
-            (i for i, a in enumerate(self.attributes) if a is attr), 0)
-        return self.document_order_key() + (1, index)
+            (i for i, a in enumerate(self.attributes) if a is attr), None)
+        if index is None:
+            raise DOMError(
+                f"attribute {attr.name!r} is not owned by <{self.name}>")
+        key = self.document_order_key() + (1, index)
+        cache = self._order_cache
+        if cache is not None:
+            # Reuse the element's (root, version) stamp so the attribute
+            # key invalidates together with the element's own key.
+            attr._order_cache = (cache[0], cache[1], key)
+        return key
 
 
 class Attribute(Node):
     """An attribute node.  Its parent is the owning element."""
 
-    __slots__ = ("name", "value", "is_id", "specified", "line", "column")
+    __slots__ = ("name", "value", "is_id", "specified", "line", "column",
+                 "is_namespace_decl")
 
     kind = "attribute"
 
@@ -394,6 +507,10 @@ class Attribute(Node):
         super().__init__()
         self.name = name
         self.value = value
+        #: True for ``xmlns``/``xmlns:*`` declarations, which the XPath
+        #: attribute axis must skip; precomputed because the axis visits
+        #: every attribute of every traversed element.
+        self.is_namespace_decl = name == "xmlns" or name.startswith("xmlns:")
         #: Set by DTD/XSD validation when the attribute has ID type.
         self.is_id = False
         #: False when the value came from a DTD/schema default.
@@ -427,9 +544,16 @@ class Attribute(Node):
 
     def document_order_key(self) -> tuple:
         owner = self.parent
-        if isinstance(owner, Element):
-            return owner.document_order_key_for_attr(self)
-        return ()
+        if not isinstance(owner, Element):
+            return ()
+        cache = self._order_cache
+        if cache is not None:
+            root: Node = owner
+            while root.parent is not None:
+                root = root.parent
+            if cache[0] is root and cache[1] == root._doc_version:
+                return cache[2]
+        return owner.document_order_key_for_attr(self)
 
 
 class Text(Node):
@@ -537,10 +661,14 @@ def clone_node(node: Node) -> Node:
 
 def sort_document_order(nodes: Sequence[Node]) -> list[Node]:
     """Return *nodes* sorted into document order with duplicates removed."""
+    if len(nodes) <= 1:
+        return list(nodes)
     seen: set[int] = set()
     unique: list[Node] = []
     for node in nodes:
         if id(node) not in seen:
             seen.add(id(node))
             unique.append(node)
-    return sorted(unique, key=lambda n: n.document_order_key())
+    # methodcaller (not an unbound method) so Attribute/NamespaceNode
+    # overrides of document_order_key are honoured.
+    return sorted(unique, key=_ORDER_KEY)

@@ -12,6 +12,7 @@ Three output styles are provided, matching the needs of the pipeline:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from io import StringIO
 
 from .dom import (
@@ -204,9 +205,14 @@ def _write_pretty(node: Node, out: StringIO, indent: str, depth: int) -> None:
 # -- HTML writer ----------------------------------------------------------------
 
 
+@lru_cache(maxsize=1024)
+def _html_tag(name: str) -> str:
+    return name.lower() if ":" not in name else name
+
+
 def _write_html(node: Node, out: StringIO, *, raw: bool = False) -> None:
     if isinstance(node, Element):
-        tag = node.name.lower() if ":" not in node.name else node.name
+        tag = _html_tag(node.name)
         out.write(f"<{tag}")
         for attr in node.attributes:
             name = attr.name.lower()

@@ -18,7 +18,13 @@ from ..xml.dom import (
     Node,
 )
 
-__all__ = ["AXES", "principal_node_kind"]
+__all__ = [
+    "AXES",
+    "REVERSE_AXES",
+    "ORDER_PRESERVING_AXES",
+    "FLAT_PRESERVING_AXES",
+    "principal_node_kind",
+]
 
 
 def _children(node: Node) -> list[Node]:
@@ -121,9 +127,8 @@ def _reverse_descendants(node: Node) -> Iterator[Node]:
 def axis_attribute(node: Node) -> Iterator[Node]:
     if isinstance(node, Element):
         for attr in node.attributes:
-            if attr.name == "xmlns" or attr.name.startswith("xmlns:"):
-                continue
-            yield attr
+            if not attr.is_namespace_decl:
+                yield attr
 
 
 def axis_namespace(node: Node) -> Iterator[Node]:
@@ -152,6 +157,24 @@ AXES: dict[str, Callable[[Node], Iterator[Node]]] = {
 #: Axes whose natural order is reverse document order.
 REVERSE_AXES = frozenset({
     "ancestor", "ancestor-or-self", "preceding", "preceding-sibling",
+})
+
+#: Axes for which concatenating per-node results over a document-ordered
+#: context (deduplicated by identity) is itself in document order, for
+#: *any* context.  ``self``/``attribute``/``namespace`` results sort at
+#: their context node's position; ``descendant``/``descendant-or-self``
+#: results are either disjoint (non-nested context nodes) or fully
+#: contained in an earlier node's results (nested ones), so duplicates
+#: absorb any overlap.
+ORDER_PRESERVING_AXES = frozenset({
+    "self", "attribute", "namespace", "descendant", "descendant-or-self",
+})
+
+#: Axes that keep a context "flat" (free of ancestor/descendant pairs).
+#: Over a flat context the ``child`` axis is also order-preserving, since
+#: sibling-disjoint subtrees cannot interleave.
+FLAT_PRESERVING_AXES = frozenset({
+    "self", "child", "attribute", "namespace",
 })
 
 

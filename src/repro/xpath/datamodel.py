@@ -10,6 +10,7 @@ make ``string(2.0) == "2"``.
 from __future__ import annotations
 
 import math
+from operator import methodcaller
 from typing import Sequence
 
 from ..xml.dom import Node, sort_document_order
@@ -28,6 +29,8 @@ __all__ = [
 
 #: The union of the four XPath value types.
 XPathValue = "bool | float | str | list[Node]"
+
+_ORDER_KEY = methodcaller("document_order_key")
 
 
 def is_node_set(value: object) -> bool:
@@ -82,7 +85,9 @@ def to_string(value: object) -> str:
     if isinstance(value, list):
         if not value:
             return ""
-        first = min(value, key=lambda n: n.document_order_key())
+        if len(value) == 1:
+            return value[0].string_value()
+        first = min(value, key=_ORDER_KEY)
         return string_value(first)
     raise XPathTypeError(f"cannot convert {type(value).__name__} to string")
 
@@ -109,4 +114,6 @@ def number_to_string(number: float) -> str:
 
 def document_order(nodes: Sequence[Node]) -> list[Node]:
     """Sort *nodes* into document order, removing duplicates."""
+    if len(nodes) <= 1:
+        return list(nodes)
     return sort_document_order(nodes)

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
+from ..xml.chars import split_qname
 from ..xml.dom import (
     Attribute,
     Comment,
@@ -49,7 +50,13 @@ from .ast import (
     UnionExpr,
     VariableReference,
 )
-from .axes import AXES, REVERSE_AXES, principal_node_kind
+from .axes import (
+    AXES,
+    FLAT_PRESERVING_AXES,
+    ORDER_PRESERVING_AXES,
+    REVERSE_AXES,
+    principal_node_kind,
+)
 from .datamodel import (
     document_order,
     is_node_set,
@@ -64,6 +71,9 @@ __all__ = ["Context", "XPathEvaluator", "evaluate", "compile_xpath"]
 
 #: Signature of an XPath extension function.
 XPathFunction = Callable[["Context", Sequence[object]], object]
+
+#: Lazily bound view of functions.CORE_FUNCTIONS (import cycle).
+_CORE_FUNCTIONS: Mapping[str, XPathFunction] | None = None
 
 
 @dataclass
@@ -140,10 +150,15 @@ class XPathEvaluator:
                 f"undefined variable ${expr.name}") from None
 
     def _eval_function(self, expr: FunctionCall, context: Context) -> object:
-        from .functions import CORE_FUNCTIONS
+        global _CORE_FUNCTIONS
+        if _CORE_FUNCTIONS is None:
+            # Deferred to break the evaluator <-> functions import cycle;
+            # cached so the hot path skips the import machinery.
+            from .functions import CORE_FUNCTIONS
+            _CORE_FUNCTIONS = CORE_FUNCTIONS
 
         function = context.functions.get(expr.name) or \
-            CORE_FUNCTIONS.get(expr.name)
+            _CORE_FUNCTIONS.get(expr.name)
         if function is None:
             raise XPathNameError(f"undefined function {expr.name}()")
         args = [self.evaluate(arg, context) for arg in expr.args]
@@ -280,16 +295,75 @@ class XPathEvaluator:
 
     def _apply_steps(self, steps: Sequence[Step], start: list[Node],
                      context: Context) -> list[Node]:
+        """Apply *steps* left to right, keeping the node-set in document
+        order at every step.
+
+        Re-sorting after each step is avoided whenever the step provably
+        preserves order over an ordered context (see
+        :data:`~repro.xpath.axes.ORDER_PRESERVING_AXES`): forward axes
+        over a single node, subtree axes over any context, and the
+        ``child`` axis over a *flat* context (one with no
+        ancestor/descendant pairs).  The ``//name`` abbreviation is fused
+        into a single ``descendant`` step when no predicates intervene,
+        which both skips a full intermediate node-set and stays ordered.
+        """
+        if len(steps) == 1 and len(start) == 1:
+            # Dominant shape: one step from one context node (e.g.
+            # ``@name`` or ``child::x`` in a select).  The axis iterator
+            # cannot repeat nodes and emits them in axis order, so no
+            # dedup or sort is needed — just flip reverse axes.
+            step = steps[0]
+            gathered = self._apply_step(step, start[0], context)
+            if step.axis in REVERSE_AXES:
+                gathered.reverse()
+            return gathered
         current = document_order(start)
-        for step in steps:
-            gathered: list[Node] = []
-            seen: set[int] = set()
-            for node in current:
-                for result in self._apply_step(step, node, context):
-                    if id(result) not in seen:
-                        seen.add(id(result))
-                        gathered.append(result)
-            current = document_order(gathered)
+        flat = len(current) <= 1
+        index = 0
+        total = len(steps)
+        while index < total:
+            step = steps[index]
+            axis_name = step.axis
+            if (axis_name == "descendant-or-self"
+                    and not step.predicates
+                    and isinstance(step.test, NodeTypeTest)
+                    and step.test.node_type == "node"
+                    and index + 1 < total):
+                successor = steps[index + 1]
+                if successor.axis == "child" and not successor.predicates:
+                    # descendant-or-self::node()/child::T == descendant::T
+                    # (only safe without predicates: position() differs).
+                    step = Step(axis="descendant", test=successor.test,
+                                predicates=())
+                    axis_name = "descendant"
+                    index += 1
+            singleton = len(current) == 1
+            if singleton:
+                # One context node: axis iterators never repeat a node,
+                # so no dedup pass is needed.
+                gathered = self._apply_step(step, current[0], context)
+            else:
+                gathered = []
+                seen: set[int] = set()
+                for node in current:
+                    for result in self._apply_step(step, node, context):
+                        if id(result) not in seen:
+                            seen.add(id(result))
+                            gathered.append(result)
+            if axis_name in REVERSE_AXES:
+                if singleton:
+                    gathered.reverse()
+                    current = gathered
+                else:
+                    current = document_order(gathered)
+            elif singleton or axis_name in ORDER_PRESERVING_AXES or \
+                    (flat and axis_name == "child"):
+                current = gathered
+            else:
+                current = document_order(gathered)
+            flat = len(current) <= 1 or \
+                (flat and axis_name in FLAT_PRESERVING_AXES)
+            index += 1
         return current
 
     def _apply_step(self, step: Step, node: Node,
@@ -298,10 +372,23 @@ class XPathEvaluator:
         if axis is None:
             raise XPathNameError(f"unknown axis {step.axis!r}")
         principal = principal_node_kind(step.axis)
-        candidates = [
-            n for n in axis(node)
-            if self._node_test(step.test, n, principal, context)
-        ]
+        test = step.test
+        if type(test) is NameTest and principal != "namespace" and \
+                ":" not in test.name and test.name != "*":
+            # Fast path for the dominant test shape — an unprefixed
+            # concrete name over an element/attribute axis — with the
+            # generic _node_test inlined.
+            name = test.name
+            candidates = [
+                n for n in axis(node)
+                if n.kind == principal and n.local_name == name and
+                n.namespace_uri is None
+            ]
+        else:
+            candidates = [
+                n for n in axis(node)
+                if self._node_test(test, n, principal, context)
+            ]
         reverse = step.axis in REVERSE_AXES
         for predicate in step.predicates:
             candidates = self._filter(candidates, predicate, context,
@@ -326,26 +413,26 @@ class XPathEvaluator:
 
     def _node_test(self, test: NodeTest, node: Node, principal: str,
                    context: Context) -> bool:
-        if isinstance(test, NodeTypeTest):
-            if test.node_type == "node":
-                return True
-            if test.node_type == "text":
-                return isinstance(node, Text)
-            if test.node_type == "comment":
-                return isinstance(node, Comment)
-            return False
-        if isinstance(test, PITest):
+        # NameTest first: it dominates real query workloads.
+        if not isinstance(test, NameTest):
+            if isinstance(test, NodeTypeTest):
+                if test.node_type == "node":
+                    return True
+                if test.node_type == "text":
+                    return isinstance(node, Text)
+                if test.node_type == "comment":
+                    return isinstance(node, Comment)
+                return False
+            assert isinstance(test, PITest)
             if not isinstance(node, ProcessingInstruction):
                 return False
             return test.target is None or node.target == test.target
-        assert isinstance(test, NameTest)
         if node.kind != principal:
             return False
         if test.name == "*":
             return True
 
-        prefix, local = (test.name.split(":", 1) if ":" in test.name
-                         else (None, test.name))
+        prefix, local = split_qname(test.name)
         if prefix is not None:
             uri = context.namespaces.get(prefix)
             if uri is None:

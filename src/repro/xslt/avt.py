@@ -26,19 +26,27 @@ _EVALUATOR = XPathEvaluator()
 class AVT:
     """A compiled attribute value template: literal and expression parts."""
 
-    __slots__ = ("text", "_parts")
+    __slots__ = ("text", "_parts", "_literal")
 
     def __init__(self, text: str, parts: list["str | Expr"]) -> None:
         self.text = text
         self._parts = parts
+        #: Pre-joined value when no expressions are embedded — the common
+        #: case for literal result-element attributes, evaluated once at
+        #: compile time instead of per instantiation.
+        self._literal: str | None = (
+            "".join(parts) if all(isinstance(p, str) for p in parts)
+            else None)
 
     @property
     def is_literal(self) -> bool:
         """True when the template contains no expressions."""
-        return all(isinstance(part, str) for part in self._parts)
+        return self._literal is not None
 
     def evaluate(self, context: Context) -> str:
         """Instantiate the template in *context*."""
+        if self._literal is not None:
+            return self._literal
         out: list[str] = []
         for part in self._parts:
             if isinstance(part, str):

@@ -21,6 +21,7 @@ tree, any secondary documents keyed by href, and collected
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
@@ -131,6 +132,63 @@ class _Frame:
         return merged
 
 
+class _RuleIndex:
+    """A per-mode template-rule index keyed by (node kind, local name).
+
+    Buckets hold ``(rank, rule)`` pairs where *rank* is the rule's
+    position in the precedence/priority-sorted rule list; candidate
+    buckets for a node are merged by rank, so taking the first match is
+    identical to scanning the whole sorted list, while only rules whose
+    pattern could possibly match the node's kind/name are consulted.
+    """
+
+    __slots__ = ("named", "kinds", "any_kind")
+
+    def __init__(self, rules: Sequence[TemplateRule]) -> None:
+        #: (kind, local-name) → candidates, for concrete name tests.
+        self.named: dict[tuple[str, str], list] = {}
+        #: kind → candidates, for wildcard/name-free tests of that kind.
+        self.kinds: dict[str, list] = {}
+        #: Candidates that may match any node kind (id()/key() patterns).
+        self.any_kind: list = []
+        for rank, rule in enumerate(rules):
+            assert rule.pattern is not None
+            entry = (rank, rule)
+            buckets_seen = set()
+            for kind, name in rule.pattern.dispatch_keys():
+                if kind == "*":
+                    bucket_key: object = "*"
+                    bucket = self.any_kind
+                elif name is not None:
+                    bucket_key = (kind, name)
+                    bucket = self.named.setdefault((kind, name), [])
+                else:
+                    bucket_key = kind
+                    bucket = self.kinds.setdefault(kind, [])
+                if bucket_key not in buckets_seen:
+                    buckets_seen.add(bucket_key)
+                    bucket.append(entry)
+
+    def candidates(self, node: Node):
+        """Candidate ``(rank, rule)`` pairs for *node*, rank-ascending."""
+        kind = node.kind
+        lists = []
+        if kind in ("element", "attribute"):
+            named = self.named.get((kind, node.local_name))  # type: ignore[union-attr]
+            if named:
+                lists.append(named)
+        generic = self.kinds.get(kind)
+        if generic:
+            lists.append(generic)
+        if self.any_kind:
+            lists.append(self.any_kind)
+        if not lists:
+            return ()
+        if len(lists) == 1:
+            return lists[0]
+        return heapq.merge(*lists)
+
+
 class Transformer:
     """Executes one stylesheet; reusable across source documents."""
 
@@ -147,9 +205,11 @@ class Transformer:
             if rule.pattern is None:
                 continue
             self._rules_by_mode.setdefault(rule.mode, []).append(rule)
-        for rules in self._rules_by_mode.values():
+        self._rule_index: dict[str | None, _RuleIndex] = {}
+        for mode, rules in self._rules_by_mode.items():
             rules.sort(key=lambda r: (r.precedence, r.priority, r.order),
                        reverse=True)
+            self._rule_index[mode] = _RuleIndex(rules)
 
     # -- public API -----------------------------------------------------------
 
@@ -256,12 +316,14 @@ class _Run:
 
     def _find_rule(self, node: Node, mode: str | None,
                    frame: _Frame) -> TemplateRule | None:
-        rules = self.transformer._rules_by_mode.get(mode)
-        if not rules:
+        index = self.transformer._rule_index.get(mode)
+        if index is None:
+            return None
+        candidates = index.candidates(node)
+        if not candidates:
             return None
         context = self._context(node, 1, 1, frame)
-        for rule in rules:
-            assert rule.pattern is not None
+        for _, rule in candidates:
             if rule.pattern.matches(node, context):
                 return rule
         return None
@@ -295,7 +357,22 @@ class _Run:
 
     def execute_body(self, body: Body, context: Context,
                      frame: _Frame) -> None:
-        scope = _Frame(frame)
+        # A scope frame only matters when the body declares variables;
+        # everything else just reads through the chain, so the common
+        # variable-free body runs directly in the caller's frame and
+        # skips a _Frame/_FrameMapping/Context allocation per call.
+        if any(type(i) is VariableInstr for i in body):
+            scope = _Frame(frame)
+        else:
+            scope = frame
+        # Bind the context to the scope once: _FrameMapping reads the
+        # frame chain live, so xsl:variable bindings added while the body
+        # runs stay visible, and per-instruction _refresh calls become
+        # no-ops instead of building a fresh Context each.
+        variables = context.variables
+        if type(variables) is not _FrameMapping or \
+                variables._frame is not scope:
+            context = self._refresh(context, scope)
         for instruction in body:
             self.execute(instruction, context, scope)
 
@@ -325,9 +402,14 @@ class _Run:
         element = Element(instr.name)
         for prefix, uri in instr.namespaces:
             element.declare_namespace(prefix, uri)
-        inner_context = self._refresh(context, frame)
+        inner_context: Context | None = None
         for name, avt in instr.attributes:
-            element.set_attribute(name, avt.evaluate(inner_context))
+            value = avt._literal
+            if value is None:
+                if inner_context is None:
+                    inner_context = self._refresh(context, frame)
+                value = avt.evaluate(inner_context)
+            element.set_attribute(name, value)
         self._write_node(element)
         self._push_output(element)
         try:
@@ -574,6 +656,20 @@ class _Run:
 
     def _write_node(self, node: Node) -> None:
         target = self._current_output()
+        if type(target) is Element:
+            # Every writer hands this method a freshly built, parentless
+            # node (copy/copy-of clone before writing), so the generic
+            # append_child validation is skipped on this hot path.  The
+            # bookkeeping mirrors _ParentNode.append_child: appending
+            # never shifts sibling indices, so cached order keys stay
+            # valid and the index map is extended in place when present.
+            node.parent = target
+            children = target.children
+            children.append(node)
+            index = target._child_index
+            if index is not None:
+                index[id(node)] = 1 + len(children)
+            return
         if isinstance(target, Document) and isinstance(node, Text):
             if not node.data.strip():
                 return
@@ -664,6 +760,10 @@ class _Run:
 
     def _refresh(self, context: Context, frame: _Frame) -> Context:
         """Rebind the context's variable view to the innermost frame."""
+        variables = context.variables
+        if type(variables) is _FrameMapping and \
+                variables._frame is frame:
+            return context
         return Context(
             node=context.node, position=context.position, size=context.size,
             variables=_FrameMapping(frame),
@@ -672,7 +772,11 @@ class _Run:
 
     def _evaluate_with_frame(self, expr, context: Context,
                              frame: _Frame) -> object:
-        return self._evaluate(expr, self._refresh(context, frame))
+        variables = context.variables
+        if type(variables) is not _FrameMapping or \
+                variables._frame is not frame:
+            context = self._refresh(context, frame)
+        return self._evaluate(expr, context)
 
     def _evaluate_with_params(self, params: tuple[WithParam, ...],
                               context: Context, frame: _Frame
@@ -716,7 +820,13 @@ class _Run:
             raise XSLTRuntimeError(f"no xsl:key named {name!r}")
         index = {}
         match_context = self._context(self.source, 1, 1, self.global_frame)
-        nodes: list[Node] = [self.source]
+        # Cheap (kind, local-name) prefilters derived from each match
+        # pattern, so the full pattern matcher only runs on plausible
+        # nodes during the whole-document walk.
+        prefilters = [
+            (definition, _dispatch_prefilter(definition.match))
+            for definition in definitions
+        ]
         stack: list[Node] = [self.source]
         while stack:
             node = stack.pop()
@@ -724,7 +834,9 @@ class _Run:
                 stack.extend(node.children)
                 if isinstance(node, Element):
                     stack.extend(node.attributes)
-            for definition in definitions:
+            for definition, prefilter in prefilters:
+                if prefilter is not None and not prefilter(node):
+                    continue
                 if not definition.match.matches(node, match_context):
                     continue
                 use_context = self._context(node, 1, 1, self.global_frame)
@@ -796,6 +908,33 @@ class _Run:
         return ""
 
 
+def _dispatch_prefilter(pattern) -> Callable[[Node], bool] | None:
+    """A cheap node predicate from the pattern's dispatch keys.
+
+    Returns None when the pattern may match any node.  Used to skip the
+    full matcher for most nodes in whole-document sweeps (xsl:key).
+    """
+    kinds: set[str] = set()
+    names: set[tuple[str, str]] = set()
+    for kind, name in pattern.dispatch_keys():
+        if kind == "*":
+            return None
+        if name is None:
+            kinds.add(kind)
+        else:
+            names.add((kind, name))
+
+    def accepts(node: Node) -> bool:
+        kind = node.kind
+        if kind in kinds:
+            return True
+        if names and kind in ("element", "attribute"):
+            return (kind, node.local_name) in names  # type: ignore[union-attr]
+        return False
+
+    return accepts
+
+
 def _strip_whitespace(root: Document, strip: set, preserve: set) -> None:
     """Remove whitespace-only text children per xsl:strip-space (§3.4).
 
@@ -822,10 +961,13 @@ def _strip_whitespace(root: Document, strip: set, preserve: set) -> None:
     while stack:
         node = stack.pop()
         if isinstance(node, Element) and stripped(node):
-            node.children[:] = [
+            kept = [
                 child for child in node.children
                 if not (isinstance(child, Text) and not child.data.strip())
             ]
+            if len(kept) != len(node.children):
+                node.children[:] = kept
+                node._children_changed()  # keep order-key caches honest
         if isinstance(node, (Document, Element)):
             stack.extend(node.children)
 

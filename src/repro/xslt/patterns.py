@@ -17,6 +17,7 @@ Default priorities follow §5.5:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..xml.dom import Attribute, Document, Node
 from ..xpath.ast import (
@@ -140,6 +141,53 @@ class Pattern:
             return [self]
         return [Pattern(self.text, [alt]) for alt in self._alternatives]
 
+    # -- dispatch hints -------------------------------------------------------
+
+    def dispatch_keys(self) -> list[tuple[str, str | None]]:
+        """Conservative ``(kind, local-name)`` buckets for rule indexing.
+
+        Each alternative yields one pair describing which nodes it could
+        possibly match: *kind* is an XPath node kind (``"element"``,
+        ``"attribute"``, ``"text"``, ``"comment"``,
+        ``"processing-instruction"``, ``"document"``) or ``"*"`` for any
+        kind; *local-name* narrows element/attribute alternatives whose
+        last step is a concrete name test, else None.  The template
+        dispatcher uses these to consult only candidate rules per node
+        instead of scanning every rule.
+        """
+        keys: list[tuple[str, str | None]] = []
+        for alt in self._alternatives:
+            if alt.special is not None:
+                keys.append(("*", None))
+                continue
+            if not alt.steps:
+                keys.append(("document", None))
+                continue
+            last = alt.steps[-1]
+            kind = "attribute" if last.axis == "attribute" else "element"
+            test = last.test
+            if isinstance(test, NameTest):
+                name = test.name
+                if name == "*" or name.endswith(":*"):
+                    keys.append((kind, None))
+                else:
+                    local = name.split(":", 1)[-1]
+                    keys.append((kind, local))
+            elif isinstance(test, PITest):
+                keys.append(("processing-instruction", None))
+            elif isinstance(test, NodeTypeTest) and \
+                    test.node_type == "text":
+                keys.append(("text", None))
+            elif isinstance(test, NodeTypeTest) and \
+                    test.node_type == "comment":
+                keys.append(("comment", None))
+            elif last.axis == "attribute":
+                keys.append(("attribute", None))
+            else:
+                # node() on the child axis: element/text/comment/pi.
+                keys.append(("*", None))
+        return keys
+
 
 def _alternative_priority(alt: _PathPattern) -> float:
     if alt.special is not None:
@@ -215,8 +263,15 @@ def _principal(node: Node) -> str:
     return "element"
 
 
+@lru_cache(maxsize=4096)
 def compile_pattern(text: str) -> Pattern:
-    """Compile pattern *text*, raising XSLTStaticError when not a pattern."""
+    """Compile pattern *text*, raising XSLTStaticError when not a pattern.
+
+    Memoized: patterns are immutable once compiled (prefix resolution
+    happens at match time via the context), so identical pattern texts —
+    recompiled per ``xsl:number`` invocation before, or shared across
+    stylesheets — reuse one :class:`Pattern`.
+    """
     try:
         ast = parse_xpath(text)
     except Exception as exc:

@@ -1,0 +1,117 @@
+"""Byte-identical regression check for the published example sites.
+
+``golden_p1_sites.json`` holds SHA-256 digests of every page of the
+example sites (paper models and two synthetic sizes, multi- and
+single-page pipelines), captured before the engine's performance layer
+(cached document order, indexed dispatch, compile caches) was added.
+These tests prove the optimisations are pure speedups: the generated
+HTML is identical byte for byte.
+
+Regenerate the digests (only after an *intentional* output change) with::
+
+    PYTHONPATH=src python tests/web/test_golden_outputs.py --regenerate
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.mdm import sales_model, synthetic_model, two_facts_model
+from repro.web import publish_multi_page, publish_single_page
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_p1_sites.json")
+
+#: Same size knobs as benchmarks/conftest.py (small/medium).
+SYNTHETIC_SIZES = {
+    "synthetic_small": dict(facts=1, dimensions=3, levels_per_dimension=2,
+                            measures_per_fact=4),
+    "synthetic_medium": dict(facts=5, dimensions=10, levels_per_dimension=4,
+                             measures_per_fact=6),
+}
+
+
+def _build_models():
+    models = {
+        "sales": sales_model(),
+        "two_facts": two_facts_model(),
+    }
+    for name, size in SYNTHETIC_SIZES.items():
+        models[name] = synthetic_model(**size)
+    return models
+
+
+def _site_digests(site) -> dict[str, str]:
+    return {
+        name: hashlib.sha256(content.encode("utf-8")).hexdigest()
+        for name, content in sorted(site.pages.items())
+    }
+
+
+def _generate_all() -> dict[str, dict[str, str]]:
+    digests: dict[str, dict[str, str]] = {}
+    for model_name, model in _build_models().items():
+        digests[f"{model_name}/multi"] = _site_digests(
+            publish_multi_page(model))
+        digests[f"{model_name}/single"] = _site_digests(
+            publish_single_page(model))
+    return digests
+
+
+def _golden() -> dict[str, dict[str, str]]:
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return _golden()
+
+
+@pytest.fixture(scope="module")
+def models():
+    return _build_models()
+
+
+@pytest.mark.parametrize("model_name", [
+    "sales", "two_facts", "synthetic_small", "synthetic_medium"])
+@pytest.mark.parametrize("mode", ["multi", "single"])
+def test_site_is_byte_identical(golden, models, model_name, mode):
+    publish = publish_multi_page if mode == "multi" else publish_single_page
+    site = publish(models[model_name])
+    expected = golden[f"{model_name}/{mode}"]
+    actual = _site_digests(site)
+    assert sorted(actual) == sorted(expected), (
+        f"{model_name}/{mode}: page set changed")
+    mismatched = [name for name, digest in actual.items()
+                  if digest != expected[name]]
+    assert not mismatched, (
+        f"{model_name}/{mode}: content changed for {mismatched}")
+
+
+def test_golden_file_covers_every_pipeline(golden):
+    expected_keys = {f"{name}/{mode}"
+                     for name in ("sales", "two_facts", "synthetic_small",
+                                  "synthetic_medium")
+                     for mode in ("multi", "single")}
+    assert set(golden) == expected_keys
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(
+        __file__)), "..", "..", "src"))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--regenerate", action="store_true",
+                        help="rewrite golden_p1_sites.json from the "
+                             "current engine output")
+    if parser.parse_args().regenerate:
+        with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+            json.dump(_generate_all(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {GOLDEN_PATH}")

@@ -1,0 +1,141 @@
+"""Document-order keys: invariants, caching, and invalidation.
+
+The performance layer memoizes ``document_order_key()`` per node with a
+``(root, version)`` stamp, so these tests pin down the contract the
+XPath evaluator and XSLT engine rely on:
+
+* attribute and namespace nodes sort after their owner element but
+  before its children;
+* ``document_order()`` sorts and removes duplicates;
+* cached keys stay correct across every tree mutation (append, insert,
+  remove, reattach, attribute removal, namespace declaration).
+"""
+
+import pytest
+
+from repro.xml.dom import (
+    Document,
+    Element,
+    NamespaceNode,
+    Text,
+    sort_document_order,
+)
+from repro.xml.errors import DOMError
+from repro.xpath.datamodel import document_order
+
+
+def build_tree():
+    doc = Document()
+    root = doc.append_child(Element("root"))
+    a = root.append_child(Element("a"))
+    a1 = a.append_child(Element("a1"))
+    b = root.append_child(Element("b"))
+    return doc, root, a, a1, b
+
+
+class TestOrderingInvariants:
+    def test_document_before_descendants(self):
+        doc, root, a, a1, b = build_tree()
+        keys = [n.document_order_key() for n in (doc, root, a, a1, b)]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+    def test_attribute_sorts_after_owner_before_children(self):
+        doc, root, a, a1, b = build_tree()
+        attr = a.set_attribute("name", "v")
+        assert a.document_order_key() < attr.document_order_key()
+        assert attr.document_order_key() < a1.document_order_key()
+
+    def test_namespace_sorts_after_owner_before_attributes(self):
+        doc, root, a, a1, b = build_tree()
+        attr = a.set_attribute("name", "v")
+        a.declare_namespace("p", "urn:example")
+        ns = next(n for n in (NamespaceNode(prefix, uri, a)
+                              for prefix, uri
+                              in a.in_scope_namespaces().items())
+                  if n.prefix_name == "p")
+        assert a.document_order_key() < ns.document_order_key()
+        assert ns.document_order_key() < attr.document_order_key()
+        assert ns.document_order_key() < a1.document_order_key()
+
+    def test_sort_document_order_shuffled(self):
+        doc, root, a, a1, b = build_tree()
+        assert sort_document_order([b, a1, root, a, doc]) == \
+            [doc, root, a, a1, b]
+
+    def test_document_order_deduplicates(self):
+        doc, root, a, a1, b = build_tree()
+        assert document_order([b, a, b, a1, a, a1]) == [a, a1, b]
+
+    def test_sibling_attributes_keep_declaration_order(self):
+        doc, root, a, a1, b = build_tree()
+        x = b.set_attribute("x", "1")
+        y = b.set_attribute("y", "2")
+        assert x.document_order_key() < y.document_order_key()
+
+
+class TestCacheInvalidation:
+    def test_keys_refresh_after_insert_before(self):
+        doc, root, a, a1, b = build_tree()
+        # Warm the caches, then shift sibling indices.
+        before = {n: n.document_order_key() for n in (a, a1, b)}
+        newcomer = Element("zero")
+        root.insert_before(newcomer, a)
+        assert newcomer.document_order_key() < a.document_order_key()
+        assert a.document_order_key() < a1.document_order_key()
+        assert a1.document_order_key() < b.document_order_key()
+        assert a.document_order_key() != before[a]
+
+    def test_keys_refresh_after_remove(self):
+        doc, root, a, a1, b = build_tree()
+        order_before = sort_document_order([b, a])
+        assert order_before == [a, b]
+        root.remove_child(a)
+        # b moved up one slot; its cached key must not be reused stale.
+        assert b.document_order_key() == \
+            (root.document_order_key() + (2,))
+
+    def test_append_extends_cached_order(self):
+        doc, root, a, a1, b = build_tree()
+        sort_document_order([a, b])  # warm caches and the child index
+        c = root.append_child(Element("c"))
+        assert sort_document_order([c, b, a]) == [a, b, c]
+
+    def test_reattachment_invalidates_old_key(self):
+        doc, root, a, a1, b = build_tree()
+        old_key = a1.document_order_key()
+        a.remove_child(a1)
+        b.append_child(a1)
+        assert a1.document_order_key() != old_key
+        assert b.document_order_key() < a1.document_order_key()
+        assert sort_document_order([a1, b, a]) == [a, b, a1]
+
+    def test_attribute_key_refreshes_after_removal(self):
+        doc, root, a, a1, b = build_tree()
+        first = b.set_attribute("x", "1")
+        second = b.set_attribute("y", "2")
+        second.document_order_key()  # warm the cache
+        b.remove_attribute("x")
+        assert second.document_order_key() == \
+            b.document_order_key() + (1, 0)
+
+    def test_namespace_lookup_sees_new_declaration(self):
+        doc, root, a, a1, b = build_tree()
+        assert a1.lookup_namespace("p") is None  # warm the ns cache
+        root.declare_namespace("p", "urn:example")
+        assert a1.lookup_namespace("p") == "urn:example"
+
+
+class TestDetachedAttribute:
+    def test_order_key_for_foreign_attribute_raises(self):
+        doc, root, a, a1, b = build_tree()
+        foreign = b.set_attribute("x", "1")
+        with pytest.raises(DOMError, match="not owned"):
+            a.document_order_key_for_attr(foreign)
+
+    def test_order_key_for_removed_attribute_raises(self):
+        doc, root, a, a1, b = build_tree()
+        attr = b.set_attribute("x", "1")
+        b.remove_attribute("x")
+        with pytest.raises(DOMError, match="not owned"):
+            b.document_order_key_for_attr(attr)
