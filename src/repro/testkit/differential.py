@@ -1,0 +1,223 @@
+"""Differential checks: optimized engine vs the reference oracles.
+
+Each function returns a list of failure records (dicts); an empty list
+means the optimized implementation agreed with the cache-free oracle
+everywhere.  Records are plain JSON-serializable data so the CLI can
+dump them as reproducers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..xml.dom import Document, Element, NamespaceNode, Node
+from ..xpath.errors import XPathError
+from ..xpath.evaluator import evaluate
+from .generators import apply_mutation
+from .reference import (
+    describe_node,
+    iter_tree_nodes,
+    reference_evaluate,
+    reference_lookup_namespace,
+    reference_order_key,
+    reference_sort,
+    template_dispatch_disagreements,
+)
+
+__all__ = [
+    "order_key_mismatches",
+    "namespace_mismatches",
+    "check_document",
+    "warm_caches",
+    "run_mutation_differential",
+    "xpath_differential",
+    "dispatch_differential",
+    "sort_differential",
+]
+
+#: Prefixes probed on every element during namespace differentials (the
+#: generator's vocabulary plus the always-bound ``xml``).
+_PROBE_PREFIXES = ("", "p", "q", "xml")
+
+
+def order_key_mismatches(root: Node) -> list[dict]:
+    """Compare cached vs recomputed order keys for every node under *root*."""
+    mismatches = []
+    for node in iter_tree_nodes(root):
+        optimized = node.document_order_key()
+        reference = reference_order_key(node)
+        if optimized != reference:
+            mismatches.append({
+                "check": "document-order-key",
+                "node": describe_node(node),
+                "optimized": list(optimized),
+                "reference": list(reference),
+            })
+    return mismatches
+
+
+def namespace_mismatches(root: Node,
+                         prefixes: Sequence[str] = _PROBE_PREFIXES
+                         ) -> list[dict]:
+    """Compare cached vs recomputed namespace resolution per element."""
+    mismatches = []
+    for node in iter_tree_nodes(root, attributes=False):
+        if not isinstance(node, Element):
+            continue
+        probe = set(prefixes) | set(node.namespace_declarations)
+        for prefix in sorted(probe):
+            optimized = node.lookup_namespace(prefix)
+            reference = reference_lookup_namespace(node, prefix)
+            if optimized != reference:
+                mismatches.append({
+                    "check": "namespace-lookup",
+                    "node": describe_node(node),
+                    "prefix": prefix,
+                    "optimized": optimized,
+                    "reference": reference,
+                })
+    return mismatches
+
+
+def check_document(root: Node) -> list[dict]:
+    """All per-document differential checks at once."""
+    return order_key_mismatches(root) + namespace_mismatches(root)
+
+
+def warm_caches(root: Node) -> None:
+    """Populate every order-key and namespace cache under *root*.
+
+    Mutation differentials call this *before* each mutation so any
+    missing invalidation leaves a provably stale cache behind rather
+    than an innocently empty one.
+    """
+    for node in iter_tree_nodes(root):
+        node.document_order_key()
+        if isinstance(node, Element):
+            for prefix in _PROBE_PREFIXES:
+                node.lookup_namespace(prefix)
+
+
+def run_mutation_differential(documents: Sequence[Document],
+                              operations: Sequence[tuple[str, int, int, int]]
+                              ) -> list[dict]:
+    """Apply a mutation script, re-checking every document after each op.
+
+    Caches are deliberately warmed before every mutation: the check is
+    not "does the engine compute correct keys" (that is a single-shot
+    property) but "does every mutating method invalidate what it must".
+    """
+    failures = []
+    for step, op in enumerate(operations):
+        for document in documents:
+            warm_caches(document)
+        description = apply_mutation(documents, op)
+        for index, document in enumerate(documents):
+            for mismatch in check_document(document):
+                mismatch.update({
+                    "step": step,
+                    "op": list(op),
+                    "mutation": description,
+                    "document": index,
+                })
+                failures.append(mismatch)
+    return failures
+
+
+def _result_token(value: object) -> object:
+    """A comparable token for one XPath result item.
+
+    Namespace nodes are materialized fresh on every axis traversal, so
+    identity comparison would always fail for them; they compare by
+    (owner, prefix, uri) instead.
+    """
+    if isinstance(value, NamespaceNode):
+        return ("namespace", id(value.owner), value.prefix_name, value.uri)
+    return id(value)
+
+
+def xpath_differential(document: Document,
+                       expressions: Sequence[str]) -> list[dict]:
+    """Evaluate each expression with both evaluators and compare."""
+    failures = []
+    for expression in expressions:
+        try:
+            optimized = evaluate(expression, document)
+            optimized_error = None
+        except XPathError as exc:
+            optimized, optimized_error = None, type(exc).__name__
+        try:
+            reference = reference_evaluate(expression, document)
+            reference_error = None
+        except XPathError as exc:
+            reference, reference_error = None, type(exc).__name__
+
+        if optimized_error or reference_error:
+            if optimized_error != reference_error:
+                failures.append({
+                    "check": "xpath",
+                    "expression": expression,
+                    "optimized": optimized_error,
+                    "reference": reference_error,
+                })
+            continue
+
+        if isinstance(optimized, list) and isinstance(reference, list):
+            agree = [_result_token(n) for n in optimized] == \
+                [_result_token(n) for n in reference]
+        elif isinstance(optimized, float) and isinstance(reference, float):
+            agree = optimized == reference or (
+                math.isnan(optimized) and math.isnan(reference))
+        else:
+            agree = optimized == reference
+        if not agree:
+            failures.append({
+                "check": "xpath",
+                "expression": expression,
+                "optimized": _describe_value(optimized),
+                "reference": _describe_value(reference),
+            })
+    return failures
+
+
+def _describe_value(value: object) -> object:
+    if isinstance(value, list):
+        return [describe_node(n) for n in value]
+    return value
+
+
+def dispatch_differential(document: Document) -> list[dict]:
+    """Indexed vs linear template dispatch, over both paper stylesheets."""
+    from ..web.publisher import _transformer
+    from ..web.stylesheets import MULTI_PAGE_XSL, SINGLE_PAGE_XSL
+
+    failures = []
+    for name, text in (("multi", MULTI_PAGE_XSL),
+                       ("single", SINGLE_PAGE_XSL)):
+        for record in template_dispatch_disagreements(
+                _transformer(text), document):
+            record.update({"check": "template-dispatch", "stylesheet": name})
+            failures.append(record)
+    return failures
+
+
+def sort_differential(root: Node, shuffles: int,
+                      rng) -> list[dict]:
+    """Shuffle the node list and compare both document-order sorts."""
+    from ..xml.dom import sort_document_order
+
+    nodes = list(iter_tree_nodes(root))
+    failures = []
+    for _ in range(shuffles):
+        shuffled = list(nodes)
+        rng.shuffle(shuffled)
+        optimized = sort_document_order(shuffled)
+        reference = reference_sort(shuffled)
+        if [id(n) for n in optimized] != [id(n) for n in reference]:
+            failures.append({
+                "check": "sort-document-order",
+                "optimized": [describe_node(n) for n in optimized],
+                "reference": [describe_node(n) for n in reference],
+            })
+    return failures

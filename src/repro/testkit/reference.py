@@ -1,0 +1,259 @@
+"""Reference oracles for the engine's optimized hot paths.
+
+Everything in this module is *deliberately naive*: no memoized order
+keys, no namespace-resolution caches, no order-preservation reasoning,
+no template-dispatch indexes.  Each oracle recomputes its answer from
+the tree on every call, so it cannot be fooled by a stale cache — which
+is exactly what makes it a useful differential partner for the
+optimized implementations in :mod:`repro.xml.dom`,
+:mod:`repro.xpath.evaluator` and :mod:`repro.xslt.engine`.
+
+The oracles intentionally reproduce the engine's *key scheme* (child
+indices from the root, attributes at ``(1, i)``, namespace nodes at
+``(0, prefix)``, element children starting at 2) so optimized and
+reference keys can be compared tuple for tuple, not just by the order
+they induce.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..xml.dom import (
+    Attribute,
+    Document,
+    Element,
+    NamespaceNode,
+    Node,
+    XML_NAMESPACE,
+    XMLNS_NAMESPACE,
+)
+from ..xpath.ast import FilterExpr, Step, UnionExpr
+from ..xpath.axes import AXES, REVERSE_AXES, principal_node_kind
+from ..xpath.errors import XPathNameError
+from ..xpath.evaluator import Context, XPathEvaluator
+from ..xpath.parser import parse_xpath
+
+__all__ = [
+    "reference_order_key",
+    "reference_sort",
+    "reference_lookup_namespace",
+    "ReferenceXPathEvaluator",
+    "reference_evaluate",
+    "reference_find_rule",
+    "template_dispatch_disagreements",
+    "iter_tree_nodes",
+    "describe_node",
+]
+
+
+# -- document order ---------------------------------------------------------
+
+def reference_order_key(node: Node) -> tuple:
+    """Recompute *node*'s document-order key without touching any cache.
+
+    Matches the scheme of :meth:`repro.xml.dom.Node.document_order_key`
+    exactly: a detached node keys to ``()``, children of a document
+    start at 0, children of an element at 2 (slots 0 and 1 are reserved
+    for namespace nodes and attributes of that element).
+    """
+    if isinstance(node, NamespaceNode):
+        return reference_order_key(node.owner) + (0, node.prefix_name)
+    if isinstance(node, Attribute):
+        owner = node.parent
+        if not isinstance(owner, Element):
+            return ()
+        position = next(
+            i for i, a in enumerate(owner.attributes) if a is node)
+        return reference_order_key(owner) + (1, position)
+    parent = node.parent
+    if parent is None:
+        return ()
+    base = 2 if isinstance(parent, Element) else 0
+    position = next(
+        i for i, c in enumerate(parent.children) if c is node)
+    return reference_order_key(parent) + (base + position,)
+
+
+def reference_sort(nodes: Sequence[Node]) -> list[Node]:
+    """Document-order sort with identity dedup, via reference keys only."""
+    unique = {id(node): node for node in nodes}
+    return sorted(unique.values(), key=reference_order_key)
+
+
+# -- namespace resolution ---------------------------------------------------
+
+def reference_lookup_namespace(element: Element, prefix: str) -> str | None:
+    """Cache-free ancestor walk matching ``Element.lookup_namespace``."""
+    if prefix == "xml":
+        return XML_NAMESPACE
+    if prefix == "xmlns":
+        return XMLNS_NAMESPACE
+    node: Node | None = element
+    while isinstance(node, Element):
+        if prefix in node.namespace_declarations:
+            return node.namespace_declarations[prefix] or None
+        node = node.parent
+    return None
+
+
+# -- tree iteration ---------------------------------------------------------
+
+def iter_tree_nodes(root: Node, *, attributes: bool = True) -> Iterator[Node]:
+    """Yield *root* and every descendant in document order.
+
+    Attribute nodes are yielded right after their owner element (before
+    its children) when *attributes* is true; namespace declarations are
+    skipped, matching the XPath attribute axis.
+    """
+    yield root
+    if attributes and isinstance(root, Element):
+        for attr in root.attributes:
+            if not attr.is_namespace_decl:
+                yield attr
+    if isinstance(root, (Document, Element)):
+        for child in root.children:
+            yield from iter_tree_nodes(child, attributes=attributes)
+
+
+def describe_node(node: Node) -> str:
+    """A short human-readable locator for failure reports."""
+    if isinstance(node, Document):
+        return "/"
+    if isinstance(node, Attribute):
+        owner = node.parent
+        owner_text = describe_node(owner) if owner is not None else "?"
+        return f"{owner_text}/@{node.name}"
+    if isinstance(node, NamespaceNode):
+        return f"{describe_node(node.owner)}/namespace::{node.prefix_name}"
+    if isinstance(node, Element):
+        parent = node.parent
+        if parent is None:
+            return f"<{node.name}> (detached)"
+        siblings = [c for c in parent.children
+                    if isinstance(c, Element) and c.name == node.name]
+        ordinal = next(i for i, s in enumerate(siblings, 1) if s is node)
+        prefix = "" if isinstance(parent, Document) else describe_node(parent)
+        return f"{prefix}/{node.name}[{ordinal}]"
+    parent = node.parent
+    prefix = describe_node(parent) if parent is not None else ""
+    return f"{prefix}/{node.kind}()"
+
+
+# -- XPath ------------------------------------------------------------------
+
+class ReferenceXPathEvaluator(XPathEvaluator):
+    """An evaluator with every node-set shortcut removed.
+
+    After *every* step the intermediate node-set is deduplicated and
+    re-sorted with :func:`reference_order_key` — no order-preservation
+    reasoning, no singleton shortcuts, no ``//name`` fusion, no inlined
+    fast-path name test.  Union and filter expressions likewise sort via
+    reference keys.  Semantics (predicates evaluated in axis order, the
+    reverse-axis position rules) are unchanged, so the result must equal
+    the optimized evaluator's result node for node.
+    """
+
+    def _apply_steps(self, steps: Sequence[Step], start: list[Node],
+                     context: Context) -> list[Node]:
+        current = reference_sort(start)
+        for step in steps:
+            gathered: list[Node] = []
+            seen: set[int] = set()
+            for node in current:
+                for result in self._apply_step(step, node, context):
+                    if id(result) not in seen:
+                        seen.add(id(result))
+                        gathered.append(result)
+            current = reference_sort(gathered)
+        return current
+
+    def _apply_step(self, step: Step, node: Node,
+                    context: Context) -> list[Node]:
+        axis = AXES.get(step.axis)
+        if axis is None:
+            raise XPathNameError(f"unknown axis {step.axis!r}")
+        principal = principal_node_kind(step.axis)
+        candidates = [
+            n for n in axis(node)
+            if self._node_test(step.test, n, principal, context)
+        ]
+        reverse = step.axis in REVERSE_AXES
+        for predicate in step.predicates:
+            candidates = self._filter(candidates, predicate, context,
+                                      reverse=reverse)
+        return candidates
+
+    def _eval_union(self, expr: UnionExpr, context: Context) -> object:
+        left = self.evaluate_node_set(expr.left, context)
+        right = self.evaluate_node_set(expr.right, context)
+        return reference_sort(left + right)
+
+    def _eval_filter(self, expr: FilterExpr, context: Context) -> object:
+        nodes = reference_sort(self.evaluate_node_set(expr.primary, context))
+        for predicate in expr.predicates:
+            nodes = self._filter(nodes, predicate, context, reverse=False)
+        return nodes
+
+    # The base dispatch table holds raw function objects, so the union
+    # and filter overrides above only take effect through a merged copy.
+    _DISPATCH = dict(XPathEvaluator._DISPATCH)
+    _DISPATCH[UnionExpr] = _eval_union
+    _DISPATCH[FilterExpr] = _eval_filter
+
+
+def reference_evaluate(expression: str, context_node: Node,
+                       **kwargs: object) -> object:
+    """Evaluate *expression* with the reference evaluator."""
+    context = Context(node=context_node, **kwargs)  # type: ignore[arg-type]
+    return ReferenceXPathEvaluator().evaluate(
+        parse_xpath(expression), context)
+
+
+# -- template dispatch ------------------------------------------------------
+
+def reference_find_rule(rules, node: Node, context: Context):
+    """Linear scan of the precedence-sorted rule list (no index)."""
+    for rule in rules:
+        if rule.pattern.matches(node, context):
+            return rule
+    return None
+
+
+def template_dispatch_disagreements(transformer, source: Document,
+                                    modes: Sequence[str | None] | None = None
+                                    ) -> list[dict]:
+    """Compare indexed vs linear template dispatch over a whole document.
+
+    For every node of *source* and every mode of *transformer*, the
+    first match from the ``_RuleIndex``-backed lookup must be the same
+    rule object a linear scan of the sorted rule list finds.  Returns a
+    list of disagreement records (empty when the index is faithful).
+    """
+    from ..xslt.engine import ResultDocument, TransformResult, _Run
+
+    result = TransformResult(document=ResultDocument(),
+                             output=transformer.stylesheet.output)
+    run = _Run(transformer, source, result, {})
+    run.bootstrap_globals()
+
+    if modes is None:
+        modes = sorted(transformer._rules_by_mode,
+                       key=lambda m: (m is not None, m or ""))
+    disagreements: list[dict] = []
+    for mode in modes:
+        rules = transformer._rules_by_mode.get(mode, [])
+        for node in iter_tree_nodes(source):
+            indexed = run._find_rule(node, mode, run.global_frame)
+            context = run._context(node, 1, 1, run.global_frame)
+            expected = reference_find_rule(rules, node, context)
+            if indexed is not expected:
+                disagreements.append({
+                    "mode": mode,
+                    "node": describe_node(node),
+                    "indexed": None if indexed is None
+                    else indexed.pattern.text,
+                    "reference": None if expected is None
+                    else expected.pattern.text,
+                })
+    return disagreements

@@ -1,0 +1,157 @@
+"""Differential conformance runner.
+
+Usage::
+
+    python -m repro.testkit.run --seed 0 --budget 30
+
+Runs seed-derived iterations until the time budget is exhausted (or for
+an exact ``--iterations`` count).  Each iteration is fully determined by
+``(seed, index)`` and exercises all four workload families:
+
+* a random GOLD model through the full pipeline harness,
+* a DOM mutation script checked differentially after every operation,
+* a batch of random XPath expressions against both evaluators,
+* indexed vs linear template dispatch over the model document.
+
+Failures are printed and written as JSON reproducers (seed, iteration,
+and the failing records) to ``--failures-dir`` so a red CI run can be
+replayed locally with ``--seed S --start I --iterations 1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+from ..mdm.xml_io import model_to_document
+from .differential import (
+    dispatch_differential,
+    run_mutation_differential,
+    sort_differential,
+    xpath_differential,
+)
+from .generators import (
+    random_document,
+    random_model,
+    random_mutations,
+    random_xpath,
+)
+from .pipeline import run_pipeline
+
+__all__ = ["run_iteration", "main"]
+
+#: Per-iteration workload sizes (kept small: one iteration should take
+#: well under a second so a 30 s budget covers a broad corpus).
+MUTATIONS_PER_ITERATION = 16
+XPATHS_PER_ITERATION = 25
+SORT_SHUFFLES = 3
+
+
+def iteration_rng(seed: int, index: int) -> random.Random:
+    """The deterministic RNG for iteration *index* of *seed*."""
+    return random.Random(f"{seed}:{index}")
+
+
+def run_iteration(seed: int, index: int) -> list[dict]:
+    """Run one full iteration; returns JSON-serializable failure records."""
+    rng = iteration_rng(seed, index)
+    failures: list[dict] = []
+
+    model = random_model(rng)
+    pipeline = run_pipeline(model)
+    for failure in pipeline.failures:
+        record = failure.as_dict()
+        record["model"] = model.name
+        failures.append(record)
+
+    documents = [random_document(rng), random_document(rng)]
+    operations = random_mutations(rng, MUTATIONS_PER_ITERATION)
+    failures.extend(run_mutation_differential(documents, operations))
+
+    target = random_document(rng)
+    expressions = [random_xpath(rng) for _ in range(XPATHS_PER_ITERATION)]
+    failures.extend(xpath_differential(target, expressions))
+    failures.extend(sort_differential(target, SORT_SHUFFLES, rng))
+
+    failures.extend(dispatch_differential(model_to_document(model)))
+
+    for record in failures:
+        record.setdefault("seed", seed)
+        record.setdefault("iteration", index)
+    return failures
+
+
+def _write_reproducers(directory: str, seed: int,
+                       failures: list[dict]) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"seed{seed}-failures.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(failures, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testkit.run",
+        description="Differential conformance harness for the "
+                    "XML→XPath→XSLT→HTML pipeline.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; iteration i uses RNG(seed:i)")
+    parser.add_argument("--budget", type=float, default=30.0,
+                        help="time budget in seconds (default 30)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="run exactly N iterations, ignoring --budget")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first iteration index (for replaying one "
+                             "failing iteration)")
+    parser.add_argument("--failures-dir", default="testkit-failures",
+                        help="directory for JSON reproducers of failures")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-iteration progress output")
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+    index = args.start
+    completed = 0
+    all_failures: list[dict] = []
+    while True:
+        if args.iterations is not None:
+            if completed >= args.iterations:
+                break
+        elif completed > 0 and time.monotonic() - started >= args.budget:
+            break
+        failures = run_iteration(args.seed, index)
+        completed += 1
+        if failures:
+            all_failures.extend(failures)
+            print(f"iteration {index}: {len(failures)} failure(s)",
+                  file=sys.stderr)
+            for record in failures[:5]:
+                print(f"  {json.dumps(record, sort_keys=True)}",
+                      file=sys.stderr)
+        elif not args.quiet and completed % 10 == 0:
+            elapsed = time.monotonic() - started
+            print(f"... {completed} iterations green ({elapsed:.1f}s)")
+        index += 1
+
+    elapsed = time.monotonic() - started
+    if all_failures:
+        path = _write_reproducers(args.failures_dir, args.seed, all_failures)
+        bad = sorted({record["iteration"] for record in all_failures})
+        print(f"testkit: FAIL — {len(all_failures)} failure(s) across "
+              f"iterations {bad} in {elapsed:.1f}s; reproducers: {path}")
+        print(f"replay one with: python -m repro.testkit.run "
+              f"--seed {args.seed} --start {bad[0]} --iterations 1")
+        return 1
+    print(f"testkit: OK — {completed} iterations, 0 failures, "
+          f"seed {args.seed}, {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

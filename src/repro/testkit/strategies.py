@@ -1,0 +1,51 @@
+"""Hypothesis strategies wrapping the rng-driven generators.
+
+``st.randoms(use_true_random=False)`` yields ``random.Random`` instances
+whose output is controlled (and shrunk) by the Hypothesis engine, so
+these strategies reuse the exact generation code the CLI fuzzer runs —
+one corpus definition, two harnesses.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from .generators import (
+    random_document,
+    random_model,
+    random_mutations,
+    random_xpath,
+)
+
+__all__ = [
+    "gold_models",
+    "documents",
+    "mutation_scripts",
+    "xpath_expressions",
+]
+
+
+def _rngs():
+    return st.randoms(use_true_random=False)
+
+
+def gold_models(**kwargs):
+    """Strategy producing semantically valid random GOLD models."""
+    return _rngs().map(lambda rng: random_model(rng, **kwargs))
+
+
+def documents(**kwargs):
+    """Strategy producing random generic XML documents."""
+    return _rngs().map(lambda rng: random_document(rng, **kwargs))
+
+
+def mutation_scripts(min_size: int = 1, max_size: int = 24):
+    """Strategy producing replayable DOM mutation scripts."""
+    return st.builds(
+        lambda rng, count: random_mutations(rng, count),
+        _rngs(), st.integers(min_value=min_size, max_value=max_size))
+
+
+def xpath_expressions(**kwargs):
+    """Strategy producing random XPath 1.0 expressions."""
+    return _rngs().map(lambda rng: random_xpath(rng, **kwargs))

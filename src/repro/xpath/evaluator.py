@@ -356,8 +356,15 @@ class XPathEvaluator:
                     current = gathered
                 else:
                     current = document_order(gathered)
-            elif singleton or axis_name in ORDER_PRESERVING_AXES or \
+            elif singleton or axis_name in ("self", "attribute", "namespace") \
+                    or (not step.predicates and
+                        axis_name in ORDER_PRESERVING_AXES) or \
                     (flat and axis_name == "child"):
+                # descendant/descendant-or-self are only order-preserving
+                # without predicates: over a nested context the overlap
+                # absorption relies on the descendant context re-producing
+                # the ancestor's results verbatim, and a positional
+                # predicate filters each context's results independently.
                 current = gathered
             else:
                 current = document_order(gathered)

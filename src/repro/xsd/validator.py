@@ -267,16 +267,17 @@ class SchemaValidator:
         # Keys and uniques first, so keyrefs can refer to them.
         for element, constraint, path in scopes:
             if constraint.kind in ("key", "unique"):
-                table = self._evaluate_constraint(
+                rows = self._evaluate_constraint(
                     element, constraint, path, report)
                 if constraint.kind == "key":
-                    key_tables.setdefault(constraint.name, set()).update(table)
+                    key_tables.setdefault(constraint.name, set()).update(
+                        row for row, _ in rows)
 
         for element, constraint, path in scopes:
             if constraint.kind != "keyref":
                 continue
-            table = self._evaluate_constraint(element, constraint, path,
-                                              report, allow_missing=True)
+            rows = self._evaluate_constraint(element, constraint, path,
+                                             report, allow_missing=True)
             target = key_tables.get(constraint.refer or "")
             if target is None:
                 report.add(
@@ -284,12 +285,15 @@ class SchemaValidator:
                     f"{constraint.refer!r}", path=path,
                     code="cvc-identity-constraint.4.3")
                 continue
-            for value in table:
+            for value, node in rows:
                 if value not in target:
                     shown = value[0] if len(value) == 1 else value
+                    where = self._instance_path(node)
                     report.add(
-                        f"keyref {constraint.name!r}: value {shown!r} does "
-                        f"not match any {constraint.refer} key", path=path,
+                        f"keyref {constraint.name!r}: value {shown!r} (at "
+                        f"{where}) does not match any {constraint.refer} "
+                        f"key", path=where,
+                        line=getattr(node, "line", None),
                         code="cvc-identity-constraint.4.3")
 
     def _constraint_scopes(self, root: Element, root_decl: ElementDecl):
@@ -322,7 +326,7 @@ class SchemaValidator:
                              constraint: IdentityConstraint, path: str,
                              report: ValidationReport,
                              allow_missing: bool = False
-                             ) -> set[tuple[str, ...]]:
+                             ) -> list[tuple[tuple[str, ...], Node]]:
         selector = parse_xpath(constraint.selector)
         context = Context(node=scope)
         try:
@@ -331,11 +335,15 @@ class SchemaValidator:
             report.add(
                 f"identity constraint {constraint.name!r}: selector "
                 f"{constraint.selector!r} failed: {exc}", path=path)
-            return set()
+            return []
 
-        table: set[tuple[str, ...]] = set()
+        # Rows carry the node they came from, so every diagnostic below
+        # (and the keyref check in the caller) can name the offending
+        # node instead of just the constraint's scope.
+        table: list[tuple[tuple[str, ...], Node]] = []
         seen: dict[tuple[str, ...], str] = {}
         for node in selected:
+            where = self._instance_path(node)
             values: list[str] = []
             missing = False
             for field_expr in constraint.fields:
@@ -348,8 +356,9 @@ class SchemaValidator:
                     if not allow_missing and constraint.kind == "key":
                         report.add(
                             f"key {constraint.name!r}: field "
-                            f"{field_expr!r} selects nothing for an "
-                            "element in scope", path=path,
+                            f"{field_expr!r} selects nothing for "
+                            f"{where}", path=where,
+                            line=getattr(node, "line", None),
                             code="cvc-identity-constraint.4.2.1")
                     break
                 values.append(nodes[0].string_value())
@@ -360,11 +369,41 @@ class SchemaValidator:
                 shown = row[0] if len(row) == 1 else row
                 report.add(
                     f"{constraint.kind} {constraint.name!r}: duplicate "
-                    f"value {shown!r}", path=path,
+                    f"value {shown!r} at {where} (first at {seen[row]})",
+                    path=where, line=getattr(node, "line", None),
                     code="cvc-identity-constraint.4.1")
-            seen[row] = path
-            table.add(row)
+            else:
+                seen[row] = where
+            table.append((row, node))
         return table
+
+    @staticmethod
+    def _instance_path(node: Node) -> str:
+        """A ``/root/child[2]/…`` locator for any node of the instance.
+
+        Ordinals count same-named element siblings, matching the paths
+        the structural validation phase reports; attribute nodes get an
+        ``/@name`` suffix.
+        """
+        suffix = ""
+        if isinstance(node, Attribute):
+            suffix = f"/@{node.name}"
+            node = node.parent  # type: ignore[assignment]
+        parts: list[str] = []
+        current = node
+        while isinstance(current, Element):
+            parent = current.parent
+            if isinstance(parent, Element):
+                siblings = [c for c in parent.children
+                            if isinstance(c, Element) and
+                            c.name == current.name]
+                ordinal = next(
+                    i for i, s in enumerate(siblings, 1) if s is current)
+                parts.append(f"{current.name}[{ordinal}]")
+            else:
+                parts.append(current.name)
+            current = parent
+        return "/" + "/".join(reversed(parts)) + suffix
 
 
 def _is_namespace_decl(attr: Attribute) -> bool:

@@ -1,0 +1,132 @@
+"""Cache-invalidation regressions: every mutating DOM method, checked
+differentially against the cache-free reference keys.
+
+Each test warms every order-key / namespace cache first, then mutates,
+then asserts the optimized keys still equal recomputed reference keys —
+so a missing ``_bump_doc_version()`` in any one method turns into a
+failure here, not a silently mis-sorted node-set.
+"""
+
+from hypothesis import given, settings
+
+from repro.testkit import warm_caches
+from repro.testkit.differential import (
+    check_document,
+    run_mutation_differential,
+)
+from repro.testkit.strategies import documents, mutation_scripts
+from repro.xml import parse
+from repro.xml.dom import Document, Element, Text
+
+
+def _tree():
+    return parse('<r a="1"><x k="v"><y/>t</x><z/><x/></r>')
+
+
+def _assert_coherent(document):
+    assert check_document(document) == []
+
+
+def test_append_child_keeps_caches_coherent():
+    document = _tree()
+    warm_caches(document)
+    document.root_element.append_child(Element("new"))
+    _assert_coherent(document)
+
+
+def test_insert_before_invalidates_shifted_siblings():
+    document = _tree()
+    warm_caches(document)
+    root = document.root_element
+    root.insert_before(Element("new"), root.children[0])
+    _assert_coherent(document)
+
+
+def test_remove_child_invalidates_shifted_siblings():
+    document = _tree()
+    warm_caches(document)
+    root = document.root_element
+    root.remove_child(root.children[0])
+    _assert_coherent(document)
+
+
+def test_reattach_between_documents():
+    source = _tree()
+    target = parse("<other><slot/></other>")
+    warm_caches(source)
+    warm_caches(target)
+    moved = source.root_element.children[0]
+    target.root_element.append_child(moved)
+    _assert_coherent(source)
+    _assert_coherent(target)
+    # The moved subtree now keys under the *new* root.
+    assert moved.root is target
+
+
+def test_reattach_within_document():
+    document = _tree()
+    warm_caches(document)
+    root = document.root_element
+    first, z = root.children[0], root.children[1]
+    z.append_child(first)
+    _assert_coherent(document)
+
+
+def test_set_attribute_new_and_overwrite():
+    document = _tree()
+    warm_caches(document)
+    element = document.root_element.children[0]
+    element.set_attribute("k", "changed")  # overwrite: no index shift
+    _assert_coherent(document)
+    element.set_attribute("added", "v")  # append: extends attribute list
+    _assert_coherent(document)
+
+
+def test_remove_attribute_shifts_later_attributes():
+    document = parse('<r><e a="1" b="2" c="3"/></r>')
+    warm_caches(document)
+    element = document.root_element.children[0]
+    element.remove_attribute("a")
+    _assert_coherent(document)
+
+
+def test_declare_namespace_invalidates_subtree_resolutions():
+    document = parse('<r><mid><leaf/></mid></r>')
+    warm_caches(document)  # caches lookup_namespace("p") = None everywhere
+    document.root_element.declare_namespace("p", "urn:late")
+    _assert_coherent(document)
+    leaf = document.root_element.children[0].children[0]
+    assert leaf.lookup_namespace("p") == "urn:late"
+
+
+def test_direct_children_splice_with_children_changed():
+    document = _tree()
+    warm_caches(document)
+    root = document.root_element
+    root.children.reverse()
+    root._children_changed()
+    _assert_coherent(document)
+
+
+def test_insert_before_reference_none_appends():
+    document = _tree()
+    warm_caches(document)
+    document.root_element.insert_before(Text("tail"), None)
+    _assert_coherent(document)
+
+
+@settings(max_examples=30, deadline=None)
+@given(documents(max_depth=3, max_children=3),
+       documents(max_depth=3, max_children=3),
+       mutation_scripts(max_size=16))
+def test_random_mutation_scripts_never_desynchronize(first, second, script):
+    assert run_mutation_differential([first, second], script) == []
+
+
+def test_empty_document_and_detached_nodes_key_to_root():
+    document = Document()
+    detached = Element("lone")
+    assert document.document_order_key() == ()
+    assert detached.document_order_key() == ()
+    assert check_document(document) == []
+    assert check_document(detached) == []

@@ -1,0 +1,70 @@
+"""The end-to-end pipeline harness: green on known-good models, and the
+right stages run in the right order."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.mdm import sales_model, synthetic_model, two_facts_model
+from repro.testkit import run_pipeline
+from repro.testkit.generators import random_model
+from repro.testkit.strategies import gold_models
+
+
+def test_sales_model_runs_clean():
+    report = run_pipeline(sales_model())
+    assert report.ok, [f.as_dict() for f in report.failures]
+    assert report.info["pages_multi"] > 1
+    assert report.info["pages_single"] == 1
+    assert report.info["links_multi"] > 0
+
+
+def test_two_facts_model_runs_clean():
+    report = run_pipeline(two_facts_model())
+    assert report.ok, [f.as_dict() for f in report.failures]
+
+
+def test_synthetic_model_runs_clean():
+    model = synthetic_model(facts=2, dimensions=3, levels_per_dimension=2,
+                            measures_per_fact=2)
+    report = run_pipeline(model)
+    assert report.ok, [f.as_dict() for f in report.failures]
+
+
+def test_stage_order_and_coverage():
+    report = run_pipeline(sales_model())
+    assert report.stages_run == [
+        "semantic-validate", "serialize", "reparse", "roundtrip",
+        "xsd-validate", "differential", "publish-multi", "publish-single",
+    ]
+
+
+def test_publish_stages_can_be_skipped():
+    report = run_pipeline(sales_model(), publish=False, differential=False)
+    assert report.ok
+    assert "publish-multi" not in report.stages_run
+    assert "differential" not in report.stages_run
+
+
+def test_semantically_broken_model_short_circuits():
+    model = sales_model()
+    # Point a shared aggregation at a dimension that does not exist.
+    model.facts[0].aggregations[0].dimension = "nonexistent"
+    report = run_pipeline(model)
+    assert not report.ok
+    assert report.stages_run == ["semantic-validate"]
+    assert all(f.stage == "semantic-validate" for f in report.failures)
+
+
+def test_random_models_run_clean():
+    for seed in range(10):
+        model = random_model(random.Random(f"pipe:{seed}"))
+        report = run_pipeline(model)
+        assert report.ok, (seed, [f.as_dict() for f in report.failures])
+
+
+@settings(max_examples=10, deadline=None)
+@given(gold_models(max_facts=2, max_dimensions=2, max_levels=2))
+def test_strategy_models_run_clean(model):
+    report = run_pipeline(model)
+    assert report.ok, [f.as_dict() for f in report.failures]

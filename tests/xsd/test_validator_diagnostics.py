@@ -1,0 +1,213 @@
+"""Error-path coverage for the validator: every diagnostic must *name*
+the offending node (via the message and the issue path), not merely
+flip the report to invalid.
+
+One test per constraining facet, plus the identity-constraint paths
+(key/unique duplicates, missing key fields, keyref misses) that now
+point at the instance node that violated them.
+"""
+
+from repro.xml import parse
+from repro.xsd import SchemaBuilder, validate
+from repro.xsd.facets import (
+    Enumeration,
+    FractionDigits,
+    Length,
+    MaxExclusive,
+    MaxInclusive,
+    MaxLength,
+    MinExclusive,
+    MinInclusive,
+    MinLength,
+    Pattern,
+    TotalDigits,
+)
+
+
+def facet_schema(base, facets):
+    """<r v="..."/> where @v has the given restriction."""
+    b = SchemaBuilder()
+    restricted = b.simple_type(base, facets=facets)
+    root = b.element("r", b.complex_type(attributes=[
+        b.attribute("v", restricted)]))
+    return b.build(root)
+
+
+def sole_facet_error(schema, value):
+    report = validate(parse(f'<r v="{value}"/>'), schema)
+    assert not report.valid
+    errors = [e for e in report.errors if e.code == "cvc-datatype-valid"]
+    assert len(errors) == 1
+    return errors[0]
+
+
+class TestFacetDiagnostics:
+    """Each facet violation names the attribute and carries a path."""
+
+    def assert_names_offender(self, issue):
+        assert "attribute 'v'" in issue.message
+        assert issue.path == "/r"
+
+    def test_enumeration(self):
+        schema = facet_schema("string", [Enumeration(("a", "b"))])
+        issue = sole_facet_error(schema, "c")
+        assert "not in enumeration" in issue.message
+        self.assert_names_offender(issue)
+
+    def test_pattern(self):
+        schema = facet_schema("string", [Pattern(r"[a-z]+")])
+        issue = sole_facet_error(schema, "A1")
+        assert "does not match pattern" in issue.message
+        self.assert_names_offender(issue)
+
+    def test_length(self):
+        schema = facet_schema("string", [Length(3)])
+        issue = sole_facet_error(schema, "ab")
+        assert "length 2 differs from required 3" in issue.message
+        self.assert_names_offender(issue)
+
+    def test_min_length(self):
+        schema = facet_schema("string", [MinLength(4)])
+        issue = sole_facet_error(schema, "abc")
+        assert "below minLength 4" in issue.message
+        self.assert_names_offender(issue)
+
+    def test_max_length(self):
+        schema = facet_schema("string", [MaxLength(2)])
+        issue = sole_facet_error(schema, "abc")
+        assert "above maxLength 2" in issue.message
+        self.assert_names_offender(issue)
+
+    def test_min_inclusive(self):
+        schema = facet_schema("integer", [MinInclusive(10)])
+        issue = sole_facet_error(schema, "9")
+        assert "below minInclusive 10" in issue.message
+        self.assert_names_offender(issue)
+
+    def test_max_inclusive(self):
+        schema = facet_schema("integer", [MaxInclusive(10)])
+        issue = sole_facet_error(schema, "11")
+        assert "above maxInclusive 10" in issue.message
+        self.assert_names_offender(issue)
+
+    def test_min_exclusive(self):
+        schema = facet_schema("integer", [MinExclusive(0)])
+        issue = sole_facet_error(schema, "0")
+        assert "not above minExclusive 0" in issue.message
+        self.assert_names_offender(issue)
+
+    def test_max_exclusive(self):
+        schema = facet_schema("integer", [MaxExclusive(100)])
+        issue = sole_facet_error(schema, "100")
+        assert "not below maxExclusive 100" in issue.message
+        self.assert_names_offender(issue)
+
+    def test_total_digits(self):
+        schema = facet_schema("decimal", [TotalDigits(3)])
+        issue = sole_facet_error(schema, "1234")
+        assert "exceeds totalDigits 3" in issue.message
+        self.assert_names_offender(issue)
+
+    def test_fraction_digits(self):
+        schema = facet_schema("decimal", [FractionDigits(2)])
+        issue = sole_facet_error(schema, "1.234")
+        assert "exceeds fractionDigits 2" in issue.message
+        self.assert_names_offender(issue)
+
+    def test_element_content_facet_names_element(self):
+        b = SchemaBuilder()
+        root = b.element("r", b.simple_type(
+            "string", facets=[MaxLength(2)]))
+        schema = b.build(root)
+        report = validate(parse("<r>long</r>"), schema)
+        assert any("content of <r>" in e.message and e.path == "/r"
+                   for e in report.errors)
+
+
+def identity_schema(constraints):
+    b = SchemaBuilder()
+    dim = b.element("dim", b.complex_type(attributes=[
+        b.attribute("id", "string"),
+        b.attribute("region", "string"),
+    ]))
+    use = b.element("use", b.complex_type(attributes=[
+        b.attribute("dim", "string", use="required"),
+    ]))
+    root = b.element("m", b.complex_type(
+        content=b.sequence(b.particle(dim, 0, None),
+                           b.particle(use, 0, None))),
+        constraints=constraints)
+    return b.build(root)
+
+
+class TestIdentityDiagnosticsNameTheNode:
+    def test_duplicate_key_points_at_second_occurrence(self):
+        b = SchemaBuilder()
+        schema = identity_schema([b.key("k", "dim", ["@id"])])
+        report = validate(parse(
+            '<m><dim id="a"/><dim id="b"/><dim id="a"/></m>'), schema)
+        [issue] = [e for e in report.errors if "duplicate" in e.message]
+        assert issue.path == "/m/dim[3]"
+        assert "/m/dim[3]" in issue.message
+        assert "first at /m/dim[1]" in issue.message
+        assert issue.code == "cvc-identity-constraint.4.1"
+
+    def test_duplicate_unique_points_at_node(self):
+        b = SchemaBuilder()
+        schema = identity_schema([b.unique("u", "dim", ["@region"])])
+        report = validate(parse(
+            '<m><dim id="a" region="es"/><dim id="b" region="es"/></m>'),
+            schema)
+        [issue] = [e for e in report.errors if "duplicate" in e.message]
+        assert "unique" in issue.message
+        assert issue.path == "/m/dim[2]"
+
+    def test_missing_key_field_points_at_node(self):
+        b = SchemaBuilder()
+        schema = identity_schema([b.key("k", "dim", ["@id"])])
+        report = validate(parse('<m><dim id="a"/><dim/></m>'), schema)
+        [issue] = [e for e in report.errors
+                   if "selects nothing" in e.message]
+        assert issue.path == "/m/dim[2]"
+        assert "/m/dim[2]" in issue.message
+        assert issue.code == "cvc-identity-constraint.4.2.1"
+
+    def test_keyref_miss_points_at_referring_node(self):
+        b = SchemaBuilder()
+        schema = identity_schema([
+            b.key("k", "dim", ["@id"]),
+            b.keyref("r", "use", ["@dim"], refer="k")])
+        report = validate(parse(
+            '<m><dim id="a"/><use dim="a"/><use dim="ghost"/></m>'),
+            schema)
+        [issue] = [e for e in report.errors if "keyref" in e.message]
+        assert issue.path == "/m/use[2]"
+        assert "/m/use[2]" in issue.message
+        assert "does not match any" in issue.message
+        assert issue.code == "cvc-identity-constraint.4.3"
+
+    def test_three_duplicates_report_each_later_occurrence(self):
+        b = SchemaBuilder()
+        schema = identity_schema([b.key("k", "dim", ["@id"])])
+        report = validate(parse(
+            '<m><dim id="a"/><dim id="a"/><dim id="a"/></m>'), schema)
+        paths = sorted(e.path for e in report.errors
+                       if "duplicate" in e.message)
+        assert paths == ["/m/dim[2]", "/m/dim[3]"]
+        # Both point back at the first occurrence, not at each other.
+        assert all("first at /m/dim[1]" in e.message
+                   for e in report.errors if "duplicate" in e.message)
+
+    def test_gold_schema_keyref_violation_names_node(self):
+        from repro.mdm import gold_schema, model_to_xml, sales_model
+
+        model = sales_model()
+        xml = model_to_xml(model).replace(
+            f'dimclass="{model.dimensions[0].id}"', 'dimclass="ghost"', 1)
+        report = validate(parse(xml), gold_schema())
+        keyref_issues = [e for e in report.errors
+                         if "keyref" in e.message and "ghost" in e.message]
+        assert keyref_issues
+        # The path names the instance node, not the goldmodel scope.
+        assert all(i.path != "/goldmodel" for i in keyref_issues)
+        assert all(i.path.startswith("/goldmodel/") for i in keyref_issues)
