@@ -16,6 +16,14 @@ exposes the same workflow:
    goldcase publish --single model.xml s/ # one page, internal anchors
    goldcase present model.xml f1 out.html # Fig. 5 per-fact presentation
    goldcase export --sql star model.xml   # OLAP-tool (SQL) export
+
+Every command accepts ``--profile [PATH]`` / ``--trace [PATH]``
+(observability, DESIGN.md §10): both enable the engine's recorder and
+write a schema-versioned ``trace.json`` (to PATH when given);
+``--profile`` additionally prints a plain-text profile to stderr, and a
+profiled ``publish`` drops an HTML profile page into the site.  Place
+them after the positional arguments (or use ``--profile=PATH``), since
+the optional PATH is greedy.
 """
 
 from __future__ import annotations
@@ -26,13 +34,35 @@ import sys
 __all__ = ["main", "build_parser"]
 
 
+def _add_profiling_options(parser: argparse.ArgumentParser,
+                           suppress: bool = False) -> None:
+    """``--profile`` / ``--trace``, shared by the root and every command.
+
+    The subcommand copies default to ``SUPPRESS`` so a value parsed
+    before the subcommand name is not clobbered by the subparser.
+    """
+    default = argparse.SUPPRESS if suppress else None
+    parser.add_argument(
+        "--profile", nargs="?", const="", default=default, metavar="PATH",
+        help="enable instrumentation; write trace.json (to PATH if given) "
+             "and print a text profile to stderr")
+    parser.add_argument(
+        "--trace", nargs="?", const="", default=default, metavar="PATH",
+        help="enable instrumentation; write the JSON trace only")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="goldcase",
         description="CASE tool for GOLD multidimensional models "
                     "(EDBT 2002 reproduction)")
-    sub = parser.add_subparsers(dest="command", required=True)
+    _add_profiling_options(parser)
+    common = argparse.ArgumentParser(add_help=False)
+    _add_profiling_options(common, suppress=True)
+    sub = parser.add_subparsers(dest="command", required=True,
+                                parser_class=lambda **kw: argparse
+                                .ArgumentParser(parents=[common], **kw))
 
     demo = sub.add_parser("demo", help="write an example model as XML")
     demo.add_argument("which", choices=["sales", "retail", "synthetic"])
@@ -126,7 +156,29 @@ def _load_model(path: str):
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    profile = getattr(args, "profile", None)
+    trace_to = getattr(args, "trace", None)
+    if profile is None and trace_to is None:
+        return _run(args)
 
+    from ..obs import RECORDER, build_trace, text_report, write_trace
+
+    RECORDER.enable(clear=True)
+    try:
+        code = _run(args)
+    finally:
+        trace = build_trace()
+        RECORDER.disable()
+        path = trace_to or profile or "trace.json"
+        write_trace(path, trace)
+        print(f"wrote {path}", file=sys.stderr)
+        if profile is not None:
+            sys.stderr.write(text_report(trace))
+    return code
+
+
+def _run(args: argparse.Namespace) -> int:
+    """Execute one parsed command; returns the process exit code."""
     if args.command == "demo":
         from ..mdm import (model_to_xml, sales_model, synthetic_model,
                            two_facts_model)

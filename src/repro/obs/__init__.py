@@ -1,0 +1,65 @@
+"""Engine-wide observability: spans, counters, sinks (DESIGN.md §10).
+
+Quick use::
+
+    from repro.obs import profiling, build_trace, text_report
+
+    with profiling():
+        publish_multi_page(model)
+        trace = build_trace()
+    print(text_report(trace))
+
+The instrumented hot paths (``xml/dom.py``, ``xpath/evaluator.py``,
+``xslt/engine.py``, ``xsd/validator.py``, ``web/publisher.py``) guard
+every recording call on ``RECORDER.enabled`` and are no-ops by default;
+``benchmarks/bench_o3_overhead.py`` holds the ≤2 % disabled-overhead
+guard.
+
+Only the stdlib-only modules (:mod:`.recorder`, :mod:`.export`) load
+eagerly — the HTML sink pulls in the XSLT engine, so it stays a lazy
+import inside :func:`render_profile_html`'s module.
+"""
+
+from .export import (
+    SCHEMA_VERSION,
+    build_trace,
+    cache_stats,
+    text_report,
+    trace_json,
+    write_trace,
+)
+from .recorder import (
+    RECORDER,
+    Recorder,
+    Snapshot,
+    count,
+    enabled,
+    observe,
+    profiling,
+    span,
+)
+
+__all__ = [
+    "RECORDER",
+    "Recorder",
+    "Snapshot",
+    "SCHEMA_VERSION",
+    "build_trace",
+    "cache_stats",
+    "count",
+    "enabled",
+    "observe",
+    "profiling",
+    "render_profile_html",
+    "span",
+    "text_report",
+    "trace_json",
+    "write_trace",
+]
+
+
+def render_profile_html(trace: dict | None = None) -> str:
+    """Render the HTML profile page (lazy import of the XSLT sink)."""
+    from .htmlreport import render_profile_html as render
+
+    return render(trace)

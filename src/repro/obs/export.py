@@ -1,0 +1,161 @@
+"""Sinks for recorded data: schema-versioned JSON and a text report.
+
+The trace document is a stable, versioned schema (``repro-obs/1``) so
+downstream tooling (the CI artifact consumers, the HTML profile page)
+can rely on its shape::
+
+    {
+      "schema": "repro-obs/1",
+      "counters": {"dom.order_key.hit": 1234, ...},
+      "histograms": {"xslt.rule:mode=...": {count,total,min,max,mean}},
+      "spans": [{"path", "name", "tags", "start_s", "duration_s"}, ...],
+      "span_aggregates": {"publish.multi_page/publish.page": {...}},
+      "caches": {"xpath.parse": {hits, misses, currsize, maxsize}, ...},
+      "dropped_spans": 0,
+      "threads": 1
+    }
+
+``caches`` is gathered live from the engine's compile caches
+(``parse_xpath`` / ``compile_pattern`` / ``compile_avt`` lru caches and
+the publisher's stylesheet/transformer caches); those count process-wide
+regardless of whether the recorder was enabled.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .recorder import RECORDER, Snapshot
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "cache_stats",
+    "build_trace",
+    "trace_json",
+    "write_trace",
+    "text_report",
+]
+
+#: Bump only with a migration note in DESIGN.md §10.
+SCHEMA_VERSION = "repro-obs/1"
+
+
+def cache_stats() -> dict[str, dict]:
+    """Hit/miss/size statistics for every engine-level cache.
+
+    Imports lazily so the stdlib-only recorder module stays importable
+    from the instrumented hot paths without cycles.
+    """
+    from ..web.publisher import publisher_cache_info
+    from ..xpath.parser import parse_xpath
+    from ..xslt.avt import compile_avt
+    from ..xslt.patterns import compile_pattern
+
+    stats: dict[str, dict] = {}
+    for name, cached in (("xpath.parse", parse_xpath),
+                         ("xslt.pattern", compile_pattern),
+                         ("xslt.avt", compile_avt)):
+        info = cached.cache_info()
+        stats[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "currsize": info.currsize,
+            "maxsize": info.maxsize,
+        }
+    stats.update(publisher_cache_info())
+    return stats
+
+
+def build_trace(snapshot: Snapshot | None = None, *,
+                include_caches: bool = True) -> dict:
+    """The versioned trace document for *snapshot* (default: live)."""
+    if snapshot is None:
+        snapshot = RECORDER.snapshot()
+    trace: dict = {
+        "schema": SCHEMA_VERSION,
+        "counters": snapshot.counters,
+        "histograms": snapshot.histograms,
+        "spans": snapshot.spans,
+        "span_aggregates": snapshot.span_aggregates,
+        "caches": cache_stats() if include_caches else {},
+        "dropped_spans": snapshot.dropped_spans,
+        "threads": snapshot.threads,
+    }
+    return trace
+
+
+def trace_json(trace: dict | None = None) -> str:
+    """Serialize *trace* (default: a fresh :func:`build_trace`)."""
+    if trace is None:
+        trace = build_trace()
+    return json.dumps(trace, indent=1, sort_keys=True) + "\n"
+
+
+def write_trace(path: str, trace: dict | None = None) -> str:
+    """Write the JSON trace to *path*; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_json(trace))
+    return path
+
+
+def _rate(hits: int, misses: int) -> str:
+    total = hits + misses
+    if not total:
+        return "n/a"
+    return f"{100.0 * hits / total:.1f}%"
+
+
+def text_report(trace: dict | None = None) -> str:
+    """A plain-text profile: spans, top counters, cache hit rates."""
+    if trace is None:
+        trace = build_trace()
+    lines: list[str] = ["== repro observability profile =="]
+
+    aggregates = trace.get("span_aggregates", {})
+    if aggregates:
+        lines.append("")
+        lines.append("-- spans (cumulative) --")
+        width = max(len(path) for path in aggregates)
+        for path in sorted(
+                aggregates, key=lambda p: -aggregates[p]["total"]):
+            stats = aggregates[path]
+            lines.append(
+                f"{path:<{width}}  n={stats['count']:<6d} "
+                f"total={stats['total'] * 1000:9.2f}ms "
+                f"mean={stats['mean'] * 1000:8.3f}ms")
+
+    counters = trace.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("-- counters --")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"{name:<{width}}  {counters[name]}")
+
+    histograms = trace.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("-- histograms --")
+        for name in sorted(histograms):
+            stats = histograms[name]
+            lines.append(
+                f"{name}  n={stats['count']} total={stats['total']:.6f} "
+                f"mean={stats['mean']:.6f}")
+
+    caches = trace.get("caches", {})
+    if caches:
+        lines.append("")
+        lines.append("-- caches --")
+        width = max(len(name) for name in caches)
+        for name in sorted(caches):
+            info = caches[name]
+            lines.append(
+                f"{name:<{width}}  hits={info['hits']} "
+                f"misses={info['misses']} size={info['currsize']} "
+                f"hit-rate={_rate(info['hits'], info['misses'])}")
+
+    if trace.get("dropped_spans"):
+        lines.append("")
+        lines.append(f"({trace['dropped_spans']} spans dropped)")
+    lines.append("")
+    return "\n".join(lines)

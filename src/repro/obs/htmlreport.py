@@ -1,0 +1,192 @@
+"""The published HTML profile page.
+
+In the spirit of the paper's web-oriented presentation layer, the
+profile itself is published *through the same XSLT pipeline it
+measures*: :func:`profile_document` lowers a trace dict into a
+``<profile>`` XML tree and :data:`PROFILE_XSL` renders it to an HTML
+page that the publisher drops into the :class:`~repro.web.publisher.Site`
+next to the generated model pages (sharing their ``gold.css``).
+
+Rendering happens *after* the trace is built, so numbers shown on the
+page are a stable snapshot even though the rendering transform itself
+runs through instrumented code.
+"""
+
+from __future__ import annotations
+
+from ..xml.dom import Document, Element
+from .export import build_trace
+
+__all__ = ["PROFILE_XSL", "profile_document", "render_profile_html"]
+
+PROFILE_XSL = """<?xml version="1.0"?>
+<xsl:stylesheet version="1.0"
+    xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:output method="html" indent="no"/>
+
+  <xsl:template match="/profile">
+    <html>
+      <head>
+        <title>Engine profile</title>
+        <link rel="stylesheet" type="text/css" href="gold.css"/>
+      </head>
+      <body bgcolor="mintcream">
+        <h1>Engine profile</h1>
+        <p>
+          <font size="2">schema <xsl:value-of select="@schema"/>,
+          <xsl:value-of select="@threads"/> thread(s),
+          <xsl:value-of select="count(spans/span)"/> span paths,
+          <xsl:value-of select="count(counters/counter)"/> counters</font>
+        </p>
+
+        <xsl:if test="spans/span">
+          <h2>Spans</h2>
+          <table border="1" cellspacing="0">
+            <tr bgcolor="#C0C0C0">
+              <th>path</th><th>count</th>
+              <th>total (ms)</th><th>mean (ms)</th>
+            </tr>
+            <xsl:for-each select="spans/span">
+              <xsl:sort select="@total-ms" data-type="number"
+                        order="descending"/>
+              <tr>
+                <td><font size="2"><xsl:value-of select="@path"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@count"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@total-ms"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@mean-ms"/></font></td>
+              </tr>
+            </xsl:for-each>
+          </table>
+        </xsl:if>
+
+        <xsl:if test="caches/cache">
+          <h2>Cache hit rates</h2>
+          <table border="1" cellspacing="0">
+            <tr bgcolor="#C0C0C0">
+              <th>cache</th><th>hits</th><th>misses</th>
+              <th>size</th><th>hit rate</th>
+            </tr>
+            <xsl:for-each select="caches/cache">
+              <tr>
+                <td><font size="2"><xsl:value-of select="@name"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@hits"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@misses"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@size"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@rate"/></font></td>
+              </tr>
+            </xsl:for-each>
+          </table>
+        </xsl:if>
+
+        <xsl:if test="counters/counter">
+          <h2>Counters</h2>
+          <table border="1" cellspacing="0">
+            <tr bgcolor="#C0C0C0"><th>counter</th><th>value</th></tr>
+            <xsl:for-each select="counters/counter">
+              <tr>
+                <td><font size="2"><xsl:value-of select="@name"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@value"/></font></td>
+              </tr>
+            </xsl:for-each>
+          </table>
+        </xsl:if>
+
+        <xsl:if test="histograms/histogram">
+          <h2>Histograms</h2>
+          <table border="1" cellspacing="0">
+            <tr bgcolor="#C0C0C0">
+              <th>name</th><th>count</th>
+              <th>total (ms)</th><th>mean (ms)</th>
+            </tr>
+            <xsl:for-each select="histograms/histogram">
+              <xsl:sort select="@total-ms" data-type="number"
+                        order="descending"/>
+              <tr>
+                <td><font size="2"><xsl:value-of select="@name"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@count"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@total-ms"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@mean-ms"/></font></td>
+              </tr>
+            </xsl:for-each>
+          </table>
+        </xsl:if>
+      </body>
+    </html>
+  </xsl:template>
+</xsl:stylesheet>
+"""
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.3f}"
+
+
+def profile_document(trace: dict | None = None) -> Document:
+    """Lower a trace dict into the ``<profile>`` XML tree."""
+    if trace is None:
+        trace = build_trace()
+    document = Document()
+    profile = document.append_child(Element("profile"))
+    profile.set_attribute("schema", str(trace.get("schema", "")))
+    profile.set_attribute("threads", str(trace.get("threads", 0)))
+    profile.set_attribute("dropped", str(trace.get("dropped_spans", 0)))
+
+    spans = profile.append_child(Element("spans"))
+    for path, stats in trace.get("span_aggregates", {}).items():
+        entry = spans.append_child(Element("span"))
+        entry.set_attribute("path", path)
+        entry.set_attribute("count", str(stats["count"]))
+        entry.set_attribute("total-ms", _ms(stats["total"]))
+        entry.set_attribute("mean-ms", _ms(stats["mean"]))
+
+    counters = profile.append_child(Element("counters"))
+    for name, value in trace.get("counters", {}).items():
+        entry = counters.append_child(Element("counter"))
+        entry.set_attribute("name", name)
+        entry.set_attribute("value", str(value))
+
+    histograms = profile.append_child(Element("histograms"))
+    for name, stats in trace.get("histograms", {}).items():
+        entry = histograms.append_child(Element("histogram"))
+        entry.set_attribute("name", name)
+        entry.set_attribute("count", str(stats["count"]))
+        entry.set_attribute("total-ms", _ms(stats["total"]))
+        entry.set_attribute("mean-ms", _ms(stats["mean"]))
+
+    caches = profile.append_child(Element("caches"))
+    for name, info in trace.get("caches", {}).items():
+        hits, misses = info["hits"], info["misses"]
+        total = hits + misses
+        entry = caches.append_child(Element("cache"))
+        entry.set_attribute("name", name)
+        entry.set_attribute("hits", str(hits))
+        entry.set_attribute("misses", str(misses))
+        entry.set_attribute("size", str(info["currsize"]))
+        entry.set_attribute(
+            "rate", f"{100.0 * hits / total:.1f}%" if total else "n/a")
+    return document
+
+
+_PROFILE_TRANSFORMER = None
+
+
+def render_profile_html(trace: dict | None = None) -> str:
+    """Render the HTML profile page for *trace* via the XSLT engine."""
+    global _PROFILE_TRANSFORMER
+    from ..xslt import Transformer, compile_stylesheet
+
+    if _PROFILE_TRANSFORMER is None:
+        _PROFILE_TRANSFORMER = Transformer(compile_stylesheet(PROFILE_XSL))
+    result = _PROFILE_TRANSFORMER.transform(profile_document(trace))
+    return result.serialize()

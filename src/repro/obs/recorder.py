@@ -1,0 +1,330 @@
+"""The tracing/metrics core: a global recorder with spans and counters.
+
+Design constraints (DESIGN.md §10):
+
+* **Zero overhead by default.**  The module-level :data:`RECORDER` is a
+  plain slotted object whose ``enabled`` attribute is ``False`` until
+  someone calls :meth:`Recorder.enable`.  Instrumented hot paths guard
+  every recording call with ``if RECORDER.enabled:`` — one global load,
+  one attribute load, one branch — and :meth:`Recorder.span` returns a
+  shared no-op context manager when disabled, so nothing is allocated.
+* **Thread safety without hot-path locks.**  Counters, histograms and
+  completed spans accumulate in per-thread states (``threading.local``);
+  only :meth:`Recorder.snapshot` and state registration take the lock.
+  Snapshots merge all thread states, so counters incremented from
+  worker threads sum correctly.
+* **Hierarchical spans.**  ``with RECORDER.span("publish.page",
+  page="f1.html"):`` times a region with a monotonic clock and records
+  its nesting path (``publish.multi_page/publish.page``) from the
+  per-thread span stack.  Spans survive exceptions: ``__exit__`` always
+  records.
+
+Everything here is stdlib-only and imports nothing from the rest of the
+package, so the XML/XPath/XSLT/XSD hot paths can import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+
+__all__ = [
+    "RECORDER",
+    "Recorder",
+    "Snapshot",
+    "enabled",
+    "profiling",
+    "span",
+    "count",
+    "observe",
+]
+
+#: Completed spans kept per thread before further ones are dropped (and
+#: counted in ``Snapshot.dropped_spans``).  Aggregates keep accumulating.
+MAX_SPANS_PER_THREAD = 50_000
+
+
+class _Hist:
+    """Streaming summary statistics for one histogram / span path."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "_Hist") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": (self.total / self.count) if self.count else 0.0,
+        }
+
+
+class _ThreadState:
+    """All accumulation for one thread; touched without locking."""
+
+    __slots__ = ("counters", "hists", "spans", "span_aggregates", "stack",
+                 "dropped_spans", "thread_name")
+
+    def __init__(self, thread_name: str) -> None:
+        self.counters: dict[str, int] = {}
+        self.hists: dict[str, _Hist] = {}
+        #: Completed (path, name, tags, start_offset_s, duration_s).
+        self.spans: list[tuple] = []
+        self.span_aggregates: dict[str, _Hist] = {}
+        self.stack: list[str] = []
+        self.dropped_spans = 0
+        self.thread_name = thread_name
+
+
+class _NullSpan:
+    """The shared disabled-mode span: a reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An active span; records itself on exit, exception or not."""
+
+    __slots__ = ("_state", "name", "tags", "path", "_start")
+
+    def __init__(self, state: _ThreadState, name: str, tags: dict) -> None:
+        self._state = state
+        self.name = name
+        self.tags = tags
+        stack = state.stack
+        self.path = (stack[-1] + "/" + name) if stack else name
+        stack.append(self.path)
+        self._start = perf_counter()
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        duration = perf_counter() - self._start
+        state = self._state
+        # Unwind to this span even if an inner span leaked (exception
+        # paths that bypass an inner __exit__ cannot corrupt nesting).
+        stack = state.stack
+        while stack and stack[-1] != self.path:
+            stack.pop()
+        if stack:
+            stack.pop()
+        hist = state.span_aggregates.get(self.path)
+        if hist is None:
+            hist = state.span_aggregates[self.path] = _Hist()
+        hist.add(duration)
+        if len(state.spans) < MAX_SPANS_PER_THREAD:
+            state.spans.append(
+                (self.path, self.name, self.tags,
+                 self._start - RECORDER._epoch_start, duration))
+        else:
+            state.dropped_spans += 1
+        return False
+
+
+@dataclass
+class Snapshot:
+    """A merged, point-in-time view of everything recorded so far."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+    #: Completed spans as dicts, ordered by start time.
+    spans: list[dict] = field(default_factory=list)
+    #: Per-path cumulative statistics (count/total/min/max/mean).
+    span_aggregates: dict[str, dict] = field(default_factory=dict)
+    dropped_spans: int = 0
+    threads: int = 0
+
+
+class Recorder:
+    """The global metrics/tracing accumulator.  See module docstring."""
+
+    __slots__ = ("enabled", "_lock", "_local", "_states", "_epoch",
+                 "_epoch_start")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._states: list[_ThreadState] = []
+        #: Bumped by clear() so stale thread-local states re-register.
+        self._epoch = 0
+        self._epoch_start = perf_counter()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self, clear: bool = True) -> None:
+        """Turn recording on (optionally clearing prior data)."""
+        if clear:
+            self.clear()
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn recording off; accumulated data stays snapshot-able."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all recorded data (all threads)."""
+        with self._lock:
+            self._states = []
+            self._epoch += 1
+            self._epoch_start = perf_counter()
+
+    # -- accumulation ------------------------------------------------------
+
+    def _state(self) -> _ThreadState:
+        local = self._local
+        state = getattr(local, "state", None)
+        if state is None or getattr(local, "epoch", -1) != self._epoch:
+            state = _ThreadState(threading.current_thread().name)
+            local.state = state
+            local.epoch = self._epoch
+            with self._lock:
+                self._states.append(state)
+        return state
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add *n* to counter *name* (no-op while disabled)."""
+        if not self.enabled:
+            return
+        counters = self._state().counters
+        counters[name] = counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into histogram *name* (no-op while disabled)."""
+        if not self.enabled:
+            return
+        hists = self._state().hists
+        hist = hists.get(name)
+        if hist is None:
+            hist = hists[name] = _Hist()
+        hist.add(value)
+
+    def span(self, name: str, **tags):
+        """A context manager timing a region; shared no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self._state(), name, tags)
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Merge every thread's accumulation into one :class:`Snapshot`."""
+        snap = Snapshot()
+        counters: dict[str, int] = {}
+        hists: dict[str, _Hist] = {}
+        aggregates: dict[str, _Hist] = {}
+        raw_spans: list[tuple] = []
+        with self._lock:
+            states = list(self._states)
+        for state in states:
+            for name, value in state.counters.items():
+                counters[name] = counters.get(name, 0) + value
+            for name, hist in state.hists.items():
+                merged = hists.get(name)
+                if merged is None:
+                    merged = hists[name] = _Hist()
+                merged.merge(hist)
+            for path, hist in state.span_aggregates.items():
+                merged = aggregates.get(path)
+                if merged is None:
+                    merged = aggregates[path] = _Hist()
+                merged.merge(hist)
+            raw_spans.extend(state.spans)
+            snap.dropped_spans += state.dropped_spans
+        raw_spans.sort(key=lambda record: record[3])
+        snap.counters = dict(sorted(counters.items()))
+        snap.histograms = {
+            name: hists[name].as_dict() for name in sorted(hists)}
+        snap.span_aggregates = {
+            path: aggregates[path].as_dict() for path in sorted(aggregates)}
+        snap.spans = [
+            {"path": path, "name": name, "tags": tags,
+             "start_s": start, "duration_s": duration}
+            for path, name, tags, start, duration in raw_spans
+        ]
+        snap.threads = len(states)
+        return snap
+
+
+#: The process-wide recorder every instrumented module guards on.
+RECORDER = Recorder()
+
+
+# -- convenience module-level API ------------------------------------------
+
+def enabled() -> bool:
+    """True when the global recorder is collecting."""
+    return RECORDER.enabled
+
+
+def span(name: str, **tags):
+    """``RECORDER.span`` as a free function."""
+    return RECORDER.span(name, **tags)
+
+
+def count(name: str, n: int = 1) -> None:
+    """``RECORDER.count`` as a free function."""
+    RECORDER.count(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    """``RECORDER.observe`` as a free function."""
+    RECORDER.observe(name, value)
+
+
+class profiling:
+    """``with profiling():`` — enable the recorder for a region.
+
+    Restores the previous enabled state on exit (exception or not), so
+    nested/overlapping uses compose.  ``clear=True`` (the default) drops
+    prior data on entry for a clean profile.
+    """
+
+    __slots__ = ("_clear", "_was_enabled")
+
+    def __init__(self, clear: bool = True) -> None:
+        self._clear = clear
+        self._was_enabled = False
+
+    def __enter__(self) -> Recorder:
+        self._was_enabled = RECORDER.enabled
+        RECORDER.enable(clear=self._clear and not self._was_enabled)
+        return RECORDER
+
+    def __exit__(self, *exc_info) -> bool:
+        RECORDER.enabled = self._was_enabled
+        return False

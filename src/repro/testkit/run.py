@@ -28,6 +28,7 @@ import sys
 import time
 
 from ..mdm.xml_io import model_to_document
+from ..obs import RECORDER, build_trace, write_trace
 from .differential import (
     dispatch_differential,
     run_mutation_differential,
@@ -57,27 +58,38 @@ def iteration_rng(seed: int, index: int) -> random.Random:
 
 
 def run_iteration(seed: int, index: int) -> list[dict]:
-    """Run one full iteration; returns JSON-serializable failure records."""
+    """Run one full iteration; returns JSON-serializable failure records.
+
+    Each workload family runs inside an observability span
+    (``testkit.<family>``), so a harness with the global recorder
+    enabled (the CLI below always enables it) gets per-stage timings
+    for free; with the recorder disabled the spans are no-ops.
+    """
     rng = iteration_rng(seed, index)
     failures: list[dict] = []
 
-    model = random_model(rng)
-    pipeline = run_pipeline(model)
-    for failure in pipeline.failures:
-        record = failure.as_dict()
-        record["model"] = model.name
-        failures.append(record)
+    with RECORDER.span("testkit.pipeline"):
+        model = random_model(rng)
+        pipeline = run_pipeline(model)
+        for failure in pipeline.failures:
+            record = failure.as_dict()
+            record["model"] = model.name
+            failures.append(record)
 
-    documents = [random_document(rng), random_document(rng)]
-    operations = random_mutations(rng, MUTATIONS_PER_ITERATION)
-    failures.extend(run_mutation_differential(documents, operations))
+    with RECORDER.span("testkit.mutations"):
+        documents = [random_document(rng), random_document(rng)]
+        operations = random_mutations(rng, MUTATIONS_PER_ITERATION)
+        failures.extend(run_mutation_differential(documents, operations))
 
     target = random_document(rng)
     expressions = [random_xpath(rng) for _ in range(XPATHS_PER_ITERATION)]
-    failures.extend(xpath_differential(target, expressions))
-    failures.extend(sort_differential(target, SORT_SHUFFLES, rng))
+    with RECORDER.span("testkit.xpath"):
+        failures.extend(xpath_differential(target, expressions))
+    with RECORDER.span("testkit.sort"):
+        failures.extend(sort_differential(target, SORT_SHUFFLES, rng))
 
-    failures.extend(dispatch_differential(model_to_document(model)))
+    with RECORDER.span("testkit.dispatch"):
+        failures.extend(dispatch_differential(model_to_document(model)))
 
     for record in failures:
         record.setdefault("seed", seed)
@@ -111,6 +123,9 @@ def main(argv: list[str] | None = None) -> int:
                              "failing iteration)")
     parser.add_argument("--failures-dir", default="testkit-failures",
                         help="directory for JSON reproducers of failures")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write the observability trace (trace.json) "
+                             "of the whole run to PATH")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-iteration progress output")
     args = parser.parse_args(argv)
@@ -119,31 +134,57 @@ def main(argv: list[str] | None = None) -> int:
     index = args.start
     completed = 0
     all_failures: list[dict] = []
-    while True:
-        if args.iterations is not None:
-            if completed >= args.iterations:
+    # The harness always records: per-stage spans cost nothing compared
+    # to the differential workloads and every red run gets its timings.
+    was_enabled = RECORDER.enabled
+    RECORDER.enable(clear=not was_enabled)
+    try:
+        while True:
+            if args.iterations is not None:
+                if completed >= args.iterations:
+                    break
+            elif completed > 0 and time.monotonic() - started >= args.budget:
                 break
-        elif completed > 0 and time.monotonic() - started >= args.budget:
-            break
-        failures = run_iteration(args.seed, index)
-        completed += 1
-        if failures:
-            all_failures.extend(failures)
-            print(f"iteration {index}: {len(failures)} failure(s)",
-                  file=sys.stderr)
-            for record in failures[:5]:
-                print(f"  {json.dumps(record, sort_keys=True)}",
+            failures = run_iteration(args.seed, index)
+            completed += 1
+            if failures:
+                all_failures.extend(failures)
+                print(f"iteration {index}: {len(failures)} failure(s)",
                       file=sys.stderr)
-        elif not args.quiet and completed % 10 == 0:
-            elapsed = time.monotonic() - started
-            print(f"... {completed} iterations green ({elapsed:.1f}s)")
-        index += 1
+                for record in failures[:5]:
+                    print(f"  {json.dumps(record, sort_keys=True)}",
+                          file=sys.stderr)
+            elif not args.quiet and completed % 10 == 0:
+                elapsed = time.monotonic() - started
+                print(f"... {completed} iterations green ({elapsed:.1f}s)")
+            index += 1
+    finally:
+        trace = build_trace()
+        RECORDER.enabled = was_enabled
+    if args.trace:
+        directory = os.path.dirname(args.trace)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        write_trace(args.trace, trace)
+        print(f"trace written to {args.trace}")
 
     elapsed = time.monotonic() - started
     if all_failures:
-        path = _write_reproducers(args.failures_dir, args.seed, all_failures)
+        stages = {
+            path.removeprefix("testkit."): round(stats["total"], 6)
+            for path, stats in trace["span_aggregates"].items()
+            if path.startswith("testkit.")
+        }
+        failure_count = len(all_failures)
         bad = sorted({record["iteration"] for record in all_failures})
-        print(f"testkit: FAIL — {len(all_failures)} failure(s) across "
+        # One extra context record (not a failure): where the run's time
+        # went, so a red CI log shows which stage blew the budget.
+        all_failures.append({
+            "check": "stage-timings", "seed": args.seed,
+            "iteration": -1, "stages_s": stages,
+        })
+        path = _write_reproducers(args.failures_dir, args.seed, all_failures)
+        print(f"testkit: FAIL — {failure_count} failure(s) across "
               f"iterations {bad} in {elapsed:.1f}s; reproducers: {path}")
         print(f"replay one with: python -m repro.testkit.run "
               f"--seed {args.seed} --start {bad[0]} --iterations 1")

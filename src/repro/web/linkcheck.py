@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from html.parser import HTMLParser
 
-from .publisher import Site
+from .publisher import PROFILE_PAGE, Site
 
 __all__ = ["LinkReport", "check_site"]
 
@@ -89,6 +89,9 @@ def check_site(site: Site) -> LinkReport:
 
     for name in site.pages:
         if name.endswith(".html") and name != "index.html" and \
-                name not in inbound:
+                name != PROFILE_PAGE and name not in inbound:
+            # The profile page is an additive diagnostic emitted while
+            # profiling is on; model pages never link to it by design
+            # (their bytes are pinned), so it is not an orphan.
             report.orphans.append(name)
     return report

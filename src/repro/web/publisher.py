@@ -22,7 +22,9 @@ from dataclasses import dataclass, field
 
 from ..mdm.model import GoldModel
 from ..mdm.xml_io import model_to_document
+from ..obs.recorder import RECORDER as _REC
 from ..xslt import Stylesheet, Transformer, compile_stylesheet
+from ..xslt.output import serialize_result
 from .stylesheets import (
     MULTI_PAGE_XSL,
     SINGLE_PAGE_XSL,
@@ -30,7 +32,11 @@ from .stylesheets import (
 )
 
 __all__ = ["Site", "publish_multi_page", "publish_single_page",
-           "DEFAULT_CSS"]
+           "DEFAULT_CSS", "PROFILE_PAGE", "publisher_cache_info",
+           "clear_publisher_caches"]
+
+#: Filename of the additive profile page emitted while profiling is on.
+PROFILE_PAGE = "profile.html"
 
 #: Stylesheet for the generated pages (the paper notes CSS "gives us more
 #: control over how pages are displayed").
@@ -72,53 +78,123 @@ class Site:
         return written
 
 
-_compiled_cache: dict[str, Stylesheet] = {}
-_transformer_cache: dict[str, Transformer] = {}
+class _StatsCache:
+    """A keyed build cache with ``functools.lru_cache``-style introspection.
+
+    ``cache_info()`` exposes hits/misses/currsize so the observability
+    layer can report publisher-cache hit rates, and ``clear()`` lets
+    benchmark harnesses measure cold-start costs between runs — both
+    were impossible with the bare module-level dicts this replaces.
+    """
+
+    __slots__ = ("_build", "_entries", "hits", "misses")
+
+    def __init__(self, build) -> None:
+        self._build = build
+        self._entries: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            entry = self._entries[key] = self._build(key)
+        else:
+            self.hits += 1
+        return entry
+
+    def cache_info(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "currsize": len(self._entries),
+            "maxsize": None,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_compiled_cache = _StatsCache(
+    lambda text: compile_stylesheet(text, resolver=stylesheet_resolver))
+
+#: Transformers are stateless across runs (per-transformation state
+#: lives in an internal run object), so the serving scenario — repeated
+#: publishes of changing models — reuses one instance and skips both
+#: stylesheet compilation and template-dispatch index construction.
+_transformer_cache = _StatsCache(
+    lambda text: Transformer(_compiled(text)))
 
 
 def _compiled(text: str) -> Stylesheet:
-    sheet = _compiled_cache.get(text)
-    if sheet is None:
-        sheet = compile_stylesheet(text, resolver=stylesheet_resolver)
-        _compiled_cache[text] = sheet
-    return sheet
+    return _compiled_cache.get(text)
 
 
 def _transformer(text: str) -> Transformer:
-    """A cached Transformer per stylesheet text.
+    """A cached Transformer per stylesheet text (see _transformer_cache)."""
+    return _transformer_cache.get(text)
 
-    Transformers are stateless across runs (per-transformation state
-    lives in an internal run object), so the serving scenario — repeated
-    publishes of changing models — reuses one instance and skips both
-    stylesheet compilation and template-dispatch index construction.
+
+def publisher_cache_info() -> dict[str, dict]:
+    """Hit/miss/size statistics for the publisher's stylesheet caches."""
+    return {
+        "publisher.stylesheet": _compiled_cache.cache_info(),
+        "publisher.transformer": _transformer_cache.cache_info(),
+    }
+
+
+def clear_publisher_caches() -> None:
+    """Drop compiled stylesheets and transformers (benchmark cold-start)."""
+    _compiled_cache.clear()
+    _transformer_cache.clear()
+
+
+def _attach_profile(site: Site) -> None:
+    """Append the HTML profile page while profiling is enabled.
+
+    Strictly additive: every model page is already rendered and the
+    trace is snapshotted before this transform runs, so enabling
+    profiling never changes the bytes of any other page (pinned by
+    tests/web/test_golden_outputs.py).
     """
-    transformer = _transformer_cache.get(text)
-    if transformer is None:
-        transformer = Transformer(_compiled(text))
-        _transformer_cache[text] = transformer
-    return transformer
+    from ..obs.htmlreport import render_profile_html
+
+    site.pages[PROFILE_PAGE] = render_profile_html()
 
 
 def publish_multi_page(model: GoldModel, *,
                        stylesheet: str = MULTI_PAGE_XSL) -> Site:
     """Generate the linked multi-page site (Fig. 6) for *model*."""
-    document = model_to_document(model)
-    result = _transformer(stylesheet).transform(document)
-    site = Site(messages=list(result.messages))
-    rendered = result.serialize_all()
-    site.pages["index.html"] = rendered.pop("")
-    for href, content in rendered.items():
-        site.pages[href] = content
-    site.pages["gold.css"] = DEFAULT_CSS
+    with _REC.span("publish.multi_page", model=model.name):
+        document = model_to_document(model)
+        with _REC.span("publish.transform"):
+            result = _transformer(stylesheet).transform(document)
+        site = Site(messages=list(result.messages))
+        with _REC.span("publish.page", page="index.html"):
+            site.pages["index.html"] = result.serialize()
+        for href, secondary in result.documents.items():
+            with _REC.span("publish.page", page=href):
+                site.pages[href] = serialize_result(secondary, result.output)
+        site.pages["gold.css"] = DEFAULT_CSS
+    if _REC.enabled:
+        _attach_profile(site)
     return site
 
 
 def publish_single_page(model: GoldModel, *,
                         stylesheet: str = SINGLE_PAGE_XSL) -> Site:
     """Generate the one-page site with internal anchors for *model*."""
-    document = model_to_document(model)
-    result = _transformer(stylesheet).transform(document)
-    site = Site(messages=list(result.messages))
-    site.pages["index.html"] = result.serialize()
-    site.pages["gold.css"] = DEFAULT_CSS
+    with _REC.span("publish.single_page", model=model.name):
+        document = model_to_document(model)
+        with _REC.span("publish.transform"):
+            result = _transformer(stylesheet).transform(document)
+        site = Site(messages=list(result.messages))
+        with _REC.span("publish.page", page="index.html"):
+            site.pages["index.html"] = result.serialize()
+        site.pages["gold.css"] = DEFAULT_CSS
+    if _REC.enabled:
+        _attach_profile(site)
     return site

@@ -26,6 +26,7 @@ from __future__ import annotations
 from operator import methodcaller
 from typing import Iterator, Sequence
 
+from ..obs.recorder import RECORDER as _REC
 from .chars import is_name, is_qname, split_qname
 from .errors import DOMError
 
@@ -128,6 +129,25 @@ class Node:
         root = node
         version = root._doc_version
         key: tuple[int, ...] = ()
+        if _REC.enabled:
+            # Instrumented twin of the loop below; kept separate so the
+            # disabled path pays exactly one flag check per call.
+            hits = misses = 0
+            for link in reversed(chain):
+                cache = link._order_cache
+                if cache is not None and cache[0] is root and \
+                        cache[1] == version:
+                    key = cache[2]
+                    hits += 1
+                else:
+                    key = key + (link.parent._child_order_index(link),)
+                    link._order_cache = (root, version, key)
+                    misses += 1
+            if hits:
+                _REC.count("dom.order_key.hit", hits)
+            if misses:
+                _REC.count("dom.order_key.miss", misses)
+            return key
         for link in reversed(chain):
             cache = link._order_cache
             if cache is not None and cache[0] is root and \
@@ -144,6 +164,8 @@ class Node:
         while node.parent is not None:
             node = node.parent
         node._doc_version += 1
+        if _REC.enabled:
+            _REC.count("dom.version_bump")
 
     def _child_order_index(self, child: "Node") -> int:
         raise DOMError(f"{type(self).__name__} has no children")

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
+from ..obs.recorder import RECORDER as _REC
 from ..xml.chars import split_qname
 from ..xml.dom import (
     Attribute,
@@ -312,11 +313,15 @@ class XPathEvaluator:
             # ``@name`` or ``child::x`` in a select).  The axis iterator
             # cannot repeat nodes and emits them in axis order, so no
             # dedup or sort is needed — just flip reverse axes.
+            if _REC.enabled:
+                _REC.count("xpath.steps")
             step = steps[0]
             gathered = self._apply_step(step, start[0], context)
             if step.axis in REVERSE_AXES:
                 gathered.reverse()
             return gathered
+        recording = _REC.enabled
+        resorts = 0
         current = document_order(start)
         flat = len(current) <= 1
         index = 0
@@ -355,6 +360,7 @@ class XPathEvaluator:
                     gathered.reverse()
                     current = gathered
                 else:
+                    resorts += 1
                     current = document_order(gathered)
             elif singleton or axis_name in ("self", "attribute", "namespace") \
                     or (not step.predicates and
@@ -367,10 +373,15 @@ class XPathEvaluator:
                 # predicate filters each context's results independently.
                 current = gathered
             else:
+                resorts += 1
                 current = document_order(gathered)
             flat = len(current) <= 1 or \
                 (flat and axis_name in FLAT_PRESERVING_AXES)
             index += 1
+        if recording:
+            _REC.count("xpath.steps", total)
+            if resorts:
+                _REC.count("xpath.resort", resorts)
         return current
 
     def _apply_step(self, step: Step, node: Node,

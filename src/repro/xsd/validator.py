@@ -16,6 +16,7 @@ modelling mistake at once.
 
 from __future__ import annotations
 
+from ..obs.recorder import RECORDER as _REC
 from ..xml.dom import Attribute, Document, Element, Node
 from ..xpath import Context, XPathEvaluator
 from ..xpath.parser import parse_xpath
@@ -67,14 +68,19 @@ class SchemaValidator:
 
         ids: dict[str, str] = {}
         idrefs: list[tuple[str, str, int | None]] = []
-        self._validate_element(root, decl, f"/{root.name}", report, ids,
-                               idrefs)
-        for value, path, line in idrefs:
-            if value not in ids:
-                report.add(
-                    f"IDREF {value!r} does not match any ID in the document",
-                    path=path, line=line, code="cvc-id.1")
-        self._check_identity_constraints(root, decl, report)
+        with _REC.span("xsd.validate", root=root.name):
+            self._validate_element(root, decl, f"/{root.name}", report, ids,
+                                   idrefs)
+            if _REC.enabled and idrefs:
+                _REC.count("xsd.check:idref", len(idrefs))
+            for value, path, line in idrefs:
+                if value not in ids:
+                    if _REC.enabled:
+                        _REC.count("xsd.fail:idref")
+                    report.add(
+                        f"IDREF {value!r} does not match any ID in the "
+                        f"document", path=path, line=line, code="cvc-id.1")
+            self._check_identity_constraints(root, decl, report)
         return report
 
     # -- element validation -----------------------------------------------------
@@ -83,6 +89,8 @@ class SchemaValidator:
                           path: str, report: ValidationReport,
                           ids: dict[str, str],
                           idrefs: list[tuple[str, str, int | None]]) -> None:
+        if _REC.enabled:
+            _REC.count("xsd.check:element")
         nil = element.get_attribute("xsi:nil")
         if nil == "true":
             if not decl.nillable:
@@ -233,9 +241,13 @@ class SchemaValidator:
                             ids: dict[str, str],
                             idrefs: list[tuple[str, str, int | None]],
                             attr_node: Attribute | None = None) -> None:
+        if _REC.enabled:
+            _REC.count("xsd.check:simple-value")
         try:
             stype.validate(text)
         except ValueError as exc:
+            if _REC.enabled:
+                _REC.count("xsd.fail:datatype")
             report.add(f"{what}: {exc}", path=path, line=line,
                        code="cvc-datatype-valid")
             return
@@ -245,6 +257,8 @@ class SchemaValidator:
             if attr_node is not None:
                 attr_node.is_id = True
             if value in ids:
+                if _REC.enabled:
+                    _REC.count("xsd.fail:id")
                 report.add(
                     f"duplicate ID {value!r} (first used at {ids[value]})",
                     path=path, line=line, code="cvc-id.2")
@@ -287,6 +301,8 @@ class SchemaValidator:
                 continue
             for value, node in rows:
                 if value not in target:
+                    if _REC.enabled:
+                        _REC.count("xsd.fail:keyref")
                     shown = value[0] if len(value) == 1 else value
                     where = self._instance_path(node)
                     report.add(
@@ -327,6 +343,8 @@ class SchemaValidator:
                              report: ValidationReport,
                              allow_missing: bool = False
                              ) -> list[tuple[tuple[str, ...], Node]]:
+        if _REC.enabled:
+            _REC.count(f"xsd.check:{constraint.kind}")
         selector = parse_xpath(constraint.selector)
         context = Context(node=scope)
         try:
@@ -366,6 +384,8 @@ class SchemaValidator:
                 continue
             row = tuple(values)
             if row in seen and constraint.kind in ("key", "unique"):
+                if _REC.enabled:
+                    _REC.count(f"xsd.fail:{constraint.kind}")
                 shown = row[0] if len(row) == 1 else row
                 report.add(
                     f"{constraint.kind} {constraint.name!r}: duplicate "

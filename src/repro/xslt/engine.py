@@ -24,7 +24,10 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Mapping, Sequence
+
+from ..obs.recorder import RECORDER as _REC
 
 from ..xml.dom import (
     Attribute,
@@ -307,6 +310,23 @@ class _Run:
     def apply_templates(self, nodes: Sequence[Node], mode: str | None,
                         frame: _Frame, params: Mapping[str, object]) -> None:
         size = len(nodes)
+        if _REC.enabled:
+            # Instrumented twin: per-(mode, pattern) fire counts and
+            # cumulative time (inclusive of nested applies, like a
+            # cumulative profiler column).  Separate loop so the
+            # disabled path pays one flag check per batch, not per node.
+            for position, node in enumerate(nodes, start=1):
+                rule = self._find_rule(node, mode, frame)
+                if rule is None:
+                    _REC.count(f"xslt.builtin:kind={node.kind}")
+                    self._builtin_rule(node, mode, frame)
+                    continue
+                label = (f"xslt.rule:mode={mode or '#default'}"
+                         f":match={rule.pattern.text}")
+                started = perf_counter()
+                self._instantiate_rule(rule, node, position, size, params)
+                _REC.observe(label, perf_counter() - started)
+            return
         for position, node in enumerate(nodes, start=1):
             rule = self._find_rule(node, mode, frame)
             if rule is None:
@@ -818,6 +838,8 @@ class _Run:
         definitions = [k for k in self.stylesheet.keys if k.name == name]
         if not definitions:
             raise XSLTRuntimeError(f"no xsl:key named {name!r}")
+        if _REC.enabled:
+            _REC.count(f"xslt.key_index.build:name={name}")
         index = {}
         match_context = self._context(self.source, 1, 1, self.global_frame)
         # Cheap (kind, local-name) prefilters derived from each match

@@ -1,0 +1,108 @@
+"""Trace export: schema stability, cache stats, text report."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    RECORDER,
+    SCHEMA_VERSION,
+    build_trace,
+    cache_stats,
+    text_report,
+    trace_json,
+    write_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    RECORDER.disable()
+    RECORDER.clear()
+    yield
+    RECORDER.disable()
+    RECORDER.clear()
+
+
+#: The contract with downstream consumers (CI artifacts, profile page).
+TRACE_KEYS = {"schema", "counters", "histograms", "spans",
+              "span_aggregates", "caches", "dropped_spans", "threads"}
+
+
+class TestTraceSchema:
+    def test_top_level_keys_are_stable(self):
+        trace = build_trace()
+        assert set(trace) == TRACE_KEYS
+        assert trace["schema"] == SCHEMA_VERSION == "repro-obs/1"
+
+    def test_trace_round_trips_through_json(self):
+        RECORDER.enable()
+        RECORDER.count("c", 3)
+        RECORDER.observe("h", 0.5)
+        with RECORDER.span("s", tag="v"):
+            pass
+        trace = build_trace()
+        parsed = json.loads(trace_json(trace))
+        assert parsed == trace
+        assert parsed["counters"] == {"c": 3}
+        assert parsed["histograms"]["h"]["count"] == 1
+        (span,) = parsed["spans"]
+        assert set(span) == {"path", "name", "tags", "start_s",
+                             "duration_s"}
+        assert span["tags"] == {"tag": "v"}
+
+    def test_histogram_and_aggregate_stat_keys(self):
+        RECORDER.enable()
+        RECORDER.observe("h", 1.0)
+        with RECORDER.span("s"):
+            pass
+        trace = build_trace()
+        stat_keys = {"count", "total", "min", "max", "mean"}
+        assert set(trace["histograms"]["h"]) == stat_keys
+        assert set(trace["span_aggregates"]["s"]) == stat_keys
+
+    def test_write_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert write_trace(str(path)) == str(path)
+        parsed = json.loads(path.read_text(encoding="utf-8"))
+        assert parsed["schema"] == SCHEMA_VERSION
+
+    def test_include_caches_toggle(self):
+        assert build_trace(include_caches=False)["caches"] == {}
+        assert "xpath.parse" in build_trace()["caches"]
+
+
+class TestCacheStats:
+    def test_reports_every_engine_cache(self):
+        stats = cache_stats()
+        assert set(stats) == {"xpath.parse", "xslt.pattern", "xslt.avt",
+                              "publisher.stylesheet",
+                              "publisher.transformer"}
+        for info in stats.values():
+            assert set(info) == {"hits", "misses", "currsize", "maxsize"}
+
+    def test_counts_are_live(self):
+        from repro.xpath.parser import parse_xpath
+
+        parse_xpath("child::node()")  # prime
+        before = cache_stats()["xpath.parse"]["hits"]
+        parse_xpath("child::node()")
+        assert cache_stats()["xpath.parse"]["hits"] == before + 1
+
+
+class TestTextReport:
+    def test_report_sections(self):
+        RECORDER.enable()
+        RECORDER.count("dom.order_key.hit", 10)
+        with RECORDER.span("publish.page", page="index.html"):
+            pass
+        report = text_report()
+        assert "repro observability profile" in report
+        assert "-- spans (cumulative) --" in report
+        assert "publish.page" in report
+        assert "dom.order_key.hit" in report
+        assert "hit-rate=" in report
+
+    def test_empty_trace_still_renders(self):
+        report = text_report(build_trace(include_caches=False))
+        assert report.startswith("== repro observability profile ==")

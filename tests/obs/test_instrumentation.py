@@ -1,0 +1,130 @@
+"""End-to-end instrumentation: real engine work under a live recorder."""
+
+import pytest
+
+from repro.mdm import gold_schema, sales_model
+from repro.obs import RECORDER, build_trace
+from repro.obs.htmlreport import render_profile_html
+from repro.web.publisher import (
+    PROFILE_PAGE,
+    clear_publisher_caches,
+    publish_multi_page,
+    publish_single_page,
+    publisher_cache_info,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    RECORDER.disable()
+    RECORDER.clear()
+    yield
+    RECORDER.disable()
+    RECORDER.clear()
+
+
+def _profiled_publish(publisher):
+    RECORDER.enable()
+    site = publisher(sales_model())
+    trace = build_trace()
+    RECORDER.disable()
+    return site, trace
+
+
+class TestPublishInstrumentation:
+    def test_multi_page_publish_records_hot_paths(self):
+        site, trace = _profiled_publish(publish_multi_page)
+        counters = trace["counters"]
+        assert counters["dom.order_key.hit"] > 0
+        assert counters["dom.order_key.miss"] > 0
+        assert any(name.startswith("xslt.builtin:") for name in counters)
+        assert any(name.startswith("xslt.rule:mode=")
+                   for name in trace["histograms"])
+        aggregates = trace["span_aggregates"]
+        assert "publish.multi_page" in aggregates
+        assert "publish.multi_page/publish.transform" in aggregates
+        pages = aggregates["publish.multi_page/publish.page"]
+        # One serialization span per written page (profile page excluded).
+        assert pages["count"] == len(
+            [n for n in site.pages
+             if n.endswith(".html") and n != PROFILE_PAGE])
+
+    def test_page_spans_carry_page_tags(self):
+        _, trace = _profiled_publish(publish_multi_page)
+        tagged = {span["tags"]["page"] for span in trace["spans"]
+                  if span["name"] == "publish.page"}
+        assert "index.html" in tagged
+
+    def test_single_page_publish_records_span(self):
+        _, trace = _profiled_publish(publish_single_page)
+        assert "publish.single_page" in trace["span_aggregates"]
+
+    def test_profile_page_attached_only_when_enabled(self):
+        site, _ = _profiled_publish(publish_multi_page)
+        assert PROFILE_PAGE in site.pages
+        plain = publish_multi_page(sales_model())
+        assert PROFILE_PAGE not in plain.pages
+
+    def test_profile_page_reports_cache_hit_rates(self):
+        site, _ = _profiled_publish(publish_multi_page)
+        html = site.pages[PROFILE_PAGE]
+        assert "xpath.parse" in html
+        assert "publisher.stylesheet" in html
+        assert "publish.page" in html
+
+
+class TestValidatorInstrumentation:
+    def test_validate_counts_constraint_checks(self):
+        from repro.mdm import model_to_xml
+        from repro.xml import parse
+        from repro.xsd import validate
+
+        document = parse(model_to_xml(sales_model()))
+        RECORDER.enable()
+        report = validate(document, gold_schema())
+        trace = build_trace(include_caches=False)
+        assert report.valid
+        counters = trace["counters"]
+        assert counters["xsd.check:element"] > 0
+        assert counters["xsd.check:simple-value"] > 0
+        assert any(name.startswith("xsd.check:key") for name in counters)
+        assert "xsd.validate" in trace["span_aggregates"]
+        assert not any(name.startswith("xsd.fail:") for name in counters)
+
+
+class TestPublisherCaches:
+    def test_cache_info_counts_hits_and_misses(self):
+        clear_publisher_caches()
+        publish_multi_page(sales_model())
+        first = publisher_cache_info()
+        assert first["publisher.stylesheet"]["misses"] >= 1
+        publish_multi_page(sales_model())
+        second = publisher_cache_info()
+        assert second["publisher.transformer"]["hits"] > \
+            first["publisher.transformer"]["hits"]
+
+    def test_clear_resets_counts_and_entries(self):
+        publish_multi_page(sales_model())
+        clear_publisher_caches()
+        info = publisher_cache_info()
+        for stats in info.values():
+            assert stats["hits"] == 0
+            assert stats["misses"] == 0
+            assert stats["currsize"] == 0
+
+
+class TestProfileRendering:
+    def test_render_profile_html_is_additive(self):
+        RECORDER.enable()
+        with RECORDER.span("demo"):
+            RECORDER.count("demo.counter", 2)
+        before = build_trace()
+        html = render_profile_html(before)
+        assert html.startswith("<html>")
+        assert "Engine profile" in html
+        assert "demo.counter" in html
+        # Rendering the profile goes through the XSLT engine, which is
+        # itself instrumented — the snapshot it rendered must not gain
+        # entries from its own rendering.
+        assert build_trace()["counters"].keys() >= before["counters"].keys()
+        assert before["counters"] == {"demo.counter": 2}

@@ -1,0 +1,150 @@
+"""Core recorder semantics: spans, counters, threads, no-op fast path."""
+
+import threading
+
+import pytest
+
+from repro.obs.recorder import NULL_SPAN, RECORDER, Recorder, profiling
+
+
+@pytest.fixture()
+def recorder():
+    rec = Recorder()
+    rec.enable()
+    return rec
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_null_span(self):
+        rec = Recorder()
+        assert rec.span("anything", tag=1) is NULL_SPAN
+        assert rec.span("other") is NULL_SPAN
+
+    def test_null_span_is_reentrant_context_manager(self):
+        with NULL_SPAN:
+            with NULL_SPAN:
+                pass
+
+    def test_disabled_recording_collects_nothing(self):
+        rec = Recorder()
+        rec.count("c")
+        rec.observe("h", 1.0)
+        with rec.span("s"):
+            pass
+        snap = rec.snapshot()
+        assert snap.counters == {}
+        assert snap.histograms == {}
+        assert snap.spans == []
+
+    def test_global_recorder_disabled_by_default(self):
+        assert RECORDER.enabled is False
+
+
+class TestSpans:
+    def test_nesting_builds_slash_paths(self, recorder):
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                with recorder.span("leaf"):
+                    pass
+            with recorder.span("inner"):
+                pass
+        paths = [s["path"] for s in recorder.snapshot().spans]
+        assert paths == ["outer", "outer/inner", "outer/inner/leaf",
+                         "outer/inner"]
+
+    def test_span_records_on_exception(self, recorder):
+        with pytest.raises(ValueError):
+            with recorder.span("boom"):
+                raise ValueError("x")
+        snap = recorder.snapshot()
+        assert [s["path"] for s in snap.spans] == ["boom"]
+        # The stack unwound: a new root span is a root again.
+        with recorder.span("after"):
+            pass
+        assert recorder.snapshot().spans[-1]["path"] == "after"
+
+    def test_span_tags_and_duration(self, recorder):
+        with recorder.span("p", page="index.html"):
+            pass
+        (span,) = recorder.snapshot().spans
+        assert span["tags"] == {"page": "index.html"}
+        assert span["duration_s"] >= 0.0
+
+    def test_aggregates_sum_per_path(self, recorder):
+        for _ in range(3):
+            with recorder.span("publish"):
+                with recorder.span("page"):
+                    pass
+        agg = recorder.snapshot().span_aggregates
+        assert agg["publish"]["count"] == 3
+        assert agg["publish/page"]["count"] == 3
+        assert agg["publish/page"]["total"] <= agg["publish"]["total"]
+
+
+class TestCounters:
+    def test_count_accumulates(self, recorder):
+        recorder.count("hits")
+        recorder.count("hits", 4)
+        assert recorder.snapshot().counters == {"hits": 5}
+
+    def test_observe_histogram_stats(self, recorder):
+        for value in (1.0, 3.0, 2.0):
+            recorder.observe("lat", value)
+        hist = recorder.snapshot().histograms["lat"]
+        assert hist["count"] == 3
+        assert hist["min"] == 1.0
+        assert hist["max"] == 3.0
+        assert hist["total"] == pytest.approx(6.0)
+
+    def test_merge_across_threads(self, recorder):
+        def work():
+            for _ in range(1000):
+                recorder.count("shared")
+                recorder.observe("h", 1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        recorder.count("shared", 7)
+        snap = recorder.snapshot()
+        assert snap.counters["shared"] == 4007
+        assert snap.histograms["h"]["count"] == 4000
+        assert snap.threads >= 5
+
+    def test_clear_resets_all_threads(self, recorder):
+        recorder.count("c")
+        other = threading.Thread(target=lambda: recorder.count("c"))
+        other.start()
+        other.join()
+        recorder.clear()
+        assert recorder.snapshot().counters == {}
+
+
+class TestProfilingContext:
+    def test_profiling_enables_then_restores(self):
+        assert not RECORDER.enabled
+        try:
+            with profiling() as rec:
+                assert rec is RECORDER
+                assert RECORDER.enabled
+                RECORDER.count("x")
+            assert not RECORDER.enabled
+            assert RECORDER.snapshot().counters == {"x": 1}
+        finally:
+            RECORDER.disable()
+            RECORDER.clear()
+
+    def test_profiling_nests_without_clearing(self):
+        try:
+            with profiling():
+                RECORDER.count("outer")
+                with profiling():
+                    RECORDER.count("inner")
+                assert RECORDER.enabled
+            assert RECORDER.snapshot().counters == {"outer": 1, "inner": 1}
+            assert not RECORDER.enabled
+        finally:
+            RECORDER.disable()
+            RECORDER.clear()

@@ -145,6 +145,30 @@ def test_multi_page_site_structure(models, model_name):
         assert f"dim-{dimension.id}.html" in index or dimension.id in index
 
 
+@pytest.mark.parametrize("mode", ["multi", "single"])
+def test_profiling_never_alters_published_pages(golden, models, mode):
+    """Publishing with the observability recorder enabled must be purely
+    additive: every model page stays byte-identical to the golden
+    digests and the only extra page is the profile report."""
+    from repro.obs.recorder import RECORDER
+    from repro.web.publisher import PROFILE_PAGE
+
+    publish = publish_multi_page if mode == "multi" else publish_single_page
+    RECORDER.enable(clear=True)
+    try:
+        site = publish(models["sales"])
+    finally:
+        RECORDER.disable()
+        RECORDER.clear()
+
+    actual = _site_digests(site)
+    expected = golden[f"sales/{mode}"]
+    assert set(actual) - set(expected) == {PROFILE_PAGE}
+    mismatched = [name for name in expected
+                  if actual.get(name) != expected[name]]
+    assert not mismatched, f"profiling changed page bytes: {mismatched}"
+
+
 def test_golden_file_covers_every_pipeline(golden):
     expected_keys = {f"{name}/{mode}"
                      for name in ("sales", "two_facts", "synthetic_small",
