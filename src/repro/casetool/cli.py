@@ -16,6 +16,7 @@ exposes the same workflow:
    goldcase publish --single model.xml s/ # one page, internal anchors
    goldcase present model.xml f1 out.html # Fig. 5 per-fact presentation
    goldcase export --sql star model.xml   # OLAP-tool (SQL) export
+   goldcase serve --demo                  # model-repository HTTP server
 
 Every command accepts ``--profile [PATH]`` / ``--trace [PATH]``
 (observability, DESIGN.md §10): both enable the engine's recorder and
@@ -126,6 +127,19 @@ def build_parser() -> argparse.ArgumentParser:
         "bundle", help="client-side transformation bundle (paper §6)")
     bundle.add_argument("model", help="model .xml path")
     bundle.add_argument("directory", help="output directory")
+
+    serve = sub.add_parser(
+        "serve", help="model-repository HTTP server (paper §6, DESIGN §11)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8040)
+    serve.add_argument("--model", action="append", default=[],
+                       metavar="NAME=PATH",
+                       help="preload a model XML file under NAME "
+                            "(bare PATH uses the file stem); repeatable")
+    serve.add_argument("--demo", action="store_true",
+                       help="preload the sales/retail example models")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
 
     fo = sub.add_parser(
         "fo", help="XSL-FO export with paginated rendering (paper §6)")
@@ -301,6 +315,42 @@ def _run(args: argparse.Namespace) -> int:
                 handle.write(content)
         print(f"{len(files)} files written to {args.directory} "
               "(open model.xml in an XSLT-capable browser)")
+        return 0
+
+    if args.command == "serve":
+        import os
+
+        from ..mdm import model_to_xml, sales_model, two_facts_model
+        from ..server import (ModelRepositoryApp, ModelStoreError,
+                              serve_forever)
+
+        app = ModelRepositoryApp()
+        if args.demo:
+            for factory in (sales_model, two_facts_model):
+                model = factory()
+                xml = model_to_xml(model).encode("utf-8")
+                record, _ = app.store.put(model.id, xml)
+                print(f"preloaded {record.name} "
+                      f"({record.content_hash[:12]})")
+        for spec in args.model:
+            name, _, path = spec.rpartition("=")
+            if not name:
+                name = os.path.splitext(os.path.basename(path))[0]
+            with open(path, "rb") as handle:
+                try:
+                    record, _ = app.store.put(name, handle.read())
+                except ModelStoreError as exc:
+                    print(f"refusing to preload {path}: {exc.kind}",
+                          file=sys.stderr)
+                    for issue in exc.issues:
+                        print(f"  {issue['path'] or 'document'}: "
+                              f"{issue['message']}", file=sys.stderr)
+                    return 1
+            print(f"preloaded {record.name} ({record.content_hash[:12]}) "
+                  f"from {path}")
+        print(f"serving model repository on http://{args.host}:{args.port} "
+              "(Ctrl-C to stop)")
+        serve_forever(app, host=args.host, port=args.port, quiet=args.quiet)
         return 0
 
     if args.command == "fo":

@@ -1,0 +1,33 @@
+"""The model-repository HTTP server (DESIGN.md §11).
+
+The paper's deployment (§6) — XSLT runs "in the server and the HTML is
+returned to the client browser" — realized as a stdlib-only subsystem:
+
+* :mod:`repro.server.store` — the validated REST model store;
+* :mod:`repro.server.cache` — the incremental rebuild cache (content
+  hash keys, per-model build coalescing, build-time link checking);
+* :mod:`repro.server.app` — transport-agnostic routing with strong
+  ETags, conditional GET, and per-extension content types;
+* :mod:`repro.server.httpd` — the threaded HTTP front end behind
+  ``goldcase serve``.
+"""
+
+from .app import CONTENT_TYPES, ModelRepositoryApp, Response
+from .cache import SiteCache, SiteEntry, VARIANTS
+from .httpd import ModelServer, make_server, serve_forever
+from .store import ModelRecord, ModelStore, ModelStoreError
+
+__all__ = [
+    "CONTENT_TYPES",
+    "ModelRepositoryApp",
+    "Response",
+    "SiteCache",
+    "SiteEntry",
+    "VARIANTS",
+    "ModelServer",
+    "make_server",
+    "serve_forever",
+    "ModelRecord",
+    "ModelStore",
+    "ModelStoreError",
+]

@@ -1,0 +1,339 @@
+"""The model-repository application: routing, REST semantics, caching.
+
+Transport-agnostic on purpose: :meth:`ModelRepositoryApp.handle` maps a
+``(method, path, headers, body)`` request onto a :class:`Response`, so
+the whole HTTP surface is unit-testable without opening a socket (the
+socket layer is :mod:`repro.server.httpd`).
+
+Routes (paper §4–§6 over the web, DESIGN.md §11):
+
+======================================  =====================================
+``GET    /``                            service index (JSON)
+``GET    /models``                      model listing (JSON)
+``PUT    /models/<name>``               upload; XSD-validated, 422 on errors
+``GET    /models/<name>``               the raw XML document (ETag/304)
+``DELETE /models/<name>``               remove model + its cached sites
+``GET    /site/<name>/``                published multi-page site, index.html
+``GET    /site/<name>/<page>``          any page; ``?variant=single`` for §4's
+                                        XSLT 1.0 one-page pipeline
+``GET    /bundle/<name>/``              client-bundle file list (JSON)
+``GET    /bundle/<name>/<file>``        §6 browser-side bundle (XML + XSL)
+``GET    /health/<model>``              link-check report for the built site
+``GET    /stats``                       cache + request counters (JSON)
+======================================  =====================================
+
+Every published resource is served with a strong ETag (SHA-256 of the
+bytes on the wire) and honours ``If-None-Match`` with ``304 Not
+Modified``; Content-Type (with charset) follows the file extension.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote, urlparse
+
+from ..obs.recorder import RECORDER as _REC
+from .cache import SiteCache, SiteEntry, VARIANTS
+from .store import ModelStore, ModelStoreError
+
+__all__ = ["ModelRepositoryApp", "Response", "CONTENT_TYPES"]
+
+#: Content types per served extension (charset explicit: the paper's
+#: HTML carries accented Spanish section names).
+CONTENT_TYPES = {
+    ".html": "text/html; charset=utf-8",
+    ".css": "text/css; charset=utf-8",
+    ".xml": "application/xml; charset=utf-8",
+    ".xsl": "application/xslt+xml; charset=utf-8",
+    ".xsd": "application/xml; charset=utf-8",
+    ".json": "application/json; charset=utf-8",
+    ".txt": "text/plain; charset=utf-8",
+}
+
+
+@dataclass
+class Response:
+    """One HTTP response: status, headers, body bytes."""
+
+    status: int
+    body: bytes = b""
+    headers: list[tuple[str, str]] = field(default_factory=list)
+
+    def header(self, name: str) -> str | None:
+        """The first header value named *name* (case-insensitive)."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
+
+    @property
+    def json(self):
+        """The body decoded as JSON (raises on non-JSON bodies)."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+def _json_response(status: int, payload, *,
+                   extra: list[tuple[str, str]] | None = None) -> Response:
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n") \
+        .encode("utf-8")
+    headers = [("Content-Type", CONTENT_TYPES[".json"])]
+    headers.extend(extra or [])
+    return Response(status, body, headers)
+
+
+def _error(status: int, message: str, *, kind: str = "error",
+           issues: list[dict] | None = None) -> Response:
+    payload = {"error": message, "kind": kind}
+    if issues is not None:
+        payload["issues"] = issues
+    return _json_response(status, payload)
+
+
+def _content_type(filename: str) -> str:
+    dot = filename.rfind(".")
+    extension = filename[dot:] if dot >= 0 else ""
+    return CONTENT_TYPES.get(extension, "application/octet-stream")
+
+
+def _etag_matches(header_value: str, etag: str) -> bool:
+    """RFC 9110 §13.1.2 If-None-Match against one strong ETag."""
+    if header_value.strip() == "*":
+        return True
+    candidates = [item.strip() for item in header_value.split(",")]
+    # A weak validator (W/"...") still matches for GET ("weak
+    # comparison"); strip the weakness prefix before comparing.
+    return any(
+        candidate.removeprefix("W/") == etag for candidate in candidates)
+
+
+class ModelRepositoryApp:
+    """Routes repository requests onto the store and the site cache."""
+
+    def __init__(self, store: ModelStore | None = None,
+                 cache: SiteCache | None = None) -> None:
+        self.store = store if store is not None else ModelStore()
+        self.cache = cache if cache is not None else SiteCache()
+        self._stats_lock = threading.Lock()
+        self._requests = {"total": 0, "not_modified": 0}
+
+    # -- entry point -------------------------------------------------------
+
+    def handle(self, method: str, path: str,
+               headers: dict[str, str] | None = None,
+               body: bytes = b"") -> Response:
+        """Serve one request; never raises for client-visible errors."""
+        headers = {key.lower(): value
+                   for key, value in (headers or {}).items()}
+        parsed = urlparse(path)
+        segments = [unquote(part)
+                    for part in parsed.path.split("/") if part]
+        query = {key: values[-1]
+                 for key, values in parse_qs(parsed.query).items()}
+        with self._stats_lock:
+            self._requests["total"] += 1
+        if _REC.enabled:
+            _REC.count("server.request")
+        # HEAD routes exactly like GET; the transport drops the body.
+        routed = "GET" if method == "HEAD" else method
+        with _REC.span("server.request", method=method, path=parsed.path):
+            response = self._route(routed, segments, query, headers, body)
+        if response.status == 304:
+            with self._stats_lock:
+                self._requests["not_modified"] += 1
+            if _REC.enabled:
+                _REC.count("server.not_modified")
+        return response
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, method: str, segments: list[str], query: dict,
+               headers: dict[str, str], body: bytes) -> Response:
+        if not segments:
+            if method != "GET":
+                return _error(405, "method not allowed")
+            return self._index()
+        head, rest = segments[0], segments[1:]
+        if head == "models":
+            return self._models(method, rest, headers, body)
+        if head == "site":
+            if method != "GET":
+                return _error(405, "method not allowed")
+            return self._site(rest, query, headers)
+        if head == "bundle":
+            if method != "GET":
+                return _error(405, "method not allowed")
+            return self._bundle(rest, headers)
+        if head == "health":
+            if method != "GET":
+                return _error(405, "method not allowed")
+            return self._health(rest, query)
+        if head == "stats":
+            if method != "GET":
+                return _error(405, "method not allowed")
+            return self._stats()
+        return _error(404, f"no such endpoint: /{head}")
+
+    def _index(self) -> Response:
+        return _json_response(200, {
+            "service": "goldcase model repository",
+            "endpoints": [
+                "GET /models", "PUT /models/<name>", "GET /models/<name>",
+                "DELETE /models/<name>", "GET /site/<name>/<page>",
+                "GET /bundle/<name>/<file>", "GET /health/<name>",
+                "GET /stats"],
+            "models": self.store.names(),
+        })
+
+    # -- /models -----------------------------------------------------------
+
+    def _models(self, method: str, rest: list[str],
+                headers: dict[str, str], body: bytes) -> Response:
+        if not rest:
+            if method != "GET":
+                return _error(405, "method not allowed")
+            return _json_response(200, {"models": self.store.listing()})
+        if len(rest) != 1:
+            return _error(404, "models takes a single name segment")
+        name = rest[0]
+        if method == "PUT":
+            return self._put_model(name, body)
+        if method == "GET":
+            return self._get_model(name, headers)
+        if method == "DELETE":
+            return self._delete_model(name)
+        return _error(405, "method not allowed")
+
+    def _put_model(self, name: str, body: bytes) -> Response:
+        if not body:
+            return _error(400, "empty request body", kind="parse")
+        try:
+            record, created = self.store.put(name, body)
+        except ModelStoreError as exc:
+            status = 400 if exc.kind in ("name", "parse") else 422
+            return _error(status, f"model rejected ({exc.kind})",
+                          kind=exc.kind, issues=exc.issues)
+        return _json_response(
+            201 if created else 200,
+            {"stored": record.summary(), "created": created},
+            extra=[("ETag", record.etag),
+                   ("Location", f"/models/{record.name}")])
+
+    def _get_model(self, name: str,
+                   headers: dict[str, str]) -> Response:
+        record = self.store.get(name)
+        if record is None:
+            return _error(404, f"no model named {name!r}")
+        etag = record.etag
+        if self._not_modified(headers, etag):
+            return Response(304, b"", [("ETag", etag)])
+        return Response(200, record.xml_bytes, [
+            ("Content-Type", CONTENT_TYPES[".xml"]),
+            ("ETag", etag)])
+
+    def _delete_model(self, name: str) -> Response:
+        if not self.store.delete(name):
+            return _error(404, f"no model named {name!r}")
+        self.cache.invalidate(name)
+        return _json_response(200, {"deleted": name})
+
+    # -- published sites ---------------------------------------------------
+
+    def _entry_for(self, name: str,
+                   variant: str) -> tuple[SiteEntry | None, Response | None]:
+        record = self.store.get(name)
+        if record is None:
+            return None, _error(404, f"no model named {name!r}")
+        if variant not in VARIANTS:
+            return None, _error(400, f"unknown variant {variant!r} "
+                                     f"(expected one of {list(VARIANTS)})")
+        return self.cache.entry(record, variant), None
+
+    def _site(self, rest: list[str], query: dict,
+              headers: dict[str, str]) -> Response:
+        if not rest:
+            return _error(404, "usage: /site/<model>/<page>")
+        name, page_parts = rest[0], rest[1:]
+        page = "/".join(page_parts) or "index.html"
+        variant = query.get("variant", "multi")
+        if variant == "bundle":
+            return _error(400, "bundles are served from /bundle/<name>/")
+        entry, failure = self._entry_for(name, variant)
+        if failure is not None:
+            return failure
+        return self._serve_page(entry, page, headers)
+
+    def _bundle(self, rest: list[str],
+                headers: dict[str, str]) -> Response:
+        if not rest:
+            return _error(404, "usage: /bundle/<model>/<file>")
+        name, file_parts = rest[0], rest[1:]
+        entry, failure = self._entry_for(name, "bundle")
+        if failure is not None:
+            return failure
+        filename = "/".join(file_parts)
+        if not filename:
+            return _json_response(200, {
+                "model": name, "files": sorted(entry.pages),
+                "hint": "open model.xml in an XSLT-capable browser "
+                        "(paper §6)"})
+        return self._serve_page(entry, filename, headers)
+
+    def _serve_page(self, entry: SiteEntry, page: str,
+                    headers: dict[str, str]) -> Response:
+        data = entry.pages.get(page)
+        if data is None:
+            return _error(404, f"no page {page!r} in {entry.name} "
+                               f"({entry.variant}); available: "
+                               f"{sorted(entry.pages)}")
+        etag = entry.etags[page]
+        if self._not_modified(headers, etag):
+            return Response(304, b"", [("ETag", etag)])
+        return Response(200, data, [
+            ("Content-Type", _content_type(page)),
+            ("ETag", etag),
+            ("Cache-Control", "no-cache")])
+
+    @staticmethod
+    def _not_modified(headers: dict[str, str], etag: str) -> bool:
+        candidate = headers.get("if-none-match")
+        return candidate is not None and _etag_matches(candidate, etag)
+
+    # -- health + stats ----------------------------------------------------
+
+    def _health(self, rest: list[str], query: dict) -> Response:
+        if len(rest) != 1:
+            return _error(404, "usage: /health/<model>")
+        variant = query.get("variant", "multi")
+        if variant == "bundle":
+            return _error(400, "bundles have no link graph to check")
+        entry, failure = self._entry_for(rest[0], variant)
+        if failure is not None:
+            return failure
+        report = entry.link_report
+        ok = report is not None and report.ok
+        payload = {
+            "model": entry.name,
+            "variant": entry.variant,
+            "content_hash": entry.content_hash,
+            "ok": ok,
+            "pages": len(entry.pages),
+            "total_links": report.total_links if report else 0,
+            "broken_pages": [list(pair) for pair in report.broken_pages]
+            if report else [],
+            "broken_anchors": [list(pair) for pair in report.broken_anchors]
+            if report else [],
+            "orphans": list(report.orphans) if report else [],
+        }
+        return _json_response(200 if ok else 503, payload)
+
+    def _stats(self) -> Response:
+        with self._stats_lock:
+            requests = dict(self._requests)
+        return _json_response(200, {
+            "requests": requests,
+            "site_cache": self.cache.stats(),
+            "models": self.store.names(),
+        })

@@ -1,0 +1,187 @@
+"""The incremental rebuild cache: one built site per (model, variant).
+
+The serving hot path (DESIGN.md §11) never re-runs XSLT for a model
+whose bytes have not changed:
+
+* **Keyed on content.**  Entries are keyed ``(name, variant)`` and
+  carry the :attr:`~repro.server.store.ModelRecord.content_hash` they
+  were built from.  A lookup whose record hash matches is a pure dict
+  read — no lock, no transform.  A re-upload that changes bytes rolls
+  the hash, so the *next* request (and only for that model) rebuilds.
+* **Coalesced rebuilds.**  Builds serialize on a per-model lock:
+  when N clients hit a freshly invalidated model at once, one thread
+  builds while the rest block on the lock, then re-check and find the
+  fresh entry — one transform per invalidation, regardless of client
+  count (``server.site.coalesced`` counts the waiters that were spared
+  a build).  Distinct models hold distinct locks, so they build in
+  parallel on the server's thread pool.
+* **Link-checked at build time.**  Every page-producing build runs
+  :func:`repro.web.linkcheck.check_site` and stores the report, so the
+  ``/health/<model>`` endpoint surfaces broken anchors instead of the
+  server silently shipping them.
+
+Pages are stored UTF-8 encoded next to their strong ETags (SHA-256 of
+the encoded bytes), so conditional GETs are answered without touching
+page text again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+
+from ..obs.recorder import RECORDER as _REC
+from ..web.client import client_bundle
+from ..web.linkcheck import LinkReport, check_site
+from ..web.publisher import publish_multi_page, publish_single_page
+from .store import ModelRecord
+
+__all__ = ["SiteCache", "SiteEntry", "VARIANTS"]
+
+#: The publishable variants of one model.
+VARIANTS = ("multi", "single", "bundle")
+
+
+def page_etag(payload: bytes) -> str:
+    """Strong ETag for one served resource: quoted SHA-256 of its bytes."""
+    return f'"{hashlib.sha256(payload).hexdigest()}"'
+
+
+@dataclass(frozen=True)
+class SiteEntry:
+    """One built variant: encoded pages, their ETags, and health."""
+
+    name: str
+    variant: str
+    content_hash: str
+    revision: int
+    #: filename → UTF-8 page bytes (HTML/CSS, or XML/XSL for bundles).
+    pages: dict[str, bytes]
+    #: filename → strong ETag of the encoded bytes.
+    etags: dict[str, str]
+    #: Link-check outcome (None for the bundle variant — no HTML).
+    link_report: LinkReport | None = None
+    messages: list[str] = field(default_factory=list)
+
+
+def _build_variant(record: ModelRecord, variant: str) -> SiteEntry:
+    if variant == "bundle":
+        bundle = client_bundle(record.model)
+        text_pages = {"model.xml": bundle.document_xml, **bundle.stylesheets}
+        site_report = None
+        messages: list[str] = []
+    else:
+        publish = publish_multi_page if variant == "multi" \
+            else publish_single_page
+        site = publish(record.model)
+        text_pages = site.pages
+        site_report = check_site(site)
+        messages = site.messages
+    pages = {name: text.encode("utf-8")
+             for name, text in text_pages.items()}
+    return SiteEntry(
+        name=record.name, variant=variant,
+        content_hash=record.content_hash, revision=record.revision,
+        pages=pages,
+        etags={name: page_etag(data) for name, data in pages.items()},
+        link_report=site_report, messages=messages)
+
+
+class SiteCache:
+    """Content-hash keyed cache of built :class:`SiteEntry` objects."""
+
+    def __init__(self) -> None:
+        self._meta_lock = threading.Lock()
+        self._entries: dict[tuple[str, str], SiteEntry] = {}
+        self._model_locks: dict[str, threading.Lock] = {}
+        # Local stats power the /stats endpoint even with the obs
+        # recorder off; obs counters mirror them when profiling.
+        self._stats = {"hits": 0, "rebuilds": 0, "coalesced": 0,
+                       "invalidations": 0}
+
+    # -- internals ---------------------------------------------------------
+
+    def _model_lock(self, name: str) -> threading.Lock:
+        with self._meta_lock:
+            lock = self._model_locks.get(name)
+            if lock is None:
+                lock = self._model_locks[name] = threading.Lock()
+            return lock
+
+    _COUNTER = {"hits": "server.site.hit", "rebuilds": "server.site.rebuild",
+                "coalesced": "server.site.coalesced",
+                "invalidations": "server.site.invalidation"}
+
+    def _bump(self, stat: str) -> None:
+        with self._meta_lock:
+            self._stats[stat] += 1
+        if _REC.enabled:
+            _REC.count(self._COUNTER[stat])
+
+    def _fresh(self, key: tuple[str, str],
+               record: ModelRecord) -> SiteEntry | None:
+        entry = self._entries.get(key)
+        if entry is not None and entry.content_hash == record.content_hash:
+            return entry
+        return None
+
+    # -- public API --------------------------------------------------------
+
+    def entry(self, record: ModelRecord, variant: str) -> SiteEntry:
+        """The built *variant* for *record*, rebuilding only on staleness.
+
+        The fast path is a lock-free dict read validated against the
+        record's content hash.  The slow path serializes on the
+        per-model lock; waiters re-check after acquiring it, so a burst
+        of requests against a stale model performs exactly one build.
+        """
+        if variant not in VARIANTS:
+            raise KeyError(f"unknown site variant {variant!r}")
+        key = (record.name, variant)
+        entry = self._fresh(key, record)
+        if entry is not None:
+            self._bump("hits")
+            return entry
+        with self._model_lock(record.name):
+            entry = self._fresh(key, record)
+            if entry is not None:
+                # Another request built it while we waited on the lock.
+                self._bump("coalesced")
+                return entry
+            self._bump("rebuilds")
+            with _REC.span("server.rebuild", model=record.name,
+                           variant=variant):
+                entry = _build_variant(record, variant)
+            self._entries[key] = entry
+            return entry
+
+    def peek(self, name: str, variant: str) -> SiteEntry | None:
+        """The cached entry, fresh or stale, without building (or None)."""
+        return self._entries.get((name, variant))
+
+    def invalidate(self, name: str) -> int:
+        """Drop every cached variant of *name*; returns entries removed.
+
+        ``put`` does not need to call this — a changed content hash
+        already invalidates — but DELETE uses it to free the memory of
+        sites that can no longer be served.
+        """
+        removed = 0
+        with self._model_lock(name):
+            for variant in VARIANTS:
+                if self._entries.pop((name, variant), None) is not None:
+                    removed += 1
+        if removed:
+            self._bump("invalidations")
+        return removed
+
+    def stats(self) -> dict:
+        """Hit/rebuild/coalesced/invalidation counters plus sizes."""
+        with self._meta_lock:
+            stats = dict(self._stats)
+        stats["entries"] = len(self._entries)
+        stats["resident_bytes"] = sum(
+            len(data) for entry in list(self._entries.values())
+            for data in entry.pages.values())
+        return stats

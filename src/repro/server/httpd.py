@@ -1,0 +1,142 @@
+"""The socket layer: :class:`ModelRepositoryApp` on ThreadingHTTPServer.
+
+Stdlib-only, matching the repo's no-dependency rule.  The paper ran
+XSLT "in the server and the HTML is returned to the client browser"
+(§6); this module is that server.  ``ThreadingHTTPServer`` gives one
+thread per connection, which is exactly the concurrency model the site
+cache is built for: distinct models publish in parallel, concurrent
+requests for one stale model coalesce on its build lock.
+
+:class:`ModelServer` is the embeddable form (tests, benchmarks: bind
+port 0, ``start()``, talk HTTP, ``stop()``); :func:`serve_forever`
+is the blocking form behind ``goldcase serve``.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..obs.recorder import RECORDER as _REC
+from .app import ModelRepositoryApp
+
+__all__ = ["ModelServer", "make_server", "serve_forever"]
+
+
+class _RepositoryHandler(BaseHTTPRequestHandler):
+    """Adapts one HTTP exchange onto ``app.handle``."""
+
+    server_version = "goldcase-repository/1.0"
+    protocol_version = "HTTP/1.1"  # keep-alive: load generators reuse
+    # connections, so Content-Length on every response is mandatory.
+    # Small responses + keep-alive hit the Nagle/delayed-ACK interaction
+    # (~40 ms per request) unless the socket writes immediately.
+    disable_nagle_algorithm = True
+
+    # Set by make_server on the handler subclass.
+    app: ModelRepositoryApp = None  # type: ignore[assignment]
+    quiet = True
+
+    def _dispatch(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        response = self.app.handle(
+            method, self.path, dict(self.headers.items()), body)
+        self.send_response(response.status)
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        if method != "HEAD" and response.status != 304:
+            self.wfile.write(response.body)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._dispatch("HEAD")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+        if _REC.enabled:
+            _REC.count("server.http.request_line")
+
+
+def make_server(app: ModelRepositoryApp | None = None, *,
+                host: str = "127.0.0.1", port: int = 0,
+                quiet: bool = True) -> tuple[ThreadingHTTPServer,
+                                             ModelRepositoryApp]:
+    """A bound (not yet serving) threaded server around *app*."""
+    if app is None:
+        app = ModelRepositoryApp()
+    handler = type("_BoundHandler", (_RepositoryHandler,),
+                   {"app": app, "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server, app
+
+
+class ModelServer:
+    """An embeddable server: ``start()`` in a thread, ``stop()`` cleanly."""
+
+    def __init__(self, app: ModelRepositoryApp | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 quiet: bool = True) -> None:
+        self.httpd, self.app = make_server(
+            app, host=host, port=port, quiet=quiet)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server (no trailing slash)."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ModelServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="goldcase-httpd",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        self.httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.httpd.server_close()
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_forever(app: ModelRepositoryApp | None = None, *,
+                  host: str = "127.0.0.1", port: int = 8040,
+                  quiet: bool = False) -> None:
+    """Blocking serve loop for the CLI; returns on KeyboardInterrupt."""
+    server, _ = make_server(app, host=host, port=port, quiet=quiet)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

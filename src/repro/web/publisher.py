@@ -18,6 +18,7 @@ written to disk with :meth:`Site.write_to`.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 from ..mdm.model import GoldModel
@@ -85,37 +86,53 @@ class _StatsCache:
     layer can report publisher-cache hit rates, and ``clear()`` lets
     benchmark harnesses measure cold-start costs between runs — both
     were impossible with the bare module-level dicts this replaces.
+
+    Thread safety: the model-repository server publishes from
+    concurrent request handlers, so the bare check-then-act this class
+    once used could compile the same stylesheet twice (wasted work) and
+    tear its hit/miss counters.  ``get`` now holds the cache lock
+    across lookup *and* build: a compile is guaranteed to happen once
+    per key, concurrent requesters for a cold key block until it is
+    built and then share the one instance.  The held-during-build lock
+    is deliberate — there are two stylesheets in total, so contention
+    exists only for the first publish after a cold start, and the warm
+    path pays one uncontended dict lookup under the lock per publish
+    (not per page).  Pinned by tests/web/test_publisher_threadsafety.py.
     """
 
-    __slots__ = ("_build", "_entries", "hits", "misses")
+    __slots__ = ("_build", "_entries", "_lock", "hits", "misses")
 
     def __init__(self, build) -> None:
         self._build = build
         self._entries: dict[str, object] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: str):
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            entry = self._entries[key] = self._build(key)
-        else:
-            self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                entry = self._entries[key] = self._build(key)
+            else:
+                self.hits += 1
+            return entry
 
     def cache_info(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "currsize": len(self._entries),
-            "maxsize": None,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "currsize": len(self._entries),
+                "maxsize": None,
+            }
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 _compiled_cache = _StatsCache(

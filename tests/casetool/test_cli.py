@@ -149,3 +149,40 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServe:
+    """The serve command: parsing and preload paths (the serving loop
+    itself is exercised over a real socket in tests/server/)."""
+
+    def test_parser_accepts_serve_options(self):
+        from repro.casetool.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "9001", "--demo", "--quiet",
+             "--model", "m=path.xml"])
+        assert args.command == "serve"
+        assert args.port == 9001
+        assert args.demo is True
+        assert args.model == ["m=path.xml"]
+
+    def test_preload_rejects_invalid_model(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<goldmodel><bogus/></goldmodel>")
+        assert main(["serve", "--model", f"bad={bad}"]) == 1
+        assert "refusing to preload" in capsys.readouterr().err
+
+    def test_preloaded_model_is_served(self, model_file):
+        import json
+        import urllib.request
+
+        from repro.server import ModelRepositoryApp, ModelServer
+
+        app = ModelRepositoryApp()
+        with open(model_file, "rb") as handle:
+            app.store.put("sales", handle.read())
+        with ModelServer(app) as server:
+            with urllib.request.urlopen(
+                    f"{server.url}/models", timeout=30) as response:
+                payload = json.load(response)
+        assert [m["name"] for m in payload["models"]] == ["sales"]

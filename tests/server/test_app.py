@@ -1,0 +1,178 @@
+"""ModelRepositoryApp routing: REST semantics, content types, health."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mdm import model_to_xml, sales_model, two_facts_model
+from repro.server import ModelRepositoryApp
+from repro.web import check_site, client_bundle, publish_multi_page
+
+SALES_XML = model_to_xml(sales_model()).encode("utf-8")
+RETAIL_XML = model_to_xml(two_facts_model()).encode("utf-8")
+
+
+@pytest.fixture()
+def app():
+    return ModelRepositoryApp()
+
+
+@pytest.fixture()
+def loaded(app):
+    app.handle("PUT", "/models/sales", {}, SALES_XML)
+    return app
+
+
+class TestModels:
+    def test_index_lists_endpoints_and_models(self, loaded):
+        response = loaded.handle("GET", "/")
+        assert response.status == 200
+        assert response.json["models"] == ["sales"]
+
+    def test_put_created_and_replaced_statuses(self, app):
+        first = app.handle("PUT", "/models/sales", {}, SALES_XML)
+        assert first.status == 201
+        assert first.header("Location") == "/models/sales"
+        second = app.handle("PUT", "/models/sales", {}, SALES_XML)
+        assert second.status == 200
+        assert second.json["created"] is False
+
+    def test_put_empty_body_is_400(self, app):
+        assert app.handle("PUT", "/models/sales").status == 400
+
+    def test_put_invalid_document_is_422_with_issues(self, app):
+        response = app.handle("PUT", "/models/bad", {},
+                              b"<goldmodel><bogus/></goldmodel>")
+        assert response.status == 422
+        payload = response.json
+        assert payload["kind"] == "schema"
+        assert payload["issues"]
+        assert all("message" in issue for issue in payload["issues"])
+
+    def test_put_unparseable_is_400(self, app):
+        assert app.handle("PUT", "/models/bad", {}, b"not xml").status == 400
+
+    def test_get_model_roundtrips_bytes(self, loaded):
+        response = loaded.handle("GET", "/models/sales")
+        assert response.status == 200
+        assert response.body == SALES_XML
+        assert response.header("Content-Type") == \
+            "application/xml; charset=utf-8"
+
+    def test_listing(self, loaded):
+        loaded.handle("PUT", "/models/retail", {}, RETAIL_XML)
+        response = loaded.handle("GET", "/models")
+        names = [item["name"] for item in response.json["models"]]
+        assert names == ["retail", "sales"]
+
+    def test_delete_then_404(self, loaded):
+        assert loaded.handle("DELETE", "/models/sales").status == 200
+        assert loaded.handle("GET", "/models/sales").status == 404
+        assert loaded.handle("DELETE", "/models/sales").status == 404
+        assert loaded.handle("GET", "/site/sales/").status == 404
+
+    def test_method_not_allowed(self, loaded):
+        assert loaded.handle("POST", "/models/sales", {},
+                             SALES_XML).status == 405
+        assert loaded.handle("DELETE", "/site/sales/").status == 405
+
+
+class TestSite:
+    def test_default_page_is_index(self, loaded):
+        response = loaded.handle("GET", "/site/sales/")
+        offline = publish_multi_page(sales_model())
+        assert response.status == 200
+        assert response.body == offline.pages["index.html"].encode("utf-8")
+
+    def test_every_offline_page_is_served_byte_identical(self, loaded):
+        offline = publish_multi_page(sales_model())
+        for name, text in offline.pages.items():
+            response = loaded.handle("GET", f"/site/sales/{name}")
+            assert response.status == 200, name
+            assert response.body == text.encode("utf-8"), name
+
+    def test_content_types_follow_extension(self, loaded):
+        html = loaded.handle("GET", "/site/sales/index.html")
+        assert html.header("Content-Type") == "text/html; charset=utf-8"
+        css = loaded.handle("GET", "/site/sales/gold.css")
+        assert css.header("Content-Type") == "text/css; charset=utf-8"
+
+    def test_single_page_variant(self, loaded):
+        response = loaded.handle("GET", "/site/sales/?variant=single")
+        assert response.status == 200
+        assert b"Sales DW" in response.body
+
+    def test_unknown_variant_is_400(self, loaded):
+        assert loaded.handle(
+            "GET", "/site/sales/?variant=wasm").status == 400
+
+    def test_unknown_page_is_404_listing_available(self, loaded):
+        response = loaded.handle("GET", "/site/sales/nope.html")
+        assert response.status == 404
+        assert "index.html" in response.json["error"]
+
+    def test_unknown_model_is_404(self, app):
+        assert app.handle("GET", "/site/ghost/").status == 404
+
+
+class TestBundle:
+    def test_bundle_files_match_client_bundle(self, loaded):
+        bundle = client_bundle(sales_model())
+        listing = loaded.handle("GET", "/bundle/sales/")
+        expected = {"model.xml", *bundle.stylesheets}
+        assert set(listing.json["files"]) == expected
+        xml = loaded.handle("GET", "/bundle/sales/model.xml")
+        assert xml.body == bundle.document_xml.encode("utf-8")
+        xsl = loaded.handle("GET", "/bundle/sales/goldmodel.xsl")
+        assert xsl.body == \
+            bundle.stylesheets["goldmodel.xsl"].encode("utf-8")
+        assert xsl.header("Content-Type") == \
+            "application/xslt+xml; charset=utf-8"
+
+    def test_site_route_refuses_bundle_variant(self, loaded):
+        assert loaded.handle(
+            "GET", "/site/sales/?variant=bundle").status == 400
+
+
+class TestHealth:
+    def test_healthy_site_is_200_with_link_totals(self, loaded):
+        response = loaded.handle("GET", "/health/sales")
+        assert response.status == 200
+        payload = response.json
+        offline_report = check_site(publish_multi_page(sales_model()))
+        assert payload["ok"] is True
+        assert payload["total_links"] == offline_report.total_links
+        assert payload["broken_anchors"] == []
+
+    def test_broken_site_is_503(self, loaded, monkeypatch):
+        from repro.server import cache as cache_module
+        from repro.web.linkcheck import LinkReport
+
+        def broken_check(site):
+            return LinkReport(broken_pages=[("index.html", "ghost.html")],
+                              total_links=1)
+
+        monkeypatch.setattr(cache_module, "check_site", broken_check)
+        response = loaded.handle("GET", "/health/sales")
+        assert response.status == 503
+        assert response.json["broken_pages"] == [["index.html",
+                                                  "ghost.html"]]
+
+    def test_unknown_model_health_is_404(self, app):
+        assert app.handle("GET", "/health/ghost").status == 404
+
+
+class TestStats:
+    def test_stats_counts_requests_and_cache_activity(self, loaded):
+        loaded.handle("GET", "/site/sales/")
+        loaded.handle("GET", "/site/sales/")
+        payload = loaded.handle("GET", "/stats").json
+        assert payload["site_cache"]["rebuilds"] == 1
+        assert payload["site_cache"]["hits"] >= 1
+        assert payload["requests"]["total"] >= 4
+        assert payload["models"] == ["sales"]
+
+    def test_head_routes_like_get(self, loaded):
+        response = loaded.handle("HEAD", "/site/sales/index.html")
+        assert response.status == 200
+        assert response.header("ETag")

@@ -1,0 +1,144 @@
+"""Conditional GET: ETag stability, 304s, and invalidation (ISSUE 4).
+
+Three properties make the cache safe at scale:
+
+* identical rebuilds produce identical ETags (clients keep their
+  caches across server restarts and cache evictions);
+* ``If-None-Match`` with the current ETag short-circuits to 304 with
+  an empty body;
+* a re-upload that changes page bytes rolls the ETag, so stale clients
+  revalidate and fetch fresh bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mdm import model_to_xml, sales_model
+from repro.server import ModelRepositoryApp
+
+SALES_XML = model_to_xml(sales_model()).encode("utf-8")
+#: Same model, different bytes: the description attribute changes the
+#: serialized XML and the published index page.
+SALES_XML_V2 = SALES_XML.replace(
+    b"Sales data warehouse from the EDBT 2002 paper",
+    b"Sales data warehouse, second edition")
+
+
+@pytest.fixture()
+def app():
+    app = ModelRepositoryApp()
+    app.handle("PUT", "/models/sales", {}, SALES_XML)
+    return app
+
+
+class TestEtagStability:
+    def test_identical_rebuilds_keep_page_etags(self, app):
+        first = app.handle("GET", "/site/sales/index.html")
+        # Force a full rebuild from the same bytes: new app, same upload.
+        rebuilt_app = ModelRepositoryApp()
+        rebuilt_app.handle("PUT", "/models/sales", {}, SALES_XML)
+        second = rebuilt_app.handle("GET", "/site/sales/index.html")
+        assert first.header("ETag") == second.header("ETag")
+        assert first.body == second.body
+
+    def test_reupload_of_identical_bytes_keeps_etags_and_cache(self, app):
+        before = app.handle("GET", "/site/sales/index.html")
+        app.handle("PUT", "/models/sales", {}, SALES_XML)
+        after = app.handle("GET", "/site/sales/index.html")
+        assert before.header("ETag") == after.header("ETag")
+        # The identical re-upload must not have caused a rebuild.
+        assert app.cache.stats()["rebuilds"] == 1
+
+    def test_distinct_pages_have_distinct_etags(self, app):
+        index = app.handle("GET", "/site/sales/index.html")
+        css = app.handle("GET", "/site/sales/gold.css")
+        assert index.header("ETag") != css.header("ETag")
+
+    def test_model_resource_etag_is_content_hash(self, app):
+        response = app.handle("GET", "/models/sales")
+        stored = app.store.get("sales")
+        assert response.header("ETag") == f'"{stored.content_hash}"'
+
+
+class TestNotModified:
+    def test_matching_if_none_match_is_304_with_empty_body(self, app):
+        full = app.handle("GET", "/site/sales/index.html")
+        etag = full.header("ETag")
+        conditional = app.handle("GET", "/site/sales/index.html",
+                                 {"If-None-Match": etag})
+        assert conditional.status == 304
+        assert conditional.body == b""
+        assert conditional.header("ETag") == etag
+
+    def test_header_name_is_case_insensitive(self, app):
+        etag = app.handle("GET", "/site/sales/index.html").header("ETag")
+        assert app.handle("GET", "/site/sales/index.html",
+                          {"if-none-match": etag}).status == 304
+
+    def test_star_matches_anything(self, app):
+        assert app.handle("GET", "/site/sales/index.html",
+                          {"If-None-Match": "*"}).status == 304
+
+    def test_etag_list_matches_any_member(self, app):
+        etag = app.handle("GET", "/site/sales/index.html").header("ETag")
+        header = f'"bogus", {etag}'
+        assert app.handle("GET", "/site/sales/index.html",
+                          {"If-None-Match": header}).status == 304
+
+    def test_weak_validator_matches_for_get(self, app):
+        etag = app.handle("GET", "/site/sales/index.html").header("ETag")
+        assert app.handle("GET", "/site/sales/index.html",
+                          {"If-None-Match": f"W/{etag}"}).status == 304
+
+    def test_stale_etag_gets_full_response(self, app):
+        response = app.handle("GET", "/site/sales/index.html",
+                              {"If-None-Match": '"stale"'})
+        assert response.status == 200
+        assert response.body
+
+    def test_conditional_get_on_model_resource(self, app):
+        etag = app.handle("GET", "/models/sales").header("ETag")
+        assert app.handle("GET", "/models/sales",
+                          {"If-None-Match": etag}).status == 304
+
+    def test_304s_are_counted(self, app):
+        etag = app.handle("GET", "/site/sales/index.html").header("ETag")
+        app.handle("GET", "/site/sales/index.html",
+                   {"If-None-Match": etag})
+        stats = app.handle("GET", "/stats").json
+        assert stats["requests"]["not_modified"] == 1
+
+
+class TestInvalidation:
+    def test_reupload_with_changed_bytes_rolls_etag_and_rebuilds(self, app):
+        first = app.handle("GET", "/site/sales/index.html")
+        old_etag = first.header("ETag")
+        put = app.handle("PUT", "/models/sales", {}, SALES_XML_V2)
+        assert put.status == 200
+        revalidation = app.handle("GET", "/site/sales/index.html",
+                                  {"If-None-Match": old_etag})
+        assert revalidation.status == 200  # stale ETag no longer matches
+        assert revalidation.header("ETag") != old_etag
+        assert b"second edition" in revalidation.body
+        assert app.cache.stats()["rebuilds"] == 2
+
+    def test_only_the_changed_model_is_invalidated(self, app):
+        from repro.mdm import two_facts_model
+
+        retail = model_to_xml(two_facts_model()).encode("utf-8")
+        app.handle("PUT", "/models/retail", {}, retail)
+        app.handle("GET", "/site/sales/index.html")
+        app.handle("GET", "/site/retail/index.html")
+        rebuilds_before = app.cache.stats()["rebuilds"]
+        app.handle("PUT", "/models/sales", {}, SALES_XML_V2)
+        app.handle("GET", "/site/sales/index.html")   # rebuild
+        app.handle("GET", "/site/retail/index.html")  # still cached
+        assert app.cache.stats()["rebuilds"] == rebuilds_before + 1
+
+    def test_delete_drops_cached_entries(self, app):
+        app.handle("GET", "/site/sales/index.html")
+        assert app.cache.peek("sales", "multi") is not None
+        app.handle("DELETE", "/models/sales")
+        assert app.cache.peek("sales", "multi") is None
+        assert app.cache.stats()["invalidations"] == 1

@@ -1,0 +1,114 @@
+"""End-to-end over a real socket: served bytes == offline publishing.
+
+This is the golden-output guard applied to the HTTP layer (ISSUE 4's
+CI ``server-smoke`` contract): boot the threaded server on an
+ephemeral port, upload the demo model, fetch every published page with
+a keep-alive connection, and require the bytes on the wire to be
+identical to an offline ``publish_multi_page`` run.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.mdm import model_to_xml, sales_model
+from repro.server import ModelServer
+from repro.web import client_bundle, publish_multi_page, \
+    publish_single_page
+
+SALES_XML = model_to_xml(sales_model()).encode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ModelServer() as running:
+        connection = http.client.HTTPConnection(
+            running.host, running.port, timeout=30)
+        connection.request("PUT", "/models/sales", body=SALES_XML)
+        response = connection.getresponse()
+        assert response.status == 201, response.read()
+        response.read()
+        connection.close()
+        yield running
+
+
+def _fetch(server, path: str, headers: dict | None = None):
+    connection = http.client.HTTPConnection(
+        server.host, server.port, timeout=30)
+    try:
+        connection.request("GET", path, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+def test_every_multi_page_is_byte_identical_to_offline(server):
+    offline = publish_multi_page(sales_model())
+    connection = http.client.HTTPConnection(
+        server.host, server.port, timeout=30)
+    try:
+        for name, text in sorted(offline.pages.items()):
+            connection.request("GET", f"/site/sales/{name}")
+            response = connection.getresponse()
+            body = response.read()  # keep-alive: must drain every body
+            assert response.status == 200, name
+            assert body == text.encode("utf-8"), name
+    finally:
+        connection.close()
+
+
+def test_single_page_variant_matches_offline(server):
+    offline = publish_single_page(sales_model())
+    status, _, body = _fetch(server, "/site/sales/?variant=single")
+    assert status == 200
+    assert body == offline.pages["index.html"].encode("utf-8")
+
+
+def test_bundle_matches_offline_client_bundle(server):
+    bundle = client_bundle(sales_model())
+    status, _, body = _fetch(server, "/bundle/sales/model.xml")
+    assert status == 200
+    assert body == bundle.document_xml.encode("utf-8")
+
+
+def test_conditional_get_over_the_wire(server):
+    status, headers, _ = _fetch(server, "/site/sales/index.html")
+    assert status == 200
+    etag = headers["ETag"]
+    status, headers, body = _fetch(server, "/site/sales/index.html",
+                                   {"If-None-Match": etag})
+    assert status == 304
+    assert body == b""
+    assert headers["ETag"] == etag
+
+
+def test_health_endpoint_reports_ok(server):
+    status, _, body = _fetch(server, "/health/sales")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["ok"] is True
+    assert payload["total_links"] > 0
+
+
+def test_missing_model_404_over_the_wire(server):
+    status, _, body = _fetch(server, "/site/ghost/index.html")
+    assert status == 404
+    assert json.loads(body)["kind"] == "error"
+
+
+def test_invalid_upload_rejected_over_the_wire(server):
+    connection = http.client.HTTPConnection(
+        server.host, server.port, timeout=30)
+    try:
+        connection.request("PUT", "/models/bad",
+                           body=b"<goldmodel><bogus/></goldmodel>")
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 422
+        assert payload["issues"]
+    finally:
+        connection.close()

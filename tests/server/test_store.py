@@ -1,0 +1,122 @@
+"""ModelStore: validated ingestion, hashing, revisions, thread safety."""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.mdm import model_to_xml, sales_model, two_facts_model
+from repro.server import ModelStore, ModelStoreError
+
+SALES_XML = model_to_xml(sales_model()).encode("utf-8")
+RETAIL_XML = model_to_xml(two_facts_model()).encode("utf-8")
+
+
+@pytest.fixture()
+def store():
+    return ModelStore()
+
+
+class TestPut:
+    def test_put_returns_created_then_replaced(self, store):
+        record, created = store.put("sales", SALES_XML)
+        assert created
+        assert record.revision == 1
+        record2, created2 = store.put("sales", SALES_XML)
+        assert not created2
+        assert record2.revision == 2
+
+    def test_content_hash_is_sha256_of_bytes(self, store):
+        record, _ = store.put("sales", SALES_XML)
+        assert record.content_hash == hashlib.sha256(SALES_XML).hexdigest()
+        assert record.etag == f'"{record.content_hash}"'
+
+    def test_identical_bytes_keep_the_hash(self, store):
+        first, _ = store.put("sales", SALES_XML)
+        second, _ = store.put("sales", SALES_XML)
+        assert first.content_hash == second.content_hash
+
+    def test_changed_bytes_roll_the_hash(self, store):
+        first, _ = store.put("sales", SALES_XML)
+        changed = SALES_XML.replace(b"Sales DW", b"Sales DW v2")
+        second, _ = store.put("sales", changed)
+        assert first.content_hash != second.content_hash
+
+    def test_model_is_parsed_on_upload(self, store):
+        record, _ = store.put("sales", SALES_XML)
+        assert record.model.name == "Sales DW"
+        assert record.model.facts
+
+    def test_validation_runs_outside_the_lock_but_bad_xml_rejected(
+            self, store):
+        with pytest.raises(ModelStoreError) as info:
+            store.put("bad", b"<goldmodel")
+        assert info.value.kind == "parse"
+        assert store.get("bad") is None
+
+    def test_schema_violation_has_instance_path_diagnostics(self, store):
+        with pytest.raises(ModelStoreError) as info:
+            store.put("bad", b"<goldmodel><bogus/></goldmodel>")
+        assert info.value.kind == "schema"
+        issue = info.value.issues[0]
+        assert set(issue) == {"message", "path", "line", "column",
+                              "severity", "code"}
+        assert issue["severity"] == "error"
+
+    @pytest.mark.parametrize("name", [
+        "", "a b", "a/b", "../etc", "x" * 65, ".hidden"])
+    def test_unsafe_names_rejected(self, store, name):
+        with pytest.raises(ModelStoreError) as info:
+            store.put(name, SALES_XML)
+        assert info.value.kind == "name"
+
+    @pytest.mark.parametrize("name", ["sales", "Sales-2.0", "a_b.c", "0x"])
+    def test_safe_names_accepted(self, store, name):
+        record, _ = store.put(name, SALES_XML)
+        assert record.name == name
+
+
+class TestCrud:
+    def test_get_missing_returns_none(self, store):
+        assert store.get("nope") is None
+
+    def test_delete(self, store):
+        store.put("sales", SALES_XML)
+        assert store.delete("sales") is True
+        assert store.delete("sales") is False
+        assert store.get("sales") is None
+
+    def test_listing_is_sorted_and_json_ready(self, store):
+        store.put("zeta", SALES_XML)
+        store.put("alpha", RETAIL_XML)
+        listing = store.listing()
+        assert [item["name"] for item in listing] == ["alpha", "zeta"]
+        assert listing[0]["facts"] == 2  # the Fig. 5 two-facts model
+        assert listing[1]["model_id"] == "goldSales"
+        assert store.names() == ["alpha", "zeta"]
+
+    def test_stored_bytes_are_isolated_copies(self, store):
+        payload = bytearray(SALES_XML)
+        record, _ = store.put("sales", bytes(payload))
+        payload[:9] = b"X" * 9
+        assert record.xml_bytes == SALES_XML
+
+
+class TestConcurrency:
+    def test_concurrent_puts_of_distinct_models(self, store):
+        names = [f"m{i}" for i in range(12)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda n: store.put(n, SALES_XML), names))
+        assert store.names() == sorted(names)
+
+    def test_concurrent_puts_of_one_name_end_consistent(self, store):
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: store.put("sales", SALES_XML),
+                          range(16)))
+        record = store.get("sales")
+        assert record is not None
+        assert record.revision == 16
+        assert record.content_hash == \
+            hashlib.sha256(SALES_XML).hexdigest()

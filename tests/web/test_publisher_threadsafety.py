@@ -1,0 +1,130 @@
+"""Thread-safety of the publisher's module-level caches (ISSUE 4).
+
+The model-repository server publishes from concurrent request
+handlers, so ``_compiled``/``_transformer`` in ``web/publisher.py``
+must behave under a thread pool: one build per key (no duplicated
+compiles), exact hit/miss accounting, and byte-identical output when
+many threads publish at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.mdm import sales_model, two_facts_model
+from repro.web import MULTI_PAGE_XSL, SINGLE_PAGE_XSL, publish_multi_page
+from repro.web.publisher import (
+    _compiled_cache,
+    _transformer,
+    _transformer_cache,
+    clear_publisher_caches,
+    publisher_cache_info,
+)
+
+THREADS = 16
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    """Each test starts cold and leaves the caches clean for the next."""
+    clear_publisher_caches()
+    yield
+    clear_publisher_caches()
+
+
+def test_cold_cache_hammer_builds_each_stylesheet_once():
+    barrier = threading.Barrier(THREADS)
+
+    def fetch(_):
+        barrier.wait()
+        return _transformer(MULTI_PAGE_XSL)
+
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        transformers = list(pool.map(fetch, range(THREADS)))
+
+    assert len({id(t) for t in transformers}) == 1
+    info = publisher_cache_info()
+    assert info["publisher.transformer"]["misses"] == 1
+    assert info["publisher.transformer"]["hits"] == THREADS - 1
+    assert info["publisher.transformer"]["currsize"] == 1
+    # Building the transformer compiled the stylesheet exactly once too.
+    assert info["publisher.stylesheet"]["misses"] == 1
+
+
+def test_build_counts_are_exact_under_contention():
+    """The _build callback itself must run once per key, even when the
+    pool races on two keys at once."""
+    builds: list[str] = []
+    real_build = _compiled_cache._build
+    _compiled_cache._build = lambda text: (
+        builds.append(text[:20]), real_build(text))[1]
+    try:
+        keys = [MULTI_PAGE_XSL, SINGLE_PAGE_XSL] * (THREADS // 2)
+        barrier = threading.Barrier(THREADS)
+
+        def fetch(text):
+            barrier.wait()
+            return _compiled_cache.get(text)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            compiled = list(pool.map(fetch, keys))
+    finally:
+        _compiled_cache._build = real_build
+
+    assert len(builds) == 2
+    assert len({id(sheet) for sheet in compiled}) == 2
+
+
+def test_concurrent_publishes_are_byte_identical_to_serial():
+    models = {"sales": sales_model(), "retail": two_facts_model()}
+    serial = {name: publish_multi_page(model).pages
+              for name, model in models.items()}
+    clear_publisher_caches()
+
+    work = [name for name in models for _ in range(4)]
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        sites = list(pool.map(
+            lambda name: (name, publish_multi_page(models[name]).pages),
+            work))
+
+    for name, pages in sites:
+        assert pages == serial[name], name
+    info = publisher_cache_info()
+    assert info["publisher.transformer"]["misses"] == 1
+    assert info["publisher.transformer"]["hits"] == len(work) - 1
+
+
+def test_cache_info_is_consistent_after_hammering():
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        list(pool.map(lambda _: _transformer(MULTI_PAGE_XSL),
+                      range(100)))
+    info = publisher_cache_info()["publisher.transformer"]
+    # No torn counter updates: every call is accounted for exactly once.
+    assert info["hits"] + info["misses"] == 100
+    assert info["misses"] == 1
+
+
+def test_clear_is_safe_while_readers_run():
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def reader():
+        try:
+            while not stop.is_set():
+                _transformer(MULTI_PAGE_XSL).transform
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for _ in range(20):
+        clear_publisher_caches()
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert not errors
+    assert not any(thread.is_alive() for thread in threads)
