@@ -30,6 +30,7 @@ the optional PATH is greedy.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 __all__ = ["main", "build_parser"]
@@ -140,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="preload the sales/retail example models")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="activate a fault plan, e.g. "
+                            "'seed=7;cache.rebuild=raise:0.01' "
+                            "(same grammar as GOLDCASE_FAULTS)")
 
     fo = sub.add_parser(
         "fo", help="XSL-FO export with paginated rendering (paper §6)")
@@ -324,6 +329,13 @@ def _run(args: argparse.Namespace) -> int:
         from ..server import (ModelRepositoryApp, ModelStoreError,
                               serve_forever)
 
+        if args.faults:
+            from ..faults import FAULTS, FaultPlan
+
+            plan = FaultPlan.from_text(args.faults)
+            FAULTS.activate(plan)
+            print(f"fault plan active: {json.dumps(plan.describe())}",
+                  file=sys.stderr)
         app = ModelRepositoryApp()
         if args.demo:
             for factory in (sales_model, two_facts_model):

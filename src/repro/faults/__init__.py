@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the serving stack (DESIGN.md §12).
+
+Instrumented modules declare named injection points and guard them with
+``if FAULTS.enabled:``; tests and the chaos runner activate seeded
+:class:`FaultPlan` behaviours (raise / delay / corrupt) against those
+points, per-test via :class:`injected_faults` or process-wide via the
+``GOLDCASE_FAULTS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .plan import (
+    FAULTS,
+    FaultError,
+    FaultPlan,
+    FaultRegistry,
+    FaultSpec,
+    fault_point,
+    injected_faults,
+)
+
+__all__ = [
+    "FAULTS",
+    "FaultError",
+    "FaultPlan",
+    "FaultRegistry",
+    "FaultSpec",
+    "fault_point",
+    "injected_faults",
+]
+
+# Environment activation: `GOLDCASE_FAULTS="seed=7;cache.rebuild=raise:0.01"`
+# arms the registry for any entry point (goldcase serve, chaos runner,
+# pytest) without code changes.
+_env_plan = os.environ.get("GOLDCASE_FAULTS")
+if _env_plan:
+    FAULTS.activate(FaultPlan.from_text(_env_plan))

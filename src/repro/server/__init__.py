@@ -13,14 +13,30 @@ returned to the client browser" — realized as a stdlib-only subsystem:
 """
 
 from .app import CONTENT_TYPES, ModelRepositoryApp, Response
-from .cache import SiteCache, SiteEntry, VARIANTS
-from .httpd import ModelServer, make_server, serve_forever
+from .cache import (
+    CacheOverloadError,
+    SiteBuildError,
+    SiteCache,
+    SiteEntry,
+    VARIANTS,
+)
+from .httpd import (
+    MAX_BODY_BYTES,
+    READ_TIMEOUT_S,
+    ModelServer,
+    make_server,
+    serve_forever,
+)
 from .store import ModelRecord, ModelStore, ModelStoreError
 
 __all__ = [
     "CONTENT_TYPES",
+    "CacheOverloadError",
+    "MAX_BODY_BYTES",
     "ModelRepositoryApp",
+    "READ_TIMEOUT_S",
     "Response",
+    "SiteBuildError",
     "SiteCache",
     "SiteEntry",
     "VARIANTS",

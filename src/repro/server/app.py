@@ -34,8 +34,15 @@ import threading
 from dataclasses import dataclass, field
 from urllib.parse import parse_qs, unquote, urlparse
 
+from ..faults import FAULTS, FaultError
 from ..obs.recorder import RECORDER as _REC
-from .cache import SiteCache, SiteEntry, VARIANTS
+from .cache import (
+    CacheOverloadError,
+    SiteBuildError,
+    SiteCache,
+    SiteEntry,
+    VARIANTS,
+)
 from .store import ModelStore, ModelStoreError
 
 __all__ = ["ModelRepositoryApp", "Response", "CONTENT_TYPES"]
@@ -139,7 +146,19 @@ class ModelRepositoryApp:
         # HEAD routes exactly like GET; the transport drops the body.
         routed = "GET" if method == "HEAD" else method
         with _REC.span("server.request", method=method, path=parsed.path):
-            response = self._route(routed, segments, query, headers, body)
+            try:
+                response = self._route(routed, segments, query, headers,
+                                       body)
+            except FaultError as exc:
+                # An injected fault that no degradation path absorbed
+                # (store.put, xsd.validate on upload, ...): a clean 500
+                # instead of a handler-thread traceback.
+                response = _error(500, str(exc), kind="fault")
+            except CacheOverloadError as exc:
+                response = self._shed(exc)
+            except SiteBuildError as exc:
+                response = _error(
+                    500, f"site build failed: {exc.cause}", kind="build")
         if response.status == 304:
             with self._stats_lock:
                 self._requests["not_modified"] += 1
@@ -241,15 +260,32 @@ class ModelRepositoryApp:
 
     # -- published sites ---------------------------------------------------
 
-    def _entry_for(self, name: str,
-                   variant: str) -> tuple[SiteEntry | None, Response | None]:
+    @staticmethod
+    def _shed(exc: CacheOverloadError) -> Response:
+        """The overload response: 503 with a Retry-After the
+        :class:`repro.web.client.RepositoryClient` backoff honours."""
+        response = _error(503, str(exc), kind="overload")
+        response.headers.append(("Retry-After", str(exc.retry_after_s)))
+        return response
+
+    def _entry_for(self, name: str, variant: str) -> tuple[
+            SiteEntry | None, bool, Response | None]:
+        """``(entry, stale, failure)`` for one model variant.
+
+        *stale* is True when the cache degraded to the previous build
+        (its content hash no longer matches the record's — the rebuild
+        failed).  Overload and no-stale-fallback build failures
+        propagate as exceptions and are mapped in :meth:`handle`.
+        """
         record = self.store.get(name)
         if record is None:
-            return None, _error(404, f"no model named {name!r}")
+            return None, False, _error(404, f"no model named {name!r}")
         if variant not in VARIANTS:
-            return None, _error(400, f"unknown variant {variant!r} "
-                                     f"(expected one of {list(VARIANTS)})")
-        return self.cache.entry(record, variant), None
+            return None, False, _error(
+                400, f"unknown variant {variant!r} "
+                     f"(expected one of {list(VARIANTS)})")
+        entry = self.cache.entry(record, variant)
+        return entry, entry.content_hash != record.content_hash, None
 
     def _site(self, rest: list[str], query: dict,
               headers: dict[str, str]) -> Response:
@@ -260,17 +296,17 @@ class ModelRepositoryApp:
         variant = query.get("variant", "multi")
         if variant == "bundle":
             return _error(400, "bundles are served from /bundle/<name>/")
-        entry, failure = self._entry_for(name, variant)
+        entry, stale, failure = self._entry_for(name, variant)
         if failure is not None:
             return failure
-        return self._serve_page(entry, page, headers)
+        return self._serve_page(entry, page, headers, stale=stale)
 
     def _bundle(self, rest: list[str],
                 headers: dict[str, str]) -> Response:
         if not rest:
             return _error(404, "usage: /bundle/<model>/<file>")
         name, file_parts = rest[0], rest[1:]
-        entry, failure = self._entry_for(name, "bundle")
+        entry, stale, failure = self._entry_for(name, "bundle")
         if failure is not None:
             return failure
         filename = "/".join(file_parts)
@@ -279,10 +315,11 @@ class ModelRepositoryApp:
                 "model": name, "files": sorted(entry.pages),
                 "hint": "open model.xml in an XSLT-capable browser "
                         "(paper §6)"})
-        return self._serve_page(entry, filename, headers)
+        return self._serve_page(entry, filename, headers, stale=stale)
 
     def _serve_page(self, entry: SiteEntry, page: str,
-                    headers: dict[str, str]) -> Response:
+                    headers: dict[str, str], *,
+                    stale: bool = False) -> Response:
         data = entry.pages.get(page)
         if data is None:
             return _error(404, f"no page {page!r} in {entry.name} "
@@ -291,10 +328,19 @@ class ModelRepositoryApp:
         etag = entry.etags[page]
         if self._not_modified(headers, etag):
             return Response(304, b"", [("ETag", etag)])
-        return Response(200, data, [
+        response = Response(200, data, [
             ("Content-Type", _content_type(page)),
             ("ETag", etag),
             ("Cache-Control", "no-cache")])
+        if stale:
+            # Degraded mode is explicit on the wire: the RFC 9111
+            # stale-while-degraded warning plus a machine-checkable
+            # marker the chaos runner keys on.
+            response.headers.append(
+                ("Warning", '110 goldcase "stale content: rebuild '
+                            'failed, serving previous build"'))
+            response.headers.append(("X-Goldcase-Stale", "true"))
+        return response
 
     @staticmethod
     def _not_modified(headers: dict[str, str], etag: str) -> bool:
@@ -309,16 +355,19 @@ class ModelRepositoryApp:
         variant = query.get("variant", "multi")
         if variant == "bundle":
             return _error(400, "bundles have no link graph to check")
-        entry, failure = self._entry_for(rest[0], variant)
+        entry, stale, failure = self._entry_for(rest[0], variant)
         if failure is not None:
             return failure
         report = entry.link_report
-        ok = report is not None and report.ok
+        ok = (report is not None and report.ok) and not stale
         payload = {
             "model": entry.name,
             "variant": entry.variant,
             "content_hash": entry.content_hash,
             "ok": ok,
+            "stale": stale,
+            "last_build_error": self.cache.build_error(
+                entry.name, entry.variant),
             "pages": len(entry.pages),
             "total_links": report.total_links if report else 0,
             "broken_pages": [list(pair) for pair in report.broken_pages]
@@ -336,4 +385,5 @@ class ModelRepositoryApp:
             "requests": requests,
             "site_cache": self.cache.stats(),
             "models": self.store.names(),
+            "faults": FAULTS.describe(),
         })

@@ -19,6 +19,19 @@ whose bytes have not changed:
   :func:`repro.web.linkcheck.check_site` and stores the report, so the
   ``/health/<model>`` endpoint surfaces broken anchors instead of the
   server silently shipping them.
+* **Degrades, never hangs (DESIGN.md §12).**  Builds are bounded by a
+  global slot pool: a rebuild that cannot get a slot within the wait
+  budget is *shed* (:class:`CacheOverloadError` → 503 + Retry-After)
+  instead of queueing unboundedly.  A build that *fails* (an injected
+  fault, or a genuinely broken publish) serves the previous — stale —
+  entry when one exists (``server.stale_served``; the HTTP layer marks
+  it with a ``Warning`` header) and raises :class:`SiteBuildError`
+  when there is nothing to fall back to.  Failures coalesce exactly
+  like builds do: waiters blocked on the model lock during a failed
+  attempt share its outcome instead of piling N more doomed builds
+  onto the fault (pinned by tests/server/test_cache_faults.py); the
+  next request *after* the failure retries, so the cache is never
+  poisoned.
 
 Pages are stored UTF-8 encoded next to their strong ETags (SHA-256 of
 the encoded bytes), so conditional GETs are answered without touching
@@ -31,16 +44,44 @@ import hashlib
 import threading
 from dataclasses import dataclass, field
 
+from ..faults import FAULTS, fault_point
 from ..obs.recorder import RECORDER as _REC
 from ..web.client import client_bundle
 from ..web.linkcheck import LinkReport, check_site
 from ..web.publisher import publish_multi_page, publish_single_page
 from .store import ModelRecord
 
-__all__ = ["SiteCache", "SiteEntry", "VARIANTS"]
+__all__ = ["SiteCache", "SiteEntry", "VARIANTS", "CacheOverloadError",
+           "SiteBuildError"]
+
+_REBUILD_FAULT = fault_point(
+    "cache.rebuild", "raise/delay inside a site rebuild, before the "
+                     "transform runs (cache.py)")
 
 #: The publishable variants of one model.
 VARIANTS = ("multi", "single", "bundle")
+
+
+class CacheOverloadError(Exception):
+    """A rebuild was shed: no build slot within the wait budget."""
+
+    def __init__(self, name: str, variant: str, retry_after_s: int) -> None:
+        super().__init__(
+            f"rebuild of {name}/{variant} shed under load; retry in "
+            f"{retry_after_s}s")
+        self.name = name
+        self.variant = variant
+        self.retry_after_s = retry_after_s
+
+
+class SiteBuildError(Exception):
+    """A rebuild failed and no stale entry exists to serve instead."""
+
+    def __init__(self, name: str, variant: str, cause: str) -> None:
+        super().__init__(f"site build failed for {name}/{variant}: {cause}")
+        self.name = name
+        self.variant = variant
+        self.cause = cause
 
 
 def page_etag(payload: bytes) -> str:
@@ -91,14 +132,40 @@ def _build_variant(record: ModelRecord, variant: str) -> SiteEntry:
 class SiteCache:
     """Content-hash keyed cache of built :class:`SiteEntry` objects."""
 
-    def __init__(self) -> None:
+    #: Default bound on concurrent builds across all models: enough to
+    #: keep distinct models building in parallel, small enough that a
+    #: burst of invalidations degrades to shedding instead of a convoy
+    #: of transforms starving the serving threads.
+    MAX_CONCURRENT_BUILDS = 4
+    #: How long a request may wait for a build slot before being shed.
+    BUILD_WAIT_S = 5.0
+    #: The Retry-After hint attached to shed responses.
+    RETRY_AFTER_S = 1
+
+    def __init__(self, *, max_concurrent_builds: int | None = None,
+                 build_wait_s: float | None = None) -> None:
         self._meta_lock = threading.Lock()
         self._entries: dict[tuple[str, str], SiteEntry] = {}
         self._model_locks: dict[str, threading.Lock] = {}
+        self._build_slots = threading.BoundedSemaphore(
+            max_concurrent_builds or self.MAX_CONCURRENT_BUILDS)
+        self._build_wait_s = self.BUILD_WAIT_S \
+            if build_wait_s is None else build_wait_s
+        #: (name, variant) → message of the most recent failed build;
+        #: cleared by the next successful build of that key.
+        self._build_errors: dict[tuple[str, str], str] = {}
+        #: (name, variant) → monotonic count of *finished* build
+        #: attempts (success or failure).  A waiter that blocked on the
+        #: model lock snapshots this before blocking: an unchanged value
+        #: after the lock means nobody tried (build it), a changed value
+        #: with a still-stale entry means the attempt it waited on
+        #: failed (share that failure, do not retry in lockstep).
+        self._build_tokens: dict[tuple[str, str], int] = {}
         # Local stats power the /stats endpoint even with the obs
         # recorder off; obs counters mirror them when profiling.
         self._stats = {"hits": 0, "rebuilds": 0, "coalesced": 0,
-                       "invalidations": 0}
+                       "invalidations": 0, "build_failures": 0,
+                       "stale_served": 0, "shed": 0}
 
     # -- internals ---------------------------------------------------------
 
@@ -111,7 +178,10 @@ class SiteCache:
 
     _COUNTER = {"hits": "server.site.hit", "rebuilds": "server.site.rebuild",
                 "coalesced": "server.site.coalesced",
-                "invalidations": "server.site.invalidation"}
+                "invalidations": "server.site.invalidation",
+                "build_failures": "server.site.build_failure",
+                "stale_served": "server.stale_served",
+                "shed": "server.shed"}
 
     def _bump(self, stat: str) -> None:
         with self._meta_lock:
@@ -134,7 +204,17 @@ class SiteCache:
         The fast path is a lock-free dict read validated against the
         record's content hash.  The slow path serializes on the
         per-model lock; waiters re-check after acquiring it, so a burst
-        of requests against a stale model performs exactly one build.
+        of requests against a stale model performs exactly one build —
+        and, symmetrically, exactly one *failure*: waiters present
+        during a failed attempt inherit its outcome (the stale previous
+        entry, or :class:`SiteBuildError`) instead of retrying in
+        lockstep against the same fault.
+
+        A returned entry whose ``content_hash`` differs from the
+        record's is stale — the degraded serve-stale path; callers that
+        care (the HTTP layer) compare the hashes.  Raises
+        :class:`CacheOverloadError` when the build-slot pool is
+        exhausted past the wait budget.
         """
         if variant not in VARIANTS:
             raise KeyError(f"unknown site variant {variant!r}")
@@ -143,35 +223,91 @@ class SiteCache:
         if entry is not None:
             self._bump("hits")
             return entry
+        token_before = self._build_tokens.get(key, 0)
         with self._model_lock(record.name):
             entry = self._fresh(key, record)
             if entry is not None:
                 # Another request built it while we waited on the lock.
                 self._bump("coalesced")
                 return entry
-            self._bump("rebuilds")
-            with _REC.span("server.rebuild", model=record.name,
-                           variant=variant):
-                entry = _build_variant(record, variant)
-            self._entries[key] = entry
-            return entry
+            if self._build_tokens.get(key, 0) != token_before:
+                # The build we waited on finished and the entry is
+                # still stale: that attempt failed.  Share its outcome.
+                self._bump("coalesced")
+                return self._degraded(key, record, variant)
+            if not self._build_slots.acquire(timeout=self._build_wait_s):
+                self._bump("shed")
+                raise CacheOverloadError(
+                    record.name, variant, self.RETRY_AFTER_S)
+            try:
+                self._bump("rebuilds")
+                with _REC.span("server.rebuild", model=record.name,
+                               variant=variant):
+                    if FAULTS.enabled:
+                        FAULTS.hit(_REBUILD_FAULT)
+                    entry = _build_variant(record, variant)
+            except Exception as exc:
+                self._bump("build_failures")
+                with self._meta_lock:
+                    self._build_errors[key] = \
+                        f"{type(exc).__name__}: {exc}"
+                return self._degraded(key, record, variant)
+            else:
+                with self._meta_lock:
+                    self._build_errors.pop(key, None)
+                self._entries[key] = entry
+                return entry
+            finally:
+                self._build_slots.release()
+                with self._meta_lock:
+                    self._build_tokens[key] = \
+                        self._build_tokens.get(key, 0) + 1
+
+    def _degraded(self, key: tuple[str, str], record: ModelRecord,
+                  variant: str) -> SiteEntry:
+        """Serve the stale entry after a failed build, or raise.
+
+        Called with the model lock held.  The stale entry keeps its old
+        content hash, which is how callers (and tests) recognise it.
+        """
+        stale = self._entries.get(key)
+        if stale is not None:
+            self._bump("stale_served")
+            return stale
+        with self._meta_lock:
+            cause = self._build_errors.get(key, "build failed")
+        raise SiteBuildError(record.name, variant, cause)
 
     def peek(self, name: str, variant: str) -> SiteEntry | None:
         """The cached entry, fresh or stale, without building (or None)."""
         return self._entries.get((name, variant))
+
+    def build_error(self, name: str, variant: str) -> str | None:
+        """The most recent build failure for (name, variant), if any.
+
+        Non-None means the cache is in degraded mode for that key: the
+        latest rebuild failed and requests are being served the stale
+        entry (or errors).  Cleared by the next successful build.
+        """
+        with self._meta_lock:
+            return self._build_errors.get((name, variant))
 
     def invalidate(self, name: str) -> int:
         """Drop every cached variant of *name*; returns entries removed.
 
         ``put`` does not need to call this — a changed content hash
         already invalidates — but DELETE uses it to free the memory of
-        sites that can no longer be served.
+        sites that can no longer be served.  Degraded-mode markers go
+        with the entries: a re-created model starts clean.
         """
         removed = 0
         with self._model_lock(name):
             for variant in VARIANTS:
                 if self._entries.pop((name, variant), None) is not None:
                     removed += 1
+            with self._meta_lock:
+                for variant in VARIANTS:
+                    self._build_errors.pop((name, variant), None)
         if removed:
             self._bump("invalidations")
         return removed
@@ -184,4 +320,7 @@ class SiteCache:
         stats["resident_bytes"] = sum(
             len(data) for entry in list(self._entries.values())
             for data in entry.pages.values())
+        with self._meta_lock:
+            stats["degraded_keys"] = ["/".join(key)
+                                      for key in sorted(self._build_errors)]
         return stats

@@ -7,6 +7,20 @@ thread per connection, which is exactly the concurrency model the site
 cache is built for: distinct models publish in parallel, concurrent
 requests for one stale model coalesce on its build lock.
 
+The handler is hardened against hostile or broken clients (DESIGN.md
+§12): every connection carries a read timeout (stalled body reads get
+``408`` and a close instead of a parked thread), request bodies are
+bounded (``413`` past :data:`MAX_BODY_BYTES`), a non-numeric
+``Content-Length`` is a clean ``400``, and an exception escaping the
+application layer is answered with a JSON ``500`` and a closed
+connection — never a traceback that kills the handler thread mid-
+response.  Malformed request lines (400) and oversized or over-many
+header blocks (431) are already rejected by the stdlib parser; the
+regression tests in ``tests/server/test_http_errors.py`` pin all of
+these behaviours.  ``httpd.read`` / ``httpd.write`` fault-injection
+points simulate slow and vanishing clients on either side of the
+application call.
+
 :class:`ModelServer` is the embeddable form (tests, benchmarks: bind
 port 0, ``start()``, talk HTTP, ``stop()``); :func:`serve_forever`
 is the blocking form behind ``goldcase serve``.
@@ -14,13 +28,32 @@ is the blocking form behind ``goldcase serve``.
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..faults import FAULTS, FaultError, fault_point
 from ..obs.recorder import RECORDER as _REC
 from .app import ModelRepositoryApp
 
-__all__ = ["ModelServer", "make_server", "serve_forever"]
+__all__ = ["ModelServer", "make_server", "serve_forever",
+           "MAX_BODY_BYTES", "READ_TIMEOUT_S"]
+
+#: Largest accepted request body; a PUT beyond this is answered 413.
+#: Generous for model documents (the large benchmark model is ~1 MB).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Per-connection socket timeout: how long one blocking read (request
+#: line, headers, or body) may stall before the connection is dropped
+#: (mid-body stalls are answered 408 first).
+READ_TIMEOUT_S = 30.0
+
+_READ_FAULT = fault_point(
+    "httpd.read", "raise/delay/corrupt around the request-body socket "
+                  "read (httpd.py)")
+_WRITE_FAULT = fault_point(
+    "httpd.write", "raise/delay before the response bytes are written "
+                   "(httpd.py)")
 
 
 class _RepositoryHandler(BaseHTTPRequestHandler):
@@ -32,23 +65,104 @@ class _RepositoryHandler(BaseHTTPRequestHandler):
     # Small responses + keep-alive hit the Nagle/delayed-ACK interaction
     # (~40 ms per request) unless the socket writes immediately.
     disable_nagle_algorithm = True
+    #: socketserver applies this to the connection in setup(); stalls
+    #: anywhere in the exchange then raise TimeoutError instead of
+    #: parking the handler thread forever.
+    timeout = READ_TIMEOUT_S
 
     # Set by make_server on the handler subclass.
     app: ModelRepositoryApp = None  # type: ignore[assignment]
     quiet = True
+    max_body_bytes = MAX_BODY_BYTES
+
+    def _fail(self, status: int, message: str, *,
+              retry_after: int | None = None) -> None:
+        """A JSON error response that always closes the connection.
+
+        Used for transport-level failures (bad framing, timeouts,
+        crashed application) where the connection state is no longer
+        trustworthy enough for keep-alive.
+        """
+        body = (json.dumps({"error": message, "kind": "transport"},
+                           sort_keys=True) + "\n").encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type",
+                             "application/json; charset=utf-8")
+            if retry_after is not None:
+                self.send_header("Retry-After", str(retry_after))
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except OSError:
+            pass  # the peer is gone; nothing left to tell them
+        self.close_connection = True
+
+    def _read_body(self) -> bytes | None:
+        """The request body, or None after an error response was sent."""
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length else 0
+        except ValueError:
+            self._fail(400, f"invalid Content-Length {raw_length!r}")
+            return None
+        if length < 0:
+            self._fail(400, f"invalid Content-Length {raw_length!r}")
+            return None
+        if length > self.max_body_bytes:
+            self._fail(413, f"request body of {length} bytes exceeds the "
+                            f"{self.max_body_bytes}-byte limit")
+            return None
+        try:
+            body = self.rfile.read(length) if length else b""
+        except TimeoutError:
+            self._fail(408, "timed out reading the request body")
+            return None
+        if len(body) < length:
+            self._fail(400, f"request body truncated at {len(body)} of "
+                            f"{length} bytes")
+            return None
+        return body
 
     def _dispatch(self, method: str) -> None:
-        length = int(self.headers.get("Content-Length") or 0)
-        body = self.rfile.read(length) if length else b""
-        response = self.app.handle(
-            method, self.path, dict(self.headers.items()), body)
-        self.send_response(response.status)
-        for name, value in response.headers:
-            self.send_header(name, value)
-        self.send_header("Content-Length", str(len(response.body)))
-        self.end_headers()
-        if method != "HEAD" and response.status != 304:
-            self.wfile.write(response.body)
+        body = self._read_body()
+        if body is None:
+            return
+        if FAULTS.enabled:
+            try:
+                body = FAULTS.hit(_READ_FAULT, body)
+            except FaultError:
+                # A vanished client: drop the exchange without a
+                # response, exactly what a reset mid-read looks like.
+                self.close_connection = True
+                return
+        try:
+            response = self.app.handle(
+                method, self.path, dict(self.headers.items()), body)
+        except Exception as exc:  # the app must never kill the thread
+            if _REC.enabled:
+                _REC.count("server.http.app_error")
+            self.log_error("application error on %s %s: %r",
+                           method, self.path, exc)
+            self._fail(500, "internal server error")
+            return
+        if FAULTS.enabled:
+            try:
+                FAULTS.hit(_WRITE_FAULT)
+            except FaultError:
+                self.close_connection = True  # drop before the write
+                return
+        try:
+            self.send_response(response.status)
+            for name, value in response.headers:
+                self.send_header(name, value)
+            self.send_header("Content-Length", str(len(response.body)))
+            self.end_headers()
+            if method != "HEAD" and response.status != 304:
+                self.wfile.write(response.body)
+        except (OSError, TimeoutError):
+            self.close_connection = True  # peer vanished mid-write
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         self._dispatch("GET")
@@ -68,16 +182,25 @@ class _RepositoryHandler(BaseHTTPRequestHandler):
         if _REC.enabled:
             _REC.count("server.http.request_line")
 
+    def log_error(self, format: str, *args) -> None:  # noqa: A002
+        # Transport-level rejections (400/408/413/431/500) are expected
+        # under chaos; keep them off stderr unless access logging is on.
+        if not self.quiet:
+            super().log_error(format, *args)
+
 
 def make_server(app: ModelRepositoryApp | None = None, *,
                 host: str = "127.0.0.1", port: int = 0,
-                quiet: bool = True) -> tuple[ThreadingHTTPServer,
-                                             ModelRepositoryApp]:
+                quiet: bool = True,
+                read_timeout_s: float = READ_TIMEOUT_S,
+                max_body_bytes: int = MAX_BODY_BYTES
+                ) -> tuple[ThreadingHTTPServer, ModelRepositoryApp]:
     """A bound (not yet serving) threaded server around *app*."""
     if app is None:
         app = ModelRepositoryApp()
     handler = type("_BoundHandler", (_RepositoryHandler,),
-                   {"app": app, "quiet": quiet})
+                   {"app": app, "quiet": quiet, "timeout": read_timeout_s,
+                    "max_body_bytes": max_body_bytes})
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True
     return server, app
@@ -88,9 +211,12 @@ class ModelServer:
 
     def __init__(self, app: ModelRepositoryApp | None = None, *,
                  host: str = "127.0.0.1", port: int = 0,
-                 quiet: bool = True) -> None:
+                 quiet: bool = True,
+                 read_timeout_s: float = READ_TIMEOUT_S,
+                 max_body_bytes: int = MAX_BODY_BYTES) -> None:
         self.httpd, self.app = make_server(
-            app, host=host, port=port, quiet=quiet)
+            app, host=host, port=port, quiet=quiet,
+            read_timeout_s=read_timeout_s, max_body_bytes=max_body_bytes)
         self._thread: threading.Thread | None = None
 
     @property

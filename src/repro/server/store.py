@@ -26,6 +26,7 @@ import re
 import threading
 from dataclasses import dataclass, field
 
+from ..faults import FAULTS, fault_point
 from ..mdm import document_to_model, gold_schema
 from ..mdm.errors import ModelError
 from ..mdm.model import GoldModel
@@ -35,6 +36,13 @@ from ..xml.parser import parse as parse_xml
 from ..xsd import validate as xsd_validate
 
 __all__ = ["ModelRecord", "ModelStore", "ModelStoreError"]
+
+_PARSE_FAULT = fault_point(
+    "store.parse", "raise/delay/corrupt the uploaded bytes before the "
+                   "ingestion parse (store.py)")
+_PUT_FAULT = fault_point(
+    "store.put", "raise/delay between a validated upload and the store "
+                 "write (store.py)")
 
 #: Model names are path segments; keep them trivially URL- and FS-safe.
 NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
@@ -129,6 +137,10 @@ class ModelStore:
                            "(expected [A-Za-z0-9._-], max 64 chars)",
                 "path": "", "line": None, "column": None,
                 "severity": "error", "code": "store-name"}])
+        if FAULTS.enabled:
+            # A corrupt fault mutates the bytes *before* the parse, so
+            # the rejection path (400 + diagnostics) is what degrades.
+            xml_bytes = FAULTS.hit(_PARSE_FAULT, xml_bytes)
         try:
             document = parse_xml(xml_bytes)
         except XMLError as exc:
@@ -159,6 +171,10 @@ class ModelStore:
         distinct models validate in parallel.
         """
         model = self.ingest(name, xml_bytes)
+        if FAULTS.enabled:
+            # Fires between validation and the write — the window where
+            # a crashed write must leave the previous record intact.
+            FAULTS.hit(_PUT_FAULT)
         digest = _content_hash(xml_bytes)
         with self._lock:
             previous = self._records.get(name)

@@ -1,0 +1,514 @@
+"""Fault-injection chaos harness for the model-repository server.
+
+Usage::
+
+    python -m repro.testkit.chaos --seed 0 --budget 30
+
+Boots a real :class:`~repro.server.httpd.ModelServer` and replays
+seed-derived rounds against it.  Each round is determined by
+``(seed, index)`` and has four beats:
+
+1. **Mutate** (faults off): one model advances a version; expected page
+   bytes for the new version are computed offline first, so every byte
+   the server may legitimately serve is known in advance.
+2. **Coalesce check** (faults off): a barrier burst against the stale
+   page must trigger exactly one rebuild and one shared body.
+3. **Hammer** (faults on): a randomized :class:`FaultPlan` — rebuild
+   failures, per-page render failures, transport delays and drops — is
+   activated while concurrent :class:`RepositoryClient` workers fetch
+   models, pages, and health, and a mid-phase version flip forces
+   rebuilds to happen *under* the faults.
+4. **Recover** (faults off): every resource must come back fresh,
+   current, and unmarked.
+
+Invariants checked on every response:
+
+* no hung connections — a client socket timeout is always a violation;
+* no 5xx the active fault plan cannot explain;
+* served bytes are never torn: every 200 body is byte-identical to an
+  expected rendering of some version, and after recovery it is the
+  *current* version with no staleness marker;
+* rebuild coalescing holds (one build per burst).
+
+Violations are written as JSON reproducers (like ``repro.testkit.run``)
+to ``--failures-dir`` and can be replayed with
+``--seed S --start R --rounds 1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import http.client
+import json
+import os
+import random
+import sys
+import threading
+import time
+
+from ..faults import FAULTS, FaultPlan
+from ..mdm import model_to_xml, sales_model, two_facts_model
+from ..server import ModelRepositoryApp, ModelServer
+from ..web import RepositoryClient, RetriesExhausted, RetryPolicy
+
+__all__ = ["ModelTracker", "run_round", "main"]
+
+#: Points a random plan may draw from, with the modes that keep the
+#: server *degradable*: store faults are excluded because the harness
+#: flips versions through the store directly and must know they landed.
+FAULT_MENU = (
+    ("cache.rebuild", "raise"),
+    ("cache.rebuild", "delay"),
+    ("publish.page", "raise"),
+    ("xslt.transform", "raise"),
+    ("httpd.read", "delay"),
+    ("httpd.write", "delay"),
+    ("httpd.read", "raise"),
+    ("httpd.write", "raise"),
+)
+
+#: Points whose ``raise`` mode surfaces as a dropped connection rather
+#: than an HTTP status — the only sanctioned cause of transport errors.
+TRANSPORT_POINTS = frozenset({"httpd.read", "httpd.write"})
+
+#: Points whose ``raise`` mode may surface as a 500 (cold build) —
+#: normally absorbed into a stale 200, but never guaranteed to be.
+BUILD_POINTS = frozenset({"cache.rebuild", "publish.page",
+                          "xslt.transform"})
+
+
+def _sha(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _expected_pages(xml_bytes: bytes) -> dict[str, bytes]:
+    """Render the site for *xml_bytes* offline: the oracle bytes.
+
+    Must run with faults deactivated — the offline app shares the
+    process-global registry with the server under test.
+    """
+    assert not FAULTS.enabled, "oracle rendering must be fault-free"
+    app = ModelRepositoryApp()
+    response = app.handle("PUT", "/models/m", {}, xml_bytes)
+    assert response.status == 201, response.status
+    assert app.handle("GET", "/site/m/index.html").status == 200
+    entry = app.cache.peek("m", "multi")
+    pages = {}
+    for page in entry.etags:
+        body = app.handle("GET", f"/site/m/{page}")
+        assert body.status == 200
+        pages[page] = body.body
+    return pages
+
+
+class ModelTracker:
+    """One model's version history and every byte it may serve."""
+
+    def __init__(self, name: str, base_xml: bytes, marker: bytes) -> None:
+        self.name = name
+        self.base_xml = base_xml
+        self.marker = marker
+        assert marker in base_xml
+        self.version = 0
+        self.current_xml = base_xml
+        self.current_pages: dict[str, bytes] = {}
+        #: Every XML body ever current (raw-model responses must match).
+        self.xml_history: set[bytes] = {base_xml}
+        #: SHA-256 of every expected page rendering, all versions.
+        self.page_shas: set[str] = set()
+        self._pending: tuple[int, bytes, dict[str, bytes]] | None = None
+
+    def bootstrap(self, store) -> None:
+        """Install version 0 in the server and record its oracle."""
+        self.current_pages = _expected_pages(self.base_xml)
+        self.page_shas.update(_sha(b) for b in self.current_pages.values())
+        store.put(self.name, self.base_xml)
+
+    def _xml_for(self, version: int) -> bytes:
+        if version == 0:
+            return self.base_xml
+        stamp = self.marker + f" r{version}".encode("ascii")
+        return self.base_xml.replace(self.marker, stamp)
+
+    def precompute_next(self) -> None:
+        """Render the next version's oracle (faults must be off).
+
+        History is extended *now*, before the flip, so hammer workers
+        racing a mid-phase flip never see bytes ahead of the oracle.
+        """
+        if self._pending is not None:
+            return
+        version = self.version + 1
+        xml = self._xml_for(version)
+        pages = _expected_pages(xml)
+        self.xml_history.add(xml)
+        self.page_shas.update(_sha(b) for b in pages.values())
+        self._pending = (version, xml, pages)
+
+    def flip(self, store) -> None:
+        """Make the precomputed version current in the live server."""
+        assert self._pending is not None, "flip() without precompute_next()"
+        version, xml, pages = self._pending
+        self._pending = None
+        store.put(self.name, xml)
+        self.version, self.current_xml, self.current_pages = (
+            version, xml, pages)
+
+    def advance(self, store) -> None:
+        self.precompute_next()
+        self.flip(store)
+
+
+def default_trackers() -> list[ModelTracker]:
+    return [
+        ModelTracker("sales", model_to_xml(sales_model()).encode("utf-8"),
+                     b"Sales DW"),
+        ModelTracker("retail",
+                     model_to_xml(two_facts_model()).encode("utf-8"),
+                     b"Retail DW"),
+    ]
+
+
+def round_rng(seed: int, index: int) -> random.Random:
+    return random.Random(f"chaos:{seed}:{index}")
+
+
+def random_plan(rng: random.Random) -> FaultPlan:
+    """A seeded plan of 1–3 distinct faults from the menu."""
+    plan = FaultPlan(seed=rng.randrange(2 ** 32))
+    for point, mode in rng.sample(FAULT_MENU, rng.randint(1, 3)):
+        if plan.spec(point) is not None:
+            continue
+        if mode == "delay":
+            plan.add(point, "delay",
+                     rate=rng.choice([0.2, 0.5, 1.0]),
+                     delay_s=rng.uniform(0.002, 0.03))
+        elif point in TRANSPORT_POINTS:
+            # Drops are disruptive: probabilistic and budgeted.
+            plan.add(point, "raise", rate=rng.uniform(0.05, 0.3),
+                     times=rng.randint(1, 6))
+        else:
+            plan.add(point, "raise", rate=rng.choice([0.1, 0.5, 1.0]))
+    return plan
+
+
+def _coalescing_burst(app: ModelRepositoryApp, tracker: ModelTracker,
+                      clients: int) -> list[dict]:
+    """Barrier burst against a stale page: one rebuild, one body."""
+    before = app.cache.stats()["rebuilds"]
+    barrier = threading.Barrier(clients)
+    responses: list = [None] * clients
+
+    def fetch(slot: int) -> None:
+        barrier.wait()
+        responses[slot] = app.handle(
+            "GET", f"/site/{tracker.name}/index.html")
+
+    threads = [threading.Thread(target=fetch, args=(slot,))
+               for slot in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+
+    failures = []
+    rebuilds = app.cache.stats()["rebuilds"] - before
+    if rebuilds > 1:
+        failures.append({"check": "coalescing",
+                         "model": tracker.name,
+                         "detail": f"{rebuilds} rebuilds for one burst"})
+    statuses = {r.status for r in responses if r is not None}
+    bodies = {r.body for r in responses if r is not None}
+    if None in responses or statuses != {200} or len(bodies) != 1:
+        failures.append({
+            "check": "coalescing-responses", "model": tracker.name,
+            "detail": f"statuses={sorted(statuses)} "
+                      f"distinct_bodies={len(bodies)} "
+                      f"hung={responses.count(None)}"})
+    return failures
+
+
+def _check_response(kind: str, path: str, response,
+                    tracker: ModelTracker, plan: FaultPlan) -> dict | None:
+    """Apply the hammer-phase invariants to one completed exchange."""
+    raise_points = {point for point, spec in plan.specs.items()
+                    if spec.mode == "raise"}
+    if kind == "health":
+        if response.status not in (200, 503):
+            return {"check": "health-status", "path": path,
+                    "detail": f"status {response.status}"}
+        return None
+    if response.status == 503:
+        return None  # overload shed: legal whenever a plan is active
+    if response.status == 500:
+        if raise_points & BUILD_POINTS:
+            return None
+        return {"check": "unexplained-5xx", "path": path,
+                "detail": f"500 with plan {sorted(plan.specs)}"}
+    if response.status != 200:
+        return {"check": "unexpected-status", "path": path,
+                "detail": f"status {response.status}"}
+    if kind == "model":
+        if response.body not in tracker.xml_history:
+            return {"check": "torn-model-bytes", "path": path,
+                    "detail": f"unexpected sha {_sha(response.body)[:12]}"}
+        return None
+    digest = _sha(response.body)
+    if digest not in tracker.page_shas:
+        return {"check": "torn-page-bytes", "path": path,
+                "stale": response.header("X-Goldcase-Stale"),
+                "detail": f"unexpected sha {digest[:12]}"}
+    return None
+
+
+def _hammer(server: ModelServer, trackers: list[ModelTracker],
+            plan: FaultPlan, seed: int, index: int, clients: int,
+            requests: int, flip: ModelTracker) -> tuple[list[dict], dict]:
+    """Concurrent clients under the active plan, plus a mid-phase flip."""
+    failures: list[dict] = []
+    counts = {"requests": 0, "stale": 0, "shed": 0, "drops": 0,
+              "retries": 0}
+    lock = threading.Lock()
+
+    def worker(worker_id: int) -> None:
+        rng = random.Random(f"chaos:{seed}:{index}:client{worker_id}")
+        policy = RetryPolicy(retries=2, base_delay_s=0.01, max_delay_s=0.2)
+        with RepositoryClient(server.host, server.port, timeout_s=10.0,
+                              policy=policy, rng=rng) as client:
+            for _ in range(requests):
+                tracker = rng.choice(trackers)
+                kind = rng.choice(["model", "index", "page", "health"])
+                if kind == "model":
+                    path = f"/models/{tracker.name}"
+                elif kind == "health":
+                    path = f"/health/{tracker.name}"
+                elif kind == "index":
+                    path = f"/site/{tracker.name}/index.html"
+                else:
+                    page = rng.choice(sorted(tracker.current_pages))
+                    path = f"/site/{tracker.name}/{page}"
+                record: dict | None = None
+                try:
+                    response = client.request("GET", path)
+                except TimeoutError:
+                    record = {"check": "hung-connection", "path": path,
+                              "detail": "client read timed out"}
+                    response = None
+                except RetriesExhausted as exc:
+                    response = None
+                    with lock:
+                        counts["drops"] += 1
+                    if not ({point for point, spec in plan.specs.items()
+                             if spec.mode == "raise"} & TRANSPORT_POINTS):
+                        record = {"check": "unexplained-drop",
+                                  "path": path, "detail": str(exc)}
+                else:
+                    record = _check_response(
+                        kind, path, response, tracker, plan)
+                with lock:
+                    counts["requests"] += 1
+                    if response is not None:
+                        counts["retries"] += response.retries
+                        if response.status == 503 and kind != "health":
+                            counts["shed"] += 1
+                        if response.header("X-Goldcase-Stale") == "true":
+                            counts["stale"] += 1
+                    if record is not None:
+                        failures.append(record)
+
+    threads = [threading.Thread(target=worker, args=(worker_id,))
+               for worker_id in range(clients)]
+    for thread in threads:
+        thread.start()
+    # Mid-phase: force rebuilds to happen *under* the active faults.
+    time.sleep(0.05)
+    flip.flip(server.app.store)
+    for thread in threads:
+        thread.join(timeout=60)
+        if thread.is_alive():
+            failures.append({"check": "hung-worker",
+                             "detail": "hammer worker did not finish"})
+    return failures, counts
+
+
+def _recovery_sweep(server: ModelServer,
+                    trackers: list[ModelTracker]) -> list[dict]:
+    """Faults off: everything must be current, fresh, and healthy."""
+    failures: list[dict] = []
+    connection = http.client.HTTPConnection(
+        server.host, server.port, timeout=30)
+
+    def fetch(path: str):
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response, response.read()
+
+    try:
+        for tracker in trackers:
+            response, body = fetch(f"/models/{tracker.name}")
+            if response.status != 200 or body != tracker.current_xml:
+                failures.append({
+                    "check": "recovery-model", "model": tracker.name,
+                    "detail": f"status {response.status}"})
+            for page, expected in sorted(tracker.current_pages.items()):
+                response, body = fetch(f"/site/{tracker.name}/{page}")
+                stale = response.getheader("X-Goldcase-Stale")
+                if response.status != 200 or body != expected or stale:
+                    failures.append({
+                        "check": "recovery-page", "model": tracker.name,
+                        "page": page,
+                        "detail": f"status {response.status} stale={stale} "
+                                  f"sha {_sha(body)[:12]} "
+                                  f"want {_sha(expected)[:12]}"})
+            response, body = fetch(f"/health/{tracker.name}")
+            if response.status != 200:
+                failures.append({
+                    "check": "recovery-health", "model": tracker.name,
+                    "detail": f"status {response.status}: "
+                              f"{body.decode('utf-8', 'replace')[:200]}"})
+    finally:
+        connection.close()
+    return failures
+
+
+def run_round(server: ModelServer, trackers: list[ModelTracker],
+              seed: int, index: int, *, clients: int = 6,
+              requests: int = 20) -> tuple[list[dict], dict]:
+    """One chaos round; returns (failure records, counters)."""
+    rng = round_rng(seed, index)
+    failures: list[dict] = []
+
+    FAULTS.deactivate()
+    target = rng.choice(trackers)
+    target.advance(server.app.store)
+    flip = rng.choice(trackers)
+    flip.precompute_next()
+
+    failures.extend(_coalescing_burst(server.app, target, clients))
+
+    plan = random_plan(rng)
+    FAULTS.activate(plan)
+    try:
+        hammered, counts = _hammer(server, trackers, plan, seed, index,
+                                   clients, requests, flip)
+        failures.extend(hammered)
+    finally:
+        fired = FAULTS.fired()
+        FAULTS.deactivate()
+    counts["faults_fired"] = sum(fired.values())
+
+    failures.extend(_recovery_sweep(server, trackers))
+
+    for record in failures:
+        record.setdefault("seed", seed)
+        record.setdefault("round", index)
+        record.setdefault("plan", plan.describe())
+    return failures, counts
+
+
+def _write_reproducers(directory: str, seed: int,
+                       failures: list[dict]) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"seed{seed}-chaos-failures.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(failures, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testkit.chaos",
+        description="Chaos harness: randomized fault schedules against "
+                    "a live model-repository server.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; round r uses RNG(chaos:seed:r)")
+    parser.add_argument("--budget", type=float, default=30.0,
+                        help="time budget in seconds (default 30)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="run exactly N rounds, ignoring --budget")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first round index (for replaying one "
+                             "failing round)")
+    parser.add_argument("--clients", type=int, default=6,
+                        help="concurrent clients per round (default 6)")
+    parser.add_argument("--requests", type=int, default=20,
+                        help="requests per client per round (default 20)")
+    parser.add_argument("--failures-dir", default="chaos-failures",
+                        help="directory for JSON reproducers of violations")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-round progress output")
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+    FAULTS.deactivate()  # a GOLDCASE_FAULTS env plan would skew oracles
+    trackers = default_trackers()
+    all_failures: list[dict] = []
+    totals = {"requests": 0, "stale": 0, "shed": 0, "drops": 0,
+              "retries": 0, "faults_fired": 0}
+    completed = 0
+    index = args.start
+    with ModelServer() as server:
+        for tracker in trackers:
+            tracker.bootstrap(server.app.store)
+            # Warm the cache so round 1 measures degradation, not
+            # cold-start builds.
+            assert server.app.handle(
+                "GET", f"/site/{tracker.name}/index.html").status == 200
+        try:
+            while True:
+                if args.rounds is not None:
+                    if completed >= args.rounds:
+                        break
+                elif completed > 0 and \
+                        time.monotonic() - started >= args.budget:
+                    break
+                failures, counts = run_round(
+                    server, trackers, args.seed, index,
+                    clients=args.clients, requests=args.requests)
+                completed += 1
+                for key, value in counts.items():
+                    totals[key] += value
+                if failures:
+                    all_failures.extend(failures)
+                    print(f"round {index}: {len(failures)} violation(s)",
+                          file=sys.stderr)
+                    for record in failures[:5]:
+                        print(f"  {json.dumps(record, sort_keys=True)}",
+                              file=sys.stderr)
+                elif not args.quiet:
+                    print(f"round {index}: ok — "
+                          f"{counts['requests']} requests, "
+                          f"{counts['faults_fired']} faults fired, "
+                          f"{counts['stale']} stale, "
+                          f"{counts['shed']} shed, "
+                          f"{counts['drops']} drops")
+                index += 1
+        finally:
+            FAULTS.deactivate()
+
+    elapsed = time.monotonic() - started
+    summary = (f"{completed} rounds, {totals['requests']} requests, "
+               f"{totals['faults_fired']} faults fired, "
+               f"{totals['stale']} stale, {totals['shed']} shed, "
+               f"{totals['drops']} drops, {elapsed:.1f}s")
+    if all_failures:
+        bad = sorted({record["round"] for record in all_failures})
+        all_failures.append({
+            "check": "cache-stats", "seed": args.seed, "round": -1,
+            "stats": server.app.cache.stats(), "totals": totals,
+        })
+        path = _write_reproducers(
+            args.failures_dir, args.seed, all_failures)
+        print(f"chaos: FAIL — {len(all_failures) - 1} violation(s) "
+              f"across rounds {bad}; {summary}; reproducers: {path}")
+        print(f"replay one with: python -m repro.testkit.chaos "
+              f"--seed {args.seed} --start {bad[0]} --rounds 1")
+        return 1
+    print(f"chaos: OK — 0 violations; {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

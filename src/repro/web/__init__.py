@@ -5,6 +5,10 @@ per-fact-class presentations, schema tree view, and link checking.
 from .client import (
     BrowserSimulator,
     ClientBundle,
+    ClientResponse,
+    RepositoryClient,
+    RetriesExhausted,
+    RetryPolicy,
     client_bundle,
     server_side,
 )
@@ -49,6 +53,10 @@ __all__ = [
     "render_fo_pages",
     "BrowserSimulator",
     "ClientBundle",
+    "ClientResponse",
+    "RepositoryClient",
+    "RetriesExhausted",
+    "RetryPolicy",
     "client_bundle",
     "server_side",
     "SOURCE_VIEW_CSS",

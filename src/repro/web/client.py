@@ -14,7 +14,12 @@ This module implements both deployment modes over the same engine:
   (with an ``xml-stylesheet`` processing instruction) plus the
   stylesheet, and let the "browser" transform;
 * :class:`BrowserSimulator` — the client: reads the bundle, follows the
-  PI, runs the transformation locally.
+  PI, runs the transformation locally;
+* :class:`RepositoryClient` — a resilient HTTP client for the model-
+  repository server (DESIGN.md §12): retries connection failures and
+  503 overload sheds with jittered exponential backoff, honouring
+  ``Retry-After``.  Deterministic when given a seeded RNG, which is how
+  the chaos runner replays client behaviour from a seed.
 
 A test asserts the two modes produce identical HTML — the property that
 makes the §6 migration safe.
@@ -22,7 +27,10 @@ makes the §6 migration safe.
 
 from __future__ import annotations
 
+import http.client
+import time
 from dataclasses import dataclass
+from random import Random
 
 from ..mdm.model import GoldModel
 from ..mdm.xml_io import model_to_document
@@ -33,7 +41,8 @@ from ..xslt import Transformer, compile_stylesheet
 from .stylesheets import SINGLE_PAGE_XSL, stylesheet_resolver
 
 __all__ = ["ClientBundle", "server_side", "client_bundle",
-           "BrowserSimulator"]
+           "BrowserSimulator", "ClientResponse", "RepositoryClient",
+           "RetriesExhausted", "RetryPolicy"]
 
 
 @dataclass
@@ -95,6 +104,149 @@ class BrowserSimulator:
             resolver=lambda include: bundle.stylesheets[include])
         document = parse_xml(bundle.document_xml)
         return Transformer(sheet).transform(document).serialize()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for transient server failures.
+
+    Attempt *n* (0-based) sleeps ``base_delay_s * 2**n``, scaled by a
+    jitter factor drawn uniformly from [0.5, 1.0) so a herd of retrying
+    clients decorrelates instead of re-arriving in lockstep; a 503's
+    ``Retry-After`` raises the floor of the computed delay.
+    """
+
+    retries: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+
+    def delay_s(self, attempt: int, rng: Random,
+                retry_after_s: float | None = None) -> float:
+        delay = min(self.max_delay_s, self.base_delay_s * (2 ** attempt))
+        delay *= 0.5 + rng.random() / 2.0
+        if retry_after_s is not None:
+            delay = max(delay, min(retry_after_s, self.max_delay_s))
+        return delay
+
+
+@dataclass(frozen=True)
+class ClientResponse:
+    """One completed exchange: status, headers, body, retry count."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+    retries: int = 0
+
+    def header(self, name: str) -> str | None:
+        wanted = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == wanted:
+                return value
+        return None
+
+
+class RetriesExhausted(Exception):
+    """Every attempt failed at the transport level (no HTTP response)."""
+
+    def __init__(self, method: str, path: str, attempts: int,
+                 cause: Exception) -> None:
+        super().__init__(
+            f"{method} {path} failed after {attempts} attempt(s): {cause!r}")
+        self.attempts = attempts
+        self.cause = cause
+
+
+class RepositoryClient:
+    """An HTTP client for the repository server that degrades gracefully.
+
+    Connection errors and 503 responses (the cache's overload shed) are
+    retried per the :class:`RetryPolicy`; other statuses — including
+    500s — are returned to the caller untouched, because retrying a
+    deterministic failure only amplifies load.  One connection is kept
+    alive across requests and transparently re-established after a
+    server-side close (the hardened handler closes on transport
+    errors).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout_s: float = 10.0,
+                 policy: RetryPolicy | None = None,
+                 rng: Random | None = None, sleep=time.sleep) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.policy = policy or RetryPolicy()
+        self._rng = rng or Random()
+        self._sleep = sleep
+        self._connection: http.client.HTTPConnection | None = None
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "RepositoryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _exchange(self, method: str, path: str, body: bytes | None,
+                  headers: dict[str, str]) -> ClientResponse:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s)
+        connection = self._connection
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()  # keep-alive: always drain
+        except Exception:
+            # The connection state is unknown; rebuild it next attempt.
+            self.close()
+            raise
+        return ClientResponse(
+            status=response.status,
+            headers=dict(response.getheaders()), body=payload)
+
+    def request(self, method: str, path: str, *, body: bytes | None = None,
+                headers: dict[str, str] | None = None) -> ClientResponse:
+        """Perform one request, retrying sheds and transport failures.
+
+        Raises :class:`RetriesExhausted` only when every attempt died
+        without an HTTP response; socket timeouts are *not* retried —
+        a hung server is something callers (the chaos runner's hung-
+        connection invariant) must see.
+        """
+        attempts = self.policy.retries + 1
+        last_error: Exception | None = None
+        response: ClientResponse | None = None
+        for attempt in range(attempts):
+            retry_after: float | None = None
+            try:
+                response = self._exchange(method, path, body, headers or {})
+            except TimeoutError:
+                raise
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = exc
+                response = None
+            if response is not None:
+                if response.status != 503:
+                    return ClientResponse(
+                        response.status, response.headers, response.body,
+                        retries=attempt)
+                header = response.header("Retry-After")
+                try:
+                    retry_after = float(header) if header else None
+                except ValueError:
+                    retry_after = None
+            if attempt + 1 < attempts:
+                self._sleep(self.policy.delay_s(
+                    attempt, self._rng, retry_after))
+        if response is not None:  # a 503 that outlived the retry budget
+            return ClientResponse(response.status, response.headers,
+                                  response.body, retries=attempts - 1)
+        raise RetriesExhausted(method, path, attempts, last_error)
 
 
 def _pseudo_attribute(data: str, name: str) -> str:

@@ -21,6 +21,7 @@ import os
 import threading
 from dataclasses import dataclass, field
 
+from ..faults import FAULTS, fault_point
 from ..mdm.model import GoldModel
 from ..mdm.xml_io import model_to_document
 from ..obs.recorder import RECORDER as _REC
@@ -38,6 +39,10 @@ __all__ = ["Site", "publish_multi_page", "publish_single_page",
 
 #: Filename of the additive profile page emitted while profiling is on.
 PROFILE_PAGE = "profile.html"
+
+_PAGE_FAULT = fault_point(
+    "publish.page", "raise/delay while serializing one published page "
+                    "(publisher.py)")
 
 #: Stylesheet for the generated pages (the paper notes CSS "gives us more
 #: control over how pages are displayed").
@@ -191,9 +196,13 @@ def publish_multi_page(model: GoldModel, *,
             result = _transformer(stylesheet).transform(document)
         site = Site(messages=list(result.messages))
         with _REC.span("publish.page", page="index.html"):
+            if FAULTS.enabled:
+                FAULTS.hit(_PAGE_FAULT)
             site.pages["index.html"] = result.serialize()
         for href, secondary in result.documents.items():
             with _REC.span("publish.page", page=href):
+                if FAULTS.enabled:
+                    FAULTS.hit(_PAGE_FAULT)
                 site.pages[href] = serialize_result(secondary, result.output)
         site.pages["gold.css"] = DEFAULT_CSS
     if _REC.enabled:
@@ -210,6 +219,8 @@ def publish_single_page(model: GoldModel, *,
             result = _transformer(stylesheet).transform(document)
         site = Site(messages=list(result.messages))
         with _REC.span("publish.page", page="index.html"):
+            if FAULTS.enabled:
+                FAULTS.hit(_PAGE_FAULT)
             site.pages["index.html"] = result.serialize()
         site.pages["gold.css"] = DEFAULT_CSS
     if _REC.enabled:

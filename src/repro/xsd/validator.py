@@ -16,6 +16,8 @@ modelling mistake at once.
 
 from __future__ import annotations
 
+from ..faults import FAULTS as _FAULTS
+from ..faults import fault_point as _fault_point
 from ..obs.recorder import RECORDER as _REC
 from ..xml.dom import Attribute, Document, Element, Node
 from ..xpath import Context, XPathEvaluator
@@ -32,6 +34,10 @@ from .schema import Schema
 from .simpletypes import AnySimpleType
 
 __all__ = ["validate", "SchemaValidator"]
+
+_VALIDATE_FAULT = _fault_point(
+    "xsd.validate", "raise/delay at the start of a schema validation "
+                    "(validator.py)")
 
 
 def validate(document: Document | Element, schema: Schema) -> ValidationReport:
@@ -50,6 +56,8 @@ class SchemaValidator:
 
     def validate(self, document: Document | Element) -> ValidationReport:
         """Validate a document (or a detached element) and report issues."""
+        if _FAULTS.enabled:
+            _FAULTS.hit(_VALIDATE_FAULT)
         report = ValidationReport()
         root = document.root_element if isinstance(document, Document) \
             else document

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Mapping, Sequence
 
+from ..faults import FAULTS as _FAULTS
+from ..faults import fault_point as _fault_point
 from ..obs.recorder import RECORDER as _REC
 
 from ..xml.dom import (
@@ -75,6 +77,10 @@ from .patterns import compile_pattern
 from .stylesheet import OutputSettings, Stylesheet, TemplateRule
 
 __all__ = ["Transformer", "TransformResult", "transform"]
+
+_TRANSFORM_FAULT = _fault_point(
+    "xslt.transform", "raise/delay at the start of a transformation "
+                      "(engine.py)")
 
 
 @dataclass
@@ -225,6 +231,8 @@ class Transformer:
         text nodes are stripped from a *clone* of the source document
         (the caller's tree is never mutated).
         """
+        if _FAULTS.enabled:
+            _FAULTS.hit(_TRANSFORM_FAULT)
         if self.stylesheet.strip_space:
             from ..xml.dom import clone_node
 

@@ -1,0 +1,186 @@
+"""The fault-injection core: determinism, modes, activation, threading."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.faults import (
+    FAULTS,
+    FaultError,
+    FaultPlan,
+    FaultRegistry,
+    FaultSpec,
+    injected_faults,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Never leak an active plan into (or out of) a test."""
+    FAULTS.deactivate()
+    yield
+    FAULTS.deactivate()
+
+
+class TestFaultPlan:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(point="x", mode="explode")
+        with pytest.raises(ValueError):
+            FaultSpec(point="x", rate=1.5)
+
+    def test_from_text_full_grammar(self):
+        plan = FaultPlan.from_text(
+            "seed=7; cache.rebuild=raise:0.25; httpd.write=delay:0.5:0.002;"
+            "store.parse=corrupt")
+        assert plan.seed == 7
+        rebuild = plan.spec("cache.rebuild")
+        assert (rebuild.mode, rebuild.rate) == ("raise", 0.25)
+        write = plan.spec("httpd.write")
+        assert (write.mode, write.rate, write.delay_s) == ("delay", 0.5, 0.002)
+        assert plan.spec("store.parse").mode == "corrupt"
+
+    def test_from_text_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_text("not a spec")
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        plan = FaultPlan(seed=3).add("a.b", "delay", rate=0.5, delay_s=0.01)
+        json.dumps(plan.describe())  # must not raise
+        assert plan.describe()["specs"]["a.b"]["mode"] == "delay"
+
+
+class TestRegistry:
+    def test_disabled_by_default_and_hit_is_identity(self):
+        registry = FaultRegistry()
+        assert registry.enabled is False
+        assert registry.hit("anything", b"data") == b"data"
+
+    def test_raise_mode_fires(self):
+        FAULTS.activate(FaultPlan().add("point.a"))
+        with pytest.raises(FaultError) as excinfo:
+            FAULTS.hit("point.a")
+        assert excinfo.value.point == "point.a"
+        assert FAULTS.fired() == {"point.a": 1}
+
+    def test_unplanned_points_never_fire(self):
+        FAULTS.activate(FaultPlan().add("point.a"))
+        assert FAULTS.hit("point.b", b"ok") == b"ok"
+        assert FAULTS.fired() == {}
+
+    def test_rate_sequence_is_deterministic(self):
+        def firing_pattern(seed: int) -> list[bool]:
+            FAULTS.activate(FaultPlan(seed=seed).add("p", rate=0.5))
+            pattern = []
+            for _ in range(64):
+                try:
+                    FAULTS.hit("p")
+                    pattern.append(False)
+                except FaultError:
+                    pattern.append(True)
+            FAULTS.deactivate()
+            return pattern
+
+        first, second = firing_pattern(42), firing_pattern(42)
+        assert first == second
+        assert True in first and False in first
+        assert firing_pattern(43) != first
+
+    def test_times_budget_caps_fires(self):
+        FAULTS.activate(FaultPlan().add("p", times=2))
+        fires = 0
+        for _ in range(10):
+            try:
+                FAULTS.hit("p")
+            except FaultError:
+                fires += 1
+        assert fires == 2
+        assert FAULTS.fired() == {"p": 2}
+
+    def test_delay_mode_sleeps_requested_amount(self):
+        slept = []
+        FAULTS.activate(FaultPlan().add("p", "delay", delay_s=0.25))
+        original = FAULTS._sleep
+        FAULTS._sleep = slept.append
+        try:
+            assert FAULTS.hit("p", b"payload") == b"payload"
+        finally:
+            FAULTS._sleep = original
+        assert slept == [0.25]
+
+    def test_corrupt_mode_is_deterministic_and_length_preserving(self):
+        payload = b"abcdefghij"
+
+        def corrupted(seed: int) -> bytes:
+            FAULTS.activate(FaultPlan(seed=seed).add("p", "corrupt"))
+            result = FAULTS.hit("p", payload)
+            FAULTS.deactivate()
+            return result
+
+        first = corrupted(5)
+        assert first != payload and len(first) == len(payload)
+        assert first == corrupted(5)
+        # Corrupting an empty/None payload is a no-op, not a crash.
+        FAULTS.activate(FaultPlan().add("p", "corrupt"))
+        assert FAULTS.hit("p", b"") == b""
+        assert FAULTS.hit("p", None) is None
+
+    def test_injected_faults_context_restores_previous_state(self):
+        outer = FaultPlan().add("outer.point")
+        FAULTS.activate(outer)
+        with injected_faults(FaultPlan().add("inner.point")):
+            with pytest.raises(FaultError):
+                FAULTS.hit("inner.point")
+            assert FAULTS.hit("outer.point") is None  # replaced
+        with pytest.raises(FaultError):
+            FAULTS.hit("outer.point")  # restored
+        FAULTS.deactivate()
+        with injected_faults(FaultPlan().add("inner.point")):
+            assert FAULTS.enabled
+        assert not FAULTS.enabled
+
+    def test_point_inventory_registers_idempotently(self):
+        registry = FaultRegistry()
+        registry.register_point("a.b", "first description")
+        registry.register_point("a.b", "second description")
+        assert registry.points() == {"a.b": "first description"}
+
+    def test_thread_safety_smoke(self):
+        """Concurrent hits never tear counters or deadlock."""
+        FAULTS.activate(FaultPlan().add("p", rate=0.5))
+        fires = []
+
+        def worker():
+            local = 0
+            for _ in range(200):
+                try:
+                    FAULTS.hit("p")
+                except FaultError:
+                    local += 1
+            fires.append(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(fires) == FAULTS.fired()["p"]
+
+
+class TestServerInventory:
+    def test_server_points_are_declared_on_import(self):
+        """The injection-point inventory documents the wired stack."""
+        import repro.server  # noqa: F401  (wires store/cache/httpd/app)
+        import repro.web.publisher  # noqa: F401
+        import repro.xsd.validator  # noqa: F401
+        import repro.xslt.engine  # noqa: F401
+
+        points = FAULTS.points()
+        for expected in ("store.parse", "store.put", "cache.rebuild",
+                         "httpd.read", "httpd.write", "publish.page",
+                         "xsd.validate", "xslt.transform"):
+            assert expected in points, expected

@@ -1,0 +1,114 @@
+"""Property: ETags are content-derived, nothing else (ISSUE 5).
+
+Conditional GET (DESIGN.md §11) is only sound if an ETag is a pure
+function of the served bytes: equal bytes must yield equal ETags across
+rebuilds, restarts, and independent server instances (or a client's
+cached 304 would go stale silently), and different bytes must yield
+different ETags (or a client would keep a wrong page).  Hypothesis
+drives the check with the testkit's random model generator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from hypothesis import given, settings
+
+from repro.mdm import model_to_xml
+from repro.server import ModelRepositoryApp
+from repro.testkit.strategies import gold_models
+
+_MODELS = gold_models(max_facts=2, max_dimensions=2, max_levels=2)
+
+
+def _xml(model) -> bytes:
+    return model_to_xml(model).encode("utf-8")
+
+
+def _loaded_app(xml_bytes: bytes) -> ModelRepositoryApp:
+    app = ModelRepositoryApp()
+    response = app.handle("PUT", "/models/m", {}, xml_bytes)
+    assert response.status == 201
+    return app
+
+
+def _site_paths(app: ModelRepositoryApp) -> list[str]:
+    """Every page of the (multi-page) published site, plus the raw XML."""
+    assert app.handle("GET", "/site/m/index.html").status == 200
+    entry = app.cache.peek("m", "multi")
+    return ["/models/m"] + sorted(
+        f"/site/m/{page}" for page in entry.etags)
+
+
+def _etag(app: ModelRepositoryApp, path: str) -> str:
+    response = app.handle("GET", path)
+    assert response.status == 200, (path, response.status)
+    etag = response.header("ETag")
+    assert etag is not None
+    return etag
+
+
+@settings(max_examples=8, deadline=None)
+@given(_MODELS)
+def test_equal_bytes_equal_etags_across_instances(model):
+    """Two independent 'server processes' holding the same bytes agree
+    on every ETag — the restart-safety half of the property."""
+    xml_bytes = _xml(model)
+    first, second = _loaded_app(xml_bytes), _loaded_app(xml_bytes)
+    for path in _site_paths(first):
+        assert _etag(first, path) == _etag(second, path)
+
+
+@settings(max_examples=8, deadline=None)
+@given(_MODELS)
+def test_equal_bytes_equal_etags_across_rebuilds(model):
+    """DELETE + re-PUT of identical bytes rebuilds the site from
+    scratch yet reproduces every ETag (revision counters, build order,
+    and cache state must not leak in)."""
+    xml_bytes = _xml(model)
+    app = _loaded_app(xml_bytes)
+    paths = _site_paths(app)
+    before = {path: _etag(app, path) for path in paths}
+    assert app.handle("DELETE", "/models/m").status == 200
+    assert app.handle("PUT", "/models/m", {}, xml_bytes).status == 201
+    for path in paths:
+        assert _etag(app, path) == before[path]
+
+
+@settings(max_examples=8, deadline=None)
+@given(_MODELS, _MODELS)
+def test_different_bytes_different_model_etag(model_a, model_b):
+    bytes_a, bytes_b = _xml(model_a), _xml(model_b)
+    etag_a = _etag(_loaded_app(bytes_a), "/models/m")
+    etag_b = _etag(_loaded_app(bytes_b), "/models/m")
+    assert (etag_a == etag_b) == (bytes_a == bytes_b)
+
+
+@settings(max_examples=8, deadline=None)
+@given(_MODELS)
+def test_page_etag_is_quoted_sha256_of_the_body(model):
+    """The strong ETag is exactly the SHA-256 of the served bytes —
+    the concrete content function conditional GET relies on."""
+    app = _loaded_app(_xml(model))
+    for path in _site_paths(app):
+        response = app.handle("GET", path)
+        assert response.status == 200
+        digest = hashlib.sha256(response.body).hexdigest()
+        assert response.header("ETag") == f'"{digest}"'
+
+
+@settings(max_examples=8, deadline=None)
+@given(_MODELS)
+def test_if_none_match_round_trip(model):
+    """A client replaying the ETag it was handed always gets a 304 —
+    and still does after a full rebuild of identical bytes."""
+    xml_bytes = _xml(model)
+    app = _loaded_app(xml_bytes)
+    etag = _etag(app, "/site/m/index.html")
+    conditional = {"If-None-Match": etag}
+    assert app.handle(
+        "GET", "/site/m/index.html", conditional).status == 304
+    app.handle("DELETE", "/models/m")
+    app.handle("PUT", "/models/m", {}, xml_bytes)
+    assert app.handle(
+        "GET", "/site/m/index.html", conditional).status == 304
