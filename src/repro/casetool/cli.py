@@ -94,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
     publish.add_argument("directory", help="output directory")
     publish.add_argument("--single", action="store_true",
                          help="single page with internal links (XSLT 1.0)")
+    publish.add_argument("--no-compile", action="store_true",
+                         help="force the interpreting XSLT engine instead "
+                              "of the compiled closures (DESIGN.md §13); "
+                              "GOLDCASE_NO_COMPILE=1 does the same")
 
     present = sub.add_parser(
         "present", help="one per-fact-class presentation (Fig. 5)")
@@ -145,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="activate a fault plan, e.g. "
                             "'seed=7;cache.rebuild=raise:0.01' "
                             "(same grammar as GOLDCASE_FAULTS)")
+    serve.add_argument("--no-compile", action="store_true",
+                       help="force the interpreting XSLT engine instead "
+                            "of the compiled closures (DESIGN.md §13); "
+                            "GOLDCASE_NO_COMPILE=1 does the same")
 
     fo = sub.add_parser(
         "fo", help="XSL-FO export with paginated rendering (paper §6)")
@@ -255,6 +263,10 @@ def _run(args: argparse.Namespace) -> int:
     if args.command == "publish":
         from ..web import check_site, publish_multi_page, publish_single_page
 
+        if args.no_compile:
+            from ..xslt import set_compile_enabled
+
+            set_compile_enabled(False)
         model = _load_model(args.model)
         site = publish_single_page(model) if args.single \
             else publish_multi_page(model)
@@ -336,6 +348,10 @@ def _run(args: argparse.Namespace) -> int:
             FAULTS.activate(plan)
             print(f"fault plan active: {json.dumps(plan.describe())}",
                   file=sys.stderr)
+        if args.no_compile:
+            from ..xslt import set_compile_enabled
+
+            set_compile_enabled(False)
         app = ModelRepositoryApp()
         if args.demo:
             for factory in (sales_model, two_facts_model):

@@ -34,6 +34,8 @@ __all__ = [
     "xpath_differential",
     "dispatch_differential",
     "sort_differential",
+    "compiled_differential",
+    "GENERIC_DIFFERENTIAL_XSL",
 ]
 
 #: Prefixes probed on every element during namespace differentials (the
@@ -220,4 +222,127 @@ def sort_differential(root: Node, shuffles: int,
                 "optimized": [describe_node(n) for n in optimized],
                 "reference": [describe_node(n) for n in reference],
             })
+    return failures
+
+
+#: Stylesheets exercised by :func:`compiled_differential` on *generic*
+#: documents (the mutation pool), where the shipped GOLD sheets would
+#: match nothing: an elementwise identity, an HTML tree walk, and a
+#: text extraction — one per output method the streaming serializer
+#: implements.
+_XSLNS = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+GENERIC_DIFFERENTIAL_XSL = {
+    "identity-xml": f"""<xsl:stylesheet version="1.0" {_XSLNS}>
+      <xsl:output method="xml" omit-xml-declaration="yes"/>
+      <xsl:template match="@* | node()">
+        <xsl:copy><xsl:apply-templates select="@* | node()"/></xsl:copy>
+      </xsl:template>
+    </xsl:stylesheet>""",
+    "walk-html": f"""<xsl:stylesheet version="1.0" {_XSLNS}>
+      <xsl:output method="html"/>
+      <xsl:template match="/">
+        <ul><xsl:apply-templates select="*"/></ul>
+      </xsl:template>
+      <xsl:template match="*">
+        <li><b><xsl:value-of select="name()"/></b>
+          <xsl:for-each select="@*"> <i>{{name()}}={{.}}</i></xsl:for-each>
+          <xsl:if test="*"><ul><xsl:apply-templates select="*"/></ul></xsl:if>
+        </li>
+      </xsl:template>
+    </xsl:stylesheet>""",
+    "values-text": f"""<xsl:stylesheet version="1.0" {_XSLNS}>
+      <xsl:output method="text"/>
+      <xsl:template match="/"><xsl:for-each select="//*">
+        <xsl:value-of select="name()"/>=<xsl:value-of select="."/>
+      </xsl:for-each></xsl:template>
+    </xsl:stylesheet>""",
+}
+
+
+def _first_divergence(compiled: str, interpreted: str) -> int:
+    for index, (left, right) in enumerate(zip(compiled, interpreted)):
+        if left != right:
+            return index
+    return min(len(compiled), len(interpreted))
+
+
+def _shipped_stylesheets(document: Document) -> list[tuple]:
+    """(name, text, resolver, params) for every shipped stylesheet."""
+    from ..web.stylesheets import (
+        MULTI_PAGE_XSL,
+        PRESENTATION_XSL,
+        SINGLE_PAGE_XSL,
+        stylesheet_resolver,
+    )
+    from ..web.xslfo import MODEL_FO_XSL
+
+    entries = [
+        ("multi", MULTI_PAGE_XSL, stylesheet_resolver, None),
+        ("single", SINGLE_PAGE_XSL, stylesheet_resolver, None),
+        ("fo", MODEL_FO_XSL, stylesheet_resolver, None),
+    ]
+    fact = next((element for element in document.iter_elements()
+                 if element.name == "factclass"), None)
+    if fact is not None and fact.get_attribute("id"):
+        entries.append(("presentation", PRESENTATION_XSL,
+                        stylesheet_resolver,
+                        {"factclass": fact.get_attribute("id")}))
+    return entries
+
+
+def compiled_differential(document: Document, *,
+                          stylesheets: dict | None = None) -> list[dict]:
+    """Compiled streaming renderer vs the DOM interpreter, byte-for-byte.
+
+    With *stylesheets* omitted, *document* is taken to be a GOLD model
+    document and every shipped stylesheet runs over it (the
+    presentation sheet with the first fact class as its parameter);
+    pass :data:`GENERIC_DIFFERENTIAL_XSL` for arbitrary documents.
+    The compiled path must also actually engage — a silent interpreter
+    fallback on a shipped sheet is itself a failure, because it would
+    hollow out every other record this function could produce.
+    """
+    from ..xslt import CompiledTransformer, compile_stylesheet
+
+    if stylesheets is None:
+        entries = _shipped_stylesheets(document)
+    else:
+        entries = [(name, text, None, None)
+                   for name, text in stylesheets.items()]
+    failures = []
+    for name, text, resolver, params in entries:
+        transformer = CompiledTransformer(
+            compile_stylesheet(text, resolver=resolver))
+        rendered = transformer.render(document, params)
+        reference = transformer.transform(document, params).serialize_all()
+        if not rendered.used_compiled:
+            failures.append({
+                "check": "compiled-fallback", "stylesheet": name,
+                "error": transformer._compile_error,
+            })
+            continue
+        for href in sorted(set(rendered.pages) | set(reference)):
+            compiled_page = rendered.pages.get(href)
+            interpreted_page = reference.get(href)
+            if compiled_page == interpreted_page:
+                continue
+            record = {
+                "check": "compiled-transform", "stylesheet": name,
+                "page": href or "<principal>",
+            }
+            if compiled_page is None or interpreted_page is None:
+                record["missing_in"] = "compiled" \
+                    if compiled_page is None else "interpreted"
+            else:
+                offset = _first_divergence(compiled_page, interpreted_page)
+                record.update({
+                    "offset": offset,
+                    "compiled": compiled_page[offset:offset + 120],
+                    "interpreted": interpreted_page[offset:offset + 120],
+                })
+            failures.append(record)
+        if list(rendered.messages) != list(
+                transformer.transform(document, params).messages):
+            failures.append({"check": "compiled-messages",
+                             "stylesheet": name})
     return failures

@@ -6,12 +6,14 @@ Usage::
 
 Runs seed-derived iterations until the time budget is exhausted (or for
 an exact ``--iterations`` count).  Each iteration is fully determined by
-``(seed, index)`` and exercises all four workload families:
+``(seed, index)`` and exercises all five workload families:
 
 * a random GOLD model through the full pipeline harness,
 * a DOM mutation script checked differentially after every operation,
 * a batch of random XPath expressions against both evaluators,
-* indexed vs linear template dispatch over the model document.
+* indexed vs linear template dispatch over the model document,
+* the compiled streaming renderer vs the interpreter, byte-for-byte,
+  over both the model document and a mutated generic document.
 
 Failures are printed and written as JSON reproducers (seed, iteration,
 and the failing records) to ``--failures-dir`` so a red CI run can be
@@ -30,6 +32,8 @@ import time
 from ..mdm.xml_io import model_to_document
 from ..obs import RECORDER, build_trace, write_trace
 from .differential import (
+    GENERIC_DIFFERENTIAL_XSL,
+    compiled_differential,
     dispatch_differential,
     run_mutation_differential,
     sort_differential,
@@ -88,8 +92,17 @@ def run_iteration(seed: int, index: int) -> list[dict]:
     with RECORDER.span("testkit.sort"):
         failures.extend(sort_differential(target, SORT_SHUFFLES, rng))
 
+    model_document = model_to_document(model)
     with RECORDER.span("testkit.dispatch"):
-        failures.extend(dispatch_differential(model_to_document(model)))
+        failures.extend(dispatch_differential(model_document))
+
+    # Compiled streaming renderer vs the interpreter: every shipped
+    # stylesheet over the model document, plus the generic sheets over a
+    # document the mutation script just finished mangling.
+    with RECORDER.span("testkit.compiled"):
+        failures.extend(compiled_differential(model_document))
+        failures.extend(compiled_differential(
+            documents[0], stylesheets=GENERIC_DIFFERENTIAL_XSL))
 
     for record in failures:
         record.setdefault("seed", seed)

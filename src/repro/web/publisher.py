@@ -25,7 +25,13 @@ from ..faults import FAULTS, fault_point
 from ..mdm.model import GoldModel
 from ..mdm.xml_io import model_to_document
 from ..obs.recorder import RECORDER as _REC
-from ..xslt import Stylesheet, Transformer, compile_stylesheet
+from ..xslt import (
+    CompiledTransformer,
+    Stylesheet,
+    Transformer,
+    compile_enabled,
+    compile_stylesheet,
+)
 from ..xslt.output import serialize_result
 from .stylesheets import (
     MULTI_PAGE_XSL,
@@ -150,6 +156,12 @@ _compiled_cache = _StatsCache(
 _transformer_cache = _StatsCache(
     lambda text: Transformer(_compiled(text)))
 
+#: Compiled transformers carry the ahead-of-time lowered closures (see
+#: repro.xslt.compile); cached separately so toggling ``--no-compile``
+#: back and forth never evicts either engine.
+_compiled_transformer_cache = _StatsCache(
+    lambda text: CompiledTransformer(_compiled(text)))
+
 
 def _compiled(text: str) -> Stylesheet:
     return _compiled_cache.get(text)
@@ -160,11 +172,18 @@ def _transformer(text: str) -> Transformer:
     return _transformer_cache.get(text)
 
 
+def _compiled_transformer(text: str) -> CompiledTransformer:
+    """A cached CompiledTransformer per stylesheet text."""
+    return _compiled_transformer_cache.get(text)
+
+
 def publisher_cache_info() -> dict[str, dict]:
     """Hit/miss/size statistics for the publisher's stylesheet caches."""
     return {
         "publisher.stylesheet": _compiled_cache.cache_info(),
         "publisher.transformer": _transformer_cache.cache_info(),
+        "publisher.compiled_transformer":
+            _compiled_transformer_cache.cache_info(),
     }
 
 
@@ -172,6 +191,7 @@ def clear_publisher_caches() -> None:
     """Drop compiled stylesheets and transformers (benchmark cold-start)."""
     _compiled_cache.clear()
     _transformer_cache.clear()
+    _compiled_transformer_cache.clear()
 
 
 def _attach_profile(site: Site) -> None:
@@ -192,19 +212,37 @@ def publish_multi_page(model: GoldModel, *,
     """Generate the linked multi-page site (Fig. 6) for *model*."""
     with _REC.span("publish.multi_page", model=model.name):
         document = model_to_document(model)
-        with _REC.span("publish.transform"):
-            result = _transformer(stylesheet).transform(document)
-        site = Site(messages=list(result.messages))
-        with _REC.span("publish.page", page="index.html"):
-            if FAULTS.enabled:
-                FAULTS.hit(_PAGE_FAULT)
-            site.pages["index.html"] = result.serialize()
-        for href, secondary in result.documents.items():
-            with _REC.span("publish.page", page=href):
+        if compile_enabled():
+            with _REC.span("publish.transform"):
+                rendered = _compiled_transformer(stylesheet).render(document)
+            site = Site(messages=list(rendered.messages))
+            with _REC.span("publish.page", page="index.html"):
                 if FAULTS.enabled:
                     FAULTS.hit(_PAGE_FAULT)
-                site.pages[href] = serialize_result(secondary, result.output)
-        site.pages["gold.css"] = DEFAULT_CSS
+                site.pages["index.html"] = rendered.pages[""]
+            for href, page in rendered.pages.items():
+                if href == "":
+                    continue
+                with _REC.span("publish.page", page=href):
+                    if FAULTS.enabled:
+                        FAULTS.hit(_PAGE_FAULT)
+                    site.pages[href] = page
+            site.pages["gold.css"] = DEFAULT_CSS
+        else:
+            with _REC.span("publish.transform"):
+                result = _transformer(stylesheet).transform(document)
+            site = Site(messages=list(result.messages))
+            with _REC.span("publish.page", page="index.html"):
+                if FAULTS.enabled:
+                    FAULTS.hit(_PAGE_FAULT)
+                site.pages["index.html"] = result.serialize()
+            for href, secondary in result.documents.items():
+                with _REC.span("publish.page", page=href):
+                    if FAULTS.enabled:
+                        FAULTS.hit(_PAGE_FAULT)
+                    site.pages[href] = serialize_result(
+                        secondary, result.output)
+            site.pages["gold.css"] = DEFAULT_CSS
     if _REC.enabled:
         _attach_profile(site)
     return site
@@ -215,13 +253,22 @@ def publish_single_page(model: GoldModel, *,
     """Generate the one-page site with internal anchors for *model*."""
     with _REC.span("publish.single_page", model=model.name):
         document = model_to_document(model)
-        with _REC.span("publish.transform"):
-            result = _transformer(stylesheet).transform(document)
-        site = Site(messages=list(result.messages))
-        with _REC.span("publish.page", page="index.html"):
-            if FAULTS.enabled:
-                FAULTS.hit(_PAGE_FAULT)
-            site.pages["index.html"] = result.serialize()
+        if compile_enabled():
+            with _REC.span("publish.transform"):
+                rendered = _compiled_transformer(stylesheet).render(document)
+            site = Site(messages=list(rendered.messages))
+            with _REC.span("publish.page", page="index.html"):
+                if FAULTS.enabled:
+                    FAULTS.hit(_PAGE_FAULT)
+                site.pages["index.html"] = rendered.pages[""]
+        else:
+            with _REC.span("publish.transform"):
+                result = _transformer(stylesheet).transform(document)
+            site = Site(messages=list(result.messages))
+            with _REC.span("publish.page", page="index.html"):
+                if FAULTS.enabled:
+                    FAULTS.hit(_PAGE_FAULT)
+                site.pages["index.html"] = result.serialize()
         site.pages["gold.css"] = DEFAULT_CSS
     if _REC.enabled:
         _attach_profile(site)

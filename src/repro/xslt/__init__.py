@@ -25,7 +25,19 @@ from .stylesheet import (
     compile_stylesheet,
 )
 
+# Imported last: the compile package builds on engine/output/stylesheet.
+from .compile import (  # noqa: E402
+    CompiledResult,
+    CompiledTransformer,
+    compile_enabled,
+    set_compile_enabled,
+)
+
 __all__ = [
+    "CompiledResult",
+    "CompiledTransformer",
+    "compile_enabled",
+    "set_compile_enabled",
     "Transformer",
     "TransformResult",
     "transform",

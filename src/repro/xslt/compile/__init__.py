@@ -1,0 +1,45 @@
+"""XSLT-to-Python compilation (DESIGN.md §13).
+
+:class:`CompiledTransformer` lowers a parsed stylesheet into specialized
+Python closures that stream serialized bytes directly, with the
+interpreter retained as the oracle and as a fallback at stylesheet,
+expression, and fragment granularity.
+
+The compiled path is on by default; ``GOLDCASE_NO_COMPILE=1`` (or a
+``set_compile_enabled(False)`` override, used by the ``--no-compile``
+CLI flag) forces the interpreter everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .runtime import CompiledResult, CompiledTransformer
+
+__all__ = [
+    "CompiledTransformer",
+    "CompiledResult",
+    "compile_enabled",
+    "set_compile_enabled",
+]
+
+_override: bool | None = None
+
+
+def compile_enabled() -> bool:
+    """Whether publish/serve should use the compiled XSLT path.
+
+    Checked at call time: a ``set_compile_enabled`` override wins,
+    otherwise any non-empty ``GOLDCASE_NO_COMPILE`` value other than
+    ``"0"`` disables compilation.
+    """
+    if _override is not None:
+        return _override
+    return os.environ.get("GOLDCASE_NO_COMPILE", "") in ("", "0")
+
+
+def set_compile_enabled(value: bool | None) -> None:
+    """Force the compiled path on/off for this process (``None`` resets
+    to the environment-driven default)."""
+    global _override
+    _override = value

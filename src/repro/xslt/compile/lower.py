@@ -1,0 +1,789 @@
+"""Lowering of XSLT instruction trees to specialized Python closures.
+
+``_Compiler`` turns each template body into a flat list of operation
+closures ``op(run, context, frame)`` executed by the compiled runtime:
+
+* fully static literal result elements are pre-serialized at compile
+  time into constant markup chunks (per output method, through the
+  *reference* DOM serializer, so fold-internal bytes are identical by
+  construction);
+* static text is pre-escaped once (with the raw form kept alongside so
+  the HTML method can still emit it unescaped inside ``script``/``style``);
+* attribute value templates are pre-split into static/dynamic segments;
+* selects go through :mod:`.selects` — lowered to direct DOM loops when
+  simple, wrapped in an evaluator fallback closure otherwise.
+
+Result-tree-fragment construction (``xsl:variable`` bodies, attribute/
+comment/PI content, ``xsl:with-param`` bodies, ``xsl:message``) is NOT
+lowered: those run through the inherited interpreter machinery into DOM
+wrappers (fragment-level fallback — see DESIGN.md §13), which keeps RTF
+semantics exactly the interpreter's.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from time import perf_counter
+
+from ...obs.recorder import RECORDER as _REC
+from ...xml.dom import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+from ...xml.escaping import escape_attribute, escape_text
+from ...xml.serializer import (
+    _HTML_BOOLEAN_ATTRS,
+    _HTML_RAW_TEXT,
+    _html_tag,
+    _write_html,
+    _write_node,
+    HTML_VOID_ELEMENTS,
+)
+from ...xpath.datamodel import document_order, to_boolean, to_number, \
+    to_string
+from ..engine import _format_xsl_number, _Frame, _FrameMapping
+from ..errors import XSLTRuntimeError, XSLTStaticError
+from ..instructions import (
+    ApplyTemplates,
+    AttributeInstr,
+    CallTemplate,
+    Choose,
+    CommentInstr,
+    CopyInstr,
+    CopyOf,
+    DocumentInstr,
+    ElementInstr,
+    ForEach,
+    IfInstr,
+    LiteralElement,
+    LiteralText,
+    Message,
+    NumberInstr,
+    PIInstr,
+    TextInstr,
+    ValueOf,
+    VariableInstr,
+    WithParam,
+)
+from ..output import _OpenElement, _text_value, make_emitter
+from .selects import lower_or_fallback, lower_string_value
+
+__all__ = ["_Compiler"]
+
+
+class _Compiler:
+    """Lowers one stylesheet's templates; owned by a CompiledTransformer."""
+
+    def __init__(self, transformer) -> None:
+        self.transformer = transformer
+        self.stylesheet = transformer.stylesheet
+        self.method = self.stylesheet.output.method
+        #: id(TemplateRule) -> _CompiledRule, memoized so recursive and
+        #: mutually-recursive named templates compile once.
+        self._rules: dict[int, object] = {}
+        #: Compile-time statistics (exported as obs counters).
+        self.selects_lowered = 0
+        self.selects_fallback = 0
+        self.static_folds = 0
+
+    # -- rules -----------------------------------------------------------------
+
+    def compile_rule(self, rule):
+        crule = self._rules.get(id(rule))
+        if crule is not None:
+            return crule
+        from .runtime import _CompiledRule, derive_matcher
+
+        crule = _CompiledRule(rule)
+        self._rules[id(rule)] = crule
+        started = perf_counter()
+        crule.param_specs = tuple(
+            (param.name,
+             self._select_fn(param.select)
+             if param.select is not None else None,
+             param.body)
+            for param in rule.params)
+        crule.body_fn = self.compile_body(rule.body)
+        if rule.pattern is not None:
+            crule.matcher, crule.needs_context = derive_matcher(rule.pattern)
+        if _REC.enabled:
+            what = rule.pattern.text if rule.pattern is not None \
+                else f"name={rule.name}"
+            _REC.observe(f"xslt.compile.template:match={what}",
+                         perf_counter() - started)
+        return crule
+
+    # -- bodies ----------------------------------------------------------------
+
+    def compile_body(self, body):
+        """Lower *body* into ``body_fn(run, context, frame)``.
+
+        Mirrors ``_Run.execute_body``: a scope frame is only allocated
+        when the body declares variables, and the context is rebound to
+        the innermost frame once per body, not per instruction.
+        """
+        has_vars = any(type(i) is VariableInstr for i in body)
+        ops = [self.compile_instruction(i) for i in body]
+
+        if not has_vars:
+            if len(ops) == 1:
+                single = ops[0]
+
+                def body_one(run, context, frame):
+                    variables = context.variables
+                    if type(variables) is not _FrameMapping or \
+                            variables._frame is not frame:
+                        context = run._refresh(context, frame)
+                    single(run, context, frame)
+
+                return body_one
+
+            def body_plain(run, context, frame):
+                variables = context.variables
+                if type(variables) is not _FrameMapping or \
+                        variables._frame is not frame:
+                    context = run._refresh(context, frame)
+                for op in ops:
+                    op(run, context, frame)
+
+            return body_plain
+
+        def body_scoped(run, context, frame):
+            scope = _Frame(frame)
+            context = run._refresh(context, scope)
+            for op in ops:
+                op(run, context, scope)
+
+        return body_scoped
+
+    # -- selects and AVTs ------------------------------------------------------
+
+    def _select_fn(self, expr):
+        fn, lowered = lower_or_fallback(expr)
+        if lowered:
+            self.selects_lowered += 1
+        else:
+            self.selects_fallback += 1
+        return fn
+
+    def _avt_fn(self, avt):
+        """``fn(run, context) -> str`` mirroring ``AVT.evaluate``; the
+        static/dynamic split is resolved at compile time."""
+        if avt._literal is not None:
+            literal = avt._literal
+
+            def constant(run, context):
+                return literal
+
+            return constant
+        part_fns = []
+        for part in avt._parts:
+            if isinstance(part, str):
+                part_fns.append(part)
+                continue
+            string_fn = lower_string_value(part)
+            if string_fn is not None:
+                self.selects_lowered += 1
+                part_fns.append((string_fn,))
+            else:
+                part_fns.append(self._select_fn(part))
+        if len(part_fns) == 1 and type(part_fns[0]) is tuple:
+            only = part_fns[0][0]
+
+            def single(run, context):
+                return only(run, context)
+
+            return single
+
+        def evaluate(run, context):
+            out = []
+            for part in part_fns:
+                kind = type(part)
+                if kind is str:
+                    out.append(part)
+                elif kind is tuple:
+                    out.append(part[0](run, context))
+                else:
+                    out.append(to_string(part(run, context)))
+            return "".join(out)
+
+        return evaluate
+
+    def _params_fn(self, params: tuple[WithParam, ...]):
+        """Mirror of ``_Run._evaluate_with_params`` with lowered selects;
+        fragment-valued params fall back to the interpreter."""
+        specs = tuple(
+            (param.name,
+             self._select_fn(param.select)
+             if param.select is not None else None,
+             param.body)
+            for param in params)
+
+        def evaluate(run, context, frame):
+            values = {}
+            for name, sel_fn, body in specs:
+                if sel_fn is not None:
+                    values[name] = sel_fn(run, context)
+                else:
+                    values[name] = run._build_fragment(body, context, frame)
+            return values
+
+        return evaluate
+
+    # -- static folding --------------------------------------------------------
+
+    def _static_element(self, instr: LiteralElement):
+        """Build the DOM subtree of a fully static literal element, or
+        ``None`` when any part is dynamic."""
+        for _, avt in instr.attributes:
+            if not avt.is_literal:
+                return None
+        children = []
+        for child in instr.body:
+            kind = type(child)
+            if kind is LiteralText:
+                children.append((child.text, False))
+            elif kind is TextInstr:
+                children.append((child.text, child.disable_output_escaping))
+            elif kind is LiteralElement:
+                sub = self._static_element(child)
+                if sub is None:
+                    return None
+                children.append(sub)
+            else:
+                return None
+        element = Element(instr.name)
+        for prefix, uri in instr.namespaces:
+            element.declare_namespace(prefix, uri)
+        for name, avt in instr.attributes:
+            element.set_attribute(name, avt._literal)
+        for child in children:
+            if isinstance(child, Element):
+                element.append_child(child)
+            else:
+                _append_text(element, child[0], child[1])
+        return element
+
+    def _render_chunk(self, element: Element) -> str:
+        """Serialize a static subtree exactly as ``serialize_result``
+        would — through the reference DOM writers."""
+        if self.method == "text":
+            return _text_value(element)
+        out = StringIO()
+        if self.method == "html":
+            _write_html(element, out)
+        else:
+            _write_node(element, out)
+        return out.getvalue()
+
+    # -- instructions ----------------------------------------------------------
+
+    def compile_instruction(self, instr):
+        kind = type(instr)
+        handler = self._HANDLERS.get(kind)
+        if handler is None:
+            raise XSLTStaticError(
+                f"no compiler for {kind.__name__}")  # pragma: no cover
+        return handler(self, instr)
+
+    def _lower_literal_text(self, instr: LiteralText):
+        return _static_text_op(instr.text, raw=False)
+
+    def _lower_text(self, instr: TextInstr):
+        return _static_text_op(instr.text,
+                               raw=instr.disable_output_escaping)
+
+    def _lower_value_of(self, instr: ValueOf):
+        string_fn = lower_string_value(instr.select)
+        if string_fn is not None:
+            self.selects_lowered += 1
+            if instr.disable_output_escaping:
+                def value_of_fused_raw(run, context, frame):
+                    run._emitters[-1].raw(string_fn(run, context))
+                return value_of_fused_raw
+
+            def value_of_fused(run, context, frame):
+                run._emitters[-1].text(string_fn(run, context))
+
+            return value_of_fused
+        sel_fn = self._select_fn(instr.select)
+        if instr.disable_output_escaping:
+            def value_of_raw(run, context, frame):
+                run._emitters[-1].raw(to_string(sel_fn(run, context)))
+            return value_of_raw
+
+        def value_of(run, context, frame):
+            run._emitters[-1].text(to_string(sel_fn(run, context)))
+
+        return value_of
+
+    def _lower_literal_element(self, instr: LiteralElement):
+        static = self._static_element(instr)
+        if static is not None:
+            chunk = self._render_chunk(static)
+            name = instr.name
+            self.static_folds += 1
+
+            def fold(run, context, frame):
+                run._emitters[-1].markup(chunk, root_name=name)
+
+            return fold
+
+        name = instr.name
+        ns = instr.namespaces or None
+        body_fn = self.compile_body(instr.body)
+        all_literal = all(avt.is_literal for _, avt in instr.attributes)
+        if all_literal:
+            static_attrs = tuple(
+                (aname, avt._literal) for aname, avt in instr.attributes)
+            pre = self._prerender_attrs(static_attrs, instr.namespaces)
+            eager = self._eager_op(instr, pre, body_fn)
+            if eager is not None:
+                return eager
+
+            def literal_start(run, context, frame):
+                emitter = run._emitters[-1]
+                emitter.start(name, attrs=static_attrs, pre=pre,
+                              ns=ns)
+                body_fn(run, context, frame)
+                emitter.end()
+
+            return literal_start
+
+        attr_items = tuple(
+            (aname, avt._literal, None) if avt.is_literal
+            else (aname, None, self._avt_fn(avt))
+            for aname, avt in instr.attributes)
+
+        def dynamic_start(run, context, frame):
+            values = [
+                (aname, literal if literal is not None
+                 else fn(run, context))
+                for aname, literal, fn in attr_items]
+            emitter = run._emitters[-1]
+            emitter.start(name, attrs=values, ns=ns)
+            body_fn(run, context, frame)
+            emitter.end()
+
+        return dynamic_start
+
+    def _eager_op(self, instr: LiteralElement, pre: str | None, body_fn):
+        """Emit a literal element's full start/end tags as compile-time
+        constants when its body provably never adds attributes to it.
+
+        The pending-start-tag machinery exists so ``xsl:attribute`` and
+        attribute-copying instructions can still amend the tag; when
+        static analysis shows none can target this element, the start
+        tag is a constant and the stack frame a shared placeholder
+        (never mutated beyond idempotent ``has_et = True`` writes).
+        """
+        if pre is None or instr.namespaces:
+            return None
+        if not _attribute_safe_body(instr.body):
+            return None
+        name = instr.name
+        if self.method == "html":
+            tag = _html_tag(name)
+            if tag in HTML_VOID_ELEMENTS:
+                return None
+            shared = _OpenElement(name, tag, None, None, None)
+            shared.raw = tag in _HTML_RAW_TEXT
+        elif self.method == "xml":
+            # A childless XML element serializes as <name/>; eager tags
+            # need the body to provably produce at least one child.
+            if not _produces_content(instr.body):
+                return None
+            tag = name
+            shared = _OpenElement(name, tag, None, None, None)
+        else:
+            return None
+        shared.pending = False
+        shared.has_et = True
+        start_chunk = f"<{tag}{pre}>"
+        end_chunk = f"</{tag}>"
+
+        def eager(run, context, frame):
+            emitter = run._emitters[-1]
+            emitter.start_eager(start_chunk, shared, name)
+            body_fn(run, context, frame)
+            emitter.end_eager(end_chunk)
+
+        return eager
+
+    def _prerender_attrs(self, attrs, namespaces) -> str | None:
+        """Pre-render a start tag's attribute string when possible."""
+        if self.method == "html":
+            parts = []
+            for name, value in attrs:
+                low = name.lower()
+                if low in _HTML_BOOLEAN_ATTRS and value.lower() == low:
+                    parts.append(f" {low}")
+                else:
+                    parts.append(f' {name}="{escape_attribute(value)}"')
+            return "".join(parts)
+        if self.method == "text":
+            return ""
+        if namespaces:
+            # xsl:attribute in the body would rebuild from the attrs
+            # dict and lose pre-baked declarations; keep them dynamic.
+            return None
+        return "".join(
+            f' {name}="{escape_attribute(value)}"' for name, value in attrs)
+
+    def _lower_element(self, instr: ElementInstr):
+        name_fn = self._avt_fn(instr.name)
+        body_fn = self.compile_body(instr.body)
+
+        def element(run, context, frame):
+            emitter = run._emitters[-1]
+            emitter.start(name_fn(run, context))
+            body_fn(run, context, frame)
+            emitter.end()
+
+        return element
+
+    def _lower_attribute(self, instr: AttributeInstr):
+        name_fn = self._avt_fn(instr.name)
+        body = instr.body
+
+        def attribute(run, context, frame):
+            emitter = run._emitters[-1]
+            stack = emitter.stack
+            if not stack:
+                raise XSLTRuntimeError(
+                    "xsl:attribute must be instantiated inside an element")
+            top = stack[-1]
+            if top.has_et:
+                raise XSLTRuntimeError(
+                    "xsl:attribute after children have been written to "
+                    f"<{top.name}>")
+            name = name_fn(run, context)
+            value = run._body_string(body, context, frame)
+            top.set_attr(name, value)
+
+        return attribute
+
+    def _lower_comment(self, instr: CommentInstr):
+        body = instr.body
+
+        def comment(run, context, frame):
+            run._emitters[-1].comment(
+                run._body_string(body, context, frame))
+
+        return comment
+
+    def _lower_pi(self, instr: PIInstr):
+        name_fn = self._avt_fn(instr.name)
+        body = instr.body
+
+        def pi(run, context, frame):
+            name = name_fn(run, context)
+            run._emitters[-1].pi(
+                name, run._body_string(body, context, frame))
+
+        return pi
+
+    def _lower_apply_templates(self, instr: ApplyTemplates):
+        sel_fn = self._select_fn(instr.select) \
+            if instr.select is not None else None
+        mode = instr.mode
+        sorts = instr.sorts
+        params_fn = self._params_fn(instr.params) if instr.params else None
+
+        def apply_templates(run, context, frame):
+            if sel_fn is not None:
+                value = sel_fn(run, context)
+                if not isinstance(value, list):
+                    raise XSLTRuntimeError(
+                        "apply-templates select must be a node-set")
+                nodes = document_order(value)
+            else:
+                node = context.node
+                nodes = list(node.children) \
+                    if isinstance(node, (Document, Element)) else []
+            if sorts:
+                nodes = run._sorted(nodes, sorts, context)
+            params = params_fn(run, context, frame) if params_fn else {}
+            run.apply_templates(nodes, mode, frame, params)
+
+        return apply_templates
+
+    def _lower_call_template(self, instr: CallTemplate):
+        try:
+            rule = self.stylesheet.named_template(instr.name)
+        except XSLTStaticError as exc:
+            # The interpreter resolves named templates at execution
+            # time; reproduce its error there, not at compile time.
+            error = exc
+
+            def missing(run, context, frame):
+                raise XSLTStaticError(str(error))
+
+            return missing
+        crule = self.compile_rule(rule)
+        params_fn = self._params_fn(instr.params) if instr.params else None
+
+        def call_template(run, context, frame):
+            params = params_fn(run, context, frame) if params_fn else {}
+            crule.instantiate(run, context.node, context.position,
+                              context.size, params)
+
+        return call_template
+
+    def _lower_for_each(self, instr: ForEach):
+        sel_fn = self._select_fn(instr.select)
+        sorts = instr.sorts
+        body_fn = self.compile_body(instr.body)
+
+        def for_each(run, context, frame):
+            value = sel_fn(run, context)
+            if not isinstance(value, list):
+                raise XSLTRuntimeError(
+                    "for-each select must be a node-set")
+            nodes = document_order(value)
+            if sorts:
+                nodes = run._sorted(nodes, sorts, context)
+            size = len(nodes)
+            for position, node in enumerate(nodes, start=1):
+                sub = run._context(node, position, size, frame, current=node)
+                body_fn(run, sub, frame)
+
+        return for_each
+
+    def _lower_if(self, instr: IfInstr):
+        test_fn = self._select_fn(instr.test)
+        body_fn = self.compile_body(instr.body)
+
+        def if_op(run, context, frame):
+            if to_boolean(test_fn(run, context)):
+                body_fn(run, context, frame)
+
+        return if_op
+
+    def _lower_choose(self, instr: Choose):
+        whens = tuple(
+            (self._select_fn(test), self.compile_body(body))
+            for test, body in instr.whens)
+        otherwise_fn = self.compile_body(instr.otherwise) \
+            if instr.otherwise else None
+
+        def choose(run, context, frame):
+            for test_fn, body_fn in whens:
+                if to_boolean(test_fn(run, context)):
+                    body_fn(run, context, frame)
+                    return
+            if otherwise_fn is not None:
+                otherwise_fn(run, context, frame)
+
+        return choose
+
+    def _lower_variable(self, instr: VariableInstr):
+        name = instr.name
+        sel_fn = self._select_fn(instr.select) \
+            if instr.select is not None else None
+        body = instr.body
+
+        def variable(run, context, frame):
+            if name in frame.bindings:
+                raise XSLTRuntimeError(
+                    f"variable ${name} is already bound in this scope")
+            if sel_fn is not None:
+                value = sel_fn(run, context)
+            else:
+                value = run._build_fragment(body, context, frame)
+            frame.bindings[name] = value
+
+        return variable
+
+    def _lower_copy(self, instr: CopyInstr):
+        body_fn = self.compile_body(instr.body)
+
+        def copy(run, context, frame):
+            node = context.node
+            emitter = run._emitters[-1]
+            if isinstance(node, Element):
+                ns = dict(node.namespace_declarations) or None
+                emitter.start(node.name, ns=ns)
+                body_fn(run, context, frame)
+                emitter.end()
+            elif isinstance(node, Document):
+                body_fn(run, context, frame)
+            elif isinstance(node, Text):
+                emitter.text(node.data)
+            elif isinstance(node, Comment):
+                emitter.comment(node.data)
+            elif isinstance(node, ProcessingInstruction):
+                emitter.pi(node.target, node.data)
+            elif isinstance(node, Attribute):
+                run._stream_copy_attribute(node.name, node.value)
+
+        return copy
+
+    def _lower_copy_of(self, instr: CopyOf):
+        sel_fn = self._select_fn(instr.select)
+
+        def copy_of(run, context, frame):
+            value = sel_fn(run, context)
+            if isinstance(value, list):
+                for node in document_order(value):
+                    run._stream_deep_copy(node)
+            else:
+                run._emitters[-1].text(to_string(value))
+
+        return copy_of
+
+    def _lower_document(self, instr: DocumentInstr):
+        href_fn = self._avt_fn(instr.href)
+        body_fn = self.compile_body(instr.body)
+
+        def document(run, context, frame):
+            href = href_fn(run, context)
+            if href in run.result.documents:
+                raise XSLTRuntimeError(
+                    f"xsl:document would overwrite output {href!r}")
+            run.result.documents[href] = Document()
+            emitter = make_emitter(run.result.output)
+            run._emitters.append(emitter)
+            try:
+                body_fn(run, context, frame)
+            finally:
+                run._emitters.pop()
+            run._pages[href] = emitter.finish()
+
+        return document
+
+    def _lower_message(self, instr: Message):
+        body = instr.body
+        terminate = instr.terminate
+
+        def message(run, context, frame):
+            text = run._body_string(body, context, frame)
+            run.result.messages.append(text)
+            if terminate:
+                raise XSLTRuntimeError(
+                    f"transformation terminated: {text}")
+
+        return message
+
+    def _lower_number(self, instr: NumberInstr):
+        value_fn = self._select_fn(instr.value) \
+            if instr.value is not None else None
+        fmt_fn = self._avt_fn(instr.format)
+
+        def number(run, context, frame):
+            if value_fn is not None:
+                num = to_number(value_fn(run, context))
+            else:
+                num = float(run._count_position(instr, context))
+            fmt = fmt_fn(run, context)
+            run._emitters[-1].text(_format_xsl_number(num, fmt))
+
+        return number
+
+    _HANDLERS = {}
+
+
+_Compiler._HANDLERS = {
+    LiteralText: _Compiler._lower_literal_text,
+    TextInstr: _Compiler._lower_text,
+    ValueOf: _Compiler._lower_value_of,
+    LiteralElement: _Compiler._lower_literal_element,
+    ElementInstr: _Compiler._lower_element,
+    AttributeInstr: _Compiler._lower_attribute,
+    CommentInstr: _Compiler._lower_comment,
+    PIInstr: _Compiler._lower_pi,
+    ApplyTemplates: _Compiler._lower_apply_templates,
+    CallTemplate: _Compiler._lower_call_template,
+    ForEach: _Compiler._lower_for_each,
+    IfInstr: _Compiler._lower_if,
+    Choose: _Compiler._lower_choose,
+    VariableInstr: _Compiler._lower_variable,
+    CopyInstr: _Compiler._lower_copy,
+    CopyOf: _Compiler._lower_copy_of,
+    DocumentInstr: _Compiler._lower_document,
+    Message: _Compiler._lower_message,
+    NumberInstr: _Compiler._lower_number,
+}
+
+
+#: Instructions that can never add an attribute to the nearest open
+#: element: they either produce no output, produce content that opens
+#: its own frame, or write to a different output entirely.
+_ATTRIBUTE_INERT = (LiteralText, TextInstr, ValueOf, LiteralElement,
+                    ElementInstr, CommentInstr, PIInstr, NumberInstr,
+                    Message, DocumentInstr, VariableInstr)
+
+#: Conditional/looping instructions: attribute-safe iff their bodies are.
+_ATTRIBUTE_RECURSIVE = (IfInstr, ForEach)
+
+
+def _attribute_safe_body(body) -> bool:
+    """True when no instruction in *body* (recursively through
+    conditionals) can set an attribute on the enclosing element —
+    ``xsl:attribute``, copied attribute nodes, and template dispatch
+    (whose expansions are unknowable here) all disqualify."""
+    for instr in body:
+        if isinstance(instr, _ATTRIBUTE_INERT):
+            continue
+        if isinstance(instr, _ATTRIBUTE_RECURSIVE):
+            if not _attribute_safe_body(instr.body):
+                return False
+            continue
+        if isinstance(instr, Choose):
+            for _, when_body in instr.whens:
+                if not _attribute_safe_body(when_body):
+                    return False
+            if not _attribute_safe_body(instr.otherwise):
+                return False
+            continue
+        return False
+    return True
+
+
+def _produces_content(body) -> bool:
+    """True when *body* provably writes at least one child node."""
+    for instr in body:
+        kind = type(instr)
+        if kind is LiteralText or kind is TextInstr:
+            if instr.text:
+                return True
+        elif kind in (LiteralElement, ElementInstr, CommentInstr, PIInstr):
+            return True
+    return False
+
+
+def _append_text(element: Element, text: str, raw: bool) -> None:
+    """Mirror of ``_Run._write_text`` coalescing onto a static subtree."""
+    if not text:
+        return
+    children = element.children
+    if children and isinstance(children[-1], Text) and \
+            children[-1].is_cdata == raw:
+        children[-1].data += text
+        return
+    node = Text(text)
+    if raw:
+        node.is_cdata = True
+    element.append_child(node)
+
+
+def _static_text_op(text: str, raw: bool):
+    """An op emitting constant text; escaped form precomputed."""
+    if not text:
+        def nothing(run, context, frame):
+            return None
+        return nothing
+    if raw:
+        def raw_op(run, context, frame):
+            run._emitters[-1].raw(text)
+        return raw_op
+    escaped = escape_text(text)
+
+    def text_op(run, context, frame):
+        run._emitters[-1].text_pre(text, escaped)
+
+    return text_op

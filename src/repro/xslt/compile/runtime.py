@@ -1,0 +1,429 @@
+"""The compiled-transformation runtime.
+
+:class:`CompiledTransformer` lowers every template of a stylesheet into
+specialized closures at construction time and adds a ``render`` entry
+point that streams page bytes through the emitters of
+:mod:`repro.xslt.output` instead of building a result DOM.
+
+Fallback taxonomy (DESIGN.md §13):
+
+* **stylesheet-level** — output combinations without a streaming emitter
+  (``xml`` + ``indent="yes"``) and compilation errors route ``render``
+  through the inherited, unmodified ``transform()`` interpreter;
+* **expression-level** — selects outside the lowered subset evaluate
+  through the XPath evaluator (see ``selects.lower_or_fallback``);
+* **fragment-level** — result-tree-fragment construction runs the
+  inherited interpreter machinery into DOM wrappers; template dispatch
+  inside a fragment also uses the interpreter so fragment content is
+  bit-for-bit the interpreter's.
+
+``transform()`` itself is deliberately NOT overridden: it stays the pure
+interpreter, which is what the differential test harness compares
+``render()`` against.
+"""
+
+from __future__ import annotations
+
+import heapq
+from time import perf_counter
+
+from ...faults import FAULTS as _FAULTS
+from ...obs.recorder import RECORDER as _REC
+from ...xml.dom import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+from ...xpath.ast import NameTest, NodeTypeTest, PITest
+from ..engine import (
+    ResultDocument,
+    TransformResult,
+    Transformer,
+    _Frame,
+    _RTF,
+    _Run,
+    _strip_whitespace,
+    _TRANSFORM_FAULT,
+)
+from ..errors import XSLTRuntimeError
+from ..output import make_emitter, serialize_result
+from ..stylesheet import OutputSettings, Stylesheet
+
+__all__ = ["CompiledTransformer", "CompiledResult"]
+
+
+class CompiledResult:
+    """Pre-serialized pages from a compiled transformation.
+
+    ``pages[""]`` is the principal output; secondary ``xsl:document``
+    outputs appear under their hrefs in creation order.
+    """
+
+    __slots__ = ("pages", "messages", "output", "used_compiled")
+
+    def __init__(self, pages: dict[str, str], messages: list[str],
+                 output: OutputSettings, used_compiled: bool) -> None:
+        self.pages = pages
+        self.messages = messages
+        self.output = output
+        self.used_compiled = used_compiled
+
+
+class _CompiledRule:
+    """A template rule with its lowered body and fast match test."""
+
+    __slots__ = ("rule", "matcher", "needs_context", "body_fn",
+                 "param_specs")
+
+    def __init__(self, rule) -> None:
+        self.rule = rule
+        #: None = trivially true within its dispatch bucket.
+        self.matcher = None
+        self.needs_context = False
+        self.body_fn = None
+        self.param_specs = ()
+
+    def instantiate(self, run, node, position, size, params) -> None:
+        # Mirror of _Run._instantiate_rule with the lowered body.
+        frame = _Frame(run.global_frame)
+        context = run._context(node, position, size, frame)
+        for name, sel_fn, body in self.param_specs:
+            if name in params:
+                frame.bindings[name] = params[name]
+            elif sel_fn is not None:
+                frame.bindings[name] = sel_fn(run, context)
+            else:
+                frame.bindings[name] = run._build_fragment(
+                    body, context, frame)
+        self.body_fn(run, context, frame)
+
+
+def derive_matcher(pattern):
+    """Derive a fast per-rule match test from a single-alternative
+    pattern, given the guarantees of its dispatch bucket.
+
+    Returns ``(matcher, needs_context)``: ``matcher`` is ``None`` when
+    bucket membership alone implies a match, a plain node predicate for
+    the inlined shapes, or the full ``pattern.matches`` (with
+    ``needs_context=True``) for the long tail (predicates, multi-step
+    chains, anchored paths, prefixed names, id()/key() patterns).
+    """
+    full = (pattern.matches, True)
+    alternatives = pattern._alternatives
+    if len(alternatives) != 1:  # pragma: no cover - split upstream
+        return full
+    alt = alternatives[0]
+    if alt.special is not None:
+        return full
+    if not alt.steps:
+        # '/' — lives in the 'document' bucket, where it always matches.
+        return None, False
+    if len(alt.steps) > 1 or alt.anchored:
+        return full
+    step = alt.steps[0]
+    if step.predicates:
+        return full
+    test = step.test
+    if isinstance(test, NameTest):
+        name = test.name
+        if name == "*":
+            return None, False
+        if ":" in name:
+            return full
+        # Bucket key (kind, local-name) already guarantees kind and
+        # local name; only the no-namespace constraint remains.
+        return (lambda node: node.namespace_uri is None), False
+    if isinstance(test, PITest):
+        target = test.target
+        if target is None:
+            return None, False
+        return (lambda node: node.target == target), False
+    if isinstance(test, NodeTypeTest):
+        node_type = test.node_type
+        if node_type in ("text", "comment"):
+            # Dedicated buckets hold only matching kinds.
+            return None, False
+        if node_type == "node":
+            if step.axis == "attribute":
+                return None, False
+            # child::node() sits in the any-kind bucket; exclude the
+            # kinds the child axis can never produce (_step_matches).
+            return (lambda node: not isinstance(node, (Attribute, Document))
+                    and node.kind != "namespace"), False
+    return full  # pragma: no cover - exhaustive above
+
+
+class _CompiledIndex:
+    """Per-mode rule index over compiled rules; bucket structure and
+    candidate merging are identical to ``engine._RuleIndex``."""
+
+    __slots__ = ("named", "kinds", "any_kind")
+
+    def __init__(self, rules, compile_rule) -> None:
+        self.named = {}
+        self.kinds = {}
+        self.any_kind = []
+        for rank, rule in enumerate(rules):
+            entry = (rank, compile_rule(rule))
+            buckets_seen = set()
+            for kind, name in rule.pattern.dispatch_keys():
+                if kind == "*":
+                    bucket_key = "*"
+                    bucket = self.any_kind
+                elif name is not None:
+                    bucket_key = (kind, name)
+                    bucket = self.named.setdefault((kind, name), [])
+                else:
+                    bucket_key = kind
+                    bucket = self.kinds.setdefault(kind, [])
+                if bucket_key not in buckets_seen:
+                    buckets_seen.add(bucket_key)
+                    bucket.append(entry)
+
+    def candidates(self, node):
+        kind = node.kind
+        lists = []
+        if kind in ("element", "attribute"):
+            named = self.named.get((kind, node.local_name))
+            if named:
+                lists.append(named)
+        generic = self.kinds.get(kind)
+        if generic:
+            lists.append(generic)
+        if self.any_kind:
+            lists.append(self.any_kind)
+        if not lists:
+            return ()
+        if len(lists) == 1:
+            return lists[0]
+        return heapq.merge(*lists)
+
+
+class _CompiledRun(_Run):
+    """Per-transformation state for the streaming compiled path.
+
+    Inherits every interpreter facility (fragments, keys, functions,
+    sorting) and swaps template dispatch + output for compiled rules
+    writing into streaming emitters.
+    """
+
+    def __init__(self, transformer, source, result, params,
+                 emitter) -> None:
+        super().__init__(transformer, source, result, params)
+        self._emitters = [emitter]
+        self._fragment_depth = 0
+        #: href -> finished page text for streamed xsl:document outputs.
+        self._pages: dict[str, str] = {}
+        self._compiled_index = transformer._compiled_index
+
+    # -- dispatch --------------------------------------------------------------
+
+    def apply_templates(self, nodes, mode, frame, params) -> None:
+        if self._fragment_depth:
+            # Inside a result tree fragment: interpreter dispatch,
+            # interpreter output — fragment content must be the DOM.
+            super().apply_templates(nodes, mode, frame, params)
+            return
+        index = self._compiled_index.get(mode)
+        size = len(nodes)
+        if _REC.enabled:
+            # Instrumented twin with labels identical to the
+            # interpreter's, plus the compiled-execution counter.
+            for position, node in enumerate(nodes, start=1):
+                crule = self._find_compiled(index, node, frame)
+                if crule is None:
+                    _REC.count(f"xslt.builtin:kind={node.kind}")
+                    self._builtin_stream(node, mode, frame)
+                    continue
+                rule = crule.rule
+                label = (f"xslt.rule:mode={mode or '#default'}"
+                         f":match={rule.pattern.text}")
+                started = perf_counter()
+                crule.instantiate(self, node, position, size, params)
+                _REC.observe(label, perf_counter() - started)
+                _REC.count("xslt.compiled.rule")
+            return
+        for position, node in enumerate(nodes, start=1):
+            crule = self._find_compiled(index, node, frame)
+            if crule is None:
+                self._builtin_stream(node, mode, frame)
+            else:
+                crule.instantiate(self, node, position, size, params)
+
+    def _find_compiled(self, index, node, frame):
+        if index is None:
+            return None
+        candidates = index.candidates(node)
+        if not candidates:
+            return None
+        context = None
+        for _, crule in candidates:
+            matcher = crule.matcher
+            if matcher is None:
+                return crule
+            if crule.needs_context:
+                if context is None:
+                    context = self._context(node, 1, 1, frame)
+                if matcher(node, context):
+                    return crule
+            elif matcher(node):
+                return crule
+        return None
+
+    def _builtin_stream(self, node, mode, frame) -> None:
+        # Streaming twin of _Run._builtin_rule.
+        if isinstance(node, (Document, Element)):
+            self.apply_templates(list(node.children), mode, frame, {})
+        elif isinstance(node, (Text, Attribute)):
+            self._emitters[-1].text(node.string_value())
+        # Comments and PIs produce nothing (§5.8).
+
+    # -- fragment fallback -----------------------------------------------------
+
+    def _build_fragment(self, body, context, frame):
+        if _REC.enabled:
+            _REC.count("xslt.compiled.fragment_fallback")
+        self._fragment_depth += 1
+        try:
+            return super()._build_fragment(body, context, frame)
+        finally:
+            self._fragment_depth -= 1
+
+    # -- streaming copies ------------------------------------------------------
+
+    def _stream_copy_attribute(self, name, value) -> None:
+        """xsl:copy/copy-of attribute semantics against the emitter.
+
+        The interpreter silently sets the attribute on the innermost
+        open element — even retroactively, after children were written,
+        because its DOM is still mutable.  A streamed start tag cannot
+        be amended, so that (pathological) case raises loudly instead of
+        silently diverging; see DESIGN.md §13.
+        """
+        stack = self._emitters[-1].stack
+        if not stack:
+            # Document-level target: the interpreter ignores it.
+            return
+        top = stack[-1]
+        if top.has_et or not top.pending:
+            raise XSLTRuntimeError(
+                f"cannot copy attribute {name!r} onto <{top.name}> after "
+                "children have been written (streaming output; rerun with "
+                "GOLDCASE_NO_COMPILE=1)")
+        top.set_attr(name, value)
+
+    def _stream_deep_copy(self, node) -> None:
+        # Streaming twin of _Run._deep_copy.
+        emitter = self._emitters[-1]
+        if isinstance(node, _RTF):
+            for child in node.nodes:
+                self._stream_deep_copy(child)
+        elif isinstance(node, Document):
+            for child in node.children:
+                self._stream_deep_copy(child)
+        elif isinstance(node, Element):
+            attrs = [(attr.name, attr.value) for attr in node.attributes]
+            ns = dict(node.namespace_declarations) or None
+            emitter.start(node.name, attrs=attrs, ns=ns)
+            for child in node.children:
+                self._stream_deep_copy(child)
+            emitter.end()
+        elif isinstance(node, Text):
+            emitter.text(node.data)
+        elif isinstance(node, Comment):
+            emitter.comment(node.data)
+        elif isinstance(node, ProcessingInstruction):
+            emitter.pi(node.target, node.data)
+        elif isinstance(node, Attribute):
+            self._stream_copy_attribute(node.name, node.value)
+
+
+class CompiledTransformer(Transformer):
+    """A Transformer with an ahead-of-time compiled streaming path.
+
+    ``render()`` produces serialized pages directly; ``transform()`` is
+    the inherited interpreter, untouched, and remains the oracle the
+    differential tests compare against.
+    """
+
+    def __init__(self, stylesheet: Stylesheet, *,
+                 document_loader=None) -> None:
+        super().__init__(stylesheet, document_loader=document_loader)
+        self._compiled_index = None
+        self._compile_error: str | None = None
+        self.compile_stats: dict[str, int] = {}
+        try:
+            with _REC.span("xslt.compile"):
+                self._compile_all()
+        except Exception as exc:  # compile must never break transform()
+            self._compiled_index = None
+            self._compile_error = f"{type(exc).__name__}: {exc}"
+            if _REC.enabled:
+                _REC.count("xslt.compiled.compile_error")
+
+    def _compile_all(self) -> None:
+        from .lower import _Compiler
+
+        compiler = _Compiler(self)
+        index = {}
+        for mode, rules in self._rules_by_mode.items():
+            index[mode] = _CompiledIndex(rules, compiler.compile_rule)
+        # Named-only templates (no match) are reachable via
+        # xsl:call-template; compile them too so calls bind eagerly.
+        for rule in self.stylesheet.templates:
+            compiler.compile_rule(rule)
+        self._compiled_index = index
+        self.compile_stats = {
+            "templates": len(compiler._rules),
+            "selects_lowered": compiler.selects_lowered,
+            "selects_fallback": compiler.selects_fallback,
+            "static_folds": compiler.static_folds,
+        }
+        if _REC.enabled:
+            for key, value in self.compile_stats.items():
+                if value:
+                    _REC.count(f"xslt.compile.{key}", value)
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, source: Document, params=None) -> CompiledResult:
+        """Transform *source* and serialize every page, streaming when
+        possible and falling back to the interpreter otherwise."""
+        output = self.stylesheet.output
+        if self._compiled_index is None:
+            return self._render_fallback(source, params, "compile_error")
+        emitter = make_emitter(output)
+        if emitter is None:
+            return self._render_fallback(source, params, "output_settings")
+        if _FAULTS.enabled:
+            _FAULTS.hit(_TRANSFORM_FAULT)
+        if self.stylesheet.strip_space:
+            from ...xml.dom import clone_node
+
+            source = clone_node(source)
+            _strip_whitespace(source, self.stylesheet.strip_space,
+                              self.stylesheet.preserve_space)
+        result = TransformResult(document=ResultDocument(), output=output)
+        run = _CompiledRun(self, source, result, params or {}, emitter)
+        run.bootstrap_globals()
+        run.apply_templates([source], None, run.global_frame, {})
+        pages = {"": emitter.finish()}
+        for href, document in result.documents.items():
+            page = run._pages.get(href)
+            if page is None:
+                # Produced inside a fragment fallback as a real DOM.
+                page = serialize_result(document, output)
+            pages[href] = page
+        return CompiledResult(pages=pages, messages=result.messages,
+                              output=output, used_compiled=True)
+
+    def _render_fallback(self, source, params, reason) -> CompiledResult:
+        if _REC.enabled:
+            _REC.count(f"xslt.compiled.transform_fallback:reason={reason}")
+        result = self.transform(source, params)
+        return CompiledResult(pages=result.serialize_all(),
+                              messages=result.messages,
+                              output=result.output, used_compiled=False)

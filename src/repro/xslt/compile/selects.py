@@ -1,0 +1,539 @@
+"""Lowering of simple XPath selects to direct DOM loops.
+
+``lower_expr`` turns an XPath AST into a closure ``fn(run, context) ->
+value`` when the expression falls in the lowerable subset — literals,
+variable references, function calls, boolean/relational/arithmetic
+operators, unions, and location paths built from ``child``/``attribute``
+steps with unprefixed name tests — and returns ``None`` otherwise.
+``lower_or_fallback`` wraps the long tail in an evaluator closure so
+compiled templates never lose expressiveness; fallback executions are
+counted under ``xslt.compiled.select_fallback``.
+
+Every closure mirrors the corresponding ``XPathEvaluator`` method
+byte-for-byte in observable behaviour: same result values, same node
+order (the ``_apply_steps`` keep/resort decisions are replicated), and
+same error types and messages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ...obs.recorder import RECORDER as _REC
+from ...xml.dom import Comment, Document, Element, Text
+from ...xpath.ast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    NodeTypeTest,
+    NumberLiteral,
+    PathExpr,
+    StringLiteral,
+    UnaryMinus,
+    UnionExpr,
+    VariableReference,
+)
+from ...xpath.axes import FLAT_PRESERVING_AXES, ORDER_PRESERVING_AXES
+from ...xpath.datamodel import (
+    document_order,
+    is_node_set,
+    to_boolean,
+    to_number,
+)
+from ...xpath.errors import XPathNameError, XPathTypeError
+from ...xpath.evaluator import XPathEvaluator
+from ...xpath.functions import CORE_FUNCTIONS
+
+__all__ = ["lower_expr", "lower_or_fallback", "lower_string_value"]
+
+#: fn(run, context) -> XPath value
+LoweredExpr = Callable[[object, object], object]
+
+_compare_equality = XPathEvaluator._compare_equality
+_compare_relational = XPathEvaluator._compare_relational
+
+
+def lower_or_fallback(expr: Expr) -> tuple[LoweredExpr, bool]:
+    """Lower *expr*, or wrap it in an evaluator fallback closure.
+
+    Returns ``(fn, lowered)`` where *lowered* tells the caller (for
+    compile-time statistics) whether the expression was fully lowered.
+    """
+    fn = lower_expr(expr)
+    if fn is not None:
+        return fn, True
+
+    def fallback(run, context):
+        if _REC.enabled:
+            _REC.count("xslt.compiled.select_fallback")
+        return run._evaluate(expr, context)
+
+    return fallback, False
+
+
+def lower_expr(expr: Expr) -> LoweredExpr | None:
+    """Lower *expr* to a direct closure, or ``None`` when unsupported."""
+    kind = type(expr)
+    if kind is NumberLiteral or kind is StringLiteral:
+        value = expr.value
+
+        def literal(run, context):
+            return value
+
+        return literal
+    if kind is VariableReference:
+        name = expr.name
+
+        def variable(run, context):
+            try:
+                return context.variables[name]
+            except KeyError:
+                raise XPathNameError(
+                    f"undefined variable ${name}") from None
+
+        return variable
+    if kind is FunctionCall:
+        return _lower_function(expr)
+    if kind is BinaryOp:
+        return _lower_binary(expr)
+    if kind is UnaryMinus:
+        operand = lower_expr(expr.operand)
+        if operand is None:
+            return None
+
+        def unary(run, context):
+            return -to_number(operand(run, context))
+
+        return unary
+    if kind is UnionExpr:
+        left = lower_expr(expr.left)
+        right = lower_expr(expr.right)
+        if left is None or right is None:
+            return None
+
+        def union(run, context):
+            lhs = _node_set(left(run, context))
+            rhs = _node_set(right(run, context))
+            return document_order(lhs + rhs)
+
+        return union
+    if kind is LocationPath:
+        return _lower_location_path(expr)
+    if kind is PathExpr:
+        return _lower_path_expr(expr)
+    if kind is FilterExpr:
+        return _lower_filter_expr(expr)
+    return None
+
+
+def _node_set(value: object) -> list:
+    """Mirror of ``XPathEvaluator.evaluate_node_set`` type enforcement."""
+    if not is_node_set(value):
+        raise XPathTypeError(
+            f"expression must evaluate to a node-set, got "
+            f"{type(value).__name__}")
+    return value  # type: ignore[return-value]
+
+
+def _lower_function(expr: FunctionCall) -> LoweredExpr | None:
+    name = expr.name
+    arg_fns = [lower_or_fallback(arg)[0] for arg in expr.args]
+
+    def call(run, context):
+        function = context.functions.get(name) or CORE_FUNCTIONS.get(name)
+        if function is None:
+            raise XPathNameError(f"undefined function {name}()")
+        args = [fn(run, context) for fn in arg_fns]
+        return function(context, args)
+
+    return call
+
+
+def _lower_binary(expr: BinaryOp) -> LoweredExpr | None:
+    op = expr.op
+    if op in ("=", "!="):
+        fused = _fuse_equality(op, expr.left, expr.right) or \
+            _fuse_equality(op, expr.right, expr.left)
+        if fused is not None:
+            return fused
+    left = lower_expr(expr.left)
+    right = lower_expr(expr.right)
+    if left is None or right is None:
+        return None
+    if op == "or":
+        def op_or(run, context):
+            return to_boolean(left(run, context)) or \
+                to_boolean(right(run, context))
+        return op_or
+    if op == "and":
+        def op_and(run, context):
+            return to_boolean(left(run, context)) and \
+                to_boolean(right(run, context))
+        return op_and
+    if op in ("=", "!="):
+        def op_eq(run, context):
+            return _compare_equality(op, left(run, context),
+                                     right(run, context))
+        return op_eq
+    if op in ("<", "<=", ">", ">="):
+        def op_rel(run, context):
+            return _compare_relational(op, left(run, context),
+                                       right(run, context))
+        return op_rel
+    if op == "+":
+        def op_add(run, context):
+            return to_number(left(run, context)) + \
+                to_number(right(run, context))
+        return op_add
+    if op == "-":
+        def op_sub(run, context):
+            return to_number(left(run, context)) - \
+                to_number(right(run, context))
+        return op_sub
+    if op == "*":
+        def op_mul(run, context):
+            return to_number(left(run, context)) * \
+                to_number(right(run, context))
+        return op_mul
+    if op == "div":
+        def op_div(run, context):
+            lnum = to_number(left(run, context))
+            rnum = to_number(right(run, context))
+            if rnum == 0:
+                if lnum == 0 or math.isnan(lnum):
+                    return math.nan
+                return math.inf if lnum > 0 else -math.inf
+            return lnum / rnum
+        return op_div
+    if op == "mod":
+        def op_mod(run, context):
+            lnum = to_number(left(run, context))
+            rnum = to_number(right(run, context))
+            if rnum == 0 or math.isnan(lnum) or math.isinf(lnum):
+                return math.nan
+            return math.fmod(lnum, rnum)
+        return op_mod
+    return None
+
+
+def _fuse_equality(op: str, path: Expr, literal: Expr) -> LoweredExpr | None:
+    """Fused ``path = 'literal'`` tests (and ``!=``): existential
+    string comparison over the matched nodes, no node list or
+    ``_compare_equality`` dispatch."""
+    if type(literal) is not StringLiteral:
+        return None
+    if type(path) is not LocationPath or path.absolute:
+        return None
+    nodes_fn = _fuse_relative(path.steps)
+    if nodes_fn is None:
+        return None
+    value = literal.value
+    if op == "=":
+        def eq_literal(run, context):
+            return any(n.string_value() == value
+                       for n in nodes_fn(run, context))
+        return eq_literal
+
+    def ne_literal(run, context):
+        return any(n.string_value() != value
+                   for n in nodes_fn(run, context))
+    return ne_literal
+
+
+# -- location paths ------------------------------------------------------------
+
+
+def _lower_location_path(expr: LocationPath) -> LoweredExpr | None:
+    if not expr.absolute and expr.steps:
+        fused = _fuse_relative(expr.steps)
+        if fused is not None:
+            return fused
+    steps = _lower_steps(expr.steps)
+    if steps is None:
+        return None
+    if expr.absolute:
+        if not expr.steps:
+            def root_only(run, context):
+                return [context.node.root]
+            return root_only
+
+        def absolute(run, context):
+            return _run_steps(run, context, steps, [context.node.root])
+
+        return absolute
+
+    def relative(run, context):
+        return _run_steps(run, context, steps, [context.node])
+
+    return relative
+
+
+def _concrete_child_name(step) -> str | None:
+    """Local name of a predicate-free ``child::name`` step, else None."""
+    if step.axis != "child" or step.predicates:
+        return None
+    test = step.test
+    if type(test) is NameTest and test.name != "*" and ":" not in test.name:
+        return test.name
+    return None
+
+
+def _concrete_attribute_name(step) -> str | None:
+    """Local name of a predicate-free ``attribute::name`` step, else None."""
+    if step.axis != "attribute" or step.predicates:
+        return None
+    test = step.test
+    if type(test) is NameTest and test.name != "*" and ":" not in test.name:
+        return test.name
+    return None
+
+
+def _fuse_relative(steps) -> LoweredExpr | None:
+    """Fully fused closures for the hottest relative-path shapes.
+
+    The name/namespace tests are inlined into the comprehensions (no
+    per-candidate closure call); node order matches ``_run_steps`` — a
+    single context node keeps child order, and a two-step child chain
+    stays flat (distinct parents, no dedup or resort needed).
+    """
+    if len(steps) == 1:
+        step = steps[0]
+        name = _concrete_child_name(step)
+        if name is not None:
+            def child_named(run, context):
+                node = context.node
+                if isinstance(node, (Document, Element)):
+                    return [c for c in node.children
+                            if c.kind == "element"
+                            and (c.name == name or (":" in c.name and
+                                                    c.local_name == name))
+                            and c.namespace_uri is None]
+                return []
+            return child_named
+        aname = _concrete_attribute_name(step)
+        if aname is not None:
+            def attr_named(run, context):
+                node = context.node
+                if isinstance(node, Element):
+                    return [a for a in node.attributes
+                            if not a.is_namespace_decl
+                            and (a.name == aname or (":" in a.name and
+                                                     a.local_name == aname))
+                            and a.namespace_uri is None]
+                return []
+            return attr_named
+        if step.axis == "self" and not step.predicates and \
+                type(step.test) is NodeTypeTest and \
+                step.test.node_type == "node":
+            def self_node(run, context):
+                return [context.node]
+            return self_node
+        return None
+    if len(steps) == 2:
+        first = _concrete_child_name(steps[0])
+        second = _concrete_child_name(steps[1])
+        if first is not None and second is not None:
+            def child_child(run, context):
+                node = context.node
+                if not isinstance(node, (Document, Element)):
+                    return []
+                return [g for c in node.children
+                        if c.kind == "element"
+                        and (c.name == first or (":" in c.name and
+                                                 c.local_name == first))
+                        and c.namespace_uri is None
+                        for g in c.children
+                        if g.kind == "element"
+                        and (g.name == second or (":" in g.name and
+                                                  g.local_name == second))
+                        and g.namespace_uri is None]
+            return child_child
+    return None
+
+
+def lower_string_value(expr: Expr):
+    """A closure producing ``string(expr)`` directly for the hottest
+    ``xsl:value-of`` shapes (first-match short-circuit, no node list),
+    or ``None`` when *expr* is outside the fused subset."""
+    if type(expr) is not LocationPath or expr.absolute or \
+            len(expr.steps) != 1:
+        return None
+    step = expr.steps[0]
+    name = _concrete_child_name(step)
+    if name is not None:
+        def child_string(run, context):
+            node = context.node
+            if isinstance(node, (Document, Element)):
+                for c in node.children:
+                    if c.kind == "element" and \
+                            (c.name == name or (":" in c.name and
+                                                c.local_name == name)) and \
+                            c.namespace_uri is None:
+                        return c.string_value()
+            return ""
+        return child_string
+    aname = _concrete_attribute_name(step)
+    if aname is not None:
+        def attr_string(run, context):
+            node = context.node
+            if isinstance(node, Element):
+                for a in node.attributes:
+                    if not a.is_namespace_decl and \
+                            (a.name == aname or (":" in a.name and
+                                                 a.local_name == aname)) \
+                            and a.namespace_uri is None:
+                        return a.value
+            return ""
+        return attr_string
+    if step.axis == "self" and not step.predicates and \
+            type(step.test) is NodeTypeTest and step.test.node_type == "node":
+        def self_string(run, context):
+            return context.node.string_value()
+        return self_string
+    return None
+
+
+def _lower_path_expr(expr: PathExpr) -> LoweredExpr | None:
+    start_fn = lower_expr(expr.start)
+    if start_fn is None:
+        return None
+    steps = _lower_steps(expr.path.steps)
+    if steps is None:
+        return None
+
+    def path(run, context):
+        start = _node_set(start_fn(run, context))
+        return _run_steps(run, context, steps, start)
+
+    return path
+
+
+def _lower_filter_expr(expr: FilterExpr) -> LoweredExpr | None:
+    primary = lower_expr(expr.primary)
+    if primary is None:
+        return None
+    pred_fns = [lower_or_fallback(pred)[0] for pred in expr.predicates]
+
+    def filtered(run, context):
+        nodes = document_order(_node_set(primary(run, context)))
+        for pred in pred_fns:
+            nodes = _filter_nodes(run, context, nodes, pred)
+        return nodes
+
+    return filtered
+
+
+def _lower_steps(steps) -> list | None:
+    """Lower location-path steps; all-or-nothing."""
+    lowered = []
+    for step in steps:
+        axis = step.axis
+        if axis not in ("child", "attribute", "self"):
+            return None
+        matcher = _lower_test(step.test, axis)
+        if matcher is None:
+            return None
+        pred_fns = [lower_or_fallback(pred)[0] for pred in step.predicates]
+        lowered.append((axis, matcher, pred_fns))
+    return lowered
+
+
+def _lower_test(test, axis: str):
+    """A node predicate mirroring ``_apply_step``'s candidate filters,
+    or ``None`` for tests outside the lowered subset."""
+    principal = "attribute" if axis == "attribute" else "element"
+    if type(test) is NameTest:
+        name = test.name
+        if name == "*":
+            def wildcard(node):
+                return node.kind == principal
+            return wildcard
+        if ":" in name:
+            return None
+
+        def concrete(node):
+            return node.kind == principal and node.local_name == name and \
+                node.namespace_uri is None
+
+        return concrete
+    if type(test) is NodeTypeTest:
+        node_type = test.node_type
+        if node_type == "node":
+            return lambda node: True
+        if node_type == "text":
+            return lambda node: isinstance(node, Text)
+        if node_type == "comment":
+            return lambda node: isinstance(node, Comment)
+    return None
+
+
+def _axis_nodes(axis: str, node):
+    # Mirrors axes.axis_child / axis_self / axis_attribute.
+    if axis == "child":
+        return node.children if isinstance(node, (Document, Element)) else ()
+    if axis == "self":
+        return (node,)
+    if not isinstance(node, Element):
+        return ()
+    return [a for a in node.attributes if not a.is_namespace_decl]
+
+
+def _apply_lowered_step(run, context, step, node) -> list:
+    axis, matcher, pred_fns = step
+    candidates = [n for n in _axis_nodes(axis, node) if matcher(n)]
+    for pred in pred_fns:
+        candidates = _filter_nodes(run, context, candidates, pred)
+    return candidates
+
+
+def _filter_nodes(run, context, nodes: list, pred) -> list:
+    """Mirror of ``XPathEvaluator._filter`` (forward axes only)."""
+    size = len(nodes)
+    kept: list = []
+    for index, node in enumerate(nodes):
+        sub = context.with_node(node, index + 1, size)
+        value = pred(run, sub)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if float(value) == index + 1:
+                kept.append(node)
+        elif to_boolean(value):
+            kept.append(node)
+    return kept
+
+
+def _run_steps(run, context, steps: list, start: list) -> list:
+    """Mirror of ``XPathEvaluator._apply_steps`` over the lowered axes.
+
+    The keep-vs-resort decisions are replicated exactly so node order is
+    identical to the evaluator's; reverse axes never occur here (only
+    ``child``/``attribute``/``self`` are lowered).
+    """
+    if len(steps) == 1 and len(start) == 1:
+        return _apply_lowered_step(run, context, steps[0], start[0])
+    current = document_order(start)
+    flat = len(current) <= 1
+    for step in steps:
+        axis, _, pred_fns = step
+        singleton = len(current) == 1
+        if singleton:
+            gathered = _apply_lowered_step(run, context, step, current[0])
+        else:
+            gathered = []
+            seen: set[int] = set()
+            for node in current:
+                for result in _apply_lowered_step(run, context, step, node):
+                    if id(result) not in seen:
+                        seen.add(id(result))
+                        gathered.append(result)
+        if singleton or axis in ("self", "attribute") or \
+                (not pred_fns and axis in ORDER_PRESERVING_AXES) or \
+                (flat and axis == "child"):
+            current = gathered
+        else:
+            current = document_order(gathered)
+        flat = len(current) <= 1 or (flat and axis in FLAT_PRESERVING_AXES)
+    return current

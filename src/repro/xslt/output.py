@@ -15,10 +15,20 @@ from __future__ import annotations
 import math
 
 from ..xml.dom import Document, Node, Text
-from ..xml.serializer import pretty_print, serialize, serialize_html
+from ..xml.escaping import escape_attribute, escape_text
+from ..xml.serializer import (
+    HTML_VOID_ELEMENTS,
+    _HTML_BOOLEAN_ATTRS,
+    _HTML_RAW_TEXT,
+    _html_tag,
+    pretty_print,
+    serialize,
+    serialize_html,
+)
 from .stylesheet import OutputSettings
 
-__all__ = ["serialize_result", "format_number"]
+__all__ = ["serialize_result", "format_number", "make_emitter",
+           "HtmlEmitter", "XmlEmitter", "TextEmitter"]
 
 
 def serialize_result(document: Document, output: OutputSettings) -> str:
@@ -126,3 +136,480 @@ def _group_digits(text: str, group: int) -> str:
             out.append(",")
         out.append(ch)
     return "".join(reversed(out))
+
+
+# -- Streaming emitters --------------------------------------------------------
+#
+# The compiled XSLT path (``repro.xslt.compile``) writes page bytes directly
+# through one of these emitters instead of building a result DOM and
+# serializing it afterwards.  Every byte decision below mirrors the DOM
+# serializers above so compiled output stays byte-identical to
+# ``serialize_result``:
+#
+# * a start tag is held *pending* until the first element/text child (or the
+#   element's end) so ``xsl:attribute`` can still add attributes, exactly as
+#   the interpreter's DOM permits;
+# * comments and PIs written while a start tag is pending are *queued* — the
+#   DOM records them as children without closing the start tag, and
+#   ``xsl:attribute`` remains legal after them;
+# * the ``html`` method drops the serialized children of void elements (the
+#   DOM serializer returns right after the start tag) and emits raw character
+#   data inside ``script``/``style``;
+# * the ``xml`` method buffers adjacent raw (``is_cdata``) text so runs
+#   coalesce into a single ``<![CDATA[...]]>`` section like adjacent DOM text
+#   nodes do, and collapses childless elements to ``<name/>``;
+# * whitespace-only text at the document level is dropped, mirroring
+#   ``_Run._write_text``.
+
+
+class _OpenElement:
+    """One open element on an emitter stack."""
+
+    __slots__ = ("name", "tag", "attrs", "pre", "static_attrs", "ns",
+                 "pending", "has_et", "queued", "void", "raw", "suppressing")
+
+    def __init__(self, name, tag, pre, static_attrs, ns):
+        self.name = name
+        self.tag = tag
+        #: Attribute name → value (insertion-ordered; assigning an existing
+        #: name keeps its position, matching ``Element.set_attribute``).
+        self.attrs = None
+        #: Pre-rendered attribute string for all-static literal elements.
+        self.pre = pre
+        self.static_attrs = static_attrs
+        self.ns = ns
+        self.pending = True
+        #: True once an element or text child has been written.
+        self.has_et = False
+        #: Comments/PIs written while the start tag is still pending.
+        self.queued = None
+        self.void = False
+        self.raw = False
+        self.suppressing = False
+
+    def set_attr(self, name: str, value: str) -> None:
+        if self.attrs is None:
+            self.attrs = dict(self.static_attrs or ())
+            self.pre = None
+        self.attrs[name] = value
+
+
+class _EmitterBase:
+    """Shared stack/queueing machinery for the streaming emitters."""
+
+    def __init__(self, output: OutputSettings) -> None:
+        self.output = output
+        self.out: list[str] = []
+        self.stack: list[_OpenElement] = []
+        self._root_name: str | None = None
+        #: Bound per instance so the hot chunk path is one list append;
+        #: HtmlEmitter rebinds it while inside a suppressed void element.
+        self._put = self.out.append
+
+    # -- primitives used by compiled code ---------------------------------
+
+    def attr(self, name: str, value: str) -> None:
+        self.stack[-1].set_attr(name, value)
+
+    def declare_ns(self, prefix: str, uri: str) -> None:
+        frame = self.stack[-1]
+        if frame.ns is None:
+            frame.ns = {}
+        frame.ns[prefix] = uri
+
+    def text_pre(self, data: str, escaped: str) -> None:
+        """Static text with its escaped form precomputed at compile time."""
+        self.text(data)
+
+    def comment(self, data: str) -> None:
+        self._chunk_no_et(f"<!--{data}-->")
+
+    def _chunk_no_et(self, chunk: str) -> None:
+        if self.stack:
+            frame = self.stack[-1]
+            if frame.pending:
+                if frame.queued is None:
+                    frame.queued = []
+                frame.queued.append(chunk)
+                return
+        self._put(chunk)
+
+    def _note_root(self, name: str) -> None:
+        if not self.stack and self._root_name is None:
+            self._root_name = name
+
+
+class HtmlEmitter(_EmitterBase):
+    """Streaming twin of :func:`serialize_html` + ``OutputSettings.doctype``."""
+
+    def __init__(self, output: OutputSettings) -> None:
+        super().__init__(output)
+        self.out.append("")  # slot 0: DOCTYPE, filled at finish()
+        self._suppress = 0
+
+    @staticmethod
+    def _drop(chunk: str) -> None:
+        """``_put`` while suppressing the contents of a void element."""
+
+    def _flush_pending(self) -> None:
+        if not self.stack:
+            return
+        frame = self.stack[-1]
+        if not frame.pending:
+            return
+        frame.pending = False
+        self._put(self._start_tag(frame))
+        if frame.void:
+            frame.suppressing = True
+            self._suppress += 1
+            self._put = self._drop
+            frame.queued = None
+        elif frame.queued:
+            if not self._suppress:
+                self.out.extend(frame.queued)
+            frame.queued = None
+
+    @staticmethod
+    def _start_tag(frame: _OpenElement) -> str:
+        if frame.pre is not None:
+            return f"<{frame.tag}{frame.pre}>"
+        parts = [f"<{frame.tag}"]
+        for name, value in (frame.attrs or {}).items():
+            low = name.lower()
+            if low in _HTML_BOOLEAN_ATTRS and value.lower() == low:
+                parts.append(f" {low}")
+            else:
+                parts.append(f' {name}="{escape_attribute(value)}"')
+        parts.append(">")
+        return "".join(parts)
+
+    def start(self, name: str, attrs=None, pre=None, ns=None) -> None:
+        self._flush_pending()
+        if self.stack:
+            self.stack[-1].has_et = True
+        else:
+            self._note_root(name)
+        tag = _html_tag(name)
+        frame = _OpenElement(name, tag, pre, attrs, None)
+        if attrs and pre is None:
+            frame.attrs = dict(attrs)
+        frame.void = tag in HTML_VOID_ELEMENTS
+        frame.raw = tag in _HTML_RAW_TEXT
+        self.stack.append(frame)
+
+    def text(self, data: str) -> None:
+        if not data:
+            return
+        if self.stack:
+            frame = self.stack[-1]
+            self._flush_pending()
+            frame.has_et = True
+            self._put(data if frame.raw else escape_text(data))
+        else:
+            if not data.strip():
+                return
+            self._put(escape_text(data))
+
+    def raw(self, data: str) -> None:
+        """disable-output-escaping text (DOM: ``is_cdata`` marker)."""
+        if not data:
+            return
+        if self.stack:
+            frame = self.stack[-1]
+            self._flush_pending()
+            frame.has_et = True
+            self._put(data)
+        else:
+            if not data.strip():
+                return
+            self._put(data)
+
+    def text_pre(self, data: str, escaped: str) -> None:
+        if not data:
+            return
+        if self.stack:
+            frame = self.stack[-1]
+            self._flush_pending()
+            frame.has_et = True
+            self._put(data if frame.raw else escaped)
+        else:
+            if not data.strip():
+                return
+            self._put(escaped)
+
+    def pi(self, target: str, data: str) -> None:
+        body = f" {data}" if data else ""
+        self._chunk_no_et(f"<?{target}{body}>")
+
+    def markup(self, chunk: str, root_name: str | None = None) -> None:
+        """A statically folded element, pre-serialized at compile time."""
+        self._flush_pending()
+        if self.stack:
+            self.stack[-1].has_et = True
+        elif root_name is not None:
+            self._note_root(root_name)
+        self._put(chunk)
+
+    def end(self) -> None:
+        frame = self.stack.pop()
+        if frame.pending:
+            self._put(self._start_tag(frame))
+            if not frame.void:
+                if frame.queued and not self._suppress:
+                    self.out.extend(frame.queued)
+                self._put(f"</{frame.tag}>")
+            return
+        if frame.suppressing:
+            self._suppress -= 1
+            if not self._suppress:
+                self._put = self.out.append
+            return
+        self._put(f"</{frame.tag}>")
+
+    def start_eager(self, chunk: str, frame: _OpenElement,
+                    root_name: str) -> None:
+        """Open a literal element whose full start tag was rendered at
+        compile time and whose body provably never adds attributes —
+        *frame* is a shared, effectively-immutable placeholder."""
+        self._flush_pending()
+        if self.stack:
+            self.stack[-1].has_et = True
+        else:
+            self._note_root(root_name)
+        self._put(chunk)
+        self.stack.append(frame)
+
+    def end_eager(self, chunk: str) -> None:
+        self.stack.pop()
+        self._put(chunk)
+
+    def finish(self) -> str:
+        doctype = self.output.doctype(
+            self._root_name if self._root_name is not None else "html")
+        if doctype:
+            self.out[0] = doctype.rstrip() + "\n"
+        return "".join(self.out)
+
+
+class XmlEmitter(_EmitterBase):
+    """Streaming twin of :func:`serialize` (compact XML, no indent)."""
+
+    def __init__(self, output: OutputSettings) -> None:
+        super().__init__(output)
+        if not output.omit_xml_declaration:
+            self.out.append(
+                f'<?xml version="1.0" encoding="{output.encoding}"?>\n')
+        self.out.append("")  # DOCTYPE slot, filled at finish()
+        self._doctype_slot = len(self.out) - 1
+        self._cdata: list[str] | None = None
+
+    def _flush_cdata(self) -> None:
+        if self._cdata is not None:
+            self.out.append(f"<![CDATA[{''.join(self._cdata)}]]>")
+            self._cdata = None
+
+    def _flush_pending(self) -> None:
+        if not self.stack:
+            return
+        frame = self.stack[-1]
+        if not frame.pending:
+            return
+        frame.pending = False
+        self.out.append(f"<{frame.name}{self._attr_string(frame)}>")
+        if frame.queued:
+            self.out.extend(frame.queued)
+            frame.queued = None
+
+    @staticmethod
+    def _attr_string(frame: _OpenElement) -> str:
+        if frame.pre is not None and frame.ns is None:
+            return frame.pre
+        parts: list[str] = []
+        declared = set()
+        if frame.attrs is not None:
+            items = list(frame.attrs.items())
+        else:
+            items = list(frame.static_attrs or ())
+        for name, value in items:
+            parts.append(f' {name}="{escape_attribute(value)}"')
+            if name == "xmlns":
+                declared.add("")
+            elif name.startswith("xmlns:"):
+                declared.add(name[6:])
+        for prefix, uri in (frame.ns or {}).items():
+            if prefix in declared:
+                continue
+            xname = f"xmlns:{prefix}" if prefix else "xmlns"
+            parts.append(f' {xname}="{escape_attribute(uri)}"')
+        return "".join(parts)
+
+    def start(self, name: str, attrs=None, pre=None, ns=None) -> None:
+        self._flush_cdata()
+        self._flush_pending()
+        if self.stack:
+            self.stack[-1].has_et = True
+        else:
+            self._note_root(name)
+        frame = _OpenElement(name, name, pre, attrs, None)
+        if attrs and pre is None:
+            frame.attrs = dict(attrs)
+        if ns:
+            frame.ns = dict(ns)
+        self.stack.append(frame)
+
+    def text(self, data: str) -> None:
+        if not data:
+            return
+        if not self.stack and not data.strip():
+            return
+        self._flush_cdata()
+        self._flush_pending()
+        if self.stack:
+            self.stack[-1].has_et = True
+        self.out.append(escape_text(data))
+
+    def raw(self, data: str) -> None:
+        if not data:
+            return
+        if not self.stack and not data.strip():
+            return
+        self._flush_pending()
+        if self.stack:
+            self.stack[-1].has_et = True
+        if self._cdata is None:
+            self._cdata = []
+        self._cdata.append(data)
+
+    def text_pre(self, data: str, escaped: str) -> None:
+        if not data:
+            return
+        if not self.stack and not data.strip():
+            return
+        self._flush_cdata()
+        self._flush_pending()
+        if self.stack:
+            self.stack[-1].has_et = True
+        self.out.append(escaped)
+
+    def comment(self, data: str) -> None:
+        self._flush_cdata()
+        self._chunk_no_et(f"<!--{data}-->")
+
+    def pi(self, target: str, data: str) -> None:
+        self._flush_cdata()
+        body = f" {data}" if data else ""
+        self._chunk_no_et(f"<?{target}{body}?>")
+
+    def markup(self, chunk: str, root_name: str | None = None) -> None:
+        self._flush_cdata()
+        self._flush_pending()
+        if self.stack:
+            self.stack[-1].has_et = True
+        elif root_name is not None:
+            self._note_root(root_name)
+        self.out.append(chunk)
+
+    def end(self) -> None:
+        self._flush_cdata()
+        frame = self.stack.pop()
+        if frame.pending:
+            attrs = self._attr_string(frame)
+            if frame.queued:
+                self.out.append(f"<{frame.name}{attrs}>")
+                self.out.extend(frame.queued)
+                self.out.append(f"</{frame.name}>")
+            else:
+                self.out.append(f"<{frame.name}{attrs}/>")
+            return
+        self.out.append(f"</{frame.name}>")
+
+    def start_eager(self, chunk: str, frame: _OpenElement,
+                    root_name: str) -> None:
+        """Compile-time-rendered start tag for an element whose body
+        provably produces content and never adds attributes."""
+        self._flush_cdata()
+        self._flush_pending()
+        if self.stack:
+            self.stack[-1].has_et = True
+        else:
+            self._note_root(root_name)
+        self.out.append(chunk)
+        self.stack.append(frame)
+
+    def end_eager(self, chunk: str) -> None:
+        self._flush_cdata()
+        self.stack.pop()
+        self.out.append(chunk)
+
+    def finish(self) -> str:
+        self._flush_cdata()
+        if self.output.doctype_system and self._root_name is not None:
+            name = self._root_name
+            if self.output.doctype_public is not None:
+                line = (f"<!DOCTYPE {name}"
+                        f' PUBLIC "{self.output.doctype_public}"'
+                        f' "{self.output.doctype_system or ""}">\n')
+            else:
+                line = (f"<!DOCTYPE {name}"
+                        f' SYSTEM "{self.output.doctype_system}">\n')
+            self.out[self._doctype_slot] = line
+        return "".join(self.out)
+
+
+class TextEmitter(_EmitterBase):
+    """Streaming twin of the ``text`` output method (:func:`_text_value`)."""
+
+    def start(self, name: str, attrs=None, pre=None, ns=None) -> None:
+        if self.stack:
+            self.stack[-1].pending = False
+            self.stack[-1].has_et = True
+        frame = _OpenElement(name, name, pre, attrs, None)
+        if attrs and pre is None:
+            frame.attrs = dict(attrs)
+        self.stack.append(frame)
+
+    def text(self, data: str) -> None:
+        if not data:
+            return
+        if not self.stack and not data.strip():
+            return
+        if self.stack:
+            frame = self.stack[-1]
+            frame.pending = False
+            frame.has_et = True
+        self.out.append(data)
+
+    raw = text
+
+    def text_pre(self, data: str, escaped: str) -> None:
+        self.text(data)
+
+    def comment(self, data: str) -> None:
+        pass
+
+    def pi(self, target: str, data: str) -> None:
+        pass
+
+    def markup(self, chunk: str, root_name: str | None = None) -> None:
+        if self.stack:
+            self.stack[-1].pending = False
+            self.stack[-1].has_et = True
+        self.out.append(chunk)
+
+    def end(self) -> None:
+        self.stack.pop()
+
+    def finish(self) -> str:
+        return "".join(self.out)
+
+
+def make_emitter(output: OutputSettings):
+    """Build the streaming emitter for *output*, or ``None`` when the
+    combination (``xml`` + ``indent="yes"``) has no streaming twin."""
+    if output.method == "text":
+        return TextEmitter(output)
+    if output.method == "html":
+        return HtmlEmitter(output)
+    if not output.indent:
+        return XmlEmitter(output)
+    return None

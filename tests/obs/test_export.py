@@ -77,7 +77,8 @@ class TestCacheStats:
         stats = cache_stats()
         assert set(stats) == {"xpath.parse", "xslt.pattern", "xslt.avt",
                               "publisher.stylesheet",
-                              "publisher.transformer"}
+                              "publisher.transformer",
+                              "publisher.compiled_transformer"}
         for info in stats.values():
             assert set(info) == {"hits", "misses", "currsize", "maxsize"}
 

@@ -100,8 +100,8 @@ class TestPublisherCaches:
         assert first["publisher.stylesheet"]["misses"] >= 1
         publish_multi_page(sales_model())
         second = publisher_cache_info()
-        assert second["publisher.transformer"]["hits"] > \
-            first["publisher.transformer"]["hits"]
+        assert second["publisher.compiled_transformer"]["hits"] > \
+            first["publisher.compiled_transformer"]["hits"]
 
     def test_clear_resets_counts_and_entries(self):
         publish_multi_page(sales_model())

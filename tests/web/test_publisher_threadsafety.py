@@ -93,8 +93,8 @@ def test_concurrent_publishes_are_byte_identical_to_serial():
     for name, pages in sites:
         assert pages == serial[name], name
     info = publisher_cache_info()
-    assert info["publisher.transformer"]["misses"] == 1
-    assert info["publisher.transformer"]["hits"] == len(work) - 1
+    assert info["publisher.compiled_transformer"]["misses"] == 1
+    assert info["publisher.compiled_transformer"]["hits"] == len(work) - 1
 
 
 def test_cache_info_is_consistent_after_hammering():

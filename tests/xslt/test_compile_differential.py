@@ -1,0 +1,125 @@
+"""Compiled-vs-interpreted differential: the interpreter is the oracle.
+
+``CompiledTransformer.render`` must be byte-identical to
+``transform().serialize_all()`` on every shipped stylesheet over every
+example model, and on generated documents under the generic sheets —
+the same contract the testkit's ``compiled_differential`` family
+enforces over random models in CI.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mdm import sales_model, synthetic_model, two_facts_model
+from repro.mdm.xml_io import model_to_document
+from repro.testkit.differential import (
+    GENERIC_DIFFERENTIAL_XSL,
+    compiled_differential,
+)
+from repro.xml import Document, Element, Text
+from repro.xslt import CompiledTransformer, compile_stylesheet
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+MODELS = {
+    "sales": sales_model,
+    "retail": two_facts_model,
+    "synthetic": synthetic_model,
+    "synthetic-wide": lambda: synthetic_model(facts=6, dimensions=8,
+                                              levels_per_dimension=4),
+}
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_shipped_stylesheets_are_byte_identical(name):
+    document = model_to_document(MODELS[name]())
+    assert compiled_differential(document) == []
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_generic_stylesheets_on_model_documents(name):
+    document = model_to_document(MODELS[name]())
+    assert compiled_differential(
+        document, stylesheets=GENERIC_DIFFERENTIAL_XSL) == []
+
+
+def test_mismatch_records_pinpoint_the_divergence(monkeypatch):
+    # Sabotage the streaming serializer and check the reproducer shape:
+    # the record must carry the stylesheet, page, offset, and context.
+    from repro.xslt import output
+
+    document = model_to_document(sales_model())
+    original = output.HtmlEmitter.finish
+
+    def corrupted(self):
+        return original(self).replace("Fact classes", "Fact cl@sses", 1)
+
+    monkeypatch.setattr(output.HtmlEmitter, "finish", corrupted)
+    failures = compiled_differential(document)
+    assert failures, "sabotaged serializer must be detected"
+    record = failures[0]
+    assert record["check"] == "compiled-transform"
+    assert record["compiled"] != record["interpreted"]
+    assert isinstance(record["offset"], int)
+
+
+# -- Hypothesis sweep over generated documents ----------------------------
+
+_names = st.sampled_from(["a", "b", "c", "item", "node-x"])
+_text = st.text(alphabet=string.ascii_letters + " &<>'\"", min_size=1,
+                max_size=15).filter(lambda t: t.strip())
+
+
+@st.composite
+def documents(draw, depth: int = 0):
+    element = Element(draw(_names))
+    for name in draw(st.lists(st.sampled_from(["x", "y"]), max_size=2,
+                              unique=True)):
+        element.set_attribute(name, draw(_text))
+    if depth < 3:
+        for child in draw(st.lists(
+                st.one_of(st.builds(Text, _text),
+                          documents(depth=depth + 1)), max_size=3)):
+            element.append_child(child)
+    if depth:
+        return element
+    document = Document()
+    document.append_child(element)
+    return document
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_generic_sheets_agree_on_generated_documents(document):
+    assert compiled_differential(
+        document, stylesheets=GENERIC_DIFFERENTIAL_XSL) == []
+
+
+CONDITIONAL_XSL = f"""<xsl:stylesheet version="1.0" {XSL}>
+  <xsl:output method="html"/>
+  <xsl:template match="/">
+    <table><xsl:apply-templates select="//*"/></table>
+  </xsl:template>
+  <xsl:template match="*">
+    <tr class="{{name()}}">
+      <td><xsl:value-of select="name()"/></td>
+      <xsl:choose>
+        <xsl:when test="@x"><td x="{{@x}}">x</td></xsl:when>
+        <xsl:when test="text()"><td><xsl:value-of select="."/></td></xsl:when>
+        <xsl:otherwise><td/></xsl:otherwise>
+      </xsl:choose>
+    </tr>
+  </xsl:template>
+</xsl:stylesheet>"""
+
+CONDITIONAL = CompiledTransformer(compile_stylesheet(CONDITIONAL_XSL))
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_conditionals_and_avts_agree_on_generated_documents(document):
+    rendered = CONDITIONAL.render(document)
+    assert rendered.used_compiled
+    assert rendered.pages == CONDITIONAL.transform(document).serialize_all()

@@ -1,0 +1,332 @@
+"""Compiled-path regressions (DESIGN.md §13).
+
+The compiled engine streams serialized text while the interpreter
+builds a result DOM and serializes it afterwards; these tests pin the
+serializer edge cases where those two strategies are easiest to tear
+apart — attribute ordering, escaping, whitespace, CDATA coalescing —
+plus the escape hatches (``--no-compile`` / ``GOLDCASE_NO_COMPILE``),
+the fallback taxonomy, and fault-point parity.
+"""
+
+import pytest
+
+from repro.faults import FaultError, FaultPlan, injected_faults
+from repro.xml import parse
+from repro.xslt import (
+    CompiledTransformer,
+    XSLTRuntimeError,
+    compile_enabled,
+    compile_stylesheet,
+    set_compile_enabled,
+)
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+def render_both(stylesheet, source, params=None):
+    """(transformer, compiled result, interpreter pages) for one input."""
+    transformer = CompiledTransformer(compile_stylesheet(stylesheet))
+    rendered = transformer.render(parse(source), params)
+    pages = transformer.transform(parse(source), params).serialize_all()
+    return transformer, rendered, pages
+
+
+def identical(stylesheet, source, params=None):
+    """Assert compiled == interpreted and return the principal page."""
+    _, rendered, pages = render_both(stylesheet, source, params)
+    assert rendered.used_compiled
+    assert rendered.pages == pages
+    return rendered.pages[""]
+
+
+class TestEscapingAndAttributes:
+    def test_empty_avt_segments(self):
+        # AVTs whose dynamic parts evaluate to "" must still join the
+        # literal parts exactly; a naive serializer drops the segment.
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="html"/>
+          <xsl:template match="r">
+            <a href="pre{{@missing}}post{{name}}">x</a>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r><name/></r>')
+        assert 'href="prepost"' in page
+
+    def test_attribute_values_escape_quotes_and_ampersands(self):
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="xml" omit-xml-declaration="yes"/>
+          <xsl:template match="r">
+            <a t="{{@v}}"/>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r v="a&amp;b&quot;c&lt;d"/>')
+        assert page == '<a t="a&amp;b&quot;c&lt;d"/>'
+
+    def test_xsl_attribute_replaces_literal_in_place(self):
+        # Setting an attribute that already exists must keep its
+        # original position, not append a duplicate at the end.
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="xml" omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <a x="1" y="2"><xsl:attribute name="x">9</xsl:attribute></a>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r/>')
+        assert page == '<a x="9" y="2"/>'
+
+    def test_comment_before_xsl_attribute_is_legal(self):
+        # Comments are queued while the start tag is pending, so an
+        # xsl:attribute after an xsl:comment still lands on the tag.
+        identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="xml" omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <a><xsl:comment>c</xsl:comment>
+               <xsl:attribute name="x">1</xsl:attribute></a>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r/>')
+
+    def test_copied_attribute_after_children_raises_loudly(self):
+        # The interpreter mutates the result DOM retroactively; the
+        # streaming path cannot, and must say so instead of silently
+        # dropping the attribute (documented divergence, DESIGN.md §13).
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="xml" omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <a><b/><xsl:copy-of select="r/@late"/></a>
+          </xsl:template>
+        </xsl:stylesheet>""")
+        with pytest.raises(XSLTRuntimeError, match="GOLDCASE_NO_COMPILE"):
+            CompiledTransformer(sheet).render(parse('<r late="x"/>'))
+
+    def test_html_boolean_attributes_minimize(self):
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="html"/>
+          <xsl:template match="/">
+            <input type="checkbox" checked="checked"/>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r/>')
+        assert "checked" in page and "checked=" not in page
+
+
+class TestWhitespaceAndText:
+    def test_xsl_text_preserves_exact_whitespace(self):
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/"
+            ><xsl:text>  a  </xsl:text><xsl:text>b
+c</xsl:text></xsl:template>
+        </xsl:stylesheet>""", '<r/>')
+        assert page == "  a  b\nc"
+
+    def test_document_level_whitespace_text_is_dropped(self):
+        # Whitespace-only text at depth 0 never reaches the output in
+        # either engine (the DOM simply has nowhere to hang it).
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="xml" omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <xsl:text>  </xsl:text><a/><xsl:text> </xsl:text>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r/>')
+        assert page == "<a/>"
+
+    def test_text_escaping_in_xml_and_html(self):
+        for method, expected in (("xml", "&lt;b&gt; &amp; 'q'"),
+                                 ("html", "&lt;b&gt; &amp; 'q'")):
+            page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+              <xsl:output method="{method}" omit-xml-declaration="yes"/>
+              <xsl:template match="/"><p><xsl:value-of select="r"/></p>
+              </xsl:template>
+            </xsl:stylesheet>""", "<r>&lt;b&gt; &amp; 'q'</r>")
+            assert expected in page
+
+
+class TestDisableOutputEscaping:
+    def test_html_raw_text_inside_script(self):
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="html"/>
+          <xsl:template match="/">
+            <script>if (a &lt; b &amp;&amp; c) go();</script>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r/>')
+        assert "<script>if (a < b && c) go();</script>" in page
+
+    def test_doe_text_emits_raw_in_html(self):
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="html"/>
+          <xsl:template match="/">
+            <p><xsl:text disable-output-escaping="yes">&lt;i&gt;raw&lt;/i&gt;</xsl:text></p>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r/>')
+        assert "<p><i>raw</i></p>" in page
+
+    def test_adjacent_doe_text_coalesces_into_one_cdata(self):
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="xml" omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <s><xsl:text disable-output-escaping="yes">a &lt; </xsl:text
+              ><xsl:text disable-output-escaping="yes">b</xsl:text></s>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r/>')
+        assert page == "<s><![CDATA[a < b]]></s>"
+
+
+class TestHtmlShape:
+    def test_void_element_children_are_dropped(self):
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="html"/>
+          <xsl:template match="/">
+            <p><br><xsl:text>ghost</xsl:text><b>inner</b></br>after</p>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r/>')
+        assert "<p><br>after</p>" in page
+        assert "ghost" not in page and "inner" not in page
+
+    def test_xml_childless_element_self_closes(self):
+        # An element whose body *may* produce content but doesn't must
+        # still collapse to <a/> — the eager-constant path is only legal
+        # when content is statically guaranteed.
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="xml" omit-xml-declaration="yes"/>
+          <xsl:template match="/">
+            <a><xsl:apply-templates select="r/none"/></a>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r/>')
+        assert page == "<a/>"
+
+
+class TestEagerElements:
+    def test_safe_body_literal_runs_match_interpreter(self):
+        identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="html"/>
+          <xsl:template match="/">
+            <table><xsl:for-each select="//i">
+              <tr><td><xsl:value-of select="."/></td></tr>
+            </xsl:for-each></table>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r><i>1</i><i>2</i></r>')
+
+    def test_xsl_attribute_in_body_disables_eager_path(self):
+        page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="html"/>
+          <xsl:template match="/">
+            <td><xsl:attribute name="class">hot</xsl:attribute>v</td>
+          </xsl:template>
+        </xsl:stylesheet>""", '<r/>')
+        assert '<td class="hot">v</td>' in page
+
+    def test_conditional_attribute_in_body_disables_eager_path(self):
+        # The xsl:attribute hides inside an xsl:if — static analysis
+        # must treat the whole body as attribute-unsafe.
+        for flag, expected in (("1", '<td class="hot">v</td>'),
+                               ("0", "<td>v</td>")):
+            page = identical(f"""<xsl:stylesheet version="1.0" {XSL}>
+              <xsl:output method="html"/>
+              <xsl:template match="/">
+                <td><xsl:if test="r/@hot = '1'">
+                  <xsl:attribute name="class">hot</xsl:attribute>
+                </xsl:if>v</td>
+              </xsl:template>
+            </xsl:stylesheet>""", f'<r hot="{flag}"/>')
+            assert expected in page
+
+
+class TestEscapeHatches:
+    @pytest.fixture(autouse=True)
+    def _restore_override(self):
+        yield
+        set_compile_enabled(None)
+
+    def test_set_compile_enabled_overrides_env(self, monkeypatch):
+        monkeypatch.delenv("GOLDCASE_NO_COMPILE", raising=False)
+        assert compile_enabled()
+        set_compile_enabled(False)
+        assert not compile_enabled()
+        monkeypatch.setenv("GOLDCASE_NO_COMPILE", "0")
+        assert not compile_enabled()  # explicit override wins over env
+        set_compile_enabled(None)
+        assert compile_enabled()
+
+    def test_env_variable_disables(self, monkeypatch):
+        monkeypatch.setenv("GOLDCASE_NO_COMPILE", "1")
+        assert not compile_enabled()
+        monkeypatch.setenv("GOLDCASE_NO_COMPILE", "0")
+        assert compile_enabled()
+
+    def test_cli_publish_no_compile_flag(self, tmp_path, monkeypatch):
+        from repro.casetool.cli import main
+        from repro.mdm import model_to_xml, sales_model
+
+        monkeypatch.delenv("GOLDCASE_NO_COMPILE", raising=False)
+        model = tmp_path / "m.xml"
+        model.write_text(model_to_xml(sales_model()), encoding="utf-8")
+        assert main(["publish", "--no-compile", str(model),
+                     str(tmp_path / "site")]) == 0
+        assert not compile_enabled()
+
+    def test_publisher_honours_toggle(self):
+        from repro.mdm import sales_model
+        from repro.web import publish_multi_page
+        from repro.web.publisher import (clear_publisher_caches,
+                                         publisher_cache_info)
+
+        clear_publisher_caches()
+        try:
+            set_compile_enabled(False)
+            interpreted = publish_multi_page(sales_model())
+            assert publisher_cache_info()[
+                "publisher.compiled_transformer"]["misses"] == 0
+            set_compile_enabled(True)
+            compiled = publish_multi_page(sales_model())
+            assert publisher_cache_info()[
+                "publisher.compiled_transformer"]["misses"] == 1
+            assert compiled.pages == interpreted.pages
+        finally:
+            clear_publisher_caches()
+
+
+class TestFallbacksAndFaults:
+    def test_indented_xml_output_falls_back(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="xml" indent="yes" omit-xml-declaration="yes"/>
+          <xsl:template match="/"><a><b/></a></xsl:template>
+        </xsl:stylesheet>""")
+        transformer = CompiledTransformer(sheet)
+        rendered = transformer.render(parse('<r/>'))
+        assert not rendered.used_compiled
+        assert rendered.pages == \
+            transformer.transform(parse('<r/>')).serialize_all()
+
+    def test_compile_error_falls_back_to_interpreter(self, monkeypatch):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">ok</xsl:template>
+        </xsl:stylesheet>""")
+        monkeypatch.setattr(
+            "repro.xslt.compile.runtime.CompiledTransformer._compile_all",
+            lambda self: (_ for _ in ()).throw(ValueError("boom")))
+        transformer = CompiledTransformer(sheet)
+        assert transformer._compile_error == "ValueError: boom"
+        rendered = transformer.render(parse('<r/>'))
+        assert not rendered.used_compiled
+        assert rendered.pages[""] == "ok"
+
+    def test_transform_fault_fires_in_compiled_path(self):
+        sheet = compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+          <xsl:output method="text"/>
+          <xsl:template match="/">ok</xsl:template>
+        </xsl:stylesheet>""")
+        transformer = CompiledTransformer(sheet)
+        plan = FaultPlan.from_text("seed=1;xslt.transform=raise:1")
+        with injected_faults(plan) as registry:
+            with pytest.raises(FaultError):
+                transformer.render(parse('<r/>'))
+            assert registry.fired().get("xslt.transform") == 1
+
+    def test_compile_stats_are_reported(self):
+        transformer = CompiledTransformer(
+            compile_stylesheet(f"""<xsl:stylesheet version="1.0" {XSL}>
+              <xsl:output method="text"/>
+              <xsl:template match="/"><xsl:value-of select="r/a"/>
+              </xsl:template>
+            </xsl:stylesheet>"""))
+        stats = transformer.compile_stats
+        assert stats["templates"] >= 1
+        assert stats["selects_lowered"] >= 1
+        assert stats["selects_fallback"] == 0
