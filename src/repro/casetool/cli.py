@@ -14,6 +14,8 @@ exposes the same workflow:
    goldcase tree                          # Fig. 2 schema tree
    goldcase publish model.xml site/       # Fig. 6 multi-page site
    goldcase publish --single model.xml s/ # one page, internal anchors
+   goldcase publish --incremental-from site/ model.xml site/
+                                          # diff-driven republish
    goldcase present model.xml f1 out.html # Fig. 5 per-fact presentation
    goldcase export --sql star model.xml   # OLAP-tool (SQL) export
    goldcase serve --demo                  # model-repository HTTP server
@@ -98,6 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="force the interpreting XSLT engine instead "
                               "of the compiled closures (DESIGN.md §13); "
                               "GOLDCASE_NO_COMPILE=1 does the same")
+    publish.add_argument("--incremental-from", metavar="DIR",
+                         dest="incremental_from", default=None,
+                         help="previous multi-page build to diff against: "
+                              "only pages affected by the edit are "
+                              "re-rendered, the rest reuse DIR's bytes "
+                              "(DESIGN.md §14); usually the same DIR as "
+                              "the output directory")
+    publish.add_argument("--no-incremental", action="store_true",
+                         help="disable diff-driven republish and the "
+                              "dependency-index dotfile; "
+                              "GOLDCASE_NO_INCREMENTAL=1 does the same")
 
     present = sub.add_parser(
         "present", help="one per-fact-class presentation (Fig. 5)")
@@ -153,6 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force the interpreting XSLT engine instead "
                             "of the compiled closures (DESIGN.md §13); "
                             "GOLDCASE_NO_COMPILE=1 does the same")
+    serve.add_argument("--no-incremental", action="store_true",
+                       help="always rebuild sites cold on re-upload "
+                            "instead of diff-driven republish "
+                            "(DESIGN.md §14); GOLDCASE_NO_INCREMENTAL=1 "
+                            "does the same")
 
     fo = sub.add_parser(
         "fo", help="XSL-FO export with paginated rendering (paper §6)")
@@ -178,6 +196,33 @@ def _load_model(path: str):
 
     with open(path, "rb") as handle:
         return xml_to_model(handle.read())
+
+
+def _load_previous_build(directory: str):
+    """(index, pages) reloaded from a published site directory, or None.
+
+    Missing pages are simply omitted — :func:`republish_incremental`
+    notices and falls back to a full publish (reason ``missing_page``).
+    """
+    import os
+
+    from ..web.incremental import INDEX_FILENAME, DependencyIndex
+
+    try:
+        with open(os.path.join(directory, INDEX_FILENAME),
+                  encoding="utf-8") as handle:
+            index = DependencyIndex.from_json(handle.read())
+    except (OSError, ValueError, KeyError):
+        return None
+    pages = {}
+    for name in index.page_names:
+        try:
+            with open(os.path.join(directory, name),
+                      encoding="utf-8") as handle:
+                pages[name] = handle.read()
+        except OSError:
+            continue
+    return index, pages
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -261,18 +306,54 @@ def _run(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "publish":
+        import os
+
         from ..web import check_site, publish_multi_page, publish_single_page
+        from ..web.incremental import (INDEX_FILENAME, incremental_enabled,
+                                       publish_with_index,
+                                       republish_incremental,
+                                       set_incremental_enabled)
 
         if args.no_compile:
             from ..xslt import set_compile_enabled
 
             set_compile_enabled(False)
+        if args.no_incremental:
+            set_incremental_enabled(False)
         model = _load_model(args.model)
-        site = publish_single_page(model) if args.single \
-            else publish_multi_page(model)
+        index = None
+        note = ""
+        if args.single:
+            site = publish_single_page(model)
+        elif not incremental_enabled():
+            site = publish_multi_page(model)
+        else:
+            previous = _load_previous_build(args.incremental_from) \
+                if args.incremental_from else None
+            if previous is not None:
+                site, index, info = republish_incremental(
+                    model, previous[1], previous[0], verify_pages=True)
+                if info["mode"] == "incremental":
+                    note = (f" ({info['pages_rebuilt']} pages rebuilt, "
+                            f"{info['pages_reused']} reused)")
+                elif info["mode"] == "reuse":
+                    note = " (no effective change; every page reused)"
+                else:
+                    note = (" (republished cold; incremental fallback: "
+                            f"{info['reason']})")
+            else:
+                if args.incremental_from:
+                    print(f"no usable {INDEX_FILENAME} under "
+                          f"{args.incremental_from}; publishing cold",
+                          file=sys.stderr)
+                site, index = publish_with_index(model)
         written = site.write_to(args.directory)
+        if index is not None:
+            with open(os.path.join(args.directory, INDEX_FILENAME), "w",
+                      encoding="utf-8") as handle:
+                handle.write(index.to_json())
         report = check_site(site)
-        print(f"{len(written)} files written to {args.directory}; "
+        print(f"{len(written)} files written to {args.directory}{note}; "
               f"{report.total_links} links checked, "
               f"{'all OK' if report.ok else 'BROKEN LINKS FOUND'}")
         return 0 if report.ok else 1
@@ -352,6 +433,10 @@ def _run(args: argparse.Namespace) -> int:
             from ..xslt import set_compile_enabled
 
             set_compile_enabled(False)
+        if args.no_incremental:
+            from ..web.incremental import set_incremental_enabled
+
+            set_incremental_enabled(False)
         app = ModelRepositoryApp()
         if args.demo:
             for factory in (sales_model, two_facts_model):

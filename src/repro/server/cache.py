@@ -15,6 +15,15 @@ whose bytes have not changed:
   count (``server.site.coalesced`` counts the waiters that were spared
   a build).  Distinct models hold distinct locks, so they build in
   parallel on the server's thread pool.
+* **Incremental when possible (DESIGN.md §14).**  Multi-page builds run
+  tracked, and the resulting dependency index is stored *under the
+  content hash of the entry it describes*.  A rebuild triggered by a
+  re-upload goes through :func:`repro.web.incremental
+  .republish_incremental` when the stored index matches the previous
+  entry — diffing the models and re-rendering only dirty pages, reusing
+  the previous entry's bytes (and therefore its ETags) for the rest —
+  and falls back to a cold tracked build on any mismatch
+  (``server.site.incremental`` / ``server.site.incremental_fallback``).
 * **Link-checked at build time.**  Every page-producing build runs
   :func:`repro.web.linkcheck.check_site` and stores the report, so the
   ``/health/<model>`` endpoint surfaces broken anchors instead of the
@@ -47,8 +56,21 @@ from dataclasses import dataclass, field
 from ..faults import FAULTS, fault_point
 from ..obs.recorder import RECORDER as _REC
 from ..web.client import client_bundle
+from ..web.incremental import (
+    DependencyIndex,
+    build_index,
+    classify_node,
+    incremental_enabled,
+    republish_incremental,
+)
 from ..web.linkcheck import LinkReport, check_site
-from ..web.publisher import publish_multi_page, publish_single_page
+from ..web.publisher import (
+    PROFILE_PAGE,
+    publish_multi_page,
+    publish_single_page,
+)
+from ..web.stylesheets import MULTI_PAGE_XSL
+from ..xml import tracking as _tracking
 from .store import ModelRecord
 
 __all__ = ["SiteCache", "SiteEntry", "VARIANTS", "CacheOverloadError",
@@ -154,6 +176,14 @@ class SiteCache:
         #: (name, variant) → message of the most recent failed build;
         #: cleared by the next successful build of that key.
         self._build_errors: dict[tuple[str, str], str] = {}
+        #: (name, "multi") → (content_hash of the entry the index was
+        #: recorded for, its dependency index).  The hash pins the index
+        #: to one specific build: an incremental rebuild only runs when
+        #: it matches the entry whose bytes would be reused, so a server
+        #: restarted (or otherwise holding a divergent entry) never
+        #: applies a diff against the wrong baseline.
+        self._dep_indexes: dict[tuple[str, str],
+                                tuple[str, DependencyIndex]] = {}
         #: (name, variant) → monotonic count of *finished* build
         #: attempts (success or failure).  A waiter that blocked on the
         #: model lock snapshots this before blocking: an unchanged value
@@ -165,7 +195,8 @@ class SiteCache:
         # recorder off; obs counters mirror them when profiling.
         self._stats = {"hits": 0, "rebuilds": 0, "coalesced": 0,
                        "invalidations": 0, "build_failures": 0,
-                       "stale_served": 0, "shed": 0}
+                       "stale_served": 0, "shed": 0,
+                       "incremental": 0, "incremental_fallback": 0}
 
     # -- internals ---------------------------------------------------------
 
@@ -181,7 +212,9 @@ class SiteCache:
                 "invalidations": "server.site.invalidation",
                 "build_failures": "server.site.build_failure",
                 "stale_served": "server.stale_served",
-                "shed": "server.shed"}
+                "shed": "server.shed",
+                "incremental": "server.site.incremental",
+                "incremental_fallback": "server.site.incremental_fallback"}
 
     def _bump(self, stat: str) -> None:
         with self._meta_lock:
@@ -245,7 +278,7 @@ class SiteCache:
                                variant=variant):
                     if FAULTS.enabled:
                         FAULTS.hit(_REBUILD_FAULT)
-                    entry = _build_variant(record, variant)
+                    entry = self._build(key, record, variant)
             except Exception as exc:
                 self._bump("build_failures")
                 with self._meta_lock:
@@ -262,6 +295,82 @@ class SiteCache:
                 with self._meta_lock:
                     self._build_tokens[key] = \
                         self._build_tokens.get(key, 0) + 1
+
+    def _build(self, key: tuple[str, str], record: ModelRecord,
+               variant: str) -> SiteEntry:
+        """Build *variant*, going incremental for stale "multi" entries.
+
+        Full builds always go through the module-level
+        :func:`_build_variant` (the seam fault tests monkeypatch); the
+        incremental path only engages when a previous entry *and* a
+        dependency index recorded for that exact entry (content hashes
+        match) are available.  Any other combination — including an
+        index left over from a different baseline — falls back to a
+        tracked full build, counted as ``incremental_fallback``.
+        """
+        if variant != "multi" or not incremental_enabled():
+            return _build_variant(record, variant)
+        previous = self._entries.get(key)
+        with self._meta_lock:
+            stored = self._dep_indexes.get(key)
+        if previous is not None and stored is not None:
+            stored_hash, index = stored
+            if stored_hash == previous.content_hash:
+                return self._build_incremental(key, record, previous, index)
+            # The index describes some other build than the entry whose
+            # bytes we would reuse (e.g. state reloaded after a restart):
+            # applying the diff would republish against the wrong
+            # baseline, so rebuild cold instead.
+            self._bump("incremental_fallback")
+        return self._build_tracked(key, record)
+
+    def _build_tracked(self, key: tuple[str, str],
+                       record: ModelRecord) -> SiteEntry:
+        """Full multi build, tracked so the *next* rebuild can be
+        incremental.  Called with the model lock held."""
+        tracker = _tracking.ReadTracker(classify_node)
+        with _tracking.installed(tracker):
+            entry = _build_variant(record, "multi")
+        page_names = sorted(
+            name for name in entry.pages
+            if name.endswith(".html") and name != PROFILE_PAGE)
+        # ETags are quoted sha256 of the UTF-8 bytes — exactly the text
+        # hashes the index stores, so no page is decoded or re-hashed.
+        index = build_index(
+            tracker, page_names,
+            {name: entry.etags[name].strip('"') for name in page_names},
+            stylesheet=MULTI_PAGE_XSL, baseline_model=record.model)
+        with self._meta_lock:
+            self._dep_indexes[key] = (entry.content_hash, index)
+        return entry
+
+    def _build_incremental(self, key: tuple[str, str], record: ModelRecord,
+                           previous: SiteEntry,
+                           index: DependencyIndex) -> SiteEntry:
+        """Diff-driven rebuild reusing *previous*'s bytes for clean pages.
+
+        ``republish_incremental`` degrades to a full publish internally
+        on any diff/index miss (counted here as ``incremental_fallback``)
+        but lets injected ``publish.diff`` faults propagate, so the
+        caller's serve-stale degradation still gets exercised.
+        """
+        previous_pages = {name: data.decode("utf-8")
+                          for name, data in previous.pages.items()}
+        site, new_index, info = republish_incremental(
+            record.model, previous_pages, index)
+        pages = {name: text.encode("utf-8")
+                 for name, text in site.pages.items()}
+        entry = SiteEntry(
+            name=record.name, variant="multi",
+            content_hash=record.content_hash, revision=record.revision,
+            pages=pages,
+            etags={name: page_etag(data) for name, data in pages.items()},
+            link_report=check_site(site), messages=site.messages)
+        with self._meta_lock:
+            self._dep_indexes[key] = (entry.content_hash, new_index)
+        self._bump("incremental_fallback" if info["mode"] == "full"
+                   else "incremental")
+        return entry
 
     def _degraded(self, key: tuple[str, str], record: ModelRecord,
                   variant: str) -> SiteEntry:
@@ -308,6 +417,7 @@ class SiteCache:
             with self._meta_lock:
                 for variant in VARIANTS:
                     self._build_errors.pop((name, variant), None)
+                    self._dep_indexes.pop((name, variant), None)
         if removed:
             self._bump("invalidations")
         return removed

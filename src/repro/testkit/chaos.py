@@ -14,10 +14,13 @@ seed-derived rounds against it.  Each round is determined by
 2. **Coalesce check** (faults off): a barrier burst against the stale
    page must trigger exactly one rebuild and one shared body.
 3. **Hammer** (faults on): a randomized :class:`FaultPlan` — rebuild
-   failures, per-page render failures, transport delays and drops — is
-   activated while concurrent :class:`RepositoryClient` workers fetch
-   models, pages, and health, and a mid-phase version flip forces
-   rebuilds to happen *under* the faults.
+   failures, per-page render failures, incremental-diff failures,
+   transport delays and drops — is activated while concurrent
+   :class:`RepositoryClient` workers fetch models, pages, and health,
+   and a mid-phase version flip forces rebuilds to happen *under* the
+   faults.  Warm rebuilds route through the incremental republisher
+   (the cache already holds the previous build plus its dependency
+   index), so the flip exercises the diff path specifically.
 4. **Recover** (faults off): every resource must come back fresh,
    current, and unmarked.
 
@@ -61,6 +64,7 @@ FAULT_MENU = (
     ("cache.rebuild", "raise"),
     ("cache.rebuild", "delay"),
     ("publish.page", "raise"),
+    ("publish.diff", "raise"),
     ("xslt.transform", "raise"),
     ("httpd.read", "delay"),
     ("httpd.write", "delay"),
@@ -75,7 +79,7 @@ TRANSPORT_POINTS = frozenset({"httpd.read", "httpd.write"})
 #: Points whose ``raise`` mode may surface as a 500 (cold build) —
 #: normally absorbed into a stale 200, but never guaranteed to be.
 BUILD_POINTS = frozenset({"cache.rebuild", "publish.page",
-                          "xslt.transform"})
+                          "publish.diff", "xslt.transform"})
 
 
 def _sha(payload: bytes) -> str:

@@ -35,6 +35,7 @@ __all__ = [
     "dispatch_differential",
     "sort_differential",
     "compiled_differential",
+    "incremental_differential",
     "GENERIC_DIFFERENTIAL_XSL",
 ]
 
@@ -222,6 +223,90 @@ def sort_differential(root: Node, shuffles: int,
                 "optimized": [describe_node(n) for n in optimized],
                 "reference": [describe_node(n) for n in reference],
             })
+    return failures
+
+
+def _page_divergences(incremental_pages: dict, cold_pages: dict,
+                      skip: frozenset) -> list[dict]:
+    """Byte-level divergence records between two published sites."""
+    records = []
+    for href in sorted((set(incremental_pages) | set(cold_pages)) - skip):
+        left = incremental_pages.get(href)
+        right = cold_pages.get(href)
+        if left == right:
+            continue
+        record = {"page": href}
+        if left is None or right is None:
+            record["missing_in"] = "incremental" if left is None else "cold"
+        else:
+            offset = _first_divergence(left, right)
+            record.update({
+                "offset": offset,
+                "incremental": left[offset:offset + 120],
+                "cold": right[offset:offset + 120],
+            })
+        records.append(record)
+    return records
+
+
+def incremental_differential(model, edits: Sequence[tuple[str, int, int, int]]
+                             ) -> list[dict]:
+    """Replay an edit script, proving every incremental republish
+    byte-identical to a cold publish of the same model.
+
+    Chained deliberately: each step's incremental output (bytes *and*
+    refreshed dependency index) becomes the next step's baseline, so a
+    single page that is stale-but-plausible poisons every later step —
+    exactly how a CASE tool session would compound the bug.  Odd steps
+    round-trip the index through its JSON form first — the dotfile
+    scenario — so both diff paths run in every script: the in-memory
+    model diff (with its in-place DOM patching) on even steps, the
+    serialized-baseline document diff on odd ones.  The first record
+    for a step names the edit and the diverging page, which is the
+    whole reproducer: ``(seed, iteration, step)`` replays it.
+    """
+    from ..web.incremental import (
+        DependencyIndex,
+        publish_with_index,
+        republish_incremental,
+    )
+    from ..web.publisher import PROFILE_PAGE, publish_multi_page
+    from .generators import apply_model_edit
+
+    # The profile page is additive instrumentation (timings differ run
+    # to run by design); everything else must match to the byte.
+    skip = frozenset({PROFILE_PAGE})
+    failures: list[dict] = []
+
+    site, index = publish_with_index(model)
+    for record in _page_divergences(dict(site.pages),
+                                    dict(publish_multi_page(model).pages),
+                                    skip):
+        record.update({"check": "tracked-publish", "model": model.name})
+        failures.append(record)
+
+    current = model
+    previous_pages = dict(site.pages)
+    for step, op in enumerate(edits):
+        current, description = apply_model_edit(current, op)
+        if step % 2 == 1:
+            index = DependencyIndex.from_json(index.to_json())
+        new_site, index, info = republish_incremental(
+            current, previous_pages, index)
+        cold = publish_multi_page(current)
+        for record in _page_divergences(dict(new_site.pages),
+                                        dict(cold.pages), skip):
+            record.update({
+                "check": "incremental-byte-identity",
+                "step": step,
+                "op": list(op),
+                "edit": description,
+                "mode": info["mode"],
+                "fallback_reason": info["reason"],
+                "model": current.name,
+            })
+            failures.append(record)
+        previous_pages = dict(new_site.pages)
     return failures
 
 

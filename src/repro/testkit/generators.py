@@ -18,7 +18,10 @@ Three workload families:
   hammer the version-stamped cache invalidation of the DOM;
 * :func:`random_xpath` — expressions built from a grammar whose every
   production is supported by both the optimized and the reference
-  evaluator.
+  evaluator;
+* :func:`random_model_edit_script` — designer-shaped edit scripts over
+  a model document (renames, flag toggles, measure adds, whole-unit
+  clone/drop) that drive the incremental-republish differential.
 """
 
 from __future__ import annotations
@@ -46,8 +49,11 @@ __all__ = [
     "random_document",
     "random_mutations",
     "apply_mutation",
+    "random_model_edit_script",
+    "apply_model_edit",
     "random_xpath",
     "MUTATION_KINDS",
+    "MODEL_EDIT_KINDS",
     "DOCUMENT_TAGS",
     "DOCUMENT_ATTRS",
 ]
@@ -391,6 +397,159 @@ def apply_mutation(pool: Sequence[Document],
         raise ValueError(f"unknown mutation kind {kind!r}")
     except DOMError as exc:
         return f"{kind}: no-op ({exc})"
+
+
+# -- GOLD model edit scripts ------------------------------------------------
+
+#: Designer-shaped edits over a model *document*, spanning every
+#: incremental-republish regime: attribute tweaks inside one unit
+#: (dirty-page republish), model-level toggles (everything dirties),
+#: and whole-unit clone/drop (structural → full-publish fallback).
+MODEL_EDIT_KINDS = (
+    "rename", "describe", "toggle", "add_measure", "drop_child",
+    "clone_unit", "drop_unit",
+)
+
+#: Unit-rooting tags, mirrored from :mod:`repro.web.incremental` (a
+#: value import would drag the publishing stack into the generators).
+_UNIT_TAGS = ("factclass", "dimclass", "cubeclass", "asoclevel", "catlevel")
+
+
+def random_model_edit_script(rng: random.Random, count: int = 6
+                             ) -> list[tuple[str, int, int, int]]:
+    """A replayable model edit script: ``(kind, a, b, c)`` opcode tuples.
+
+    Like :func:`random_mutations`, the integer operands are resolved
+    against the *current* model by :func:`apply_model_edit`, so the
+    script alone (plus the starting model) fully determines the edits.
+    """
+    big = 1 << 30
+    return [
+        (rng.choice(MODEL_EDIT_KINDS), rng.randrange(big),
+         rng.randrange(big), rng.randrange(big))
+        for _ in range(count)
+    ]
+
+
+def _unused_id(elements: Sequence[Element], candidate: str) -> str:
+    """*candidate*, suffixed until it collides with no existing @id.
+
+    Duplicate ids would collide page hrefs (every unit publishes to
+    ``{@id}.html``), turning an edit into a publish error instead of a
+    model variation.
+    """
+    existing = {e.get_attribute("id") for e in elements}
+    while candidate in existing:
+        candidate += "x"
+    return candidate
+
+
+def _clone_element(element: Element) -> Element:
+    clone = Element(element.name)
+    for attribute in element.attributes:
+        clone.set_attribute(attribute.name, attribute.value)
+    for child in element.children:
+        if isinstance(child, Element):
+            clone.append_child(_clone_element(child))
+    return clone
+
+
+def apply_model_edit(model: GoldModel,
+                     op: tuple[str, int, int, int]) -> tuple[GoldModel, str]:
+    """Apply one edit opcode to *model*; returns ``(new_model, what)``.
+
+    The edit happens on the serialized document (the form a web-based
+    editor would manipulate, §5) and is parsed back through
+    :func:`~repro.mdm.xml_io.document_to_model`; an edit the parser
+    rejects is reported as a no-op, keeping scripts aligned with what
+    the CASE tool would actually accept.
+    """
+    from ..mdm.errors import ModelStructureError
+    from ..mdm.xml_io import document_to_model, model_to_document
+
+    kind, a, b, c = op
+    document = model_to_document(model)
+    root = document.root_element
+    assert root is not None
+    elements = list(root.iter_elements())
+    units = [e for e in elements if e.name in _UNIT_TAGS]
+
+    if kind == "rename":
+        named = [e for e in elements if e.get_attribute("name") is not None]
+        target = named[a % len(named)]
+        target.set_attribute("name", f"Renamed {b % 50}")
+        description = f"rename <{target.name}> to 'Renamed {b % 50}'"
+    elif kind == "describe":
+        target = ([root] + units)[a % (len(units) + 1)]
+        target.set_attribute("description", f"edited description {b % 50}")
+        description = f"describe <{target.name}>"
+    elif kind == "toggle":
+        flags: list[tuple[Element, str]] = [
+            (root, "showatts"), (root, "showmethods")]
+        flags.extend((e, "atomic") for e in elements
+                     if e.name == "factatt")
+        target, name = flags[a % len(flags)]
+        flipped = "no" if target.get_attribute(name) == "yes" else "yes"
+        target.set_attribute(name, flipped)
+        description = f"toggle @{name} on <{target.name}> to {flipped}"
+    elif kind == "add_measure":
+        facts = [e for e in elements if e.name == "factclass"]
+        fact = facts[a % len(facts)]
+        atts = fact.find("factatts")
+        if atts is None:
+            atts = Element("factatts")
+            fact.append_child(atts)
+        new_id = _unused_id(elements, f"genm{b % 1000}")
+        measure = Element("factatt")
+        measure.set_attribute("id", new_id)
+        measure.set_attribute("name", f"Generated Measure {b % 1000}")
+        measure.set_attribute("type", "Number")
+        measure.set_attribute("isoid", "no")
+        measure.set_attribute("isderived", "no")
+        measure.set_attribute("atomic", "yes")
+        atts.append_child(measure)
+        description = f"add factatt {new_id} to {fact.get_attribute('id')}"
+    elif kind == "drop_child":
+        droppable = [e for e in elements
+                     if e.name in ("factatt", "additivity", "method",
+                                   "sharedagg")
+                     and e.parent is not None]
+        if not droppable:
+            return model, "drop_child: no-op (nothing droppable)"
+        target = droppable[a % len(droppable)]
+        target.parent.remove_child(target)
+        description = f"drop <{target.name}> " \
+                      f"(id={target.get_attribute('id')})"
+    elif kind == "clone_unit":
+        cubes = [e for e in elements if e.name == "cubeclass"]
+        if not cubes:
+            return model, "clone_unit: no-op (no cube classes)"
+        source = cubes[a % len(cubes)]
+        new_id = _unused_id(elements, f"genc{b % 1000}")
+        clone = _clone_element(source)
+        clone.set_attribute("id", new_id)
+        clone.set_attribute("name", f"Cloned Cube {b % 1000}")
+        source.parent.append_child(clone)
+        description = f"clone cubeclass {source.get_attribute('id')} " \
+                      f"as {new_id}"
+    elif kind == "drop_unit":
+        cubes = [e for e in elements if e.name == "cubeclass"]
+        if not cubes:
+            return model, "drop_unit: no-op (no cube classes)"
+        target = cubes[a % len(cubes)]
+        container = target.parent
+        container.remove_child(target)
+        if not any(isinstance(child, Element)
+                   for child in container.children):
+            container.parent.remove_child(container)
+        description = f"drop cubeclass {target.get_attribute('id')}"
+    else:
+        raise ValueError(f"unknown model edit kind {kind!r}")
+
+    try:
+        return document_to_model(document), description
+    except ModelStructureError as exc:
+        return model, f"{kind}: no-op ({exc})"
 
 
 # -- XPath expressions ------------------------------------------------------

@@ -6,14 +6,16 @@ Usage::
 
 Runs seed-derived iterations until the time budget is exhausted (or for
 an exact ``--iterations`` count).  Each iteration is fully determined by
-``(seed, index)`` and exercises all five workload families:
+``(seed, index)`` and exercises all six workload families:
 
 * a random GOLD model through the full pipeline harness,
 * a DOM mutation script checked differentially after every operation,
 * a batch of random XPath expressions against both evaluators,
 * indexed vs linear template dispatch over the model document,
 * the compiled streaming renderer vs the interpreter, byte-for-byte,
-  over both the model document and a mutated generic document.
+  over both the model document and a mutated generic document,
+* a model edit script replayed through the incremental republisher,
+  each step proven byte-identical to a cold publish.
 
 Failures are printed and written as JSON reproducers (seed, iteration,
 and the failing records) to ``--failures-dir`` so a red CI run can be
@@ -35,6 +37,7 @@ from .differential import (
     GENERIC_DIFFERENTIAL_XSL,
     compiled_differential,
     dispatch_differential,
+    incremental_differential,
     run_mutation_differential,
     sort_differential,
     xpath_differential,
@@ -42,6 +45,7 @@ from .differential import (
 from .generators import (
     random_document,
     random_model,
+    random_model_edit_script,
     random_mutations,
     random_xpath,
 )
@@ -54,6 +58,7 @@ __all__ = ["run_iteration", "main"]
 MUTATIONS_PER_ITERATION = 16
 XPATHS_PER_ITERATION = 25
 SORT_SHUFFLES = 3
+MODEL_EDITS_PER_ITERATION = 4
 
 
 def iteration_rng(seed: int, index: int) -> random.Random:
@@ -103,6 +108,12 @@ def run_iteration(seed: int, index: int) -> list[dict]:
         failures.extend(compiled_differential(model_document))
         failures.extend(compiled_differential(
             documents[0], stylesheets=GENERIC_DIFFERENTIAL_XSL))
+
+    # Incremental republish vs cold publish: a random edit script over
+    # the iteration's model, every step proven byte-identical.
+    with RECORDER.span("testkit.incremental"):
+        edits = random_model_edit_script(rng, MODEL_EDITS_PER_ITERATION)
+        failures.extend(incremental_differential(model, edits))
 
     for record in failures:
         record.setdefault("seed", seed)

@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from .generators import (
     random_document,
     random_model,
+    random_model_edit_script,
     random_mutations,
     random_xpath,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "gold_models",
     "documents",
     "mutation_scripts",
+    "model_edit_scripts",
     "xpath_expressions",
 ]
 
@@ -43,6 +45,13 @@ def mutation_scripts(min_size: int = 1, max_size: int = 24):
     """Strategy producing replayable DOM mutation scripts."""
     return st.builds(
         lambda rng, count: random_mutations(rng, count),
+        _rngs(), st.integers(min_value=min_size, max_value=max_size))
+
+
+def model_edit_scripts(min_size: int = 1, max_size: int = 8):
+    """Strategy producing replayable GOLD-model edit scripts."""
+    return st.builds(
+        lambda rng, count: random_model_edit_script(rng, count),
         _rngs(), st.integers(min_value=min_size, max_value=max_size))
 
 

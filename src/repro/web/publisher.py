@@ -13,6 +13,15 @@ Two pipelines, matching the paper's §4:
 Both write a small CSS file (the paper uses CSS for display control) and
 return a :class:`Site` mapping filenames to HTML text, which can also be
 written to disk with :meth:`Site.write_to`.
+
+Either pipeline may run *tracked*: when :mod:`repro.xml.tracking` has a
+:class:`~repro.xml.tracking.ReadTracker` installed, both the interpreter
+and the compiled engine record which model units each emitted page read
+(and honor the tracker's page filter, skipping clean page bodies), which
+is what powers :mod:`repro.web.incremental`'s diff-driven republish.
+Tracking is ambient — nothing here changes signature or behavior when no
+tracker is installed, and a tracked publish is byte-identical to a plain
+one.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from ..faults import FAULTS, fault_point
 from ..mdm.model import GoldModel
 from ..mdm.xml_io import model_to_document
 from ..obs.recorder import RECORDER as _REC
+from ..xml.dom import Document
 from ..xslt import (
     CompiledTransformer,
     Stylesheet,
@@ -208,10 +218,17 @@ def _attach_profile(site: Site) -> None:
 
 
 def publish_multi_page(model: GoldModel, *,
-                       stylesheet: str = MULTI_PAGE_XSL) -> Site:
-    """Generate the linked multi-page site (Fig. 6) for *model*."""
+                       stylesheet: str = MULTI_PAGE_XSL,
+                       document: "Document | None" = None) -> Site:
+    """Generate the linked multi-page site (Fig. 6) for *model*.
+
+    ``document`` lets a caller that already serialized *model* (the
+    incremental republisher diffs it first) reuse the DOM instead of
+    rebuilding it; it must be ``model_to_document(model)``.
+    """
     with _REC.span("publish.multi_page", model=model.name):
-        document = model_to_document(model)
+        if document is None:
+            document = model_to_document(model)
         if compile_enabled():
             with _REC.span("publish.transform"):
                 rendered = _compiled_transformer(stylesheet).render(document)

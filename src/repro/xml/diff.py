@@ -1,0 +1,177 @@
+"""Model-document diff engine for incremental republish.
+
+``diff_documents`` compares two goldmodel DOM documents and reports the
+elements that changed, were added, or were removed.  The diff is
+deliberately *edit-oriented* rather than minimal: its consumer
+(``web/incremental.py``) only needs to classify each reported element
+into a dependency unit, so over-reporting inside one unit is harmless
+while under-reporting would produce stale pages.
+
+Matching rules:
+
+* element children are matched by ``(tag, @id)`` when an ``id``
+  attribute is present — the goldmodel vocabulary identifies every
+  class, level, attribute and method that way — and by position among
+  same-tag siblings otherwise;
+* whitespace-only text nodes are ignored (the stored baseline is
+  pretty-printed while rendering uses the attribute-only document built
+  by ``model_to_document``);
+* differing comments, processing instructions or non-whitespace text
+  mark the *parent* element as changed;
+* reordering matched children marks the parent as changed (sibling
+  order can influence rendered output).
+
+Anything structurally incomparable (different root tags, missing roots)
+raises :class:`DiffError`; callers treat that as "fall back to a full
+publish".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dom import Document, Element, Text
+
+__all__ = ["DiffError", "ElementChange", "DocumentDiff", "diff_documents"]
+
+
+class DiffError(Exception):
+    """The two documents cannot be meaningfully diffed."""
+
+
+@dataclass(frozen=True)
+class ElementChange:
+    """One reported difference.
+
+    ``element`` references the *new* document for ``changed``/``added``
+    records and the *old* document for ``removed`` records, so consumers
+    can classify it by walking its ancestry.
+    """
+
+    kind: str  # "changed" | "added" | "removed"
+    path: str
+    element: Element
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "path": self.path, "detail": self.detail}
+
+
+@dataclass
+class DocumentDiff:
+    changed: list[ElementChange] = field(default_factory=list)
+    added: list[ElementChange] = field(default_factory=list)
+    removed: list[ElementChange] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.changed or self.added or self.removed)
+
+    def records(self) -> list[ElementChange]:
+        return self.changed + self.added + self.removed
+
+    def describe(self) -> list[dict]:
+        return [record.as_dict() for record in self.records()]
+
+
+def diff_documents(old: Document, new: Document) -> DocumentDiff:
+    """Diff two documents into changed/added/removed element records."""
+    old_root = old.root_element
+    new_root = new.root_element
+    if old_root is None or new_root is None:
+        raise DiffError("both documents must have a root element")
+    if old_root.name != new_root.name:
+        raise DiffError(
+            f"root element changed: <{old_root.name}> vs <{new_root.name}>")
+    diff = DocumentDiff()
+    _compare(old_root, new_root, f"/{new_root.name}", diff)
+    return diff
+
+
+def _label(element: Element) -> str:
+    identifier = element.get_attribute("id")
+    if identifier is not None:
+        return f"{element.name}[@id={identifier!r}]"
+    return element.name
+
+
+def _attrs(element: Element) -> dict[str, str]:
+    return {attr.name: attr.value for attr in element.attributes}
+
+
+def _significant_others(element: Element) -> list[tuple[str, str]]:
+    """Non-element content that matters: (kind, data) in order."""
+    others: list[tuple[str, str]] = []
+    for child in element.children:
+        if isinstance(child, Element):
+            continue
+        if isinstance(child, Text):
+            if child.data.strip():
+                others.append(("text", child.data))
+            continue
+        data = getattr(child, "data", "")
+        others.append((child.kind, data))
+    return others
+
+
+def _child_keys(element: Element) -> list[tuple]:
+    """A matching key per element child: (tag, id) or positional."""
+    keys: list[tuple] = []
+    position: dict[str, int] = {}
+    seen: dict[tuple, int] = {}
+    for child in element.children:
+        if not isinstance(child, Element):
+            continue
+        identifier = child.get_attribute("id")
+        if identifier is not None:
+            key: tuple = (child.name, "id", identifier)
+        else:
+            index = position.get(child.name, 0)
+            position[child.name] = index + 1
+            key = (child.name, "pos", index)
+        # Duplicate (tag, id) pairs degrade to occurrence counting so a
+        # pathological document still diffs deterministically.
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        keys.append(key + (occurrence,))
+    return keys
+
+
+def _compare(old_el: Element, new_el: Element, path: str,
+             diff: DocumentDiff) -> None:
+    if _attrs(old_el) != _attrs(new_el):
+        changed = sorted(
+            name for name in set(_attrs(old_el)) | set(_attrs(new_el))
+            if _attrs(old_el).get(name) != _attrs(new_el).get(name))
+        diff.changed.append(ElementChange(
+            "changed", path, new_el,
+            detail=f"attributes: {', '.join(changed)}"))
+    if _significant_others(old_el) != _significant_others(new_el):
+        diff.changed.append(ElementChange(
+            "changed", path, new_el, detail="non-element content"))
+
+    old_children = [c for c in old_el.children if isinstance(c, Element)]
+    new_children = [c for c in new_el.children if isinstance(c, Element)]
+    old_keys = _child_keys(old_el)
+    new_keys = _child_keys(new_el)
+    old_map = dict(zip(old_keys, old_children))
+    new_map = dict(zip(new_keys, new_children))
+
+    for key, child in zip(old_keys, old_children):
+        if key not in new_map:
+            diff.removed.append(ElementChange(
+                "removed", f"{path}/{_label(child)}", child))
+    for key, child in zip(new_keys, new_children):
+        if key not in old_map:
+            diff.added.append(ElementChange(
+                "added", f"{path}/{_label(child)}", child))
+
+    common_old = [key for key in old_keys if key in new_map]
+    common_new = [key for key in new_keys if key in old_map]
+    if common_old != common_new:
+        diff.changed.append(ElementChange(
+            "changed", path, new_el, detail="children reordered"))
+    for key in common_new:
+        child_new = new_map[key]
+        _compare(old_map[key], child_new,
+                 f"{path}/{_label(child_new)}", diff)

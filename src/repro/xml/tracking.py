@@ -1,0 +1,191 @@
+"""Source-read tracking for incremental republish (dependency recording).
+
+While a :class:`ReadTracker` is installed for the current thread, the
+XPath evaluator and both XSLT execution engines (interpreted and
+compiled) report every source node they read.  The tracker classifies
+each node into a *unit* — a designed partition of the goldmodel document
+(fact / dimension / cube classes and levels, everything above them is
+the catch-all ``"model"`` unit) — and records which units each output
+page read.  The resulting page → units map is the dependency index that
+``web/incremental.py`` uses to republish only the pages affected by a
+model edit.
+
+The hooks in the engines are guarded by the module-level :data:`ACTIVE`
+counter (``if _tracking.ACTIVE:``), mirroring the ``if _REC.enabled:``
+idiom from the observability layer: with no tracker installed anywhere
+the hot paths pay a single falsy global check.
+
+The tracker also drives *filtered* renders: when :attr:`ReadTracker.page_filter`
+is set, the engines skip the body of every ``xsl:document`` whose href is
+not in the filter (while still recording that the href was encountered,
+so the caller can prove the page set did not change).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator
+
+__all__ = ["ACTIVE", "ReadTracker", "current", "installed", "touch_nodes",
+           "touch_node", "touch_root", "begin_page", "end_page", "paused",
+           "record_page", "skips_page"]
+
+#: Count of installed trackers across all threads.  Engine hooks check
+#: this module global first; it is 0 (falsy) whenever no publish is
+#: being tracked, so the common path costs one global load.
+ACTIVE = 0
+
+_LOCK = threading.Lock()
+_STATE = threading.local()
+
+
+class ReadTracker:
+    """Records which source units each output page reads.
+
+    ``classify`` maps a DOM node to its unit key (a string).  Pages are
+    keyed by their ``xsl:document`` href; the principal output (the
+    spine, index.html) is the empty string ``""``.
+    """
+
+    __slots__ = ("classify", "deps", "encountered", "page_filter",
+                 "_page_stack", "_pause_depth", "_unit_cache")
+
+    def __init__(self, classify: Callable[[object], str],
+                 page_filter: "set[str] | None" = None) -> None:
+        self.classify = classify
+        #: page name ("" = spine) → set of unit keys it read.
+        self.deps: dict[str, set[str]] = {}
+        #: every xsl:document href encountered, in order (including
+        #: pages skipped by the filter).
+        self.encountered: list[str] = []
+        #: when not None, xsl:document bodies whose href is absent are
+        #: skipped entirely (their previous bytes will be reused).
+        self.page_filter = page_filter
+        self._page_stack = [""]
+        self._pause_depth = 0
+        #: id(node) → unit key memo (nodes are stable for one render).
+        self._unit_cache: dict[int, str] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def touch_node(self, node: object) -> None:
+        if self._pause_depth:
+            return
+        key = id(node)
+        unit = self._unit_cache.get(key)
+        if unit is None:
+            unit = self.classify(node)
+            self._unit_cache[key] = unit
+        page = self._page_stack[-1]
+        units = self.deps.get(page)
+        if units is None:
+            units = self.deps[page] = set()
+        units.add(unit)
+
+    def touch_nodes(self, nodes: Iterable[object]) -> None:
+        if self._pause_depth:
+            return
+        for node in nodes:
+            self.touch_node(node)
+
+    # -- page scoping ------------------------------------------------------
+
+    def record_page(self, href: str) -> None:
+        self.encountered.append(href)
+
+    def skips(self, href: str) -> bool:
+        return self.page_filter is not None and href not in self.page_filter
+
+    def begin_page(self, href: str) -> None:
+        self._page_stack.append(href)
+
+    def end_page(self) -> None:
+        self._page_stack.pop()
+
+    @contextmanager
+    def pause(self) -> Iterator[None]:
+        """Suppress recording (e.g. during whole-document key-index
+        builds, which read every node regardless of the current page)."""
+        self._pause_depth += 1
+        try:
+            yield
+        finally:
+            self._pause_depth -= 1
+
+
+# -- module-level hook API (what the engines call) --------------------------
+
+
+def current() -> ReadTracker | None:
+    """The tracker installed for this thread, if any."""
+    return getattr(_STATE, "tracker", None)
+
+
+@contextmanager
+def installed(tracker: ReadTracker) -> Iterator[ReadTracker]:
+    """Install *tracker* for the current thread for the duration."""
+    global ACTIVE
+    previous = getattr(_STATE, "tracker", None)
+    _STATE.tracker = tracker
+    with _LOCK:
+        ACTIVE += 1
+    try:
+        yield tracker
+    finally:
+        _STATE.tracker = previous
+        with _LOCK:
+            ACTIVE -= 1
+
+
+def touch_node(node: object) -> None:
+    tracker = getattr(_STATE, "tracker", None)
+    if tracker is not None:
+        tracker.touch_node(node)
+
+
+def touch_nodes(nodes: Iterable[object]) -> None:
+    tracker = getattr(_STATE, "tracker", None)
+    if tracker is not None:
+        tracker.touch_nodes(nodes)
+
+
+def touch_root(node: object) -> None:
+    """Record an absolute-path read of the document root."""
+    tracker = getattr(_STATE, "tracker", None)
+    if tracker is not None:
+        tracker.touch_node(node)
+
+
+def record_page(href: str) -> None:
+    tracker = getattr(_STATE, "tracker", None)
+    if tracker is not None:
+        tracker.record_page(href)
+
+
+def skips_page(href: str) -> bool:
+    tracker = getattr(_STATE, "tracker", None)
+    return tracker is not None and tracker.skips(href)
+
+
+def begin_page(href: str) -> None:
+    tracker = getattr(_STATE, "tracker", None)
+    if tracker is not None:
+        tracker.begin_page(href)
+
+
+def end_page() -> None:
+    tracker = getattr(_STATE, "tracker", None)
+    if tracker is not None:
+        tracker.end_page()
+
+
+@contextmanager
+def paused() -> Iterator[None]:
+    """Suppress recording for this thread's tracker, if any."""
+    tracker = getattr(_STATE, "tracker", None)
+    if tracker is None:
+        yield
+        return
+    with tracker.pause():
+        yield

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
 from ..obs.recorder import RECORDER as _REC
+from ..xml import tracking as _tracking
 from ..xml.chars import split_qname
 from ..xml.dom import (
     Attribute,
@@ -145,10 +146,15 @@ class XPathEvaluator:
     def _eval_variable(self, expr: VariableReference,
                        context: Context) -> object:
         try:
-            return context.variables[expr.name]
+            value = context.variables[expr.name]
         except KeyError:
             raise XPathNameError(
                 f"undefined variable ${expr.name}") from None
+        if _tracking.ACTIVE and type(value) is list:
+            # Node-set variables may be consumed on a different output
+            # page than the one they were computed on.
+            _tracking.touch_nodes(value)
+        return value
 
     def _eval_function(self, expr: FunctionCall, context: Context) -> object:
         global _CORE_FUNCTIONS
@@ -279,6 +285,8 @@ class XPathEvaluator:
                             context: Context) -> object:
         if expr.absolute:
             start: list[Node] = [context.node.root]
+            if _tracking.ACTIVE:
+                _tracking.touch_root(start[0])
         else:
             start = [context.node]
         return self._apply_steps(expr.steps, start, context)
@@ -407,6 +415,8 @@ class XPathEvaluator:
                 n for n in axis(node)
                 if self._node_test(test, n, principal, context)
             ]
+        if _tracking.ACTIVE and candidates:
+            _tracking.touch_nodes(candidates)
         reverse = step.axis in REVERSE_AXES
         for predicate in step.predicates:
             candidates = self._filter(candidates, predicate, context,

@@ -26,6 +26,7 @@ from io import StringIO
 from time import perf_counter
 
 from ...obs.recorder import RECORDER as _REC
+from ...xml import tracking as _tracking
 from ...xml.dom import (
     Attribute,
     Comment,
@@ -505,6 +506,8 @@ class _Compiler:
                 node = context.node
                 nodes = list(node.children) \
                     if isinstance(node, (Document, Element)) else []
+                if _tracking.ACTIVE and nodes:
+                    _tracking.touch_nodes(nodes)
             if sorts:
                 nodes = run._sorted(nodes, sorts, context)
             params = params_fn(run, context, frame) if params_fn else {}
@@ -642,16 +645,31 @@ class _Compiler:
 
         def document(run, context, frame):
             href = href_fn(run, context)
+            if _tracking.ACTIVE:
+                # Mirror of the interpreter's _exec_document hooks:
+                # record every encountered href, skip filtered bodies,
+                # and attribute reads inside the body to this page.
+                _tracking.record_page(href)
+                if _tracking.skips_page(href):
+                    return
             if href in run.result.documents:
                 raise XSLTRuntimeError(
                     f"xsl:document would overwrite output {href!r}")
             run.result.documents[href] = Document()
             emitter = make_emitter(run.result.output)
             run._emitters.append(emitter)
-            try:
-                body_fn(run, context, frame)
-            finally:
-                run._emitters.pop()
+            if _tracking.ACTIVE:
+                _tracking.begin_page(href)
+                try:
+                    body_fn(run, context, frame)
+                finally:
+                    _tracking.end_page()
+                    run._emitters.pop()
+            else:
+                try:
+                    body_fn(run, context, frame)
+                finally:
+                    run._emitters.pop()
             run._pages[href] = emitter.finish()
 
         return document

@@ -29,6 +29,7 @@ from time import perf_counter
 
 from ...faults import FAULTS as _FAULTS
 from ...obs.recorder import RECORDER as _REC
+from ...xml import tracking as _tracking
 from ...xml.dom import (
     Attribute,
     Comment,
@@ -276,7 +277,10 @@ class _CompiledRun(_Run):
     def _builtin_stream(self, node, mode, frame) -> None:
         # Streaming twin of _Run._builtin_rule.
         if isinstance(node, (Document, Element)):
-            self.apply_templates(list(node.children), mode, frame, {})
+            children = list(node.children)
+            if _tracking.ACTIVE and children:
+                _tracking.touch_nodes(children)
+            self.apply_templates(children, mode, frame, {})
         elif isinstance(node, (Text, Attribute)):
             self._emitters[-1].text(node.string_value())
         # Comments and PIs produce nothing (§5.8).

@@ -21,6 +21,7 @@ import math
 from typing import Callable
 
 from ...obs.recorder import RECORDER as _REC
+from ...xml import tracking as _tracking
 from ...xml.dom import Comment, Document, Element, Text
 from ...xpath.ast import (
     BinaryOp,
@@ -90,10 +91,13 @@ def lower_expr(expr: Expr) -> LoweredExpr | None:
 
         def variable(run, context):
             try:
-                return context.variables[name]
+                value = context.variables[name]
             except KeyError:
                 raise XPathNameError(
                     f"undefined variable ${name}") from None
+            if _tracking.ACTIVE and type(value) is list:
+                _tracking.touch_nodes(value)
+            return value
 
         return variable
     if kind is FunctionCall:
@@ -258,11 +262,17 @@ def _lower_location_path(expr: LocationPath) -> LoweredExpr | None:
     if expr.absolute:
         if not expr.steps:
             def root_only(run, context):
-                return [context.node.root]
+                root = context.node.root
+                if _tracking.ACTIVE:
+                    _tracking.touch_root(root)
+                return [root]
             return root_only
 
         def absolute(run, context):
-            return _run_steps(run, context, steps, [context.node.root])
+            root = context.node.root
+            if _tracking.ACTIVE:
+                _tracking.touch_root(root)
+            return _run_steps(run, context, steps, [root])
 
         return absolute
 
@@ -307,11 +317,14 @@ def _fuse_relative(steps) -> LoweredExpr | None:
             def child_named(run, context):
                 node = context.node
                 if isinstance(node, (Document, Element)):
-                    return [c for c in node.children
-                            if c.kind == "element"
-                            and (c.name == name or (":" in c.name and
-                                                    c.local_name == name))
-                            and c.namespace_uri is None]
+                    matched = [c for c in node.children
+                               if c.kind == "element"
+                               and (c.name == name or (":" in c.name and
+                                                       c.local_name == name))
+                               and c.namespace_uri is None]
+                    if _tracking.ACTIVE and matched:
+                        _tracking.touch_nodes(matched)
+                    return matched
                 return []
             return child_named
         aname = _concrete_attribute_name(step)
@@ -319,17 +332,22 @@ def _fuse_relative(steps) -> LoweredExpr | None:
             def attr_named(run, context):
                 node = context.node
                 if isinstance(node, Element):
-                    return [a for a in node.attributes
-                            if not a.is_namespace_decl
-                            and (a.name == aname or (":" in a.name and
-                                                     a.local_name == aname))
-                            and a.namespace_uri is None]
+                    matched = [a for a in node.attributes
+                               if not a.is_namespace_decl
+                               and (a.name == aname or (":" in a.name and
+                                                        a.local_name == aname))
+                               and a.namespace_uri is None]
+                    if _tracking.ACTIVE and matched:
+                        _tracking.touch_nodes(matched)
+                    return matched
                 return []
             return attr_named
         if step.axis == "self" and not step.predicates and \
                 type(step.test) is NodeTypeTest and \
                 step.test.node_type == "node":
             def self_node(run, context):
+                if _tracking.ACTIVE:
+                    _tracking.touch_node(context.node)
                 return [context.node]
             return self_node
         return None
@@ -341,16 +359,19 @@ def _fuse_relative(steps) -> LoweredExpr | None:
                 node = context.node
                 if not isinstance(node, (Document, Element)):
                     return []
-                return [g for c in node.children
-                        if c.kind == "element"
-                        and (c.name == first or (":" in c.name and
-                                                 c.local_name == first))
-                        and c.namespace_uri is None
-                        for g in c.children
-                        if g.kind == "element"
-                        and (g.name == second or (":" in g.name and
-                                                  g.local_name == second))
-                        and g.namespace_uri is None]
+                matched = [g for c in node.children
+                           if c.kind == "element"
+                           and (c.name == first or (":" in c.name and
+                                                    c.local_name == first))
+                           and c.namespace_uri is None
+                           for g in c.children
+                           if g.kind == "element"
+                           and (g.name == second or (":" in g.name and
+                                                     g.local_name == second))
+                           and g.namespace_uri is None]
+                if _tracking.ACTIVE and matched:
+                    _tracking.touch_nodes(matched)
+                return matched
             return child_child
     return None
 
@@ -373,6 +394,8 @@ def lower_string_value(expr: Expr):
                             (c.name == name or (":" in c.name and
                                                 c.local_name == name)) and \
                             c.namespace_uri is None:
+                        if _tracking.ACTIVE:
+                            _tracking.touch_node(c)
                         return c.string_value()
             return ""
         return child_string
@@ -386,12 +409,16 @@ def lower_string_value(expr: Expr):
                             (a.name == aname or (":" in a.name and
                                                  a.local_name == aname)) \
                             and a.namespace_uri is None:
+                        if _tracking.ACTIVE:
+                            _tracking.touch_node(a)
                         return a.value
             return ""
         return attr_string
     if step.axis == "self" and not step.predicates and \
             type(step.test) is NodeTypeTest and step.test.node_type == "node":
         def self_string(run, context):
+            if _tracking.ACTIVE:
+                _tracking.touch_node(context.node)
             return context.node.string_value()
         return self_string
     return None
@@ -485,6 +512,8 @@ def _axis_nodes(axis: str, node):
 def _apply_lowered_step(run, context, step, node) -> list:
     axis, matcher, pred_fns = step
     candidates = [n for n in _axis_nodes(axis, node) if matcher(n)]
+    if _tracking.ACTIVE and candidates:
+        _tracking.touch_nodes(candidates)
     for pred in pred_fns:
         candidates = _filter_nodes(run, context, candidates, pred)
     return candidates

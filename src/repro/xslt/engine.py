@@ -31,6 +31,7 @@ from ..faults import FAULTS as _FAULTS
 from ..faults import fault_point as _fault_point
 from ..obs.recorder import RECORDER as _REC
 
+from ..xml import tracking as _tracking
 from ..xml.dom import (
     Attribute,
     Comment,
@@ -360,6 +361,8 @@ class _Run:
                       frame: _Frame) -> None:
         if isinstance(node, (Document, Element)):
             children = list(node.children)
+            if _tracking.ACTIVE and children:
+                _tracking.touch_nodes(children)
             self.apply_templates(children, mode, frame, {})
         elif isinstance(node, (Text, Attribute)):
             self._write_text(node.string_value())
@@ -494,6 +497,8 @@ class _Run:
             node = context.node
             nodes = list(node.children) \
                 if isinstance(node, (Document, Element)) else []
+            if _tracking.ACTIVE and nodes:
+                _tracking.touch_nodes(nodes)
         if instr.sorts:
             nodes = self._sorted(nodes, instr.sorts, inner)
         params = self._evaluate_with_params(instr.params, inner, frame)
@@ -584,12 +589,27 @@ class _Run:
     def _exec_document(self, instr: DocumentInstr, context: Context,
                        frame: _Frame) -> None:
         href = instr.href.evaluate(self._refresh(context, frame))
+        if _tracking.ACTIVE:
+            # Record the page even when a filtered (incremental) render
+            # skips its body: the caller proves the page set is stable
+            # by comparing encountered hrefs against the previous build.
+            _tracking.record_page(href)
+            if _tracking.skips_page(href):
+                return
         if href in self.result.documents:
             raise XSLTRuntimeError(
                 f"xsl:document would overwrite output {href!r}")
         document = Document()
         self.result.documents[href] = document
         self._output_stack.append(document)
+        if _tracking.ACTIVE:
+            _tracking.begin_page(href)
+            try:
+                self.execute_body(instr.body, context, frame)
+            finally:
+                _tracking.end_page()
+                self._output_stack.pop()
+            return
         try:
             self.execute_body(instr.body, context, frame)
         finally:
@@ -837,48 +857,95 @@ class _Run:
         found: list[Node] = []
         for value in values:
             found.extend(index.get(value, ()))
+        if _tracking.ACTIVE:
+            if found:
+                _tracking.touch_nodes(found)
+            else:
+                # A key() miss is a negative dependency on the whole
+                # document: record the root conservatively so adding a
+                # matching node later dirties this page.
+                _tracking.touch_root(self.source)
         return document_order(found)
 
     def _key_index(self, name: str) -> dict[str, list[Node]]:
         index = self._keys.get(name)
         if index is not None:
             return index
-        definitions = [k for k in self.stylesheet.keys if k.name == name]
-        if not definitions:
+        if not any(k.name == name for k in self.stylesheet.keys):
             raise XSLTRuntimeError(f"no xsl:key named {name!r}")
         if _REC.enabled:
             _REC.count(f"xslt.key_index.build:name={name}")
-        index = {}
+        if _tracking.ACTIVE:
+            # The whole-document walk would poison the current page
+            # with every node; key() results are tracked at the lookup
+            # site instead.
+            with _tracking.paused():
+                self._build_key_indexes()
+        else:
+            self._build_key_indexes()
+        return self._keys[name]
+
+    def _build_key_indexes(self) -> None:
+        """Build the indexes for every ``xsl:key`` in one document walk.
+
+        The walk dwarfs the per-definition matching, so the first
+        ``key()`` call pays for all names at once instead of one sweep
+        per name.  When every definition's dispatch keys are concrete
+        element names (the common ``match="someclass"`` shape), the walk
+        visits elements only and dispatches by local name — skipping
+        attribute and text nodes and every per-node closure call.
+        """
+        pending = [definition for definition in self.stylesheet.keys
+                   if not self._keys.get(definition.name)]
+        indexes: dict[str, dict[str, list[Node]]] = {
+            definition.name: self._keys.get(definition.name) or {}
+            for definition in self.stylesheet.keys
+        }
         match_context = self._context(self.source, 1, 1, self.global_frame)
-        # Cheap (kind, local-name) prefilters derived from each match
-        # pattern, so the full pattern matcher only runs on plausible
-        # nodes during the whole-document walk.
-        prefilters = [
-            (definition, _dispatch_prefilter(definition.match))
-            for definition in definitions
-        ]
-        stack: list[Node] = [self.source]
-        while stack:
-            node = stack.pop()
-            if isinstance(node, (Document, Element)):
-                stack.extend(node.children)
+
+        def record(definition, index, node) -> None:
+            if not definition.match.matches(node, match_context):
+                return
+            use_context = self._context(node, 1, 1, self.global_frame)
+            value = self._evaluate(definition.use, use_context)
+            if isinstance(value, list):
+                for member in value:
+                    index.setdefault(member.string_value(), []).append(node)
+            else:
+                index.setdefault(to_string(value), []).append(node)
+
+        dispatch = _element_name_dispatch(pending, indexes)
+        if dispatch is not None:
+            stack: list[Node] = list(self.source.children)
+            while stack:
+                node = stack.pop()
                 if isinstance(node, Element):
-                    stack.extend(node.attributes)
-            for definition, prefilter in prefilters:
-                if prefilter is not None and not prefilter(node):
-                    continue
-                if not definition.match.matches(node, match_context):
-                    continue
-                use_context = self._context(node, 1, 1, self.global_frame)
-                value = self._evaluate(definition.use, use_context)
-                if isinstance(value, list):
-                    for member in value:
-                        index.setdefault(member.string_value(),
-                                         []).append(node)
-                else:
-                    index.setdefault(to_string(value), []).append(node)
-        self._keys[name] = index
-        return index
+                    stack.extend(node.children)
+                    for definition, index in dispatch.get(
+                            node.local_name, ()):
+                        record(definition, index, node)
+        else:
+            # Generic sweep: every node (attributes included) against
+            # cheap (kind, local-name) prefilters, then the full matcher.
+            prefilters = [
+                (definition, indexes[definition.name],
+                 _dispatch_prefilter(definition.match))
+                for definition in pending
+            ]
+            stack = [self.source]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (Document, Element)):
+                    stack.extend(node.children)
+                    if isinstance(node, Element):
+                        stack.extend(node.attributes)
+                for definition, index, prefilter in prefilters:
+                    if prefilter is not None and not prefilter(node):
+                        continue
+                    record(definition, index, node)
+        for name, index in indexes.items():
+            self._keys[name] = index
+        return None
 
     def _fn_document(self, context: Context, args) -> object:
         if not args:
@@ -936,6 +1003,24 @@ class _Run:
 
     def _fn_unparsed_entity_uri(self, context: Context, args) -> object:
         return ""
+
+
+def _element_name_dispatch(definitions, indexes):
+    """Local-name dispatch table when every key matches element names.
+
+    Returns ``{local_name: [(definition, index), ...]}`` when each
+    definition's dispatch keys are all concrete ``("element", name)``
+    pairs — the common ``match="someclass"`` shape — so the key-index
+    sweep can walk elements only.  Returns None otherwise.
+    """
+    dispatch: dict[str, list] = {}
+    for definition in definitions:
+        for kind, name in definition.match.dispatch_keys():
+            if kind != "element" or name is None:
+                return None
+            dispatch.setdefault(name, []).append(
+                (definition, indexes[definition.name]))
+    return dispatch
 
 
 def _dispatch_prefilter(pattern) -> Callable[[Node], bool] | None:

@@ -101,7 +101,11 @@ class TestServeStale:
         import time
 
         from repro.server import cache as cache_module
+        from repro.web import incremental as incremental_module
 
+        # The fake below is the *full-build* seam; disable incremental so
+        # the warm rebuild cannot route around it via the diff path.
+        monkeypatch.setattr(incremental_module, "_override", False)
         app.handle("GET", "/site/sales/index.html")
         baseline = app.cache.stats()["rebuilds"]
         app.handle("PUT", "/models/sales", {}, SALES_V2)
@@ -243,3 +247,89 @@ class TestPerPageFaults:
             stale = app.handle("GET", "/site/sales/index.html")
         assert stale.status == 200
         assert stale.header("X-Goldcase-Stale") == "true"
+
+
+class TestIncrementalRebuild:
+    """Warm "multi" rebuilds route through the diff-driven republisher
+    (DESIGN.md §14); these pin its server-side contract: byte-identity
+    to cold builds, serve-stale on an injected diff fault, and full
+    fallback whenever the stored index does not match the entry whose
+    bytes would be reused."""
+
+    def _warm(self, app):
+        assert app.handle("GET", "/site/sales/index.html").status == 200
+
+    def test_warm_rebuild_is_incremental_and_byte_identical(self, app):
+        self._warm(app)
+        app.handle("PUT", "/models/sales", {}, SALES_V2)
+        assert app.handle("GET", "/site/sales/index.html").status == 200
+        stats = app.cache.stats()
+        assert stats["incremental"] >= 1
+        assert stats["incremental_fallback"] == 0
+
+        cold = ModelRepositoryApp()
+        cold.handle("PUT", "/models/sales", {}, SALES_V2)
+        assert cold.handle("GET", "/site/sales/index.html").status == 200
+        incremental_entry = app.cache.peek("sales", "multi")
+        cold_entry = cold.cache.peek("sales", "multi")
+        assert incremental_entry.pages == cold_entry.pages
+        assert incremental_entry.etags == cold_entry.etags
+
+    def test_publish_diff_fault_serves_stale_then_recovers_fresh(self, app):
+        self._warm(app)
+        previous = app.cache.peek("sales", "multi")
+        app.handle("PUT", "/models/sales", {}, SALES_V2)
+        with injected_faults(FaultPlan().add("publish.diff")):
+            stale = app.handle("GET", "/site/sales/index.html")
+        assert stale.status == 200
+        assert stale.header("X-Goldcase-Stale") == "true"
+        assert stale.body == previous.pages["index.html"]
+        assert "FaultError" in app.cache.build_error("sales", "multi")
+        recovered = app.handle("GET", "/site/sales/index.html")
+        assert recovered.status == 200
+        assert recovered.header("X-Goldcase-Stale") != "true"
+        assert b"Sales DW v2" in recovered.body
+        assert app.cache.build_error("sales", "multi") is None
+
+    def test_mismatched_stored_index_forces_full_rebuild(self, app):
+        """The restart-safety half: an index recorded for a *different*
+        build than the cached entry must never be diffed against it."""
+        self._warm(app)
+        key = ("sales", "multi")
+        _, index = app.cache._dep_indexes[key]
+        app.cache._dep_indexes[key] = ("0" * 64, index)
+        app.handle("PUT", "/models/sales", {}, SALES_V2)
+        assert app.handle("GET", "/site/sales/index.html").status == 200
+        stats = app.cache.stats()
+        assert stats["incremental_fallback"] >= 1
+        assert stats["incremental"] == 0
+
+        cold = ModelRepositoryApp()
+        cold.handle("PUT", "/models/sales", {}, SALES_V2)
+        assert cold.handle("GET", "/site/sales/index.html").status == 200
+        assert app.cache.peek("sales", "multi").pages == \
+            cold.cache.peek("sales", "multi").pages
+
+        # The fallback re-recorded a matching index, so the next warm
+        # rebuild goes incremental again.
+        app.handle("PUT", "/models/sales", {}, SALES_XML)
+        assert app.handle("GET", "/site/sales/index.html").status == 200
+        assert app.cache.stats()["incremental"] >= 1
+
+    def test_no_incremental_escape_hatch_disables_the_path(
+            self, app, monkeypatch):
+        from repro.web import incremental as incremental_module
+
+        monkeypatch.setattr(incremental_module, "_override", False)
+        self._warm(app)
+        app.handle("PUT", "/models/sales", {}, SALES_V2)
+        assert app.handle("GET", "/site/sales/index.html").status == 200
+        stats = app.cache.stats()
+        assert stats["incremental"] == 0
+        assert stats["incremental_fallback"] == 0
+
+    def test_invalidate_drops_the_stored_index(self, app):
+        self._warm(app)
+        assert ("sales", "multi") in app.cache._dep_indexes
+        app.handle("DELETE", "/models/sales")
+        assert ("sales", "multi") not in app.cache._dep_indexes

@@ -1,0 +1,160 @@
+"""Unit tests for the model-document diff engine and read tracking.
+
+These are the two foundations of incremental republish (DESIGN.md §14):
+:mod:`repro.xml.diff` decides *what changed* between two model
+documents, :mod:`repro.xml.tracking` decides *who read it*.  The
+byte-identity contract is proven end to end elsewhere
+(tests/web/test_incremental_differential.py); here each piece is pinned
+in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.web.incremental import classify_node
+from repro.xml import tracking
+from repro.xml.diff import DiffError, diff_documents
+from repro.xml.parser import parse
+
+
+def _diff(old: str, new: str):
+    return diff_documents(parse(old), parse(new))
+
+
+MODEL = """<goldmodel id='m' name='M' showatts='yes'>
+  <factclasses>
+    <factclass id='f1' name='Sales'>
+      <factatts>
+        <factatt id='a1' name='Price' type='Number' isoid='no'
+                 isderived='no' atomic='yes'/>
+      </factatts>
+    </factclass>
+  </factclasses>
+  <dimclasses>
+    <dimclass id='d1' name='Time'/>
+  </dimclasses>
+</goldmodel>"""
+
+
+class TestDiffDocuments:
+    def test_identical_documents_diff_empty(self):
+        diff = _diff(MODEL, MODEL)
+        assert diff.is_empty
+        assert diff.records() == []
+
+    def test_whitespace_only_text_is_ignored(self):
+        diff = _diff("<goldmodel id='m' name='M'><factclasses/></goldmodel>",
+                     "<goldmodel id='m' name='M'>\n  <factclasses/>\n"
+                     "</goldmodel>")
+        assert diff.is_empty
+
+    def test_attribute_change_names_the_element_by_id_path(self):
+        diff = _diff(MODEL, MODEL.replace("name='Sales'", "name='Orders'"))
+        assert not diff.is_empty
+        assert len(diff.changed) == 1
+        change = diff.changed[0]
+        assert change.path == \
+            "/goldmodel/factclasses/factclass[@id='f1']"
+        assert "name" in change.detail
+        assert not diff.added and not diff.removed
+
+    def test_added_and_removed_children_are_reported(self):
+        extra = MODEL.replace(
+            "</factatts>",
+            "<factatt id='a2' name='Qty' type='Number' isoid='no' "
+            "isderived='no' atomic='yes'/></factatts>")
+        diff = _diff(MODEL, extra)
+        assert [c.element.get_attribute("id") for c in diff.added] == ["a2"]
+        reverse = _diff(extra, MODEL)
+        assert [c.element.get_attribute("id")
+                for c in reverse.removed] == ["a2"]
+
+    def test_same_id_replacement_is_a_change_not_add_remove(self):
+        """Delete + recreate under the same @id must land in `changed`,
+        so its unit is dirtied rather than treated as structural."""
+        swapped = MODEL.replace("name='Price' type='Number'",
+                                "name='Price' type='Text'")
+        diff = _diff(MODEL, swapped)
+        assert not diff.added and not diff.removed
+        assert [c.path for c in diff.changed] == [
+            "/goldmodel/factclasses/factclass[@id='f1']"
+            "/factatts/factatt[@id='a1']"]
+
+    def test_reorder_of_keyed_children_is_a_change(self):
+        two = MODEL.replace(
+            "<dimclass id='d1' name='Time'/>",
+            "<dimclass id='d1' name='Time'/><dimclass id='d2' name='Geo'/>")
+        flipped = MODEL.replace(
+            "<dimclass id='d1' name='Time'/>",
+            "<dimclass id='d2' name='Geo'/><dimclass id='d1' name='Time'/>")
+        diff = _diff(two, flipped)
+        assert any("reorder" in c.detail for c in diff.changed)
+
+    def test_different_roots_raise_diff_error(self):
+        with pytest.raises(DiffError):
+            _diff("<goldmodel id='m' name='M'/>", "<other/>")
+
+    def test_records_are_json_serializable(self):
+        import json
+
+        diff = _diff(MODEL, MODEL.replace("showatts='yes'",
+                                          "showatts='no'"))
+        described = diff.describe()
+        json.dumps(described)
+        assert described[0]["path"] == "/goldmodel"
+
+
+class TestReadTracker:
+    def test_installed_bumps_and_restores_active(self):
+        tracker = tracking.ReadTracker(classify_node)
+        assert tracking.ACTIVE == 0
+        with tracking.installed(tracker):
+            assert tracking.ACTIVE == 1
+            assert tracking.current() is tracker
+        assert tracking.ACTIVE == 0
+        assert tracking.current() is None
+
+    def test_reads_attribute_to_the_open_page(self):
+        document = parse(MODEL)
+        fact = document.root_element.find("factclasses").find("factclass")
+        dim = document.root_element.find("dimclasses").find("dimclass")
+        tracker = tracking.ReadTracker(classify_node)
+        with tracking.installed(tracker):
+            tracking.touch_node(fact)  # spine read
+            tracking.record_page("f1.html")
+            tracking.begin_page("f1.html")
+            tracking.touch_node(dim)
+            tracking.end_page()
+            tracking.touch_root(document)
+        assert tracker.deps[""] == {"factclass#f1", "model"}
+        assert tracker.deps["f1.html"] == {"dimclass#d1"}
+        assert tracker.encountered == ["f1.html"]
+
+    def test_paused_reads_are_not_recorded(self):
+        document = parse(MODEL)
+        tracker = tracking.ReadTracker(classify_node)
+        with tracking.installed(tracker):
+            with tracking.paused():
+                tracking.touch_node(document.root_element)
+        assert tracker.deps == {}
+
+    def test_page_filter_skips_only_unlisted_pages(self):
+        tracker = tracking.ReadTracker(classify_node,
+                                       page_filter={"keep.html"})
+        with tracking.installed(tracker):
+            assert not tracking.skips_page("keep.html")
+            assert tracking.skips_page("skip.html")
+        unfiltered = tracking.ReadTracker(classify_node)
+        with tracking.installed(unfiltered):
+            assert not tracking.skips_page("anything.html")
+
+    def test_classify_node_walks_to_nearest_unit(self):
+        document = parse(MODEL)
+        fact = document.root_element.find("factclasses").find("factclass")
+        att = fact.find("factatts").find("factatt")
+        assert classify_node(att) == "factclass#f1"
+        assert classify_node(fact) == "factclass#f1"
+        assert classify_node(document.root_element) == "model"
+        assert classify_node(
+            fact.get_attribute_node("name")) == "factclass#f1"
