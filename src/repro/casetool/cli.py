@@ -171,6 +171,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of diff-driven republish "
                             "(DESIGN.md §14); GOLDCASE_NO_INCREMENTAL=1 "
                             "does the same")
+    serve.add_argument("--access-log", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="write one JSON line per request (request id, "
+                            "status, latency, cache flags, fault points) "
+                            "to PATH, or stderr when no PATH is given")
+    serve.add_argument("--slo", action="append", default=[],
+                       metavar="SPEC",
+                       help="add a service objective, e.g. "
+                            "'p99:http.latency<5ms@1m', "
+                            "'availability>=99.9%%@5m', "
+                            "'ratio:http.stale/http.requests<1%%@5m'; "
+                            "repeatable, replaces the defaults; evaluated "
+                            "on /metrics and /dashboard")
 
     fo = sub.add_parser(
         "fo", help="XSL-FO export with paginated rendering (paper §6)")
@@ -437,7 +450,27 @@ def _run(args: argparse.Namespace) -> int:
             from ..web.incremental import set_incremental_enabled
 
             set_incremental_enabled(False)
-        app = ModelRepositoryApp()
+        telemetry = None
+        if args.access_log is not None or args.slo:
+            from ..server import ServerTelemetry
+
+            access_log = None
+            if args.access_log == "-":
+                access_log = sys.stderr
+            elif args.access_log is not None:
+                access_log = open(  # noqa: SIM115 (lives for the server)
+                    args.access_log, "a", encoding="utf-8")
+            slos = None
+            if args.slo:
+                from ..obs.slo import parse_slo
+
+                try:
+                    slos = [parse_slo(spec) for spec in args.slo]
+                except ValueError as exc:
+                    print(f"bad --slo: {exc}", file=sys.stderr)
+                    return 2
+            telemetry = ServerTelemetry(access_log=access_log, slos=slos)
+        app = ModelRepositoryApp(telemetry=telemetry)
         if args.demo:
             for factory in (sales_model, two_facts_model):
                 model = factory()
@@ -462,7 +495,7 @@ def _run(args: argparse.Namespace) -> int:
             print(f"preloaded {record.name} ({record.content_hash[:12]}) "
                   f"from {path}")
         print(f"serving model repository on http://{args.host}:{args.port} "
-              "(Ctrl-C to stop)")
+              "(Ctrl-C to stop; /metrics and /dashboard expose telemetry)")
         serve_forever(app, host=args.host, port=args.port, quiet=args.quiet)
         return 0
 

@@ -19,6 +19,7 @@ from .plan import (
     FaultSpec,
     fault_point,
     injected_faults,
+    set_fire_listener,
 )
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "FaultSpec",
     "fault_point",
     "injected_faults",
+    "set_fire_listener",
 ]
 
 # Environment activation: `GOLDCASE_FAULTS="seed=7;cache.rebuild=raise:0.01"`

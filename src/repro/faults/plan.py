@@ -52,6 +52,7 @@ __all__ = [
     "FaultSpec",
     "fault_point",
     "injected_faults",
+    "set_fire_listener",
 ]
 
 MODES = ("raise", "delay", "corrupt")
@@ -255,6 +256,11 @@ class FaultRegistry:
                 if spec.mode == "corrupt" and payload else 0
         if _REC.enabled:
             _REC.count(f"server.fault.{point}")
+        listener = _FIRE_LISTENER
+        if listener is not None:
+            # Runs on the firing thread, so the server telemetry can
+            # attribute the fire to the request being handled there.
+            listener(point, spec.mode)
         if spec.mode == "raise":
             raise FaultError(point)
         if spec.mode == "delay":
@@ -270,6 +276,18 @@ class FaultRegistry:
 
 #: The process-wide registry every instrumented module guards on.
 FAULTS = FaultRegistry()
+
+#: One optional observer of every fired fault, called as
+#: ``listener(point, mode)`` on the firing thread.  The server
+#: telemetry installs itself here so access-log lines and chaos
+#: reproducers can name the exact fault points a request tripped.
+_FIRE_LISTENER = None
+
+
+def set_fire_listener(listener) -> None:
+    """Install (or clear, with None) the process-wide fire observer."""
+    global _FIRE_LISTENER
+    _FIRE_LISTENER = listener
 
 
 def fault_point(name: str, description: str) -> str:

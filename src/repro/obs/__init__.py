@@ -28,6 +28,7 @@ from .export import (
     trace_json,
     write_trace,
 )
+from .ids import RequestIdGenerator, is_request_id
 from .recorder import (
     RECORDER,
     Recorder,
@@ -38,18 +39,34 @@ from .recorder import (
     profiling,
     span,
 )
+from .rolling import (GAMMA, WINDOWS, QuantileSketch, RollingWindow,
+                      ShardedRollingWindow)
+from .slo import LatencySLO, RatioSLO, SLOStatus, default_slos, parse_slo
 
 __all__ = [
+    "GAMMA",
+    "LatencySLO",
+    "QuantileSketch",
     "RECORDER",
+    "RatioSLO",
     "Recorder",
+    "RequestIdGenerator",
+    "RollingWindow",
+    "ShardedRollingWindow",
+    "SLOStatus",
     "Snapshot",
     "SCHEMA_VERSION",
+    "WINDOWS",
     "build_trace",
     "cache_stats",
     "count",
+    "default_slos",
     "enabled",
+    "is_request_id",
     "observe",
+    "parse_slo",
     "profiling",
+    "render_dashboard_html",
     "render_profile_html",
     "span",
     "text_report",
@@ -63,3 +80,10 @@ def render_profile_html(trace: dict | None = None) -> str:
     from .htmlreport import render_profile_html as render
 
     return render(trace)
+
+
+def render_dashboard_html(snap: dict, *, request_id: str = "") -> str:
+    """Render the live ops page (lazy import of the XSLT sink)."""
+    from .dashboard import render_dashboard_html as render
+
+    return render(snap, request_id=request_id)

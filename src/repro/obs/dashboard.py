@@ -1,0 +1,234 @@
+"""The live ops dashboard, published through the engine it monitors.
+
+Like the PR 3 profile page (:mod:`repro.obs.htmlreport`), the dashboard
+is rendered by the repo's own XSLT pipeline: :func:`dashboard_document`
+lowers a :meth:`~repro.server.telemetry.ServerTelemetry.snapshot` dict
+into a ``<dashboard>`` XML tree and :data:`DASHBOARD_XSL` turns it into
+the HTML page served at ``GET /dashboard`` — the paper's web-oriented
+presentation layer, pointed at the server itself.
+
+The page is a plain snapshot with a 2-second ``meta http-equiv``
+refresh: no JavaScript, no state on the server, so it stays serveable
+under the same degraded conditions the chaos suite exercises.  The
+traffic sparkline is computed Python-side (unicode block glyphs) so the
+stylesheet stays a pure layout concern.
+"""
+
+from __future__ import annotations
+
+from ..xml.dom import Document, Element
+
+__all__ = ["DASHBOARD_XSL", "dashboard_document", "render_dashboard_html",
+           "sparkline"]
+
+#: Eight block glyphs give the sparkline eight vertical levels.
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+DASHBOARD_XSL = """<?xml version="1.0"?>
+<xsl:stylesheet version="1.0"
+    xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:output method="html" indent="no"/>
+
+  <xsl:template match="/dashboard">
+    <html>
+      <head>
+        <title>goldcase ops</title>
+        <meta http-equiv="refresh" content="2"/>
+        <link rel="stylesheet" type="text/css" href="gold.css"/>
+      </head>
+      <body bgcolor="mintcream">
+        <h1>goldcase ops</h1>
+        <p>
+          <font size="2">up <xsl:value-of select="@uptime"/>,
+          <xsl:value-of select="@requests"/> requests served,
+          request id <xsl:value-of select="@request-id"/></font>
+        </p>
+
+        <h2>Traffic (last 60s)</h2>
+        <p><tt><xsl:value-of select="traffic/@sparkline"/></tt>
+          <font size="2"> peak <xsl:value-of select="traffic/@peak"/>/s</font>
+        </p>
+
+        <h2>Service objectives</h2>
+        <table border="1" cellspacing="0">
+          <tr bgcolor="#C0C0C0">
+            <th>objective</th><th>window</th><th>value</th>
+            <th>threshold</th><th>budget burn</th><th>state</th>
+          </tr>
+          <xsl:for-each select="slos/slo">
+            <tr>
+              <xsl:if test="@ok = 'no'">
+                <xsl:attribute name="bgcolor">#FFC0C0</xsl:attribute>
+              </xsl:if>
+              <td><font size="2"><xsl:value-of select="@name"/></font></td>
+              <td align="right"><font size="2">
+                <xsl:value-of select="@window"/></font></td>
+              <td align="right"><font size="2">
+                <xsl:value-of select="@value"/></font></td>
+              <td align="right"><font size="2">
+                <xsl:value-of select="@threshold"/></font></td>
+              <td align="right"><font size="2">
+                <xsl:value-of select="@burn"/></font></td>
+              <td align="center"><font size="2">
+                <xsl:choose>
+                  <xsl:when test="@ok = 'yes'">OK</xsl:when>
+                  <xsl:otherwise>BURNING</xsl:otherwise>
+                </xsl:choose></font></td>
+            </tr>
+          </xsl:for-each>
+        </table>
+
+        <h2>Rates</h2>
+        <table border="1" cellspacing="0">
+          <tr bgcolor="#C0C0C0">
+            <th>window</th><th>req/s</th><th>5xx/s</th>
+            <th>p50 (ms)</th><th>p99 (ms)</th>
+          </tr>
+          <xsl:for-each select="windows/window">
+            <tr>
+              <td align="right"><font size="2">
+                <xsl:value-of select="@label"/></font></td>
+              <td align="right"><font size="2">
+                <xsl:value-of select="@rate"/></font></td>
+              <td align="right"><font size="2">
+                <xsl:value-of select="@errors"/></font></td>
+              <td align="right"><font size="2">
+                <xsl:value-of select="@p50-ms"/></font></td>
+              <td align="right"><font size="2">
+                <xsl:value-of select="@p99-ms"/></font></td>
+            </tr>
+          </xsl:for-each>
+        </table>
+
+        <xsl:if test="models/model">
+          <h2>Top models</h2>
+          <table border="1" cellspacing="0">
+            <tr bgcolor="#C0C0C0"><th>model</th><th>requests</th></tr>
+            <xsl:for-each select="models/model">
+              <tr>
+                <td><font size="2"><xsl:value-of select="@name"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@requests"/></font></td>
+              </tr>
+            </xsl:for-each>
+          </table>
+        </xsl:if>
+
+        <xsl:if test="counters/counter">
+          <h2>Lifetime counters</h2>
+          <table border="1" cellspacing="0">
+            <tr bgcolor="#C0C0C0"><th>counter</th><th>total</th></tr>
+            <xsl:for-each select="counters/counter">
+              <tr>
+                <td><font size="2"><xsl:value-of select="@name"/></font></td>
+                <td align="right"><font size="2">
+                  <xsl:value-of select="@value"/></font></td>
+              </tr>
+            </xsl:for-each>
+          </table>
+        </xsl:if>
+      </body>
+    </html>
+  </xsl:template>
+</xsl:stylesheet>
+"""
+
+
+def sparkline(values: list[int]) -> str:
+    """Render *values* as unicode block glyphs, scaled to the peak."""
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK_GLYPHS[0] * len(values)
+    top = len(_SPARK_GLYPHS) - 1
+    return "".join(
+        _SPARK_GLYPHS[min(top, round(value * top / peak))]
+        for value in values)
+
+
+def _uptime_text(seconds: float) -> str:
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def dashboard_document(snap: dict, *, request_id: str = "") -> Document:
+    """Lower a telemetry snapshot into the ``<dashboard>`` XML tree."""
+    document = Document()
+    root = document.append_child(Element("dashboard"))
+    totals = snap.get("totals", {})
+    root.set_attribute("uptime", _uptime_text(snap.get("uptime_s", 0)))
+    root.set_attribute("requests", str(totals.get("http.requests", 0)))
+    root.set_attribute("request-id", request_id)
+
+    series = snap.get("series_60s", [])
+    traffic = root.append_child(Element("traffic"))
+    traffic.set_attribute("sparkline", sparkline(series))
+    traffic.set_attribute("peak", str(max(series) if series else 0))
+
+    slos = root.append_child(Element("slos"))
+    for status in snap.get("slos", []):
+        entry = slos.append_child(Element("slo"))
+        entry.set_attribute("name", status["name"])
+        entry.set_attribute("window", f"{status['window_s']}s")
+        if status["kind"] == "latency":
+            entry.set_attribute("value", f"{status['value'] * 1000:.2f}ms")
+            entry.set_attribute(
+                "threshold", f"{status['threshold'] * 1000:.2f}ms")
+        else:
+            entry.set_attribute("value", f"{status['value'] * 100:.3f}%")
+            entry.set_attribute(
+                "threshold", f"{status['threshold'] * 100:.3f}%")
+        entry.set_attribute("burn", f"{status['burn']:.2f}")
+        entry.set_attribute("ok", "yes" if status["ok"] else "no")
+
+    windows = root.append_child(Element("windows"))
+    for window_text, entry_data in snap.get("windows", {}).items():
+        window_s = int(window_text)
+        counters = entry_data.get("counters", {})
+        latency = entry_data.get("sketches", {}).get("http.latency", {})
+        entry = windows.append_child(Element("window"))
+        entry.set_attribute("label", f"{window_s}s")
+        entry.set_attribute(
+            "rate", f"{counters.get('http.requests', 0) / window_s:.2f}")
+        entry.set_attribute(
+            "errors", f"{counters.get('http.status.5xx', 0) / window_s:.3f}")
+        entry.set_attribute(
+            "p50-ms", f"{latency.get('p50', 0.0) * 1000:.2f}")
+        entry.set_attribute(
+            "p99-ms", f"{latency.get('p99', 0.0) * 1000:.2f}")
+
+    models = root.append_child(Element("models"))
+    for name, count in snap.get("top_models", []):
+        entry = models.append_child(Element("model"))
+        entry.set_attribute("name", name)
+        entry.set_attribute("requests", str(count))
+
+    counters = root.append_child(Element("counters"))
+    for name in sorted(totals):
+        if name.startswith("model."):
+            continue
+        entry = counters.append_child(Element("counter"))
+        entry.set_attribute("name", name)
+        entry.set_attribute("value", str(totals[name]))
+    return document
+
+
+_DASHBOARD_TRANSFORMER = None
+
+
+def render_dashboard_html(snap: dict, *, request_id: str = "") -> str:
+    """Render the ops page for *snap* via the XSLT engine."""
+    global _DASHBOARD_TRANSFORMER
+    from ..xslt import Transformer, compile_stylesheet
+
+    if _DASHBOARD_TRANSFORMER is None:
+        _DASHBOARD_TRANSFORMER = Transformer(
+            compile_stylesheet(DASHBOARD_XSL))
+    result = _DASHBOARD_TRANSFORMER.transform(
+        dashboard_document(snap, request_id=request_id))
+    return result.serialize()

@@ -1,0 +1,666 @@
+"""Always-on rolling telemetry: per-second buckets and quantile sketches.
+
+The PR 3 :mod:`repro.obs.recorder` is a *profiler*: armed per run,
+snapshotted after the fact, zero-overhead when disabled.  Production
+operators need the opposite trade: a metric surface that is **always
+on**, cheap enough to leave enabled at full request rate, and carries a
+*time dimension* so "requests per second over the last minute" and
+"p99 over the last five minutes" are answerable at any instant
+(DESIGN.md §15).
+
+Two pieces, both stdlib-only and import-free within the package:
+
+* :class:`QuantileSketch` — a streaming histogram over log-spaced
+  buckets (growth factor :data:`GAMMA`).  Recording is O(1): one
+  ``log``, one dict increment.  Quantile queries return the upper bound
+  of the bucket holding the requested order statistic, which bounds the
+  relative error by one bucket: for the exact q-quantile ``x`` the
+  estimate ``x̂`` satisfies ``x <= x̂ < GAMMA * x`` (documented bound,
+  pinned by Hypothesis tests in ``tests/obs/test_rolling_properties``).
+  Merging two sketches adds their bucket counts, so per-thread or
+  per-window merges commute and lose nothing.
+* :class:`RollingWindow` — a ring of per-second buckets (counters plus
+  sketches), sized to the largest window it must answer.  The armed
+  hot-path cost is a couple of dict ops under one short lock; windowed
+  reads merge at *snapshot* time, never on the request path.  Memory is
+  O(window): the ring overwrites slots in place, so a server up for a
+  month holds exactly as many buckets as one up for twenty minutes.
+
+The clock is injectable (seconds, monotonic by convention) so tests
+advance time explicitly — no wall-clock reads are needed to exercise
+rollover, skew, or reclaim behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+__all__ = [
+    "GAMMA",
+    "MIN_TRACKED",
+    "QuantileSketch",
+    "RollingWindow",
+    "ShardedRollingWindow",
+    "WINDOWS",
+]
+
+#: Per-bucket growth factor of the log-spaced sketch: one bucket spans
+#: ``(GAMMA**(i-1), GAMMA**i]``, bounding quantile relative error at
+#: ``GAMMA - 1`` (10%).
+GAMMA = 1.1
+
+#: Values at or below this (seconds) collapse into the zero bucket —
+#: nothing the server times is faster than a nanosecond.
+MIN_TRACKED = 1e-9
+
+#: The standard reporting windows (seconds): 1m / 5m / 15m.
+WINDOWS = (60, 300, 900)
+
+_LOG_GAMMA = math.log(GAMMA)
+
+
+class QuantileSketch:
+    """A mergeable streaming histogram with bounded-error quantiles."""
+
+    __slots__ = ("buckets", "zeros", "count", "total")
+
+    def __init__(self) -> None:
+        #: bucket index -> observation count; index ``i`` covers the
+        #: value interval ``(GAMMA**(i-1), GAMMA**i]``.
+        self.buckets: dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+        self.total = 0.0
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        """The index of the bucket covering *value* (> MIN_TRACKED)."""
+        return math.ceil(math.log(value) / _LOG_GAMMA)
+
+    @staticmethod
+    def bucket_upper(index: int) -> float:
+        """The inclusive upper value bound of bucket *index*."""
+        return GAMMA ** index
+
+    def add(self, value: float, n: int = 1) -> None:
+        """Record *value* *n* times (O(1): one log, one dict op)."""
+        self.count += n
+        self.total += value * n
+        if value <= MIN_TRACKED:
+            self.zeros += n
+            return
+        index = math.ceil(math.log(value) / _LOG_GAMMA)
+        buckets = self.buckets
+        buckets[index] = buckets.get(index, 0) + n
+
+    def add_indexed(self, index: int | None, value: float) -> None:
+        """:meth:`add` with the bucket index precomputed (None = zero).
+
+        The per-request path feeds one observation into two sketches
+        (cumulative and the current second's bucket); computing the
+        ``log`` once and bumping both via this method halves the
+        transcendental work.
+        """
+        self.count += 1
+        self.total += value
+        if index is None:
+            self.zeros += 1
+        else:
+            buckets = self.buckets
+            buckets[index] = buckets.get(index, 0) + 1
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold *other* into this sketch; merging commutes."""
+        self.count += other.count
+        self.total += other.total
+        self.zeros += other.zeros
+        buckets = self.buckets
+        for index, n in other.buckets.items():
+            buckets[index] = buckets.get(index, 0) + n
+        return self
+
+    def copy(self) -> "QuantileSketch":
+        clone = QuantileSketch()
+        clone.buckets = dict(self.buckets)
+        clone.zeros = self.zeros
+        clone.count = self.count
+        clone.total = self.total
+        return clone
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile estimate (upper bucket bound at that rank).
+
+        Guarantee: with ``x`` the exact order statistic at rank
+        ``ceil(q * count)``, the returned value lies in
+        ``[x, GAMMA * x)`` — at most one bucket above, never below.
+        Returns 0.0 for an empty sketch.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        if target <= self.zeros:
+            return 0.0
+        cumulative = self.zeros
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= target:
+                return GAMMA ** index
+        return GAMMA ** max(self.buckets)  # pragma: no cover (float slop)
+
+    def fraction_above(self, threshold: float) -> float:
+        """The fraction of observations strictly above *threshold*.
+
+        Bucket-resolution approximation: observations sharing the
+        threshold's bucket count as *not above* (their true values may
+        sit either side), so the answer is exact to within one bucket's
+        mass — the right direction for burn-rate alerts, which should
+        not fire on values inside the measurement error.
+        """
+        if not self.count:
+            return 0.0
+        if threshold <= MIN_TRACKED:
+            return (self.count - self.zeros) / self.count
+        limit = math.ceil(math.log(threshold) / _LOG_GAMMA)
+        above = sum(n for index, n in self.buckets.items() if index > limit)
+        return above / self.count
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ascending.
+
+        The Prometheus histogram shape: each pair says "this many
+        observations were <= upper_bound"; the final implicit +Inf
+        bucket is :attr:`count`.
+        """
+        pairs: list[tuple[float, int]] = []
+        cumulative = self.zeros
+        if self.zeros:
+            pairs.append((MIN_TRACKED, cumulative))
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            pairs.append((GAMMA ** index, cumulative))
+        return pairs
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean, "p50": self.quantile(0.5),
+                "p99": self.quantile(0.99)}
+
+
+class _Bucket:
+    """One second's accumulation: counters plus named sketches."""
+
+    __slots__ = ("second", "counters", "sketches")
+
+    def __init__(self, second: int) -> None:
+        self.second = second
+        self.counters: dict[str, int] = {}
+        self.sketches: dict[str, QuantileSketch] = {}
+
+
+class _WindowReads:
+    """Derived read-side views shared by plain and sharded windows."""
+
+    def rate(self, name: str, window_s: int) -> float:
+        """Counter *name* per second over the trailing window."""
+        return self.window_counters(window_s).get(name, 0) / window_s
+
+    def snapshot(self, windows: tuple[int, ...] = WINDOWS) -> dict:
+        """A JSON-ready view: totals, windowed rates, and quantiles."""
+        snap: dict = {
+            "uptime_s": self.uptime_s(),
+            "window_s": self.window_s,
+            "totals": self.totals(),
+            "windows": {},
+        }
+        for window_s in windows:
+            window_s = min(window_s, self.window_s)
+            entry = {"counters": self.window_counters(window_s),
+                     "sketches": {}}
+            for name in self.sketch_names():
+                sketch = self.window_sketch(name, window_s)
+                if sketch.count:
+                    entry["sketches"][name] = sketch.as_dict()
+            snap["windows"][str(window_s)] = entry
+        return snap
+
+
+class RollingWindow(_WindowReads):
+    """Time-windowed counters and latency sketches over a bucket ring.
+
+    * ``inc``/``observe`` are the armed hot path: one lock, a couple of
+      dict ops.  Both also feed *cumulative* totals (monotonic since
+      construction — the ``/metrics`` counter surface) so windowed
+      rates and lifetime counters never disagree about the past.
+    * Windowed reads (``window_counters`` / ``window_sketch``) merge
+      only the buckets whose stamped second falls inside
+      ``(now - window, now]``; a stale slot left from a clock jump is
+      filtered by its stamp, never double-counted.
+    * The ring is fixed at ``window_s`` slots; writing second ``t``
+      claims slot ``t % window_s``, evicting whatever second lived
+      there — reclaim is free and memory is O(window), not O(uptime).
+    """
+
+    def __init__(self, *, window_s: int = WINDOWS[-1],
+                 clock=time.monotonic) -> None:
+        if window_s < 1:
+            raise ValueError("window_s must be at least one second")
+        self.window_s = window_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: list[_Bucket | None] = [None] * window_s
+        self._totals: dict[str, int] = {}
+        self._total_sketches: dict[str, QuantileSketch] = {}
+        # Writes accumulate here and flush into the ring/totals when the
+        # second rolls over or a reader looks (see _flush_locked): the
+        # per-request path then touches one small hot dict and one list
+        # instead of six cold structures, which is what the telemetry
+        # cost is actually made of at full request rate (cache misses,
+        # not instruction count).
+        self._pending: dict[str, int] = {}
+        #: counter-name tuple -> request count; the fused request path
+        #: (:meth:`record_hit`) bumps one entry per request instead of
+        #: one per counter, and the flush fans the tuple back out.
+        self._pending_hits: dict[tuple, int] = {}
+        #: sketch name -> pending values; the lists are emptied in
+        #: place at flush and reused, so a steady-state request adds
+        #: one float to a hot list — no GC-tracked allocation at all.
+        self._pending_obs: dict[str, list[float]] = {}
+        self._pending_second: int | None = None
+        self._started = clock()
+
+    # -- recording (the armed hot path) ------------------------------------
+
+    def _flush_locked(self) -> None:
+        """Apply pending writes to totals/ring (lock held by caller).
+
+        Amortisation point of the whole design: a second's worth of
+        requests lands on the cumulative dicts, the ring bucket, and
+        the sketches in one pass.  Readers call this first, so nothing
+        is ever invisible or double-counted, and totals stay monotonic
+        because pending data moves — it is never dropped or re-read.
+        """
+        second = self._pending_second
+        if second is None:
+            return
+        self._pending_second = None
+        slot = second % self.window_s
+        bucket = self._ring[slot]
+        if bucket is None or bucket.second != second:
+            bucket = self._ring[slot] = _Bucket(second)
+        totals = self._totals
+        counters = bucket.counters
+        pending = self._pending
+        if pending:
+            for name, n in pending.items():
+                totals[name] = totals.get(name, 0) + n
+                counters[name] = counters.get(name, 0) + n
+            pending.clear()
+        hits = self._pending_hits
+        if hits:
+            for names, count in hits.items():
+                for name in names:
+                    totals[name] = totals.get(name, 0) + count
+                    counters[name] = counters.get(name, 0) + count
+            hits.clear()
+        for name, values in self._pending_obs.items():
+            if not values:
+                continue
+            sketch = self._total_sketches.get(name)
+            if sketch is None:
+                sketch = self._total_sketches[name] = QuantileSketch()
+            windowed = bucket.sketches.get(name)
+            if windowed is None:
+                windowed = bucket.sketches[name] = QuantileSketch()
+            for value in values:
+                if value <= MIN_TRACKED:
+                    index = None
+                else:
+                    index = math.ceil(math.log(value) / _LOG_GAMMA)
+                sketch.add_indexed(index, value)
+                windowed.add_indexed(index, value)
+            del values[:]
+
+    def _pend(self) -> None:
+        """Roll pending state to the current second (lock held)."""
+        second = int(self._clock())
+        if second != self._pending_second:
+            self._flush_locked()
+            self._pending_second = second
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add *n* to counter *name* (cumulative and current second)."""
+        with self._lock:
+            self._pend()
+            pending = self._pending
+            pending[name] = pending.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into sketch *name* (cumulative and windowed)."""
+        with self._lock:
+            self._pend()
+            values = self._pending_obs.get(name)
+            if values is None:
+                values = self._pending_obs[name] = []
+            values.append(value)
+
+    def record(self, counters: dict[str, int],
+               observations: dict[str, float] | None = None) -> None:
+        """Apply many counters and observations atomically.
+
+        One lock acquisition, one clock read, and only *hot* memory for
+        a whole request's worth of increments: everything lands in the
+        pending dict/list this shard's writer touched a moment ago and
+        flushes to the cold ring/sketch structures at most once per
+        second.
+        """
+        with self._lock:
+            self._pend()
+            pending = self._pending
+            for name, n in counters.items():
+                pending[name] = pending.get(name, 0) + n
+            if observations:
+                obs = self._pending_obs
+                for name, value in observations.items():
+                    values = obs.get(name)
+                    if values is None:
+                        values = obs[name] = []
+                    values.append(value)
+
+    def record_hit(self, names: tuple, sized_name: str | None,
+                   size: int, obs_name: str, obs_value: float) -> None:
+        """:meth:`record` for the common single-request shape.
+
+        *names* are counters incremented by one, *sized_name* (if any)
+        by *size*, and *obs_value* lands in sketch *obs_name*.  The
+        caller precomputes *names* once per (status, flags, model)
+        combination, so the armed hot path skips building and
+        iterating a scratch dict entirely — it is the fused form of
+        what :meth:`repro.server.telemetry.ServerTelemetry.finish`
+        used to assemble per request.  Because callers intern the
+        names tuple, the whole counter side of a request is one dict
+        bump here; the flush fans it out per name.
+        """
+        with self._lock:
+            self._pend()
+            hits = self._pending_hits
+            hits[names] = hits.get(names, 0) + 1
+            if sized_name is not None:
+                pending = self._pending
+                pending[sized_name] = pending.get(sized_name, 0) + size
+            values = self._pending_obs.get(obs_name)
+            if values is None:
+                values = self._pending_obs[obs_name] = []
+            values.append(obs_value)
+
+    def shard_for_thread(self) -> "RollingWindow":
+        """The window the current thread should write to (itself)."""
+        return self
+
+    # -- reading (snapshot time) -------------------------------------------
+
+    def uptime_s(self) -> float:
+        return self._clock() - self._started
+
+    def totals(self) -> dict[str, int]:
+        """Cumulative counters since construction (monotonic)."""
+        with self._lock:
+            self._flush_locked()
+            return dict(self._totals)
+
+    def total(self, name: str) -> int:
+        with self._lock:
+            self._flush_locked()
+            return self._totals.get(name, 0)
+
+    def total_sketch(self, name: str) -> QuantileSketch:
+        """A copy of the cumulative sketch *name* (empty if unknown)."""
+        with self._lock:
+            self._flush_locked()
+            sketch = self._total_sketches.get(name)
+            return sketch.copy() if sketch is not None else QuantileSketch()
+
+    def sketch_names(self) -> list[str]:
+        with self._lock:
+            self._flush_locked()
+            return sorted(self._total_sketches)
+
+    def _window_buckets(self, window_s: int) -> list[_Bucket]:
+        """Buckets inside ``(now - window_s, now]`` (lock held)."""
+        window_s = min(window_s, self.window_s)
+        now = int(self._clock())
+        low = now - window_s
+        return [bucket for bucket in self._ring
+                if bucket is not None and low < bucket.second <= now]
+
+    def window_counters(self, window_s: int) -> dict[str, int]:
+        """Summed counters over the trailing *window_s* seconds."""
+        merged: dict[str, int] = {}
+        with self._lock:
+            self._flush_locked()
+            for bucket in self._window_buckets(window_s):
+                for name, n in bucket.counters.items():
+                    merged[name] = merged.get(name, 0) + n
+        return merged
+
+    def window_sketch(self, name: str, window_s: int) -> QuantileSketch:
+        """Sketch *name* merged over the trailing *window_s* seconds."""
+        merged = QuantileSketch()
+        with self._lock:
+            self._flush_locked()
+            for bucket in self._window_buckets(window_s):
+                sketch = bucket.sketches.get(name)
+                if sketch is not None:
+                    merged.merge(sketch)
+        return merged
+
+    def series(self, name: str, seconds: int = 60) -> list[int]:
+        """Per-second values of counter *name*, oldest to newest.
+
+        Exactly *seconds* entries ending at the current second; seconds
+        with no bucket (idle or reclaimed) read as zero.
+        """
+        seconds = min(seconds, self.window_s)
+        with self._lock:
+            self._flush_locked()
+            now = int(self._clock())
+            by_second = {bucket.second: bucket.counters.get(name, 0)
+                         for bucket in self._ring if bucket is not None}
+        return [by_second.get(second, 0)
+                for second in range(now - seconds + 1, now + 1)]
+
+    def bucket_count(self) -> int:
+        """Occupied ring slots (bounded by ``window_s`` forever)."""
+        with self._lock:
+            self._flush_locked()
+            return sum(1 for bucket in self._ring if bucket is not None)
+
+    def absorb(self, other: "RollingWindow") -> None:
+        """Fold *other* into this window (totals, sketches, buckets).
+
+        Used to retire the shard of a finished thread: *other* must
+        have no live writers and share this window's ``window_s``.
+        Buckets merge second-by-second; where both rings hold the same
+        second the counts add, where they disagree the newer second
+        wins — exactly what the stamp filter would have kept.
+        """
+        if other.window_s != self.window_s:
+            raise ValueError("cannot absorb a differently-sized window")
+        with other._lock:
+            other._flush_locked()
+        with self._lock:
+            self._flush_locked()
+            totals = self._totals
+            for name, n in other._totals.items():
+                totals[name] = totals.get(name, 0) + n
+            for name, sketch in other._total_sketches.items():
+                mine = self._total_sketches.get(name)
+                if mine is None:
+                    self._total_sketches[name] = sketch.copy()
+                else:
+                    mine.merge(sketch)
+            for bucket in other._ring:
+                if bucket is None:
+                    continue
+                slot = bucket.second % self.window_s
+                mine = self._ring[slot]
+                if mine is None or mine.second < bucket.second:
+                    fresh = _Bucket(bucket.second)
+                    fresh.counters = dict(bucket.counters)
+                    fresh.sketches = {name: sketch.copy()
+                                      for name, sketch
+                                      in bucket.sketches.items()}
+                    self._ring[slot] = fresh
+                elif mine.second == bucket.second:
+                    counters = mine.counters
+                    for name, n in bucket.counters.items():
+                        counters[name] = counters.get(name, 0) + n
+                    for name, sketch in bucket.sketches.items():
+                        held = mine.sketches.get(name)
+                        if held is None:
+                            mine.sketches[name] = sketch.copy()
+                        else:
+                            held.merge(sketch)
+
+
+class ShardedRollingWindow(_WindowReads):
+    """A rolling window sharded per writer thread.
+
+    A threaded server funnels every request through one lock when all
+    handler threads share a single :class:`RollingWindow`; under a
+    saturating closed loop the convoy on that lock costs more than the
+    metric arithmetic it protects.  Here each thread records into its
+    own private shard — an ordinary :class:`RollingWindow` whose lock
+    is effectively uncontended — and the read side merges shards at
+    snapshot time, which loses nothing because counter addition and
+    sketch merge both commute.
+
+    Shards belonging to finished threads are absorbed into a retired
+    window the next time any thread registers a new shard, so memory
+    is O(window x live threads), not O(window x threads ever started).
+    """
+
+    def __init__(self, *, window_s: int = WINDOWS[-1],
+                 clock=time.monotonic) -> None:
+        if window_s < 1:
+            raise ValueError("window_s must be at least one second")
+        self.window_s = window_s
+        self._clock = clock
+        self._local = threading.local()
+        self._registry_lock = threading.Lock()
+        self._shards: list[tuple[threading.Thread, RollingWindow]] = []
+        self._retired = RollingWindow(window_s=window_s, clock=clock)
+        self._started = clock()
+
+    # -- recording (the armed hot path) ------------------------------------
+
+    def _shard(self) -> RollingWindow:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = RollingWindow(window_s=self.window_s,
+                                  clock=self._clock)
+            with self._registry_lock:
+                live = []
+                for thread, existing in self._shards:
+                    if thread.is_alive():
+                        live.append((thread, existing))
+                    else:
+                        self._retired.absorb(existing)
+                live.append((threading.current_thread(), shard))
+                self._shards = live
+            self._local.shard = shard
+        return shard
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self._shard().inc(name, n)
+
+    def observe(self, name: str, value: float) -> None:
+        self._shard().observe(name, value)
+
+    def record(self, counters: dict[str, int],
+               observations: dict[str, float] | None = None) -> None:
+        self._shard().record(counters, observations)
+
+    def record_hit(self, names: tuple, sized_name: str | None,
+                   size: int, obs_name: str, obs_value: float) -> None:
+        self._shard().record_hit(names, sized_name, size,
+                                 obs_name, obs_value)
+
+    def shard_for_thread(self) -> RollingWindow:
+        """This thread's shard, for callers that cache it.
+
+        The telemetry finish path resolves its shard once per thread
+        (and re-resolves only if the window object changes) instead of
+        paying the ``threading.local`` lookup per request.  Safe to
+        hold: a live thread's shard is never retired, and retirement
+        of dead threads' shards happens via absorb, which folds — it
+        never invalidates.
+        """
+        return self._shard()
+
+    # -- reading (merge the shards) ----------------------------------------
+
+    def _views(self) -> list[RollingWindow]:
+        with self._registry_lock:
+            return [self._retired] + [shard for _, shard in self._shards]
+
+    def uptime_s(self) -> float:
+        return self._clock() - self._started
+
+    def totals(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for view in self._views():
+            for name, n in view.totals().items():
+                merged[name] = merged.get(name, 0) + n
+        return merged
+
+    def total(self, name: str) -> int:
+        return sum(view.total(name) for view in self._views())
+
+    def total_sketch(self, name: str) -> QuantileSketch:
+        merged = QuantileSketch()
+        for view in self._views():
+            merged.merge(view.total_sketch(name))
+        return merged
+
+    def sketch_names(self) -> list[str]:
+        names: set[str] = set()
+        for view in self._views():
+            names.update(view.sketch_names())
+        return sorted(names)
+
+    def window_counters(self, window_s: int) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for view in self._views():
+            for name, n in view.window_counters(window_s).items():
+                merged[name] = merged.get(name, 0) + n
+        return merged
+
+    def window_sketch(self, name: str, window_s: int) -> QuantileSketch:
+        merged = QuantileSketch()
+        for view in self._views():
+            merged.merge(view.window_sketch(name, window_s))
+        return merged
+
+    def series(self, name: str, seconds: int = 60) -> list[int]:
+        seconds = min(seconds, self.window_s)
+        merged = [0] * seconds
+        for view in self._views():
+            for index, value in enumerate(view.series(name, seconds)):
+                merged[index] += value
+        return merged
+
+    def bucket_count(self) -> int:
+        return sum(view.bucket_count() for view in self._views())
+
+    def shard_count(self) -> int:
+        """Live shards plus the retired accumulator (introspection)."""
+        with self._registry_lock:
+            return len(self._shards) + 1

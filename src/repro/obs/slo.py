@@ -1,0 +1,214 @@
+"""Declarative SLOs evaluated over the rolling telemetry windows.
+
+An SLO here is a small frozen object naming an objective over one
+:class:`~repro.obs.rolling.RollingWindow` — "p99 warm GET under 5 ms
+over the last minute", "availability 99.9% over 15 minutes", "staleness
+ratio under 1%" — evaluated lazily at snapshot time (``/metrics``,
+``/dashboard``), never on the request path.
+
+Both kinds reduce to the same error-budget arithmetic:
+
+* a :class:`LatencySLO` at quantile q allows a ``1 - q`` fraction of
+  requests to exceed the threshold (that *is* what "p99 < 5 ms" means);
+  the burn rate is the observed above-threshold fraction divided by
+  that allowance;
+* a :class:`RatioSLO` allows ``max_ratio`` of events to be bad (5xx,
+  stale, shed); the burn rate is the observed ratio over the allowance.
+
+``burn <= 1`` means the objective holds over the window; ``burn == 2``
+means the error budget is being spent twice as fast as it accrues.  An
+empty window burns nothing — no traffic is not an outage.
+
+The CLI grammar (``goldcase serve --slo SPEC``), also used by tests::
+
+    p99:http.latency<5ms@1m          latency quantile objective
+    ratio:http.stale/http.requests<1%@5m
+    availability>=99.9%@15m          sugar for 5xx ratio
+    checkout=p99:http.latency<20ms@5m   (optional name= prefix)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .rolling import RollingWindow
+
+__all__ = [
+    "LatencySLO",
+    "RatioSLO",
+    "SLOStatus",
+    "default_slos",
+    "parse_slo",
+]
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One evaluated objective: JSON-ready, ordering-stable."""
+
+    name: str
+    kind: str
+    window_s: int
+    #: The measured signal: seconds for latency SLOs, fraction for
+    #: ratio SLOs.
+    value: float
+    #: The objective bound on ``value``.
+    threshold: float
+    #: Allowed bad fraction (the error budget per unit of traffic).
+    budget: float
+    #: Observed bad fraction / budget; <= 1 means the objective holds.
+    burn: float
+    ok: bool
+    #: Observations the verdict is based on (0 = no traffic, ok).
+    samples: int
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name, "kind": self.kind,
+            "window_s": self.window_s, "value": self.value,
+            "threshold": self.threshold, "budget": self.budget,
+            "burn": round(self.burn, 4), "ok": self.ok,
+            "samples": self.samples,
+        }
+
+
+@dataclass(frozen=True)
+class LatencySLO:
+    """``quantile`` of sketch ``metric`` must stay under ``threshold_s``."""
+
+    name: str
+    metric: str
+    quantile: float
+    threshold_s: float
+    window_s: int
+
+    kind = "latency"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError(f"quantile {self.quantile!r} outside (0, 1)")
+        if self.threshold_s <= 0:
+            raise ValueError("latency threshold must be positive")
+
+    def evaluate(self, window: RollingWindow) -> SLOStatus:
+        sketch = window.window_sketch(self.metric, self.window_s)
+        budget = 1.0 - self.quantile
+        bad_fraction = sketch.fraction_above(self.threshold_s)
+        burn = bad_fraction / budget
+        return SLOStatus(
+            name=self.name, kind=self.kind, window_s=self.window_s,
+            value=sketch.quantile(self.quantile),
+            threshold=self.threshold_s, budget=budget, burn=burn,
+            ok=burn <= 1.0, samples=sketch.count)
+
+
+@dataclass(frozen=True)
+class RatioSLO:
+    """``bad / total`` (windowed counters) must stay under ``max_ratio``."""
+
+    name: str
+    bad: str
+    total: str
+    max_ratio: float
+    window_s: int
+
+    kind = "ratio"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_ratio < 1.0:
+            raise ValueError(f"max_ratio {self.max_ratio!r} outside (0, 1)")
+
+    def evaluate(self, window: RollingWindow) -> SLOStatus:
+        counters = window.window_counters(self.window_s)
+        total = counters.get(self.total, 0)
+        bad = counters.get(self.bad, 0)
+        ratio = bad / total if total else 0.0
+        burn = ratio / self.max_ratio
+        return SLOStatus(
+            name=self.name, kind=self.kind, window_s=self.window_s,
+            value=ratio, threshold=self.max_ratio, budget=self.max_ratio,
+            burn=burn, ok=burn <= 1.0, samples=total)
+
+
+def default_slos() -> list:
+    """The shipped objectives (ISSUE 8): latency, availability, staleness."""
+    return [
+        LatencySLO("warm-get-p99", metric="http.latency", quantile=0.99,
+                   threshold_s=0.005, window_s=60),
+        RatioSLO("availability-99.9", bad="http.status.5xx",
+                 total="http.requests", max_ratio=0.001, window_s=300),
+        RatioSLO("staleness-1pct", bad="http.stale",
+                 total="http.requests", max_ratio=0.01, window_s=300),
+    ]
+
+
+_WINDOW_UNITS = {"s": 1, "m": 60, "h": 3600}
+_TIME_UNITS = {"us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+_LATENCY_RE = re.compile(
+    r"^p(?P<q>\d+(?:\.\d+)?):(?P<metric>[\w.]+)"
+    r"<=?(?P<value>\d+(?:\.\d+)?)(?P<unit>us|ms|s)$")
+_RATIO_RE = re.compile(
+    r"^ratio:(?P<bad>[\w.]+)/(?P<total>[\w.]+)"
+    r"<=?(?P<value>\d+(?:\.\d+)?)(?P<pct>%?)$")
+_AVAILABILITY_RE = re.compile(
+    r"^availability>=?(?P<value>\d+(?:\.\d+)?)%$")
+
+
+def _window(text: str, default_s: int = 300) -> int:
+    if not text:
+        return default_s
+    match = re.fullmatch(r"(\d+)([smh])", text)
+    if match is None:
+        raise ValueError(f"bad SLO window {text!r} (want e.g. 1m, 90s)")
+    return int(match.group(1)) * _WINDOW_UNITS[match.group(2)]
+
+
+def parse_slo(spec: str):
+    """One SLO from its ``--slo`` spec text (see module docstring)."""
+    text = spec.strip()
+    name = None
+    if "=" in text.split("<")[0].split(">")[0]:
+        name, _, text = text.partition("=")
+        name = name.strip()
+        text = text.strip()
+    body, _, window_text = text.partition("@")
+    window_s = _window(window_text.strip())
+
+    match = _LATENCY_RE.match(body)
+    if match is not None:
+        quantile = float(match.group("q")) / 100.0
+        threshold = float(match.group("value")) \
+            * _TIME_UNITS[match.group("unit")]
+        return LatencySLO(
+            name or f"p{match.group('q')}-{match.group('metric')}",
+            metric=match.group("metric"), quantile=quantile,
+            threshold_s=threshold, window_s=window_s)
+
+    match = _RATIO_RE.match(body)
+    if match is not None:
+        ratio = float(match.group("value"))
+        if match.group("pct"):
+            ratio /= 100.0
+        return RatioSLO(
+            name or f"ratio-{match.group('bad')}",
+            bad=match.group("bad"), total=match.group("total"),
+            max_ratio=ratio, window_s=window_s)
+
+    match = _AVAILABILITY_RE.match(body)
+    if match is not None:
+        target = float(match.group("value")) / 100.0
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"availability {spec!r} must be within "
+                             "(0%, 100%) exclusive")
+        return RatioSLO(
+            name or f"availability-{match.group('value')}",
+            bad="http.status.5xx", total="http.requests",
+            max_ratio=1.0 - target, window_s=window_s)
+
+    raise ValueError(
+        f"unparseable SLO spec {spec!r}; expected forms: "
+        "'p99:http.latency<5ms@1m', "
+        "'ratio:http.stale/http.requests<1%@5m', "
+        "'availability>=99.9%@15m'")

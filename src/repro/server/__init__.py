@@ -8,11 +8,19 @@ returned to the client browser" — realized as a stdlib-only subsystem:
   hash keys, per-model build coalescing, build-time link checking);
 * :mod:`repro.server.app` — transport-agnostic routing with strong
   ETags, conditional GET, and per-extension content types;
+* :mod:`repro.server.telemetry` — the always-on metric surface:
+  request ids, rolling windows, SLOs, ``/metrics``, ``/dashboard``;
 * :mod:`repro.server.httpd` — the threaded HTTP front end behind
   ``goldcase serve``.
 """
 
-from .app import CONTENT_TYPES, ModelRepositoryApp, Response
+from .app import (
+    CONTENT_TYPES,
+    METRICS_CONTENT_TYPE,
+    REQUEST_ID_HEADER,
+    ModelRepositoryApp,
+    Response,
+)
 from .cache import (
     CacheOverloadError,
     SiteBuildError,
@@ -28,13 +36,18 @@ from .httpd import (
     serve_forever,
 )
 from .store import ModelRecord, ModelStore, ModelStoreError
+from .telemetry import RequestContext, ServerTelemetry
 
 __all__ = [
     "CONTENT_TYPES",
     "CacheOverloadError",
     "MAX_BODY_BYTES",
+    "METRICS_CONTENT_TYPE",
     "ModelRepositoryApp",
     "READ_TIMEOUT_S",
+    "REQUEST_ID_HEADER",
+    "RequestContext",
+    "ServerTelemetry",
     "Response",
     "SiteBuildError",
     "SiteCache",

@@ -20,11 +20,19 @@ Routes (paper §4–§6 over the web, DESIGN.md §11):
 ``GET    /bundle/<name>/<file>``        §6 browser-side bundle (XML + XSL)
 ``GET    /health/<model>``              link-check report for the built site
 ``GET    /stats``                       cache + request counters (JSON)
+``GET    /metrics``                     Prometheus text exposition
+``GET    /dashboard``                   live ops page (HTML, via XSLT)
 ======================================  =====================================
 
 Every published resource is served with a strong ETag (SHA-256 of the
 bytes on the wire) and honours ``If-None-Match`` with ``304 Not
 Modified``; Content-Type (with charset) follows the file extension.
+
+Every response additionally carries an ``X-Goldcase-Request-Id``
+header (DESIGN.md §15): minted per request, or adopted from the
+client's header so one logical request keeps its identity across
+retries.  The telemetry layer brackets :meth:`ModelRepositoryApp
+.handle` and is on by default; ``GOLDCASE_NO_TELEMETRY=1`` disables it.
 """
 
 from __future__ import annotations
@@ -44,8 +52,16 @@ from .cache import (
     VARIANTS,
 )
 from .store import ModelStore, ModelStoreError
+from .telemetry import ServerTelemetry, current_context, mark, mark_model
 
-__all__ = ["ModelRepositoryApp", "Response", "CONTENT_TYPES"]
+__all__ = ["ModelRepositoryApp", "Response", "CONTENT_TYPES",
+           "METRICS_CONTENT_TYPE", "REQUEST_ID_HEADER"]
+
+#: The Prometheus text exposition format version served by /metrics.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: The request-id header, on every response and honoured on requests.
+REQUEST_ID_HEADER = "X-Goldcase-Request-Id"
 
 #: Content types per served extension (charset explicit: the paper's
 #: HTML carries accented Spanish section names).
@@ -120,9 +136,12 @@ class ModelRepositoryApp:
     """Routes repository requests onto the store and the site cache."""
 
     def __init__(self, store: ModelStore | None = None,
-                 cache: SiteCache | None = None) -> None:
+                 cache: SiteCache | None = None,
+                 telemetry: ServerTelemetry | None = None) -> None:
         self.store = store if store is not None else ModelStore()
         self.cache = cache if cache is not None else SiteCache()
+        self.telemetry = telemetry if telemetry is not None \
+            else ServerTelemetry()
         self._stats_lock = threading.Lock()
         self._requests = {"total": 0, "not_modified": 0}
 
@@ -143,27 +162,42 @@ class ModelRepositoryApp:
             self._requests["total"] += 1
         if _REC.enabled:
             _REC.count("server.request")
+        ctx = self.telemetry.begin(
+            method, parsed.path,
+            client_id=headers.get(REQUEST_ID_HEADER.lower()))
         # HEAD routes exactly like GET; the transport drops the body.
         routed = "GET" if method == "HEAD" else method
-        with _REC.span("server.request", method=method, path=parsed.path):
-            try:
-                response = self._route(routed, segments, query, headers,
-                                       body)
-            except FaultError as exc:
-                # An injected fault that no degradation path absorbed
-                # (store.put, xsd.validate on upload, ...): a clean 500
-                # instead of a handler-thread traceback.
-                response = _error(500, str(exc), kind="fault")
-            except CacheOverloadError as exc:
-                response = self._shed(exc)
-            except SiteBuildError as exc:
-                response = _error(
-                    500, f"site build failed: {exc.cause}", kind="build")
+        try:
+            with _REC.span("server.request", method=method,
+                           path=parsed.path):
+                try:
+                    response = self._route(routed, segments, query,
+                                           headers, body)
+                except FaultError as exc:
+                    # An injected fault that no degradation path absorbed
+                    # (store.put, xsd.validate on upload, ...): a clean 500
+                    # instead of a handler-thread traceback.
+                    response = _error(500, str(exc), kind="fault")
+                except CacheOverloadError as exc:
+                    response = self._shed(exc)
+                except SiteBuildError as exc:
+                    response = _error(
+                        500, f"site build failed: {exc.cause}", kind="build")
+        except BaseException:
+            # Whatever escapes (a transport bug, KeyboardInterrupt) must
+            # not leave a stale context pinned to this pooled thread.
+            if ctx is not None:
+                self.telemetry.finish(ctx, 500, 0)
+            raise
         if response.status == 304:
             with self._stats_lock:
                 self._requests["not_modified"] += 1
             if _REC.enabled:
                 _REC.count("server.not_modified")
+            mark("not_modified")
+        if ctx is not None:
+            response.headers.append((REQUEST_ID_HEADER, ctx.request_id))
+            self.telemetry.finish(ctx, response.status, len(response.body))
         return response
 
     # -- routing -----------------------------------------------------------
@@ -193,6 +227,14 @@ class ModelRepositoryApp:
             if method != "GET":
                 return _error(405, "method not allowed")
             return self._stats()
+        if head == "metrics":
+            if method != "GET":
+                return _error(405, "method not allowed")
+            return self._metrics()
+        if head == "dashboard":
+            if method != "GET":
+                return _error(405, "method not allowed")
+            return self._dashboard()
         return _error(404, f"no such endpoint: /{head}")
 
     def _index(self) -> Response:
@@ -202,7 +244,7 @@ class ModelRepositoryApp:
                 "GET /models", "PUT /models/<name>", "GET /models/<name>",
                 "DELETE /models/<name>", "GET /site/<name>/<page>",
                 "GET /bundle/<name>/<file>", "GET /health/<name>",
-                "GET /stats"],
+                "GET /stats", "GET /metrics", "GET /dashboard"],
             "models": self.store.names(),
         })
 
@@ -228,6 +270,7 @@ class ModelRepositoryApp:
     def _put_model(self, name: str, body: bytes) -> Response:
         if not body:
             return _error(400, "empty request body", kind="parse")
+        mark_model(name)
         try:
             record, created = self.store.put(name, body)
         except ModelStoreError as exc:
@@ -245,6 +288,7 @@ class ModelRepositoryApp:
         record = self.store.get(name)
         if record is None:
             return _error(404, f"no model named {name!r}")
+        mark_model(name)
         etag = record.etag
         if self._not_modified(headers, etag):
             return Response(304, b"", [("ETag", etag)])
@@ -280,6 +324,7 @@ class ModelRepositoryApp:
         record = self.store.get(name)
         if record is None:
             return None, False, _error(404, f"no model named {name!r}")
+        mark_model(name)
         if variant not in VARIANTS:
             return None, False, _error(
                 400, f"unknown variant {variant!r} "
@@ -378,12 +423,50 @@ class ModelRepositoryApp:
         }
         return _json_response(200 if ok else 503, payload)
 
+    def _engine_caches(self) -> dict[str, dict]:
+        """Every engine-level cache's hit/miss/size view, by name.
+
+        The PR 6/7 caches (compiled transformers, publisher compile
+        caches, xpath/pattern/AVT memoisation) come from
+        :func:`repro.obs.cache_stats`; the site cache's dependency-index
+        store reports through the same shape so ``/stats`` and
+        ``/metrics`` expose one uniform cache surface.
+        """
+        from ..obs.export import cache_stats
+
+        caches = cache_stats()
+        caches["server.dep_index"] = self.cache.dep_index_info()
+        return caches
+
     def _stats(self) -> Response:
         with self._stats_lock:
             requests = dict(self._requests)
         return _json_response(200, {
             "requests": requests,
             "site_cache": self.cache.stats(),
+            "caches": self._engine_caches(),
             "models": self.store.names(),
             "faults": FAULTS.describe(),
+            "slos": self.telemetry.slo_report(),
         })
+
+    # -- telemetry surfaces ------------------------------------------------
+
+    def _metrics(self) -> Response:
+        text = self.telemetry.metrics_text(
+            caches=self._engine_caches(),
+            site_cache=self.cache.stats(),
+            extra_gauges={"models": len(self.store.names())})
+        return Response(200, text.encode("utf-8"),
+                        [("Content-Type", METRICS_CONTENT_TYPE)])
+
+    def _dashboard(self) -> Response:
+        from ..obs.dashboard import render_dashboard_html
+
+        ctx = current_context()
+        ctx_id = ctx.request_id if ctx is not None else ""
+        html = render_dashboard_html(
+            self.telemetry.snapshot(), request_id=ctx_id)
+        return Response(200, html.encode("utf-8"),
+                        [("Content-Type", CONTENT_TYPES[".html"]),
+                         ("Cache-Control", "no-cache")])

@@ -72,6 +72,7 @@ from ..web.publisher import (
 from ..web.stylesheets import MULTI_PAGE_XSL
 from ..xml import tracking as _tracking
 from .store import ModelRecord
+from .telemetry import mark as _mark
 
 __all__ = ["SiteCache", "SiteEntry", "VARIANTS", "CacheOverloadError",
            "SiteBuildError"]
@@ -216,11 +217,23 @@ class SiteCache:
                 "incremental": "server.site.incremental",
                 "incremental_fallback": "server.site.incremental_fallback"}
 
+    #: Per-request telemetry flag for each stat (singular forms end up
+    #: in access-log lines and windowed counters).
+    _FLAG = {"hits": "cache_hit", "rebuilds": "rebuild",
+             "coalesced": "coalesced", "invalidations": "invalidation",
+             "build_failures": "build_failure",
+             "stale_served": "stale_served", "shed": "shed",
+             "incremental": "incremental",
+             "incremental_fallback": "incremental_fallback"}
+
     def _bump(self, stat: str) -> None:
         with self._meta_lock:
             self._stats[stat] += 1
         if _REC.enabled:
             _REC.count(self._COUNTER[stat])
+        # Tag the in-flight request (thread-local; no-op off-request) so
+        # its access-log line says what the cache did for it.
+        _mark(self._FLAG[stat])
 
     def _fresh(self, key: tuple[str, str],
                record: ModelRecord) -> SiteEntry | None:
@@ -421,6 +434,23 @@ class SiteCache:
         if removed:
             self._bump("invalidations")
         return removed
+
+    def dep_index_info(self) -> dict:
+        """The dependency-index store in ``cache_info()`` shape.
+
+        "Hits" are rebuilds the stored index actually served (diff-driven
+        incremental republishes); "misses" are rebuilds that wanted the
+        index but fell back to a cold tracked build.  Shaped like the
+        ``functools.lru_cache`` views in :func:`repro.obs.cache_stats` so
+        ``/stats`` and ``/metrics`` treat every cache uniformly.
+        """
+        with self._meta_lock:
+            return {
+                "hits": self._stats["incremental"],
+                "misses": self._stats["incremental_fallback"],
+                "currsize": len(self._dep_indexes),
+                "maxsize": None,
+            }
 
     def stats(self) -> dict:
         """Hit/rebuild/coalesced/invalidation counters plus sizes."""

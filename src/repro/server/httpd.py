@@ -85,10 +85,20 @@ class _RepositoryHandler(BaseHTTPRequestHandler):
         """
         body = (json.dumps({"error": message, "kind": "transport"},
                            sort_keys=True) + "\n").encode("utf-8")
+        request_id = None
+        app = self.app
+        if app is not None:
+            # The app never saw this exchange; record it in telemetry
+            # directly so transport rejections still get ids + counters.
+            request_id = app.telemetry.transport_event(
+                getattr(self, "command", None) or "-",
+                getattr(self, "path", None) or "-", status, message)
         try:
             self.send_response(status)
             self.send_header("Content-Type",
                              "application/json; charset=utf-8")
+            if request_id is not None:
+                self.send_header("X-Goldcase-Request-Id", request_id)
             if retry_after is not None:
                 self.send_header("Retry-After", str(retry_after))
             self.send_header("Content-Length", str(len(body)))

@@ -31,11 +31,18 @@ Invariants checked on every response:
 * served bytes are never torn: every 200 body is byte-identical to an
   expected rendering of some version, and after recovery it is the
   *current* version with no staleness marker;
-* rebuild coalescing holds (one build per burst).
+* rebuild coalescing holds (one build per burst);
+* the telemetry surface stays up: ``/metrics`` is scraped mid-storm
+  and after recovery, must stay serveable and parseable, and its
+  ``_total`` counters must never step backwards across scrapes (the
+  rolling ring may reclaim buckets, the lifetime counters may not);
+  ``/dashboard`` must render once faults are off.
 
 Violations are written as JSON reproducers (like ``repro.testkit.run``)
 to ``--failures-dir`` and can be replayed with
-``--seed S --start R --rounds 1``.
+``--seed S --start R --rounds 1``.  Each response-level record carries
+the ``X-Goldcase-Request-Id`` of the offending exchange, so a failure
+can be joined against the server's access log (``--access-log``).
 """
 
 from __future__ import annotations
@@ -55,7 +62,7 @@ from ..mdm import model_to_xml, sales_model, two_facts_model
 from ..server import ModelRepositoryApp, ModelServer
 from ..web import RepositoryClient, RetriesExhausted, RetryPolicy
 
-__all__ = ["ModelTracker", "run_round", "main"]
+__all__ = ["ModelTracker", "parse_metrics", "run_round", "main"]
 
 #: Points a random plan may draw from, with the modes that keep the
 #: server *degradable*: store faults are excluded because the harness
@@ -84,6 +91,85 @@ BUILD_POINTS = frozenset({"cache.rebuild", "publish.page",
 
 def _sha(payload: bytes) -> str:
     return hashlib.sha256(payload).hexdigest()
+
+
+def parse_metrics(text: str) -> dict[str, float]:
+    """Prometheus text exposition → ``{series-with-labels: value}``.
+
+    Raises ValueError on a malformed sample line, which the probe
+    reports as a violation — /metrics must stay parseable mid-storm.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        if not key:
+            raise ValueError(f"malformed metrics line {line!r}")
+        samples[key] = float(value)
+    return samples
+
+
+def _metrics_violations(previous: dict[str, float],
+                        current: dict[str, float]) -> list[str]:
+    """Counters that stepped backwards (or vanished) between scrapes."""
+    problems = []
+    for key, before in previous.items():
+        if not key.startswith("goldcase_") or "_total" not in key:
+            continue
+        after = current.get(key)
+        if after is None:
+            problems.append(f"{key} vanished (was {before})")
+        elif after < before:
+            problems.append(f"{key} went backwards: {before} -> {after}")
+    return problems
+
+
+def _metrics_probe(server: "ModelServer", plan: FaultPlan | None,
+                   state: dict, *, phase: str) -> list[dict]:
+    """Scrape ``/metrics`` and apply the telemetry invariants.
+
+    *state* carries the previous scrape's samples across calls (and
+    rounds), so monotonicity is checked over the whole run.  During the
+    hammer phase the scrape rides a retrying client; a dropped scrape
+    is only tolerated when the active plan contains transport
+    ``raise`` faults — the only sanctioned cause of drops.
+    """
+    failures: list[dict] = []
+    policy = RetryPolicy(retries=2, base_delay_s=0.01, max_delay_s=0.2)
+    with RepositoryClient(server.host, server.port, timeout_s=10.0,
+                          policy=policy) as client:
+        try:
+            response = client.request("GET", "/metrics")
+        except RetriesExhausted as exc:
+            transport_raises = plan is not None and any(
+                spec.mode == "raise" and point in TRANSPORT_POINTS
+                for point, spec in plan.specs.items())
+            if not transport_raises:
+                failures.append({"check": "metrics-unscrapeable",
+                                 "phase": phase, "detail": str(exc)})
+            return failures
+    if response.status != 200:
+        failures.append({"check": "metrics-status", "phase": phase,
+                         "request_id": response.request_id,
+                         "detail": f"status {response.status}"})
+        return failures
+    try:
+        samples = parse_metrics(response.body.decode("utf-8"))
+    except ValueError as exc:
+        failures.append({"check": "metrics-unparseable", "phase": phase,
+                         "request_id": response.request_id,
+                         "detail": str(exc)})
+        return failures
+    previous = state.get("samples")
+    if previous is not None:
+        for problem in _metrics_violations(previous, samples):
+            failures.append({"check": "metrics-monotonicity",
+                             "phase": phase,
+                             "request_id": response.request_id,
+                             "detail": problem})
+    state["samples"] = samples
+    return failures
 
 
 def _expected_pages(xml_bytes: bytes) -> dict[str, bytes]:
@@ -268,7 +354,8 @@ def _check_response(kind: str, path: str, response,
 
 def _hammer(server: ModelServer, trackers: list[ModelTracker],
             plan: FaultPlan, seed: int, index: int, clients: int,
-            requests: int, flip: ModelTracker) -> tuple[list[dict], dict]:
+            requests: int, flip: ModelTracker,
+            metrics_state: dict) -> tuple[list[dict], dict]:
     """Concurrent clients under the active plan, plus a mid-phase flip."""
     failures: list[dict] = []
     counts = {"requests": 0, "stale": 0, "shed": 0, "drops": 0,
@@ -310,6 +397,9 @@ def _hammer(server: ModelServer, trackers: list[ModelTracker],
                 else:
                     record = _check_response(
                         kind, path, response, tracker, plan)
+                if record is not None and response is not None:
+                    # Join key into the server's access log.
+                    record["request_id"] = response.request_id
                 with lock:
                     counts["requests"] += 1
                     if response is not None:
@@ -328,6 +418,10 @@ def _hammer(server: ModelServer, trackers: list[ModelTracker],
     # Mid-phase: force rebuilds to happen *under* the active faults.
     time.sleep(0.05)
     flip.flip(server.app.store)
+    # Scrape the telemetry surface while the storm is still raging:
+    # /metrics must stay up and monotonic under active faults.
+    failures.extend(_metrics_probe(
+        server, plan, metrics_state, phase="hammer"))
     for thread in threads:
         thread.join(timeout=60)
         if thread.is_alive():
@@ -349,6 +443,11 @@ def _recovery_sweep(server: ModelServer,
         return response, response.read()
 
     try:
+        response, body = fetch("/dashboard")
+        if response.status != 200 or b"goldcase ops" not in body:
+            failures.append({
+                "check": "recovery-dashboard",
+                "detail": f"status {response.status}"})
         for tracker in trackers:
             response, body = fetch(f"/models/{tracker.name}")
             if response.status != 200 or body != tracker.current_xml:
@@ -378,10 +477,13 @@ def _recovery_sweep(server: ModelServer,
 
 def run_round(server: ModelServer, trackers: list[ModelTracker],
               seed: int, index: int, *, clients: int = 6,
-              requests: int = 20) -> tuple[list[dict], dict]:
+              requests: int = 20,
+              metrics_state: dict | None = None) -> tuple[list[dict], dict]:
     """One chaos round; returns (failure records, counters)."""
     rng = round_rng(seed, index)
     failures: list[dict] = []
+    if metrics_state is None:
+        metrics_state = {}
 
     FAULTS.deactivate()
     target = rng.choice(trackers)
@@ -395,7 +497,7 @@ def run_round(server: ModelServer, trackers: list[ModelTracker],
     FAULTS.activate(plan)
     try:
         hammered, counts = _hammer(server, trackers, plan, seed, index,
-                                   clients, requests, flip)
+                                   clients, requests, flip, metrics_state)
         failures.extend(hammered)
     finally:
         fired = FAULTS.fired()
@@ -403,6 +505,10 @@ def run_round(server: ModelServer, trackers: list[ModelTracker],
     counts["faults_fired"] = sum(fired.values())
 
     failures.extend(_recovery_sweep(server, trackers))
+    # Faults are off: the scrape must succeed and stay monotonic
+    # relative to the mid-storm scrape.
+    failures.extend(_metrics_probe(
+        server, None, metrics_state, phase="recovery"))
 
     for record in failures:
         record.setdefault("seed", seed)
@@ -453,6 +559,7 @@ def main(argv: list[str] | None = None) -> int:
               "retries": 0, "faults_fired": 0}
     completed = 0
     index = args.start
+    metrics_state: dict = {}
     with ModelServer() as server:
         for tracker in trackers:
             tracker.bootstrap(server.app.store)
@@ -470,7 +577,8 @@ def main(argv: list[str] | None = None) -> int:
                     break
                 failures, counts = run_round(
                     server, trackers, args.seed, index,
-                    clients=args.clients, requests=args.requests)
+                    clients=args.clients, requests=args.requests,
+                    metrics_state=metrics_state)
                 completed += 1
                 for key, value in counts.items():
                     totals[key] += value

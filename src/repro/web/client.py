@@ -19,7 +19,10 @@ This module implements both deployment modes over the same engine:
   repository server (DESIGN.md §12): retries connection failures and
   503 overload sheds with jittered exponential backoff, honouring
   ``Retry-After``.  Deterministic when given a seeded RNG, which is how
-  the chaos runner replays client behaviour from a seed.
+  the chaos runner replays client behaviour from a seed.  Every
+  *logical* request carries one ``X-Goldcase-Request-Id`` minted from
+  that same RNG and reused across its retries, so server access-log
+  lines group an entire retry storm under a single id (DESIGN.md §15).
 
 A test asserts the two modes produce identical HTML — the property that
 makes the §6 migration safe.
@@ -34,6 +37,7 @@ from random import Random
 
 from ..mdm.model import GoldModel
 from ..mdm.xml_io import model_to_document
+from ..obs.ids import RequestIdGenerator
 from ..xml.dom import ProcessingInstruction
 from ..xml.parser import parse as parse_xml
 from ..xml.serializer import serialize
@@ -145,6 +149,12 @@ class ClientResponse:
                 return value
         return None
 
+    @property
+    def request_id(self) -> str | None:
+        """The exchange's ``X-Goldcase-Request-Id`` (echoed by the
+        server, or minted by it for transport-level rejections)."""
+        return self.header("X-Goldcase-Request-Id")
+
 
 class RetriesExhausted(Exception):
     """Every attempt failed at the transport level (no HTTP response)."""
@@ -179,6 +189,9 @@ class RepositoryClient:
         self._rng = rng or Random()
         self._sleep = sleep
         self._connection: http.client.HTTPConnection | None = None
+        # Ids share the client's RNG stream, so a seeded chaos client
+        # mints the same ids on replay (the reproducer names them).
+        self._request_ids = RequestIdGenerator(rng=self._rng)
 
     def close(self) -> None:
         if self._connection is not None:
@@ -221,10 +234,15 @@ class RepositoryClient:
         attempts = self.policy.retries + 1
         last_error: Exception | None = None
         response: ClientResponse | None = None
+        # One id per *logical* request: every retry resends it, so the
+        # server logs the whole storm under a single identity.
+        send_headers = dict(headers or {})
+        send_headers.setdefault(
+            "X-Goldcase-Request-Id", self._request_ids())
         for attempt in range(attempts):
             retry_after: float | None = None
             try:
-                response = self._exchange(method, path, body, headers or {})
+                response = self._exchange(method, path, body, send_headers)
             except TimeoutError:
                 raise
             except (OSError, http.client.HTTPException) as exc:

@@ -1,0 +1,118 @@
+"""Property tests pinning the quantile sketch's documented guarantees.
+
+The sketch promises (``repro/obs/rolling.py``): for the exact order
+statistic ``x`` at rank ``ceil(q * n)``, the estimate ``x̂`` satisfies
+``x <= x̂ < GAMMA * x`` — never below the true value, at most one
+log-bucket above it.  And merging sketches is commutative and lossless:
+merge(A, B) answers every query exactly as a sketch fed A's and B's
+observations in any order would (ISSUE 8 satellite b).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.rolling import GAMMA, MIN_TRACKED, QuantileSketch
+
+#: Positive durations across the range the server actually observes
+#: (sub-microsecond to minutes), plus awkward bucket-edge values.
+durations = st.floats(min_value=1e-7, max_value=120.0,
+                      allow_nan=False, allow_infinity=False)
+
+#: A little multiplicative slack for the float log/pow round-trip at
+#: exact bucket boundaries (log(GAMMA**k)/log(GAMMA) may land a hair
+#: past k and push the value one bucket up).
+EDGE_SLACK = 1.0 + 1e-9
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """The order statistic the sketch's quantile() chases."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def build(values: list[float]) -> QuantileSketch:
+    sketch = QuantileSketch()
+    for value in values:
+        sketch.add(value)
+    return sketch
+
+
+class TestQuantileErrorBound:
+    @given(values=st.lists(durations, min_size=1, max_size=200),
+           q=st.sampled_from([0.5, 0.9, 0.99]))
+    @settings(max_examples=200, deadline=None)
+    def test_estimate_within_one_bucket_of_exact(self, values, q):
+        estimate = build(values).quantile(q)
+        exact = exact_quantile(values, q)
+        assert estimate >= exact / EDGE_SLACK
+        assert estimate < exact * GAMMA * EDGE_SLACK
+
+    @given(values=st.lists(durations, min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_quantiles_are_monotonic_in_q(self, values):
+        sketch = build(values)
+        quantiles = [sketch.quantile(q)
+                     for q in (0.0, 0.25, 0.5, 0.75, 0.99, 1.0)]
+        assert quantiles == sorted(quantiles)
+
+    @given(values=st.lists(durations, min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_p100_covers_the_maximum(self, values):
+        estimate = build(values).quantile(1.0)
+        assert estimate >= max(values) / EDGE_SLACK
+
+
+class TestMerge:
+    @given(left=st.lists(durations, max_size=100),
+           right=st.lists(durations, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_commutes(self, left, right):
+        one = build(left).merge(build(right))
+        other = build(right).merge(build(left))
+        assert one.buckets == other.buckets
+        assert one.count == other.count
+        assert one.zeros == other.zeros
+        assert math.isclose(one.total, other.total, rel_tol=1e-9,
+                            abs_tol=1e-12)
+
+    @given(left=st.lists(durations, min_size=1, max_size=100),
+           right=st.lists(durations, max_size=100),
+           q=st.sampled_from([0.5, 0.99]))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_single_feed(self, left, right, q):
+        merged = build(left).merge(build(right))
+        combined = build(left + right)
+        assert merged.buckets == combined.buckets
+        assert merged.quantile(q) == combined.quantile(q)
+
+    @given(values=st.lists(durations, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_with_empty_is_identity(self, values):
+        sketch = build(values)
+        before = dict(sketch.buckets)
+        sketch.merge(QuantileSketch())
+        assert sketch.buckets == before
+
+
+class TestFractionAbove:
+    @given(values=st.lists(durations, min_size=1, max_size=200),
+           threshold=durations)
+    @settings(max_examples=150, deadline=None)
+    def test_fraction_within_one_bucket_of_truth(self, values, threshold):
+        """The estimate may only disagree with the truth about values
+        sharing the threshold's bucket."""
+        sketch = build(values)
+        estimate = sketch.fraction_above(threshold)
+        exact = sum(1 for v in values if v > threshold) / len(values)
+        # Values in the same bucket as the threshold are counted as
+        # "not above"; everything else is exact.
+        limit = QuantileSketch.bucket_index(max(threshold, MIN_TRACKED * 2))
+        in_threshold_bucket = sum(
+            1 for v in values
+            if v > MIN_TRACKED
+            and QuantileSketch.bucket_index(v) == limit) / len(values)
+        assert estimate <= exact + 1e-12
+        assert estimate >= exact - in_threshold_bucket - 1e-12

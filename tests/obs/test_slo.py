@@ -1,0 +1,129 @@
+"""SLO evaluation and the ``--slo`` spec grammar."""
+
+import pytest
+
+from repro.obs.rolling import RollingWindow
+from repro.obs.slo import (
+    LatencySLO,
+    RatioSLO,
+    default_slos,
+    parse_slo,
+)
+
+
+class ManualClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def window():
+    return RollingWindow(window_s=900, clock=ManualClock())
+
+
+class TestLatencySLO:
+    def test_holds_when_quantile_under_threshold(self, window):
+        for _ in range(100):
+            window.observe("http.latency", 0.001)
+        slo = LatencySLO("p99", "http.latency", 0.99, 0.005, 60)
+        status = slo.evaluate(window)
+        assert status.ok
+        assert status.burn == 0.0
+        assert status.samples == 100
+
+    def test_burns_when_too_many_slow_requests(self, window):
+        # 5% of requests above a p99 threshold = 5x the 1% budget.
+        for _ in range(95):
+            window.observe("http.latency", 0.001)
+        for _ in range(5):
+            window.observe("http.latency", 0.050)
+        slo = LatencySLO("p99", "http.latency", 0.99, 0.005, 60)
+        status = slo.evaluate(window)
+        assert not status.ok
+        assert status.burn == pytest.approx(5.0)
+
+    def test_empty_window_burns_nothing(self, window):
+        status = LatencySLO("p99", "http.latency", 0.99, 0.005,
+                            60).evaluate(window)
+        assert status.ok
+        assert status.burn == 0.0
+        assert status.samples == 0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            LatencySLO("x", "m", 1.5, 0.005, 60)
+
+
+class TestRatioSLO:
+    def test_availability_math(self, window):
+        for _ in range(999):
+            window.inc("http.requests")
+        window.inc("http.requests")
+        window.inc("http.status.5xx")
+        slo = RatioSLO("avail", "http.status.5xx", "http.requests",
+                       0.001, 300)
+        status = slo.evaluate(window)
+        # Exactly at budget: 1/1000 bad with a 0.1% allowance.
+        assert status.burn == pytest.approx(1.0)
+        assert status.ok
+
+    def test_no_traffic_is_not_an_outage(self, window):
+        slo = RatioSLO("avail", "http.status.5xx", "http.requests",
+                       0.001, 300)
+        assert slo.evaluate(window).ok
+
+    def test_as_dict_is_json_ready(self, window):
+        window.inc("http.requests")
+        status = RatioSLO("avail", "http.status.5xx", "http.requests",
+                          0.001, 300).evaluate(window)
+        payload = status.as_dict()
+        assert payload["name"] == "avail"
+        assert payload["ok"] is True
+        assert payload["samples"] == 1
+
+
+class TestParse:
+    def test_latency_spec(self):
+        slo = parse_slo("p99:http.latency<5ms@1m")
+        assert isinstance(slo, LatencySLO)
+        assert slo.quantile == pytest.approx(0.99)
+        assert slo.threshold_s == pytest.approx(0.005)
+        assert slo.window_s == 60
+
+    def test_ratio_spec_with_percent(self):
+        slo = parse_slo("ratio:http.stale/http.requests<1%@5m")
+        assert isinstance(slo, RatioSLO)
+        assert slo.bad == "http.stale"
+        assert slo.max_ratio == pytest.approx(0.01)
+        assert slo.window_s == 300
+
+    def test_availability_sugar(self):
+        slo = parse_slo("availability>=99.9%@15m")
+        assert isinstance(slo, RatioSLO)
+        assert slo.bad == "http.status.5xx"
+        assert slo.max_ratio == pytest.approx(0.001)
+        assert slo.window_s == 900
+
+    def test_named_spec(self):
+        slo = parse_slo("checkout=p95:http.latency<20ms@5m")
+        assert slo.name == "checkout"
+        assert slo.quantile == pytest.approx(0.95)
+
+    def test_seconds_window(self):
+        assert parse_slo("p50:http.latency<1ms@90s").window_s == 90
+
+    @pytest.mark.parametrize("bad", [
+        "nonsense", "p99:http.latency<5parsecs@1m",
+        "availability>=150%@5m", "p99:http.latency<5ms@fortnight",
+    ])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_slo(bad)
+
+    def test_defaults_cover_the_issue_objectives(self):
+        names = {slo.name for slo in default_slos()}
+        assert names == {"warm-get-p99", "availability-99.9",
+                         "staleness-1pct"}

@@ -1,0 +1,74 @@
+"""ULID-style request-id generation: format, monotonicity, injection."""
+
+from random import Random
+
+from repro.obs.ids import CROCKFORD32, RequestIdGenerator, is_request_id
+
+
+def fixed_clock(ms: int):
+    return lambda: ms
+
+
+class TestFormat:
+    def test_shape(self):
+        request_id = RequestIdGenerator()()
+        assert len(request_id) == 26
+        assert all(char in CROCKFORD32 for char in request_id)
+        assert is_request_id(request_id)
+
+    def test_validator_rejects_garbage(self):
+        assert not is_request_id("")
+        assert not is_request_id("x" * 26)
+        assert not is_request_id("0" * 25)
+        # First char past '7' would overflow 48 timestamp bits.
+        assert not is_request_id("Z" + "0" * 25)
+        # Crockford excludes I, L, O, U.
+        assert not is_request_id("0" * 25 + "I")
+
+    def test_timestamp_prefix_sorts_by_time(self):
+        early = RequestIdGenerator(clock_ms=fixed_clock(1_000))()
+        late = RequestIdGenerator(clock_ms=fixed_clock(2_000_000))()
+        assert early < late
+
+
+class TestMonotonicity:
+    def test_same_millisecond_increments(self):
+        generator = RequestIdGenerator(clock_ms=fixed_clock(5), rng=Random(1))
+        ids = [generator() for _ in range(100)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 100
+
+    def test_clock_regression_still_monotonic(self):
+        clock = {"ms": 10_000}
+        generator = RequestIdGenerator(clock_ms=lambda: clock["ms"],
+                                       rng=Random(2))
+        first = generator()
+        clock["ms"] = 1_000  # the wall clock stepped backwards
+        second = generator()
+        assert second > first
+
+    def test_injectable_rng_is_deterministic(self):
+        ids_a = [RequestIdGenerator(clock_ms=fixed_clock(7),
+                                    rng=Random(42))() for _ in range(3)]
+        ids_b = [RequestIdGenerator(clock_ms=fixed_clock(7),
+                                    rng=Random(42))() for _ in range(3)]
+        assert ids_a == ids_b
+
+    def test_thread_safety_no_duplicates(self):
+        import threading
+
+        generator = RequestIdGenerator(clock_ms=fixed_clock(3))
+        minted: list[str] = []
+        lock = threading.Lock()
+
+        def mint():
+            local = [generator() for _ in range(200)]
+            with lock:
+                minted.extend(local)
+
+        threads = [threading.Thread(target=mint) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(minted)) == len(minted)
