@@ -18,6 +18,8 @@ exposes the same workflow:
                                           # diff-driven republish
    goldcase present model.xml f1 out.html # Fig. 5 per-fact presentation
    goldcase export --sql star model.xml   # OLAP-tool (SQL) export
+   goldcase olap model.xml --fact Sales --dice Time@Month --measure qty
+                                          # slice/dice over synthetic data
    goldcase serve --demo                  # model-repository HTTP server
 
 Every command accepts ``--profile [PATH]`` / ``--trace [PATH]``
@@ -184,6 +186,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "'ratio:http.stale/http.requests<1%%@5m'; "
                             "repeatable, replaces the defaults; evaluated "
                             "on /metrics and /dashboard")
+
+    olap = sub.add_parser(
+        "olap", help="run a slice/dice/roll-up query over a synthetic "
+                     "dataset (DESIGN §16)")
+    olap.add_argument("model", help="model .xml path")
+    olap.add_argument("--cube", default=None,
+                      help="predefined cube class id or name (excludes "
+                           "the ad-hoc options below)")
+    olap.add_argument("--fact", default=None, help="fact class id or name")
+    olap.add_argument("--measure", action="append", default=[],
+                      metavar="REF[:AGG]",
+                      help="a measure, optionally with SUM/MAX/MIN/AVG/"
+                           "COUNT (default SUM); repeatable")
+    olap.add_argument("--dice", action="append", default=[],
+                      metavar="DIM[@LEVEL]",
+                      help="group by DIM at LEVEL (base grain without "
+                           "@LEVEL); repeatable")
+    olap.add_argument("--slice", action="append", default=[],
+                      metavar="'ATTR OP VALUE'",
+                      help="a slice predicate, e.g. "
+                           "'Product.product_name NOTEQ \"unknown\"'; "
+                           "repeatable")
+    olap.add_argument("--seed", type=int, default=0,
+                      help="data seed for the synthetic dataset")
+    olap.add_argument("--members", type=int, default=8,
+                      help="dimension members per level")
+    olap.add_argument("--rows", type=int, default=2000,
+                      help="fact rows per fact class")
+    olap.add_argument("--format", choices=["table", "json", "xml"],
+                      default="table", dest="output_format")
 
     fo = sub.add_parser(
         "fo", help="XSL-FO export with paginated rendering (paper §6)")
@@ -497,6 +529,59 @@ def _run(args: argparse.Namespace) -> int:
         print(f"serving model repository on http://{args.host}:{args.port} "
               "(Ctrl-C to stop; /metrics and /dashboard expose telemetry)")
         serve_forever(app, host=args.host, port=args.port, quiet=args.quiet)
+        return 0
+
+    if args.command == "olap":
+        import hashlib
+
+        from ..mdm import xml_to_model
+        from ..olap.engine import CubeEngine
+        from ..olap.service import (DatasetConfig, QueryError, parse_query,
+                                    render_json, render_xml, resolve_query,
+                                    result_payload, synthesize_star)
+
+        with open(args.model, "rb") as handle:
+            xml_bytes = handle.read()
+        model = xml_to_model(xml_bytes)
+        params: dict[str, object] = {"seed": str(args.seed)}
+        if args.cube:
+            params["cube"] = args.cube
+        if args.fact:
+            params["fact"] = args.fact
+        if args.measure:
+            params["measure"] = args.measure
+        if args.dice:
+            params["dice"] = args.dice
+        if args.slice:
+            params["slice"] = args.slice
+        try:
+            spec = resolve_query(parse_query(params), model)
+        except QueryError as exc:
+            print(f"query rejected ({exc.kind}):", file=sys.stderr)
+            for issue in exc.issues:
+                print(f"  {issue['path'] or '/query'}: "
+                      f"{issue['message']}", file=sys.stderr)
+            return 1
+        content_hash = hashlib.sha256(xml_bytes).hexdigest()
+        config = DatasetConfig(members_per_level=args.members,
+                               rows_per_fact=args.rows)
+        star = synthesize_star(model, content_hash, spec.seed, config)
+        result = CubeEngine(star).execute(spec.to_cube(model))
+        if args.output_format == "table":
+            summary = star.summary()
+            print(f"dataset: {summary['fact_rows']} fact rows, "
+                  f"{summary['members']} members "
+                  f"(seed {spec.seed}, model {content_hash[:12]})")
+            print(f"query key: {spec.query_key()}")
+            print(result.pretty())
+            print(f"({len(result.rows)} groups, "
+                  f"{result.sliced_out} rows sliced out)")
+            return 0
+        payload = result_payload(model, content_hash, spec, result,
+                                 dataset=star.summary())
+        renderer = render_json if args.output_format == "json" \
+            else render_xml
+        sys.stdout.write(renderer(payload).decode("utf-8"))
         return 0
 
     if args.command == "fo":

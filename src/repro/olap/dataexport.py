@@ -12,6 +12,8 @@ order, surrogate keys are dense integers starting at 1.
 
 from __future__ import annotations
 
+import math
+
 from ..mdm.dimensions import DimensionClass
 from ..mdm.model import GoldModel
 from .sqlgen import _identifier
@@ -25,6 +27,13 @@ def _literal(value: object) -> str:
         return "NULL"
     if isinstance(value, bool):
         return "TRUE" if value else "FALSE"
+    if isinstance(value, float) and not math.isfinite(value):
+        # str() would emit bare nan/inf, which no SQL parser accepts;
+        # the standard spelling is a cast of the quoted special value.
+        if math.isnan(value):
+            return "CAST('NaN' AS DOUBLE PRECISION)"
+        sign = "-" if value < 0 else ""
+        return f"CAST('{sign}Infinity' AS DOUBLE PRECISION)"
     if isinstance(value, (int, float)):
         return str(value)
     text = str(value).replace("'", "''")

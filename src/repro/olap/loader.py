@@ -23,14 +23,16 @@ __all__ = ["populate_star", "populate_dimension", "generate_facts"]
 
 def populate_star(model: GoldModel, *, members_per_level: int = 10,
                   rows_per_fact: int = 1000, seed: int = 2002,
-                  non_strict_fanout: float = 0.3) -> StarSchema:
+                  non_strict_fanout: float = 0.3,
+                  non_complete_rate: float = 0.0) -> StarSchema:
     """Build and fully populate a star schema for *model*."""
     rng = random.Random(seed)
     star = StarSchema(model)
     for dimension in model.dimensions:
         populate_dimension(star.dimensions[dimension.id],
                            members_per_level=members_per_level, rng=rng,
-                           non_strict_fanout=non_strict_fanout)
+                           non_strict_fanout=non_strict_fanout,
+                           non_complete_rate=non_complete_rate)
     for fact in model.facts:
         generate_facts(star, fact.id, rows=rows_per_fact, rng=rng)
     return star
@@ -38,8 +40,15 @@ def populate_star(model: GoldModel, *, members_per_level: int = 10,
 
 def populate_dimension(data: DimensionData, *, members_per_level: int = 10,
                        rng: random.Random | None = None,
-                       non_strict_fanout: float = 0.3) -> None:
-    """Create members for every level of *data*'s dimension."""
+                       non_strict_fanout: float = 0.3,
+                       non_complete_rate: float = 0.0) -> None:
+    """Create members for every level of *data*'s dimension.
+
+    *non_complete_rate* drops a member's parent link along relations
+    *not* marked ``{completeness}`` with the given probability, leaving
+    hierarchy gaps (§2 non-complete hierarchies); the default 0.0 keeps
+    the RNG stream identical to earlier releases.
+    """
     rng = rng or random.Random(0)
     dimension = data.dimension
 
@@ -77,6 +86,9 @@ def populate_dimension(data: DimensionData, *, members_per_level: int = 10,
                 parent_count = counts.get(relation.child)
                 if not parent_count:
                     continue
+                if (non_complete_rate and not relation.complete
+                        and rng.random() < non_complete_rate):
+                    continue  # hierarchy gap: member rolls up to no parent
                 first = rng.randrange(parent_count)
                 keys = [f"{relation.child}-{first}"]
                 if not relation.strict and rng.random() < non_strict_fanout:

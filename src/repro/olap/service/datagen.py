@@ -1,0 +1,87 @@
+"""Seeded synthetic datasets for stored models (DESIGN.md §16).
+
+The query service has no fact data of its own — it *derives* a star
+schema from the model definition: every dimension's classification DAG
+is populated bottom-up and every fact class gets random rows, exactly
+the :mod:`repro.olap.loader` machinery, but seeded from
+``(model content hash, data seed)`` so two servers holding the same
+model bytes materialize byte-identical datasets (the chaos oracle and
+the differential tests depend on this).  Re-uploading a model rolls the
+content hash and therefore the whole dataset, the same freshness rule
+the site cache uses.
+
+Unlike the loader defaults, the service populates with a non-zero
+``non_complete_rate``: members along relations *not* marked
+``{completeness}`` occasionally roll up to no parent, so the engine's
+``None`` groups (§2 non-complete hierarchies) appear in real responses
+— together with the non-strict fan-out and M–M coordinates the loader
+already produces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ...faults import FAULTS, fault_point
+from ...mdm.model import GoldModel
+from ...obs.recorder import RECORDER as _REC
+from ..loader import generate_facts, populate_dimension
+from ..star import StarSchema
+
+__all__ = ["DatasetConfig", "dataset_seed_text", "synthesize_star"]
+
+_GENERATE_FAULT = fault_point(
+    "olap.generate", "raise/delay inside synthetic dataset generation, "
+                     "before any member is created (datagen.py)")
+
+#: Version tag baked into the RNG seed: bump to roll every dataset.
+DATASET_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Sizing and shape knobs for derived datasets.
+
+    Service-level configuration, not per-request: clients choose a
+    ``seed``, the operator chooses the sizes, and both feed the RNG
+    seed so any change regenerates rather than mismatches.
+    """
+
+    members_per_level: int = 8
+    rows_per_fact: int = 2000
+    non_strict_fanout: float = 0.3
+    non_complete_rate: float = 0.15
+
+
+def dataset_seed_text(content_hash: str, seed: int,
+                      config: DatasetConfig) -> str:
+    """The deterministic RNG seed for one ``(model, seed)`` dataset."""
+    return (f"olap:{DATASET_VERSION}:{content_hash}:{seed}:"
+            f"{config.members_per_level}:{config.rows_per_fact}:"
+            f"{config.non_strict_fanout}:{config.non_complete_rate}")
+
+
+def synthesize_star(model: GoldModel, content_hash: str, seed: int,
+                    config: DatasetConfig | None = None) -> StarSchema:
+    """Generate the dataset for ``(content_hash, seed)`` — deterministic.
+
+    The ``olap.generate`` fault point fires before any work happens, so
+    an injected failure leaves no half-populated star behind.
+    """
+    config = config or DatasetConfig()
+    if FAULTS.enabled:
+        FAULTS.hit(_GENERATE_FAULT)
+    with _REC.span("olap.generate", model=model.name, seed=str(seed)):
+        rng = random.Random(dataset_seed_text(content_hash, seed, config))
+        star = StarSchema(model)
+        for dimension in model.dimensions:
+            populate_dimension(
+                star.dimensions[dimension.id],
+                members_per_level=config.members_per_level, rng=rng,
+                non_strict_fanout=config.non_strict_fanout,
+                non_complete_rate=config.non_complete_rate)
+        for fact in model.facts:
+            generate_facts(star, fact.id, rows=config.rows_per_fact,
+                           rng=rng)
+        return star

@@ -1,0 +1,569 @@
+"""The declarative query form of the OLAP service (DESIGN.md §16).
+
+A query names a cube either by reference (``cube=<ref>``) or ad hoc —
+a fact class plus measures (each with an aggregation function), dice
+groupings (dimension @ level) and slice predicates (``attribute OP
+value``).  Two wire forms parse into the same raw shape:
+
+* URL parameters: ``fact=Sales&dice=Time@Month,Store@City``
+  ``&measure=qty:SUM,total:AVG&slice=Product.product_name NOTEQ
+  "unknown"&seed=3`` (repeat ``slice=`` for several predicates; slice
+  values are JSON literals, bare words read as strings);
+* a JSON body with the same vocabulary (``{"fact": ..., "measures":
+  [...], "dice": [...], "slice": [...], "seed": ...}``), where values
+  need no quoting tricks.
+
+:func:`resolve_query` validates the raw query against a model and
+canonicalizes it into a :class:`QuerySpec`: every reference is replaced
+by its id (slice leaves by attribute *name* — the member-attribute maps
+are name-keyed), aggregations are explicit, slices are sorted (they are
+conjunctive, so order carries no meaning; dice and measure order is
+presentation and kept).  Canonicalization is idempotent:
+``resolve(parse(spec.to_params()))`` is *spec* — pinned by a Hypothesis
+fixed-point test — which is what makes :meth:`QuerySpec.query_key` a
+sound materialized-aggregate cache key.
+
+Errors follow the XSD store's diagnostics idiom: :class:`QueryError`
+carries ``kind`` (``"form"`` → 400, ``"reference"``/``"additivity"`` →
+422) and a list of instance-path issue dicts
+(message/path/line/severity/code) whose paths point into the query
+(``/query/measures/0/aggregation``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ...mdm.cubes import CubeClass, DiceGrouping, SliceCondition
+from ...mdm.enums import AggregationKind, Operator
+from ...mdm.errors import ModelReferenceError
+from ...mdm.model import GoldModel
+
+__all__ = ["QueryError", "RawQuery", "QuerySpec", "parse_query",
+           "resolve_query"]
+
+#: Raw-query keys the parser accepts; anything else is a form error
+#: (catches ``dices=`` typos instead of ignoring them).  ``measures``
+#: is the JSON-body spelling (the canonical dict uses it), ``measure``
+#: the URL-parameter one; both read identically.
+_KNOWN_KEYS = ("cube", "fact", "measure", "measures", "dice", "slice",
+               "seed")
+
+
+class QueryError(Exception):
+    """A query was rejected; ``issues`` holds structured diagnostics.
+
+    ``kind`` is ``"form"`` (malformed input — the 400 class),
+    ``"reference"`` (unknown model object) or ``"additivity"``
+    (aggregation forbidden by the measure's additivity rules along a
+    diced dimension) — both the 422 class, mirroring how the model
+    store splits parse errors from schema violations.
+    """
+
+    def __init__(self, kind: str, issues: list[dict]) -> None:
+        summary = issues[0]["message"] if issues else kind
+        super().__init__(f"{kind}: {summary}")
+        self.kind = kind
+        self.issues = issues
+
+
+def _issue(message: str, path: str, code: str) -> dict:
+    return {"message": message, "path": path, "line": None,
+            "column": None, "severity": "error", "code": code}
+
+
+@dataclass(frozen=True)
+class RawQuery:
+    """The parsed-but-unresolved query: references still as written."""
+
+    cube: str | None = None
+    fact: str | None = None
+    #: (measure ref, aggregation name or None → SUM).
+    measures: tuple[tuple[str, str | None], ...] = ()
+    #: (dimension ref, level ref or None → base grain).
+    dices: tuple[tuple[str, str | None], ...] = ()
+    #: (dotted attribute, operator name, value).
+    slices: tuple[tuple[str, str, object], ...] = ()
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A canonical, model-validated query — the aggregate-cache key.
+
+    All references are ids; slice attribute leaves are attribute names
+    (the engine matches member attributes by name); slices are sorted;
+    aggregation and operator fields hold the enum *values*.  Lists in
+    slice values are stored as tuples so the spec stays hashable.
+    """
+
+    fact: str
+    measures: tuple[tuple[str, str], ...]
+    dices: tuple[tuple[str, str], ...]
+    slices: tuple[tuple[str, str, object], ...] = ()
+    seed: int = 0
+
+    # -- canonical serialisations -----------------------------------------
+
+    def canonical_dict(self) -> dict:
+        """The JSON-ready canonical form (also the POST body shape)."""
+        return {
+            "fact": self.fact,
+            "measures": [{"measure": m, "aggregation": a}
+                         for m, a in self.measures],
+            "dice": [{"dimension": d, "level": lv}
+                     for d, lv in self.dices],
+            "slice": [{"attribute": a, "operator": op,
+                       "value": _plain(value)}
+                      for a, op, value in self.slices],
+            "seed": self.seed,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def query_key(self) -> str:
+        """SHA-256 of the canonical JSON — the cache-key component."""
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")).hexdigest()
+
+    def to_params(self) -> dict[str, object]:
+        """URL parameters that parse and resolve back to this spec.
+
+        ``slice`` is a *list* (one predicate per repeated parameter)
+        with JSON-encoded values, so arbitrary strings survive the
+        round trip.
+        """
+        params: dict[str, object] = {
+            "fact": self.fact,
+            "measure": ",".join(f"{m}:{a}" for m, a in self.measures),
+            "seed": str(self.seed),
+        }
+        if self.dices:
+            params["dice"] = ",".join(
+                d if d == lv else f"{d}@{lv}" for d, lv in self.dices)
+        if self.slices:
+            params["slice"] = [
+                f"{attr} {op} {json.dumps(_plain(value))}"
+                for attr, op, value in self.slices]
+        return params
+
+    def to_cube(self, model: GoldModel) -> CubeClass:
+        """The throwaway cube class the engine executes."""
+        key = self.query_key()
+        return CubeClass(
+            id=f"query-{key[:12]}", name=f"ad-hoc query {key[:12]}",
+            fact=self.fact,
+            measures=tuple(m for m, _ in self.measures),
+            aggregations=tuple(
+                AggregationKind(a) for _, a in self.measures),
+            slices=tuple(
+                SliceCondition(attr, Operator(op), value)
+                for attr, op, value in self.slices),
+            dices=tuple(
+                DiceGrouping(d, lv) for d, lv in self.dices),
+            description="materialized by the OLAP query service")
+
+
+def _plain(value: object) -> object:
+    """Tuples (hashable spec storage) back to lists for JSON."""
+    if isinstance(value, tuple):
+        return [_plain(v) for v in value]
+    return value
+
+
+def _hashable(value: object) -> object:
+    """Lists (wire form) to tuples for frozen-spec storage."""
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    return value
+
+
+# -- parsing ---------------------------------------------------------------
+
+
+def parse_query(params: dict, *, issues: list[dict] | None = None
+                ) -> RawQuery:
+    """Parse URL parameters (or a JSON body's dict) into a raw query.
+
+    *params* maps each key to a string, a list of strings (repeated URL
+    parameters), or — from JSON bodies — structured lists/dicts.
+    Raises :class:`QueryError` (kind ``"form"``) listing every
+    malformed piece at once.
+    """
+    own: list[dict] = [] if issues is None else issues
+    for key in params:
+        if key not in _KNOWN_KEYS:
+            own.append(_issue(f"unknown query parameter {key!r} "
+                              f"(expected one of {list(_KNOWN_KEYS)})",
+                              f"/query/{key}", "query-form"))
+
+    cube = _single(params, "cube", own)
+    fact = _single(params, "fact", own)
+    measure_items = _items(params, "measure") + _items(params, "measures")
+    measures = tuple(_parse_measure(item, f"/query/measures/{i}", own)
+                     for i, item in enumerate(measure_items))
+    dices = tuple(_parse_dice(item, f"/query/dice/{i}", own)
+                  for i, item in enumerate(_items(params, "dice")))
+    slices = tuple(_parse_slice(item, f"/query/slice/{i}", own)
+                   for i, item in enumerate(_listed(params, "slice")))
+
+    seed = 0
+    raw_seed = _single(params, "seed", own)
+    if raw_seed is not None:
+        try:
+            seed = int(raw_seed)
+        except (TypeError, ValueError):
+            own.append(_issue(f"seed must be an integer, got {raw_seed!r}",
+                              "/query/seed", "query-form"))
+
+    if cube is not None and (fact is not None or measures or dices
+                             or slices):
+        own.append(_issue(
+            "cube= names a predefined cube class and excludes the "
+            "ad-hoc fact/measure/dice/slice parameters",
+            "/query/cube", "query-form"))
+    if cube is None and fact is None:
+        own.append(_issue("a query names either cube=<ref> or an "
+                          "ad-hoc fact=<ref>", "/query", "query-form"))
+
+    if issues is None and own:
+        raise QueryError("form", own)
+    return RawQuery(cube=cube, fact=fact,
+                    measures=tuple(m for m in measures if m is not None),
+                    dices=tuple(d for d in dices if d is not None),
+                    slices=tuple(s for s in slices if s is not None),
+                    seed=seed)
+
+
+def _single(params: dict, key: str, issues: list[dict]) -> str | None:
+    value = params.get(key)
+    if value is None:
+        return None
+    if isinstance(value, list):
+        if len(value) != 1:
+            issues.append(_issue(f"{key} given {len(value)} times",
+                                 f"/query/{key}", "query-form"))
+            return None
+        value = value[0]
+    return str(value)
+
+
+def _items(params: dict, key: str) -> list:
+    """Comma-splittable entries: strings split on ',', lists flatten."""
+    value = params.get(key)
+    if value is None:
+        return []
+    if not isinstance(value, list):
+        value = [value]
+    out: list = []
+    for item in value:
+        if isinstance(item, str):
+            out.extend(p for p in (s.strip() for s in item.split(","))
+                       if p)
+        else:
+            out.append(item)
+    return out
+
+
+def _listed(params: dict, key: str) -> list:
+    """Entries that must NOT be comma-split (slice values hold JSON)."""
+    value = params.get(key)
+    if value is None:
+        return []
+    return value if isinstance(value, list) else [value]
+
+
+def _parse_measure(item, path: str, issues: list[dict]
+                   ) -> tuple[str, str | None] | None:
+    if isinstance(item, dict):
+        ref = item.get("measure")
+        aggregation = item.get("aggregation")
+        if not isinstance(ref, str) or not ref:
+            issues.append(_issue("measure entry needs a 'measure' ref",
+                                 path, "query-form"))
+            return None
+    elif isinstance(item, str):
+        ref, _, aggregation = item.partition(":")
+        aggregation = aggregation or None
+    else:
+        issues.append(_issue(f"unreadable measure entry {item!r}",
+                             path, "query-form"))
+        return None
+    if aggregation is not None:
+        aggregation = str(aggregation).upper()
+        if aggregation not in AggregationKind.__members__:
+            issues.append(_issue(
+                f"unknown aggregation {aggregation!r} (expected one of "
+                f"{[k.value for k in AggregationKind]})",
+                f"{path}/aggregation", "query-form"))
+            return None
+    return (ref, aggregation)
+
+
+def _parse_dice(item, path: str, issues: list[dict]
+                ) -> tuple[str, str | None] | None:
+    if isinstance(item, dict):
+        dimension = item.get("dimension")
+        level = item.get("level")
+        if not isinstance(dimension, str) or not dimension:
+            issues.append(_issue("dice entry needs a 'dimension' ref",
+                                 path, "query-form"))
+            return None
+        return (dimension, level if level else None)
+    if isinstance(item, str):
+        dimension, _, level = item.partition("@")
+        if not dimension:
+            issues.append(_issue(f"unreadable dice entry {item!r} "
+                                 "(expected dimension[@level])",
+                                 path, "query-form"))
+            return None
+        return (dimension, level or None)
+    issues.append(_issue(f"unreadable dice entry {item!r}", path,
+                         "query-form"))
+    return None
+
+
+def _parse_slice(item, path: str, issues: list[dict]
+                 ) -> tuple[str, str, object] | None:
+    if isinstance(item, dict):
+        attribute = item.get("attribute")
+        operator = item.get("operator")
+        value = item.get("value")
+        if not isinstance(attribute, str) or not isinstance(operator, str):
+            issues.append(_issue(
+                "slice entry needs 'attribute' and 'operator'",
+                path, "query-form"))
+            return None
+    elif isinstance(item, str):
+        parts = item.split(None, 2)
+        if len(parts) != 3:
+            issues.append(_issue(
+                f"unreadable slice {item!r} (expected "
+                f"'attribute OP value')", path, "query-form"))
+            return None
+        attribute, operator, text = parts
+        try:
+            value = json.loads(text)
+        except ValueError:
+            value = text  # bare word: read as a string literal
+    else:
+        issues.append(_issue(f"unreadable slice entry {item!r}", path,
+                             "query-form"))
+        return None
+    operator = operator.upper()
+    if operator not in Operator.__members__:
+        issues.append(_issue(
+            f"unknown operator {operator!r} (expected one of "
+            f"{[o.value for o in Operator]})",
+            f"{path}/operator", "query-form"))
+        return None
+    return (attribute, operator, _hashable(value))
+
+
+# -- resolution ------------------------------------------------------------
+
+
+def resolve_query(raw: RawQuery, model: GoldModel) -> QuerySpec:
+    """Validate *raw* against *model* and canonicalize it.
+
+    Raises :class:`QueryError` with kind ``"reference"`` for dangling
+    references (collecting every problem, not just the first) and
+    ``"additivity"`` when the resolved query violates an additivity
+    rule — the same split the engine enforces at execution time,
+    surfaced *before* any dataset is generated or cached.
+    """
+    if raw.cube is not None:
+        raw = _expand_cube(raw, model)
+
+    issues: list[dict] = []
+    fact = None
+    try:
+        fact = model.fact_class(raw.fact or "")
+    except ModelReferenceError:
+        issues.append(_issue(
+            f"no fact class {raw.fact!r} in model {model.name!r}",
+            "/query/fact", "query-reference"))
+    if fact is None:
+        raise QueryError("reference", issues)
+
+    if not raw.measures:
+        issues.append(_issue(
+            "a query needs at least one measure", "/query/measures",
+            "query-form"))
+
+    measures: list[tuple[str, str]] = []
+    seen_measures: set[str] = set()
+    for i, (ref, aggregation) in enumerate(raw.measures):
+        try:
+            attribute = fact.attribute(ref)
+        except KeyError:
+            issues.append(_issue(
+                f"fact {fact.name!r} has no measure {ref!r}",
+                f"/query/measures/{i}", "query-reference"))
+            continue
+        if attribute.id in seen_measures:
+            issues.append(_issue(
+                f"measure {attribute.name!r} given twice",
+                f"/query/measures/{i}", "query-form"))
+            continue
+        seen_measures.add(attribute.id)
+        measures.append(
+            (attribute.id, aggregation or AggregationKind.SUM.value))
+
+    dices: list[tuple[str, str]] = []
+    for i, (dimension_ref, level_ref) in enumerate(raw.dices):
+        try:
+            dimension = model.dimension_class(dimension_ref)
+        except ModelReferenceError:
+            issues.append(_issue(
+                f"no dimension class {dimension_ref!r} in model "
+                f"{model.name!r}", f"/query/dice/{i}/dimension",
+                "query-reference"))
+            continue
+        if dimension.id not in fact.dimension_ids:
+            issues.append(_issue(
+                f"dimension {dimension.name!r} is not shared with fact "
+                f"{fact.name!r}", f"/query/dice/{i}/dimension",
+                "query-reference"))
+            continue
+        if level_ref is None or level_ref in (dimension.id,
+                                              dimension.name):
+            dices.append((dimension.id, dimension.id))
+            continue
+        try:
+            level = dimension.level(level_ref)
+        except ModelReferenceError:
+            issues.append(_issue(
+                f"dimension {dimension.name!r} has no level "
+                f"{level_ref!r}", f"/query/dice/{i}/level",
+                "query-reference"))
+            continue
+        dices.append((dimension.id, level.id))
+
+    slices: list[tuple[str, str, object]] = []
+    for i, (attribute, operator, value) in enumerate(raw.slices):
+        canonical = _resolve_slice_attribute(
+            attribute, fact, model, f"/query/slice/{i}/attribute", issues)
+        if canonical is None:
+            continue
+        slices.append((canonical, operator, value))
+
+    if issues:
+        raise QueryError("reference", issues)
+
+    spec = QuerySpec(
+        fact=fact.id, measures=tuple(measures), dices=tuple(dices),
+        slices=tuple(sorted(slices, key=lambda s: (
+            s[0], s[1], json.dumps(_plain(s[2]), sort_keys=True)))),
+        seed=raw.seed)
+    _check_additivity(spec, model)
+    return spec
+
+
+def _expand_cube(raw: RawQuery, model: GoldModel) -> RawQuery:
+    """Rewrite ``cube=<ref>`` as the equivalent ad-hoc raw query."""
+    try:
+        cube = model.cube_class(raw.cube or "")
+    except ModelReferenceError:
+        raise QueryError("reference", [_issue(
+            f"no cube class {raw.cube!r} in model {model.name!r}",
+            "/query/cube", "query-reference")]) from None
+    aggregations = cube.aggregations or tuple(
+        AggregationKind.SUM for _ in cube.measures)
+    return RawQuery(
+        fact=cube.fact,
+        measures=tuple((m, a.value)
+                       for m, a in zip(cube.measures, aggregations)),
+        dices=tuple((d.dimension, d.level) for d in cube.dices),
+        slices=tuple(
+            (c.attribute, c.operator.value, _hashable(c.value))
+            for c in cube.slices),
+        seed=raw.seed)
+
+
+def _resolve_slice_attribute(attribute: str, fact, model: GoldModel,
+                             path: str, issues: list[dict]) -> str | None:
+    """Canonical dotted form, mirroring the engine's resolution rules.
+
+    Fact predicates become ``<fact id>.<attribute name>``; dimension
+    predicates ``<dimension id>[.<level id>].<attribute name>`` — leaf
+    names, not ids, because member-attribute maps are name-keyed.
+    """
+    parts = attribute.split(".")
+    if len(parts) == 1 or parts[0] in (fact.id, fact.name):
+        leaf = parts[-1]
+        if len(parts) > 2:
+            issues.append(_issue(
+                f"cannot resolve slice attribute {attribute!r}",
+                path, "query-reference"))
+            return None
+        try:
+            resolved = fact.attribute(leaf)
+        except KeyError:
+            issues.append(_issue(
+                f"fact {fact.name!r} has no attribute {leaf!r}",
+                path, "query-reference"))
+            return None
+        return f"{fact.id}.{resolved.name}"
+    try:
+        dimension = model.dimension_class(parts[0])
+    except ModelReferenceError:
+        issues.append(_issue(
+            f"no fact attribute or dimension {parts[0]!r} for slice "
+            f"{attribute!r}", path, "query-reference"))
+        return None
+    if len(parts) == 2:
+        names = {a.name for a in dimension.attributes} \
+            | {a.id for a in dimension.attributes}
+        if parts[1] not in names:
+            issues.append(_issue(
+                f"dimension {dimension.name!r} has no attribute "
+                f"{parts[1]!r}", path, "query-reference"))
+            return None
+        leaf = next(a.name for a in dimension.attributes
+                    if parts[1] in (a.id, a.name))
+        return f"{dimension.id}.{leaf}"
+    if len(parts) == 3:
+        try:
+            level = dimension.level(parts[1])
+        except ModelReferenceError:
+            issues.append(_issue(
+                f"dimension {dimension.name!r} has no level "
+                f"{parts[1]!r}", path, "query-reference"))
+            return None
+        match = [a.name for a in level.attributes
+                 if parts[2] in (a.id, a.name)]
+        if not match:
+            issues.append(_issue(
+                f"level {level.name!r} has no attribute {parts[2]!r}",
+                path, "query-reference"))
+            return None
+        return f"{dimension.id}.{level.id}.{match[0]}"
+    issues.append(_issue(
+        f"cannot resolve slice attribute {attribute!r}", path,
+        "query-reference"))
+    return None
+
+
+def _check_additivity(spec: QuerySpec, model: GoldModel) -> None:
+    """The engine's additivity rule, surfaced as 422 diagnostics."""
+    fact = model.fact_class(spec.fact)
+    issues: list[dict] = []
+    for dimension_id, _level in spec.dices:
+        dimension = model.dimension_class(dimension_id)
+        for i, (measure_id, aggregation) in enumerate(spec.measures):
+            attribute = fact.attribute(measure_id)
+            kind = AggregationKind(aggregation)
+            if kind not in attribute.allowed_aggregations(dimension.id):
+                issues.append(_issue(
+                    f"measure {attribute.name!r} may not be aggregated "
+                    f"with {kind.value} along dimension "
+                    f"{dimension.name!r} (additivity rule)",
+                    f"/query/measures/{i}/aggregation",
+                    "query-additivity"))
+    if issues:
+        raise QueryError("additivity", issues)

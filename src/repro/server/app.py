@@ -19,6 +19,11 @@ Routes (paper §4–§6 over the web, DESIGN.md §11):
 ``GET    /bundle/<name>/``              client-bundle file list (JSON)
 ``GET    /bundle/<name>/<file>``        §6 browser-side bundle (XML + XSL)
 ``GET    /health/<model>``              link-check report for the built site
+``GET|POST /olap/<name>/query``         slice/dice/roll-up query (§16);
+                                        ``?format=xml`` for the XSLT
+                                        rendering
+``GET    /olap/<name>/schema``          the queryable surface (JSON)
+``GET    /olap/<name>/stats``           aggregate-cache counters (JSON)
 ``GET    /stats``                       cache + request counters (JSON)
 ``GET    /metrics``                     Prometheus text exposition
 ``GET    /dashboard``                   live ops page (HTML, via XSLT)
@@ -44,6 +49,15 @@ from urllib.parse import parse_qs, unquote, urlparse
 
 from ..faults import FAULTS, FaultError
 from ..obs.recorder import RECORDER as _REC
+from ..olap.service import (
+    OlapService,
+    QueryError,
+    QueryExecutionError,
+    QueryOverloadError,
+    RESULT_FORMATS,
+    parse_query,
+    resolve_query,
+)
 from .cache import (
     CacheOverloadError,
     SiteBuildError,
@@ -137,11 +151,13 @@ class ModelRepositoryApp:
 
     def __init__(self, store: ModelStore | None = None,
                  cache: SiteCache | None = None,
-                 telemetry: ServerTelemetry | None = None) -> None:
+                 telemetry: ServerTelemetry | None = None,
+                 olap: OlapService | None = None) -> None:
         self.store = store if store is not None else ModelStore()
         self.cache = cache if cache is not None else SiteCache()
         self.telemetry = telemetry if telemetry is not None \
             else ServerTelemetry()
+        self.olap = olap if olap is not None else OlapService()
         self._stats_lock = threading.Lock()
         self._requests = {"total": 0, "not_modified": 0}
 
@@ -156,8 +172,8 @@ class ModelRepositoryApp:
         parsed = urlparse(path)
         segments = [unquote(part)
                     for part in parsed.path.split("/") if part]
-        query = {key: values[-1]
-                 for key, values in parse_qs(parsed.query).items()}
+        query_lists = parse_qs(parsed.query)
+        query = {key: values[-1] for key, values in query_lists.items()}
         with self._stats_lock:
             self._requests["total"] += 1
         if _REC.enabled:
@@ -172,17 +188,21 @@ class ModelRepositoryApp:
                            path=parsed.path):
                 try:
                     response = self._route(routed, segments, query,
-                                           headers, body)
+                                           query_lists, headers, body)
                 except FaultError as exc:
                     # An injected fault that no degradation path absorbed
                     # (store.put, xsd.validate on upload, ...): a clean 500
                     # instead of a handler-thread traceback.
                     response = _error(500, str(exc), kind="fault")
-                except CacheOverloadError as exc:
+                except (CacheOverloadError, QueryOverloadError) as exc:
                     response = self._shed(exc)
                 except SiteBuildError as exc:
                     response = _error(
                         500, f"site build failed: {exc.cause}", kind="build")
+                except QueryExecutionError as exc:
+                    response = _error(
+                        500, f"query execution failed: {exc.cause}",
+                        kind="olap")
         except BaseException:
             # Whatever escapes (a transport bug, KeyboardInterrupt) must
             # not leave a stale context pinned to this pooled thread.
@@ -203,7 +223,8 @@ class ModelRepositoryApp:
     # -- routing -----------------------------------------------------------
 
     def _route(self, method: str, segments: list[str], query: dict,
-               headers: dict[str, str], body: bytes) -> Response:
+               query_lists: dict, headers: dict[str, str],
+               body: bytes) -> Response:
         if not segments:
             if method != "GET":
                 return _error(405, "method not allowed")
@@ -211,6 +232,9 @@ class ModelRepositoryApp:
         head, rest = segments[0], segments[1:]
         if head == "models":
             return self._models(method, rest, headers, body)
+        if head == "olap":
+            return self._olap(method, rest, query, query_lists,
+                              headers, body)
         if head == "site":
             if method != "GET":
                 return _error(405, "method not allowed")
@@ -244,6 +268,8 @@ class ModelRepositoryApp:
                 "GET /models", "PUT /models/<name>", "GET /models/<name>",
                 "DELETE /models/<name>", "GET /site/<name>/<page>",
                 "GET /bundle/<name>/<file>", "GET /health/<name>",
+                "GET|POST /olap/<name>/query", "GET /olap/<name>/schema",
+                "GET /olap/<name>/stats",
                 "GET /stats", "GET /metrics", "GET /dashboard"],
             "models": self.store.names(),
         })
@@ -300,12 +326,106 @@ class ModelRepositoryApp:
         if not self.store.delete(name):
             return _error(404, f"no model named {name!r}")
         self.cache.invalidate(name)
+        self.olap.invalidate(name)
         return _json_response(200, {"deleted": name})
+
+    # -- the OLAP query service (DESIGN.md §16) ----------------------------
+
+    def _olap(self, method: str, rest: list[str], query: dict,
+              query_lists: dict, headers: dict[str, str],
+              body: bytes) -> Response:
+        if len(rest) != 2 or rest[1] not in ("query", "schema", "stats"):
+            return _error(404,
+                          "usage: /olap/<model>/{query|schema|stats}")
+        name, action = rest
+        record = self.store.get(name)
+        if record is None:
+            return _error(404, f"no model named {name!r}")
+        mark_model(name)
+        if action == "query":
+            if method not in ("GET", "POST"):
+                return _error(405, "method not allowed")
+            return self._olap_query(method, record, query, query_lists,
+                                    headers, body)
+        if method != "GET":
+            return _error(405, "method not allowed")
+        if action == "schema":
+            payload = self.olap.schema_payload(record.model)
+            payload["content_hash"] = record.content_hash
+            response = _json_response(200, payload)
+            etag = f'"{record.content_hash}-olap-schema"'
+            if self._not_modified(headers, etag):
+                return Response(304, b"", [("ETag", etag)])
+            response.headers.append(("ETag", etag))
+            return response
+        return _json_response(200, {
+            "model": record.name,
+            "content_hash": record.content_hash,
+            **self.olap.stats(),
+        })
+
+    def _olap_query(self, method: str, record, query: dict,
+                    query_lists: dict, headers: dict[str, str],
+                    body: bytes) -> Response:
+        """Parse, resolve, materialize, render — degrading like /site.
+
+        GET reads the query from URL parameters (repeat ``slice=`` for
+        several predicates); POST reads the same vocabulary from a JSON
+        body.  ``format`` selects the rendering and is not part of the
+        canonical query key — both renderings belong to one
+        materialization.
+        """
+        fmt = query.get("format", "json")
+        if fmt not in RESULT_FORMATS:
+            return _error(400, f"unknown format {fmt!r} (expected one "
+                               f"of {list(RESULT_FORMATS)})")
+        if method == "POST":
+            try:
+                params = json.loads(body.decode("utf-8")) \
+                    if body else None
+            except (UnicodeDecodeError, ValueError) as exc:
+                return _error(400, f"unreadable JSON body: {exc}",
+                              kind="form")
+            if not isinstance(params, dict):
+                return _error(400, "the POST body must be a JSON "
+                                   "object", kind="form")
+        else:
+            params = {key: values for key, values in query_lists.items()
+                      if key != "format"}
+        try:
+            spec = resolve_query(parse_query(params), record.model)
+        except QueryError as exc:
+            status = 400 if exc.kind == "form" else 422
+            return _error(status, f"query rejected ({exc.kind})",
+                          kind=exc.kind, issues=exc.issues)
+        with _REC.span("olap.query", model=record.name):
+            entry, outcome = self.olap.execute(
+                record.name, record.content_hash, record.model, spec)
+        mark({"hit": "olap_hit", "executed": "olap_executed",
+              "coalesced": "olap_coalesced",
+              "stale": "stale_served"}[outcome])
+        stale = entry.content_hash != record.content_hash
+        etag = entry.etags[fmt]
+        if self._not_modified(headers, etag):
+            return Response(304, b"", [("ETag", etag)])
+        response = Response(200, entry.renderings[fmt], [
+            ("Content-Type", CONTENT_TYPES[f".{fmt}"]),
+            ("ETag", etag),
+            ("Cache-Control", "no-cache"),
+            ("X-Goldcase-Olap", outcome),
+            ("X-Goldcase-Query-Key", entry.query_key)])
+        if stale:
+            response.headers.append(
+                ("Warning", '110 goldcase "stale content: query '
+                            'execution failed, serving previous '
+                            'materialization"'))
+            response.headers.append(("X-Goldcase-Stale", "true"))
+        return response
 
     # -- published sites ---------------------------------------------------
 
     @staticmethod
-    def _shed(exc: CacheOverloadError) -> Response:
+    def _shed(exc) -> Response:
         """The overload response: 503 with a Retry-After the
         :class:`repro.web.client.RepositoryClient` backoff honours."""
         response = _error(503, str(exc), kind="overload")
@@ -436,6 +556,8 @@ class ModelRepositoryApp:
 
         caches = cache_stats()
         caches["server.dep_index"] = self.cache.dep_index_info()
+        caches["olap.aggregates"] = self.olap.cache.info()
+        caches["olap.datasets"] = self.olap.dataset_info()
         return caches
 
     def _stats(self) -> Response:
@@ -444,6 +566,7 @@ class ModelRepositoryApp:
         return _json_response(200, {
             "requests": requests,
             "site_cache": self.cache.stats(),
+            "olap": self.olap.stats(),
             "caches": self._engine_caches(),
             "models": self.store.names(),
             "faults": FAULTS.describe(),

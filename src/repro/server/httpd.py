@@ -180,6 +180,9 @@ class _RepositoryHandler(BaseHTTPRequestHandler):
     def do_HEAD(self) -> None:  # noqa: N802
         self._dispatch("HEAD")
 
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
     def do_PUT(self) -> None:  # noqa: N802
         self._dispatch("PUT")
 

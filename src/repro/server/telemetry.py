@@ -212,6 +212,9 @@ class ServerTelemetry:
         "invalidation": "cache.invalidation",
         "not_modified": "http.not_modified",
         "transport_error": "http.transport_error",
+        "olap_hit": "olap.hit",
+        "olap_executed": "olap.executed",
+        "olap_coalesced": "olap.coalesced",
     }
 
     def __init__(self, *, enabled: bool | None = None,

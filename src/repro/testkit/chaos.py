@@ -15,10 +15,10 @@ seed-derived rounds against it.  Each round is determined by
    page must trigger exactly one rebuild and one shared body.
 3. **Hammer** (faults on): a randomized :class:`FaultPlan` — rebuild
    failures, per-page render failures, incremental-diff failures,
-   transport delays and drops — is activated while concurrent
-   :class:`RepositoryClient` workers fetch models, pages, and health,
-   and a mid-phase version flip forces rebuilds to happen *under* the
-   faults.  Warm rebuilds route through the incremental republisher
+   OLAP execution/generation failures, transport delays and drops — is
+   activated while concurrent :class:`RepositoryClient` workers fetch
+   models, pages, OLAP query results, and health, and a mid-phase
+   version flip forces rebuilds to happen *under* the faults.  Warm rebuilds route through the incremental republisher
    (the cache already holds the previous build plus its dependency
    index), so the flip exercises the diff path specifically.
 4. **Recover** (faults off): every resource must come back fresh,
@@ -28,9 +28,10 @@ Invariants checked on every response:
 
 * no hung connections — a client socket timeout is always a violation;
 * no 5xx the active fault plan cannot explain;
-* served bytes are never torn: every 200 body is byte-identical to an
-  expected rendering of some version, and after recovery it is the
-  *current* version with no staleness marker;
+* served bytes are never torn: every 200 body — page *or* OLAP query
+  result — is byte-identical to an expected rendering of some version,
+  and after recovery it is the *current* version with no staleness
+  marker;
 * rebuild coalescing holds (one build per burst);
 * the telemetry surface stays up: ``/metrics`` is scraped mid-storm
   and after recovery, must stay serveable and parseable, and its
@@ -57,8 +58,11 @@ import sys
 import threading
 import time
 
+from urllib.parse import urlencode
+
 from ..faults import FAULTS, FaultPlan
 from ..mdm import model_to_xml, sales_model, two_facts_model
+from ..olap.service import DatasetConfig, OlapService
 from ..server import ModelRepositoryApp, ModelServer
 from ..web import RepositoryClient, RetriesExhausted, RetryPolicy
 
@@ -73,6 +77,9 @@ FAULT_MENU = (
     ("publish.page", "raise"),
     ("publish.diff", "raise"),
     ("xslt.transform", "raise"),
+    ("olap.execute", "raise"),
+    ("olap.execute", "delay"),
+    ("olap.generate", "raise"),
     ("httpd.read", "delay"),
     ("httpd.write", "delay"),
     ("httpd.read", "raise"),
@@ -87,6 +94,18 @@ TRANSPORT_POINTS = frozenset({"httpd.read", "httpd.write"})
 #: normally absorbed into a stale 200, but never guaranteed to be.
 BUILD_POINTS = frozenset({"cache.rebuild", "publish.page",
                           "publish.diff", "xslt.transform"})
+
+#: Points whose ``raise`` mode may surface as a 500 on query paths
+#: (cold materialization) — warm queries degrade to a marked-stale 200.
+#: ``xslt.transform`` belongs here too: the XML rendering of every
+#: materialization runs through the same XSLT engine as the site pages.
+OLAP_POINTS = frozenset({"olap.execute", "olap.generate",
+                         "xslt.transform"})
+
+#: Shrunken synthetic datasets so per-version oracle precomputation and
+#: under-fault regeneration stay cheap; the live server under test and
+#: the offline oracle renderer must share this config byte-for-byte.
+CHAOS_DATASET = DatasetConfig(members_per_level=4, rows_per_fact=300)
 
 
 def _sha(payload: bytes) -> str:
@@ -192,10 +211,44 @@ def _expected_pages(xml_bytes: bytes) -> dict[str, bytes]:
     return pages
 
 
+def _query_string(**params) -> str:
+    """urlencode with list values repeating the parameter."""
+    pairs: list[tuple[str, str]] = []
+    for key, value in params.items():
+        if isinstance(value, (list, tuple)):
+            pairs += [(key, str(item)) for item in value]
+        else:
+            pairs.append((key, str(value)))
+    return urlencode(pairs)
+
+
+def _expected_queries(xml_bytes: bytes,
+                      queries: tuple[dict, ...]) -> dict[str, bytes]:
+    """Execute the tracker's OLAP queries offline: the oracle bytes.
+
+    Query results are deterministic per (model content hash, data seed,
+    query), so an offline app with the same :data:`CHAOS_DATASET` yields
+    exactly the bytes the live server may serve.  The record name does
+    not matter: the rendering embeds the model's *XML* name.
+    """
+    assert not FAULTS.enabled, "oracle execution must be fault-free"
+    app = ModelRepositoryApp(olap=OlapService(dataset=CHAOS_DATASET))
+    response = app.handle("PUT", "/models/m", {}, xml_bytes)
+    assert response.status == 201, response.status
+    bodies: dict[str, bytes] = {}
+    for params in queries:
+        encoded = _query_string(**params)
+        result = app.handle("GET", f"/olap/m/query?{encoded}")
+        assert result.status == 200, (result.status, result.body)
+        bodies[encoded] = result.body
+    return bodies
+
+
 class ModelTracker:
     """One model's version history and every byte it may serve."""
 
-    def __init__(self, name: str, base_xml: bytes, marker: bytes) -> None:
+    def __init__(self, name: str, base_xml: bytes, marker: bytes,
+                 queries: tuple[dict, ...] = ()) -> None:
         self.name = name
         self.base_xml = base_xml
         self.marker = marker
@@ -203,16 +256,28 @@ class ModelTracker:
         self.version = 0
         self.current_xml = base_xml
         self.current_pages: dict[str, bytes] = {}
+        #: OLAP query parameter dicts the hammer fires via
+        #: :meth:`RepositoryClient.query_cube`; oracle bodies are keyed
+        #: by their urlencoded form (see :func:`_query_string`).
+        self.queries = queries
+        self.current_queries: dict[str, bytes] = {}
         #: Every XML body ever current (raw-model responses must match).
         self.xml_history: set[bytes] = {base_xml}
         #: SHA-256 of every expected page rendering, all versions.
         self.page_shas: set[str] = set()
-        self._pending: tuple[int, bytes, dict[str, bytes]] | None = None
+        #: SHA-256 of every expected query rendering, all versions.
+        self.query_shas: set[str] = set()
+        self._pending: tuple[int, bytes, dict[str, bytes],
+                             dict[str, bytes]] | None = None
 
     def bootstrap(self, store) -> None:
         """Install version 0 in the server and record its oracle."""
         self.current_pages = _expected_pages(self.base_xml)
         self.page_shas.update(_sha(b) for b in self.current_pages.values())
+        self.current_queries = _expected_queries(self.base_xml,
+                                                 self.queries)
+        self.query_shas.update(
+            _sha(b) for b in self.current_queries.values())
         store.put(self.name, self.base_xml)
 
     def _xml_for(self, version: int) -> bytes:
@@ -232,18 +297,20 @@ class ModelTracker:
         version = self.version + 1
         xml = self._xml_for(version)
         pages = _expected_pages(xml)
+        queries = _expected_queries(xml, self.queries)
         self.xml_history.add(xml)
         self.page_shas.update(_sha(b) for b in pages.values())
-        self._pending = (version, xml, pages)
+        self.query_shas.update(_sha(b) for b in queries.values())
+        self._pending = (version, xml, pages, queries)
 
     def flip(self, store) -> None:
         """Make the precomputed version current in the live server."""
         assert self._pending is not None, "flip() without precompute_next()"
-        version, xml, pages = self._pending
+        version, xml, pages, queries = self._pending
         self._pending = None
         store.put(self.name, xml)
-        self.version, self.current_xml, self.current_pages = (
-            version, xml, pages)
+        self.version, self.current_xml = version, xml
+        self.current_pages, self.current_queries = pages, queries
 
     def advance(self, store) -> None:
         self.precompute_next()
@@ -251,12 +318,26 @@ class ModelTracker:
 
 
 def default_trackers() -> list[ModelTracker]:
+    sales_queries = (
+        dict(cube="c46-dice-slice", seed=1),
+        dict(fact="Sales", measure="qty:SUM", dice="Time@Month", seed=1),
+        dict(fact="Sales", measure="inventory:MAX,qty:SUM",
+             dice="Store@City,Time@Month", seed=2),
+        dict(fact="Sales", measure="qty:SUM", dice="Product@Family",
+             slice='Product.product_name NOTEQ "unknown"', seed=1),
+    )
+    retail_queries = (
+        dict(fact="Sales", measure="qty:SUM,amount:SUM",
+             dice="Time@Month", seed=1),
+        dict(fact="Inventory", measure="stock_level:AVG",
+             dice="Product", seed=1),
+    )
     return [
         ModelTracker("sales", model_to_xml(sales_model()).encode("utf-8"),
-                     b"Sales DW"),
+                     b"Sales DW", queries=sales_queries),
         ModelTracker("retail",
                      model_to_xml(two_facts_model()).encode("utf-8"),
-                     b"Retail DW"),
+                     b"Retail DW", queries=retail_queries),
     ]
 
 
@@ -332,7 +413,10 @@ def _check_response(kind: str, path: str, response,
     if response.status == 503:
         return None  # overload shed: legal whenever a plan is active
     if response.status == 500:
-        if raise_points & BUILD_POINTS:
+        # A 500 is explained only by faults on the path that served it:
+        # build faults never leak into query responses and vice versa.
+        explaining = OLAP_POINTS if kind == "query" else BUILD_POINTS
+        if raise_points & explaining:
             return None
         return {"check": "unexplained-5xx", "path": path,
                 "detail": f"500 with plan {sorted(plan.specs)}"}
@@ -345,6 +429,12 @@ def _check_response(kind: str, path: str, response,
                     "detail": f"unexpected sha {_sha(response.body)[:12]}"}
         return None
     digest = _sha(response.body)
+    if kind == "query":
+        if digest not in tracker.query_shas:
+            return {"check": "torn-query-bytes", "path": path,
+                    "stale": response.header("X-Goldcase-Stale"),
+                    "detail": f"unexpected sha {digest[:12]}"}
+        return None
     if digest not in tracker.page_shas:
         return {"check": "torn-page-bytes", "path": path,
                 "stale": response.header("X-Goldcase-Stale"),
@@ -358,8 +448,8 @@ def _hammer(server: ModelServer, trackers: list[ModelTracker],
             metrics_state: dict) -> tuple[list[dict], dict]:
     """Concurrent clients under the active plan, plus a mid-phase flip."""
     failures: list[dict] = []
-    counts = {"requests": 0, "stale": 0, "shed": 0, "drops": 0,
-              "retries": 0}
+    counts = {"requests": 0, "queries": 0, "stale": 0, "shed": 0,
+              "drops": 0, "retries": 0}
     lock = threading.Lock()
 
     def worker(worker_id: int) -> None:
@@ -369,19 +459,27 @@ def _hammer(server: ModelServer, trackers: list[ModelTracker],
                               policy=policy, rng=rng) as client:
             for _ in range(requests):
                 tracker = rng.choice(trackers)
-                kind = rng.choice(["model", "index", "page", "health"])
+                kind = rng.choice(
+                    ["model", "index", "page", "query", "health"])
                 if kind == "model":
                     path = f"/models/{tracker.name}"
                 elif kind == "health":
                     path = f"/health/{tracker.name}"
                 elif kind == "index":
                     path = f"/site/{tracker.name}/index.html"
+                elif kind == "query":
+                    params = rng.choice(tracker.queries)
+                    path = (f"/olap/{tracker.name}/query?"
+                            f"{_query_string(**params)}")
                 else:
                     page = rng.choice(sorted(tracker.current_pages))
                     path = f"/site/{tracker.name}/{page}"
                 record: dict | None = None
                 try:
-                    response = client.request("GET", path)
+                    if kind == "query":
+                        response = client.query_cube(tracker.name, params)
+                    else:
+                        response = client.request("GET", path)
                 except TimeoutError:
                     record = {"check": "hung-connection", "path": path,
                               "detail": "client read timed out"}
@@ -402,6 +500,8 @@ def _hammer(server: ModelServer, trackers: list[ModelTracker],
                     record["request_id"] = response.request_id
                 with lock:
                     counts["requests"] += 1
+                    if kind == "query":
+                        counts["queries"] += 1
                     if response is not None:
                         counts["retries"] += response.retries
                         if response.status == 503 and kind != "health":
@@ -461,6 +561,18 @@ def _recovery_sweep(server: ModelServer,
                     failures.append({
                         "check": "recovery-page", "model": tracker.name,
                         "page": page,
+                        "detail": f"status {response.status} stale={stale} "
+                                  f"sha {_sha(body)[:12]} "
+                                  f"want {_sha(expected)[:12]}"})
+            for encoded, expected in sorted(
+                    tracker.current_queries.items()):
+                response, body = fetch(
+                    f"/olap/{tracker.name}/query?{encoded}")
+                stale = response.getheader("X-Goldcase-Stale")
+                if response.status != 200 or body != expected or stale:
+                    failures.append({
+                        "check": "recovery-query", "model": tracker.name,
+                        "query": encoded,
                         "detail": f"status {response.status} stale={stale} "
                                   f"sha {_sha(body)[:12]} "
                                   f"want {_sha(expected)[:12]}"})
@@ -555,12 +667,15 @@ def main(argv: list[str] | None = None) -> int:
     FAULTS.deactivate()  # a GOLDCASE_FAULTS env plan would skew oracles
     trackers = default_trackers()
     all_failures: list[dict] = []
-    totals = {"requests": 0, "stale": 0, "shed": 0, "drops": 0,
-              "retries": 0, "faults_fired": 0}
+    totals = {"requests": 0, "queries": 0, "stale": 0, "shed": 0,
+              "drops": 0, "retries": 0, "faults_fired": 0}
     completed = 0
     index = args.start
     metrics_state: dict = {}
-    with ModelServer() as server:
+    # The live server must share the oracle's (shrunken) dataset config,
+    # or query bodies would never match the offline renderings.
+    app = ModelRepositoryApp(olap=OlapService(dataset=CHAOS_DATASET))
+    with ModelServer(app) as server:
         for tracker in trackers:
             tracker.bootstrap(server.app.store)
             # Warm the cache so round 1 measures degradation, not
@@ -591,7 +706,8 @@ def main(argv: list[str] | None = None) -> int:
                               file=sys.stderr)
                 elif not args.quiet:
                     print(f"round {index}: ok — "
-                          f"{counts['requests']} requests, "
+                          f"{counts['requests']} requests "
+                          f"({counts['queries']} queries), "
                           f"{counts['faults_fired']} faults fired, "
                           f"{counts['stale']} stale, "
                           f"{counts['shed']} shed, "
@@ -601,7 +717,8 @@ def main(argv: list[str] | None = None) -> int:
             FAULTS.deactivate()
 
     elapsed = time.monotonic() - started
-    summary = (f"{completed} rounds, {totals['requests']} requests, "
+    summary = (f"{completed} rounds, {totals['requests']} requests "
+               f"({totals['queries']} queries), "
                f"{totals['faults_fired']} faults fired, "
                f"{totals['stale']} stale, {totals['shed']} shed, "
                f"{totals['drops']} drops, {elapsed:.1f}s")

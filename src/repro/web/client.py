@@ -31,9 +31,11 @@ makes the §6 migration safe.
 from __future__ import annotations
 
 import http.client
+import json
 import time
 from dataclasses import dataclass
 from random import Random
+from urllib.parse import quote, urlencode
 
 from ..mdm.model import GoldModel
 from ..mdm.xml_io import model_to_document
@@ -265,6 +267,45 @@ class RepositoryClient:
             return ClientResponse(response.status, response.headers,
                                   response.body, retries=attempts - 1)
         raise RetriesExhausted(method, path, attempts, last_error)
+
+    def query_cube(self, model: str, params: dict | None = None, *,
+                   body: dict | None = None, format: str | None = None,
+                   headers: dict[str, str] | None = None) -> ClientResponse:
+        """Run an OLAP query against ``/olap/<model>/query``.
+
+        With *params* the query goes out as a GET with urlencoded
+        parameters (list values repeat the parameter, which is how
+        multiple ``slice`` predicates travel); with *body* it goes out
+        as a POST carrying the JSON query form.  Either way the full
+        retry policy applies — an OLAP query is idempotent, so resending
+        after a shed or transport failure is always safe.
+        """
+        if params is not None and body is not None:
+            raise ValueError("pass params (GET) or body (POST), not both")
+        pairs: list[tuple[str, str]] = []
+        for key, value in (params or {}).items():
+            if isinstance(value, (list, tuple)):
+                pairs += [(key, str(item)) for item in value]
+            else:
+                pairs.append((key, str(value)))
+        if format is not None:
+            pairs.append(("format", format))
+        path = f"/olap/{quote(model)}/query"
+        if pairs:
+            path += "?" + urlencode(pairs)
+        if body is not None:
+            send = dict(headers or {})
+            send.setdefault("Content-Type", "application/json")
+            return self.request("POST", path,
+                                body=json.dumps(body).encode("utf-8"),
+                                headers=send)
+        return self.request("GET", path, headers=headers)
+
+    def olap_stats(self, model: str, *,
+                   headers: dict[str, str] | None = None) -> ClientResponse:
+        """Fetch ``/olap/<model>/stats`` (aggregate/dataset cache state)."""
+        return self.request(
+            "GET", f"/olap/{quote(model)}/stats", headers=headers)
 
 
 def _pseudo_attribute(data: str, name: str) -> str:

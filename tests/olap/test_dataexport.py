@@ -4,6 +4,7 @@ import pytest
 
 from repro.mdm import ModelBuilder, sales_model
 from repro.olap import StarSchema, populate_star, star_data_sql
+from repro.olap.dataexport import _literal
 
 
 @pytest.fixture(scope="module")
@@ -87,3 +88,42 @@ class TestFactInserts:
         b = star_data_sql(populate_star(sales_model(),
                                         rows_per_fact=20, seed=9))
         assert a == b
+
+
+class TestNonFiniteLiterals:
+    """``str(float('nan'))`` is not SQL; non-finite floats need casts."""
+
+    def test_nan(self):
+        assert _literal(float("nan")) == \
+            "CAST('NaN' AS DOUBLE PRECISION)"
+
+    def test_infinities(self):
+        assert _literal(float("inf")) == \
+            "CAST('Infinity' AS DOUBLE PRECISION)"
+        assert _literal(float("-inf")) == \
+            "CAST('-Infinity' AS DOUBLE PRECISION)"
+
+    def test_finite_floats_unchanged(self):
+        assert _literal(2.5) == "2.5"
+        assert _literal(-0.125) == "-0.125"
+
+    def test_no_bare_nan_inf_in_export(self):
+        b = ModelBuilder("NF")
+        dim = b.dimension("D").attribute("k", oid=True)
+        b.fact("F").measure("qty").uses(dim)
+        model = b.build()
+        star = StarSchema(model)
+        star.dimension_data("D").add_member("D", "m1")
+        star.insert_fact("F", {"D": "m1"}, {"qty": float("nan")})
+        star.insert_fact("F", {"D": "m1"}, {"qty": float("inf")})
+        star.insert_fact("F", {"D": "m1"}, {"qty": float("-inf")})
+        sql = star_data_sql(star)
+        for line in sql.splitlines():
+            if not line.startswith("INSERT"):
+                continue
+            values = line.split("VALUES", 1)[1]
+            assert "CAST(" in values or (
+                "nan" not in values and "inf" not in values)
+        assert sql.count("CAST('NaN' AS DOUBLE PRECISION)") == 1
+        assert sql.count("CAST('Infinity' AS DOUBLE PRECISION)") == 1
+        assert sql.count("CAST('-Infinity' AS DOUBLE PRECISION)") == 1

@@ -1,0 +1,365 @@
+"""OLAP query service: canonical specs, synthetic data, aggregate cache.
+
+Covers the three pillars of the service subsystem:
+
+* the declarative query layer — parse → resolve is a *fixed point* over
+  :meth:`QuerySpec.to_params` (property-based), diagnostics follow the
+  store's issue shape;
+* deterministic synthetic datasets per (content hash, seed, config);
+* the materialized-aggregate cache — differential against a direct
+  engine execution, coalescing bursts, failure degradation, sheds.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultPlan, injected_faults
+from repro.mdm import sales_model
+from repro.olap import CubeEngine, populate_star, star_data_sql
+from repro.olap.service import (
+    AggregateCache,
+    DatasetConfig,
+    OlapService,
+    QueryError,
+    QueryExecutionError,
+    QueryOverloadError,
+    parse_query,
+    resolve_query,
+    synthesize_star,
+)
+
+MODEL = sales_model()
+SMALL = DatasetConfig(members_per_level=3, rows_per_fact=60)
+
+
+def resolve(params: dict):
+    return resolve_query(parse_query(params), MODEL)
+
+
+# ---------------------------------------------------------------------------
+# Canonical query layer
+
+
+#: (measure ref, aggregations that are additivity-safe along any
+#: dimension of the sales model — inventory may not be summed over Time).
+MEASURES = {
+    "qty": ("SUM", "AVG", "MIN", "MAX", "COUNT"),
+    "total": ("SUM", "AVG", "MIN", "MAX", "COUNT"),
+    "inventory": ("AVG", "MIN", "MAX"),
+}
+
+DICES = {
+    "Time": (None, "Month", "Week", "Year"),
+    "Store": (None, "City", "Province", "Country"),
+    "Product": (None, "Family", "Group"),
+}
+
+SLICE_ATTRIBUTES = ("Product.product_name", "Store.City.city_name",
+                    "Time.is_holiday", "Sales.qty")
+
+slice_values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(max_size=12),
+)
+
+
+@st.composite
+def query_params(draw):
+    measures = draw(st.lists(
+        st.sampled_from(sorted(MEASURES)), min_size=1, max_size=3,
+        unique=True))
+    rendered = ",".join(
+        f"{m}:{draw(st.sampled_from(MEASURES[m]))}" for m in measures)
+    params: dict[str, object] = {"fact": "Sales", "measure": rendered,
+                                 "seed": str(draw(st.integers(0, 5)))}
+    dices = draw(st.lists(st.sampled_from(sorted(DICES)), max_size=3,
+                          unique=True))
+    if dices:
+        params["dice"] = ",".join(
+            d if (level := draw(st.sampled_from(DICES[d]))) is None
+            else f"{d}@{level}" for d in dices)
+    slices = draw(st.lists(
+        st.tuples(st.sampled_from(SLICE_ATTRIBUTES),
+                  st.sampled_from(["EQ", "NOTEQ", "GT", "LT"]),
+                  slice_values),
+        max_size=3))
+    if slices:
+        params["slice"] = [f"{attr} {op} {json.dumps(value)}"
+                           for attr, op, value in slices]
+    return params
+
+
+class TestCanonicalFixedPoint:
+    @settings(max_examples=60, deadline=None)
+    @given(query_params())
+    def test_parse_resolve_is_fixed_point_of_to_params(self, params):
+        spec = resolve(params)
+        again = resolve(spec.to_params())
+        assert again == spec
+        assert again.query_key() == spec.query_key()
+
+    @settings(max_examples=30, deadline=None)
+    @given(query_params())
+    def test_canonical_dict_is_a_fixed_point_too(self, params):
+        """The POST body shape round-trips to the identical spec."""
+        spec = resolve(params)
+        assert resolve(spec.canonical_dict()) == spec
+
+    def test_slice_order_does_not_change_the_key(self):
+        one = resolve({"fact": "Sales", "measure": "qty:SUM",
+                       "slice": ['Product.product_name EQ "a"',
+                                 'Store.City.city_name EQ "b"']})
+        two = resolve({"fact": "Sales", "measure": "qty:SUM",
+                       "slice": ['Store.City.city_name EQ "b"',
+                                 'Product.product_name EQ "a"']})
+        assert one == two
+        assert one.query_key() == two.query_key()
+
+    def test_dice_order_is_presentation_and_changes_the_key(self):
+        one = resolve({"fact": "Sales", "measure": "qty:SUM",
+                       "dice": "Time@Month,Store@City"})
+        two = resolve({"fact": "Sales", "measure": "qty:SUM",
+                       "dice": "Store@City,Time@Month"})
+        assert one.query_key() != two.query_key()
+
+    def test_cube_expansion_matches_the_ad_hoc_form(self):
+        from_cube = resolve({"cube": "c46-dice-slice"})
+        ad_hoc = resolve({
+            "fact": "Sales", "measure": "qty:SUM,total:SUM",
+            "dice": "Time@Month,Store@City",
+            "slice": ['Product.product_name NOTEQ "unknown"']})
+        assert from_cube == ad_hoc
+
+
+class TestDiagnostics:
+    def test_unknown_fact_is_a_reference_issue(self):
+        with pytest.raises(QueryError) as excinfo:
+            resolve({"fact": "Nope", "measure": "qty:SUM"})
+        assert excinfo.value.kind == "reference"
+        assert excinfo.value.issues[0]["path"] == "/query/fact"
+
+    def test_every_dangling_reference_is_collected(self):
+        with pytest.raises(QueryError) as excinfo:
+            resolve({"fact": "Sales", "measure": "bogus:SUM",
+                     "dice": "Nowhere@X"})
+        paths = [issue["path"] for issue in excinfo.value.issues]
+        assert "/query/measures/0" in paths
+        assert "/query/dice/0/dimension" in paths
+
+    def test_additivity_violation_names_the_measure_position(self):
+        with pytest.raises(QueryError) as excinfo:
+            resolve({"fact": "Sales", "measure": "qty:SUM,inventory:SUM",
+                     "dice": "Time@Month"})
+        assert excinfo.value.kind == "additivity"
+        issue = excinfo.value.issues[0]
+        assert issue["path"] == "/query/measures/1/aggregation"
+        assert "additivity rule" in issue["message"]
+        assert issue["line"] is None  # store-shaped: position is a path
+
+    def test_unknown_parameter_is_a_form_error(self):
+        with pytest.raises(QueryError) as excinfo:
+            parse_query({"fact": "Sales", "measure": "qty", "mesure": "x"})
+        assert excinfo.value.kind == "form"
+
+
+# ---------------------------------------------------------------------------
+# Synthetic datasets
+
+
+class TestSyntheticDatasets:
+    def test_deterministic_per_hash_and_seed(self):
+        one = synthesize_star(MODEL, "h1", 3, SMALL)
+        two = synthesize_star(MODEL, "h1", 3, SMALL)
+        assert star_data_sql(one) == star_data_sql(two)
+
+    def test_seed_and_content_hash_both_matter(self):
+        base = star_data_sql(synthesize_star(MODEL, "h1", 3, SMALL))
+        assert star_data_sql(
+            synthesize_star(MODEL, "h1", 4, SMALL)) != base
+        assert star_data_sql(
+            synthesize_star(MODEL, "h2", 3, SMALL)) != base
+
+    def test_non_complete_rate_leaves_hierarchy_gaps(self):
+        """Members may roll up to nothing along non-complete relations."""
+        star = populate_star(MODEL, members_per_level=4, rows_per_fact=10,
+                             seed=2, non_complete_rate=1.0)
+        time = MODEL.dimension_class("Time")
+        week = time.level("Week").id
+        data = star.dimensions[time.id]
+        gaps = [key for key in data.members(time.id)
+                if not data.ancestors_at(key, week)]
+        # Time→Week is non-complete: at rate 1.0 every link is dropped.
+        assert len(gaps) == len(data.members(time.id))
+        # Time→Month is declared complete, so it is never broken.
+        month = time.level("Month").id
+        assert all(data.ancestors_at(key, month)
+                   for key in data.members(time.id))
+
+    def test_zero_rate_is_byte_identical_to_legacy_loader(self):
+        legacy = star_data_sql(populate_star(
+            MODEL, members_per_level=4, rows_per_fact=10, seed=2))
+        explicit = star_data_sql(populate_star(
+            MODEL, members_per_level=4, rows_per_fact=10, seed=2,
+            non_complete_rate=0.0))
+        assert legacy == explicit
+
+
+# ---------------------------------------------------------------------------
+# Materialized aggregates: differential, coalescing, degradation
+
+
+QUERY = {"fact": "Sales", "measure": "qty:SUM,total:AVG",
+         "dice": "Time@Month,Store@City",
+         "slice": ['Product.product_name NOTEQ "unknown"'], "seed": "1"}
+
+
+class TestDifferential:
+    def test_cached_result_matches_direct_engine_execution(self):
+        """The tentpole's correctness bar: caching never changes values."""
+        service = OlapService(dataset=SMALL)
+        spec = resolve(QUERY)
+        entry, outcome = service.execute("m", "h1", MODEL, spec)
+        assert outcome == "executed"
+        payload = json.loads(entry.renderings["json"])
+
+        star = synthesize_star(MODEL, "h1", spec.seed, SMALL)
+        direct = CubeEngine(star).execute(spec.to_cube(MODEL))
+        assert payload["rows"] == [list(row) for row in direct.to_rows()]
+        assert payload["row_count"] == len(direct.rows)
+        assert payload["sliced_out"] == direct.sliced_out
+        assert payload["query_key"] == spec.query_key()
+
+    def test_hit_returns_the_same_bytes(self):
+        service = OlapService(dataset=SMALL)
+        spec = resolve(QUERY)
+        first, _ = service.execute("m", "h1", MODEL, spec)
+        second, outcome = service.execute("m", "h1", MODEL, spec)
+        assert outcome == "hit"
+        assert second.renderings == first.renderings
+        assert second.etags == first.etags
+
+
+def stub_entry(content_hash: str, tag: str):
+    """The cache reads ``.content_hash`` (freshness) and ``.renderings``
+    (resident-byte accounting); anything else rides along."""
+    import types
+
+    return types.SimpleNamespace(content_hash=content_hash, tag=tag,
+                                 renderings={"json": tag.encode("ascii")})
+
+
+class TestAggregateCacheConcurrency:
+    def test_identical_query_burst_runs_exactly_one_execution(self):
+        cache = AggregateCache()
+        executions = []
+        release = threading.Event()
+
+        def execute():
+            executions.append(threading.get_ident())
+            release.wait(timeout=10)
+            return stub_entry("h1", "entry")
+
+        outcomes: list[str] = []
+        barrier = threading.Barrier(16, action=lambda: threading.Timer(
+            0.05, release.set).start())
+
+        def query():
+            barrier.wait()
+            entry, outcome = cache.entry("m", "h1", 1, "k", execute)
+            outcomes.append(outcome)
+
+        threads = [threading.Thread(target=query) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(executions) == 1
+        assert len(outcomes) == 16
+        assert outcomes.count("executed") == 1
+        assert set(outcomes) <= {"executed", "coalesced", "hit"}
+
+    def test_failure_serves_stale_then_recovers(self):
+        cache = AggregateCache()
+        cache.entry("m", "h1", 1, "k", lambda: stub_entry("h1", "old"))
+
+        def boom():
+            raise RuntimeError("engine exploded")
+
+        entry, outcome = cache.entry("m", "h2", 1, "k", boom)
+        assert outcome == "stale"
+        assert entry.tag == "old"
+        # The failure never poisons the key: the next attempt executes.
+        entry, outcome = cache.entry(
+            "m", "h2", 1, "k", lambda: stub_entry("h2", "new"))
+        assert (entry.tag, outcome) == ("new", "executed")
+
+    def test_failure_with_no_prior_entry_raises(self):
+        cache = AggregateCache()
+
+        def boom():
+            raise RuntimeError("cold failure")
+
+        with pytest.raises(QueryExecutionError) as excinfo:
+            cache.entry("m", "h1", 1, "k", boom)
+        assert "cold failure" in str(excinfo.value)
+
+    def test_overload_sheds_with_retry_after(self):
+        cache = AggregateCache(max_concurrent_executions=1,
+                               execute_wait_s=0.05)
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow():
+            started.set()
+            release.wait(timeout=10)
+            return stub_entry("h1", "slow")
+
+        holder = threading.Thread(
+            target=lambda: cache.entry("m", "h1", 1, "k1", slow))
+        holder.start()
+        try:
+            assert started.wait(timeout=10)
+            with pytest.raises(QueryOverloadError) as excinfo:
+                cache.entry("m", "h1", 1, "k2",
+                            lambda: stub_entry("h1", "fast"))
+            assert excinfo.value.retry_after_s >= 1
+        finally:
+            release.set()
+            holder.join(timeout=10)
+
+    def test_invalidate_drops_only_that_model(self):
+        cache = AggregateCache()
+        cache.entry("a", "h1", 1, "k", lambda: stub_entry("h1", "x"))
+        cache.entry("b", "h1", 1, "k", lambda: stub_entry("h1", "y"))
+        assert cache.invalidate("a") == 1
+        assert cache.stats()["entries"] == 1
+
+
+class TestFaultPoints:
+    def test_execute_fault_degrades_warm_queries_to_stale(self):
+        service = OlapService(dataset=SMALL)
+        spec = resolve({"fact": "Sales", "measure": "qty:SUM", "seed": "1"})
+        fresh, _ = service.execute("m", "h1", MODEL, spec)
+        with injected_faults(FaultPlan().add("olap.execute")):
+            entry, outcome = service.execute("m", "h2", MODEL, spec)
+        assert outcome == "stale"
+        assert entry.content_hash == "h1"
+        assert entry.renderings == fresh.renderings
+
+    def test_generate_fault_surfaces_cold_as_execution_error(self):
+        service = OlapService(dataset=SMALL)
+        spec = resolve({"fact": "Sales", "measure": "qty:SUM", "seed": "7"})
+        with injected_faults(FaultPlan().add("olap.generate")):
+            with pytest.raises(QueryExecutionError):
+                service.execute("m", "h1", MODEL, spec)
+        # Recovery: the same query executes cleanly once faults lift.
+        entry, outcome = service.execute("m", "h1", MODEL, spec)
+        assert outcome == "executed"
+        assert entry.row_count >= 0
