@@ -152,6 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="model-repository HTTP server (paper §6, DESIGN §11)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8040)
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="pre-fork N worker processes sharing the "
+                            "port (SO_REUSEPORT; DESIGN §17). 1 = the "
+                            "classic single-process threaded server")
+    serve.add_argument("--store-dir", default=None, metavar="PATH",
+                       help="build-store directory for --workers > 1 "
+                            "(models + built artifacts shared across "
+                            "processes; default: a temp directory)")
+    serve.add_argument("--build-pool", type=int, default=0, metavar="N",
+                       help="with --workers > 1: N background build "
+                            "processes pre-rendering PUT models into "
+                            "the store (default 0: build on demand)")
     serve.add_argument("--model", action="append", default=[],
                        metavar="NAME=PATH",
                        help="preload a model XML file under NAME "
@@ -482,6 +494,13 @@ def _run(args: argparse.Namespace) -> int:
             from ..web.incremental import set_incremental_enabled
 
             set_incremental_enabled(False)
+        if args.workers > 1 and (args.access_log is not None or args.slo):
+            # Worker telemetry is constructed inside each forked
+            # process; plumbing a shared log handle or SLO list through
+            # the fork is not supported yet.
+            print("--access-log/--slo require --workers 1",
+                  file=sys.stderr)
+            return 2
         telemetry = None
         if args.access_log is not None or args.slo:
             from ..server import ServerTelemetry
@@ -502,12 +521,26 @@ def _run(args: argparse.Namespace) -> int:
                     print(f"bad --slo: {exc}", file=sys.stderr)
                     return 2
             telemetry = ServerTelemetry(access_log=access_log, slos=slos)
-        app = ModelRepositoryApp(telemetry=telemetry)
+        app = None
+        if args.workers > 1:
+            # Pre-fork mode (DESIGN §17): durable state lives in the
+            # build store; preloads go straight to disk and every
+            # worker picks them up through the shared pointer files.
+            import tempfile
+
+            from ..server import BuildStore, SharedModelStore
+
+            store_dir = args.store_dir or tempfile.mkdtemp(
+                prefix="goldcase-store-")
+            store = SharedModelStore(BuildStore(store_dir))
+        else:
+            app = ModelRepositoryApp(telemetry=telemetry)
+            store = app.store
         if args.demo:
             for factory in (sales_model, two_facts_model):
                 model = factory()
                 xml = model_to_xml(model).encode("utf-8")
-                record, _ = app.store.put(model.id, xml)
+                record, _ = store.put(model.id, xml)
                 print(f"preloaded {record.name} "
                       f"({record.content_hash[:12]})")
         for spec in args.model:
@@ -516,7 +549,7 @@ def _run(args: argparse.Namespace) -> int:
                 name = os.path.splitext(os.path.basename(path))[0]
             with open(path, "rb") as handle:
                 try:
-                    record, _ = app.store.put(name, handle.read())
+                    record, _ = store.put(name, handle.read())
                 except ModelStoreError as exc:
                     print(f"refusing to preload {path}: {exc.kind}",
                           file=sys.stderr)
@@ -526,6 +559,14 @@ def _run(args: argparse.Namespace) -> int:
                     return 1
             print(f"preloaded {record.name} ({record.content_hash[:12]}) "
                   f"from {path}")
+        if args.workers > 1:
+            from ..server import serve_forever_multi
+
+            serve_forever_multi(
+                store_dir, workers=args.workers, host=args.host,
+                port=args.port, quiet=args.quiet,
+                build_pool_processes=args.build_pool)
+            return 0
         print(f"serving model repository on http://{args.host}:{args.port} "
               "(Ctrl-C to stop; /metrics and /dashboard expose telemetry)")
         serve_forever(app, host=args.host, port=args.port, quiet=args.quiet)

@@ -97,7 +97,15 @@ class AggregateCache:
     RETRY_AFTER_S = 1
 
     def __init__(self, *, max_concurrent_executions: int | None = None,
-                 execute_wait_s: float | None = None) -> None:
+                 execute_wait_s: float | None = None,
+                 buildstore=None) -> None:
+        #: Optional :class:`repro.server.buildstore.BuildStore`.  When
+        #: wired (the pre-fork server, DESIGN.md §17), aggregates are
+        #: shared fleet-wide: the slow path consults the disk tier and
+        #: executions run under the cross-process file lock, so N
+        #: workers materialize one query once.  None (the default)
+        #: keeps the in-memory-only behavior byte-identical.
+        self._buildstore = buildstore
         self._meta_lock = threading.Lock()
         #: (name, seed, query_key) → entry.
         self._entries: dict[tuple[str, int, str], AggregateEntry] = {}
@@ -115,7 +123,8 @@ class AggregateCache:
         self._tokens: dict[tuple[str, int, str], int] = {}
         self._stats = {"hits": 0, "executions": 0, "coalesced": 0,
                        "failures": 0, "stale_served": 0, "shed": 0,
-                       "invalidations": 0}
+                       "invalidations": 0,
+                       "disk_hits": 0, "disk_stores": 0}
 
     # -- internals ---------------------------------------------------------
 
@@ -132,7 +141,9 @@ class AggregateCache:
                 "failures": "olap.cache.failure",
                 "stale_served": "olap.cache.stale_served",
                 "shed": "olap.cache.shed",
-                "invalidations": "olap.cache.invalidation"}
+                "invalidations": "olap.cache.invalidation",
+                "disk_hits": "olap.cache.disk_hit",
+                "disk_stores": "olap.cache.disk_store"}
 
     def _bump(self, stat: str) -> None:
         with self._meta_lock:
@@ -175,6 +186,19 @@ class AggregateCache:
                 # Another request materialized it while we waited.
                 self._bump("coalesced")
                 return entry, "coalesced"
+            if self._buildstore is not None:
+                entry = self._buildstore.load_aggregate(
+                    name, content_hash, seed, query_key)
+                if entry is not None:
+                    # A peer process already materialized this query
+                    # for these bytes; adopt its artifact.  Outranks
+                    # the shared-failure check: a fresh artifact on
+                    # disk supersedes a local failed attempt.
+                    self._bump("disk_hits")
+                    with self._meta_lock:
+                        self._errors.pop(key, None)
+                    self._entries[key] = entry
+                    return entry, "hit"
             if self._tokens.get(key, 0) != token_before:
                 # The attempt we slept through finished and the entry
                 # is still stale: it failed.  Share its outcome.
@@ -185,8 +209,8 @@ class AggregateCache:
                 raise QueryOverloadError(name, query_key,
                                          self.RETRY_AFTER_S)
             try:
-                self._bump("executions")
-                entry = execute()
+                entry, outcome = self._execute_locked(
+                    name, content_hash, seed, query_key, execute)
             except Exception as exc:
                 self._bump("failures")
                 with self._meta_lock:
@@ -196,11 +220,40 @@ class AggregateCache:
                 with self._meta_lock:
                     self._errors.pop(key, None)
                 self._entries[key] = entry
-                return entry, "executed"
+                return entry, outcome
             finally:
                 self._slots.release()
                 with self._meta_lock:
                     self._tokens[key] = self._tokens.get(key, 0) + 1
+
+    def _execute_locked(self, name: str, content_hash: str, seed: int,
+                        query_key: str,
+                        execute: Callable[[], AggregateEntry]
+                        ) -> tuple[AggregateEntry, str]:
+        """One execution attempt, fleet-coalesced when a store is wired.
+
+        With a build store the execution runs under the cross-process
+        file lock for this (hash, seed, query) — a loser of the lock
+        race adopts the winner's artifact from the post-lock disk
+        re-check (outcome ``"coalesced"``, the cross-process analogue
+        of waiting on the key lock).  ``executions`` counts only
+        queries that actually ran, fleet-wide.
+        """
+        if self._buildstore is None:
+            self._bump("executions")
+            return execute(), "executed"
+        with self._buildstore.lock(
+                "olap", f"{content_hash}-{seed}-{query_key}"):
+            entry = self._buildstore.load_aggregate(
+                name, content_hash, seed, query_key)
+            if entry is not None:
+                self._bump("disk_hits")
+                return entry, "coalesced"
+            self._bump("executions")
+            entry = execute()
+            if self._buildstore.store_aggregate(entry):
+                self._bump("disk_stores")
+            return entry, "executed"
 
     def _degraded(self, key: tuple[str, int, str]) -> AggregateEntry:
         """The stale entry after a failed execution, or raise."""

@@ -51,11 +51,13 @@ class OlapService:
 
     def __init__(self, *, dataset: DatasetConfig | None = None,
                  max_concurrent_executions: int | None = None,
-                 execute_wait_s: float | None = None) -> None:
+                 execute_wait_s: float | None = None,
+                 buildstore=None) -> None:
         self.dataset = dataset or DatasetConfig()
         self.cache = AggregateCache(
             max_concurrent_executions=max_concurrent_executions,
-            execute_wait_s=execute_wait_s)
+            execute_wait_s=execute_wait_s,
+            buildstore=buildstore)
         self._meta_lock = threading.Lock()
         #: (name, seed) → (content_hash, star).
         self._stars: dict[tuple[str, int], tuple[str, StarSchema]] = {}

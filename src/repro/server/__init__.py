@@ -11,7 +11,11 @@ returned to the client browser" — realized as a stdlib-only subsystem:
 * :mod:`repro.server.telemetry` — the always-on metric surface:
   request ids, rolling windows, SLOs, ``/metrics``, ``/dashboard``;
 * :mod:`repro.server.httpd` — the threaded HTTP front end behind
-  ``goldcase serve``.
+  ``goldcase serve``;
+* :mod:`repro.server.buildstore` — the content-addressed on-disk
+  artifact tier shared by every process (DESIGN.md §17);
+* :mod:`repro.server.workers` — the pre-fork supervisor behind
+  ``goldcase serve --workers N``.
 """
 
 from .app import (
@@ -21,6 +25,7 @@ from .app import (
     ModelRepositoryApp,
     Response,
 )
+from .buildstore import BuildStore, SharedModelStore
 from .cache import (
     CacheOverloadError,
     SiteBuildError,
@@ -37,8 +42,22 @@ from .httpd import (
 )
 from .store import ModelRecord, ModelStore, ModelStoreError
 from .telemetry import RequestContext, ServerTelemetry
+from .workers import (
+    BuildPool,
+    MultiWorkerServer,
+    make_worker_app,
+    reuseport_available,
+    serve_forever_multi,
+)
 
 __all__ = [
+    "BuildPool",
+    "BuildStore",
+    "MultiWorkerServer",
+    "SharedModelStore",
+    "make_worker_app",
+    "reuseport_available",
+    "serve_forever_multi",
     "CONTENT_TYPES",
     "CacheOverloadError",
     "MAX_BODY_BYTES",

@@ -152,14 +152,35 @@ class ModelRepositoryApp:
     def __init__(self, store: ModelStore | None = None,
                  cache: SiteCache | None = None,
                  telemetry: ServerTelemetry | None = None,
-                 olap: OlapService | None = None) -> None:
+                 olap: OlapService | None = None, *,
+                 worker_id: int | None = None,
+                 fleet=None,
+                 prebuild=None) -> None:
         self.store = store if store is not None else ModelStore()
         self.cache = cache if cache is not None else SiteCache()
         self.telemetry = telemetry if telemetry is not None \
             else ServerTelemetry()
         self.olap = olap if olap is not None else OlapService()
+        #: Pre-fork identity (DESIGN.md §17).  When set, every /metrics
+        #: sample carries a ``worker`` label and /stats reports
+        #: ``{"worker": {"id", "pid"}}`` so scrapes through the shared
+        #: port stay attributable to the process that answered them.
+        self.worker_id = worker_id
+        #: Optional :class:`repro.server.buildstore.BuildStore` used
+        #: only for its fleet snapshots: /metrics appends the
+        #: supervisor-aggregate series and /stats a ``fleet`` block.
+        self.fleet = fleet
+        #: Optional callable(name) enqueueing a background pre-build of
+        #: the freshly PUT model (the supervisor's build pool); failures
+        #: are swallowed — the request path rebuilds on demand anyway.
+        self._prebuild = prebuild
         self._stats_lock = threading.Lock()
         self._requests = {"total": 0, "not_modified": 0}
+
+    def request_count(self) -> int:
+        """Requests this app instance has handled (fleet snapshots)."""
+        with self._stats_lock:
+            return self._requests["total"]
 
     # -- entry point -------------------------------------------------------
 
@@ -303,6 +324,11 @@ class ModelRepositoryApp:
             status = 400 if exc.kind in ("name", "parse") else 422
             return _error(status, f"model rejected ({exc.kind})",
                           kind=exc.kind, issues=exc.issues)
+        if self._prebuild is not None:
+            try:
+                self._prebuild(record.name)
+            except Exception:
+                pass  # warming is best-effort; requests build on demand
         return _json_response(
             201 if created else 200,
             {"stored": record.summary(), "created": created},
@@ -561,9 +587,11 @@ class ModelRepositoryApp:
         return caches
 
     def _stats(self) -> Response:
+        import os
+
         with self._stats_lock:
             requests = dict(self._requests)
-        return _json_response(200, {
+        payload = {
             "requests": requests,
             "site_cache": self.cache.stats(),
             "olap": self.olap.stats(),
@@ -571,17 +599,65 @@ class ModelRepositoryApp:
             "models": self.store.names(),
             "faults": FAULTS.describe(),
             "slos": self.telemetry.slo_report(),
-        })
+        }
+        if self.worker_id is not None:
+            payload["worker"] = {"id": self.worker_id, "pid": os.getpid()}
+        if self.fleet is not None:
+            payload["fleet"] = self.fleet.read_fleet()
+        return _json_response(200, payload)
 
     # -- telemetry surfaces ------------------------------------------------
 
     def _metrics(self) -> Response:
+        labels = None if self.worker_id is None \
+            else {"worker": str(self.worker_id)}
         text = self.telemetry.metrics_text(
             caches=self._engine_caches(),
             site_cache=self.cache.stats(),
-            extra_gauges={"models": len(self.store.names())})
+            extra_gauges={"models": len(self.store.names())},
+            default_labels=labels)
+        if self.fleet is not None:
+            text += self._fleet_metrics()
         return Response(200, text.encode("utf-8"),
                         [("Content-Type", METRICS_CONTENT_TYPE)])
+
+    def _fleet_metrics(self) -> str:
+        """The supervisor-aggregate series, from fleet snapshots.
+
+        Gauges on purpose: a respawned worker restarts its request
+        count at zero, so a fleet-wide sum can step backwards across a
+        kill — a counter here would violate the monotonicity contract
+        the chaos probes enforce on ``_total`` series.
+        """
+        snapshots = self.fleet.read_fleet()
+        lines = [
+            "# HELP goldcase_fleet_workers Worker snapshots visible in "
+            "the shared build store.",
+            "# TYPE goldcase_fleet_workers gauge",
+            f"goldcase_fleet_workers {len(snapshots)}",
+            "# HELP goldcase_fleet_requests Requests served fleet-wide "
+            "(sum of live worker snapshots; resets on respawn).",
+            "# TYPE goldcase_fleet_requests gauge",
+            "goldcase_fleet_requests "
+            f"{sum(s.get('requests', 0) for s in snapshots.values())}",
+            "# HELP goldcase_worker_up 1 for every worker with a "
+            "snapshot, labelled by id and pid.",
+            "# TYPE goldcase_worker_up gauge",
+        ]
+        for worker_id in sorted(snapshots):
+            snap = snapshots[worker_id]
+            lines.append(
+                f'goldcase_worker_up{{pid="{snap.get("pid", 0)}",'
+                f'worker="{worker_id}"}} 1')
+        lines.append(
+            "# HELP goldcase_worker_requests Requests served per "
+            "worker snapshot.")
+        lines.append("# TYPE goldcase_worker_requests gauge")
+        for worker_id in sorted(snapshots):
+            lines.append(
+                f'goldcase_worker_requests{{worker="{worker_id}"}} '
+                f"{snapshots[worker_id].get('requests', 0)}")
+        return "\n".join(lines) + "\n"
 
     def _dashboard(self) -> Response:
         from ..obs.dashboard import render_dashboard_html

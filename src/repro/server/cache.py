@@ -166,7 +166,15 @@ class SiteCache:
     RETRY_AFTER_S = 1
 
     def __init__(self, *, max_concurrent_builds: int | None = None,
-                 build_wait_s: float | None = None) -> None:
+                 build_wait_s: float | None = None,
+                 buildstore=None) -> None:
+        #: Optional :class:`repro.server.buildstore.BuildStore`.  When
+        #: wired, the slow path consults the content-addressed disk tier
+        #: before building and every build runs under the fleet-wide
+        #: file lock, extending per-model coalescing across processes
+        #: (DESIGN.md §17).  When None — every pre-existing deployment —
+        #: behavior is byte-identical to the in-memory-only cache.
+        self._buildstore = buildstore
         self._meta_lock = threading.Lock()
         self._entries: dict[tuple[str, str], SiteEntry] = {}
         self._model_locks: dict[str, threading.Lock] = {}
@@ -197,7 +205,8 @@ class SiteCache:
         self._stats = {"hits": 0, "rebuilds": 0, "coalesced": 0,
                        "invalidations": 0, "build_failures": 0,
                        "stale_served": 0, "shed": 0,
-                       "incremental": 0, "incremental_fallback": 0}
+                       "incremental": 0, "incremental_fallback": 0,
+                       "disk_hits": 0, "disk_stores": 0}
 
     # -- internals ---------------------------------------------------------
 
@@ -215,7 +224,9 @@ class SiteCache:
                 "stale_served": "server.stale_served",
                 "shed": "server.shed",
                 "incremental": "server.site.incremental",
-                "incremental_fallback": "server.site.incremental_fallback"}
+                "incremental_fallback": "server.site.incremental_fallback",
+                "disk_hits": "server.site.disk_hit",
+                "disk_stores": "server.site.disk_store"}
 
     #: Per-request telemetry flag for each stat (singular forms end up
     #: in access-log lines and windowed counters).
@@ -224,7 +235,8 @@ class SiteCache:
              "build_failures": "build_failure",
              "stale_served": "stale_served", "shed": "shed",
              "incremental": "incremental",
-             "incremental_fallback": "incremental_fallback"}
+             "incremental_fallback": "incremental_fallback",
+             "disk_hits": "disk_hit", "disk_stores": "disk_store"}
 
     def _bump(self, stat: str) -> None:
         with self._meta_lock:
@@ -276,6 +288,18 @@ class SiteCache:
                 # Another request built it while we waited on the lock.
                 self._bump("coalesced")
                 return entry
+            if self._buildstore is not None:
+                entry = self._buildstore.load_site(record, variant)
+                if entry is not None:
+                    # A peer process already built these bytes; adopt
+                    # its artifact without spending a build slot.  This
+                    # outranks the shared-failure check below: a fresh
+                    # artifact on disk supersedes a local failed attempt.
+                    self._bump("disk_hits")
+                    with self._meta_lock:
+                        self._build_errors.pop(key, None)
+                    self._entries[key] = entry
+                    return entry
             if self._build_tokens.get(key, 0) != token_before:
                 # The build we waited on finished and the entry is
                 # still stale: that attempt failed.  Share its outcome.
@@ -286,12 +310,7 @@ class SiteCache:
                 raise CacheOverloadError(
                     record.name, variant, self.RETRY_AFTER_S)
             try:
-                self._bump("rebuilds")
-                with _REC.span("server.rebuild", model=record.name,
-                               variant=variant):
-                    if FAULTS.enabled:
-                        FAULTS.hit(_REBUILD_FAULT)
-                    entry = self._build(key, record, variant)
+                entry = self._build_locked(key, record, variant)
             except Exception as exc:
                 self._bump("build_failures")
                 with self._meta_lock:
@@ -308,6 +327,41 @@ class SiteCache:
                 with self._meta_lock:
                     self._build_tokens[key] = \
                         self._build_tokens.get(key, 0) + 1
+
+    def _build_locked(self, key: tuple[str, str], record: ModelRecord,
+                      variant: str) -> SiteEntry:
+        """One build attempt, fleet-coalesced when a store is wired.
+
+        Without a build store this is exactly the pre-fork behavior.
+        With one, the build runs under the cross-process file lock for
+        this (hash, variant): losers of the lock race find the winner's
+        artifact on the post-lock disk re-check and adopt it —
+        ``rebuilds`` counts only builds that actually ran, fleet-wide.
+        The flock dies with its process, so a SIGKILLed builder never
+        wedges the key.
+        """
+        if self._buildstore is None:
+            return self._attempt(key, record, variant)
+        with self._buildstore.lock(
+                "site", f"{record.content_hash}-{variant}"):
+            entry = self._buildstore.load_site(record, variant)
+            if entry is not None:
+                self._bump("disk_hits")
+                return entry
+            entry = self._attempt(key, record, variant)
+            if self._buildstore.store_site(entry):
+                self._bump("disk_stores")
+            return entry
+
+    def _attempt(self, key: tuple[str, str], record: ModelRecord,
+                 variant: str) -> SiteEntry:
+        """Actually run one build (the only place ``rebuilds`` bumps)."""
+        self._bump("rebuilds")
+        with _REC.span("server.rebuild", model=record.name,
+                       variant=variant):
+            if FAULTS.enabled:
+                FAULTS.hit(_REBUILD_FAULT)
+            return self._build(key, record, variant)
 
     def _build(self, key: tuple[str, str], record: ModelRecord,
                variant: str) -> SiteEntry:

@@ -36,7 +36,7 @@ from ..faults import FAULTS, FaultError, fault_point
 from ..obs.recorder import RECORDER as _REC
 from .app import ModelRepositoryApp
 
-__all__ = ["ModelServer", "make_server", "serve_forever",
+__all__ = ["ModelServer", "make_handler", "make_server", "serve_forever",
            "MAX_BODY_BYTES", "READ_TIMEOUT_S"]
 
 #: Largest accepted request body; a PUT beyond this is answered 413.
@@ -202,6 +202,20 @@ class _RepositoryHandler(BaseHTTPRequestHandler):
             super().log_error(format, *args)
 
 
+def make_handler(app: ModelRepositoryApp, *, quiet: bool = True,
+                 read_timeout_s: float = READ_TIMEOUT_S,
+                 max_body_bytes: int = MAX_BODY_BYTES) -> type:
+    """The request-handler class bound to *app*.
+
+    Factored out of :func:`make_server` so alternate socket layers (the
+    pre-fork worker servers in :mod:`repro.server.workers`) serve the
+    exact same hardened handler.
+    """
+    return type("_BoundHandler", (_RepositoryHandler,),
+                {"app": app, "quiet": quiet, "timeout": read_timeout_s,
+                 "max_body_bytes": max_body_bytes})
+
+
 def make_server(app: ModelRepositoryApp | None = None, *,
                 host: str = "127.0.0.1", port: int = 0,
                 quiet: bool = True,
@@ -211,9 +225,9 @@ def make_server(app: ModelRepositoryApp | None = None, *,
     """A bound (not yet serving) threaded server around *app*."""
     if app is None:
         app = ModelRepositoryApp()
-    handler = type("_BoundHandler", (_RepositoryHandler,),
-                   {"app": app, "quiet": quiet, "timeout": read_timeout_s,
-                    "max_body_bytes": max_body_bytes})
+    handler = make_handler(app, quiet=quiet,
+                           read_timeout_s=read_timeout_s,
+                           max_body_bytes=max_body_bytes)
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True
     return server, app

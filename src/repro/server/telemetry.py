@@ -215,6 +215,10 @@ class ServerTelemetry:
         "olap_hit": "olap.hit",
         "olap_executed": "olap.executed",
         "olap_coalesced": "olap.coalesced",
+        # Appended after PR 9 (bit positions are enumeration order —
+        # only ever add at the end): the on-disk build-store tier.
+        "disk_hit": "cache.disk_hit",
+        "disk_store": "cache.disk_store",
     }
 
     def __init__(self, *, enabled: bool | None = None,
@@ -429,7 +433,8 @@ class ServerTelemetry:
 
     def metrics_text(self, *, caches: dict | None = None,
                      site_cache: dict | None = None,
-                     extra_gauges: dict | None = None) -> str:
+                     extra_gauges: dict | None = None,
+                     default_labels: dict | None = None) -> str:
         """Prometheus text exposition (version 0.0.4) of everything.
 
         Lifetime counters become ``_total`` series (monotonic by
@@ -437,6 +442,11 @@ class ServerTelemetry:
         never step backwards), windowed rates and SLO states become
         gauges, and the cumulative latency sketch becomes a classic
         cumulative-``le`` histogram.
+
+        *default_labels* is stamped onto every sample (explicit labels
+        win on collision).  The pre-fork server passes
+        ``{"worker": "<id>"}`` so N workers' expositions stay distinct
+        series when one scraper reads them through the shared port.
         """
         window = self.window
         lines: list[str] = []
@@ -446,10 +456,13 @@ class ServerTelemetry:
             lines.append(f"# TYPE {name} {kind}")
 
         def sample(name: str, value, labels: dict | None = None) -> None:
+            merged = dict(default_labels) if default_labels else {}
             if labels:
+                merged.update(labels)
+            if merged:
                 inner = ",".join(
                     f'{key}="{_escape(str(val))}"'
-                    for key, val in sorted(labels.items()))
+                    for key, val in sorted(merged.items()))
                 lines.append(f"{name}{{{inner}}} {_number(value)}")
             else:
                 lines.append(f"{name} {_number(value)}")

@@ -136,6 +136,37 @@ def test_incremental_rebuild_preserves_the_etag_function(model_a, model_b):
         assert stats["incremental"] + stats["incremental_fallback"] >= 1
 
 
+@settings(max_examples=5, deadline=None)
+@given(_MODELS)
+def test_etag_function_survives_the_on_disk_build_store(model):
+    """ISSUE 10: the property that makes cross-process cache hits safe.
+    An app serving from the shared build store — including a second app
+    'process' that only ever *loads* the artifact, and a third over a
+    reopened store — hands out exactly the ETags an in-memory app
+    computes for the same bytes."""
+    import tempfile
+
+    from repro.server import BuildStore, make_worker_app
+
+    xml_bytes = _xml(model)
+    plain = _loaded_app(xml_bytes)
+    paths = _site_paths(plain)
+    expected = {path: _etag(plain, path) for path in paths}
+    with tempfile.TemporaryDirectory() as root:
+        builder = make_worker_app(BuildStore(root))
+        assert builder.handle(
+            "PUT", "/models/m", {}, xml_bytes).status == 201
+        for path in paths:
+            assert _etag(builder, path) == expected[path]
+        # A peer over the same store, and a revival over a reopened
+        # store: both must reproduce the function without rebuilding.
+        for peer in (make_worker_app(builder.store.buildstore),
+                     make_worker_app(BuildStore(root))):
+            for path in paths:
+                assert _etag(peer, path) == expected[path]
+            assert peer.cache.stats()["rebuilds"] == 0
+
+
 @settings(max_examples=6, deadline=None)
 @given(_MODELS)
 def test_designer_edit_script_preserves_the_etag_function(model):
